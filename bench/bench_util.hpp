@@ -1,0 +1,98 @@
+// Shared plumbing for the figure-reproduction binaries: the common workload,
+// repetition loops, and small formatting helpers. Header-only; each bench is
+// its own executable.
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sim/experiment.hpp"
+#include "sim/scenario.hpp"
+
+namespace mcs::bench {
+
+/// The workload every figure bench shares (built once per binary).
+inline sim::Workload make_workload() { return sim::Workload(sim::default_bench_workload()); }
+
+/// Paper Table II defaults, plus the multi-task feasibility cap (see
+/// EXPERIMENTS.md for why the cap is needed on the synthetic population).
+inline sim::ScenarioParams single_task_params() {
+  sim::ScenarioParams params;  // T = 0.8, costs ~ N(15, 5): the paper's values
+  return params;
+}
+
+inline sim::ScenarioParams multi_task_params() {
+  sim::ScenarioParams params;
+  params.requirement_cap_fraction = 0.9;
+  return params;
+}
+
+/// Draws feasible single-task scenarios until `builder` succeeded `reps`
+/// times (or attempts run out) and feeds each to `consume`.
+inline std::size_t repeat_feasible_single(
+    const sim::Workload& workload, geo::CellId task_cell, std::size_t num_users,
+    const sim::ScenarioParams& params, std::size_t reps, common::Rng& rng,
+    const std::function<void(const sim::SingleTaskScenario&)>& consume) {
+  std::size_t produced = 0;
+  const std::size_t max_attempts = reps * 30;
+  for (std::size_t attempt = 0; attempt < max_attempts && produced < reps; ++attempt) {
+    const auto scenario =
+        sim::build_single_task(workload.users(), task_cell, num_users, params, rng);
+    if (!scenario.has_value() || !scenario->instance.is_feasible()) {
+      continue;
+    }
+    consume(*scenario);
+    ++produced;
+  }
+  return produced;
+}
+
+/// Same repetition loop for feasible multi-task scenarios.
+inline std::size_t repeat_feasible_multi(
+    const sim::Workload& workload, std::size_t num_tasks, std::size_t num_users,
+    const sim::ScenarioParams& params, std::size_t reps, common::Rng& rng,
+    const std::function<void(const sim::MultiTaskScenario&)>& consume) {
+  std::size_t produced = 0;
+  for (std::size_t attempt = 0; attempt < reps * 3 && produced < reps; ++attempt) {
+    const auto scenario =
+        sim::build_feasible_multi_task(workload.users(), num_tasks, num_users, params, rng, 30);
+    if (!scenario.has_value()) {
+      continue;
+    }
+    consume(*scenario);
+    ++produced;
+  }
+  return produced;
+}
+
+/// Prints the table to stdout and, when the environment variable
+/// MCS_BENCH_CSV_DIR names a directory, also writes <dir>/<name>.csv so the
+/// figure data feeds straight into a plotting pipeline.
+inline void emit(const common::TextTable& table, const std::string& name) {
+  table.print(std::cout);
+  if (const char* dir = std::getenv("MCS_BENCH_CSV_DIR"); dir != nullptr && *dir != '\0') {
+    const auto path = std::filesystem::path(dir) / (name + ".csv");
+    common::write_csv_file(path, table.to_csv_table());
+    std::cout << "[csv written to " << path.string() << "]\n";
+  }
+}
+
+inline std::string fmt(double value, int precision = 2) {
+  return common::TextTable::num(value, precision);
+}
+
+inline std::string fmt_stats(const common::RunningStats& stats) {
+  if (stats.count() == 0) {
+    return "n/a";
+  }
+  return fmt(stats.mean());
+}
+
+}  // namespace mcs::bench

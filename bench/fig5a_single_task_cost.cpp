@@ -1,0 +1,58 @@
+// Fig 5(a) — Social Cost of the Single Task Mechanism.
+//
+// Paper: one randomly chosen task, user counts 20..100 (step 10); the FPTAS
+// mechanism (even at ε = 0.5) tracks OPT closely and beats the Min-Greedy
+// 2-approximation. Social cost drops sharply with the first extra users and
+// then flattens (costs come from one distribution, so new users stop
+// improving the optimum).
+#include <iostream>
+
+#include "auction/single_task/exact.hpp"
+#include "auction/single_task/fptas.hpp"
+#include "auction/single_task/min_greedy.hpp"
+#include "auction/single_task/naive.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace mcs;
+
+  const auto workload = bench::make_workload();
+  const auto params = bench::single_task_params();
+  const auto cells = sim::popular_cells(workload.users());
+  const geo::CellId task_cell = cells.front();  // the paper's "randomly chosen
+                                                // task"; we pin the most
+                                                // contributor-rich cell
+  constexpr std::size_t kReps = 20;
+
+  common::TextTable table("Fig 5(a): single-task social cost vs #users",
+                          {"#users", "OPT", "FPTAS eps=0.1", "FPTAS eps=0.5",
+                           "FPTAS 95% CI (half)", "Min-Greedy", "Cheapest-first",
+                           "instances"});
+  common::Rng rng(501);
+  common::Rng ci_rng(777);
+  for (std::size_t n = 20; n <= 100; n += 10) {
+    common::RunningStats opt;
+    common::RunningStats fptas01;
+    std::vector<double> fptas05_samples;
+    common::RunningStats greedy;
+    common::RunningStats cheapest;
+    const auto produced = bench::repeat_feasible_single(
+        workload, task_cell, n, params, kReps, rng, [&](const sim::SingleTaskScenario& scenario) {
+          opt.add(auction::single_task::solve_exact(scenario.instance).allocation.total_cost);
+          fptas01.add(auction::single_task::solve_fptas(scenario.instance, 0.1).total_cost);
+          fptas05_samples.push_back(
+              auction::single_task::solve_fptas(scenario.instance, 0.5).total_cost);
+          greedy.add(auction::single_task::solve_min_greedy(scenario.instance).total_cost);
+          cheapest.add(auction::single_task::solve_cheapest_first(scenario.instance).total_cost);
+        });
+    const auto ci = common::bootstrap_mean_ci(fptas05_samples, 0.95, 2000, ci_rng);
+    table.add_row({std::to_string(n), bench::fmt_stats(opt), bench::fmt_stats(fptas01),
+                   bench::fmt(common::mean(fptas05_samples)),
+                   "±" + bench::fmt(ci.half_width()), bench::fmt_stats(greedy),
+                   bench::fmt_stats(cheapest), std::to_string(produced)});
+  }
+  bench::emit(table, "fig5a_single_task_cost");
+  std::cout << "(paper: FPTAS ≈ OPT and strictly below Min-Greedy; cost decreases in #users.\n"
+            << " cheapest-first, which ignores PoS density, overpays substantially)\n";
+  return 0;
+}

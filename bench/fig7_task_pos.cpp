@@ -1,0 +1,68 @@
+// Fig 7 — Achieved vs required task PoS.
+//
+// Paper: both mechanisms meet the PoS requirement (single-task tightly,
+// multi-task with slack — winners keep contributing to already-satisfied
+// tasks), while the VCG-like baselines (ST-VCG / MT-VCG), to which strategic
+// users declare PoS = 1, fall short of the requirement — badly so in the
+// single-task case where only the cheapest user is recruited.
+#include <iostream>
+
+#include "auction/single_task/fptas.hpp"
+#include "auction/single_task/vcg.hpp"
+#include "auction/multi_task/greedy.hpp"
+#include "auction/multi_task/vcg.hpp"
+#include "bench_util.hpp"
+#include "sim/execution.hpp"
+#include "sim/metrics.hpp"
+
+int main() {
+  using namespace mcs;
+
+  const auto workload = bench::make_workload();
+  const auto params = bench::single_task_params();  // T = 0.8
+  common::Rng rng(707);
+  common::Rng sim_rng(708);
+  constexpr std::size_t kEmpiricalRuns = 2000;
+
+  common::RunningStats st_ours;
+  common::RunningStats st_ours_empirical;
+  common::RunningStats st_vcg;
+  const auto cells = sim::popular_cells(workload.users());
+  bench::repeat_feasible_single(
+      workload, cells.front(), 50, params, 20, rng, [&](const sim::SingleTaskScenario& s) {
+        const auto ours = auction::single_task::solve_fptas(s.instance, 0.5);
+        st_ours.add(sim::achieved_pos(s.instance, ours.winners));
+        st_ours_empirical.add(
+            sim::empirical_task_pos(s.instance, ours.winners, kEmpiricalRuns, sim_rng));
+        const auto vcg = auction::single_task::solve_st_vcg(s.instance);
+        st_vcg.add(sim::achieved_pos(s.instance, vcg.winners));
+      });
+
+  common::RunningStats mt_ours;
+  common::RunningStats mt_ours_empirical;
+  common::RunningStats mt_vcg;
+  bench::repeat_feasible_multi(
+      workload, 15, 100, params, 10, rng, [&](const sim::MultiTaskScenario& s) {
+        const auto ours = auction::multi_task::solve_greedy(s.instance);
+        mt_ours.add(sim::average_achieved_pos(s.instance, ours.allocation.winners));
+        const auto empirical = sim::empirical_task_pos(s.instance, ours.allocation.winners,
+                                                       kEmpiricalRuns / 4, sim_rng);
+        mt_ours_empirical.add(common::mean(empirical));
+        const auto vcg = auction::multi_task::solve_mt_vcg(s.instance);
+        mt_vcg.add(sim::average_achieved_pos(s.instance, vcg.winners));
+      });
+
+  common::TextTable table("Fig 7: achieved vs required task PoS",
+                          {"setting", "required", "ours (analytic)", "ours (empirical)",
+                           "VCG-like"});
+  table.add_row({"single task (n=50)", bench::fmt(params.pos_requirement, 2),
+                 bench::fmt_stats(st_ours), bench::fmt_stats(st_ours_empirical),
+                 bench::fmt_stats(st_vcg)});
+  table.add_row({"multi-task (n=100, t=15)", bench::fmt(params.pos_requirement, 2),
+                 bench::fmt_stats(mt_ours), bench::fmt_stats(mt_ours_empirical),
+                 bench::fmt_stats(mt_vcg)});
+  bench::emit(table, "fig7_task_pos");
+  std::cout << "(paper: ours >= required — single tightly, multi with slack; VCG falls short,"
+            << " drastically for single task)\n";
+  return 0;
+}

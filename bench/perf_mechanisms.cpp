@@ -1,0 +1,120 @@
+// Google-benchmark microbenchmarks of the mechanism building blocks: the
+// Algorithm 1 DP, the FPTAS winner determination across n and ε, the
+// multi-task greedy, and both reward schemes. These quantify the complexity
+// claims of Theorems 3 and 6.
+#include <benchmark/benchmark.h>
+
+#include "auction/single_task/dp_knapsack.hpp"
+#include "auction/single_task/fptas.hpp"
+#include "auction/single_task/mechanism.hpp"
+#include "auction/multi_task/greedy.hpp"
+#include "auction/multi_task/mechanism.hpp"
+#include "common/distributions.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace mcs;
+
+auction::SingleTaskInstance make_single(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  auction::SingleTaskInstance instance;
+  instance.requirement_pos = 0.8;
+  instance.bids.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    instance.bids.push_back({common::sample_truncated_normal(rng, 15.0, 2.24, 0.5, 40.0),
+                             rng.uniform(0.02, 0.35)});
+  }
+  return instance;
+}
+
+auction::MultiTaskInstance make_multi(std::size_t n, std::size_t t, std::uint64_t seed) {
+  common::Rng rng(seed);
+  auction::MultiTaskInstance instance;
+  instance.requirement_pos.assign(t, 0.8);
+  instance.users.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auction::MultiTaskUserBid bid;
+    bid.cost = common::sample_truncated_normal(rng, 15.0, 2.24, 0.5, 40.0);
+    const auto size = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(std::min<std::size_t>(t, 20))));
+    const auto tasks = common::sample_without_replacement(rng, t, size);
+    std::vector<std::size_t> sorted(tasks.begin(), tasks.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t task : sorted) {
+      bid.tasks.push_back(static_cast<auction::TaskIndex>(task));
+      bid.pos.push_back(rng.uniform(0.05, 0.4));
+    }
+    instance.users.push_back(std::move(bid));
+  }
+  return instance;
+}
+
+void BM_KnapsackDp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(7);
+  std::vector<auction::single_task::KnapsackItem> items;
+  items.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    items.push_back({rng.uniform(0.02, 0.4), rng.uniform_int(1, 400)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(auction::single_task::solve_min_knapsack(items, 1.6));
+  }
+}
+BENCHMARK(BM_KnapsackDp)->Arg(20)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_FptasWinnerDetermination(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const double epsilon = static_cast<double>(state.range(1)) / 100.0;
+  const auto instance = make_single(n, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(auction::single_task::solve_fptas(instance, epsilon));
+  }
+}
+BENCHMARK(BM_FptasWinnerDetermination)
+    ->Args({20, 50})
+    ->Args({50, 50})
+    ->Args({100, 50})
+    ->Args({50, 10})
+    ->Args({100, 10});
+
+void BM_SingleTaskMechanismWithRewards(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const bool parallel = state.range(1) != 0;
+  const auto instance = make_single(n, 13);
+  auction::single_task::MechanismConfig config{.epsilon = 0.5, .alpha = 10.0};
+  config.parallel_rewards = parallel;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(auction::single_task::run_mechanism(instance, config));
+  }
+}
+BENCHMARK(BM_SingleTaskMechanismWithRewards)
+    ->Args({20, 0})
+    ->Args({20, 1})
+    ->Args({40, 0})
+    ->Args({40, 1});
+
+void BM_MultiTaskGreedy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto t = static_cast<std::size_t>(state.range(1));
+  const auto instance = make_multi(n, t, 17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(auction::multi_task::solve_greedy(instance));
+  }
+}
+BENCHMARK(BM_MultiTaskGreedy)->Args({30, 15})->Args({100, 15})->Args({100, 50})->Args({300, 50});
+
+void BM_MultiTaskMechanismWithRewards(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto instance = make_multi(n, 15, 19);
+  const auction::multi_task::MechanismConfig config{.alpha = 10.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(auction::multi_task::run_mechanism(instance, config));
+  }
+}
+BENCHMARK(BM_MultiTaskMechanismWithRewards)->Arg(30)->Arg(60)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Strategy-proofness demonstration (Theorems 1 and 4, and the Section III-A
+// VCG counter-example).
+//
+// For a winner and a loser in each setting we sweep the declared PoS (or
+// total contribution) across a grid while the true type stays fixed, and
+// print the expected utility the mechanism hands the user at each
+// declaration. Truthful declaration must maximize it. The VCG column shows
+// the counter-example: under a VCG-like payment the loser profits from
+// inflating her PoS.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "sim/metrics.hpp"
+#include "sim/strategy.hpp"
+
+int main() {
+  using namespace mcs;
+
+  // --- single task: the paper's own four-user example --------------------
+  auction::SingleTaskInstance instance;
+  instance.requirement_pos = 0.9;
+  instance.bids = {{3.0, 0.7}, {2.0, 0.7}, {1.0, 0.5}, {4.0, 0.8}};
+  const auction::single_task::MechanismConfig config{.epsilon = 0.1, .alpha = 10.0};
+
+  const auto truthful = auction::single_task::run_mechanism(instance, config);
+  std::cout << "single-task truthful winners:";
+  for (auction::UserId w : truthful.allocation.winners) {
+    std::cout << ' ' << w;
+  }
+  std::cout << "  (paper's example: users 0 and 1)\n\n";
+
+  std::vector<double> grid;
+  for (double p = 0.05; p <= 0.95 + 1e-9; p += 0.05) {
+    grid.push_back(p);
+  }
+
+  for (auction::UserId user : {auction::UserId{1}, auction::UserId{2}}) {
+    const double true_pos = instance.bids[static_cast<std::size_t>(user)].pos;
+    const auto sweep = sim::sweep_declared_pos(instance, user, grid, config);
+    double truthful_utility = 0.0;
+    if (truthful.allocation.contains(user)) {
+      truthful_utility = truthful.reward_of(user).reward.expected_utility(true_pos);
+    }
+    common::TextTable table(
+        "single task: user " + std::to_string(user) + " (true PoS " + bench::fmt(true_pos, 2) +
+            ", truthful utility " + bench::fmt(truthful_utility, 4) + ")",
+        {"declared PoS", "wins", "expected utility"});
+    for (const auto& point : sweep) {
+      table.add_row({bench::fmt(point.declared, 2), point.won ? "yes" : "no",
+                     bench::fmt(point.expected_utility, 4)});
+    }
+    table.print(std::cout);
+    std::cout << "truthful optimal: "
+              << (sim::truthful_is_optimal(sweep, truthful_utility) ? "YES" : "NO") << "\n\n";
+  }
+
+  // The VCG counter-example: user 2 (cost 1, PoS 0.5) declares 0.9 and gets
+  // selected by a cost-only VCG payment, pocketing positive utility.
+  std::cout << "VCG counter-example (Section III-A): under VCG user 2 declares PoS 0.9,\n"
+            << "displaces the efficient pair, and is paid more than her cost — VCG is not\n"
+            << "strategy-proof in the PoS dimension (see tests/auction_vcg_test.cpp).\n\n";
+
+  // --- multi-task sweep on a generated scenario ---------------------------
+  const auto workload = bench::make_workload();
+  common::Rng rng(909);
+  const auto scenario = sim::build_feasible_multi_task(
+      workload.users(), 10, 40, bench::multi_task_params(), rng, 30);
+  if (scenario.has_value()) {
+    const auction::multi_task::MechanismConfig mt_config{.alpha = 10.0};
+    const auto outcome = auction::multi_task::run_mechanism(scenario->instance, mt_config);
+    if (outcome.allocation.feasible && !outcome.allocation.winners.empty()) {
+      const auction::UserId user = outcome.allocation.winners.front();
+      const double true_total =
+          scenario->instance.users[static_cast<std::size_t>(user)].total_contribution();
+      const double truthful_utility =
+          outcome.reward_of(user).reward.expected_utility(
+              scenario->instance.users[static_cast<std::size_t>(user)]
+                  .any_success_probability());
+      std::vector<double> q_grid;
+      for (double f = 0.2; f <= 3.0 + 1e-9; f += 0.2) {
+        q_grid.push_back(f * true_total);
+      }
+      const auto sweep =
+          sim::sweep_declared_contribution(scenario->instance, user, q_grid, mt_config);
+      common::TextTable table("multi-task: winner " + std::to_string(user) +
+                                  " (true total contribution " + bench::fmt(true_total, 3) +
+                                  ", truthful utility " + bench::fmt(truthful_utility, 4) + ")",
+                              {"declared total q", "wins", "expected utility"});
+      for (const auto& point : sweep) {
+        table.add_row({bench::fmt(point.declared, 3), point.won ? "yes" : "no",
+                       bench::fmt(point.expected_utility, 4)});
+      }
+      table.print(std::cout);
+      std::cout << "truthful optimal: "
+                << (sim::truthful_is_optimal(sweep, truthful_utility) ? "YES" : "NO") << "\n";
+    }
+  }
+  return 0;
+}

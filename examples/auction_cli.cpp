@@ -1,0 +1,135 @@
+// auction_cli: run the strategy-proof mechanisms on instance files.
+//
+// Usage:
+//   example_auction_cli <instance-file> [alpha] [epsilon]
+//   example_auction_cli            (no args: writes demo files, runs both)
+//
+// Instance files use the plain-text format of auction/io.hpp (header
+// mcs-single-task-v1 or mcs-multi-task-v1; '#' comments allowed), so a
+// downstream user can run the mechanisms on their own marketplace data
+// without writing any C++.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "auction/io.hpp"
+#include "auction/single_task/mechanism.hpp"
+#include "auction/multi_task/mechanism.hpp"
+#include "common/table.hpp"
+#include "sim/metrics.hpp"
+
+namespace {
+
+using namespace mcs;
+
+void report_single(const auction::SingleTaskInstance& instance, double alpha, double epsilon) {
+  const auto outcome = auction::single_task::run_mechanism(
+      instance, {.epsilon = epsilon, .alpha = alpha});
+  if (!outcome.allocation.feasible) {
+    std::cout << "INFEASIBLE: no user set reaches the required PoS "
+              << instance.requirement_pos << "\n";
+    return;
+  }
+  common::TextTable table("single-task outcome (social cost " +
+                              common::TextTable::num(outcome.allocation.total_cost, 2) + ")",
+                          {"winner", "cost", "declared PoS", "critical PoS",
+                           "pay on success", "pay on failure"});
+  for (const auto& winner : outcome.rewards) {
+    const auto& bid = instance.bids[static_cast<std::size_t>(winner.user)];
+    table.add_row({std::to_string(winner.user), common::TextTable::num(bid.cost, 3),
+                   common::TextTable::num(bid.pos, 3),
+                   common::TextTable::num(winner.reward.critical_pos, 4),
+                   common::TextTable::num(winner.reward.on_success(), 3),
+                   common::TextTable::num(winner.reward.on_failure(), 3)});
+  }
+  table.print(std::cout);
+  std::cout << "achieved PoS " << common::TextTable::num(
+                   sim::achieved_pos(instance, outcome.allocation.winners), 4)
+            << " (required " << instance.requirement_pos << ")\n";
+}
+
+void report_multi(const auction::MultiTaskInstance& instance, double alpha) {
+  const auto outcome = auction::multi_task::run_mechanism(instance, {.alpha = alpha});
+  if (!outcome.allocation.feasible) {
+    std::cout << "INFEASIBLE: the users cannot cover every task requirement\n";
+    return;
+  }
+  common::TextTable table("multi-task outcome (social cost " +
+                              common::TextTable::num(outcome.allocation.total_cost, 2) + ")",
+                          {"winner", "cost", "tasks", "critical PoS", "pay on success",
+                           "pay on failure"});
+  for (const auto& winner : outcome.rewards) {
+    const auto& bid = instance.users[static_cast<std::size_t>(winner.user)];
+    table.add_row({std::to_string(winner.user), common::TextTable::num(bid.cost, 3),
+                   std::to_string(bid.tasks.size()),
+                   common::TextTable::num(winner.reward.critical_pos, 4),
+                   common::TextTable::num(winner.reward.on_success(), 3),
+                   common::TextTable::num(winner.reward.on_failure(), 3)});
+  }
+  table.print(std::cout);
+  const auto achieved = sim::achieved_pos(instance, outcome.allocation.winners);
+  for (std::size_t j = 0; j < achieved.size(); ++j) {
+    std::cout << "task " << j << ": achieved " << common::TextTable::num(achieved[j], 4)
+              << " (required " << instance.requirement_pos[j] << ")\n";
+  }
+}
+
+int run_file(const std::filesystem::path& path, double alpha, double epsilon) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto kind = auction::detect_instance_kind(buffer.str());
+  std::cout << "== " << path << " (" << (kind.empty() ? "unknown" : kind) << ") ==\n";
+  if (kind == "single") {
+    report_single(auction::single_task_from_text(buffer.str()), alpha, epsilon);
+  } else if (kind == "multi") {
+    report_multi(auction::multi_task_from_text(buffer.str()), alpha);
+  } else {
+    std::cerr << "unrecognized instance header in " << path << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+int demo() {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto single_path = dir / "mcs_demo_single.txt";
+  const auto multi_path = dir / "mcs_demo_multi.txt";
+
+  auction::SingleTaskInstance single;
+  single.requirement_pos = 0.9;
+  single.bids = {{3.0, 0.7}, {2.0, 0.7}, {1.0, 0.5}, {4.0, 0.8}};
+  auction::save_single_task(single_path, single);
+
+  auction::MultiTaskInstance multi;
+  multi.requirement_pos = {0.6, 0.5};
+  multi.users = {
+      {{0}, {0.5}, 2.0},
+      {{1}, {0.4}, 1.5},
+      {{0, 1}, {0.4, 0.3}, 3.0},
+      {{0, 1}, {0.3, 0.4}, 2.5},
+  };
+  auction::save_multi_task(multi_path, multi);
+
+  std::cout << "no arguments: wrote demo instances to " << single_path << " and "
+            << multi_path << "\n\n";
+  int status = run_file(single_path, 10.0, 0.1);
+  std::cout << "\n";
+  status |= run_file(multi_path, 10.0, 0.1);
+  return status;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return demo();
+  }
+  const double alpha = argc > 2 ? std::atof(argv[2]) : 10.0;
+  const double epsilon = argc > 3 ? std::atof(argv[3]) : 0.1;
+  return run_file(argv[1], alpha, epsilon);
+}

@@ -1,0 +1,66 @@
+// Campaign: operating the platform over many time slots.
+//
+// The paper evaluates one auction at a time; a deployed platform (its Fig 1)
+// runs continuously. This example drives the `mcs::platform` layer: taxis
+// move through the city round by round, each round the platform posts the 10
+// most-covered locations as tasks, runs the strategy-proof multi-task
+// auction among 50 bidders, winners execute under GROUND-TRUTH mobility (a
+// task completes only if the taxi's actual move lands on the task cell), and
+// execution-contingent rewards settle against a campaign budget.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "platform/platform.hpp"
+#include "sim/experiment.hpp"
+
+int main() {
+  using namespace mcs;
+
+  sim::WorkloadConfig workload_config = sim::default_bench_workload();
+  workload_config.city.num_taxis = 120;
+  const sim::Workload workload(workload_config);
+
+  platform::CampaignConfig config;
+  config.rounds = 12;
+  config.num_tasks = 10;
+  config.num_bidders = 50;
+  config.pos_requirement = 0.7;
+  config.budget = 6000.0;
+  config.execution = platform::ExecutionModel::kGroundTruthMobility;
+  config.seed = 2017;
+
+  platform::Platform platform(workload.city(), workload.fleet(), config);
+  const auto report = platform.run_campaign();
+
+  common::TextTable table("campaign: 12 rounds, 10 tasks/round, budget 6000",
+                          {"round", "held", "winners", "social cost", "payout", "completed",
+                           "req PoS", "achieved PoS"});
+  for (const auto& round : report.rounds) {
+    table.add_row({std::to_string(round.round), round.held ? "yes" : "no",
+                   std::to_string(round.winners),
+                   common::TextTable::num(round.social_cost, 1),
+                   common::TextTable::num(round.payout, 1),
+                   std::to_string(round.tasks_completed) + "/" +
+                       std::to_string(round.tasks_posted),
+                   common::TextTable::num(round.mean_required_pos, 2),
+                   common::TextTable::num(round.mean_achieved_pos, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "campaign totals: payout " << common::TextTable::num(report.total_payout, 1)
+            << " (budget " << config.budget << "), social cost "
+            << common::TextTable::num(report.total_social_cost, 1) << ", completion rate "
+            << common::TextTable::num(report.completion_rate(), 3) << "\n"
+            << "participation: " << report.wins_by_taxi.size() << " distinct taxis won "
+            << report.total_wins() << " recruitments (concentration HHI "
+            << common::TextTable::num(report.win_concentration(), 3) << ", top winner "
+            << common::TextTable::num(100.0 * report.top_winner_share(), 1) << "%)\n"
+            << "reputation: " << platform.reputation().tracked_users()
+            << " users observed, "
+            << platform.reputation().flagged_overclaimers(2.0, 5).size()
+            << " flagged as over-claimers at 2 sigma (ground-truth execution exposes\n"
+            << " mobility-model over-prediction as systematic under-delivery)\n"
+            << "note: under ground-truth execution the achieved column is the analytic\n"
+            << "PoS implied by DECLARED (learned) probabilities — the realized completion\n"
+            << "rate also absorbs the mobility model's prediction error.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Strategic user: why the execution-contingent reward matters.
+//
+// Reproduces the paper's Section III-A counter-example. Four users bid on a
+// task requiring PoS 0.9. Under our mechanism, user 2 (cost 1, true PoS 0.5)
+// cannot profit from any misreport: inflating her PoS gets her selected but
+// the execution-contingent reward turns her expected utility negative.
+// Under a naive VCG-like payment (which ignores the PoS dimension), the same
+// inflation is strictly profitable — VCG is not strategy-proof here.
+#include <iostream>
+
+#include "auction/single_task/exact.hpp"
+#include "auction/single_task/mechanism.hpp"
+#include "common/table.hpp"
+#include "sim/strategy.hpp"
+
+namespace {
+
+using namespace mcs;
+
+/// Expected utility of `user` under a naive VCG payment when she declares
+/// `declared_pos`: allocation minimizes declared cost subject to declared
+/// PoS; a winner is paid her VCG externality and bears her true cost. The
+/// payment ignores execution, so utility = payment - cost regardless of her
+/// true PoS.
+double vcg_utility(const auction::SingleTaskInstance& truth, auction::UserId user,
+                   double declared_pos) {
+  const auto declared = truth.with_declared_pos(user, declared_pos);
+  const auto with = auction::single_task::solve_exact(declared).allocation;
+  if (!with.feasible || !with.contains(user)) {
+    return 0.0;
+  }
+  const auto without = auction::single_task::solve_exact(declared.without_user(user)).allocation;
+  if (!without.feasible) {
+    return 0.0;  // no externality price exists; treat as no trade
+  }
+  const double others_cost =
+      with.total_cost - truth.bids[static_cast<std::size_t>(user)].cost;
+  const double payment = without.total_cost - others_cost;
+  return payment - truth.bids[static_cast<std::size_t>(user)].cost;
+}
+
+}  // namespace
+
+int main() {
+  // The paper's example: types (cost, PoS).
+  auction::SingleTaskInstance instance;
+  instance.requirement_pos = 0.9;
+  instance.bids = {{3.0, 0.7}, {2.0, 0.7}, {1.0, 0.5}, {4.0, 0.8}};
+  const auction::single_task::MechanismConfig config{.epsilon = 0.1, .alpha = 10.0};
+  const auction::UserId strategic = 2;
+
+  std::cout << "Task requires PoS 0.9; users (cost, PoS): (3,0.7) (2,0.7) (1,0.5) (4,0.8)\n"
+            << "Truthful optimum selects users 0 and 1 (combined PoS 0.91, cost 5).\n\n";
+
+  std::vector<double> grid;
+  for (double p = 0.1; p <= 0.95 + 1e-9; p += 0.1) {
+    grid.push_back(p);
+  }
+  const auto sweep = sim::sweep_declared_pos(instance, strategic, grid, config);
+
+  common::TextTable table("user 2 (cost 1, true PoS 0.5) sweeps her declared PoS",
+                          {"declared PoS", "our mechanism: utility", "naive VCG: utility"});
+  for (const auto& point : sweep) {
+    table.add_row({common::TextTable::num(point.declared, 2),
+                   common::TextTable::num(point.expected_utility, 4),
+                   common::TextTable::num(vcg_utility(instance, strategic, point.declared), 4)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nOur mechanism: every misreport yields utility <= 0 — lying never pays\n"
+            << "(Theorem 1). Naive VCG: declaring PoS ~0.9 displaces the efficient pair\n"
+            << "and earns user 2 a strictly positive utility — the Section III-A failure.\n";
+  return 0;
+}

@@ -1,0 +1,127 @@
+#include "auction/bounds.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+
+namespace mcs::auction {
+
+double lower_bound(const SingleTaskInstance& instance) {
+  instance.validate();
+  const double requirement = instance.requirement_contribution();
+  if (requirement <= 0.0) {
+    return 0.0;
+  }
+  // Density order, fractional final take.
+  std::vector<UserId> order(instance.num_users());
+  std::iota(order.begin(), order.end(), UserId{0});
+  std::sort(order.begin(), order.end(), [&](UserId a, UserId b) {
+    const double da =
+        instance.contribution(a) / instance.bids[static_cast<std::size_t>(a)].cost;
+    const double db =
+        instance.contribution(b) / instance.bids[static_cast<std::size_t>(b)].cost;
+    if (da != db) {
+      return da > db;
+    }
+    return a < b;
+  });
+  double residual = requirement;
+  double bound = 0.0;
+  for (UserId user : order) {
+    const double q = instance.contribution(user);
+    if (q <= 0.0) {
+      continue;
+    }
+    const double cost = instance.bids[static_cast<std::size_t>(user)].cost;
+    if (q >= residual) {
+      return bound + cost * (residual / q);
+    }
+    bound += cost;
+    residual -= q;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+double lower_bound(const MultiTaskInstance& instance) {
+  instance.validate();
+  const auto requirements = instance.requirement_contributions();
+  double total_requirement = 0.0;
+  for (double q : requirements) {
+    total_requirement += q;
+  }
+
+  double best_ratio = 0.0;
+  std::vector<double> best_task_rate(requirements.size(), 0.0);
+  for (const auto& user : instance.users) {
+    double capped = 0.0;
+    for (std::size_t k = 0; k < user.tasks.size(); ++k) {
+      const double q = common::contribution_from_pos(user.pos[k]);
+      const auto task = static_cast<std::size_t>(user.tasks[k]);
+      capped += std::min(q, requirements[task]);
+      best_task_rate[task] = std::max(best_task_rate[task], q / user.cost);
+    }
+    best_ratio = std::max(best_ratio, capped / user.cost);
+  }
+
+  double bound = best_ratio > 0.0 ? total_requirement / best_ratio
+                                  : std::numeric_limits<double>::infinity();
+  for (std::size_t j = 0; j < requirements.size(); ++j) {
+    if (requirements[j] <= 0.0) {
+      continue;
+    }
+    if (best_task_rate[j] <= 0.0) {
+      return std::numeric_limits<double>::infinity();
+    }
+    bound = std::max(bound, requirements[j] / best_task_rate[j]);
+  }
+  return bound;
+}
+
+double gamma(const MultiTaskInstance& instance) {
+  instance.validate();
+  const auto requirements = instance.requirement_contributions();
+  double delta_q = std::numeric_limits<double>::infinity();
+  double largest_capped = 0.0;
+  for (const auto& user : instance.users) {
+    double capped = 0.0;
+    for (std::size_t k = 0; k < user.tasks.size(); ++k) {
+      const double q =
+          std::min(common::contribution_from_pos(user.pos[k]),
+                   requirements[static_cast<std::size_t>(user.tasks[k])]);
+      if (q > 0.0) {
+        delta_q = std::min(delta_q, q);
+        capped += q;
+      }
+    }
+    largest_capped = std::max(largest_capped, capped);
+  }
+  if (largest_capped <= 0.0) {
+    return 0.0;
+  }
+  return largest_capped / delta_q;
+}
+
+double harmonic_bound(const MultiTaskInstance& instance) {
+  return common::harmonic_real(gamma(instance));
+}
+
+double certified_ratio(const SingleTaskInstance& instance, const Allocation& allocation) {
+  MCS_EXPECTS(allocation.feasible, "certificates require a feasible allocation");
+  const double bound = lower_bound(instance);
+  MCS_EXPECTS(bound > 0.0 && bound < std::numeric_limits<double>::infinity(),
+              "instance has no positive finite lower bound");
+  return allocation.total_cost / bound;
+}
+
+double certified_ratio(const MultiTaskInstance& instance, const Allocation& allocation) {
+  MCS_EXPECTS(allocation.feasible, "certificates require a feasible allocation");
+  const double bound = lower_bound(instance);
+  MCS_EXPECTS(bound > 0.0 && bound < std::numeric_limits<double>::infinity(),
+              "instance has no positive finite lower bound");
+  return allocation.total_cost / bound;
+}
+
+}  // namespace mcs::auction

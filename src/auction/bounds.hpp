@@ -1,0 +1,47 @@
+// Approximation-bound certificates: the paper's guarantees as computable
+// quantities, so any run can check its own optimality gap.
+//
+//   * Theorem 2: the FPTAS is a (1+ε)-approximation of the optimal single-
+//     task social cost.
+//   * Min-Greedy (paper's baseline [21]): a 2-approximation.
+//   * Theorem 5: the multi-task greedy is an H(γ)-approximation, with
+//     γ = max_i (1/Δq)·Σ_{j∈S_i} min{Q_j, q_i^j} for a contribution unit Δq.
+//
+// `gamma()` evaluates γ with the smallest positive per-task capped
+// contribution as Δq — the largest (loosest) γ consistent with the instance,
+// hence a sound upper bound; `harmonic_bound()` turns it into the H(γ)
+// factor. A lower bound on the optimum (LP relaxation for the single task,
+// max of the ratio/per-task bounds for multi-task — the same bounds the
+// exact solvers prune with) certifies realized ratios without solving to
+// optimality.
+#pragma once
+
+#include "auction/instance.hpp"
+
+namespace mcs::auction {
+
+/// Fractional (LP-relaxation) lower bound on the optimal single-task social
+/// cost: fill the contribution requirement greedily by density, taking the
+/// final user fractionally. Returns +infinity for infeasible instances.
+double lower_bound(const SingleTaskInstance& instance);
+
+/// Lower bound on the optimal multi-task social cost: the larger of
+///   (total residual requirement) / (best capped contribution-cost ratio)
+/// and  max_j requirement_j / (best per-task rate q_i^j / c_i).
+/// Returns +infinity when some task is uncoverable.
+double lower_bound(const MultiTaskInstance& instance);
+
+/// γ of Theorem 5, evaluated with Δq = the smallest positive capped per-task
+/// contribution in the instance. Returns 0 when no user contributes.
+double gamma(const MultiTaskInstance& instance);
+
+/// H(γ) — the multi-task greedy's approximation factor for this instance.
+double harmonic_bound(const MultiTaskInstance& instance);
+
+/// Certificate for a realized allocation: cost / lower_bound, a sound upper
+/// bound on its true approximation ratio. Requires a feasible allocation on
+/// a feasible instance.
+double certified_ratio(const SingleTaskInstance& instance, const Allocation& allocation);
+double certified_ratio(const MultiTaskInstance& instance, const Allocation& allocation);
+
+}  // namespace mcs::auction

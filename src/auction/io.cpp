@@ -1,0 +1,250 @@
+#include "auction/io.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace mcs::auction {
+
+namespace {
+
+constexpr const char* kSingleHeader = "mcs-single-task-v1";
+constexpr const char* kMultiHeader = "mcs-multi-task-v1";
+
+std::string format_double(double value) {
+  char buffer[64];
+  // %.17g is the shortest precision that round-trips every double exactly.
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+[[noreturn]] void fail(std::size_t line_number, const std::string& message) {
+  throw common::PreconditionError("instance text, line " + std::to_string(line_number) + ": " +
+                                  message);
+}
+
+/// Splits the text into (line number, tokens) records, dropping comments and
+/// blank lines.
+std::vector<std::pair<std::size_t, std::vector<std::string>>> tokenize(
+    const std::string& text) {
+  std::vector<std::pair<std::size_t, std::vector<std::string>>> records;
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const auto comment = line.find('#');
+    if (comment != std::string::npos) {
+      line.resize(comment);
+    }
+    std::istringstream fields(line);
+    std::vector<std::string> tokens;
+    std::string token;
+    while (fields >> token) {
+      tokens.push_back(std::move(token));
+    }
+    if (!tokens.empty()) {
+      records.emplace_back(line_number, std::move(tokens));
+    }
+  }
+  return records;
+}
+
+double parse_double(const std::string& token, std::size_t line_number) {
+  double value{};
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    fail(line_number, "malformed number '" + token + "'");
+  }
+  return value;
+}
+
+std::size_t parse_size(const std::string& token, std::size_t line_number) {
+  std::size_t value{};
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    fail(line_number, "malformed count '" + token + "'");
+  }
+  return value;
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open instance file for reading: " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::filesystem::path& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("cannot open instance file for writing: " + path.string());
+  }
+  out << text;
+  if (!out) {
+    throw std::runtime_error("failed writing instance file: " + path.string());
+  }
+}
+
+}  // namespace
+
+std::string to_text(const SingleTaskInstance& instance) {
+  std::ostringstream out;
+  out << kSingleHeader << "\n";
+  out << "requirement " << format_double(instance.requirement_pos) << "\n";
+  for (const auto& bid : instance.bids) {
+    out << "user " << format_double(bid.cost) << ' ' << format_double(bid.pos) << "\n";
+  }
+  return out.str();
+}
+
+std::string to_text(const MultiTaskInstance& instance) {
+  std::ostringstream out;
+  out << kMultiHeader << "\n";
+  out << "tasks " << instance.num_tasks() << "\n";
+  for (std::size_t j = 0; j < instance.num_tasks(); ++j) {
+    out << "requirement " << j << ' ' << format_double(instance.requirement_pos[j]) << "\n";
+  }
+  for (const auto& user : instance.users) {
+    out << "user " << format_double(user.cost) << ' ' << user.tasks.size();
+    for (std::size_t k = 0; k < user.tasks.size(); ++k) {
+      out << ' ' << user.tasks[k] << ':' << format_double(user.pos[k]);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+SingleTaskInstance single_task_from_text(const std::string& text) {
+  const auto records = tokenize(text);
+  MCS_EXPECTS(!records.empty() && records.front().second.size() == 1 &&
+                  records.front().second.front() == kSingleHeader,
+              "missing mcs-single-task-v1 header");
+  SingleTaskInstance instance;
+  bool have_requirement = false;
+  for (std::size_t r = 1; r < records.size(); ++r) {
+    const auto& [line_number, tokens] = records[r];
+    if (tokens.front() == "requirement") {
+      if (tokens.size() != 2 || have_requirement) {
+        fail(line_number, "expected exactly one 'requirement <pos>' line");
+      }
+      instance.requirement_pos = parse_double(tokens[1], line_number);
+      have_requirement = true;
+    } else if (tokens.front() == "user") {
+      if (tokens.size() != 3) {
+        fail(line_number, "expected 'user <cost> <pos>'");
+      }
+      instance.bids.push_back(
+          {parse_double(tokens[1], line_number), parse_double(tokens[2], line_number)});
+    } else {
+      fail(line_number, "unknown directive '" + tokens.front() + "'");
+    }
+  }
+  MCS_EXPECTS(have_requirement, "instance is missing its requirement line");
+  instance.validate();
+  return instance;
+}
+
+MultiTaskInstance multi_task_from_text(const std::string& text) {
+  const auto records = tokenize(text);
+  MCS_EXPECTS(!records.empty() && records.front().second.size() == 1 &&
+                  records.front().second.front() == kMultiHeader,
+              "missing mcs-multi-task-v1 header");
+  MultiTaskInstance instance;
+  bool have_tasks = false;
+  for (std::size_t r = 1; r < records.size(); ++r) {
+    const auto& [line_number, tokens] = records[r];
+    if (tokens.front() == "tasks") {
+      if (tokens.size() != 2 || have_tasks) {
+        fail(line_number, "expected exactly one 'tasks <count>' line before anything else");
+      }
+      instance.requirement_pos.assign(parse_size(tokens[1], line_number), 0.0);
+      have_tasks = true;
+    } else if (tokens.front() == "requirement") {
+      if (!have_tasks) {
+        fail(line_number, "'tasks <count>' must come before requirements");
+      }
+      if (tokens.size() != 3) {
+        fail(line_number, "expected 'requirement <task> <pos>'");
+      }
+      const std::size_t task = parse_size(tokens[1], line_number);
+      if (task >= instance.num_tasks()) {
+        fail(line_number, "task index out of range");
+      }
+      instance.requirement_pos[task] = parse_double(tokens[2], line_number);
+    } else if (tokens.front() == "user") {
+      if (!have_tasks) {
+        fail(line_number, "'tasks <count>' must come before users");
+      }
+      if (tokens.size() < 3) {
+        fail(line_number, "expected 'user <cost> <count> <task:pos>...'");
+      }
+      MultiTaskUserBid bid;
+      bid.cost = parse_double(tokens[1], line_number);
+      const std::size_t count = parse_size(tokens[2], line_number);
+      if (tokens.size() != 3 + count) {
+        fail(line_number, "task:pos pair count does not match the declared count");
+      }
+      for (std::size_t k = 0; k < count; ++k) {
+        const auto& pair = tokens[3 + k];
+        const auto colon = pair.find(':');
+        if (colon == std::string::npos) {
+          fail(line_number, "expected task:pos, got '" + pair + "'");
+        }
+        bid.tasks.push_back(
+            static_cast<TaskIndex>(parse_size(pair.substr(0, colon), line_number)));
+        bid.pos.push_back(parse_double(pair.substr(colon + 1), line_number));
+      }
+      instance.users.push_back(std::move(bid));
+    } else {
+      fail(line_number, "unknown directive '" + tokens.front() + "'");
+    }
+  }
+  MCS_EXPECTS(have_tasks, "instance is missing its tasks line");
+  instance.validate();
+  return instance;
+}
+
+void save_single_task(const std::filesystem::path& path, const SingleTaskInstance& instance) {
+  write_file(path, to_text(instance));
+}
+
+void save_multi_task(const std::filesystem::path& path, const MultiTaskInstance& instance) {
+  write_file(path, to_text(instance));
+}
+
+SingleTaskInstance load_single_task(const std::filesystem::path& path) {
+  return single_task_from_text(read_file(path));
+}
+
+MultiTaskInstance load_multi_task(const std::filesystem::path& path) {
+  return multi_task_from_text(read_file(path));
+}
+
+std::string detect_instance_kind(const std::string& text) {
+  const auto records = tokenize(text);
+  if (records.empty() || records.front().second.size() != 1) {
+    return "";
+  }
+  const auto& header = records.front().second.front();
+  if (header == kSingleHeader) {
+    return "single";
+  }
+  if (header == kMultiHeader) {
+    return "multi";
+  }
+  return "";
+}
+
+}  // namespace mcs::auction

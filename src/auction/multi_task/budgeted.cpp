@@ -1,0 +1,110 @@
+#include "auction/multi_task/budgeted.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+
+namespace mcs::auction::multi_task {
+
+namespace {
+
+constexpr double kResidualFloor = 1e-12;
+
+/// Σ_j min{q_i^j, Q̄_j} against the current residual caps.
+double marginal_gain(const MultiTaskUserBid& bid, const std::vector<double>& residual) {
+  double total = 0.0;
+  for (std::size_t k = 0; k < bid.tasks.size(); ++k) {
+    const auto task = static_cast<std::size_t>(bid.tasks[k]);
+    if (residual[task] <= kResidualFloor) {
+      continue;
+    }
+    total += std::min(common::contribution_from_pos(bid.pos[k]), residual[task]);
+  }
+  return total;
+}
+
+}  // namespace
+
+BudgetedCoverage max_coverage_for_budget(const MultiTaskInstance& instance, double budget) {
+  instance.validate();
+  MCS_EXPECTS(budget > 0.0, "budget must be positive");
+  const auto requirements = instance.requirement_contributions();
+
+  // Cost-benefit greedy under the budget.
+  std::vector<double> residual = requirements;
+  std::vector<bool> selected(instance.num_users(), false);
+  std::vector<UserId> greedy_set;
+  double greedy_cost = 0.0;
+  double greedy_value = 0.0;
+  while (true) {
+    UserId best = -1;
+    double best_ratio = 0.0;
+    double best_gain = 0.0;
+    for (std::size_t i = 0; i < instance.num_users(); ++i) {
+      if (selected[i] || greedy_cost + instance.users[i].cost > budget) {
+        continue;
+      }
+      const double gain = marginal_gain(instance.users[i], residual);
+      if (gain <= 0.0) {
+        continue;
+      }
+      const double ratio = gain / instance.users[i].cost;
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best_gain = gain;
+        best = static_cast<UserId>(i);
+      }
+    }
+    if (best < 0) {
+      break;
+    }
+    selected[static_cast<std::size_t>(best)] = true;
+    greedy_set.push_back(best);
+    greedy_cost += instance.users[static_cast<std::size_t>(best)].cost;
+    greedy_value += best_gain;
+    const auto& bid = instance.users[static_cast<std::size_t>(best)];
+    for (std::size_t k = 0; k < bid.tasks.size(); ++k) {
+      const auto task = static_cast<std::size_t>(bid.tasks[k]);
+      residual[task] =
+          std::max(0.0, residual[task] - common::contribution_from_pos(bid.pos[k]));
+    }
+  }
+
+  // The best single affordable user (the KMN safeguard against a greedy run
+  // that burns the budget on cheap low-value picks).
+  UserId best_single = -1;
+  double best_single_value = 0.0;
+  for (std::size_t i = 0; i < instance.num_users(); ++i) {
+    if (instance.users[i].cost > budget) {
+      continue;
+    }
+    const double value = marginal_gain(instance.users[i], requirements);
+    if (value > best_single_value) {
+      best_single_value = value;
+      best_single = static_cast<UserId>(i);
+    }
+  }
+
+  BudgetedCoverage result;
+  result.allocation.feasible = true;  // the empty selection is always valid
+  if (best_single >= 0 && best_single_value > greedy_value) {
+    result.allocation.winners = {best_single};
+    result.covered_contribution = best_single_value;
+  } else {
+    result.allocation.winners = std::move(greedy_set);
+    result.covered_contribution = greedy_value;
+  }
+  std::sort(result.allocation.winners.begin(), result.allocation.winners.end());
+  result.allocation.total_cost = instance.cost_of(result.allocation.winners);
+  MCS_ENSURES(result.allocation.total_cost <= budget + 1e-9,
+              "budgeted selection exceeded the budget");
+  result.achieved_pos.reserve(instance.num_tasks());
+  for (std::size_t j = 0; j < instance.num_tasks(); ++j) {
+    result.achieved_pos.push_back(
+        instance.achieved_pos(result.allocation.winners, static_cast<TaskIndex>(j)));
+  }
+  return result;
+}
+
+}  // namespace mcs::auction::multi_task

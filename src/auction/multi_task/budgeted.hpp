@@ -1,0 +1,30 @@
+// Budgeted multi-task coverage — the dual of Algorithm 4's minimization:
+// with a fixed recruitment budget, maximize the total (requirement-capped)
+// contribution across tasks. The coverage function is monotone submodular,
+// so the classic budgeted-maximization recipe applies (Khuller–Moss–Naor):
+// run the cost-benefit greedy under the budget, also evaluate the best
+// single affordable user, and keep the better of the two — a constant-factor
+// ((1−1/e)/2) approximation. This is the platform's tool when the budget,
+// not the per-task assurance, is the binding constraint.
+#pragma once
+
+#include "auction/instance.hpp"
+
+namespace mcs::auction::multi_task {
+
+struct BudgetedCoverage {
+  /// Selected users (ascending) and their true total cost (<= budget).
+  Allocation allocation;
+  /// Σ_j min{Q_j, achieved contribution on j} — the objective value.
+  double covered_contribution = 0.0;
+  /// Per-task achieved PoS under the selection.
+  std::vector<double> achieved_pos;
+};
+
+/// Maximizes the requirement-capped total contribution subject to total cost
+/// <= budget. The instance's requirement_pos define the per-task caps Q_j
+/// (coverage beyond a task's requirement earns nothing). Requires a valid
+/// instance and budget > 0.
+BudgetedCoverage max_coverage_for_budget(const MultiTaskInstance& instance, double budget);
+
+}  // namespace mcs::auction::multi_task

@@ -1,0 +1,196 @@
+#include "auction/multi_task/exact.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "auction/multi_task/greedy.hpp"
+#include "common/check.hpp"
+#include "common/math.hpp"
+
+namespace mcs::auction::multi_task {
+
+namespace {
+
+constexpr double kResidualFloor = 1e-12;
+
+struct SearchUser {
+  UserId user = 0;
+  double cost = 0.0;
+  double capped_total = 0.0;                         ///< Σ_j min{q_i^j, Q_j}
+  std::vector<std::pair<std::size_t, double>> gives;  ///< (task, q_i^j)
+};
+
+class BranchAndBound {
+ public:
+  BranchAndBound(std::vector<SearchUser> users, std::vector<double> requirements,
+                 std::size_t node_budget)
+      : users_(std::move(users)),
+        requirements_(std::move(requirements)),
+        node_budget_(node_budget) {
+    build_suffix_tables();
+  }
+
+  void seed_incumbent(double cost, std::vector<UserId> winners) {
+    best_cost_ = cost;
+    best_set_ = std::move(winners);
+  }
+
+  void run() {
+    std::vector<double> residual = requirements_;
+    search(0, 0.0, residual);
+  }
+
+  const std::vector<UserId>& best_set() const { return best_set_; }
+  bool proven_optimal() const { return nodes_ < node_budget_; }
+  std::size_t nodes() const { return nodes_; }
+
+ private:
+  void build_suffix_tables() {
+    const std::size_t n = users_.size();
+    const std::size_t t = requirements_.size();
+    // suffix_cover_[k][j]: total contribution users k..n-1 can put on task j.
+    // suffix_task_rate_[k][j]: best q_i^j / c_i among users k..n-1.
+    // suffix_ratio_[k]: best capped_total / c_i among users k..n-1.
+    suffix_cover_.assign(n + 1, std::vector<double>(t, 0.0));
+    suffix_task_rate_.assign(n + 1, std::vector<double>(t, 0.0));
+    suffix_ratio_.assign(n + 1, 0.0);
+    for (std::size_t k = n; k-- > 0;) {
+      suffix_cover_[k] = suffix_cover_[k + 1];
+      suffix_task_rate_[k] = suffix_task_rate_[k + 1];
+      suffix_ratio_[k] = std::max(suffix_ratio_[k + 1], users_[k].capped_total / users_[k].cost);
+      for (const auto& [task, q] : users_[k].gives) {
+        suffix_cover_[k][task] += q;
+        suffix_task_rate_[k][task] = std::max(suffix_task_rate_[k][task], q / users_[k].cost);
+      }
+    }
+  }
+
+  /// Lower bound on the extra cost needed to close `residual` with users
+  /// k..n-1; +infinity when some task is no longer coverable.
+  double bound(std::size_t k, const std::vector<double>& residual) const {
+    double total_residual = 0.0;
+    double per_task_bound = 0.0;
+    for (std::size_t j = 0; j < residual.size(); ++j) {
+      if (residual[j] <= kResidualFloor) {
+        continue;
+      }
+      if (!common::approx_ge(suffix_cover_[k][j], residual[j])) {
+        return std::numeric_limits<double>::infinity();
+      }
+      total_residual += residual[j];
+      per_task_bound = std::max(per_task_bound, residual[j] / suffix_task_rate_[k][j]);
+    }
+    if (total_residual <= 0.0) {
+      return 0.0;
+    }
+    const double ratio_bound = total_residual / suffix_ratio_[k];
+    return std::max(ratio_bound, per_task_bound);
+  }
+
+  void search(std::size_t index, double cost, std::vector<double>& residual) {
+    if (nodes_ >= node_budget_) {
+      return;
+    }
+    ++nodes_;
+    const bool satisfied = std::none_of(residual.begin(), residual.end(),
+                                        [](double r) { return r > kResidualFloor; });
+    if (satisfied) {
+      if (cost < best_cost_) {
+        best_cost_ = cost;
+        best_set_ = current_;
+      }
+      return;
+    }
+    if (index >= users_.size()) {
+      return;
+    }
+    const double extra = bound(index, residual);
+    if (cost + extra >= best_cost_) {
+      return;
+    }
+
+    // Include users_[index].
+    const auto& user = users_[index];
+    std::vector<std::pair<std::size_t, double>> undo;
+    undo.reserve(user.gives.size());
+    for (const auto& [task, q] : user.gives) {
+      undo.emplace_back(task, residual[task]);
+      residual[task] = std::max(0.0, residual[task] - q);
+    }
+    current_.push_back(user.user);
+    search(index + 1, cost + user.cost, residual);
+    current_.pop_back();
+    for (const auto& [task, value] : undo) {
+      residual[task] = value;
+    }
+
+    // Exclude users_[index].
+    search(index + 1, cost, residual);
+  }
+
+  std::vector<SearchUser> users_;
+  std::vector<double> requirements_;
+  std::size_t node_budget_;
+  std::vector<std::vector<double>> suffix_cover_;
+  std::vector<std::vector<double>> suffix_task_rate_;
+  std::vector<double> suffix_ratio_;
+  std::size_t nodes_ = 0;
+  double best_cost_ = std::numeric_limits<double>::infinity();
+  std::vector<UserId> best_set_;
+  std::vector<UserId> current_;
+};
+
+}  // namespace
+
+ExactResult solve_exact(const MultiTaskInstance& instance, const ExactOptions& options) {
+  instance.validate();
+  ExactResult result;
+  const auto greedy = solve_greedy(instance);
+  if (!greedy.allocation.feasible) {
+    return result;  // greedy stalls only on infeasible instances
+  }
+
+  const auto requirements = instance.requirement_contributions();
+  std::vector<SearchUser> users;
+  users.reserve(instance.num_users());
+  for (std::size_t i = 0; i < instance.num_users(); ++i) {
+    const auto& bid = instance.users[i];
+    SearchUser entry;
+    entry.user = static_cast<UserId>(i);
+    entry.cost = bid.cost;
+    for (std::size_t k = 0; k < bid.tasks.size(); ++k) {
+      const double q = common::contribution_from_pos(bid.pos[k]);
+      if (q <= 0.0) {
+        continue;
+      }
+      const auto task = static_cast<std::size_t>(bid.tasks[k]);
+      entry.gives.emplace_back(task, q);
+      entry.capped_total += std::min(q, requirements[task]);
+    }
+    if (!entry.gives.empty()) {
+      users.push_back(std::move(entry));
+    }
+  }
+  std::sort(users.begin(), users.end(), [](const SearchUser& a, const SearchUser& b) {
+    const double da = a.capped_total / a.cost;
+    const double db = b.capped_total / b.cost;
+    if (da != db) {
+      return da > db;
+    }
+    return a.user < b.user;
+  });
+
+  BranchAndBound solver(std::move(users), requirements, options.node_budget);
+  solver.seed_incumbent(greedy.allocation.total_cost, greedy.allocation.winners);
+  solver.run();
+
+  result.allocation.feasible = true;
+  result.allocation.winners = solver.best_set();
+  std::sort(result.allocation.winners.begin(), result.allocation.winners.end());
+  result.allocation.total_cost = instance.cost_of(result.allocation.winners);
+  result.proven_optimal = solver.proven_optimal();
+  result.nodes_explored = solver.nodes();
+  return result;
+}
+
+}  // namespace mcs::auction::multi_task

@@ -1,0 +1,81 @@
+#include "auction/multi_task/greedy.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+
+namespace mcs::auction::multi_task {
+
+namespace {
+
+/// Residuals below this absolute floor count as satisfied; guards against a
+/// requirement lingering at ~1e-16 after exact-looking subtractions.
+constexpr double kResidualFloor = 1e-12;
+
+double effective_contribution(const MultiTaskUserBid& bid, const std::vector<double>& residual) {
+  double total = 0.0;
+  for (std::size_t k = 0; k < bid.tasks.size(); ++k) {
+    const auto task = static_cast<std::size_t>(bid.tasks[k]);
+    if (residual[task] <= kResidualFloor) {
+      continue;
+    }
+    total += std::min(common::contribution_from_pos(bid.pos[k]), residual[task]);
+  }
+  return total;
+}
+
+bool any_residual(const std::vector<double>& residual) {
+  return std::any_of(residual.begin(), residual.end(),
+                     [](double r) { return r > kResidualFloor; });
+}
+
+}  // namespace
+
+GreedyResult solve_greedy(const MultiTaskInstance& instance) {
+  instance.validate();
+  GreedyResult result;
+  std::vector<double> residual = instance.requirement_contributions();
+  std::vector<bool> selected(instance.num_users(), false);
+
+  while (any_residual(residual)) {
+    UserId best = -1;
+    double best_ratio = 0.0;
+    double best_effective = 0.0;
+    for (std::size_t i = 0; i < instance.num_users(); ++i) {
+      if (selected[i]) {
+        continue;
+      }
+      const double effective = effective_contribution(instance.users[i], residual);
+      if (effective <= 0.0) {
+        continue;
+      }
+      const double ratio = effective / instance.users[i].cost;
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best_effective = effective;
+        best = static_cast<UserId>(i);
+      }
+    }
+    if (best < 0) {
+      // Stalled with unmet requirements: infeasible instance.
+      return GreedyResult{};
+    }
+    result.steps.push_back({best, best_effective, best_ratio, residual});
+    selected[static_cast<std::size_t>(best)] = true;
+    result.allocation.winners.push_back(best);
+    const auto& bid = instance.users[static_cast<std::size_t>(best)];
+    for (std::size_t k = 0; k < bid.tasks.size(); ++k) {
+      const auto task = static_cast<std::size_t>(bid.tasks[k]);
+      residual[task] =
+          std::max(0.0, residual[task] - common::contribution_from_pos(bid.pos[k]));
+    }
+  }
+
+  result.allocation.feasible = true;
+  std::sort(result.allocation.winners.begin(), result.allocation.winners.end());
+  result.allocation.total_cost = instance.cost_of(result.allocation.winners);
+  return result;
+}
+
+}  // namespace mcs::auction::multi_task

@@ -1,0 +1,43 @@
+// Algorithm 4 of the paper: greedy winner determination for the multi-task
+// single-minded setting. The residual requirements Q̄_j define a submodular
+// coverage function; the algorithm repeatedly selects the user maximizing the
+// contribution-cost ratio
+//     ( Σ_{j∈S_i} min{q_i^j, Q̄_j} ) / c_i
+// and deducts her contributions, until every requirement is met. Guarantees
+// (Theorems 4-6, Lemma 2): H(γ)-approximation, monotone in declared
+// contributions, O(n²t) time.
+//
+// The iteration log (who was picked, at what ratio, against which residuals)
+// is exposed because the reward scheme (Algorithm 5) replays it.
+#pragma once
+
+#include <vector>
+
+#include "auction/instance.hpp"
+
+namespace mcs::auction::multi_task {
+
+/// One iteration of the greedy loop.
+struct GreedyStep {
+  UserId selected = 0;
+  /// The selected user's effective (residual-capped) total contribution at
+  /// the start of the iteration: Σ_j min{q_i^j, Q̄_j}.
+  double effective_contribution = 0.0;
+  /// Her contribution-cost ratio at that point.
+  double ratio = 0.0;
+  /// Residual requirements Q̄ at the start of the iteration.
+  std::vector<double> residual_before;
+};
+
+struct GreedyResult {
+  Allocation allocation;
+  std::vector<GreedyStep> steps;  ///< selection order; empty when infeasible
+};
+
+/// Runs Algorithm 4. Returns an infeasible Allocation when the loop stalls
+/// with unmet requirements (no remaining user adds positive contribution).
+/// Ties on the ratio break toward the lower user id. The instance must be
+/// valid.
+GreedyResult solve_greedy(const MultiTaskInstance& instance);
+
+}  // namespace mcs::auction::multi_task

@@ -1,0 +1,26 @@
+#include "auction/multi_task/mechanism.hpp"
+
+#include "auction/multi_task/greedy.hpp"
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+
+namespace mcs::auction::multi_task {
+
+MechanismOutcome run_mechanism(const MultiTaskInstance& instance, const MechanismConfig& config) {
+  MCS_EXPECTS(config.alpha > 0.0, "reward scaling factor must be positive");
+
+  MechanismOutcome outcome;
+  outcome.allocation = solve_greedy(instance).allocation;
+  if (!outcome.allocation.feasible) {
+    return outcome;
+  }
+  const RewardOptions reward_options{.alpha = config.alpha, .rule = config.critical_bid_rule};
+  const auto& winners = outcome.allocation.winners;
+  outcome.rewards = common::parallel_map<WinnerReward>(
+      winners.size(),
+      [&](std::size_t index) { return compute_reward(instance, winners[index], reward_options); },
+      config.parallel_rewards ? common::default_worker_count() : 1);
+  return outcome;
+}
+
+}  // namespace mcs::auction::multi_task

@@ -1,0 +1,28 @@
+// Facade of the complete multi-task single-minded mechanism M = (A, R):
+// greedy winner determination (Algorithm 4) plus the per-iteration
+// critical-bid execution-contingent reward scheme (Algorithm 5). A winner is
+// paid reward.on_success() when she completes ANY task from her set and
+// reward.on_failure() when she completes none (the single-minded EC rule of
+// Section III-C).
+#pragma once
+
+#include "auction/multi_task/reward.hpp"
+
+namespace mcs::auction::multi_task {
+
+struct MechanismConfig {
+  double alpha = 10.0;  ///< reward scaling factor (paper Table II)
+  /// Critical-bid rule; kBinarySearch is strategy-proof, kPaperIterationMin
+  /// reproduces the paper's Algorithm 5 literally (see reward.hpp).
+  CriticalBidRule critical_bid_rule = CriticalBidRule::kBinarySearch;
+  /// Compute the winners' critical bids on multiple threads (bit-identical
+  /// to the serial path; each bid is independent).
+  bool parallel_rewards = true;
+};
+
+/// Runs the full strategy-proof multi-task mechanism. For infeasible
+/// instances the allocation is infeasible and no rewards are issued.
+MechanismOutcome run_mechanism(const MultiTaskInstance& instance,
+                               const MechanismConfig& config = {});
+
+}  // namespace mcs::auction::multi_task

@@ -1,0 +1,104 @@
+#include "auction/multi_task/reward.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "auction/multi_task/greedy.hpp"
+#include "common/check.hpp"
+#include "common/math.hpp"
+
+namespace mcs::auction::multi_task {
+
+namespace {
+
+bool wins_with_total_contribution(const MultiTaskInstance& instance, UserId user,
+                                  double declared_total) {
+  const auto result =
+      solve_greedy(instance.with_declared_total_contribution(user, declared_total));
+  return result.allocation.feasible && result.allocation.contains(user);
+}
+
+/// The paper's Algorithm 5: minimum over the without-i iterations of the
+/// contribution needed to beat that iteration's winner ratio.
+double iteration_min_critical(const MultiTaskInstance& instance, UserId winner) {
+  const double cost_i = instance.users[static_cast<std::size_t>(winner)].cost;
+  const auto without = solve_greedy(instance.without_user(winner));
+  if (!without.allocation.feasible) {
+    // Winner is pivotal: with any positive declaration the greedy loop must
+    // eventually select her, so her critical contribution vanishes.
+    return 0.0;
+  }
+  // Ids in the reduced instance at or above `winner` are shifted down by one.
+  const auto original_id = [&](UserId reduced) {
+    return reduced >= winner ? reduced + 1 : reduced;
+  };
+  double critical = std::numeric_limits<double>::infinity();
+  for (const auto& step : without.steps) {
+    const UserId k = original_id(step.selected);
+    const double cost_k = instance.users[static_cast<std::size_t>(k)].cost;
+    // Σ_j min{Q̄_j, q_k^j} is recorded as the step's effective contribution;
+    // beating user k's ratio requires contribution >= c_i/c_k times it.
+    critical = std::min(critical, (cost_i / cost_k) * step.effective_contribution);
+  }
+  MCS_ENSURES(critical < std::numeric_limits<double>::infinity(),
+              "a feasible without-i run must have at least one iteration");
+  return critical;
+}
+
+/// Myerson-style rule: binary search for the smallest total declared
+/// contribution (along the winner's own task-PoS direction) that still wins.
+double binary_search_critical(const MultiTaskInstance& instance, UserId winner,
+                              int iterations) {
+  if (!solve_greedy(instance.without_user(winner)).allocation.feasible) {
+    return 0.0;  // pivotal, as above
+  }
+  const double declared = instance.users[static_cast<std::size_t>(winner)].total_contribution();
+  MCS_EXPECTS(wins_with_total_contribution(instance, winner, declared),
+              "the binary-search critical bid is only defined for winners");
+  if (wins_with_total_contribution(instance, winner, 0.0)) {
+    return 0.0;
+  }
+  // Monotonicity (Lemma 2): wins(q) is a step function. Invariant: loses at
+  // lo, wins at hi.
+  double lo = 0.0;
+  double hi = declared;
+  for (int iter = 0; iter < iterations; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (wins_with_total_contribution(instance, winner, mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace
+
+double critical_contribution(const MultiTaskInstance& instance, UserId winner,
+                             const RewardOptions& options) {
+  MCS_EXPECTS(winner >= 0 && static_cast<std::size_t>(winner) < instance.num_users(),
+              "user id out of range");
+  MCS_EXPECTS(options.binary_search_iterations > 0, "need at least one bisection step");
+  switch (options.rule) {
+    case CriticalBidRule::kPaperIterationMin:
+      return iteration_min_critical(instance, winner);
+    case CriticalBidRule::kBinarySearch:
+      return binary_search_critical(instance, winner, options.binary_search_iterations);
+  }
+  throw common::PreconditionError("unknown critical-bid rule");
+}
+
+WinnerReward compute_reward(const MultiTaskInstance& instance, UserId winner,
+                            const RewardOptions& options) {
+  MCS_EXPECTS(options.alpha > 0.0, "reward scaling factor must be positive");
+  WinnerReward result;
+  result.user = winner;
+  result.critical_contribution = critical_contribution(instance, winner, options);
+  result.reward.critical_pos = common::pos_from_contribution(result.critical_contribution);
+  result.reward.cost = instance.users[static_cast<std::size_t>(winner)].cost;
+  result.reward.alpha = options.alpha;
+  return result;
+}
+
+}  // namespace mcs::auction::multi_task

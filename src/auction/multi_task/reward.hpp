@@ -1,0 +1,55 @@
+// Algorithm 5 of the paper: the reward scheme of the multi-task single-minded
+// mechanism. For a winner i, the allocation algorithm is re-run without her;
+// in each iteration (residuals Q̄, selected user k) the contribution i would
+// have needed to beat k's ratio is (c_i / c_k)·Σ_j min{Q̄_j, q_k^j}. The
+// minimum over all iterations is her critical contribution q̄_i, the critical
+// PoS is p̄_i = 1 - e^{-q̄_i}, and the execution-contingent reward pays
+//     any task completed: (1 - p̄_i)·α + c_i,   none completed: -p̄_i·α + c_i,
+// giving expected utility (e^{-q̄_i} - e^{-Σ_j q_i^j})·α (Theorem 4).
+//
+// REPRODUCTION FINDING (see DESIGN.md §4 and tests/mt_reward_test.cpp): the
+// paper's iteration-minimum UNDERSTATES the true win threshold — the
+// without-i run keeps iterating past the point where the with-i run would
+// have stopped, and those extra iterations have lower ratio bars. A loser
+// whose total contribution exceeds that understated q̄ profits from inflating
+// her declaration, breaking incentive compatibility. We therefore default to
+// the Myerson-style rule: binary search (valid by Lemma 2's monotonicity)
+// for the minimum total declared contribution with which the user actually
+// wins, exactly as the single-task mechanism does. The paper-literal rule
+// stays available for comparison.
+//
+// When the without-i run stalls (i is pivotal for feasibility) she would be
+// selected eventually at any positive declaration, so her critical
+// contribution is 0 under both rules.
+#pragma once
+
+#include "auction/instance.hpp"
+
+namespace mcs::auction::multi_task {
+
+/// How a winner's critical contribution is computed.
+enum class CriticalBidRule {
+  /// Binary search for the true win threshold (strategy-proof; default).
+  kBinarySearch,
+  /// The paper's Algorithm 5 iteration minimum (kept for reproduction).
+  kPaperIterationMin,
+};
+
+struct RewardOptions {
+  double alpha = 10.0;  ///< reward scaling factor α (paper Table II)
+  CriticalBidRule rule = CriticalBidRule::kBinarySearch;
+  int binary_search_iterations = 48;  ///< ~1e-14 relative precision on q̄
+};
+
+/// Critical contribution q̄_i of `winner` under the selected rule. For
+/// kBinarySearch the caller must pass an actual winner (the search brackets
+/// her truthful declaration); kPaperIterationMin accepts any user. The
+/// instance must be valid.
+double critical_contribution(const MultiTaskInstance& instance, UserId winner,
+                             const RewardOptions& options = {});
+
+/// Full reward for one winner.
+WinnerReward compute_reward(const MultiTaskInstance& instance, UserId winner,
+                            const RewardOptions& options);
+
+}  // namespace mcs::auction::multi_task

@@ -1,0 +1,60 @@
+#include "auction/multi_task/vcg.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace mcs::auction::multi_task {
+
+Allocation solve_mt_vcg(const MultiTaskInstance& instance) {
+  instance.validate();
+  Allocation result;
+
+  std::vector<UserId> order(instance.num_users());
+  std::iota(order.begin(), order.end(), UserId{0});
+  std::sort(order.begin(), order.end(), [&](UserId a, UserId b) {
+    const double ca = instance.users[static_cast<std::size_t>(a)].cost;
+    const double cb = instance.users[static_cast<std::size_t>(b)].cost;
+    if (ca != cb) {
+      return ca < cb;
+    }
+    return a < b;
+  });
+
+  std::vector<bool> covered(instance.num_tasks(), false);
+  std::size_t uncovered = instance.num_tasks();
+  for (UserId user : order) {
+    if (uncovered == 0) {
+      break;
+    }
+    const auto& bid = instance.users[static_cast<std::size_t>(user)];
+    bool helps = false;
+    for (TaskIndex task : bid.tasks) {
+      if (!covered[static_cast<std::size_t>(task)]) {
+        helps = true;
+        break;
+      }
+    }
+    if (!helps) {
+      continue;
+    }
+    result.winners.push_back(user);
+    for (TaskIndex task : bid.tasks) {
+      if (!covered[static_cast<std::size_t>(task)]) {
+        covered[static_cast<std::size_t>(task)] = true;
+        --uncovered;
+      }
+    }
+  }
+
+  if (uncovered > 0) {
+    return Allocation{};  // some task is in nobody's task set
+  }
+  result.feasible = true;  // feasible under the inflated declared PoS of 1
+  std::sort(result.winners.begin(), result.winners.end());
+  result.total_cost = instance.cost_of(result.winners);
+  return result;
+}
+
+}  // namespace mcs::auction::multi_task

@@ -1,0 +1,19 @@
+// MT-VCG — the paper's VCG-like multi-task baseline (Section IV-E). Under a
+// plain VCG payment strategic users inflate every declared PoS to 1, so the
+// platform believes one user per task suffices and recruits the cheapest
+// users that touch every task. The achieved PoS (computed with true PoS)
+// falls short of the requirements — the multi-task half of Fig 7.
+#pragma once
+
+#include "auction/instance.hpp"
+
+namespace mcs::auction::multi_task {
+
+/// Strategic outcome of MT-VCG: scans users by ascending cost and recruits a
+/// user iff she covers a still-uncovered task, until every task has at least
+/// one recruit (infeasible when some task is in no task set). The instance's
+/// stored PoS values are treated as the true PoS and are ignored by the
+/// selection itself.
+Allocation solve_mt_vcg(const MultiTaskInstance& instance);
+
+}  // namespace mcs::auction::multi_task

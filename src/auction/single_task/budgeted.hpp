@@ -1,0 +1,29 @@
+// Budgeted coverage — the dual of the paper's minimization problem, built on
+// the maximum-knapsack form of Algorithm 1: given a recruitment budget,
+// which users maximize the task's achieved PoS? This is the primitive of
+// budget-feasible crowdsensing (the paper's reference [5]) and what a
+// platform runs when the budget, not the assurance level, is the hard
+// constraint.
+#pragma once
+
+#include "auction/instance.hpp"
+
+namespace mcs::auction::single_task {
+
+struct BudgetedCoverage {
+  /// Selected users (ascending) and their true total cost (<= budget).
+  Allocation allocation;
+  /// The achieved PoS of the task under the selection: 1 - Π(1 - p_i).
+  double achieved_pos = 0.0;
+};
+
+/// Maximizes the task's achieved PoS subject to total cost <= budget. Costs
+/// are discretized to a grid of `cost_granularity` × budget for the DP
+/// (rounded UP, so the budget is never exceeded); the result is optimal
+/// among selections on that grid — granularity 1e-4 is exact for all
+/// practical cost data. The instance's requirement_pos is ignored. Requires
+/// a valid instance, budget > 0, and granularity in (0, 1].
+BudgetedCoverage max_coverage_for_budget(const SingleTaskInstance& instance, double budget,
+                                         double cost_granularity = 1e-4);
+
+}  // namespace mcs::auction::single_task

@@ -1,0 +1,50 @@
+// Algorithm 1 of the paper: dynamic programming for the (minimum) knapsack
+// problem over states (I, Q, C) with dominance pruning. A state records a
+// subset of the first j items with exact total contribution Q and total
+// (integer, already-scaled) cost C; state (I, Q, C) dominates (I', Q', C')
+// when C <= C' and Q >= Q'. The surviving states per prefix form a Pareto
+// frontier ordered by strictly increasing cost and contribution, so the
+// minimum-cost feasible state is found by a scan.
+//
+// Item subsets are reconstructed through parent links in a state pool rather
+// than stored per state, keeping the DP O(#states) in memory.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace mcs::auction::single_task {
+
+/// One knapsack item: a real-valued contribution and an integer (scaled)
+/// cost. Costs must be non-negative; contributions must be non-negative and
+/// may be +infinity (a declared PoS of 1).
+struct KnapsackItem {
+  double contribution = 0.0;
+  std::int64_t scaled_cost = 0;
+};
+
+/// Solution of the minimum knapsack: chosen item indices (ascending), their
+/// total scaled cost and total contribution.
+struct KnapsackSolution {
+  std::vector<std::size_t> items;
+  std::int64_t total_scaled_cost = 0;
+  double total_contribution = 0.0;
+};
+
+/// Minimum-cost subset with total contribution >= requirement, or nullopt
+/// when even the full item set falls short. Contributions are capped at
+/// `requirement` during the DP (capping preserves optimality for a covering
+/// constraint and sharpens dominance pruning).
+std::optional<KnapsackSolution> solve_min_knapsack(std::span<const KnapsackItem> items,
+                                                   double requirement);
+
+/// The dual form Algorithm 1's discussion also describes: the
+/// maximum-contribution subset whose total scaled cost stays within
+/// `budget`. Always has a solution (the empty set). Budgeted coverage is the
+/// primitive behind budget-feasible crowdsensing (the paper's reference
+/// [5]): recruit the best task coverage a fixed budget can buy.
+KnapsackSolution solve_max_knapsack(std::span<const KnapsackItem> items, std::int64_t budget);
+
+}  // namespace mcs::auction::single_task

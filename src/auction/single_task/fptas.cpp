@@ -1,0 +1,96 @@
+#include "auction/single_task/fptas.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "auction/single_task/dp_knapsack.hpp"
+#include "common/check.hpp"
+#include "common/math.hpp"
+
+namespace mcs::auction::single_task {
+
+Allocation solve_fptas(const SingleTaskInstance& instance, double epsilon) {
+  MCS_EXPECTS(epsilon > 0.0, "approximation parameter must be positive");
+  instance.validate();
+  const double requirement = instance.requirement_contribution();
+  const auto n = instance.num_users();
+
+  Allocation result;
+  if (!instance.is_feasible()) {
+    return result;
+  }
+
+  // Sort user ids by (cost, id); ties broken by id for determinism.
+  std::vector<UserId> order(n);
+  std::iota(order.begin(), order.end(), UserId{0});
+  std::sort(order.begin(), order.end(), [&](UserId a, UserId b) {
+    const double ca = instance.bids[static_cast<std::size_t>(a)].cost;
+    const double cb = instance.bids[static_cast<std::size_t>(b)].cost;
+    if (ca != cb) {
+      return ca < cb;
+    }
+    return a < b;
+  });
+
+  // Contributions in sorted order, with prefix sums for a quick feasibility
+  // test per subproblem.
+  std::vector<double> contributions(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    contributions[k] = instance.contribution(order[k]);
+  }
+
+  double best_scaled_value = std::numeric_limits<double>::infinity();
+  std::vector<UserId> best_winners;
+  double prefix_contribution = 0.0;
+  std::vector<KnapsackItem> items;
+
+  for (std::size_t k = 1; k <= n; ++k) {
+    prefix_contribution += contributions[k - 1];
+    if (!common::approx_ge(prefix_contribution, requirement)) {
+      continue;  // the first k users cannot cover the task
+    }
+    const double c_k = instance.bids[static_cast<std::size_t>(order[k - 1])].cost;
+    const double mu = epsilon * c_k / static_cast<double>(k);
+
+    items.clear();
+    items.reserve(k);
+    for (std::size_t j = 0; j < k; ++j) {
+      const double cost = instance.bids[static_cast<std::size_t>(order[j])].cost;
+      // mu can only vanish if c_k does, which validate() excludes; still
+      // guard so a pathological instance degrades instead of dividing by 0.
+      const std::int64_t scaled =
+          mu > 0.0 ? static_cast<std::int64_t>(std::floor(cost / mu)) : 0;
+      items.push_back({contributions[j], scaled});
+    }
+
+    const auto solution = solve_min_knapsack(items, requirement);
+    if (!solution.has_value()) {
+      continue;
+    }
+    const double scaled_value = static_cast<double>(solution->total_scaled_cost) * mu;
+    if (scaled_value <= best_scaled_value) {
+      best_scaled_value = scaled_value;
+      best_winners.clear();
+      best_winners.reserve(solution->items.size());
+      for (std::size_t item : solution->items) {
+        best_winners.push_back(order[item]);
+      }
+    }
+  }
+
+  if (best_winners.empty()) {
+    // Knife-edge instance: the total contribution equals the requirement to
+    // within rounding, so is_feasible() and the DP (which accumulates in a
+    // different order) can disagree. Report infeasible rather than crash.
+    return result;
+  }
+  std::sort(best_winners.begin(), best_winners.end());
+  result.feasible = true;
+  result.total_cost = instance.cost_of(best_winners);
+  result.winners = std::move(best_winners);
+  return result;
+}
+
+}  // namespace mcs::auction::single_task

@@ -1,0 +1,23 @@
+// Algorithm 2 of the paper: the FPTAS winner-determination algorithm for the
+// single-task setting. Users are sorted by cost; for each prefix length k the
+// costs are scaled by μ_k = ε·c_k/k, the scaled minimum knapsack is solved
+// exactly by Algorithm 1, and the best feasible solution across the n
+// subproblems (compared in the scaled domain, as in the paper) is returned.
+//
+// Guarantees (paper Theorems 1-3, Lemma 1):
+//   * (1+ε)-approximation of the optimal social cost,
+//   * monotone in each user's declared PoS — the property the critical-bid
+//     reward scheme (Algorithm 3) relies on,
+//   * O(n^4/ε) time.
+#pragma once
+
+#include "auction/instance.hpp"
+
+namespace mcs::auction::single_task {
+
+/// Runs the FPTAS winner determination. `epsilon` > 0 is the approximation
+/// parameter. Returns an infeasible Allocation when even the full user set
+/// cannot meet the requirement. The instance must be valid (validate()).
+Allocation solve_fptas(const SingleTaskInstance& instance, double epsilon);
+
+}  // namespace mcs::auction::single_task

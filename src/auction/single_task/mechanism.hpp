@@ -1,0 +1,28 @@
+// Facade of the complete single-task mechanism M = (A, R): the FPTAS winner
+// determination (Algorithm 2) plus the critical-bid execution-contingent
+// reward scheme (Algorithm 3). This is the object a platform runs per task:
+// collect sealed bids, call run(), pay each winner reward.on_success() or
+// reward.on_failure() depending on the observed execution outcome.
+#pragma once
+
+#include "auction/single_task/reward.hpp"
+
+namespace mcs::auction::single_task {
+
+struct MechanismConfig {
+  double epsilon = 0.1;  ///< FPTAS approximation parameter
+  double alpha = 10.0;   ///< reward scaling factor (paper Table II)
+  int binary_search_iterations = 48;
+  /// Compute the winners' critical bids on multiple threads. Results are
+  /// bit-identical to the serial path (each bid is an independent
+  /// computation); disable for single-core determinism profiling.
+  bool parallel_rewards = true;
+};
+
+/// Runs the full strategy-proof single-task mechanism. The returned outcome
+/// holds the allocation and one EC reward per winner. For infeasible
+/// instances the allocation is infeasible and no rewards are issued.
+MechanismOutcome run_mechanism(const SingleTaskInstance& instance,
+                               const MechanismConfig& config = {});
+
+}  // namespace mcs::auction::single_task

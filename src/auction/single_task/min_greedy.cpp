@@ -1,0 +1,99 @@
+#include "auction/single_task/min_greedy.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+
+namespace mcs::auction::single_task {
+
+Allocation solve_min_greedy(const SingleTaskInstance& instance) {
+  instance.validate();
+  Allocation result;
+  if (!instance.is_feasible()) {
+    return result;
+  }
+  const double requirement = instance.requirement_contribution();
+  const auto n = instance.num_users();
+
+  std::vector<double> contributions(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    contributions[k] = instance.contribution(static_cast<UserId>(k));
+  }
+
+  // Density order: contribution per unit cost, descending; ties by id.
+  std::vector<UserId> order(n);
+  std::iota(order.begin(), order.end(), UserId{0});
+  std::sort(order.begin(), order.end(), [&](UserId a, UserId b) {
+    const double da = contributions[static_cast<std::size_t>(a)] /
+                      instance.bids[static_cast<std::size_t>(a)].cost;
+    const double db = contributions[static_cast<std::size_t>(b)] /
+                      instance.bids[static_cast<std::size_t>(b)].cost;
+    if (da != db) {
+      return da > db;
+    }
+    return a < b;
+  });
+
+  // Greedy fill until feasible.
+  std::vector<UserId> greedy;
+  double covered = 0.0;
+  std::size_t last_pick_position = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (contributions[static_cast<std::size_t>(order[k])] <= 0.0) {
+      continue;
+    }
+    greedy.push_back(order[k]);
+    covered += contributions[static_cast<std::size_t>(order[k])];
+    last_pick_position = k;
+    if (common::approx_ge(covered, requirement)) {
+      break;
+    }
+  }
+  MCS_ENSURES(common::approx_ge(covered, requirement), "feasible instance must be coverable");
+  const double greedy_cost = instance.cost_of(greedy);
+
+  // Swap variant: drop the final pick and close the residual with the single
+  // cheapest user able to cover it alone.
+  double swap_cost = std::numeric_limits<double>::infinity();
+  std::vector<UserId> swap_set;
+  if (!greedy.empty()) {
+    std::vector<UserId> prefix(greedy.begin(), greedy.end() - 1);
+    const double prefix_cover = covered - contributions[static_cast<std::size_t>(greedy.back())];
+    const double residual = requirement - prefix_cover;
+    UserId best_closer = -1;
+    double best_closer_cost = std::numeric_limits<double>::infinity();
+    for (std::size_t k = last_pick_position; k < n; ++k) {
+      const UserId user = order[k];
+      if (std::find(prefix.begin(), prefix.end(), user) != prefix.end()) {
+        continue;
+      }
+      const double cost = instance.bids[static_cast<std::size_t>(user)].cost;
+      if (common::approx_ge(contributions[static_cast<std::size_t>(user)], residual) &&
+          cost < best_closer_cost) {
+        best_closer = user;
+        best_closer_cost = cost;
+      }
+    }
+    if (best_closer >= 0) {
+      prefix.push_back(best_closer);
+      swap_cost = instance.cost_of(prefix);
+      swap_set = std::move(prefix);
+    }
+  }
+
+  result.feasible = true;
+  if (swap_cost < greedy_cost) {
+    result.winners = std::move(swap_set);
+    result.total_cost = swap_cost;
+  } else {
+    result.winners = std::move(greedy);
+    result.total_cost = greedy_cost;
+  }
+  std::sort(result.winners.begin(), result.winners.end());
+  return result;
+}
+
+}  // namespace mcs::auction::single_task

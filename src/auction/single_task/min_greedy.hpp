@@ -1,0 +1,18 @@
+// The paper's single-task baseline "Greedy" (its reference [21], Güntzer &
+// Jungnickel's Min-Greedy): a 2-approximation for the minimum knapsack.
+// Users are scanned in decreasing contribution-per-cost density and added
+// until the requirement is met; the resulting set is compared with the
+// variant that swaps the final (possibly wasteful) pick for the cheapest
+// single user able to cover the residual on her own, and the cheaper of the
+// two is returned.
+#pragma once
+
+#include "auction/instance.hpp"
+
+namespace mcs::auction::single_task {
+
+/// Runs the Min-Greedy baseline. Returns an infeasible Allocation when the
+/// instance is infeasible. The instance must be valid.
+Allocation solve_min_greedy(const SingleTaskInstance& instance);
+
+}  // namespace mcs::auction::single_task

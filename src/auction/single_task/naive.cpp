@@ -1,0 +1,67 @@
+#include "auction/single_task/naive.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+
+namespace mcs::auction::single_task {
+
+namespace {
+
+Allocation fill_in_order(const SingleTaskInstance& instance, const std::vector<UserId>& order) {
+  Allocation result;
+  if (!instance.is_feasible()) {
+    return result;
+  }
+  const double requirement = instance.requirement_contribution();
+  double covered = 0.0;
+  for (UserId user : order) {
+    const double q = instance.contribution(user);
+    if (q <= 0.0) {
+      continue;
+    }
+    result.winners.push_back(user);
+    covered += q;
+    if (common::approx_ge(covered, requirement)) {
+      break;
+    }
+  }
+  MCS_ENSURES(common::approx_ge(covered, requirement),
+              "feasible instance must be coverable in any positive order");
+  result.feasible = true;
+  std::sort(result.winners.begin(), result.winners.end());
+  result.total_cost = instance.cost_of(result.winners);
+  return result;
+}
+
+}  // namespace
+
+Allocation solve_cheapest_first(const SingleTaskInstance& instance) {
+  instance.validate();
+  std::vector<UserId> order(instance.num_users());
+  std::iota(order.begin(), order.end(), UserId{0});
+  std::sort(order.begin(), order.end(), [&](UserId a, UserId b) {
+    const double ca = instance.bids[static_cast<std::size_t>(a)].cost;
+    const double cb = instance.bids[static_cast<std::size_t>(b)].cost;
+    if (ca != cb) {
+      return ca < cb;
+    }
+    return a < b;
+  });
+  return fill_in_order(instance, order);
+}
+
+Allocation solve_random_order(const SingleTaskInstance& instance, common::Rng& rng) {
+  instance.validate();
+  std::vector<UserId> order(instance.num_users());
+  std::iota(order.begin(), order.end(), UserId{0});
+  for (std::size_t k = order.size(); k > 1; --k) {
+    std::swap(order[k - 1], order[static_cast<std::size_t>(
+                                rng.uniform_int(0, static_cast<std::int64_t>(k) - 1))]);
+  }
+  return fill_in_order(instance, order);
+}
+
+}  // namespace mcs::auction::single_task

@@ -1,0 +1,22 @@
+// Naive single-task baselines: selection rules a platform might try before
+// adopting density-aware winner determination. Both satisfy the coverage
+// constraint but ignore the contribution-cost trade-off the FPTAS exploits:
+//   * cheapest-first — add users by ascending cost until covered;
+//   * random-order   — add users in a random order until covered.
+// Used by the extended Fig 5(a) comparison to show how much of the
+// mechanism's saving comes from density awareness alone.
+#pragma once
+
+#include "auction/instance.hpp"
+#include "common/rng.hpp"
+
+namespace mcs::auction::single_task {
+
+/// Adds users in ascending-cost order until the requirement is met. Returns
+/// an infeasible Allocation for infeasible instances.
+Allocation solve_cheapest_first(const SingleTaskInstance& instance);
+
+/// Adds users in a uniformly random order until the requirement is met.
+Allocation solve_random_order(const SingleTaskInstance& instance, common::Rng& rng);
+
+}  // namespace mcs::auction::single_task

@@ -1,0 +1,57 @@
+#include "auction/single_task/reward.hpp"
+
+#include "auction/single_task/fptas.hpp"
+#include "common/check.hpp"
+#include "common/math.hpp"
+
+namespace mcs::auction::single_task {
+
+namespace {
+
+bool wins_with_contribution(const SingleTaskInstance& instance, UserId user, double declared_q,
+                            double epsilon) {
+  const auto allocation = solve_fptas(instance.with_declared_contribution(user, declared_q),
+                                      epsilon);
+  return allocation.feasible && allocation.contains(user);
+}
+
+}  // namespace
+
+double critical_contribution(const SingleTaskInstance& instance, UserId winner,
+                             const RewardOptions& options) {
+  MCS_EXPECTS(options.alpha > 0.0, "reward scaling factor must be positive");
+  MCS_EXPECTS(options.binary_search_iterations > 0, "need at least one bisection step");
+  const double declared = instance.contribution(winner);
+  MCS_EXPECTS(wins_with_contribution(instance, winner, declared, options.epsilon),
+              "critical bid is only defined for winners");
+
+  if (wins_with_contribution(instance, winner, 0.0, options.epsilon)) {
+    return 0.0;
+  }
+  // Monotonicity (Lemma 1): wins(q) is a step function, false below the
+  // critical bid and true at/above it. Invariant: loses at lo, wins at hi.
+  double lo = 0.0;
+  double hi = declared;
+  for (int iter = 0; iter < options.binary_search_iterations; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (wins_with_contribution(instance, winner, mid, options.epsilon)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+WinnerReward compute_reward(const SingleTaskInstance& instance, UserId winner,
+                            const RewardOptions& options) {
+  WinnerReward result;
+  result.user = winner;
+  result.critical_contribution = critical_contribution(instance, winner, options);
+  result.reward.critical_pos = common::pos_from_contribution(result.critical_contribution);
+  result.reward.cost = instance.bids[static_cast<std::size_t>(winner)].cost;
+  result.reward.alpha = options.alpha;
+  return result;
+}
+
+}  // namespace mcs::auction::single_task

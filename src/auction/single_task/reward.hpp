@@ -1,0 +1,33 @@
+// Algorithm 3 of the paper: the reward scheme of the single-task mechanism.
+// For a winner i, binary search (valid because the FPTAS winner determination
+// is monotone in the declared contribution — Lemma 1) finds the critical
+// contribution q̄_i: the smallest declaration with which i still wins. The
+// critical PoS p̄_i = 1 - e^{-q̄_i} parameterizes the execution-contingent
+// reward
+//     success: (1 - p̄_i)·α + c_i,    failure: -p̄_i·α + c_i,
+// which yields expected utility (p_i - p̄_i)·α and makes truthful PoS
+// declaration dominant (Theorem 1).
+#pragma once
+
+#include "auction/instance.hpp"
+
+namespace mcs::auction::single_task {
+
+struct RewardOptions {
+  double alpha = 10.0;             ///< reward scaling factor α (paper Table II)
+  double epsilon = 0.1;            ///< FPTAS parameter used by the re-runs
+  int binary_search_iterations = 48;  ///< ~1e-14 relative precision on q̄
+};
+
+/// Critical contribution q̄_i of `winner`: the infimum of declared
+/// contributions with which the winner-determination algorithm still selects
+/// her, searched over [0, her declared contribution]. Requires that she wins
+/// with her current declaration.
+double critical_contribution(const SingleTaskInstance& instance, UserId winner,
+                             const RewardOptions& options);
+
+/// Full reward for one winner (Algorithm 3).
+WinnerReward compute_reward(const SingleTaskInstance& instance, UserId winner,
+                            const RewardOptions& options);
+
+}  // namespace mcs::auction::single_task

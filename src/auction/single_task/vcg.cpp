@@ -1,0 +1,27 @@
+#include "auction/single_task/vcg.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace mcs::auction::single_task {
+
+Allocation solve_st_vcg(const SingleTaskInstance& instance) {
+  instance.validate();
+  Allocation result;
+  if (instance.bids.empty()) {
+    return result;
+  }
+  UserId cheapest = 0;
+  for (std::size_t k = 1; k < instance.bids.size(); ++k) {
+    if (instance.bids[k].cost < instance.bids[static_cast<std::size_t>(cheapest)].cost) {
+      cheapest = static_cast<UserId>(k);
+    }
+  }
+  result.feasible = true;  // feasible under the (inflated) declared PoS of 1
+  result.winners = {cheapest};
+  result.total_cost = instance.bids[static_cast<std::size_t>(cheapest)].cost;
+  return result;
+}
+
+}  // namespace mcs::auction::single_task

@@ -1,0 +1,19 @@
+// ST-VCG — the paper's VCG-like single-task baseline (Section IV-E). Because
+// a plain VCG payment ignores the PoS dimension, every strategic user inflates
+// her declared PoS to 1; the platform, believing any single user completes the
+// task surely, recruits just the cheapest user. The achieved PoS is then the
+// winner's *true* PoS, which generally falls short of the requirement —
+// exactly the failure mode Fig 7 demonstrates.
+#pragma once
+
+#include "auction/instance.hpp"
+
+namespace mcs::auction::single_task {
+
+/// The strategic outcome of ST-VCG on an instance: selects the single
+/// cheapest user (declared PoS taken as 1 by every strategic user). The
+/// instance's stored PoS values are interpreted as the users' true PoS, used
+/// only by callers evaluating the achieved PoS.
+Allocation solve_st_vcg(const SingleTaskInstance& instance);
+
+}  // namespace mcs::auction::single_task

@@ -1,0 +1,22 @@
+#include "auction/types.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace mcs::auction {
+
+bool Allocation::contains(UserId user) const {
+  return std::binary_search(winners.begin(), winners.end(), user);
+}
+
+const WinnerReward& MechanismOutcome::reward_of(UserId user) const {
+  for (const auto& reward : rewards) {
+    if (reward.user == user) {
+      return reward;
+    }
+  }
+  throw common::PreconditionError("user is not a winner of this outcome");
+}
+
+}  // namespace mcs::auction

@@ -1,0 +1,72 @@
+// Core vocabulary of the reverse auction (Section II): user/task identifiers,
+// allocations, and the execution-contingent (EC) reward of the paper's
+// mechanisms. An EC reward pays a winner differently depending on whether she
+// completed her task(s); calibrated at the critical PoS, it makes truthful
+// PoS declaration a dominant strategy (Theorems 1 and 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mcs::auction {
+
+/// Index of a user within an auction instance.
+using UserId = std::int32_t;
+/// Index of a task within a multi-task instance.
+using TaskIndex = std::int32_t;
+
+/// Result of a winner-determination algorithm.
+struct Allocation {
+  /// False when the instance's requirements cannot be met by any user set
+  /// (in which case winners is empty and total_cost is 0).
+  bool feasible = false;
+  /// Selected users, ascending by id.
+  std::vector<UserId> winners;
+  /// Sum of the winners' (true, unscaled) costs — the social cost.
+  double total_cost = 0.0;
+
+  bool contains(UserId user) const;
+};
+
+/// Execution-contingent reward for one winner (Algorithm 3 / Algorithm 5):
+///   success: (1 - p̄)·α + c,   failure: -p̄·α + c,
+/// where p̄ is the winner's critical PoS, α the platform's reward scaling
+/// factor, and c her declared (verified) cost.
+struct EcReward {
+  double critical_pos = 0.0;  ///< p̄ in [0, 1]
+  double cost = 0.0;          ///< c, reimbursed in both branches
+  double alpha = 0.0;         ///< α > 0, platform reward scale
+
+  double on_success() const { return (1.0 - critical_pos) * alpha + cost; }
+  double on_failure() const { return -critical_pos * alpha + cost; }
+
+  /// Expected utility of a winner whose true overall success probability is
+  /// `true_success_prob`: (p - p̄)·α. Non-negative iff she could truthfully
+  /// win (individual rationality).
+  double expected_utility(double true_success_prob) const {
+    return (true_success_prob - critical_pos) * alpha;
+  }
+
+  /// Realized utility given the execution outcome.
+  double realized_utility(bool success) const {
+    return (success ? on_success() : on_failure()) - cost;
+  }
+};
+
+/// Reward assigned to one winning user.
+struct WinnerReward {
+  UserId user = 0;
+  double critical_contribution = 0.0;  ///< q̄ = -ln(1 - p̄)
+  EcReward reward;
+};
+
+/// Full outcome of a strategy-proof mechanism: the allocation plus one EC
+/// reward per winner (aligned with Allocation::winners).
+struct MechanismOutcome {
+  Allocation allocation;
+  std::vector<WinnerReward> rewards;
+
+  const WinnerReward& reward_of(UserId user) const;
+};
+
+}  // namespace mcs::auction

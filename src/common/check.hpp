@@ -1,0 +1,48 @@
+// Lightweight contract checking in the spirit of the Core Guidelines'
+// Expects()/Ensures() (I.5–I.8). Violations throw, so library preconditions
+// are enforced uniformly in release builds as well as debug builds.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mcs::common {
+
+/// Thrown when a precondition (caller error) is violated.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when a postcondition or internal invariant (library bug or
+/// unexpected state) is violated.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] void throw_precondition(const char* expr, const char* file, int line,
+                                     const std::string& message);
+[[noreturn]] void throw_invariant(const char* expr, const char* file, int line,
+                                  const std::string& message);
+}  // namespace detail
+
+}  // namespace mcs::common
+
+/// Precondition check: use at the top of public functions to validate inputs.
+#define MCS_EXPECTS(expr, message)                                                  \
+  do {                                                                              \
+    if (!(expr)) {                                                                  \
+      ::mcs::common::detail::throw_precondition(#expr, __FILE__, __LINE__, message); \
+    }                                                                               \
+  } while (false)
+
+/// Invariant/postcondition check: use for conditions the library itself must
+/// maintain; a failure indicates a bug in this library, not in the caller.
+#define MCS_ENSURES(expr, message)                                               \
+  do {                                                                           \
+    if (!(expr)) {                                                               \
+      ::mcs::common::detail::throw_invariant(#expr, __FILE__, __LINE__, message); \
+    }                                                                            \
+  } while (false)

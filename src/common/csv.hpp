@@ -1,0 +1,35 @@
+// Minimal CSV reader/writer for trace datasets and experiment output. Handles
+// quoting of fields containing commas/quotes/newlines; does not attempt full
+// RFC 4180 edge cases beyond that (no embedded CR handling differences).
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace mcs::common {
+
+using CsvRow = std::vector<std::string>;
+
+/// In-memory CSV table: a header row plus data rows.
+struct CsvTable {
+  CsvRow header;
+  std::vector<CsvRow> rows;
+
+  /// Index of a header column; throws PreconditionError when absent.
+  std::size_t column(const std::string& name) const;
+};
+
+/// Parses CSV text. The first row becomes the header. Empty input yields an
+/// empty table. Throws PreconditionError on ragged rows (row width differing
+/// from the header's).
+CsvTable parse_csv(const std::string& text);
+
+/// Serializes a table to CSV text with \n line endings.
+std::string to_csv(const CsvTable& table);
+
+/// File convenience wrappers; throw std::runtime_error on I/O failure.
+CsvTable read_csv_file(const std::filesystem::path& path);
+void write_csv_file(const std::filesystem::path& path, const CsvTable& table);
+
+}  // namespace mcs::common

@@ -1,0 +1,87 @@
+#include "common/distributions.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace mcs::common {
+
+double sample_normal(Rng& rng, double mean, double stddev) {
+  MCS_EXPECTS(stddev >= 0.0, "stddev must be non-negative");
+  // Box–Muller: u1 in (0, 1] so log(u1) is finite.
+  const double u1 = 1.0 - rng.uniform01();
+  const double u2 = rng.uniform01();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * radius * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double sample_truncated_normal(Rng& rng, double mean, double stddev, double lo, double hi) {
+  MCS_EXPECTS(lo < hi, "truncation window must be non-empty");
+  constexpr int kMaxAttempts = 100000;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    const double draw = sample_normal(rng, mean, stddev);
+    if (draw >= lo && draw <= hi) {
+      return draw;
+    }
+  }
+  throw PreconditionError(
+      "sample_truncated_normal: truncation window has negligible probability mass");
+}
+
+std::size_t sample_categorical(Rng& rng, std::span<const double> weights) {
+  MCS_EXPECTS(!weights.empty(), "categorical distribution needs at least one weight");
+  double total = 0.0;
+  for (double w : weights) {
+    MCS_EXPECTS(w >= 0.0, "categorical weights must be non-negative");
+    total += w;
+  }
+  MCS_EXPECTS(total > 0.0, "categorical distribution needs positive total weight");
+  double target = rng.uniform01() * total;
+  for (std::size_t k = 0; k < weights.size(); ++k) {
+    target -= weights[k];
+    if (target < 0.0) {
+      return k;
+    }
+  }
+  // Rounding can leave target at ~0 after the loop; return the last positive-
+  // weight index.
+  for (std::size_t k = weights.size(); k-- > 0;) {
+    if (weights[k] > 0.0) {
+      return k;
+    }
+  }
+  throw InvariantError("sample_categorical: unreachable");
+}
+
+std::vector<double> zipf_weights(std::size_t n, double exponent) {
+  MCS_EXPECTS(n > 0, "Zipf support must be non-empty");
+  MCS_EXPECTS(exponent >= 0.0, "Zipf exponent must be non-negative");
+  std::vector<double> weights(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    weights[k] = 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    total += weights[k];
+  }
+  for (double& w : weights) {
+    w /= total;
+  }
+  return weights;
+}
+
+std::vector<std::size_t> sample_without_replacement(Rng& rng, std::size_t population,
+                                                    std::size_t count) {
+  MCS_EXPECTS(count <= population, "cannot sample more items than the population holds");
+  std::vector<std::size_t> pool(population);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  for (std::size_t k = 0; k < count; ++k) {
+    const auto pick = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(k), static_cast<std::int64_t>(population - 1)));
+    std::swap(pool[k], pool[pick]);
+  }
+  pool.resize(count);
+  return pool;
+}
+
+}  // namespace mcs::common

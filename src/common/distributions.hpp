@@ -1,0 +1,37 @@
+// Samplers used by the workload generators: the paper samples sensing costs
+// from a normal distribution (Table II), task-set sizes uniformly from
+// [10, 20], and our synthetic city model uses a Zipf popularity law over grid
+// cells plus categorical draws from learned/ground-truth kernels.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mcs::common {
+
+/// Standard normal draw (Box–Muller, no state carried between calls).
+double sample_normal(Rng& rng, double mean, double stddev);
+
+/// Normal draw truncated (by rejection) to [lo, hi]; requires lo < hi and a
+/// truncation window with non-trivial mass (the generator throws after an
+/// internal attempt limit otherwise). The paper's cost model N(15, 5) is used
+/// with a positivity truncation since negative sensing costs are meaningless.
+double sample_truncated_normal(Rng& rng, double mean, double stddev, double lo, double hi);
+
+/// Draws an index in [0, weights.size()) with probability proportional to
+/// weights[k]. Requires at least one strictly positive weight and no negative
+/// weights.
+std::size_t sample_categorical(Rng& rng, std::span<const double> weights);
+
+/// Zipf(s) probability vector over n ranks: P(k) ∝ 1 / (k+1)^s.
+std::vector<double> zipf_weights(std::size_t n, double exponent);
+
+/// Samples `count` distinct indices from [0, population) uniformly without
+/// replacement (partial Fisher–Yates). Requires count <= population.
+std::vector<std::size_t> sample_without_replacement(Rng& rng, std::size_t population,
+                                                    std::size_t count);
+
+}  // namespace mcs::common

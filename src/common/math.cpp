@@ -1,0 +1,71 @@
+#include "common/math.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace mcs::common {
+
+double contribution_from_pos(double p) {
+  MCS_EXPECTS(p >= 0.0 && p <= 1.0, "PoS must lie in [0, 1]");
+  if (p >= 1.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return -std::log1p(-p);
+}
+
+double pos_from_contribution(double q) {
+  MCS_EXPECTS(q >= 0.0, "contribution must be non-negative");
+  return -std::expm1(-q);
+}
+
+double harmonic(std::size_t n) {
+  double h = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    h += 1.0 / static_cast<double>(k);
+  }
+  return h;
+}
+
+double harmonic_real(double x) {
+  MCS_EXPECTS(x >= 0.0, "harmonic argument must be non-negative");
+  const double lo = std::floor(x);
+  const double hi = std::ceil(x);
+  const double h_lo = harmonic(static_cast<std::size_t>(lo));
+  if (lo == hi) {
+    return h_lo;
+  }
+  const double h_hi = harmonic(static_cast<std::size_t>(hi));
+  const double frac = x - lo;
+  return h_lo + frac * (h_hi - h_lo);
+}
+
+bool almost_equal(double a, double b, double eps) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return std::fabs(a - b) <= eps * scale;
+}
+
+bool approx_ge(double a, double b, double eps) {
+  const double scale = std::max({1.0, std::fabs(a), std::fabs(b)});
+  return a >= b - eps * scale;
+}
+
+double kahan_sum(std::span<const double> values) {
+  double sum = 0.0;
+  double carry = 0.0;
+  for (double v : values) {
+    const double y = v - carry;
+    const double t = sum + y;
+    carry = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+double clamp(double x, double lo, double hi) {
+  MCS_EXPECTS(lo <= hi, "clamp bounds must be ordered");
+  return std::clamp(x, lo, hi);
+}
+
+}  // namespace mcs::common

@@ -1,0 +1,48 @@
+// Numeric helpers shared across the library: the log-space PoS/contribution
+// transform at the heart of the paper's problem formulation (Section II),
+// harmonic numbers (the H(γ) approximation bound of Theorem 5), and tolerant
+// floating-point comparisons.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace mcs::common {
+
+/// Default tolerance used by the feasibility and comparison helpers.
+inline constexpr double kDefaultEps = 1e-9;
+
+/// Converts a probability of success p in [0, 1) to the additive
+/// "contribution" q = -ln(1 - p). Uses log1p for accuracy near p = 0.
+/// A p of exactly 1 maps to +infinity; callers that forbid certain success
+/// should validate beforehand.
+double contribution_from_pos(double p);
+
+/// Inverse transform: p = 1 - exp(-q). Uses expm1 for accuracy near q = 0.
+/// Requires q >= 0.
+double pos_from_contribution(double q);
+
+/// nth harmonic number H(n) = 1 + 1/2 + ... + 1/n, with H(0) = 0.
+double harmonic(std::size_t n);
+
+/// Harmonic number generalized to a real argument by linear interpolation
+/// between floor(x) and ceil(x); used to evaluate the H(γ) bound when γ is
+/// derived from real-valued contributions.
+double harmonic_real(double x);
+
+/// True when |a - b| <= eps * max(1, |a|, |b|) (relative-with-floor).
+bool almost_equal(double a, double b, double eps = kDefaultEps);
+
+/// True when a >= b - eps * max(1, |a|, |b|). Used for "requirement met"
+/// checks so that accumulated rounding does not flip feasibility.
+bool approx_ge(double a, double b, double eps = kDefaultEps);
+
+/// Sum of a span of doubles via Kahan compensated summation; the mechanisms
+/// compare social costs that are sums of tens of floats, and benches sum
+/// thousands of per-run values.
+double kahan_sum(std::span<const double> values);
+
+/// Clamps x into [lo, hi]; requires lo <= hi.
+double clamp(double x, double lo, double hi);
+
+}  // namespace mcs::common

@@ -1,0 +1,11 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+
+namespace mcs::common {
+
+std::size_t default_worker_count() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+}  // namespace mcs::common

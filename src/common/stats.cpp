@@ -1,0 +1,144 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+
+namespace mcs::common {
+
+void RunningStats::add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStats::mean() const {
+  MCS_EXPECTS(count_ > 0, "mean of an empty sample");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  MCS_EXPECTS(count_ > 0, "variance of an empty sample");
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  MCS_EXPECTS(count_ > 0, "min of an empty sample");
+  return min_;
+}
+
+double RunningStats::max() const {
+  MCS_EXPECTS(count_ > 0, "max of an empty sample");
+  return max_;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo) {
+  MCS_EXPECTS(lo < hi, "histogram range must be non-empty");
+  MCS_EXPECTS(bins > 0, "histogram needs at least one bin");
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double value) {
+  auto bin = static_cast<std::ptrdiff_t>(std::floor((value - lo_) / width_));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> values) {
+  for (double v : values) {
+    add(v);
+  }
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  MCS_EXPECTS(bin < counts_.size(), "histogram bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  MCS_EXPECTS(bin < counts_.size(), "histogram bin out of range");
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  MCS_EXPECTS(bin < counts_.size(), "histogram bin out of range");
+  return lo_ + static_cast<double>(bin) * width_;
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  MCS_EXPECTS(bin < counts_.size(), "histogram bin out of range");
+  return lo_ + static_cast<double>(bin + 1) * width_;
+}
+
+double Histogram::mass(std::size_t bin) const {
+  if (total_ == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+double Histogram::density(std::size_t bin) const { return mass(bin) / width_; }
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+  MCS_EXPECTS(!sorted_.empty(), "empirical CDF needs at least one sample");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::value(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double p) const {
+  MCS_EXPECTS(p > 0.0 && p <= 1.0, "quantile probability must lie in (0, 1]");
+  const auto n = static_cast<double>(sorted_.size());
+  auto index = static_cast<std::size_t>(std::ceil(p * n)) - 1;
+  index = std::min(index, sorted_.size() - 1);
+  return sorted_[index];
+}
+
+double mean(std::span<const double> values) {
+  MCS_EXPECTS(!values.empty(), "mean of an empty span");
+  return kahan_sum(values) / static_cast<double>(values.size());
+}
+
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> samples, double confidence,
+                                     std::size_t resamples, Rng& rng) {
+  MCS_EXPECTS(!samples.empty(), "bootstrap needs at least one sample");
+  MCS_EXPECTS(confidence > 0.0 && confidence < 1.0, "confidence must lie in (0, 1)");
+  MCS_EXPECTS(resamples >= 10, "need at least 10 resamples");
+  const auto n = samples.size();
+  std::vector<double> means;
+  means.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double total = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      total += samples[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1))];
+    }
+    means.push_back(total / static_cast<double>(n));
+  }
+  const EmpiricalCdf cdf(std::move(means));
+  return ConfidenceInterval{cdf.quantile((1.0 - confidence) / 2.0),
+                            cdf.quantile((1.0 + confidence) / 2.0)};
+}
+
+}  // namespace mcs::common

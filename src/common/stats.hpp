@@ -1,0 +1,96 @@
+// Descriptive statistics used by the evaluation harness: running summaries
+// for repeated experiment runs, fixed-bin histograms (Fig 4's PoS PDF), and
+// empirical CDFs (Fig 6's utility CDF).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mcs::common {
+
+/// Welford running mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double value);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Sample variance (n - 1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width-bin histogram over [lo, hi]. Values outside the range are
+/// clamped into the first/last bin so no sample is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+  void add_all(std::span<const double> values);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  std::size_t count(std::size_t bin) const;
+  /// Center of the bin, for plotting.
+  double bin_center(std::size_t bin) const;
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+  /// Empirical probability mass of the bin (count / total); 0 when empty.
+  double mass(std::size_t bin) const;
+  /// Probability density estimate (mass / bin width).
+  double density(std::size_t bin) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Empirical CDF over a sample; value() evaluates F(x), quantile() inverts it.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  std::size_t size() const { return sorted_.size(); }
+  /// F(x) = fraction of samples <= x.
+  double value(double x) const;
+  /// Smallest sample s with F(s) >= p; p must be in (0, 1].
+  double quantile(double p) const;
+  const std::vector<double>& sorted_samples() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Mean of a span (0 for an empty span is a precondition violation).
+double mean(std::span<const double> values);
+
+/// A two-sided confidence interval for a sample mean.
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  double half_width() const { return (hi - lo) / 2.0; }
+};
+
+/// Percentile-bootstrap confidence interval for the mean of `samples`:
+/// resample with replacement `resamples` times and take the
+/// ((1−confidence)/2, (1+confidence)/2) quantiles of the resampled means.
+/// Requires a non-empty sample, confidence in (0, 1), and resamples >= 10.
+/// Deterministic given `rng`.
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> samples, double confidence,
+                                     std::size_t resamples, class Rng& rng);
+
+}  // namespace mcs::common

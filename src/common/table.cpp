@@ -1,0 +1,82 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace mcs::common {
+
+TextTable::TextTable(std::string title, std::vector<std::string> header)
+    : title_(std::move(title)), header_(std::move(header)) {
+  MCS_EXPECTS(!header_.empty(), "table header must be non-empty");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  MCS_EXPECTS(row.size() == header_.size(), "table row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  std::string s = out.str();
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') {
+      s.pop_back();
+    }
+    if (!s.empty() && s.back() == '.') {
+      s.pop_back();
+    }
+  }
+  return s;
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t k = 0; k < header_.size(); ++k) {
+    widths[k] = header_[k].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      widths[k] = std::max(widths[k], row[k].size());
+    }
+  }
+
+  std::ostringstream out;
+  const auto rule = [&] {
+    for (std::size_t k = 0; k < widths.size(); ++k) {
+      out << std::string(widths[k] + 2, '-');
+      out << (k + 1 < widths.size() ? "+" : "\n");
+    }
+  };
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      out << ' ' << std::left << std::setw(static_cast<int>(widths[k])) << row[k] << ' ';
+      out << (k + 1 < row.size() ? "|" : "\n");
+    }
+  };
+
+  out << "== " << title_ << " ==\n";
+  rule();
+  emit_row(header_);
+  rule();
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  rule();
+  return out.str();
+}
+
+void TextTable::print(std::ostream& out) const { out << str(); }
+
+CsvTable TextTable::to_csv_table() const {
+  CsvTable csv;
+  csv.header = header_;
+  csv.rows = rows_;
+  return csv;
+}
+
+}  // namespace mcs::common

@@ -1,0 +1,38 @@
+// Text table printer used by the bench binaries so every figure/table of the
+// paper is regenerated as an aligned, copy-pasteable block on stdout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+
+namespace mcs::common {
+
+/// Column-aligned text table with a title, header and numeric-friendly cells.
+class TextTable {
+ public:
+  explicit TextTable(std::string title, std::vector<std::string> header);
+
+  /// Appends a row; its width must match the header's.
+  void add_row(std::vector<std::string> row);
+
+  /// Formats a double with the given precision, trimming trailing zeros.
+  static std::string num(double value, int precision = 4);
+
+  /// Renders the table (title, rule, header, rule, rows).
+  std::string str() const;
+  void print(std::ostream& out) const;
+
+  const std::string& title() const { return title_; }
+  /// The same data as a CSV table (header + rows), for plotting pipelines.
+  CsvTable to_csv_table() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mcs::common

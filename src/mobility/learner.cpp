@@ -1,0 +1,84 @@
+#include "mobility/learner.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace mcs::mobility {
+
+double MarkovModel::probability(geo::CellId from, geo::CellId to) const {
+  if (!std::binary_search(locations_.begin(), locations_.end(), to)) {
+    return 0.0;
+  }
+  const auto l = static_cast<double>(locations_.size());
+  double numerator = alpha_;
+  double denominator = alpha_ * l;
+  const auto row_it = counts_.find(from);
+  if (row_it != counts_.end()) {
+    const auto it = row_it->second.find(to);
+    if (it != row_it->second.end()) {
+      numerator += static_cast<double>(it->second);
+    }
+  }
+  const auto total_it = row_totals_.find(from);
+  if (total_it != row_totals_.end()) {
+    denominator += static_cast<double>(total_it->second);
+  }
+  if (denominator <= 0.0) {
+    return 0.0;  // no data and no smoothing: the row is undefined
+  }
+  return numerator / denominator;
+}
+
+std::vector<std::pair<geo::CellId, double>> MarkovModel::row(geo::CellId from) const {
+  std::vector<std::pair<geo::CellId, double>> entries;
+  entries.reserve(locations_.size());
+  for (geo::CellId to : locations_) {
+    const double p = probability(from, to);
+    if (p > 0.0) {
+      entries.emplace_back(to, p);
+    }
+  }
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) {
+      return a.second > b.second;
+    }
+    return a.first < b.first;
+  });
+  return entries;
+}
+
+std::vector<std::pair<geo::CellId, double>> MarkovModel::top_k(geo::CellId from,
+                                                               std::size_t k) const {
+  auto entries = row(from);
+  if (entries.size() > k) {
+    entries.resize(k);
+  }
+  return entries;
+}
+
+MarkovLearner::MarkovLearner(double laplace_alpha) : alpha_(laplace_alpha) {
+  MCS_EXPECTS(laplace_alpha >= 0.0, "smoothing constant must be non-negative");
+}
+
+MarkovModel MarkovLearner::fit(const TransitionCounts& counts) const {
+  MarkovModel model;
+  model.alpha_ = alpha_;
+  model.locations_ = counts.locations();
+  for (geo::CellId from : model.locations_) {
+    auto row = counts.row(from);
+    if (row.empty()) {
+      continue;
+    }
+    auto& dest = model.counts_[from];
+    std::size_t total = 0;
+    for (const auto& [to, count] : row) {
+      dest[to] = count;
+      total += count;
+    }
+    model.row_totals_[from] = total;
+  }
+  return model;
+}
+
+}  // namespace mcs::mobility

@@ -1,0 +1,67 @@
+// Maximum-likelihood Markov model with Laplace smoothing (Section IV-B).
+//
+// The paper estimates the transition probability from location i to j as
+//     P_ij = x_ij / (x_i + l)
+// where l is the number of locations the user visits; this is additive
+// smoothing that reserves l/(x_i + l) probability mass for unobserved moves.
+// We implement the generalized form
+//     P_ij = (x_ij + a·[j ∈ L]) / (x_i + a·l)
+// with smoothing constant a (a = 1 reproduces classic Laplace; the ablation
+// bench sweeps a). The model's support is the user's location set L.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "mobility/transition.hpp"
+
+namespace mcs::mobility {
+
+/// A learned per-user Markov mobility model over the user's location set.
+class MarkovModel {
+ public:
+  MarkovModel() = default;
+
+  /// The user's location set (model support), ascending.
+  const std::vector<geo::CellId>& locations() const { return locations_; }
+
+  /// Smoothed P(next = to | current = from). `to` outside the location set
+  /// has probability zero; `from` never observed as a source still yields the
+  /// uniform smoothed row (a / (a·l) = 1/l) when smoothing is positive.
+  double probability(geo::CellId from, geo::CellId to) const;
+
+  /// The k most likely next cells from `from`, by descending probability
+  /// (ties by ascending cell id). Fewer than k entries when the location set
+  /// is smaller than k.
+  std::vector<std::pair<geo::CellId, double>> top_k(geo::CellId from, std::size_t k) const;
+
+  /// Full smoothed row distribution from `from`, descending by probability.
+  std::vector<std::pair<geo::CellId, double>> row(geo::CellId from) const;
+
+ private:
+  friend class MarkovLearner;
+
+  std::vector<geo::CellId> locations_;
+  double alpha_ = 1.0;
+  // Raw counts retained; probabilities computed on demand so that the
+  // smoothing constant is honest about unobserved cells.
+  std::map<geo::CellId, std::map<geo::CellId, std::size_t>> counts_;
+  std::map<geo::CellId, std::size_t> row_totals_;
+};
+
+/// Fits MarkovModel instances from transition counts.
+class MarkovLearner {
+ public:
+  /// `laplace_alpha` >= 0; zero disables smoothing (pure MLE).
+  explicit MarkovLearner(double laplace_alpha = 1.0);
+
+  double laplace_alpha() const { return alpha_; }
+
+  MarkovModel fit(const TransitionCounts& counts) const;
+
+ private:
+  double alpha_;
+};
+
+}  // namespace mcs::mobility

@@ -1,0 +1,93 @@
+#include "mobility/multistep.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace mcs::mobility {
+
+namespace {
+
+/// Index of a cell within the model's sorted location set, or npos.
+std::size_t location_index(const std::vector<geo::CellId>& locations, geo::CellId cell) {
+  const auto it = std::lower_bound(locations.begin(), locations.end(), cell);
+  if (it == locations.end() || *it != cell) {
+    return static_cast<std::size_t>(-1);
+  }
+  return static_cast<std::size_t>(it - locations.begin());
+}
+
+}  // namespace
+
+double multi_step_visit_pos(const MarkovModel& model, geo::CellId start, geo::CellId target,
+                            std::size_t steps) {
+  MCS_EXPECTS(steps >= 1, "deadline must be at least one slot");
+  const auto& locations = model.locations();
+  const std::size_t target_index = location_index(locations, target);
+  if (target_index == static_cast<std::size_t>(-1)) {
+    return 0.0;
+  }
+  const std::size_t l = locations.size();
+
+  // Row-stochastic transition matrix restricted to the location set.
+  // (Cached per call; location sets are small — tens of cells.)
+  std::vector<double> transition(l * l);
+  for (std::size_t from = 0; from < l; ++from) {
+    for (std::size_t to = 0; to < l; ++to) {
+      transition[from * l + to] = model.probability(locations[from], locations[to]);
+    }
+  }
+
+  // Absorption DP: `alive[c]` is the probability of being at cell c having
+  // never visited the target. Mass stepping onto the target is absorbed
+  // into `visited`.
+  std::vector<double> alive(l, 0.0);
+  const std::size_t start_index = location_index(locations, start);
+  if (start_index == static_cast<std::size_t>(-1)) {
+    // A start outside the model support has no learned dynamics; treat the
+    // first step via the smoothed row, which probability() already handles
+    // by returning the uniform smoothed mass only for known sources. With an
+    // unknown source every row entry is 0 -> PoS 0.
+    return 0.0;
+  }
+  alive[start_index] = 1.0;
+
+  double visited = 0.0;
+  std::vector<double> next(l);
+  for (std::size_t step = 0; step < steps; ++step) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t from = 0; from < l; ++from) {
+      if (alive[from] <= 0.0) {
+        continue;
+      }
+      const double mass = alive[from];
+      const double* row = transition.data() + from * l;
+      for (std::size_t to = 0; to < l; ++to) {
+        next[to] += mass * row[to];
+      }
+    }
+    visited += next[target_index];
+    next[target_index] = 0.0;
+    alive.swap(next);
+  }
+  return std::min(1.0, visited);
+}
+
+std::vector<std::pair<geo::CellId, double>> multi_step_visit_row(const MarkovModel& model,
+                                                                 geo::CellId start,
+                                                                 std::size_t steps) {
+  std::vector<std::pair<geo::CellId, double>> row;
+  row.reserve(model.locations().size());
+  for (geo::CellId cell : model.locations()) {
+    row.emplace_back(cell, multi_step_visit_pos(model, start, cell, steps));
+  }
+  std::sort(row.begin(), row.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) {
+      return a.second > b.second;
+    }
+    return a.first < b.first;
+  });
+  return row;
+}
+
+}  // namespace mcs::mobility

@@ -1,0 +1,37 @@
+// Multi-slot PoS: task deadlines.
+//
+// The paper interprets a user's PoS as her probability of reaching the task
+// location "in the next time slot". Real campaigns give tasks deadlines of
+// several slots, and a Markov mobility model prices that directly: the PoS
+// for a task with a d-slot deadline is the probability of VISITING the task
+// cell within d steps of the chain,
+//     PoS_d(start → target) = 1 − P(no visit in steps 1..d),
+// computed by an absorption dynamic program over the model's location set.
+// Longer deadlines raise every PoS, which is exactly what makes the paper's
+// tighter requirement settings (Table III at T = 0.8) feasible without
+// capping — quantified in bench/ablation_deadline.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mobility/learner.hpp"
+
+namespace mcs::mobility {
+
+/// Probability that the chain started at `start` visits `target` within
+/// `steps` transitions (steps >= 1). Returns 0 when the target is outside
+/// the model's location set. `start` may equal `target`; only future visits
+/// count (step >= 1), matching the paper's "reach the location next slot"
+/// reading at steps = 1.
+double multi_step_visit_pos(const MarkovModel& model, geo::CellId start, geo::CellId target,
+                            std::size_t steps);
+
+/// Visit probabilities within `steps` transitions for every cell in the
+/// model's location set, as (cell, PoS) pairs sorted by descending PoS
+/// (ties by cell id). Equivalent to calling multi_step_visit_pos per cell.
+std::vector<std::pair<geo::CellId, double>> multi_step_visit_row(const MarkovModel& model,
+                                                                 geo::CellId start,
+                                                                 std::size_t steps);
+
+}  // namespace mcs::mobility

@@ -1,0 +1,80 @@
+#include "mobility/pos.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "mobility/multistep.hpp"
+
+namespace mcs::mobility {
+
+namespace {
+void check_config(const UserDerivationConfig& config) {
+  MCS_EXPECTS(config.min_task_set >= 1, "task sets must be non-empty");
+  MCS_EXPECTS(config.min_task_set <= config.max_task_set, "task-set size range must be ordered");
+  MCS_EXPECTS(config.min_pos >= 0.0 && config.min_pos < 1.0, "PoS floor must lie in [0, 1)");
+  MCS_EXPECTS(config.lookahead_steps >= 1, "deadline must be at least one slot");
+}
+}  // namespace
+
+std::optional<MobilityUser> derive_user_at(const FleetModel& fleet, trace::TaxiId taxi,
+                                           geo::CellId current_cell,
+                                           const UserDerivationConfig& config,
+                                           common::Rng& rng) {
+  check_config(config);
+  const auto& model = fleet.model(taxi);
+  const auto size = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(config.min_task_set),
+                      static_cast<std::int64_t>(config.max_task_set)));
+  auto ranked = config.lookahead_steps == 1
+                    ? model.top_k(current_cell, size)
+                    : multi_step_visit_row(model, current_cell, config.lookahead_steps);
+  if (ranked.size() > size) {
+    ranked.resize(size);
+  }
+  std::erase_if(ranked, [&](const auto& entry) { return entry.second < config.min_pos; });
+  if (ranked.empty()) {
+    return std::nullopt;
+  }
+  return MobilityUser{taxi, current_cell, std::move(ranked)};
+}
+
+std::vector<MobilityUser> derive_users(const FleetModel& fleet, const UserDerivationConfig& config,
+                                       common::Rng& rng) {
+  check_config(config);
+  std::vector<MobilityUser> users;
+  users.reserve(fleet.taxis().size());
+  for (trace::TaxiId taxi : fleet.taxis()) {
+    const auto& locations = fleet.model(taxi).locations();
+    if (locations.empty()) {
+      continue;
+    }
+    const auto start_index = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(locations.size()) - 1));
+    auto user = derive_user_at(fleet, taxi, locations[start_index], config, rng);
+    if (user.has_value()) {
+      users.push_back(std::move(*user));
+    }
+  }
+  return users;
+}
+
+double user_pos_for_cell(const MobilityUser& user, geo::CellId cell) {
+  for (const auto& [task_cell, pos] : user.task_pos) {
+    if (task_cell == cell) {
+      return pos;
+    }
+  }
+  return 0.0;
+}
+
+std::vector<double> all_pos_values(const std::vector<MobilityUser>& users) {
+  std::vector<double> values;
+  for (const auto& user : users) {
+    for (const auto& [_, pos] : user.task_pos) {
+      values.push_back(pos);
+    }
+  }
+  return values;
+}
+
+}  // namespace mcs::mobility

@@ -1,0 +1,62 @@
+// PoS derivation (Section IV-A): a user's probability of success for a
+// location-pinned sensing task is her predicted probability of reaching that
+// location in the next time slot, read off her learned Markov model. The
+// task-set builder reproduces the paper's workload: each taxi gets a random
+// starting location and her task set is the 10–20 cells she is most likely to
+// reach next.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mobility/predictor.hpp"
+
+namespace mcs::mobility {
+
+/// A mobile user derived from a taxi's mobility model: her current cell and
+/// the PoS for each cell in her task set (descending PoS).
+struct MobilityUser {
+  trace::TaxiId taxi = 0;
+  geo::CellId current_cell = geo::kInvalidCell;
+  std::vector<std::pair<geo::CellId, double>> task_pos;  ///< (task cell, PoS)
+};
+
+/// Parameters of the user derivation.
+struct UserDerivationConfig {
+  std::size_t min_task_set = 10;  ///< paper Table II: tasks per user in [10, 20]
+  std::size_t max_task_set = 20;
+  /// Drop candidate task cells with PoS below this floor; keeps degenerate
+  /// never-reached cells out of task sets.
+  double min_pos = 1e-4;
+  /// Task deadline in slots. 1 reproduces the paper (PoS = next-slot
+  /// probability); larger values price the PoS as the probability of
+  /// visiting the cell within this many slots (mobility/multistep.hpp).
+  std::size_t lookahead_steps = 1;
+};
+
+/// Derives the user a taxi presents when standing at `current_cell`: her task
+/// set is her top-[min,max] predicted next cells (the size drawn from `rng`),
+/// trimmed by the PoS floor. Returns nullopt when no admissible task cell
+/// remains.
+std::optional<MobilityUser> derive_user_at(const FleetModel& fleet, trace::TaxiId taxi,
+                                           geo::CellId current_cell,
+                                           const UserDerivationConfig& config,
+                                           common::Rng& rng);
+
+/// Derives one user per taxi in the fleet. Each taxi's starting cell is drawn
+/// uniformly from her location set and her task set holds her
+/// top-[min,max] predicted next cells. Taxis whose model yields fewer than
+/// one admissible task cell are skipped. Deterministic given `rng`.
+std::vector<MobilityUser> derive_users(const FleetModel& fleet, const UserDerivationConfig& config,
+                                       common::Rng& rng);
+
+/// PoS of one user for one cell (0 when the cell is not in her task set).
+double user_pos_for_cell(const MobilityUser& user, geo::CellId cell);
+
+/// Collects every PoS value across all users' task sets — the sample behind
+/// the paper's Fig 4 PDF.
+std::vector<double> all_pos_values(const std::vector<MobilityUser>& users);
+
+}  // namespace mcs::mobility

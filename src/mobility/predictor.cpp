@@ -1,0 +1,85 @@
+#include "mobility/predictor.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace mcs::mobility {
+
+FleetModel::FleetModel(const trace::TraceDataset& dataset, const geo::GridMap& grid,
+                       const MarkovLearner& learner, double train_fraction) {
+  MCS_EXPECTS(train_fraction > 0.0 && train_fraction <= 1.0,
+              "train fraction must lie in (0, 1]");
+  for (trace::TaxiId taxi : dataset.taxi_ids()) {
+    const auto cells = dataset.cell_sequence(taxi, grid);
+    if (cells.size() < 2) {
+      continue;
+    }
+    const auto split = std::max<std::size_t>(
+        2, static_cast<std::size_t>(static_cast<double>(cells.size()) * train_fraction));
+    const auto train_end = std::min(split, cells.size());
+
+    TransitionCounts counts;
+    counts.add_sequence(std::span<const geo::CellId>(cells.data(), train_end));
+    taxis_.push_back(taxi);
+    models_[taxi] = learner.fit(counts);
+    // The holdout keeps the last training cell so its first transition
+    // (train_end - 1 -> train_end) is scored too.
+    if (train_end < cells.size()) {
+      holdouts_[taxi].assign(cells.begin() + static_cast<std::ptrdiff_t>(train_end) - 1,
+                             cells.end());
+    }
+  }
+}
+
+const MarkovModel& FleetModel::model(trace::TaxiId taxi) const {
+  const auto it = models_.find(taxi);
+  MCS_EXPECTS(it != models_.end(), "unknown taxi id");
+  return it->second;
+}
+
+const std::vector<geo::CellId>& FleetModel::holdout(trace::TaxiId taxi) const {
+  static const std::vector<geo::CellId> kEmpty;
+  const auto it = holdouts_.find(taxi);
+  return it == holdouts_.end() ? kEmpty : it->second;
+}
+
+std::vector<TopKAccuracy> evaluate_topk_accuracy(const FleetModel& fleet,
+                                                 const std::vector<std::size_t>& ks) {
+  MCS_EXPECTS(!ks.empty(), "need at least one k to evaluate");
+  std::vector<TopKAccuracy> results;
+  results.reserve(ks.size());
+  for (std::size_t k : ks) {
+    results.push_back({k, 0, 0});
+  }
+
+  for (trace::TaxiId taxi : fleet.taxis()) {
+    const auto& cells = fleet.holdout(taxi);
+    if (cells.size() < 2) {
+      continue;
+    }
+    const auto& model = fleet.model(taxi);
+    for (std::size_t step = 1; step < cells.size(); ++step) {
+      const geo::CellId from = cells[step - 1];
+      const geo::CellId actual = cells[step];
+      // One ranked row query serves every k.
+      const auto ranked = model.row(from);
+      std::size_t rank = ranked.size();  // "not found" sentinel
+      for (std::size_t r = 0; r < ranked.size(); ++r) {
+        if (ranked[r].first == actual) {
+          rank = r;
+          break;
+        }
+      }
+      for (auto& result : results) {
+        ++result.total;
+        if (rank < result.k) {
+          ++result.correct;
+        }
+      }
+    }
+  }
+  return results;
+}
+
+}  // namespace mcs::mobility

@@ -1,0 +1,53 @@
+// Next-location prediction and its evaluation (Fig 3 of the paper): per-taxi
+// Markov models are trained on a prefix of each trace and scored on the
+// held-out suffix by top-k accuracy — the fraction of held-out transitions
+// whose true destination appears among the k most likely predicted cells.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "mobility/learner.hpp"
+#include "trace/dataset.hpp"
+
+namespace mcs::mobility {
+
+/// Per-taxi mobility models learned from a dataset.
+class FleetModel {
+ public:
+  FleetModel() = default;
+
+  /// Trains one model per taxi on the fraction `train_fraction` (in (0, 1])
+  /// of that taxi's visit sequence; the remainder is retained as the
+  /// evaluation holdout.
+  FleetModel(const trace::TraceDataset& dataset, const geo::GridMap& grid,
+             const MarkovLearner& learner, double train_fraction = 1.0);
+
+  const std::vector<trace::TaxiId>& taxis() const { return taxis_; }
+  /// The learned model of one taxi; throws when the taxi is unknown.
+  const MarkovModel& model(trace::TaxiId taxi) const;
+  /// Held-out visit sequence of one taxi (empty when train_fraction = 1).
+  const std::vector<geo::CellId>& holdout(trace::TaxiId taxi) const;
+
+ private:
+  std::vector<trace::TaxiId> taxis_;
+  std::map<trace::TaxiId, MarkovModel> models_;
+  std::map<trace::TaxiId, std::vector<geo::CellId>> holdouts_;
+};
+
+/// Accuracy at one value of k.
+struct TopKAccuracy {
+  std::size_t k = 0;
+  std::size_t correct = 0;
+  std::size_t total = 0;
+
+  double accuracy() const { return total == 0 ? 0.0 : static_cast<double>(correct) / total; }
+};
+
+/// Evaluates top-k accuracy over every held-out transition of the fleet, for
+/// each requested k (the paper sweeps k = 3..15).
+std::vector<TopKAccuracy> evaluate_topk_accuracy(const FleetModel& fleet,
+                                                 const std::vector<std::size_t>& ks);
+
+}  // namespace mcs::mobility

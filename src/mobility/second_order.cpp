@@ -1,0 +1,142 @@
+#include "mobility/second_order.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace mcs::mobility {
+
+SecondOrderModel::SecondOrderModel(std::span<const geo::CellId> cells, double laplace_alpha)
+    : alpha_(laplace_alpha) {
+  MCS_EXPECTS(laplace_alpha >= 0.0, "smoothing constant must be non-negative");
+  TransitionCounts first_counts;
+  first_counts.add_sequence(cells);
+  first_order_ = MarkovLearner(laplace_alpha).fit(first_counts);
+  for (std::size_t k = 2; k < cells.size(); ++k) {
+    const History history{cells[k - 2], cells[k - 1]};
+    ++counts_[history][cells[k]];
+    ++row_totals_[history];
+  }
+}
+
+bool SecondOrderModel::has_history(geo::CellId prev, geo::CellId current) const {
+  return row_totals_.contains(History{prev, current});
+}
+
+double SecondOrderModel::probability(geo::CellId prev, geo::CellId current,
+                                     geo::CellId next) const {
+  const History history{prev, current};
+  const auto total_it = row_totals_.find(history);
+  if (total_it == row_totals_.end()) {
+    return first_order_.probability(current, next);
+  }
+  const auto& locations = first_order_.locations();
+  if (!std::binary_search(locations.begin(), locations.end(), next)) {
+    return 0.0;
+  }
+  const auto l = static_cast<double>(locations.size());
+  double numerator = alpha_;
+  const double denominator = static_cast<double>(total_it->second) + alpha_ * l;
+  const auto row_it = counts_.find(history);
+  const auto it = row_it->second.find(next);
+  if (it != row_it->second.end()) {
+    numerator += static_cast<double>(it->second);
+  }
+  if (denominator <= 0.0) {
+    return 0.0;
+  }
+  return numerator / denominator;
+}
+
+std::vector<std::pair<geo::CellId, double>> SecondOrderModel::top_k(geo::CellId prev,
+                                                                    geo::CellId current,
+                                                                    std::size_t k) const {
+  std::vector<std::pair<geo::CellId, double>> entries;
+  for (geo::CellId next : first_order_.locations()) {
+    const double p = probability(prev, current, next);
+    if (p > 0.0) {
+      entries.emplace_back(next, p);
+    }
+  }
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) {
+      return a.second > b.second;
+    }
+    return a.first < b.first;
+  });
+  if (entries.size() > k) {
+    entries.resize(k);
+  }
+  return entries;
+}
+
+OrderComparison compare_model_orders(const trace::TraceDataset& dataset,
+                                     const geo::GridMap& grid, double laplace_alpha,
+                                     double train_fraction,
+                                     const std::vector<std::size_t>& ks) {
+  MCS_EXPECTS(!ks.empty(), "need at least one k to evaluate");
+  MCS_EXPECTS(train_fraction > 0.0 && train_fraction < 1.0,
+              "order comparison needs a non-trivial holdout");
+  OrderComparison comparison;
+  for (std::size_t k : ks) {
+    comparison.first_order.push_back({k, 0, 0});
+    comparison.second_order.push_back({k, 0, 0});
+  }
+
+  for (trace::TaxiId taxi : dataset.taxi_ids()) {
+    const auto cells = dataset.cell_sequence(taxi, grid);
+    if (cells.size() < 4) {
+      continue;
+    }
+    const auto split = std::max<std::size_t>(
+        3, static_cast<std::size_t>(static_cast<double>(cells.size()) * train_fraction));
+    const auto train_end = std::min(split, cells.size() - 1);
+
+    TransitionCounts first_counts;
+    first_counts.add_sequence(std::span<const geo::CellId>(cells.data(), train_end));
+    const MarkovModel first = MarkovLearner(laplace_alpha).fit(first_counts);
+    const SecondOrderModel second(std::span<const geo::CellId>(cells.data(), train_end),
+                                  laplace_alpha);
+
+    // Score every holdout transition with two cells of history available.
+    for (std::size_t step = train_end; step + 1 <= cells.size() - 1; ++step) {
+      const geo::CellId prev = cells[step - 1];
+      const geo::CellId current = cells[step];
+      const geo::CellId actual = cells[step + 1];
+      ++comparison.predictions;
+      if (!second.has_history(prev, current)) {
+        ++comparison.backoff_uses;
+      }
+
+      const auto first_row = first.row(current);
+      std::size_t first_rank = first_row.size();
+      for (std::size_t r = 0; r < first_row.size(); ++r) {
+        if (first_row[r].first == actual) {
+          first_rank = r;
+          break;
+        }
+      }
+      const auto second_row = second.top_k(prev, current, first_row.size());
+      std::size_t second_rank = second_row.size();
+      for (std::size_t r = 0; r < second_row.size(); ++r) {
+        if (second_row[r].first == actual) {
+          second_rank = r;
+          break;
+        }
+      }
+      for (std::size_t index = 0; index < ks.size(); ++index) {
+        ++comparison.first_order[index].total;
+        ++comparison.second_order[index].total;
+        if (first_rank < ks[index]) {
+          ++comparison.first_order[index].correct;
+        }
+        if (second_rank < ks[index]) {
+          ++comparison.second_order[index].correct;
+        }
+      }
+    }
+  }
+  return comparison;
+}
+
+}  // namespace mcs::mobility

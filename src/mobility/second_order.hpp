@@ -1,0 +1,69 @@
+// Second-order Markov mobility model — an ablation of the paper's modelling
+// choice. The paper predicts the next location from the current one alone
+// (first-order); conditioning on the previous TWO locations can capture
+// direction of travel, but squares the state space and thins the per-row
+// counts. This module fits a second-order model with Laplace smoothing and
+// backoff: a (prev, current) pair never observed in training falls back to
+// the first-order row. `bench/ablation_markov_order` compares top-k accuracy
+// of the two orders on the same holdout.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "mobility/learner.hpp"
+#include "mobility/predictor.hpp"
+#include "trace/dataset.hpp"
+
+namespace mcs::mobility {
+
+/// Per-user second-order Markov model over grid cells with first-order
+/// backoff for unseen history pairs.
+class SecondOrderModel {
+ public:
+  SecondOrderModel() = default;
+
+  /// Fits from a visit sequence. `laplace_alpha` smooths both orders.
+  SecondOrderModel(std::span<const geo::CellId> cells, double laplace_alpha);
+
+  const std::vector<geo::CellId>& locations() const { return first_order_.locations(); }
+
+  /// Smoothed P(next | prev, current); falls back to the first-order row
+  /// when (prev, current) was never observed as a history.
+  double probability(geo::CellId prev, geo::CellId current, geo::CellId next) const;
+
+  /// The k most likely next cells given the two-cell history, descending
+  /// (ties by cell id).
+  std::vector<std::pair<geo::CellId, double>> top_k(geo::CellId prev, geo::CellId current,
+                                                    std::size_t k) const;
+
+  /// True when the history pair has observed continuations (no backoff).
+  bool has_history(geo::CellId prev, geo::CellId current) const;
+
+ private:
+  using History = std::pair<geo::CellId, geo::CellId>;
+
+  double alpha_ = 1.0;
+  MarkovModel first_order_;
+  std::map<History, std::map<geo::CellId, std::size_t>> counts_;
+  std::map<History, std::size_t> row_totals_;
+};
+
+/// Accuracy of first- vs second-order prediction on the same holdout
+/// transitions of a dataset (per-taxi models, shared train fraction).
+struct OrderComparison {
+  std::vector<TopKAccuracy> first_order;   ///< aligned with the ks argument
+  std::vector<TopKAccuracy> second_order;
+  std::size_t backoff_uses = 0;  ///< holdout predictions that fell back
+  std::size_t predictions = 0;
+};
+
+OrderComparison compare_model_orders(const trace::TraceDataset& dataset,
+                                     const geo::GridMap& grid, double laplace_alpha,
+                                     double train_fraction,
+                                     const std::vector<std::size_t>& ks);
+
+}  // namespace mcs::mobility

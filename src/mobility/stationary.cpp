@@ -1,0 +1,67 @@
+#include "mobility/stationary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace mcs::mobility {
+
+StationaryResult stationary_distribution(const MarkovModel& model, double tolerance,
+                                         std::size_t max_iterations) {
+  const auto& locations = model.locations();
+  MCS_EXPECTS(!locations.empty(), "model has no locations");
+  MCS_EXPECTS(tolerance > 0.0, "tolerance must be positive");
+  MCS_EXPECTS(max_iterations >= 1, "need at least one iteration");
+  const std::size_t l = locations.size();
+
+  // Dense row-stochastic transition matrix over the location set.
+  std::vector<double> transition(l * l);
+  for (std::size_t from = 0; from < l; ++from) {
+    for (std::size_t to = 0; to < l; ++to) {
+      transition[from * l + to] = model.probability(locations[from], locations[to]);
+    }
+  }
+
+  std::vector<double> pi(l, 1.0 / static_cast<double>(l));
+  std::vector<double> next(l);
+  StationaryResult result;
+  for (result.iterations = 1; result.iterations <= max_iterations; ++result.iterations) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t from = 0; from < l; ++from) {
+      const double mass = pi[from];
+      if (mass <= 0.0) {
+        continue;
+      }
+      const double* row = transition.data() + from * l;
+      for (std::size_t to = 0; to < l; ++to) {
+        next[to] += mass * row[to];
+      }
+    }
+    double residual = 0.0;
+    for (std::size_t k = 0; k < l; ++k) {
+      residual += std::fabs(next[k] - pi[k]);
+    }
+    pi.swap(next);
+    result.residual = residual;
+    if (residual <= tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.distribution.reserve(l);
+  for (std::size_t k = 0; k < l; ++k) {
+    result.distribution.emplace_back(locations[k], pi[k]);
+  }
+  std::sort(result.distribution.begin(), result.distribution.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) {
+                return a.second > b.second;
+              }
+              return a.first < b.first;
+            });
+  return result;
+}
+
+}  // namespace mcs::mobility

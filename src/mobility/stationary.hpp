@@ -1,0 +1,35 @@
+// Stationary analysis of a learned mobility model: where does a user spend
+// her time in the long run? The stationary distribution π (πP = π) ranks a
+// user's cells by long-run occupancy — the model-based counterpart of the
+// raw visit counts, useful for choosing task locations, pricing long
+// deadlines, and sanity-checking a learned chain against its ground truth.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "mobility/learner.hpp"
+
+namespace mcs::mobility {
+
+struct StationaryResult {
+  /// (cell, long-run probability), descending by probability (ties by id).
+  /// Probabilities sum to 1 over the model's location set.
+  std::vector<std::pair<geo::CellId, double>> distribution;
+  /// L1 change of the final power-iteration step; convergence means <= tol.
+  double residual = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Computes the stationary distribution of the model's smoothed chain by
+/// power iteration from the uniform distribution. With Laplace smoothing
+/// a > 0 the chain is irreducible and aperiodic on the location set, so the
+/// limit exists and is unique; with a = 0 the iteration may oscillate or
+/// depend on the start — `converged` reports honestly either way. Requires a
+/// model with at least one location.
+StationaryResult stationary_distribution(const MarkovModel& model, double tolerance = 1e-10,
+                                         std::size_t max_iterations = 10000);
+
+}  // namespace mcs::mobility

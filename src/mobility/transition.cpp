@@ -1,0 +1,59 @@
+#include "mobility/transition.hpp"
+
+#include "common/check.hpp"
+
+namespace mcs::mobility {
+
+void TransitionCounts::add(geo::CellId from, geo::CellId to, std::size_t count) {
+  MCS_EXPECTS(from >= 0 && to >= 0, "cell ids must be valid");
+  MCS_EXPECTS(count > 0, "transition count must be positive");
+  counts_[from][to] += count;
+  row_totals_[from] += count;
+  seen_[from] = true;
+  seen_[to] = true;
+  total_ += count;
+}
+
+void TransitionCounts::add_sequence(std::span<const geo::CellId> cells) {
+  for (std::size_t k = 1; k < cells.size(); ++k) {
+    add(cells[k - 1], cells[k]);
+  }
+}
+
+std::size_t TransitionCounts::count(geo::CellId from, geo::CellId to) const {
+  const auto row_it = counts_.find(from);
+  if (row_it == counts_.end()) {
+    return 0;
+  }
+  const auto it = row_it->second.find(to);
+  return it == row_it->second.end() ? 0 : it->second;
+}
+
+std::size_t TransitionCounts::row_total(geo::CellId from) const {
+  const auto it = row_totals_.find(from);
+  return it == row_totals_.end() ? 0 : it->second;
+}
+
+std::vector<geo::CellId> TransitionCounts::locations() const {
+  std::vector<geo::CellId> cells;
+  cells.reserve(seen_.size());
+  for (const auto& [cell, _] : seen_) {
+    cells.push_back(cell);
+  }
+  return cells;
+}
+
+std::vector<std::pair<geo::CellId, std::size_t>> TransitionCounts::row(geo::CellId from) const {
+  std::vector<std::pair<geo::CellId, std::size_t>> entries;
+  const auto row_it = counts_.find(from);
+  if (row_it == counts_.end()) {
+    return entries;
+  }
+  entries.reserve(row_it->second.size());
+  for (const auto& [to, count] : row_it->second) {
+    entries.emplace_back(to, count);
+  }
+  return entries;
+}
+
+}  // namespace mcs::mobility

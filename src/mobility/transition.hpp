@@ -1,0 +1,49 @@
+// Transition-count accumulation for the first-order Markov mobility model
+// (Section IV-B): x_ij counts how often a user moved from location i to
+// location j; x_i is the row total. Storage is sparse because each taxi only
+// ever visits a small fraction of the grid.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "geo/grid.hpp"
+
+namespace mcs::mobility {
+
+/// Sparse per-user transition counts over grid cells.
+class TransitionCounts {
+ public:
+  /// Records one observed move from `from` to `to`.
+  void add(geo::CellId from, geo::CellId to, std::size_t count = 1);
+
+  /// Accumulates all consecutive pairs of a visit sequence.
+  void add_sequence(std::span<const geo::CellId> cells);
+
+  /// x_ij; zero when never observed.
+  std::size_t count(geo::CellId from, geo::CellId to) const;
+
+  /// x_i = Σ_j x_ij.
+  std::size_t row_total(geo::CellId from) const;
+
+  /// Total number of recorded transitions.
+  std::size_t total() const { return total_; }
+
+  /// The user's location set: every cell that appears as a source or a
+  /// destination. Sorted ascending. This is the `l` of the paper's Laplace
+  /// smoothing formula.
+  std::vector<geo::CellId> locations() const;
+
+  /// Observed destinations from `from` with their counts, sorted by cell id.
+  std::vector<std::pair<geo::CellId, std::size_t>> row(geo::CellId from) const;
+
+ private:
+  std::map<geo::CellId, std::map<geo::CellId, std::size_t>> counts_;
+  std::map<geo::CellId, std::size_t> row_totals_;
+  std::map<geo::CellId, bool> seen_;  // value unused; key set = location set
+  std::size_t total_ = 0;
+};
+
+}  // namespace mcs::mobility

@@ -1,0 +1,149 @@
+// The crowdsensing platform of the paper's Fig 1, as a running system.
+//
+// The paper evaluates single sealed-bid auctions; a deployed platform runs
+// them continuously: it posts location tasks each time slot (Step 2),
+// collects bids from mobile users whose positions — and therefore predicted
+// PoS — evolve between slots (Steps 3-4), runs the strategy-proof multi-task
+// mechanism (Step 5), observes execution, settles the execution-contingent
+// rewards (Step 6), and publishes results (Step 7). This module implements
+// that loop: a multi-round campaign over the synthetic city, with
+//   * per-round user mobility: each taxi's position advances one ground-truth
+//     kernel step between rounds;
+//   * two execution models: Bernoulli draws on the declared PoS (the paper's
+//     implicit model), or ground-truth mobility (a task completes iff the
+//     taxi's actual next move lands on the task cell — which also becomes her
+//     position for the next round);
+//   * budget accounting: the platform stops holding auctions once its
+//     cumulative payout reaches the campaign budget.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "auction/multi_task/mechanism.hpp"
+#include "mobility/pos.hpp"
+#include "platform/reputation.hpp"
+#include "sim/scenario.hpp"
+#include "trace/generator.hpp"
+
+namespace mcs::platform {
+
+/// How the society's per-round task demand (Fig 1, Step 1) is generated.
+enum class TaskPolicy {
+  /// Post the cells most users can serve — maximal competition per task.
+  kMostCovered,
+  /// Sample cells with Zipf bias by coverage rank: popular places are asked
+  /// for more often, but the tail gets demand too.
+  kZipfDemand,
+  /// Sample uniformly among all serviceable cells.
+  kUniformRandom,
+};
+
+/// How winners' task completion is realized each round.
+enum class ExecutionModel {
+  /// Bernoulli draw per (winner, task) with her declared PoS — the model the
+  /// paper's evaluation implies.
+  kDeclaredBernoulli,
+  /// The taxi actually moves one ground-truth kernel step; a task completes
+  /// iff her realized next cell is the task cell. Exposes model error: the
+  /// declared (learned) PoS only approximates this process.
+  kGroundTruthMobility,
+};
+
+struct CampaignConfig {
+  std::size_t rounds = 10;
+  std::size_t num_tasks = 12;    ///< tasks posted per round
+  std::size_t num_bidders = 60;  ///< users invited per round
+  double pos_requirement = 0.7;
+  /// Per-round feasibility cap (fraction of achievable PoS); 0 disables and
+  /// infeasible rounds are simply skipped.
+  double requirement_cap_fraction = 0.9;
+  double alpha = 10.0;
+  auction::multi_task::CriticalBidRule critical_bid_rule =
+      auction::multi_task::CriticalBidRule::kBinarySearch;
+  TaskPolicy task_policy = TaskPolicy::kMostCovered;
+  double demand_zipf_exponent = 1.0;  ///< for TaskPolicy::kZipfDemand
+  /// Probability a taxi is on shift (able to bid) in a given round; off-shift
+  /// taxis still move through the city. 1 = everyone always available.
+  double availability = 1.0;
+  ExecutionModel execution = ExecutionModel::kGroundTruthMobility;
+  /// The campaign stops holding auctions once cumulative payout reaches this.
+  double budget = std::numeric_limits<double>::infinity();
+  std::uint64_t seed = 1;
+};
+
+/// What happened in one round.
+struct RoundReport {
+  std::size_t round = 0;
+  bool held = false;  ///< false when budget was exhausted or no feasible scenario
+  std::size_t winners = 0;
+  double social_cost = 0.0;
+  double payout = 0.0;  ///< settled under the realized execution
+  std::size_t tasks_posted = 0;
+  std::size_t tasks_completed = 0;
+  double mean_required_pos = 0.0;
+  double mean_achieved_pos = 0.0;  ///< analytic, under declared PoS
+  std::vector<trace::TaxiId> winning_taxis;  ///< the recruited taxis, ascending
+};
+
+/// Aggregated campaign outcome.
+struct CampaignReport {
+  std::vector<RoundReport> rounds;
+  double total_payout = 0.0;
+  double total_social_cost = 0.0;
+  std::size_t total_tasks_posted = 0;
+  std::size_t total_tasks_completed = 0;
+  std::size_t rounds_held = 0;
+  /// How many rounds each taxi won across the campaign (absent = zero).
+  /// Win concentration matters operationally: a platform whose rewards pool
+  /// on a few users erodes everyone else's incentive to keep bidding.
+  std::map<trace::TaxiId, std::size_t> wins_by_taxi;
+
+  /// Fraction of posted tasks completed across the campaign.
+  double completion_rate() const;
+  /// Total number of (round, winner) pairs.
+  std::size_t total_wins() const;
+  /// Herfindahl–Hirschman index of the win distribution in [0, 1]:
+  /// 1/#winners when wins are evenly spread, 1 when one taxi takes all.
+  /// 0 when no wins occurred.
+  double win_concentration() const;
+  /// Share of wins taken by the single most-winning taxi (0 when none).
+  double top_winner_share() const;
+};
+
+/// The running platform: owns the per-taxi position state and drives the
+/// auction/execution/settlement loop over a fixed city and learned fleet.
+/// The city model and fleet must outlive the platform.
+class Platform {
+ public:
+  Platform(const trace::CityModel& city, const mobility::FleetModel& fleet,
+           const CampaignConfig& config);
+
+  /// Runs the configured number of rounds and returns the report.
+  CampaignReport run_campaign();
+
+  /// Current position of a taxi (after any rounds run so far).
+  geo::CellId position_of(trace::TaxiId taxi) const;
+
+  /// Declared-vs-realized reputation accumulated over the rounds run so far
+  /// (one observation per winner per held round).
+  const ReputationTracker& reputation() const { return reputation_; }
+
+ private:
+  RoundReport run_round(std::size_t round, double budget_left);
+  /// Generates this round's task cells per the configured policy; empty when
+  /// the pool cannot support the configured task count.
+  std::vector<geo::CellId> demand_tasks(const std::vector<mobility::MobilityUser>& pool);
+  void advance_positions();
+
+  const trace::CityModel& city_;
+  const mobility::FleetModel& fleet_;
+  CampaignConfig config_;
+  common::Rng rng_;
+  std::vector<geo::CellId> positions_;  ///< indexed by position in fleet_.taxis()
+  ReputationTracker reputation_;
+};
+
+}  // namespace mcs::platform

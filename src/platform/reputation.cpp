@@ -1,0 +1,43 @@
+#include "platform/reputation.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace mcs::platform {
+
+double ReputationRecord::z_score() const {
+  if (variance <= 0.0) {
+    return 0.0;
+  }
+  return (static_cast<double>(realized_successes) - expected_successes) / std::sqrt(variance);
+}
+
+void ReputationTracker::record(trace::TaxiId taxi, double declared_pos, bool succeeded) {
+  MCS_EXPECTS(declared_pos >= 0.0 && declared_pos <= 1.0, "declared PoS must lie in [0, 1]");
+  auto& record = records_[taxi];
+  ++record.rounds;
+  record.expected_successes += declared_pos;
+  record.variance += declared_pos * (1.0 - declared_pos);
+  record.realized_successes += succeeded ? 1 : 0;
+}
+
+ReputationRecord ReputationTracker::record_of(trace::TaxiId taxi) const {
+  const auto it = records_.find(taxi);
+  return it == records_.end() ? ReputationRecord{} : it->second;
+}
+
+std::vector<trace::TaxiId> ReputationTracker::flagged_overclaimers(
+    double z_threshold, std::size_t min_rounds) const {
+  MCS_EXPECTS(z_threshold > 0.0, "z threshold must be positive");
+  MCS_EXPECTS(min_rounds >= 1, "need at least one observation");
+  std::vector<trace::TaxiId> flagged;
+  for (const auto& [taxi, record] : records_) {
+    if (record.rounds >= min_rounds && record.z_score() < -z_threshold) {
+      flagged.push_back(taxi);
+    }
+  }
+  return flagged;
+}
+
+}  // namespace mcs::platform

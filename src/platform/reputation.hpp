@@ -1,0 +1,57 @@
+// Declared-PoS reputation tracking — platform-side monitoring that
+// complements the execution-contingent incentive.
+//
+// The EC reward makes PoS inflation unprofitable in expectation, but a
+// platform still wants to DETECT systematic over-claimers (buggy predictors,
+// or manipulation under a mis-configured reward rule). Each settled round
+// contributes one Bernoulli observation per winner: she declared an overall
+// success probability p̂ and either delivered or not. The tracker
+// accumulates, per user, the expected and realized success counts and flags
+// users whose realized rate falls below the declared rate by more than
+// `z_threshold` standard deviations of the declared-Bernoulli sum — a
+// one-sided z-test for over-claiming.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace mcs::platform {
+
+/// Accumulated declared-vs-realized evidence for one user.
+struct ReputationRecord {
+  std::size_t rounds = 0;
+  double expected_successes = 0.0;  ///< Σ declared overall PoS
+  double variance = 0.0;            ///< Σ p̂(1 - p̂)
+  std::size_t realized_successes = 0;
+
+  /// Realized minus expected, in standard deviations of the declared model;
+  /// strongly negative = over-claimer. 0 until variance accumulates.
+  double z_score() const;
+};
+
+/// Per-user reputation ledger.
+class ReputationTracker {
+ public:
+  /// Records one settled round for a user: she declared overall success
+  /// probability `declared_pos` (in [0, 1]) and either succeeded or not.
+  void record(trace::TaxiId taxi, double declared_pos, bool succeeded);
+
+  /// The user's record (zeroed default when never seen).
+  ReputationRecord record_of(trace::TaxiId taxi) const;
+
+  /// Users whose z-score is below -z_threshold after at least `min_rounds`
+  /// observations, ascending by taxi id. These declared systematically more
+  /// than they delivered.
+  std::vector<trace::TaxiId> flagged_overclaimers(double z_threshold = 2.0,
+                                                  std::size_t min_rounds = 5) const;
+
+  std::size_t tracked_users() const { return records_.size(); }
+
+ private:
+  std::map<trace::TaxiId, ReputationRecord> records_;
+};
+
+}  // namespace mcs::platform

@@ -1,0 +1,73 @@
+#include "sim/budget.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace mcs::sim {
+
+namespace {
+
+PayoutEstimate accumulate(const std::vector<auction::WinnerReward>& rewards,
+                          const std::vector<double>& success_probabilities) {
+  PayoutEstimate estimate;
+  for (std::size_t k = 0; k < rewards.size(); ++k) {
+    const auto& reward = rewards[k].reward;
+    estimate.total_cost += reward.cost;
+    estimate.rent_per_alpha += success_probabilities[k] - reward.critical_pos;
+    estimate.worst_case_per_alpha += 1.0 - reward.critical_pos;
+  }
+  return estimate;
+}
+
+double solve_alpha(double budget, double base, double slope, double alpha_cap) {
+  MCS_EXPECTS(budget > 0.0, "budget must be positive");
+  MCS_EXPECTS(alpha_cap > 0.0, "alpha cap must be positive");
+  if (base >= budget) {
+    return 0.0;  // the winners' costs alone exceed the budget
+  }
+  if (slope <= 0.0) {
+    return alpha_cap;  // no rent: any α fits
+  }
+  return std::min(alpha_cap, (budget - base) / slope);
+}
+
+}  // namespace
+
+PayoutEstimate estimate_payout(const auction::SingleTaskInstance& instance,
+                               const auction::MechanismOutcome& outcome) {
+  std::vector<double> probabilities;
+  probabilities.reserve(outcome.rewards.size());
+  for (const auto& reward : outcome.rewards) {
+    MCS_EXPECTS(reward.user >= 0 &&
+                    static_cast<std::size_t>(reward.user) < instance.bids.size(),
+                "outcome does not belong to this instance");
+    probabilities.push_back(instance.bids[static_cast<std::size_t>(reward.user)].pos);
+  }
+  return accumulate(outcome.rewards, probabilities);
+}
+
+PayoutEstimate estimate_payout(const auction::MultiTaskInstance& instance,
+                               const auction::MechanismOutcome& outcome) {
+  std::vector<double> probabilities;
+  probabilities.reserve(outcome.rewards.size());
+  for (const auto& reward : outcome.rewards) {
+    MCS_EXPECTS(reward.user >= 0 &&
+                    static_cast<std::size_t>(reward.user) < instance.num_users(),
+                "outcome does not belong to this instance");
+    probabilities.push_back(
+        instance.users[static_cast<std::size_t>(reward.user)].any_success_probability());
+  }
+  return accumulate(outcome.rewards, probabilities);
+}
+
+double alpha_for_budget(const PayoutEstimate& estimate, double budget, double alpha_cap) {
+  return solve_alpha(budget, estimate.total_cost, estimate.rent_per_alpha, alpha_cap);
+}
+
+double alpha_for_budget_worst_case(const PayoutEstimate& estimate, double budget,
+                                   double alpha_cap) {
+  return solve_alpha(budget, estimate.total_cost, estimate.worst_case_per_alpha, alpha_cap);
+}
+
+}  // namespace mcs::sim

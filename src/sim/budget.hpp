@@ -1,0 +1,60 @@
+// Reward budgeting: choosing the reward scaling factor α.
+//
+// The paper introduces α as a free knob "that can be adjusted according to
+// the budget constraint of the platform" (Section III-B) but never says how.
+// This module supplies the missing calculation. A winner with critical PoS
+// p̄, cost c, and true success probability p costs the platform, in
+// expectation,
+//     E[payment] = p·((1-p̄)·α + c) + (1-p)·(-p̄·α + c) = (p - p̄)·α + c,
+// i.e. her cost plus her information rent (p - p̄)·α. Summing over winners,
+//     E[payout](α) = Σ c_i + α · Σ (p_i - p̄_i)
+// is affine and increasing in α, so the largest α fitting a budget B is
+//     α* = (B - Σ c_i) / Σ (p_i - p̄_i).
+//
+// Caveat the API makes explicit: the platform does not know the true p_i.
+// Under truthful play the declared PoS equal the true ones, so evaluating
+// the formula on declared values is exact in equilibrium; the worst case
+// over all type profiles replaces p_i by 1 (a winner can never be paid more
+// than (1-p̄_i)·α + c_i).
+#pragma once
+
+#include "auction/instance.hpp"
+
+namespace mcs::sim {
+
+/// Decomposition of a mechanism outcome's expected platform payout.
+struct PayoutEstimate {
+  double total_cost = 0.0;        ///< Σ c_i over winners (paid regardless of α)
+  double rent_per_alpha = 0.0;    ///< Σ (p_i - p̄_i): marginal payout per unit α
+  double worst_case_per_alpha = 0.0;  ///< Σ (1 - p̄_i): ceiling slope
+
+  double expected_payout(double alpha) const { return total_cost + alpha * rent_per_alpha; }
+  double worst_case_payout(double alpha) const {
+    return total_cost + alpha * worst_case_per_alpha;
+  }
+};
+
+/// Estimates the payout of a single-task outcome using the instance's PoS
+/// values as the winners' true success probabilities (exact under truthful
+/// play). The outcome's rewards must belong to the instance.
+PayoutEstimate estimate_payout(const auction::SingleTaskInstance& instance,
+                               const auction::MechanismOutcome& outcome);
+
+/// Same for a multi-task outcome; a winner's success probability is her
+/// any-task probability 1 - Π(1 - p_i^j).
+PayoutEstimate estimate_payout(const auction::MultiTaskInstance& instance,
+                               const auction::MechanismOutcome& outcome);
+
+/// Largest α whose expected payout fits `budget`, or 0 when even α → 0
+/// exceeds it (the costs alone bust the budget). When the winners have no
+/// information rent (rent_per_alpha = 0), any α fits and `alpha_cap` is
+/// returned. Requires budget > 0 and alpha_cap > 0.
+double alpha_for_budget(const PayoutEstimate& estimate, double budget,
+                        double alpha_cap = 1e6);
+
+/// Conservative variant using the worst-case slope (no trust in declared
+/// PoS).
+double alpha_for_budget_worst_case(const PayoutEstimate& estimate, double budget,
+                                   double alpha_cap = 1e6);
+
+}  // namespace mcs::sim

@@ -1,0 +1,93 @@
+#include "sim/execution.hpp"
+
+#include "common/check.hpp"
+
+namespace mcs::sim {
+
+SingleTaskRun simulate(const auction::SingleTaskInstance& instance,
+                       const std::vector<auction::UserId>& winners, common::Rng& rng) {
+  SingleTaskRun run;
+  run.winner_success.reserve(winners.size());
+  for (auction::UserId winner : winners) {
+    MCS_EXPECTS(winner >= 0 && static_cast<std::size_t>(winner) < instance.bids.size(),
+                "winner id out of range");
+    const bool success = rng.bernoulli(instance.bids[static_cast<std::size_t>(winner)].pos);
+    run.winner_success.push_back(success);
+    run.task_completed = run.task_completed || success;
+  }
+  return run;
+}
+
+MultiTaskRun simulate(const auction::MultiTaskInstance& instance,
+                      const std::vector<auction::UserId>& winners, common::Rng& rng) {
+  MultiTaskRun run;
+  run.winner_task_success.reserve(winners.size());
+  run.winner_any_success.reserve(winners.size());
+  run.task_completed.assign(instance.num_tasks(), false);
+  for (auction::UserId winner : winners) {
+    MCS_EXPECTS(winner >= 0 && static_cast<std::size_t>(winner) < instance.users.size(),
+                "winner id out of range");
+    const auto& bid = instance.users[static_cast<std::size_t>(winner)];
+    std::vector<bool> successes;
+    successes.reserve(bid.tasks.size());
+    bool any = false;
+    for (std::size_t k = 0; k < bid.tasks.size(); ++k) {
+      const bool success = rng.bernoulli(bid.pos[k]);
+      successes.push_back(success);
+      any = any || success;
+      if (success) {
+        run.task_completed[static_cast<std::size_t>(bid.tasks[k])] = true;
+      }
+    }
+    run.winner_task_success.push_back(std::move(successes));
+    run.winner_any_success.push_back(any);
+  }
+  return run;
+}
+
+double empirical_task_pos(const auction::SingleTaskInstance& instance,
+                          const std::vector<auction::UserId>& winners, std::size_t runs,
+                          common::Rng& rng) {
+  MCS_EXPECTS(runs > 0, "need at least one run");
+  std::size_t completed = 0;
+  for (std::size_t r = 0; r < runs; ++r) {
+    if (simulate(instance, winners, rng).task_completed) {
+      ++completed;
+    }
+  }
+  return static_cast<double>(completed) / static_cast<double>(runs);
+}
+
+std::vector<double> empirical_task_pos(const auction::MultiTaskInstance& instance,
+                                       const std::vector<auction::UserId>& winners,
+                                       std::size_t runs, common::Rng& rng) {
+  MCS_EXPECTS(runs > 0, "need at least one run");
+  std::vector<std::size_t> completed(instance.num_tasks(), 0);
+  for (std::size_t r = 0; r < runs; ++r) {
+    const auto run = simulate(instance, winners, rng);
+    for (std::size_t j = 0; j < completed.size(); ++j) {
+      if (run.task_completed[j]) {
+        ++completed[j];
+      }
+    }
+  }
+  std::vector<double> pos(completed.size());
+  for (std::size_t j = 0; j < completed.size(); ++j) {
+    pos[j] = static_cast<double>(completed[j]) / static_cast<double>(runs);
+  }
+  return pos;
+}
+
+double settle_payout(const auction::MechanismOutcome& outcome,
+                     const std::vector<bool>& any_success) {
+  MCS_EXPECTS(any_success.size() == outcome.rewards.size(),
+              "success flags must align with the outcome's winners");
+  double payout = 0.0;
+  for (std::size_t k = 0; k < outcome.rewards.size(); ++k) {
+    const auto& reward = outcome.rewards[k].reward;
+    payout += any_success[k] ? reward.on_success() : reward.on_failure();
+  }
+  return payout;
+}
+
+}  // namespace mcs::sim

@@ -1,0 +1,54 @@
+// Execution engine: after an auction closes, each winner attempts her
+// task(s); success is Bernoulli in her TRUE PoS. The engine realizes
+// outcomes, settles execution-contingent rewards, and estimates achieved
+// task PoS empirically (to cross-check the analytic values in metrics.hpp).
+#pragma once
+
+#include <vector>
+
+#include "auction/instance.hpp"
+#include "common/rng.hpp"
+
+namespace mcs::sim {
+
+/// One realized run of a single-task auction's winners.
+struct SingleTaskRun {
+  std::vector<bool> winner_success;  ///< aligned with the allocation's winners
+  bool task_completed = false;       ///< at least one winner succeeded
+};
+
+/// One realized run of a multi-task auction's winners.
+struct MultiTaskRun {
+  /// winner_task_success[w][k]: did winner w complete the k-th task of her
+  /// own task set?
+  std::vector<std::vector<bool>> winner_task_success;
+  std::vector<bool> winner_any_success;  ///< completed >= 1 of her tasks
+  std::vector<bool> task_completed;      ///< per instance task
+};
+
+/// Simulates one execution of the winners of a single-task auction.
+SingleTaskRun simulate(const auction::SingleTaskInstance& instance,
+                       const std::vector<auction::UserId>& winners, common::Rng& rng);
+
+/// Simulates one execution of the winners of a multi-task auction.
+MultiTaskRun simulate(const auction::MultiTaskInstance& instance,
+                      const std::vector<auction::UserId>& winners, common::Rng& rng);
+
+/// Fraction of `runs` executions in which the task was completed — the
+/// empirical achieved PoS of the single task.
+double empirical_task_pos(const auction::SingleTaskInstance& instance,
+                          const std::vector<auction::UserId>& winners, std::size_t runs,
+                          common::Rng& rng);
+
+/// Per-task empirical achieved PoS over `runs` executions.
+std::vector<double> empirical_task_pos(const auction::MultiTaskInstance& instance,
+                                       const std::vector<auction::UserId>& winners,
+                                       std::size_t runs, common::Rng& rng);
+
+/// Settles one realized run: the platform's total payout under the outcome's
+/// EC rewards (success branch for winners who completed, failure branch
+/// otherwise). `any_success` is aligned with the outcome's winners.
+double settle_payout(const auction::MechanismOutcome& outcome,
+                     const std::vector<bool>& any_success);
+
+}  // namespace mcs::sim

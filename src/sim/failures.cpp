@@ -1,0 +1,74 @@
+#include "sim/failures.hpp"
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+
+namespace mcs::sim {
+
+namespace {
+void check_model(const FailureModel& model) {
+  MCS_EXPECTS(model.outage_prob >= 0.0 && model.outage_prob < 1.0,
+              "outage probability must lie in [0, 1)");
+  MCS_EXPECTS(model.hardware_prob >= 0.0 && model.hardware_prob < 1.0,
+              "hardware failure probability must lie in [0, 1)");
+}
+}  // namespace
+
+FailureRun simulate_with_failures(const auction::MultiTaskInstance& instance,
+                                  const std::vector<auction::UserId>& winners,
+                                  const FailureModel& model, common::Rng& rng) {
+  check_model(model);
+  FailureRun run;
+  run.outage = rng.bernoulli(model.outage_prob);
+  run.winner_hardware_ok.reserve(winners.size());
+  run.winner_any_success.reserve(winners.size());
+  run.task_completed.assign(instance.num_tasks(), false);
+  for (auction::UserId winner : winners) {
+    MCS_EXPECTS(winner >= 0 && static_cast<std::size_t>(winner) < instance.users.size(),
+                "winner id out of range");
+    const bool hardware_ok = !rng.bernoulli(model.hardware_prob);
+    run.winner_hardware_ok.push_back(hardware_ok);
+    bool any = false;
+    if (!run.outage && hardware_ok) {
+      const auto& bid = instance.users[static_cast<std::size_t>(winner)];
+      for (std::size_t k = 0; k < bid.tasks.size(); ++k) {
+        if (rng.bernoulli(bid.pos[k])) {
+          any = true;
+          run.task_completed[static_cast<std::size_t>(bid.tasks[k])] = true;
+        }
+      }
+    }
+    run.winner_any_success.push_back(any);
+  }
+  return run;
+}
+
+double achieved_pos_with_failures(const auction::MultiTaskInstance& instance,
+                                  const std::vector<auction::UserId>& winners,
+                                  auction::TaskIndex task, const FailureModel& model) {
+  check_model(model);
+  // Σ_i -ln(1 - (1-h)·p_i) over winners covering the task, then compose with
+  // the round-level outage.
+  double effective_q = 0.0;
+  for (auction::UserId winner : winners) {
+    MCS_EXPECTS(winner >= 0 && static_cast<std::size_t>(winner) < instance.users.size(),
+                "winner id out of range");
+    const double p = instance.users[static_cast<std::size_t>(winner)].pos_for(task);
+    effective_q += common::contribution_from_pos((1.0 - model.hardware_prob) * p);
+  }
+  return (1.0 - model.outage_prob) * common::pos_from_contribution(effective_q);
+}
+
+double compensated_requirement(double target, const FailureModel& model) {
+  check_model(model);
+  MCS_EXPECTS(target > 0.0 && target < 1.0, "target PoS must lie in (0, 1)");
+  const double survivable = target / (1.0 - model.outage_prob);
+  MCS_EXPECTS(survivable < 1.0,
+              "target is unreachable: it exceeds the outage survival probability");
+  // Declared coverage Q' must satisfy (1-h)·Q' >= -ln(1 - target/(1-o)).
+  const double required_effective_q = common::contribution_from_pos(survivable);
+  const double declared_q = required_effective_q / (1.0 - model.hardware_prob);
+  return common::pos_from_contribution(declared_q);
+}
+
+}  // namespace mcs::sim

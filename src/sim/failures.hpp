@@ -1,0 +1,59 @@
+// Failure injection — the paper's other future-work axis (Section VI):
+// execution uncertainty beyond mobility. The paper names unreliable network
+// connections and sensor/hardware failure as additional causes of task
+// failure; this module injects them on top of the mobility PoS:
+//   * `outage_prob`  — a round-level correlated failure (e.g. a network
+//     outage): with this probability EVERY task attempt in the round fails;
+//   * `hardware_prob` — an independent per-winner-per-round failure (device
+//     breaks, sensor glitch): all of that winner's attempts fail.
+// A task attempt then succeeds with probability (1-outage)·(1-hardware)·p.
+//
+// Because these failure sources are invisible to the declared PoS, a
+// platform that requests requirement T will observe a lower achieved PoS.
+// `compensated_requirement` computes the inflated requirement T' the
+// platform should impose on declared coverage so that the post-failure
+// achieved PoS still meets the original target.
+#pragma once
+
+#include <vector>
+
+#include "auction/instance.hpp"
+#include "common/rng.hpp"
+
+namespace mcs::sim {
+
+/// Injected failure sources; zeros disable.
+struct FailureModel {
+  double outage_prob = 0.0;    ///< round-correlated failure in [0, 1)
+  double hardware_prob = 0.0;  ///< per-winner independent failure in [0, 1)
+};
+
+/// One realized round of a multi-task auction's winners under failures.
+struct FailureRun {
+  bool outage = false;
+  std::vector<bool> winner_hardware_ok;  ///< aligned with winners
+  std::vector<bool> winner_any_success;
+  std::vector<bool> task_completed;
+};
+
+/// Simulates one execution round with injected failures.
+FailureRun simulate_with_failures(const auction::MultiTaskInstance& instance,
+                                  const std::vector<auction::UserId>& winners,
+                                  const FailureModel& model, common::Rng& rng);
+
+/// Analytic achieved PoS of a task under the failure model:
+///   (1 - outage) · (1 - Π_i (1 - (1 - hardware)·p_i)).
+double achieved_pos_with_failures(const auction::MultiTaskInstance& instance,
+                                  const std::vector<auction::UserId>& winners,
+                                  auction::TaskIndex task, const FailureModel& model);
+
+/// The PoS requirement T' to impose on DECLARED coverage so that the
+/// post-failure achieved PoS meets `target`. Exact in the outage dimension;
+/// the hardware dimension uses the contribution-scaling identity
+/// q' = q / (1 - h), which is exact when each task is covered by many
+/// small-PoS users (the paper's regime) and conservative otherwise is NOT
+/// guaranteed — see the docs. Throws PreconditionError when the target is
+/// unreachable (target >= 1 - outage).
+double compensated_requirement(double target, const FailureModel& model);
+
+}  // namespace mcs::sim

@@ -1,0 +1,60 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+#include "common/stats.hpp"
+
+namespace mcs::sim {
+
+double achieved_pos(const auction::SingleTaskInstance& instance,
+                    const std::vector<auction::UserId>& winners) {
+  return common::pos_from_contribution(instance.contribution_of(winners));
+}
+
+std::vector<double> achieved_pos(const auction::MultiTaskInstance& instance,
+                                 const std::vector<auction::UserId>& winners) {
+  std::vector<double> pos(instance.num_tasks());
+  for (std::size_t j = 0; j < pos.size(); ++j) {
+    pos[j] = instance.achieved_pos(winners, static_cast<auction::TaskIndex>(j));
+  }
+  return pos;
+}
+
+double average_achieved_pos(const auction::MultiTaskInstance& instance,
+                            const std::vector<auction::UserId>& winners) {
+  const auto pos = achieved_pos(instance, winners);
+  MCS_EXPECTS(!pos.empty(), "instance has no tasks");
+  return common::mean(pos);
+}
+
+std::vector<double> expected_utilities(const auction::SingleTaskInstance& instance,
+                                       const auction::MechanismOutcome& outcome) {
+  std::vector<double> utilities;
+  utilities.reserve(outcome.rewards.size());
+  for (const auto& winner : outcome.rewards) {
+    const double true_pos = instance.bids[static_cast<std::size_t>(winner.user)].pos;
+    utilities.push_back(winner.reward.expected_utility(true_pos));
+  }
+  return utilities;
+}
+
+std::vector<double> expected_utilities(const auction::MultiTaskInstance& instance,
+                                       const auction::MechanismOutcome& outcome) {
+  std::vector<double> utilities;
+  utilities.reserve(outcome.rewards.size());
+  for (const auto& winner : outcome.rewards) {
+    const double true_any =
+        instance.users[static_cast<std::size_t>(winner.user)].any_success_probability();
+    utilities.push_back(winner.reward.expected_utility(true_any));
+  }
+  return utilities;
+}
+
+bool individually_rational(const std::vector<double>& utilities, double tolerance) {
+  return std::all_of(utilities.begin(), utilities.end(),
+                     [&](double u) { return u >= -tolerance; });
+}
+
+}  // namespace mcs::sim

@@ -1,0 +1,235 @@
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/check.hpp"
+#include "common/distributions.hpp"
+#include "common/math.hpp"
+
+namespace mcs::sim {
+
+namespace {
+
+/// Applies ScenarioParams::requirement_cap_fraction to a built single-task
+/// instance (no-op when the cap is disabled).
+void cap_requirement(auction::SingleTaskInstance& instance, const ScenarioParams& params) {
+  if (params.requirement_cap_fraction <= 0.0) {
+    return;
+  }
+  double total_q = 0.0;
+  for (const auto& bid : instance.bids) {
+    total_q += common::contribution_from_pos(bid.pos);
+  }
+  const double achievable = common::pos_from_contribution(total_q);
+  instance.requirement_pos =
+      std::max(params.requirement_floor,
+               std::min(instance.requirement_pos, params.requirement_cap_fraction * achievable));
+}
+
+std::vector<double> achievable_pos_per_task(const auction::MultiTaskInstance& instance) {
+  std::vector<auction::UserId> everyone(instance.num_users());
+  for (std::size_t k = 0; k < everyone.size(); ++k) {
+    everyone[k] = static_cast<auction::UserId>(k);
+  }
+  std::vector<double> achievable(instance.num_tasks());
+  for (std::size_t j = 0; j < instance.num_tasks(); ++j) {
+    achievable[j] = instance.achieved_pos(everyone, static_cast<auction::TaskIndex>(j));
+  }
+  return achievable;
+}
+
+}  // namespace
+
+double sample_cost(const ScenarioParams& params, common::Rng& rng) {
+  MCS_EXPECTS(params.cost_variance >= 0.0, "cost variance must be non-negative");
+  MCS_EXPECTS(params.cost_floor > 0.0, "cost floor must be positive");
+  const double stddev = std::sqrt(params.cost_variance);
+  if (stddev == 0.0) {
+    return std::max(params.cost_mean, params.cost_floor);
+  }
+  return common::sample_truncated_normal(rng, params.cost_mean, stddev, params.cost_floor,
+                                         params.cost_mean + 12.0 * stddev);
+}
+
+std::vector<geo::CellId> popular_cells(const std::vector<mobility::MobilityUser>& pool) {
+  std::map<geo::CellId, std::size_t> frequency;
+  for (const auto& user : pool) {
+    for (const auto& [cell, _] : user.task_pos) {
+      ++frequency[cell];
+    }
+  }
+  std::vector<geo::CellId> cells;
+  cells.reserve(frequency.size());
+  for (const auto& [cell, _] : frequency) {
+    cells.push_back(cell);
+  }
+  std::sort(cells.begin(), cells.end(), [&](geo::CellId a, geo::CellId b) {
+    if (frequency[a] != frequency[b]) {
+      return frequency[a] > frequency[b];
+    }
+    return a < b;
+  });
+  return cells;
+}
+
+std::optional<SingleTaskScenario> build_single_task(
+    const std::vector<mobility::MobilityUser>& pool, geo::CellId task_cell,
+    std::size_t num_users, const ScenarioParams& params, common::Rng& rng) {
+  MCS_EXPECTS(num_users > 0, "scenario needs at least one user");
+
+  std::vector<std::size_t> candidates;
+  for (std::size_t k = 0; k < pool.size(); ++k) {
+    if (mobility::user_pos_for_cell(pool[k], task_cell) > 0.0) {
+      candidates.push_back(k);
+    }
+  }
+  if (candidates.size() < num_users) {
+    return std::nullopt;
+  }
+  const auto picks = common::sample_without_replacement(rng, candidates.size(), num_users);
+
+  SingleTaskScenario scenario;
+  scenario.task_cell = task_cell;
+  scenario.instance.requirement_pos = params.pos_requirement;
+  scenario.instance.bids.reserve(num_users);
+  scenario.participants.reserve(num_users);
+  for (std::size_t pick : picks) {
+    const std::size_t user_index = candidates[pick];
+    scenario.participants.push_back(user_index);
+    scenario.instance.bids.push_back(
+        {sample_cost(params, rng), mobility::user_pos_for_cell(pool[user_index], task_cell)});
+  }
+  cap_requirement(scenario.instance, params);
+  return scenario;
+}
+
+std::optional<MultiTaskScenario> build_multi_task_at(
+    const std::vector<mobility::MobilityUser>& pool, std::vector<geo::CellId> task_cells,
+    std::size_t num_users, const ScenarioParams& params, common::Rng& rng) {
+  MCS_EXPECTS(!task_cells.empty(), "scenario needs at least one task");
+  MCS_EXPECTS(num_users > 0, "scenario needs at least one user");
+
+  // Task index lookup must be deterministic and sorted for the bids.
+  std::map<geo::CellId, auction::TaskIndex> task_index;
+  for (std::size_t j = 0; j < task_cells.size(); ++j) {
+    const auto [_, inserted] =
+        task_index.emplace(task_cells[j], static_cast<auction::TaskIndex>(j));
+    MCS_EXPECTS(inserted, "task cells must be distinct");
+  }
+  const std::size_t num_tasks = task_cells.size();
+
+  std::vector<std::size_t> candidates;
+  for (std::size_t k = 0; k < pool.size(); ++k) {
+    const auto& user = pool[k];
+    const bool touches = std::any_of(user.task_pos.begin(), user.task_pos.end(),
+                                     [&](const auto& entry) {
+                                       return task_index.contains(entry.first);
+                                     });
+    if (touches) {
+      candidates.push_back(k);
+    }
+  }
+  if (candidates.size() < num_users) {
+    return std::nullopt;
+  }
+  const auto picks = common::sample_without_replacement(rng, candidates.size(), num_users);
+
+  MultiTaskScenario scenario;
+  scenario.task_cells = std::move(task_cells);
+  scenario.instance.requirement_pos.assign(num_tasks, params.pos_requirement);
+  scenario.instance.users.reserve(num_users);
+  scenario.participants.reserve(num_users);
+  for (std::size_t pick : picks) {
+    const std::size_t user_index = candidates[pick];
+    const auto& user = pool[user_index];
+    // The declared task set is the intersection of the user's predicted
+    // cells with the platform's tasks, in ascending task order.
+    std::vector<std::pair<auction::TaskIndex, double>> entries;
+    for (const auto& [cell, pos] : user.task_pos) {
+      const auto it = task_index.find(cell);
+      if (it != task_index.end()) {
+        entries.emplace_back(it->second, pos);
+      }
+    }
+    std::sort(entries.begin(), entries.end());
+    auction::MultiTaskUserBid bid;
+    bid.cost = sample_cost(params, rng);
+    for (const auto& [task, pos] : entries) {
+      bid.tasks.push_back(task);
+      bid.pos.push_back(pos);
+    }
+    scenario.participants.push_back(user_index);
+    scenario.instance.users.push_back(std::move(bid));
+  }
+  if (params.requirement_cap_fraction > 0.0) {
+    cap_requirements_to_achievable(scenario.instance, params.requirement_cap_fraction,
+                                   params.requirement_floor);
+  }
+  return scenario;
+}
+
+std::optional<MultiTaskScenario> build_multi_task(
+    const std::vector<mobility::MobilityUser>& pool, std::size_t num_tasks,
+    std::size_t num_users, const ScenarioParams& params, common::Rng& rng) {
+  MCS_EXPECTS(num_tasks > 0, "scenario needs at least one task");
+  const auto ranked_cells = popular_cells(pool);
+  if (ranked_cells.size() < num_tasks) {
+    return std::nullopt;
+  }
+  std::vector<geo::CellId> task_cells(
+      ranked_cells.begin(), ranked_cells.begin() + static_cast<std::ptrdiff_t>(num_tasks));
+  return build_multi_task_at(pool, std::move(task_cells), num_users, params, rng);
+}
+
+auction::MultiTaskInstance prefix_users(const auction::MultiTaskInstance& instance,
+                                        std::size_t n) {
+  MCS_EXPECTS(n > 0 && n <= instance.num_users(), "prefix size out of range");
+  auction::MultiTaskInstance prefix;
+  prefix.requirement_pos = instance.requirement_pos;
+  prefix.users.assign(instance.users.begin(),
+                      instance.users.begin() + static_cast<std::ptrdiff_t>(n));
+  return prefix;
+}
+
+void cap_requirements_to_achievable(auction::MultiTaskInstance& instance, double fraction,
+                                    double floor) {
+  MCS_EXPECTS(fraction > 0.0 && fraction < 1.0, "cap fraction must lie in (0, 1)");
+  MCS_EXPECTS(floor > 0.0 && floor < 1.0, "requirement floor must lie in (0, 1)");
+  const auto achievable = achievable_pos_per_task(instance);
+  for (std::size_t j = 0; j < instance.num_tasks(); ++j) {
+    instance.requirement_pos[j] =
+        std::max(floor, std::min(instance.requirement_pos[j], fraction * achievable[j]));
+  }
+}
+
+void scale_requirements_by_achievable(auction::MultiTaskInstance& instance, double t_fraction,
+                                      double fraction, double floor) {
+  MCS_EXPECTS(t_fraction > 0.0 && t_fraction <= 1.0, "sweep level must lie in (0, 1]");
+  MCS_EXPECTS(fraction > 0.0 && fraction < 1.0, "cap fraction must lie in (0, 1)");
+  MCS_EXPECTS(floor > 0.0 && floor < 1.0, "requirement floor must lie in (0, 1)");
+  const auto achievable = achievable_pos_per_task(instance);
+  for (std::size_t j = 0; j < instance.num_tasks(); ++j) {
+    instance.requirement_pos[j] =
+        std::min(0.999, std::max(floor, t_fraction * fraction * achievable[j]));
+  }
+}
+
+std::optional<MultiTaskScenario> build_feasible_multi_task(
+    const std::vector<mobility::MobilityUser>& pool, std::size_t num_tasks,
+    std::size_t num_users, const ScenarioParams& params, common::Rng& rng, int max_attempts) {
+  MCS_EXPECTS(max_attempts > 0, "need at least one attempt");
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    auto scenario = build_multi_task(pool, num_tasks, num_users, params, rng);
+    if (!scenario.has_value()) {
+      return std::nullopt;  // structural shortage: retrying cannot help
+    }
+    if (scenario->instance.is_feasible()) {
+      return scenario;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace mcs::sim

@@ -1,0 +1,108 @@
+// Scenario builders: turn the mobility substrate's user population into
+// auction instances with the paper's workload parameters (Tables II and III).
+// Tasks are grid cells; a user's PoS for a task is her predicted probability
+// of reaching that cell in the next time slot; costs are drawn from the
+// paper's N(15, 5) model truncated to positive values.
+#pragma once
+
+#include <optional>
+
+#include "auction/instance.hpp"
+#include "common/rng.hpp"
+#include "mobility/pos.hpp"
+
+namespace mcs::sim {
+
+/// Default simulation parameters (paper Table II).
+struct ScenarioParams {
+  double pos_requirement = 0.8;  ///< T (every task in the multi-task case)
+  double cost_mean = 15.0;
+  double cost_variance = 5.0;
+  /// Costs are truncated below at this floor: the mechanisms require
+  /// strictly positive costs and a negative sensing cost is meaningless.
+  double cost_floor = 0.5;
+  /// When > 0, each task's requirement is capped at this fraction of the PoS
+  /// achievable by the full sampled user set: T_j = min(pos_requirement,
+  /// fraction × achievable_j). The paper's sweeps start at user counts whose
+  /// sampled populations cannot reach T = 0.8 on every task with
+  /// single-slot mobility PoS; the cap keeps every sweep point feasible while
+  /// preserving the requirement's role (see EXPERIMENTS.md). 0 disables.
+  double requirement_cap_fraction = 0.0;
+  /// Floor on a capped requirement so it stays a valid probability.
+  double requirement_floor = 0.01;
+};
+
+/// A built single-task scenario: the auction instance plus which population
+/// users the bids belong to (bid k belongs to participants[k]).
+struct SingleTaskScenario {
+  auction::SingleTaskInstance instance;
+  geo::CellId task_cell = geo::kInvalidCell;
+  std::vector<std::size_t> participants;  ///< indices into the user pool
+};
+
+/// A built multi-task scenario.
+struct MultiTaskScenario {
+  auction::MultiTaskInstance instance;
+  std::vector<geo::CellId> task_cells;    ///< aligned with instance tasks
+  std::vector<std::size_t> participants;  ///< indices into the user pool
+};
+
+/// Ranks cells by how many users in the pool carry them in their task sets,
+/// descending — the natural candidates for platform tasks since each has
+/// many potential contributors.
+std::vector<geo::CellId> popular_cells(const std::vector<mobility::MobilityUser>& pool);
+
+/// Builds a single-task scenario on `task_cell` with `num_users` bidders
+/// sampled uniformly (without replacement) from the pool members whose task
+/// sets contain the cell. Returns nullopt when fewer than `num_users`
+/// candidates exist. Deterministic given `rng`.
+std::optional<SingleTaskScenario> build_single_task(
+    const std::vector<mobility::MobilityUser>& pool, geo::CellId task_cell,
+    std::size_t num_users, const ScenarioParams& params, common::Rng& rng);
+
+/// Builds a multi-task single-minded scenario on an explicit list of task
+/// cells (ascending duplicates rejected) with `num_users` bidders sampled
+/// from pool members whose task sets intersect the chosen tasks. Each
+/// bidder's declared task set is that intersection. Returns nullopt when
+/// fewer than `num_users` candidates exist. The instance may still be
+/// infeasible; callers decide how to handle that.
+std::optional<MultiTaskScenario> build_multi_task_at(
+    const std::vector<mobility::MobilityUser>& pool, std::vector<geo::CellId> task_cells,
+    std::size_t num_users, const ScenarioParams& params, common::Rng& rng);
+
+/// Convenience overload: tasks are the `num_tasks` most popular cells.
+std::optional<MultiTaskScenario> build_multi_task(
+    const std::vector<mobility::MobilityUser>& pool, std::size_t num_tasks,
+    std::size_t num_users, const ScenarioParams& params, common::Rng& rng);
+
+/// Retries `build_multi_task` with fresh samples until the instance is
+/// feasible, up to `max_attempts`; returns nullopt when none was feasible.
+std::optional<MultiTaskScenario> build_feasible_multi_task(
+    const std::vector<mobility::MobilityUser>& pool, std::size_t num_tasks,
+    std::size_t num_users, const ScenarioParams& params, common::Rng& rng,
+    int max_attempts = 20);
+
+/// Samples a cost from the scenario's truncated normal cost model.
+double sample_cost(const ScenarioParams& params, common::Rng& rng);
+
+/// The instance restricted to its first `n` users (all tasks retained).
+/// Nested prefixes model the paper's "increase the number of users" sweeps:
+/// requirements fixed on the smallest prefix stay feasible for every larger
+/// one.
+auction::MultiTaskInstance prefix_users(const auction::MultiTaskInstance& instance,
+                                        std::size_t n);
+
+/// Caps every task requirement at `fraction` × the PoS achievable by the
+/// instance's full user set (floored at `floor`). Used to anchor sweep
+/// requirements at a feasible level; see EXPERIMENTS.md.
+void cap_requirements_to_achievable(auction::MultiTaskInstance& instance, double fraction,
+                                    double floor = 0.01);
+
+/// Sets every task requirement to `t_fraction` × `fraction` × its achievable
+/// PoS (floored). Interprets a swept requirement level T as a fraction of
+/// each task's achievable PoS — the Fig 8/9 treatment on the synthetic
+/// population (see EXPERIMENTS.md).
+void scale_requirements_by_achievable(auction::MultiTaskInstance& instance, double t_fraction,
+                                      double fraction = 0.95, double floor = 0.01);
+
+}  // namespace mcs::sim

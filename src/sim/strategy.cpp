@@ -1,0 +1,76 @@
+#include "sim/strategy.hpp"
+
+#include <algorithm>
+
+#include "auction/single_task/fptas.hpp"
+#include "auction/multi_task/greedy.hpp"
+#include "common/check.hpp"
+
+namespace mcs::sim {
+
+std::vector<MisreportPoint> sweep_declared_pos(
+    const auction::SingleTaskInstance& truth, auction::UserId user,
+    const std::vector<double>& declared_grid,
+    const auction::single_task::MechanismConfig& config) {
+  MCS_EXPECTS(user >= 0 && static_cast<std::size_t>(user) < truth.bids.size(),
+              "user id out of range");
+  const double true_pos = truth.bids[static_cast<std::size_t>(user)].pos;
+
+  std::vector<MisreportPoint> sweep;
+  sweep.reserve(declared_grid.size());
+  for (double declared : declared_grid) {
+    const auto instance = truth.with_declared_pos(user, declared);
+    MisreportPoint point;
+    point.declared = declared;
+    const auto allocation = auction::single_task::solve_fptas(instance, config.epsilon);
+    point.won = allocation.feasible && allocation.contains(user);
+    if (point.won) {
+      const auction::single_task::RewardOptions options{
+          .alpha = config.alpha,
+          .epsilon = config.epsilon,
+          .binary_search_iterations = config.binary_search_iterations};
+      const auto reward = auction::single_task::compute_reward(instance, user, options);
+      // The reward is settled against the user's TRUE success probability.
+      point.expected_utility = reward.reward.expected_utility(true_pos);
+    }
+    sweep.push_back(point);
+  }
+  return sweep;
+}
+
+std::vector<MisreportPoint> sweep_declared_contribution(
+    const auction::MultiTaskInstance& truth, auction::UserId user,
+    const std::vector<double>& declared_grid,
+    const auction::multi_task::MechanismConfig& config) {
+  MCS_EXPECTS(user >= 0 && static_cast<std::size_t>(user) < truth.num_users(),
+              "user id out of range");
+  const double true_any =
+      truth.users[static_cast<std::size_t>(user)].any_success_probability();
+
+  std::vector<MisreportPoint> sweep;
+  sweep.reserve(declared_grid.size());
+  for (double declared : declared_grid) {
+    const auto instance = truth.with_declared_total_contribution(user, declared);
+    MisreportPoint point;
+    point.declared = declared;
+    const auto result = auction::multi_task::solve_greedy(instance);
+    point.won = result.allocation.feasible && result.allocation.contains(user);
+    if (point.won) {
+      const auction::multi_task::RewardOptions options{.alpha = config.alpha,
+                                                       .rule = config.critical_bid_rule};
+      const auto reward = auction::multi_task::compute_reward(instance, user, options);
+      point.expected_utility = reward.reward.expected_utility(true_any);
+    }
+    sweep.push_back(point);
+  }
+  return sweep;
+}
+
+bool truthful_is_optimal(const std::vector<MisreportPoint>& sweep, double truthful_utility,
+                         double tolerance) {
+  return std::all_of(sweep.begin(), sweep.end(), [&](const MisreportPoint& point) {
+    return point.expected_utility <= truthful_utility + tolerance;
+  });
+}
+
+}  // namespace mcs::sim

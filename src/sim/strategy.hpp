@@ -1,0 +1,41 @@
+// Strategy (misreport) experiments: sweep one user's declared PoS while her
+// true type stays fixed, and record the expected utility the mechanism hands
+// her at each declaration. Strategy-proofness (Theorems 1 and 4) predicts the
+// truthful declaration is always a maximizer; the VCG counter-example of
+// Section III-A shows the opposite for a VCG-like payment.
+#pragma once
+
+#include <vector>
+
+#include "auction/single_task/mechanism.hpp"
+#include "auction/multi_task/mechanism.hpp"
+
+namespace mcs::sim {
+
+/// Utility observed at one declared value.
+struct MisreportPoint {
+  double declared = 0.0;  ///< declared PoS (single) or total contribution (multi)
+  bool won = false;
+  double expected_utility = 0.0;  ///< with respect to the user's TRUE type
+};
+
+/// Sweeps user `user`'s declared PoS over `declared_grid` in the single-task
+/// mechanism. The instance holds the true types.
+std::vector<MisreportPoint> sweep_declared_pos(
+    const auction::SingleTaskInstance& truth, auction::UserId user,
+    const std::vector<double>& declared_grid,
+    const auction::single_task::MechanismConfig& config);
+
+/// Sweeps user `user`'s declared TOTAL contribution (her PoS vector scaled in
+/// contribution space) over `declared_grid` in the multi-task mechanism.
+std::vector<MisreportPoint> sweep_declared_contribution(
+    const auction::MultiTaskInstance& truth, auction::UserId user,
+    const std::vector<double>& declared_grid,
+    const auction::multi_task::MechanismConfig& config);
+
+/// True when no point in the sweep beats the truthful utility by more than
+/// `tolerance` — the empirical strategy-proofness check.
+bool truthful_is_optimal(const std::vector<MisreportPoint>& sweep, double truthful_utility,
+                         double tolerance = 1e-6);
+
+}  // namespace mcs::sim

@@ -1,0 +1,56 @@
+#include "sim/verification.hpp"
+
+#include <cmath>
+
+#include "auction/single_task/fptas.hpp"
+#include "common/check.hpp"
+
+namespace mcs::sim {
+
+double deterrence_threshold(double audit_prob) {
+  MCS_EXPECTS(audit_prob > 0.0 && audit_prob <= 1.0, "audit probability must lie in (0, 1]");
+  return (1.0 - audit_prob) / audit_prob;
+}
+
+std::vector<CostMisreportPoint> sweep_declared_cost(
+    const auction::SingleTaskInstance& truth, auction::UserId user,
+    const std::vector<double>& declared_grid,
+    const auction::single_task::MechanismConfig& config, const CostAuditModel& audit) {
+  MCS_EXPECTS(user >= 0 && static_cast<std::size_t>(user) < truth.bids.size(),
+              "user id out of range");
+  MCS_EXPECTS(audit.audit_prob >= 0.0 && audit.audit_prob <= 1.0,
+              "audit probability must lie in [0, 1]");
+  MCS_EXPECTS(audit.penalty_factor >= 0.0, "penalty factor must be non-negative");
+  const double true_cost = truth.bids[static_cast<std::size_t>(user)].cost;
+  const double true_pos = truth.bids[static_cast<std::size_t>(user)].pos;
+
+  std::vector<CostMisreportPoint> sweep;
+  sweep.reserve(declared_grid.size());
+  for (double declared : declared_grid) {
+    MCS_EXPECTS(declared > 0.0, "declared costs must be strictly positive");
+    auto instance = truth;
+    instance.bids[static_cast<std::size_t>(user)].cost = declared;
+
+    CostMisreportPoint point;
+    point.declared_cost = declared;
+    const auto allocation = auction::single_task::solve_fptas(instance, config.epsilon);
+    point.won = allocation.feasible && allocation.contains(user);
+    if (point.won) {
+      const auction::single_task::RewardOptions options{
+          .alpha = config.alpha,
+          .epsilon = config.epsilon,
+          .binary_search_iterations = config.binary_search_iterations};
+      const auto reward = auction::single_task::compute_reward(instance, user, options);
+      // The EC reward reimburses the DECLARED cost; the margin (ĉ - c)
+      // survives an audit-free round and costs φ·|ĉ - c| when caught.
+      const double pos_term = reward.reward.expected_utility(true_pos);
+      const double margin = declared - true_cost;
+      point.expected_utility = pos_term + (1.0 - audit.audit_prob) * margin -
+                               audit.audit_prob * audit.penalty_factor * std::fabs(margin);
+    }
+    sweep.push_back(point);
+  }
+  return sweep;
+}
+
+}  // namespace mcs::sim

@@ -1,0 +1,64 @@
+// Cost verification — the assumption behind the paper's tractability move,
+// made concrete (Section III-A and future work, Section VI).
+//
+// The paper restricts strategic behaviour to the PoS dimension by assuming
+// the platform can verify declared costs ("monitor the indicators related to
+// cost ... and punish the users who lie"). This module models that
+// verification: after execution the platform audits each winner with
+// probability `audit_prob`; a caught misreport forfeits the declared-cost
+// margin and pays a fine of `penalty_factor` × |declared − true|.
+//
+// Expected utility of declaring cost ĉ (true cost c, true PoS p), given the
+// declaration wins and the critical PoS under that declaration is p̄(ĉ):
+//     EU(ĉ) = (p − p̄(ĉ))·α + (1 − a)·(ĉ − c) − a·φ·|ĉ − c|
+//
+// Two manipulation channels follow:
+//   * the MARGIN channel (pocketing ĉ − c): deterred exactly when
+//         φ ≥ (1 − a) / a        (deterrence_threshold)
+//     since the expected margin of any lie is then non-positive;
+//   * the ALLOCATION channel (shifting one's own critical PoS p̄ by changing
+//     the declared cost): NOT deterred by any finite fine — the selection
+//     boundary in (PoS, cost) space is piecewise and nonlinear (Fig 2), so an
+//     arbitrarily small cost misreport can jump p̄ by a constant while the
+//     fine scales with |ĉ − c|.
+// This is an honest negative result that supports the paper's modelling
+// choice: probabilistic auditing with fines is NOT enough; the platform must
+// verify costs outright (use the measured cost, ignoring declarations),
+// which is what "cost verification" must mean for Theorem 1/4 to hold for
+// the full type. The sweep API mirrors sim/strategy.hpp and exposes both
+// channels; tests/sim_verification_test.cpp demonstrates each.
+#pragma once
+
+#include <vector>
+
+#include "auction/single_task/mechanism.hpp"
+
+namespace mcs::sim {
+
+/// The platform's audit-and-fine policy.
+struct CostAuditModel {
+  double audit_prob = 0.5;     ///< a ∈ (0, 1]
+  double penalty_factor = 2.0; ///< φ ≥ 0, fine per unit of cost misreport
+};
+
+/// Smallest penalty factor that deters the MARGIN channel of cost misreports
+/// at a given audit probability: φ* = (1 − a) / a. (The allocation channel
+/// is immune to fines; see the header comment.)
+double deterrence_threshold(double audit_prob);
+
+/// Utility observed at one declared cost.
+struct CostMisreportPoint {
+  double declared_cost = 0.0;
+  bool won = false;
+  double expected_utility = 0.0;  ///< under the audit model, w.r.t. true type
+};
+
+/// Sweeps user `user`'s declared cost over `declared_grid` in the single-task
+/// mechanism; every other field of her type stays truthful. The instance
+/// holds the true types.
+std::vector<CostMisreportPoint> sweep_declared_cost(
+    const auction::SingleTaskInstance& truth, auction::UserId user,
+    const std::vector<double>& declared_grid,
+    const auction::single_task::MechanismConfig& config, const CostAuditModel& audit);
+
+}  // namespace mcs::sim

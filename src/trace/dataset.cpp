@@ -1,0 +1,75 @@
+#include "trace/dataset.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace mcs::trace {
+
+TraceDataset::TraceDataset(std::vector<TraceEvent> events) : events_(std::move(events)) {}
+
+void TraceDataset::add(const TraceEvent& event) {
+  events_.push_back(event);
+  index_dirty_ = true;
+}
+
+void TraceDataset::reindex() const {
+  if (!index_dirty_) {
+    return;
+  }
+  sorted_ = events_;
+  std::stable_sort(sorted_.begin(), sorted_.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.taxi_id != b.taxi_id) {
+      return a.taxi_id < b.taxi_id;
+    }
+    if (a.timestamp != b.timestamp) {
+      return a.timestamp < b.timestamp;
+    }
+    return a.kind == EventKind::kPickup && b.kind == EventKind::kDropoff;
+  });
+  ids_.clear();
+  ranges_.clear();
+  std::size_t begin = 0;
+  for (std::size_t k = 0; k <= sorted_.size(); ++k) {
+    if (k == sorted_.size() || (k > begin && sorted_[k].taxi_id != sorted_[begin].taxi_id)) {
+      if (k > begin) {
+        ids_.push_back(sorted_[begin].taxi_id);
+        ranges_.emplace_back(begin, k);
+      }
+      begin = k;
+    }
+  }
+  index_dirty_ = false;
+}
+
+std::vector<TaxiId> TraceDataset::taxi_ids() const {
+  reindex();
+  return ids_;
+}
+
+std::span<const TraceEvent> TraceDataset::events_of(TaxiId taxi) const {
+  reindex();
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), taxi);
+  if (it == ids_.end() || *it != taxi) {
+    return {};
+  }
+  const auto& [begin, end] = ranges_[static_cast<std::size_t>(it - ids_.begin())];
+  return std::span<const TraceEvent>(sorted_.data() + begin, end - begin);
+}
+
+std::span<const TraceEvent> TraceDataset::all_events() const {
+  reindex();
+  return sorted_;
+}
+
+std::vector<geo::CellId> TraceDataset::cell_sequence(TaxiId taxi, const geo::GridMap& grid) const {
+  const auto events = events_of(taxi);
+  std::vector<geo::CellId> cells;
+  cells.reserve(events.size());
+  for (const auto& event : events) {
+    cells.push_back(grid.cell_of(event.location));
+  }
+  return cells;
+}
+
+}  // namespace mcs::trace

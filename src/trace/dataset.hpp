@@ -1,0 +1,49 @@
+// In-memory trace dataset: owns the events, groups them per taxi in time
+// order, and extracts per-taxi grid-cell visit sequences — the input of the
+// Markov mobility learner.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace mcs::trace {
+
+/// Owning container of trace events with per-taxi time-ordered views.
+class TraceDataset {
+ public:
+  TraceDataset() = default;
+  explicit TraceDataset(std::vector<TraceEvent> events);
+
+  void add(const TraceEvent& event);
+
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+
+  /// Distinct taxi ids, ascending.
+  std::vector<TaxiId> taxi_ids() const;
+
+  /// Events of one taxi, sorted by (timestamp, pickup-before-dropoff).
+  /// The span stays valid until the dataset is modified.
+  std::span<const TraceEvent> events_of(TaxiId taxi) const;
+
+  /// All events grouped by taxi then time; spans index into this storage.
+  std::span<const TraceEvent> all_events() const;
+
+  /// Grid-cell visit sequence of one taxi (one entry per event, time order).
+  std::vector<geo::CellId> cell_sequence(TaxiId taxi, const geo::GridMap& grid) const;
+
+ private:
+  void reindex() const;
+
+  std::vector<TraceEvent> events_;
+  // Lazily rebuilt index: events sorted by (taxi, time), plus per-taxi ranges.
+  mutable bool index_dirty_ = true;
+  mutable std::vector<TraceEvent> sorted_;
+  mutable std::vector<TaxiId> ids_;
+  mutable std::vector<std::pair<std::size_t, std::size_t>> ranges_;
+};
+
+}  // namespace mcs::trace

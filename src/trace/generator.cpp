@@ -1,0 +1,204 @@
+#include "trace/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/distributions.hpp"
+#include "common/math.hpp"
+
+namespace mcs::trace {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic uniform in [0, 1) derived from a pair of keys.
+double hash01(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t h = mix64(a * 0x9e3779b97f4a7c15ULL ^ mix64(b + 0x2545f4914f6cdd1dULL));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+CityModel::CityModel(const CityConfig& config)
+    : config_(config), grid_(geo::shanghai_bounding_box(), config.cell_side_m) {
+  MCS_EXPECTS(config.num_taxis > 0, "city needs at least one taxi");
+  MCS_EXPECTS(config.num_days > 0, "horizon must be at least one day");
+  MCS_EXPECTS(config.trips_per_day > 0, "taxis must make at least one trip per day");
+  MCS_EXPECTS(config.locality_radius >= 1, "locality radius must be at least 1");
+  MCS_EXPECTS(config.locality_decay > 0.0, "locality decay must be positive");
+  MCS_EXPECTS(config.home_weight >= 0.0, "home weight must be non-negative");
+  MCS_EXPECTS(config.num_hotspots > 0, "city needs at least one hotspot");
+  MCS_EXPECTS(config.personal_hotspots > 0 && config.personal_hotspots <= config.num_hotspots,
+              "personal hotspot count must lie in [1, num_hotspots]");
+  MCS_EXPECTS(config.hotspot_weight >= 0.0, "hotspot weight must be non-negative");
+  MCS_EXPECTS(config.taxi_preference_spread >= 0.0, "preference spread must be non-negative");
+  MCS_EXPECTS(config.min_trip_gap_s > 0 && config.min_trip_gap_s <= config.max_trip_gap_s,
+              "trip gap range must be ordered and positive");
+
+  common::Rng rng(config.seed);
+  const auto cell_count = static_cast<std::size_t>(grid_.cell_count());
+  const auto hotspot_count =
+      std::min<std::size_t>(static_cast<std::size_t>(config.num_hotspots), cell_count);
+  const auto picks = common::sample_without_replacement(rng, cell_count, hotspot_count);
+  hotspots_.reserve(hotspot_count);
+  for (std::size_t index : picks) {
+    hotspots_.push_back(static_cast<geo::CellId>(index));
+  }
+  hotspot_popularity_ = common::zipf_weights(hotspot_count, config.hotspot_zipf_exponent);
+}
+
+geo::CellId CityModel::home_cell(TaxiId taxi) const {
+  // Taxis live near hotspots with Zipf bias, so fleets concentrate downtown.
+  const double u = hash01(static_cast<std::uint64_t>(taxi) + 1, 0xb0beULL);
+  double cumulative = 0.0;
+  for (std::size_t k = 0; k < hotspots_.size(); ++k) {
+    cumulative += hotspot_popularity_[k];
+    if (u < cumulative) {
+      return hotspots_[k];
+    }
+  }
+  return hotspots_.back();
+}
+
+std::vector<std::pair<geo::CellId, double>> CityModel::personal_hotspots(TaxiId taxi) const {
+  // Deterministic Zipf-biased sample without replacement from the city pool.
+  common::Rng rng(mix64(config_.seed ^ (static_cast<std::uint64_t>(taxi) + 0x5157ULL)));
+  std::vector<double> weights(hotspot_popularity_);
+  std::vector<std::pair<geo::CellId, double>> picks;
+  const auto count =
+      std::min<std::size_t>(static_cast<std::size_t>(config_.personal_hotspots), weights.size());
+  picks.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t pick = common::sample_categorical(rng, weights);
+    picks.emplace_back(hotspots_[pick], hotspot_popularity_[pick]);
+    weights[pick] = 0.0;
+  }
+  // Renormalize the taxi-specific popularity over her personal set.
+  double total = 0.0;
+  for (const auto& [_, w] : picks) {
+    total += w;
+  }
+  for (auto& [_, w] : picks) {
+    w /= total;
+  }
+  std::sort(picks.begin(), picks.end());
+  return picks;
+}
+
+std::vector<geo::CellId> CityModel::territory(TaxiId taxi) const {
+  auto cells = grid_.neighborhood(home_cell(taxi), config_.locality_radius);
+  for (const auto& [cell, _] : personal_hotspots(taxi)) {
+    cells.push_back(cell);
+  }
+  std::sort(cells.begin(), cells.end());
+  cells.erase(std::unique(cells.begin(), cells.end()), cells.end());
+  return cells;
+}
+
+double CityModel::preference(TaxiId taxi, geo::CellId cell) const {
+  const double spread = config_.taxi_preference_spread;
+  if (spread <= 0.0) {
+    return 1.0;
+  }
+  // Log-uniform multiplier in [1/(1+spread), 1+spread].
+  const double u =
+      hash01(static_cast<std::uint64_t>(taxi) + 1, static_cast<std::uint64_t>(cell) + 0x51ULL);
+  const double log_hi = std::log1p(spread);
+  return std::exp((2.0 * u - 1.0) * log_hi);
+}
+
+std::vector<CellProbability> CityModel::ground_truth_distribution(TaxiId taxi,
+                                                                  geo::CellId cell) const {
+  MCS_EXPECTS(grid_.valid(cell), "invalid current cell");
+  const geo::CellId home = home_cell(taxi);
+  const auto personal = personal_hotspots(taxi);
+  const auto cells = territory(taxi);
+
+  // Kernel weight of a candidate j: locality around the current cell, a pull
+  // back toward the home district, and the taxi's hotspot popularity; all
+  // modulated by her idiosyncratic preference.
+  std::vector<CellProbability> dist;
+  dist.reserve(cells.size());
+  double total = 0.0;
+  for (geo::CellId candidate : cells) {
+    double w = std::exp(-config_.locality_decay * grid_.chebyshev(cell, candidate)) +
+               config_.home_weight *
+                   std::exp(-config_.locality_decay * grid_.chebyshev(home, candidate));
+    const auto it = std::lower_bound(personal.begin(), personal.end(),
+                                     std::make_pair(candidate, 0.0),
+                                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    if (it != personal.end() && it->first == candidate) {
+      w += config_.hotspot_weight * it->second;
+    }
+    w *= preference(taxi, candidate);
+    dist.push_back({candidate, w});
+    total += w;
+  }
+  MCS_ENSURES(total > 0.0, "ground-truth kernel has no mass");
+  for (auto& entry : dist) {
+    entry.probability /= total;
+  }
+  std::sort(dist.begin(), dist.end(), [](const CellProbability& a, const CellProbability& b) {
+    if (a.probability != b.probability) {
+      return a.probability > b.probability;
+    }
+    return a.cell < b.cell;
+  });
+  return dist;
+}
+
+geo::CellId CityModel::sample_next_cell(TaxiId taxi, geo::CellId cell, common::Rng& rng) const {
+  const auto dist = ground_truth_distribution(taxi, cell);
+  std::vector<double> weights;
+  weights.reserve(dist.size());
+  for (const auto& entry : dist) {
+    weights.push_back(entry.probability);
+  }
+  return dist[common::sample_categorical(rng, weights)].cell;
+}
+
+TraceDataset generate_trace(const CityModel& city) {
+  const auto& config = city.config();
+  const auto& grid = city.grid();
+  common::Rng fleet_rng(config.seed ^ 0xfee1db0dULL);
+
+  std::vector<TraceEvent> events;
+  const auto total_trips = static_cast<std::size_t>(config.num_taxis) *
+                           static_cast<std::size_t>(config.num_days) *
+                           static_cast<std::size_t>(config.trips_per_day);
+  events.reserve(total_trips * 2);
+
+  for (TaxiId taxi = 0; taxi < config.num_taxis; ++taxi) {
+    common::Rng rng = fleet_rng.split();
+    geo::CellId current = city.home_cell(taxi);
+    Timestamp now = config.start_time + rng.uniform_int(0, 3600);
+    const auto trips =
+        static_cast<std::size_t>(config.num_days) * static_cast<std::size_t>(config.trips_per_day);
+    const auto jitter = [&](geo::CellId c) {
+      geo::LatLon p = grid.center_of(c);
+      p.lat += rng.uniform(-0.45, 0.45) * grid.lat_step_deg();
+      p.lon += rng.uniform(-0.45, 0.45) * grid.lon_step_deg();
+      return p;
+    };
+    for (std::size_t trip = 0; trip < trips; ++trip) {
+      // Every event-to-event move is one kernel step: pickup at the current
+      // cell, dropoff where the ride ends, and the taxi then roams one more
+      // kernel step before its next pickup.
+      events.push_back({taxi, now, jitter(current), EventKind::kPickup});
+      const geo::CellId dropoff = city.sample_next_cell(taxi, current, rng);
+      const Timestamp ride = rng.uniform_int(config.min_trip_gap_s / 2, config.min_trip_gap_s);
+      events.push_back({taxi, now + ride, jitter(dropoff), EventKind::kDropoff});
+      now += ride + rng.uniform_int(config.min_trip_gap_s, config.max_trip_gap_s);
+      current = city.sample_next_cell(taxi, dropoff, rng);
+    }
+  }
+  return TraceDataset(std::move(events));
+}
+
+}  // namespace mcs::trace

@@ -1,0 +1,47 @@
+// Flexible trace import: real GPS logs rarely match our canonical schema.
+// ImportSpec maps arbitrary column names onto the fields we need, accepts
+// configurable pickup/dropoff labels, and (optionally) skips malformed rows
+// instead of aborting — the usual posture when ingesting a month of
+// third-party data with a few bad lines. The strict canonical path stays in
+// trace/io.hpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/dataset.hpp"
+
+namespace mcs::trace {
+
+/// Column mapping and row policy for importing a foreign CSV.
+struct ImportSpec {
+  std::string taxi_column = "taxi_id";
+  std::string time_column = "timestamp";
+  std::string lat_column = "lat";
+  std::string lon_column = "lon";
+  /// Optional event-kind column; empty = every row is a pickup (some logs
+  /// only record position fixes).
+  std::string kind_column = "kind";
+  std::string pickup_label = "pickup";
+  std::string dropoff_label = "dropoff";
+  /// true: collect malformed rows in ImportResult::skipped and continue.
+  /// false: throw PreconditionError on the first malformed row.
+  bool skip_malformed = true;
+};
+
+/// One rejected row and why.
+struct SkippedRow {
+  std::size_t row = 0;  ///< 1-based data-row number (header excluded)
+  std::string reason;
+};
+
+struct ImportResult {
+  TraceDataset dataset;
+  std::vector<SkippedRow> skipped;
+};
+
+/// Imports CSV text under the given mapping. Missing mapped columns always
+/// throw (that is a spec error, not a data error).
+ImportResult import_trace_csv(const std::string& text, const ImportSpec& spec = {});
+
+}  // namespace mcs::trace

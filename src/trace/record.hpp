@@ -1,0 +1,27 @@
+// Trace records mirroring the paper's dataset schema: each entry carries the
+// taxi id, a timestamp, the location, and whether the event is a passenger
+// pickup or dropoff (Section IV-A).
+#pragma once
+
+#include <cstdint>
+
+#include "geo/grid.hpp"
+
+namespace mcs::trace {
+
+using TaxiId = std::int32_t;
+/// Seconds since the Unix epoch.
+using Timestamp = std::int64_t;
+
+enum class EventKind : std::uint8_t { kPickup, kDropoff };
+
+struct TraceEvent {
+  TaxiId taxi_id = 0;
+  Timestamp timestamp = 0;
+  geo::LatLon location;
+  EventKind kind = EventKind::kPickup;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+}  // namespace mcs::trace

@@ -1,0 +1,145 @@
+// Tests for the approximation-bound certificates: hand-checked lower bounds,
+// soundness against brute-force optima, and the Theorem 2 / Theorem 5
+// guarantees expressed through them.
+#include "auction/bounds.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "auction/single_task/fptas.hpp"
+#include "auction/single_task/min_greedy.hpp"
+#include "auction/multi_task/greedy.hpp"
+#include "common/check.hpp"
+#include "common/math.hpp"
+#include "test_util.hpp"
+
+namespace mcs::auction {
+namespace {
+
+TEST(SingleTaskLowerBound, FractionalFillHandCase) {
+  // One user covers everything: bound is the fractional share of her cost.
+  SingleTaskInstance instance;
+  instance.requirement_pos = 0.5;
+  instance.bids = {{4.0, 0.75}};  // q = ln 4; requirement q = ln 2
+  EXPECT_NEAR(lower_bound(instance), 4.0 * (std::log(2.0) / std::log(4.0)), 1e-12);
+}
+
+TEST(SingleTaskLowerBound, InfeasibleIsInfinite) {
+  SingleTaskInstance instance;
+  instance.requirement_pos = 0.9;
+  instance.bids = {{1.0, 0.1}};
+  EXPECT_TRUE(std::isinf(lower_bound(instance)));
+}
+
+TEST(MultiTaskLowerBound, UncoverableTaskIsInfinite) {
+  MultiTaskInstance instance;
+  instance.requirement_pos = {0.5, 0.5};
+  instance.users = {{{0}, {0.6}, 1.0}};
+  EXPECT_TRUE(std::isinf(lower_bound(instance)));
+}
+
+TEST(MultiTaskLowerBound, PerTaskBoundDominatesWhenOneTaskIsHard) {
+  MultiTaskInstance instance;
+  instance.requirement_pos = {0.5};
+  instance.users = {{{0}, {0.1}, 2.0}, {{0}, {0.2}, 1.0}};
+  // Best rate for the task: q(0.2)/1. Bound = Q / rate.
+  const double expected =
+      common::contribution_from_pos(0.5) / common::contribution_from_pos(0.2);
+  EXPECT_NEAR(lower_bound(instance), expected, 1e-9);
+}
+
+TEST(Gamma, HandComputation) {
+  MultiTaskInstance instance;
+  instance.requirement_pos = {0.5, 0.5};
+  instance.users = {
+      {{0, 1}, {0.3, 0.3}, 1.0},  // capped total 2·q(0.3)
+      {{0}, {0.1}, 1.0},          // smallest positive contribution q(0.1)
+  };
+  const double q03 = common::contribution_from_pos(0.3);
+  const double q01 = common::contribution_from_pos(0.1);
+  EXPECT_NEAR(gamma(instance), 2.0 * q03 / q01, 1e-12);
+  EXPECT_NEAR(harmonic_bound(instance), common::harmonic_real(2.0 * q03 / q01), 1e-12);
+}
+
+TEST(Gamma, ZeroWhenNobodyContributes) {
+  MultiTaskInstance instance;
+  instance.requirement_pos = {0.5};
+  instance.users = {{{0}, {0.0}, 1.0}};
+  EXPECT_DOUBLE_EQ(gamma(instance), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic_bound(instance), 0.0);
+}
+
+TEST(CertifiedRatio, RequiresFeasibleInputs) {
+  const auto instance = test::random_single_task(8, 0.7, 1);
+  Allocation infeasible;
+  EXPECT_THROW(certified_ratio(instance, infeasible), common::PreconditionError);
+}
+
+class BoundSoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BoundSoundness, SingleTaskLowerBoundNeverExceedsOptimum) {
+  common::Rng rng(GetParam());
+  const auto n = static_cast<std::size_t>(rng.uniform_int(2, 13));
+  const auto instance = test::random_single_task(n, rng.uniform(0.3, 0.9), GetParam() ^ 0xb0);
+  const auto optimum = test::brute_force(instance);
+  if (!optimum.has_value()) {
+    EXPECT_TRUE(std::isinf(lower_bound(instance)));
+    return;
+  }
+  EXPECT_LE(lower_bound(instance), instance.cost_of(*optimum) + 1e-9);
+}
+
+TEST_P(BoundSoundness, MultiTaskLowerBoundNeverExceedsOptimum) {
+  common::Rng rng(GetParam() ^ 0x5555);
+  const auto n = static_cast<std::size_t>(rng.uniform_int(2, 12));
+  const auto t = static_cast<std::size_t>(rng.uniform_int(1, 4));
+  const auto instance =
+      test::random_multi_task(n, t, rng.uniform(0.2, 0.7), GetParam() ^ 0xb1);
+  const auto optimum = test::brute_force(instance);
+  if (!optimum.has_value()) {
+    return;  // infeasible; bound may or may not detect it (it is one-sided)
+  }
+  EXPECT_LE(lower_bound(instance), instance.cost_of(*optimum) + 1e-9);
+}
+
+TEST_P(BoundSoundness, RealizedRatiosRespectTheTheorems) {
+  common::Rng rng(GetParam() ^ 0x7777);
+  const auto instance = test::random_single_task(12, rng.uniform(0.4, 0.8), GetParam() ^ 0xb2);
+  const auto optimum = test::brute_force(instance);
+  if (!optimum.has_value()) {
+    return;
+  }
+  const double optimal_cost = instance.cost_of(*optimum);
+  // Theorem 2 at eps = 0.5 and the Min-Greedy 2-approximation, measured
+  // against the true optimum.
+  const auto fptas = single_task::solve_fptas(instance, 0.5);
+  ASSERT_TRUE(fptas.feasible);
+  EXPECT_LE(fptas.total_cost, 1.5 * optimal_cost + 1e-9);
+  const auto greedy = single_task::solve_min_greedy(instance);
+  EXPECT_LE(greedy.total_cost, 2.0 * optimal_cost + 1e-9);
+  // The certificate is always an upper bound on the realized ratio.
+  EXPECT_GE(certified_ratio(instance, fptas) + 1e-9, fptas.total_cost / optimal_cost);
+}
+
+TEST_P(BoundSoundness, MultiTaskGreedyWithinHarmonicBoundOfCertificate) {
+  common::Rng rng(GetParam() ^ 0x9999);
+  const auto t = static_cast<std::size_t>(rng.uniform_int(1, 4));
+  const auto instance =
+      test::random_multi_task(12, t, rng.uniform(0.2, 0.7), GetParam() ^ 0xb3);
+  const auto result = multi_task::solve_greedy(instance);
+  if (!result.allocation.feasible) {
+    return;
+  }
+  const auto optimum = test::brute_force(instance);
+  ASSERT_TRUE(optimum.has_value());
+  const double optimal_cost = instance.cost_of(*optimum);
+  // Theorem 5 against the true optimum.
+  EXPECT_LE(result.allocation.total_cost,
+            harmonic_bound(instance) * optimal_cost + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundSoundness, ::testing::Range<std::uint64_t>(900, 925));
+
+}  // namespace
+}  // namespace mcs::auction

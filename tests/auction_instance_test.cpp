@@ -1,0 +1,195 @@
+// Unit tests for the auction instance types: the PoS/contribution view,
+// coverage checks, validation, and the declared-type manipulation helpers
+// used by critical-bid search and misreport experiments.
+#include "auction/instance.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+
+namespace mcs::auction {
+namespace {
+
+SingleTaskInstance paper_example() {
+  // Section III-A: requirement 0.9; types (3,0.7) (2,0.7) (1,0.5) (4,0.8).
+  SingleTaskInstance instance;
+  instance.requirement_pos = 0.9;
+  instance.bids = {{3.0, 0.7}, {2.0, 0.7}, {1.0, 0.5}, {4.0, 0.8}};
+  return instance;
+}
+
+TEST(SingleTaskInstance, ContributionTransform) {
+  const auto instance = paper_example();
+  EXPECT_NEAR(instance.requirement_contribution(), -std::log(0.1), 1e-12);
+  EXPECT_NEAR(instance.contribution(0), -std::log(0.3), 1e-12);
+  EXPECT_NEAR(instance.contribution(2), -std::log(0.5), 1e-12);
+  EXPECT_THROW(instance.contribution(4), common::PreconditionError);
+}
+
+TEST(SingleTaskInstance, CoverageMatchesProbabilityAlgebra) {
+  const auto instance = paper_example();
+  // Users 0 and 1: 1 - 0.3·0.3 = 0.91 >= 0.9.
+  EXPECT_TRUE(instance.covers({0, 1}));
+  // Users 1 and 2: 1 - 0.3·0.5 = 0.85 < 0.9.
+  EXPECT_FALSE(instance.covers({1, 2}));
+  EXPECT_FALSE(instance.covers({}));
+}
+
+TEST(SingleTaskInstance, CostAggregation) {
+  const auto instance = paper_example();
+  EXPECT_DOUBLE_EQ(instance.cost_of({0, 1}), 5.0);
+  EXPECT_DOUBLE_EQ(instance.cost_of({}), 0.0);
+  EXPECT_THROW(instance.cost_of({9}), common::PreconditionError);
+}
+
+TEST(SingleTaskInstance, FeasibilityNeedsEnoughTotalContribution) {
+  auto instance = paper_example();
+  EXPECT_TRUE(instance.is_feasible());
+  instance.bids = {{1.0, 0.1}, {1.0, 0.1}};
+  EXPECT_FALSE(instance.is_feasible());
+}
+
+TEST(SingleTaskInstance, ValidateRejectsBadFields) {
+  auto instance = paper_example();
+  instance.requirement_pos = 1.0;
+  EXPECT_THROW(instance.validate(), common::PreconditionError);
+  instance = paper_example();
+  instance.requirement_pos = 0.0;
+  EXPECT_THROW(instance.validate(), common::PreconditionError);
+  instance = paper_example();
+  instance.bids[0].cost = 0.0;
+  EXPECT_THROW(instance.validate(), common::PreconditionError);
+  instance = paper_example();
+  instance.bids[1].pos = 1.2;
+  EXPECT_THROW(instance.validate(), common::PreconditionError);
+  EXPECT_NO_THROW(paper_example().validate());
+}
+
+TEST(SingleTaskInstance, DeclaredPosReplacement) {
+  const auto instance = paper_example();
+  const auto declared = instance.with_declared_pos(2, 0.9);
+  EXPECT_DOUBLE_EQ(declared.bids[2].pos, 0.9);
+  EXPECT_DOUBLE_EQ(instance.bids[2].pos, 0.5);  // original untouched
+  const auto via_q = instance.with_declared_contribution(2, common::contribution_from_pos(0.9));
+  EXPECT_NEAR(via_q.bids[2].pos, 0.9, 1e-12);
+}
+
+TEST(SingleTaskInstance, WithoutUserShiftsIds) {
+  const auto instance = paper_example();
+  const auto reduced = instance.without_user(1);
+  ASSERT_EQ(reduced.num_users(), 3u);
+  EXPECT_DOUBLE_EQ(reduced.bids[0].cost, 3.0);
+  EXPECT_DOUBLE_EQ(reduced.bids[1].cost, 1.0);  // former user 2
+  EXPECT_DOUBLE_EQ(reduced.bids[2].cost, 4.0);  // former user 3
+}
+
+MultiTaskInstance small_multi() {
+  MultiTaskInstance instance;
+  instance.requirement_pos = {0.5, 0.6, 0.4};
+  instance.users = {
+      {{0, 1}, {0.3, 0.4}, 2.0},
+      {{1, 2}, {0.5, 0.2}, 3.0},
+      {{0, 2}, {0.2, 0.3}, 1.5},
+  };
+  return instance;
+}
+
+TEST(MultiTaskUserBid, PosLookup) {
+  const auto instance = small_multi();
+  EXPECT_DOUBLE_EQ(instance.users[0].pos_for(0), 0.3);
+  EXPECT_DOUBLE_EQ(instance.users[0].pos_for(1), 0.4);
+  EXPECT_DOUBLE_EQ(instance.users[0].pos_for(2), 0.0);
+}
+
+TEST(MultiTaskUserBid, TotalContributionIsSumOfLogs) {
+  const auto instance = small_multi();
+  EXPECT_NEAR(instance.users[0].total_contribution(),
+              common::contribution_from_pos(0.3) + common::contribution_from_pos(0.4), 1e-12);
+}
+
+TEST(MultiTaskUserBid, AnySuccessProbability) {
+  const auto instance = small_multi();
+  EXPECT_NEAR(instance.users[0].any_success_probability(), 1.0 - 0.7 * 0.6, 1e-12);
+}
+
+TEST(MultiTaskInstance, RequirementContributions) {
+  const auto instance = small_multi();
+  const auto q = instance.requirement_contributions();
+  ASSERT_EQ(q.size(), 3u);
+  EXPECT_NEAR(q[0], -std::log(0.5), 1e-12);
+  EXPECT_NEAR(q[1], -std::log(0.4), 1e-12);
+}
+
+TEST(MultiTaskInstance, AchievedPosPerTask) {
+  const auto instance = small_multi();
+  // Task 1 with users 0 and 1: 1 - 0.6·0.5 = 0.7.
+  EXPECT_NEAR(instance.achieved_pos({0, 1}, 1), 0.7, 1e-12);
+  EXPECT_NEAR(instance.achieved_pos({}, 1), 0.0, 1e-12);
+  EXPECT_THROW(instance.achieved_pos({0}, 5), common::PreconditionError);
+}
+
+TEST(MultiTaskInstance, CoversChecksEveryTask) {
+  const auto instance = small_multi();
+  EXPECT_TRUE(instance.covers({0, 1, 2}) == instance.is_feasible());
+  EXPECT_FALSE(instance.covers({0}));
+}
+
+TEST(MultiTaskInstance, ValidateRejectsStructuralErrors) {
+  auto instance = small_multi();
+  instance.users[0].tasks = {1, 0};  // not ascending
+  instance.users[0].pos = {0.3, 0.4};
+  EXPECT_THROW(instance.validate(), common::PreconditionError);
+
+  instance = small_multi();
+  instance.users[0].tasks = {0};  // misaligned arrays
+  EXPECT_THROW(instance.validate(), common::PreconditionError);
+
+  instance = small_multi();
+  instance.users[0].tasks = {0, 7};  // out of range
+  EXPECT_THROW(instance.validate(), common::PreconditionError);
+
+  instance = small_multi();
+  instance.users[0].tasks.clear();
+  instance.users[0].pos.clear();
+  EXPECT_THROW(instance.validate(), common::PreconditionError);
+
+  instance = small_multi();
+  instance.requirement_pos[1] = 0.0;
+  EXPECT_THROW(instance.validate(), common::PreconditionError);
+
+  EXPECT_NO_THROW(small_multi().validate());
+}
+
+TEST(MultiTaskInstance, DeclaredTotalContributionScalesTheVector) {
+  const auto instance = small_multi();
+  const double original = instance.users[0].total_contribution();
+  const auto declared = instance.with_declared_total_contribution(0, 2.0 * original);
+  EXPECT_NEAR(declared.users[0].total_contribution(), 2.0 * original, 1e-9);
+  // Direction preserved: per-task contributions scale by the same factor.
+  const double q0_before = instance.users[0].contribution_for(0);
+  const double q0_after = declared.users[0].contribution_for(0);
+  EXPECT_NEAR(q0_after / q0_before, 2.0, 1e-9);
+}
+
+TEST(MultiTaskInstance, DeclaredZeroContribution) {
+  const auto instance = small_multi();
+  const auto declared = instance.with_declared_total_contribution(0, 0.0);
+  EXPECT_NEAR(declared.users[0].total_contribution(), 0.0, 1e-12);
+  for (double p : declared.users[0].pos) {
+    EXPECT_DOUBLE_EQ(p, 0.0);
+  }
+}
+
+TEST(MultiTaskInstance, WithoutUserShiftsIds) {
+  const auto instance = small_multi();
+  const auto reduced = instance.without_user(0);
+  ASSERT_EQ(reduced.num_users(), 2u);
+  EXPECT_DOUBLE_EQ(reduced.users[0].cost, 3.0);
+  EXPECT_DOUBLE_EQ(reduced.users[1].cost, 1.5);
+}
+
+}  // namespace
+}  // namespace mcs::auction

@@ -1,0 +1,143 @@
+// Structural invariance properties of the winner-determination algorithms:
+// cost scaling, user permutation, and market-growth monotonicity — the kind
+// of algebra a marketplace operator implicitly relies on.
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "auction/single_task/exact.hpp"
+#include "auction/single_task/fptas.hpp"
+#include "auction/multi_task/exact.hpp"
+#include "auction/multi_task/greedy.hpp"
+#include "test_util.hpp"
+
+namespace mcs::auction {
+namespace {
+
+class Invariance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Invariance, ScalingAllCostsScalesTheSocialCost) {
+  // Both the FPTAS and the greedy pick by contribution-per-cost, so a common
+  // cost scale cannot change the winner set.
+  const auto instance = test::random_single_task(14, 0.7, GetParam());
+  const auto base = single_task::solve_fptas(instance, 0.4);
+  if (!base.feasible) {
+    return;
+  }
+  for (double scale : {0.5, 3.0, 10.0}) {
+    auto scaled = instance;
+    for (auto& bid : scaled.bids) {
+      bid.cost *= scale;
+    }
+    const auto result = single_task::solve_fptas(scaled, 0.4);
+    ASSERT_TRUE(result.feasible);
+    EXPECT_EQ(result.winners, base.winners) << "scale " << scale;
+    EXPECT_NEAR(result.total_cost, scale * base.total_cost, 1e-6 * scale);
+  }
+}
+
+TEST_P(Invariance, MultiTaskGreedyIsScaleInvariantToo) {
+  const auto instance = test::random_multi_task(12, 4, 0.5, GetParam());
+  const auto base = multi_task::solve_greedy(instance);
+  if (!base.allocation.feasible) {
+    return;
+  }
+  auto scaled = instance;
+  for (auto& user : scaled.users) {
+    user.cost *= 7.0;
+  }
+  const auto result = multi_task::solve_greedy(scaled);
+  ASSERT_TRUE(result.allocation.feasible);
+  EXPECT_EQ(result.allocation.winners, base.allocation.winners);
+  EXPECT_NEAR(result.allocation.total_cost, 7.0 * base.allocation.total_cost, 1e-6);
+}
+
+TEST_P(Invariance, PermutingUsersPreservesTheOptimalCost) {
+  const auto instance = test::random_single_task(12, 0.7, GetParam() ^ 0xaaaa);
+  const auto base = single_task::solve_exact(instance);
+  if (!base.allocation.feasible) {
+    return;
+  }
+  common::Rng rng(GetParam());
+  std::vector<std::size_t> perm(instance.num_users());
+  std::iota(perm.begin(), perm.end(), 0u);
+  for (std::size_t k = perm.size(); k > 1; --k) {
+    std::swap(perm[k - 1],
+              perm[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(k) - 1))]);
+  }
+  SingleTaskInstance shuffled;
+  shuffled.requirement_pos = instance.requirement_pos;
+  for (std::size_t index : perm) {
+    shuffled.bids.push_back(instance.bids[index]);
+  }
+  const auto result = single_task::solve_exact(shuffled);
+  ASSERT_TRUE(result.allocation.feasible);
+  EXPECT_NEAR(result.allocation.total_cost, base.allocation.total_cost, 1e-9);
+}
+
+TEST_P(Invariance, AddingAUserNeverRaisesTheOptimum) {
+  const auto instance = test::random_single_task(10, 0.7, GetParam() ^ 0xbbbb);
+  const auto base = single_task::solve_exact(instance);
+  if (!base.allocation.feasible) {
+    return;
+  }
+  common::Rng rng(GetParam() ^ 0xcccc);
+  auto grown = instance;
+  grown.bids.push_back({rng.uniform(1.0, 10.0), rng.uniform(0.05, 0.5)});
+  const auto result = single_task::solve_exact(grown);
+  ASSERT_TRUE(result.allocation.feasible);
+  EXPECT_LE(result.allocation.total_cost, base.allocation.total_cost + 1e-9);
+}
+
+TEST_P(Invariance, AddingAUserNeverRaisesTheMultiTaskOptimum) {
+  const auto instance = test::random_multi_task(10, 3, 0.5, GetParam() ^ 0xdddd);
+  const auto base = multi_task::solve_exact(instance);
+  if (!base.allocation.feasible) {
+    return;
+  }
+  common::Rng rng(GetParam() ^ 0xeeee);
+  auto grown = instance;
+  MultiTaskUserBid extra;
+  extra.cost = rng.uniform(1.0, 10.0);
+  extra.tasks = {0};
+  extra.pos = {rng.uniform(0.05, 0.5)};
+  grown.users.push_back(std::move(extra));
+  const auto result = multi_task::solve_exact(grown);
+  ASSERT_TRUE(result.allocation.feasible);
+  EXPECT_LE(result.allocation.total_cost, base.allocation.total_cost + 1e-9);
+}
+
+TEST_P(Invariance, RelaxingTheRequirementNeverRaisesTheOptimum) {
+  const auto instance = test::random_single_task(12, 0.8, GetParam() ^ 0xffff);
+  const auto base = single_task::solve_exact(instance);
+  if (!base.allocation.feasible) {
+    return;
+  }
+  auto relaxed = instance;
+  relaxed.requirement_pos = instance.requirement_pos * 0.7;
+  const auto result = single_task::solve_exact(relaxed);
+  ASSERT_TRUE(result.allocation.feasible);
+  EXPECT_LE(result.allocation.total_cost, base.allocation.total_cost + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Invariance, ::testing::Range<std::uint64_t>(1000, 1015));
+
+TEST(GreedyRatioInvariant, SelectionRatiosAreNonIncreasing) {
+  // Submodularity + greedy choice: the chosen contribution-cost ratio cannot
+  // increase from one iteration to the next.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto instance = test::random_multi_task(14, 4, 0.6, seed);
+    const auto result = multi_task::solve_greedy(instance);
+    if (!result.allocation.feasible) {
+      continue;
+    }
+    for (std::size_t s = 1; s < result.steps.size(); ++s) {
+      EXPECT_LE(result.steps[s].ratio, result.steps[s - 1].ratio + 1e-9)
+          << "seed " << seed << " iteration " << s;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcs::auction

@@ -1,0 +1,123 @@
+// Tests for the auction instance text format: round trips, comments,
+// malformed-input diagnostics, and file wrappers.
+#include "auction/io.hpp"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "test_util.hpp"
+
+namespace mcs::auction {
+namespace {
+
+TEST(SingleTaskText, RoundTrips) {
+  const auto original = test::random_single_task(12, 0.8, 3);
+  const auto restored = single_task_from_text(to_text(original));
+  EXPECT_DOUBLE_EQ(restored.requirement_pos, original.requirement_pos);
+  ASSERT_EQ(restored.bids.size(), original.bids.size());
+  for (std::size_t k = 0; k < original.bids.size(); ++k) {
+    EXPECT_DOUBLE_EQ(restored.bids[k].cost, original.bids[k].cost);
+    EXPECT_DOUBLE_EQ(restored.bids[k].pos, original.bids[k].pos);
+  }
+}
+
+TEST(SingleTaskText, ParsesCommentsAndBlankLines) {
+  const auto instance = single_task_from_text(
+      "mcs-single-task-v1\n"
+      "\n"
+      "# the requirement\n"
+      "requirement 0.9   # inline comment\n"
+      "user 3.0 0.7\n"
+      "user 2.0 0.7\n");
+  EXPECT_DOUBLE_EQ(instance.requirement_pos, 0.9);
+  ASSERT_EQ(instance.bids.size(), 2u);
+  EXPECT_DOUBLE_EQ(instance.bids[1].cost, 2.0);
+}
+
+TEST(SingleTaskText, DiagnosesMalformedInput) {
+  EXPECT_THROW(single_task_from_text(""), common::PreconditionError);
+  EXPECT_THROW(single_task_from_text("wrong-header\nrequirement 0.5\n"),
+               common::PreconditionError);
+  EXPECT_THROW(single_task_from_text("mcs-single-task-v1\nuser 1 0.5\n"),
+               common::PreconditionError);  // missing requirement
+  EXPECT_THROW(single_task_from_text("mcs-single-task-v1\nrequirement 0.5\nuser 1\n"),
+               common::PreconditionError);  // short user line
+  EXPECT_THROW(
+      single_task_from_text("mcs-single-task-v1\nrequirement 0.5\nuser one 0.5\n"),
+      common::PreconditionError);  // bad number
+  EXPECT_THROW(
+      single_task_from_text("mcs-single-task-v1\nrequirement 0.5\nbogus 1 2\n"),
+      common::PreconditionError);  // unknown directive
+  EXPECT_THROW(
+      single_task_from_text("mcs-single-task-v1\nrequirement 1.5\nuser 1 0.5\n"),
+      common::PreconditionError);  // fails instance validation
+}
+
+TEST(SingleTaskText, ErrorsCarryLineNumbers) {
+  try {
+    single_task_from_text("mcs-single-task-v1\nrequirement 0.5\nuser bad 0.5\n");
+    FAIL() << "expected a parse error";
+  } catch (const common::PreconditionError& error) {
+    EXPECT_NE(std::string(error.what()).find("line 3"), std::string::npos) << error.what();
+  }
+}
+
+TEST(MultiTaskText, RoundTrips) {
+  const auto original = test::random_multi_task(10, 4, 0.6, 5);
+  const auto restored = multi_task_from_text(to_text(original));
+  ASSERT_EQ(restored.num_tasks(), original.num_tasks());
+  ASSERT_EQ(restored.num_users(), original.num_users());
+  for (std::size_t j = 0; j < original.num_tasks(); ++j) {
+    EXPECT_DOUBLE_EQ(restored.requirement_pos[j], original.requirement_pos[j]);
+  }
+  for (std::size_t i = 0; i < original.num_users(); ++i) {
+    EXPECT_DOUBLE_EQ(restored.users[i].cost, original.users[i].cost);
+    EXPECT_EQ(restored.users[i].tasks, original.users[i].tasks);
+    for (std::size_t k = 0; k < original.users[i].pos.size(); ++k) {
+      EXPECT_DOUBLE_EQ(restored.users[i].pos[k], original.users[i].pos[k]);
+    }
+  }
+}
+
+TEST(MultiTaskText, DiagnosesMalformedInput) {
+  EXPECT_THROW(multi_task_from_text("mcs-multi-task-v1\nrequirement 0 0.5\n"),
+               common::PreconditionError);  // tasks line must come first
+  EXPECT_THROW(multi_task_from_text("mcs-multi-task-v1\ntasks 2\nrequirement 5 0.5\n"),
+               common::PreconditionError);  // task index out of range
+  EXPECT_THROW(
+      multi_task_from_text("mcs-multi-task-v1\ntasks 1\nrequirement 0 0.5\nuser 1 2 0:0.3\n"),
+      common::PreconditionError);  // declared pair count mismatch
+  EXPECT_THROW(
+      multi_task_from_text("mcs-multi-task-v1\ntasks 1\nrequirement 0 0.5\nuser 1 1 0-0.3\n"),
+      common::PreconditionError);  // missing colon
+}
+
+TEST(InstanceFiles, SaveAndLoad) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto single_path = dir / "mcs_io_single_test.txt";
+  const auto multi_path = dir / "mcs_io_multi_test.txt";
+
+  const auto single = test::random_single_task(6, 0.7, 7);
+  save_single_task(single_path, single);
+  EXPECT_EQ(load_single_task(single_path).bids.size(), single.bids.size());
+
+  const auto multi = test::random_multi_task(6, 3, 0.5, 9);
+  save_multi_task(multi_path, multi);
+  EXPECT_EQ(load_multi_task(multi_path).num_users(), multi.num_users());
+
+  std::filesystem::remove(single_path);
+  std::filesystem::remove(multi_path);
+  EXPECT_THROW(load_single_task(single_path), std::runtime_error);
+}
+
+TEST(DetectInstanceKind, RecognizesHeaders) {
+  EXPECT_EQ(detect_instance_kind("mcs-single-task-v1\n"), "single");
+  EXPECT_EQ(detect_instance_kind("# comment\nmcs-multi-task-v1\n"), "multi");
+  EXPECT_EQ(detect_instance_kind("something else\n"), "");
+  EXPECT_EQ(detect_instance_kind(""), "");
+}
+
+}  // namespace
+}  // namespace mcs::auction

@@ -1,0 +1,67 @@
+// Unit tests for the auction vocabulary: allocations and the
+// execution-contingent reward algebra.
+#include "auction/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace mcs::auction {
+namespace {
+
+TEST(Allocation, ContainsUsesBinarySearch) {
+  Allocation allocation;
+  allocation.winners = {1, 4, 9};
+  EXPECT_TRUE(allocation.contains(1));
+  EXPECT_TRUE(allocation.contains(9));
+  EXPECT_FALSE(allocation.contains(2));
+  EXPECT_FALSE(allocation.contains(0));
+}
+
+TEST(Allocation, DefaultIsInfeasibleAndEmpty) {
+  const Allocation allocation;
+  EXPECT_FALSE(allocation.feasible);
+  EXPECT_TRUE(allocation.winners.empty());
+  EXPECT_DOUBLE_EQ(allocation.total_cost, 0.0);
+}
+
+TEST(EcReward, BranchesMatchPaperFormulas) {
+  const EcReward reward{.critical_pos = 0.3, .cost = 5.0, .alpha = 10.0};
+  EXPECT_DOUBLE_EQ(reward.on_success(), (1.0 - 0.3) * 10.0 + 5.0);
+  EXPECT_DOUBLE_EQ(reward.on_failure(), -0.3 * 10.0 + 5.0);
+}
+
+TEST(EcReward, ExpectedUtilityIsPosGapTimesAlpha) {
+  const EcReward reward{.critical_pos = 0.3, .cost = 5.0, .alpha = 10.0};
+  EXPECT_NEAR(reward.expected_utility(0.5), 2.0, 1e-12);
+  EXPECT_NEAR(reward.expected_utility(0.3), 0.0, 1e-12);
+  EXPECT_NEAR(reward.expected_utility(0.1), -2.0, 1e-12);
+}
+
+TEST(EcReward, ExpectedUtilityIsExpectationOfRealized) {
+  // E[u] = p·(on_success - c) + (1-p)·(on_failure - c).
+  const EcReward reward{.critical_pos = 0.25, .cost = 3.0, .alpha = 8.0};
+  const double p = 0.6;
+  const double direct =
+      p * reward.realized_utility(true) + (1.0 - p) * reward.realized_utility(false);
+  EXPECT_NEAR(reward.expected_utility(p), direct, 1e-12);
+}
+
+TEST(EcReward, FailureBranchCanBeNegative) {
+  // A winner who fails repays p̄·α out of her reimbursed cost — the reward
+  // net of cost is negative, which is what deters PoS inflation.
+  const EcReward reward{.critical_pos = 0.8, .cost = 2.0, .alpha = 10.0};
+  EXPECT_LT(reward.on_failure(), 0.0);
+  EXPECT_DOUBLE_EQ(reward.realized_utility(false), -8.0);
+}
+
+TEST(MechanismOutcome, RewardOfFindsWinner) {
+  MechanismOutcome outcome;
+  outcome.rewards.push_back({3, 0.5, {0.4, 2.0, 10.0}});
+  outcome.rewards.push_back({7, 0.2, {0.1, 1.0, 10.0}});
+  EXPECT_DOUBLE_EQ(outcome.reward_of(7).reward.critical_pos, 0.1);
+  EXPECT_THROW(outcome.reward_of(5), common::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mcs::auction

@@ -1,0 +1,58 @@
+// Tests for the contract-checking macros: exception types, message content,
+// and pass-through on satisfied conditions.
+#include "common/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcs::common {
+namespace {
+
+int checked_divide(int a, int b) {
+  MCS_EXPECTS(b != 0, "divisor must be non-zero");
+  const int result = a / b;
+  MCS_ENSURES(result * b + a % b == a, "division identity");
+  return result;
+}
+
+TEST(Check, SatisfiedConditionsPassThrough) {
+  EXPECT_EQ(checked_divide(10, 3), 3);
+  EXPECT_EQ(checked_divide(-9, 3), -3);
+}
+
+TEST(Check, PreconditionThrowsPreconditionError) {
+  EXPECT_THROW(checked_divide(1, 0), PreconditionError);
+}
+
+TEST(Check, PreconditionErrorIsInvalidArgument) {
+  try {
+    checked_divide(1, 0);
+    FAIL() << "expected a throw";
+  } catch (const std::invalid_argument&) {
+    SUCCEED();
+  }
+}
+
+TEST(Check, MessagesCarryContext) {
+  try {
+    checked_divide(1, 0);
+    FAIL() << "expected a throw";
+  } catch (const PreconditionError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("divisor must be non-zero"), std::string::npos) << what;
+    EXPECT_NE(what.find("b != 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("common_check_test.cpp"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, InvariantThrowsInvariantError) {
+  const auto broken = [] { MCS_ENSURES(1 == 2, "impossible"); };
+  EXPECT_THROW(broken(), InvariantError);
+  try {
+    broken();
+  } catch (const std::logic_error& error) {
+    EXPECT_NE(std::string(error.what()).find("invariant"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace mcs::common

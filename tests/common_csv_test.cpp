@@ -1,0 +1,109 @@
+// Unit tests for the CSV reader/writer: quoting, round trips, error paths,
+// and the file wrappers.
+#include "common/csv.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace mcs::common {
+namespace {
+
+TEST(CsvParse, BasicTable) {
+  const auto table = parse_csv("a,b,c\n1,2,3\n4,5,6\n");
+  ASSERT_EQ(table.header.size(), 3u);
+  EXPECT_EQ(table.header[0], "a");
+  ASSERT_EQ(table.rows.size(), 2u);
+  EXPECT_EQ(table.rows[1][2], "6");
+}
+
+TEST(CsvParse, EmptyInput) {
+  const auto table = parse_csv("");
+  EXPECT_TRUE(table.header.empty());
+  EXPECT_TRUE(table.rows.empty());
+}
+
+TEST(CsvParse, HeaderOnly) {
+  const auto table = parse_csv("x,y\n");
+  EXPECT_EQ(table.header.size(), 2u);
+  EXPECT_TRUE(table.rows.empty());
+}
+
+TEST(CsvParse, MissingTrailingNewline) {
+  const auto table = parse_csv("a,b\n1,2");
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][1], "2");
+}
+
+TEST(CsvParse, CarriageReturnsIgnored) {
+  const auto table = parse_csv("a,b\r\n1,2\r\n");
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][0], "1");
+}
+
+TEST(CsvParse, QuotedFields) {
+  const auto table = parse_csv("name,note\nalice,\"hello, world\"\nbob,\"say \"\"hi\"\"\"\n");
+  EXPECT_EQ(table.rows[0][1], "hello, world");
+  EXPECT_EQ(table.rows[1][1], "say \"hi\"");
+}
+
+TEST(CsvParse, QuotedNewline) {
+  const auto table = parse_csv("a,b\n\"line1\nline2\",x\n");
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][0], "line1\nline2");
+}
+
+TEST(CsvParse, EmptyFields) {
+  const auto table = parse_csv("a,b,c\n,,\n");
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_EQ(table.rows[0][0], "");
+  EXPECT_EQ(table.rows[0][2], "");
+}
+
+TEST(CsvParse, RaggedRowThrows) {
+  EXPECT_THROW(parse_csv("a,b\n1,2,3\n"), PreconditionError);
+  EXPECT_THROW(parse_csv("a,b\n1\n"), PreconditionError);
+}
+
+TEST(CsvParse, UnterminatedQuoteThrows) {
+  EXPECT_THROW(parse_csv("a\n\"unterminated\n"), PreconditionError);
+}
+
+TEST(CsvRoundTrip, PreservesContent) {
+  CsvTable table;
+  table.header = {"id", "text"};
+  table.rows = {{"1", "plain"}, {"2", "with, comma"}, {"3", "with \"quote\""}, {"4", "a\nb"}};
+  const auto parsed = parse_csv(to_csv(table));
+  EXPECT_EQ(parsed.header, table.header);
+  EXPECT_EQ(parsed.rows, table.rows);
+}
+
+TEST(CsvTable, ColumnLookup) {
+  CsvTable table;
+  table.header = {"x", "y"};
+  EXPECT_EQ(table.column("x"), 0u);
+  EXPECT_EQ(table.column("y"), 1u);
+  EXPECT_THROW(table.column("z"), PreconditionError);
+}
+
+TEST(CsvFiles, WriteAndReadBack) {
+  const auto path = std::filesystem::temp_directory_path() / "mcs_csv_test.csv";
+  CsvTable table;
+  table.header = {"k", "v"};
+  table.rows = {{"1", "a"}, {"2", "b"}};
+  write_csv_file(path, table);
+  const auto loaded = read_csv_file(path);
+  EXPECT_EQ(loaded.header, table.header);
+  EXPECT_EQ(loaded.rows, table.rows);
+  std::filesystem::remove(path);
+}
+
+TEST(CsvFiles, MissingFileThrows) {
+  EXPECT_THROW(read_csv_file("/nonexistent/definitely/missing.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mcs::common

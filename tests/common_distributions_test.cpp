@@ -1,0 +1,152 @@
+// Unit tests for the workload samplers: normal moments, truncation bounds,
+// categorical frequencies, Zipf weights, and without-replacement sampling.
+#include "common/distributions.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace mcs::common {
+namespace {
+
+TEST(Normal, MatchesMoments) {
+  Rng rng(3);
+  RunningStats stats;
+  for (int k = 0; k < 200000; ++k) {
+    stats.add(sample_normal(rng, 15.0, 2.0));
+  }
+  EXPECT_NEAR(stats.mean(), 15.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Normal, ZeroStddevIsDeterministic) {
+  Rng rng(5);
+  EXPECT_DOUBLE_EQ(sample_normal(rng, 7.0, 0.0), 7.0);
+  EXPECT_THROW(sample_normal(rng, 0.0, -1.0), PreconditionError);
+}
+
+TEST(TruncatedNormal, StaysInWindow) {
+  Rng rng(7);
+  for (int k = 0; k < 5000; ++k) {
+    const double v = sample_truncated_normal(rng, 15.0, 5.0, 0.5, 20.0);
+    EXPECT_GE(v, 0.5);
+    EXPECT_LE(v, 20.0);
+  }
+}
+
+TEST(TruncatedNormal, RejectsEmptyWindow) {
+  Rng rng(11);
+  EXPECT_THROW(sample_truncated_normal(rng, 0.0, 1.0, 2.0, 2.0), PreconditionError);
+}
+
+TEST(TruncatedNormal, ThrowsOnNegligibleMass) {
+  Rng rng(13);
+  // 100 sigma away: rejection sampling cannot terminate.
+  EXPECT_THROW(sample_truncated_normal(rng, 0.0, 1.0, 100.0, 101.0), PreconditionError);
+}
+
+TEST(Categorical, MatchesWeights) {
+  Rng rng(17);
+  const std::vector<double> weights{1.0, 2.0, 7.0};
+  std::vector<int> counts(3, 0);
+  constexpr int kDraws = 100000;
+  for (int k = 0; k < kDraws; ++k) {
+    ++counts[sample_categorical(rng, weights)];
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.2, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kDraws), 0.7, 0.01);
+}
+
+TEST(Categorical, SkipsZeroWeights) {
+  Rng rng(19);
+  const std::vector<double> weights{0.0, 1.0, 0.0};
+  for (int k = 0; k < 100; ++k) {
+    EXPECT_EQ(sample_categorical(rng, weights), 1u);
+  }
+}
+
+TEST(Categorical, RejectsDegenerateInputs) {
+  Rng rng(23);
+  EXPECT_THROW(sample_categorical(rng, std::vector<double>{}), PreconditionError);
+  EXPECT_THROW(sample_categorical(rng, std::vector<double>{0.0, 0.0}), PreconditionError);
+  EXPECT_THROW(sample_categorical(rng, std::vector<double>{1.0, -0.5}), PreconditionError);
+}
+
+TEST(Zipf, NormalizedAndDecreasing) {
+  const auto weights = zipf_weights(10, 1.0);
+  double total = 0.0;
+  for (std::size_t k = 0; k < weights.size(); ++k) {
+    total += weights[k];
+    if (k > 0) {
+      EXPECT_LT(weights[k], weights[k - 1]);
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Zipf, ExponentZeroIsUniform) {
+  const auto weights = zipf_weights(4, 0.0);
+  for (double w : weights) {
+    EXPECT_NEAR(w, 0.25, 1e-12);
+  }
+}
+
+TEST(Zipf, KnownRatios) {
+  const auto weights = zipf_weights(3, 1.0);
+  EXPECT_NEAR(weights[0] / weights[1], 2.0, 1e-12);
+  EXPECT_NEAR(weights[0] / weights[2], 3.0, 1e-12);
+  EXPECT_THROW(zipf_weights(0, 1.0), PreconditionError);
+  EXPECT_THROW(zipf_weights(3, -1.0), PreconditionError);
+}
+
+TEST(WithoutReplacement, DistinctAndInRange) {
+  Rng rng(29);
+  const auto picks = sample_without_replacement(rng, 50, 20);
+  EXPECT_EQ(picks.size(), 20u);
+  std::set<std::size_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (std::size_t p : picks) {
+    EXPECT_LT(p, 50u);
+  }
+}
+
+TEST(WithoutReplacement, FullPopulationIsPermutation) {
+  Rng rng(31);
+  auto picks = sample_without_replacement(rng, 10, 10);
+  std::sort(picks.begin(), picks.end());
+  for (std::size_t k = 0; k < 10; ++k) {
+    EXPECT_EQ(picks[k], k);
+  }
+}
+
+TEST(WithoutReplacement, RejectsOversizedRequest) {
+  Rng rng(37);
+  EXPECT_THROW(sample_without_replacement(rng, 3, 4), PreconditionError);
+  EXPECT_TRUE(sample_without_replacement(rng, 3, 0).empty());
+}
+
+TEST(WithoutReplacement, UniformOverPositions) {
+  // Element 0 should land in each draw position equally often.
+  Rng rng(41);
+  std::vector<int> counts(5, 0);
+  constexpr int kTrials = 50000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto picks = sample_without_replacement(rng, 5, 5);
+    for (std::size_t pos = 0; pos < 5; ++pos) {
+      if (picks[pos] == 0) {
+        ++counts[pos];
+      }
+    }
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kTrials, 0.2, 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace mcs::common

@@ -1,0 +1,112 @@
+// Unit tests for the numeric helpers in common/math.hpp: the PoS/contribution
+// log transform, harmonic numbers, tolerant comparisons, and summation.
+#include "common/math.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace mcs::common {
+namespace {
+
+TEST(ContributionTransform, ZeroPosIsZeroContribution) {
+  EXPECT_DOUBLE_EQ(contribution_from_pos(0.0), 0.0);
+}
+
+TEST(ContributionTransform, KnownValue) {
+  // q = -ln(1 - 0.5) = ln 2.
+  EXPECT_NEAR(contribution_from_pos(0.5), std::log(2.0), 1e-15);
+}
+
+TEST(ContributionTransform, CertainSuccessIsInfinite) {
+  EXPECT_TRUE(std::isinf(contribution_from_pos(1.0)));
+}
+
+TEST(ContributionTransform, RejectsOutOfRange) {
+  EXPECT_THROW(contribution_from_pos(-0.1), PreconditionError);
+  EXPECT_THROW(contribution_from_pos(1.1), PreconditionError);
+}
+
+TEST(ContributionTransform, InverseRejectsNegative) {
+  EXPECT_THROW(pos_from_contribution(-1e-9), PreconditionError);
+}
+
+TEST(ContributionTransform, RoundTripsAcrossTheRange) {
+  for (double p = 0.0; p < 0.999; p += 0.0097) {
+    EXPECT_NEAR(pos_from_contribution(contribution_from_pos(p)), p, 1e-12) << "p=" << p;
+  }
+}
+
+TEST(ContributionTransform, AccurateNearZero) {
+  // log1p/expm1 keep tiny PoS exact where naive formulas lose all digits.
+  const double p = 1e-12;
+  EXPECT_NEAR(contribution_from_pos(p), p, 1e-24);
+  EXPECT_NEAR(pos_from_contribution(p), p, 1e-24);
+}
+
+TEST(ContributionTransform, AdditivityMatchesProbabilityComposition) {
+  // 1 - (1-p1)(1-p2) == pos(q1 + q2).
+  const double p1 = 0.3;
+  const double p2 = 0.45;
+  const double combined = 1.0 - (1.0 - p1) * (1.0 - p2);
+  const double q = contribution_from_pos(p1) + contribution_from_pos(p2);
+  EXPECT_NEAR(pos_from_contribution(q), combined, 1e-12);
+}
+
+TEST(Harmonic, FirstValues) {
+  EXPECT_DOUBLE_EQ(harmonic(0), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic(1), 1.0);
+  EXPECT_DOUBLE_EQ(harmonic(2), 1.5);
+  EXPECT_NEAR(harmonic(4), 1.0 + 0.5 + 1.0 / 3.0 + 0.25, 1e-15);
+}
+
+TEST(Harmonic, GrowsLikeLog) {
+  // H(n) ≈ ln n + γ.
+  constexpr double kEulerMascheroni = 0.5772156649015329;
+  EXPECT_NEAR(harmonic(100000), std::log(100000.0) + kEulerMascheroni, 1e-4);
+}
+
+TEST(Harmonic, RealInterpolates) {
+  EXPECT_DOUBLE_EQ(harmonic_real(2.0), 1.5);
+  EXPECT_NEAR(harmonic_real(2.5), (harmonic(2) + harmonic(3)) / 2.0, 1e-15);
+  EXPECT_THROW(harmonic_real(-1.0), PreconditionError);
+}
+
+TEST(AlmostEqual, RelativeWithFloor) {
+  EXPECT_TRUE(almost_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(almost_equal(1.0, 1.001));
+  EXPECT_TRUE(almost_equal(1e12, 1e12 * (1.0 + 1e-12)));
+  EXPECT_TRUE(almost_equal(0.0, 1e-12));
+}
+
+TEST(ApproxGe, AcceptsTinyShortfall) {
+  EXPECT_TRUE(approx_ge(1.0, 1.0));
+  EXPECT_TRUE(approx_ge(1.0 - 1e-12, 1.0));
+  EXPECT_FALSE(approx_ge(0.9, 1.0));
+  EXPECT_TRUE(approx_ge(2.0, 1.0));
+}
+
+TEST(KahanSum, CompensatesCancellation) {
+  // 1 + 1e-16 added 1e4 times: naive double summation loses the small terms.
+  std::vector<double> values{1.0};
+  values.insert(values.end(), 10000, 1e-16);
+  EXPECT_NEAR(kahan_sum(values), 1.0 + 1e-12, 1e-18);
+}
+
+TEST(KahanSum, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(kahan_sum(std::span<const double>{}), 0.0);
+}
+
+TEST(Clamp, OrdersBounds) {
+  EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(clamp(-1.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(2.0, 0.0, 1.0), 1.0);
+  EXPECT_THROW(clamp(0.0, 1.0, 0.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mcs::common

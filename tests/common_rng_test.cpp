@@ -1,0 +1,169 @@
+// Unit tests for the deterministic RNG: reproducibility, range contracts,
+// stream splitting, and basic distributional sanity.
+#include "common/rng.hpp"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace mcs::common {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int k = 0; k < 100; ++k) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int k = 0; k < 100; ++k) {
+    equal += (a() == b()) ? 1 : 0;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, Uniform01StaysInRange) {
+  Rng rng(7);
+  for (int k = 0; k < 10000; ++k) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int k = 0; k < kDraws; ++k) {
+    sum += rng.uniform01();
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(13);
+  for (int k = 0; k < 1000; ++k) {
+    const double u = rng.uniform(-3.0, 5.5);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.5);
+  }
+  EXPECT_THROW(rng.uniform(1.0, 1.0), PreconditionError);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), PreconditionError);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively) {
+  Rng rng(17);
+  std::set<std::int64_t> seen;
+  for (int k = 0; k < 2000; ++k) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values appear
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(19);
+  for (int k = 0; k < 10; ++k) {
+    EXPECT_EQ(rng.uniform_int(5, 5), 5);
+  }
+  EXPECT_THROW(rng.uniform_int(2, 1), PreconditionError);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng rng(23);
+  for (int k = 0; k < 1000; ++k) {
+    const auto v = rng.uniform_int(-10, -5);
+    EXPECT_GE(v, -10);
+    EXPECT_LE(v, -5);
+  }
+}
+
+TEST(Rng, UniformIntIsUnbiased) {
+  Rng rng(29);
+  std::vector<int> counts(6, 0);
+  constexpr int kDraws = 60000;
+  for (int k = 0; k < kDraws; ++k) {
+    ++counts[static_cast<std::size_t>(rng.uniform_int(0, 5))];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kDraws, 1.0 / 6.0, 0.01);
+  }
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng rng(31);
+  for (int k = 0; k < 100; ++k) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+  EXPECT_THROW(rng.bernoulli(-0.01), PreconditionError);
+  EXPECT_THROW(rng.bernoulli(1.01), PreconditionError);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(37);
+  int successes = 0;
+  constexpr int kDraws = 100000;
+  for (int k = 0; k < kDraws; ++k) {
+    successes += rng.bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(successes) / kDraws, 0.3, 0.01);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(41);
+  Rng child = parent.split();
+  // The child stream differs from the parent's continuation.
+  int equal = 0;
+  for (int k = 0; k < 100; ++k) {
+    equal += (parent() == child()) ? 1 : 0;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(43);
+  Rng b(43);
+  Rng child_a = a.split();
+  Rng child_b = b.split();
+  for (int k = 0; k < 50; ++k) {
+    EXPECT_EQ(child_a(), child_b());
+  }
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweep, BitsLookBalanced) {
+  // Each of the 64 output bits should be set roughly half the time.
+  Rng rng(GetParam());
+  constexpr int kDraws = 4096;
+  std::vector<int> ones(64, 0);
+  for (int k = 0; k < kDraws; ++k) {
+    const auto v = rng();
+    for (int bit = 0; bit < 64; ++bit) {
+      ones[static_cast<std::size_t>(bit)] += (v >> bit) & 1;
+    }
+  }
+  for (int bit = 0; bit < 64; ++bit) {
+    EXPECT_NEAR(static_cast<double>(ones[static_cast<std::size_t>(bit)]) / kDraws, 0.5, 0.05)
+        << "bit " << bit;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 42ULL, 0xdeadbeefULL,
+                                           0xffffffffffffffffULL));
+
+}  // namespace
+}  // namespace mcs::common

@@ -1,0 +1,166 @@
+// Unit tests for the statistics substrate: running summaries, histograms,
+// and the empirical CDF used by the Fig 4 / Fig 6 reproductions.
+#include "common/stats.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace mcs::common {
+namespace {
+
+TEST(RunningStats, MatchesDirectComputation) {
+  RunningStats stats;
+  const std::vector<double> values{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double v : values) {
+    stats.add(v);
+  }
+  EXPECT_EQ(stats.count(), values.size());
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance with n-1: Σ(x-5)² = 32, 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyThrows) {
+  const RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_THROW(stats.mean(), PreconditionError);
+  EXPECT_THROW(stats.variance(), PreconditionError);
+  EXPECT_THROW(stats.min(), PreconditionError);
+  EXPECT_THROW(stats.max(), PreconditionError);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats stats;
+  stats.add(3.5);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+}
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.1);   // bin 0
+  h.add(0.26);  // bin 1
+  h.add(0.5);   // bin 2 (left-closed bins)
+  h.add(0.99);  // bin 3
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, ClampsOutOfRangeValues) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-5.0);
+  h.add(5.0);
+  h.add(1.0);  // exactly at the top edge -> last bin
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+}
+
+TEST(Histogram, MassAndDensity) {
+  Histogram h(0.0, 2.0, 4);  // width 0.5
+  h.add_all(std::vector<double>{0.1, 0.2, 1.9});
+  EXPECT_NEAR(h.mass(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(h.density(0), (2.0 / 3.0) / 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(h.mass(1), 0.0);
+}
+
+TEST(Histogram, BinGeometry) {
+  Histogram h(1.0, 3.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 1.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(2), 2.25);
+  EXPECT_THROW(h.count(4), PreconditionError);
+}
+
+TEST(Histogram, RejectsDegenerateConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), PreconditionError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), PreconditionError);
+}
+
+TEST(EmpiricalCdf, StepFunction) {
+  const EmpiricalCdf cdf(std::vector<double>{1.0, 2.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.value(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.value(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.value(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.value(3.9), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.value(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.value(100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, Quantiles) {
+  const EmpiricalCdf cdf(std::vector<double>{3.0, 1.0, 2.0, 4.0});  // sorts internally
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 4.0);
+  EXPECT_THROW(cdf.quantile(0.0), PreconditionError);
+  EXPECT_THROW(cdf.quantile(1.1), PreconditionError);
+}
+
+TEST(EmpiricalCdf, RejectsEmptySample) {
+  EXPECT_THROW(EmpiricalCdf(std::vector<double>{}), PreconditionError);
+}
+
+TEST(Mean, SpanMean) {
+  const std::vector<double> values{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(mean(values), 2.0);
+  EXPECT_THROW(mean(std::span<const double>{}), PreconditionError);
+}
+
+TEST(BootstrapCi, DegenerateSampleHasZeroWidth) {
+  Rng rng(1);
+  const std::vector<double> constant(20, 5.0);
+  const auto ci = bootstrap_mean_ci(constant, 0.95, 200, rng);
+  EXPECT_DOUBLE_EQ(ci.lo, 5.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 5.0);
+  EXPECT_DOUBLE_EQ(ci.half_width(), 0.0);
+}
+
+TEST(BootstrapCi, BracketsTheSampleMean) {
+  Rng data_rng(2);
+  std::vector<double> samples;
+  for (int k = 0; k < 60; ++k) {
+    samples.push_back(data_rng.uniform(0.0, 10.0));
+  }
+  Rng rng(3);
+  const auto ci = bootstrap_mean_ci(samples, 0.95, 2000, rng);
+  const double sample_mean = mean(samples);
+  EXPECT_LE(ci.lo, sample_mean);
+  EXPECT_GE(ci.hi, sample_mean);
+  // CLT scale: half width near 1.96·sigma/sqrt(n) with sigma ≈ 10/sqrt(12).
+  EXPECT_NEAR(ci.half_width(), 1.96 * (10.0 / std::sqrt(12.0)) / std::sqrt(60.0), 0.3);
+}
+
+TEST(BootstrapCi, WiderConfidenceWidensTheInterval) {
+  Rng data_rng(4);
+  std::vector<double> samples;
+  for (int k = 0; k < 40; ++k) {
+    samples.push_back(data_rng.uniform(0.0, 1.0));
+  }
+  Rng rng_a(5);
+  Rng rng_b(5);
+  const auto narrow = bootstrap_mean_ci(samples, 0.8, 2000, rng_a);
+  const auto wide = bootstrap_mean_ci(samples, 0.99, 2000, rng_b);
+  EXPECT_GT(wide.half_width(), narrow.half_width());
+}
+
+TEST(BootstrapCi, RejectsBadArguments) {
+  Rng rng(6);
+  const std::vector<double> samples{1.0, 2.0};
+  EXPECT_THROW(bootstrap_mean_ci({}, 0.95, 100, rng), PreconditionError);
+  EXPECT_THROW(bootstrap_mean_ci(samples, 0.0, 100, rng), PreconditionError);
+  EXPECT_THROW(bootstrap_mean_ci(samples, 1.0, 100, rng), PreconditionError);
+  EXPECT_THROW(bootstrap_mean_ci(samples, 0.95, 5, rng), PreconditionError);
+}
+
+}  // namespace
+}  // namespace mcs::common

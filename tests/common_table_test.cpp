@@ -1,0 +1,52 @@
+// Unit tests for the text-table printer used by every bench binary.
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace mcs::common {
+namespace {
+
+TEST(TextTableNum, TrimsTrailingZeros) {
+  EXPECT_EQ(TextTable::num(1.5), "1.5");
+  EXPECT_EQ(TextTable::num(2.0), "2");
+  EXPECT_EQ(TextTable::num(0.25, 2), "0.25");
+  EXPECT_EQ(TextTable::num(0.1234567, 3), "0.123");
+  EXPECT_EQ(TextTable::num(-3.10), "-3.1");
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table("demo", {"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "10000"});
+  const auto out = table.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("10000"), std::string::npos);
+  // Every rendered line within a section has the same width.
+  std::size_t header_line = out.find(" name");
+  std::size_t row_line = out.find(" alpha");
+  ASSERT_NE(header_line, std::string::npos);
+  ASSERT_NE(row_line, std::string::npos);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable table("demo", {"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), PreconditionError);
+  EXPECT_THROW(table.add_row({"1", "2", "3"}), PreconditionError);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable("demo", {}), PreconditionError);
+}
+
+TEST(TextTable, EmptyBodyStillRenders) {
+  TextTable table("empty", {"col"});
+  const auto out = table.str();
+  EXPECT_NE(out.find("col"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcs::common

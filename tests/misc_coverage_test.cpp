@@ -1,0 +1,126 @@
+// Targeted coverage for small API surfaces not exercised elsewhere: table
+// CSV export, dataset edge queries, grid angular steps, platform demand
+// policy determinism, and workload configuration plumbing.
+#include <gtest/gtest.h>
+
+#include "common/table.hpp"
+#include "platform/platform.hpp"
+#include "sim/experiment.hpp"
+#include "trace/dataset.hpp"
+
+namespace mcs {
+namespace {
+
+TEST(TextTableCsv, ExportMatchesContents) {
+  common::TextTable table("demo", {"a", "b"});
+  table.add_row({"1", "x,y"});
+  const auto csv = table.to_csv_table();
+  EXPECT_EQ(csv.header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(csv.rows.size(), 1u);
+  EXPECT_EQ(csv.rows[0][1], "x,y");
+  // Round-trips through the CSV writer (the quoted comma survives).
+  const auto parsed = common::parse_csv(common::to_csv(csv));
+  EXPECT_EQ(parsed.rows[0][1], "x,y");
+  EXPECT_EQ(table.title(), "demo");
+}
+
+TEST(TraceDatasetEdges, UnknownTaxiCellSequenceIsEmpty) {
+  const geo::GridMap grid(geo::shanghai_bounding_box(), 2000.0);
+  const trace::TraceDataset dataset;
+  EXPECT_TRUE(dataset.cell_sequence(42, grid).empty());
+}
+
+TEST(GridAngularSteps, MatchCellGeometry) {
+  const geo::GridMap grid(geo::shanghai_bounding_box(), 2000.0);
+  const auto box = grid.box();
+  EXPECT_NEAR(grid.lat_step_deg() * grid.rows(), box.north_east.lat - box.south_west.lat,
+              1e-12);
+  EXPECT_NEAR(grid.lon_step_deg() * grid.cols(), box.north_east.lon - box.south_west.lon,
+              1e-12);
+}
+
+TEST(WorkloadConfig, LaplaceAlphaFlowsIntoTheFleet) {
+  sim::WorkloadConfig config;
+  config.city.num_taxis = 5;
+  config.city.num_days = 2;
+  config.city.trips_per_day = 8;
+  config.laplace_alpha = 0.0;  // MLE: unseen moves get zero probability
+  const sim::Workload workload(config);
+  const auto& model = workload.fleet().model(workload.fleet().taxis().front());
+  const auto& locations = model.locations();
+  ASSERT_GE(locations.size(), 2u);
+  // Under MLE some pair must have probability exactly zero (sparse rows).
+  bool found_zero = false;
+  for (geo::CellId from : locations) {
+    for (geo::CellId to : locations) {
+      if (model.probability(from, to) == 0.0) {
+        found_zero = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_zero);
+}
+
+class PolicyFixture : public ::testing::Test {
+ protected:
+  PolicyFixture() : city_(make_config()), dataset_(trace::generate_trace(city_)) {
+    fleet_ = mobility::FleetModel(dataset_, city_.grid(), mobility::MarkovLearner(1.0));
+  }
+  static trace::CityConfig make_config() {
+    trace::CityConfig config;
+    config.num_taxis = 30;
+    config.num_days = 4;
+    config.trips_per_day = 15;
+    return config;
+  }
+  trace::CityModel city_;
+  trace::TraceDataset dataset_;
+  mobility::FleetModel fleet_;
+};
+
+TEST_F(PolicyFixture, DemandPoliciesAreSeedDeterministic) {
+  for (platform::TaskPolicy policy :
+       {platform::TaskPolicy::kZipfDemand, platform::TaskPolicy::kUniformRandom}) {
+    platform::CampaignConfig config;
+    config.rounds = 3;
+    config.num_tasks = 6;
+    config.num_bidders = 25;
+    config.pos_requirement = 0.5;
+    config.task_policy = policy;
+    config.seed = 4242;
+    platform::Platform a(city_, fleet_, config);
+    platform::Platform b(city_, fleet_, config);
+    const auto ra = a.run_campaign();
+    const auto rb = b.run_campaign();
+    ASSERT_EQ(ra.rounds.size(), rb.rounds.size());
+    for (std::size_t k = 0; k < ra.rounds.size(); ++k) {
+      EXPECT_EQ(ra.rounds[k].winning_taxis, rb.rounds[k].winning_taxis);
+      EXPECT_DOUBLE_EQ(ra.rounds[k].payout, rb.rounds[k].payout);
+    }
+  }
+}
+
+TEST_F(PolicyFixture, ZipfDemandVariesTasksAcrossRounds) {
+  platform::CampaignConfig config;
+  config.rounds = 6;
+  config.num_tasks = 5;
+  config.num_bidders = 25;
+  config.pos_requirement = 0.4;
+  config.task_policy = platform::TaskPolicy::kZipfDemand;
+  config.seed = 99;
+  platform::Platform platform(city_, fleet_, config);
+  const auto report = platform.run_campaign();
+  // Different rounds should not always recruit the identical winner sets —
+  // Zipf demand rotates the posted tasks. (Weak check: at least two distinct
+  // held-round winner counts or winner lists.)
+  std::set<std::vector<trace::TaxiId>> distinct;
+  for (const auto& round : report.rounds) {
+    if (round.held) {
+      distinct.insert(round.winning_taxis);
+    }
+  }
+  EXPECT_GE(distinct.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mcs

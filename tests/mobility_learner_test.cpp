@@ -1,0 +1,112 @@
+// Unit tests for the Laplace-smoothed Markov learner: the paper's estimator
+// P_ij = (x_ij + a) / (x_i + a·l), row normalization, ranking, and the MLE
+// special case.
+#include "mobility/learner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace mcs::mobility {
+namespace {
+
+TransitionCounts sample_counts() {
+  TransitionCounts counts;
+  counts.add(1, 2, 6);
+  counts.add(1, 3, 3);
+  counts.add(2, 1, 4);
+  counts.add(3, 3, 2);
+  return counts;
+}
+
+TEST(MarkovLearner, SmoothedProbabilitiesMatchFormula) {
+  const MarkovModel model = MarkovLearner(1.0).fit(sample_counts());
+  // l = 3 locations {1, 2, 3}; row 1 has x_1 = 9.
+  EXPECT_NEAR(model.probability(1, 2), (6.0 + 1.0) / (9.0 + 3.0), 1e-12);
+  EXPECT_NEAR(model.probability(1, 3), (3.0 + 1.0) / (9.0 + 3.0), 1e-12);
+  EXPECT_NEAR(model.probability(1, 1), 1.0 / 12.0, 1e-12);  // unseen move
+}
+
+TEST(MarkovLearner, RowsSumToOne) {
+  for (double alpha : {0.5, 1.0, 2.0}) {
+    const MarkovModel model = MarkovLearner(alpha).fit(sample_counts());
+    for (geo::CellId from : model.locations()) {
+      double total = 0.0;
+      for (geo::CellId to : model.locations()) {
+        total += model.probability(from, to);
+      }
+      EXPECT_NEAR(total, 1.0, 1e-12) << "alpha " << alpha << " row " << from;
+    }
+  }
+}
+
+TEST(MarkovLearner, MleHasNoMassOnUnseenMoves) {
+  const MarkovModel model = MarkovLearner(0.0).fit(sample_counts());
+  EXPECT_NEAR(model.probability(1, 2), 6.0 / 9.0, 1e-12);
+  EXPECT_DOUBLE_EQ(model.probability(1, 1), 0.0);
+}
+
+TEST(MarkovLearner, OutsideLocationSetIsZero) {
+  const MarkovModel model = MarkovLearner(1.0).fit(sample_counts());
+  EXPECT_DOUBLE_EQ(model.probability(1, 99), 0.0);
+}
+
+TEST(MarkovLearner, UnobservedSourceRowIsUniformUnderSmoothing) {
+  TransitionCounts counts;
+  counts.add(1, 2);  // location 2 is never a source
+  const MarkovModel model = MarkovLearner(1.0).fit(counts);
+  EXPECT_NEAR(model.probability(2, 1), 0.5, 1e-12);
+  EXPECT_NEAR(model.probability(2, 2), 0.5, 1e-12);
+}
+
+TEST(MarkovLearner, UnobservedSourceRowUndefinedWithoutSmoothing) {
+  TransitionCounts counts;
+  counts.add(1, 2);
+  const MarkovModel model = MarkovLearner(0.0).fit(counts);
+  EXPECT_DOUBLE_EQ(model.probability(2, 1), 0.0);
+  EXPECT_DOUBLE_EQ(model.probability(2, 2), 0.0);
+}
+
+TEST(MarkovLearner, RejectsNegativeSmoothing) {
+  EXPECT_THROW(MarkovLearner(-0.1), common::PreconditionError);
+}
+
+TEST(MarkovModel, RowIsSortedDescendingWithIdTieBreak) {
+  const MarkovModel model = MarkovLearner(1.0).fit(sample_counts());
+  const auto row = model.row(1);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0].first, 2);  // highest count
+  EXPECT_EQ(row[1].first, 3);
+  EXPECT_EQ(row[2].first, 1);  // smoothed-only
+  EXPECT_GE(row[0].second, row[1].second);
+  EXPECT_GE(row[1].second, row[2].second);
+}
+
+TEST(MarkovModel, TopKTruncates) {
+  const MarkovModel model = MarkovLearner(1.0).fit(sample_counts());
+  EXPECT_EQ(model.top_k(1, 2).size(), 2u);
+  EXPECT_EQ(model.top_k(1, 10).size(), 3u);  // location set caps the answer
+  EXPECT_EQ(model.top_k(1, 2)[0].first, 2);
+}
+
+TEST(MarkovModel, RankingIsInvariantToSmoothingConstant) {
+  // For a fixed row, (x_ij + a)/(x_i + a·l) is monotone in x_ij, so the
+  // ranking cannot depend on a > 0.
+  const auto counts = sample_counts();
+  const auto row_a = MarkovLearner(0.1).fit(counts).row(1);
+  const auto row_b = MarkovLearner(5.0).fit(counts).row(1);
+  ASSERT_EQ(row_a.size(), row_b.size());
+  for (std::size_t k = 0; k < row_a.size(); ++k) {
+    EXPECT_EQ(row_a[k].first, row_b[k].first);
+  }
+}
+
+TEST(MarkovModel, EmptyModelHasNoLocations) {
+  const MarkovModel model = MarkovLearner(1.0).fit(TransitionCounts{});
+  EXPECT_TRUE(model.locations().empty());
+  EXPECT_TRUE(model.row(1).empty());
+  EXPECT_DOUBLE_EQ(model.probability(1, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace mcs::mobility

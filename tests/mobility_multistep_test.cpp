@@ -1,0 +1,155 @@
+// Tests for the multi-slot (deadline) PoS: absorption-DP correctness on hand
+// chains, monotonicity in the deadline, agreement with Monte-Carlo walks,
+// and the task-set builder integration.
+#include "mobility/multistep.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "mobility/pos.hpp"
+#include "trace/generator.hpp"
+
+namespace mcs::mobility {
+namespace {
+
+/// A two-state chain: from 1 go to 2 w.p. 0.5, stay w.p. 0.5 (MLE, no
+/// smoothing); from 2 always back to 1.
+MarkovModel two_state_chain() {
+  TransitionCounts counts;
+  counts.add(1, 2, 5);
+  counts.add(1, 1, 5);
+  counts.add(2, 1, 10);
+  return MarkovLearner(0.0).fit(counts);
+}
+
+TEST(MultiStepPos, OneStepEqualsTheModelRow) {
+  const auto model = two_state_chain();
+  EXPECT_NEAR(multi_step_visit_pos(model, 1, 2, 1), 0.5, 1e-12);
+  EXPECT_NEAR(multi_step_visit_pos(model, 2, 1, 1), 1.0, 1e-12);
+}
+
+TEST(MultiStepPos, TwoStepsCompoundCorrectly) {
+  const auto model = two_state_chain();
+  // Visit 2 within 2 steps from 1: 1 - P(stay, stay) = 1 - 0.25.
+  EXPECT_NEAR(multi_step_visit_pos(model, 1, 2, 2), 0.75, 1e-12);
+  // Visit 1 within 2 steps from 1 (future visits only): step1 stays w.p. 0.5
+  // (that IS a visit at cell 1? no — visiting cell 1 means transitioning TO
+  // it): P(step1 -> 1) = 0.5; else at 2, step2 -> 1 surely: 0.5 + 0.5 = 1.
+  EXPECT_NEAR(multi_step_visit_pos(model, 1, 1, 2), 1.0, 1e-12);
+}
+
+TEST(MultiStepPos, MonotoneInDeadline) {
+  const auto model = two_state_chain();
+  double previous = 0.0;
+  for (std::size_t steps = 1; steps <= 6; ++steps) {
+    const double pos = multi_step_visit_pos(model, 1, 2, steps);
+    EXPECT_GE(pos, previous - 1e-12);
+    previous = pos;
+  }
+  EXPECT_NEAR(previous, 1.0 - std::pow(0.5, 6), 1e-12);
+}
+
+TEST(MultiStepPos, UnknownCellsYieldZero) {
+  const auto model = two_state_chain();
+  EXPECT_DOUBLE_EQ(multi_step_visit_pos(model, 1, 99, 3), 0.0);
+  EXPECT_DOUBLE_EQ(multi_step_visit_pos(model, 99, 1, 3), 0.0);
+  EXPECT_THROW(multi_step_visit_pos(model, 1, 2, 0), common::PreconditionError);
+}
+
+TEST(MultiStepPos, MatchesMonteCarloWalks) {
+  // A random 4-state smoothed chain; compare DP against simulated walks.
+  TransitionCounts counts;
+  counts.add(1, 2, 3);
+  counts.add(1, 3, 1);
+  counts.add(2, 3, 2);
+  counts.add(2, 4, 2);
+  counts.add(3, 1, 4);
+  counts.add(4, 1, 1);
+  counts.add(4, 4, 3);
+  const auto model = MarkovLearner(1.0).fit(counts);
+  const std::size_t steps = 3;
+  const double analytic = multi_step_visit_pos(model, 1, 4, steps);
+
+  common::Rng rng(7);
+  const auto& locations = model.locations();
+  std::size_t visits = 0;
+  constexpr std::size_t kWalks = 200000;
+  for (std::size_t walk = 0; walk < kWalks; ++walk) {
+    geo::CellId at = 1;
+    for (std::size_t step = 0; step < steps; ++step) {
+      // Sample the smoothed row.
+      const double u = rng.uniform01();
+      double cumulative = 0.0;
+      for (geo::CellId next : locations) {
+        cumulative += model.probability(at, next);
+        if (u < cumulative) {
+          at = next;
+          break;
+        }
+      }
+      if (at == 4) {
+        ++visits;
+        break;
+      }
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(visits) / kWalks, analytic, 0.005);
+}
+
+TEST(MultiStepRow, SortedAndConsistent) {
+  const auto model = two_state_chain();
+  const auto row = multi_step_visit_row(model, 1, 2);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_GE(row[0].second, row[1].second);
+  for (const auto& [cell, pos] : row) {
+    EXPECT_NEAR(pos, multi_step_visit_pos(model, 1, cell, 2), 1e-12);
+  }
+}
+
+TEST(DeadlineTaskSets, LongerDeadlinesRaiseEveryPos) {
+  trace::CityConfig config;
+  config.num_taxis = 15;
+  config.num_days = 8;
+  config.trips_per_day = 20;
+  const trace::CityModel city(config);
+  const auto dataset = trace::generate_trace(city);
+  const FleetModel fleet(dataset, city.grid(), MarkovLearner(1.0));
+
+  UserDerivationConfig one_slot;
+  UserDerivationConfig three_slots;
+  three_slots.lookahead_steps = 3;
+  common::Rng rng_a(3);
+  common::Rng rng_b(3);  // same draws: same start cells and set sizes
+  const auto users_1 = derive_users(fleet, one_slot, rng_a);
+  const auto users_3 = derive_users(fleet, three_slots, rng_b);
+  ASSERT_EQ(users_1.size(), users_3.size());
+
+  double mean_1 = 0.0;
+  double mean_3 = 0.0;
+  std::size_t count = 0;
+  for (std::size_t k = 0; k < users_1.size(); ++k) {
+    EXPECT_EQ(users_1[k].current_cell, users_3[k].current_cell);
+    // Any cell present in both task sets must have a no-smaller PoS at the
+    // longer deadline.
+    for (const auto& [cell, pos] : users_1[k].task_pos) {
+      const double pos_3 = user_pos_for_cell(users_3[k], cell);
+      if (pos_3 > 0.0) {
+        EXPECT_GE(pos_3, pos - 1e-9);
+      }
+      mean_1 += pos;
+      ++count;
+    }
+    for (const auto& [_, pos] : users_3[k].task_pos) {
+      mean_3 += pos;
+    }
+  }
+  mean_1 /= static_cast<double>(count);
+  mean_3 /= static_cast<double>(count);
+  EXPECT_GT(mean_3, mean_1 * 1.5);  // three slots raise the PoS scale a lot
+}
+
+}  // namespace
+}  // namespace mcs::mobility

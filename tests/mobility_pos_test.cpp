@@ -1,0 +1,138 @@
+// Unit tests for PoS derivation and task-set construction (Section IV-A's
+// workload: start cell + top-[10,20] predicted cells per user).
+#include "mobility/pos.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "trace/generator.hpp"
+
+namespace mcs::mobility {
+namespace {
+
+class PosFixture : public ::testing::Test {
+ protected:
+  PosFixture() : city_(make_config()), dataset_(trace::generate_trace(city_)) {
+    fleet_ = FleetModel(dataset_, city_.grid(), MarkovLearner(1.0));
+  }
+
+  static trace::CityConfig make_config() {
+    trace::CityConfig config;
+    config.num_taxis = 25;
+    config.num_days = 6;
+    config.trips_per_day = 15;
+    return config;
+  }
+
+  trace::CityModel city_;
+  trace::TraceDataset dataset_;
+  FleetModel fleet_;
+};
+
+TEST_F(PosFixture, DerivesOneUserPerTaxi) {
+  UserDerivationConfig config;
+  common::Rng rng(5);
+  const auto users = derive_users(fleet_, config, rng);
+  EXPECT_EQ(users.size(), fleet_.taxis().size());
+}
+
+TEST_F(PosFixture, TaskSetSizesWithinRange) {
+  UserDerivationConfig config;
+  config.min_task_set = 4;
+  config.max_task_set = 9;
+  common::Rng rng(7);
+  const auto users = derive_users(fleet_, config, rng);
+  for (const auto& user : users) {
+    EXPECT_LE(user.task_pos.size(), 9u);
+    EXPECT_GE(user.task_pos.size(), 1u);  // PoS floor may trim below min
+  }
+}
+
+TEST_F(PosFixture, TaskPosSortedDescendingAndAboveFloor) {
+  UserDerivationConfig config;
+  config.min_pos = 1e-3;
+  common::Rng rng(9);
+  const auto users = derive_users(fleet_, config, rng);
+  for (const auto& user : users) {
+    for (std::size_t k = 0; k < user.task_pos.size(); ++k) {
+      EXPECT_GE(user.task_pos[k].second, config.min_pos);
+      if (k > 0) {
+        EXPECT_LE(user.task_pos[k].second, user.task_pos[k - 1].second);
+      }
+    }
+  }
+}
+
+TEST_F(PosFixture, PosMatchesModelPrediction) {
+  UserDerivationConfig config;
+  common::Rng rng(11);
+  const auto users = derive_users(fleet_, config, rng);
+  ASSERT_FALSE(users.empty());
+  const auto& user = users.front();
+  const auto& model = fleet_.model(user.taxi);
+  for (const auto& [cell, pos] : user.task_pos) {
+    EXPECT_NEAR(pos, model.probability(user.current_cell, cell), 1e-12);
+  }
+}
+
+TEST_F(PosFixture, CurrentCellIsInTheModelSupport) {
+  UserDerivationConfig config;
+  common::Rng rng(13);
+  const auto users = derive_users(fleet_, config, rng);
+  for (const auto& user : users) {
+    const auto& locations = fleet_.model(user.taxi).locations();
+    EXPECT_TRUE(std::binary_search(locations.begin(), locations.end(), user.current_cell));
+  }
+}
+
+TEST_F(PosFixture, DeterministicGivenSeed) {
+  UserDerivationConfig config;
+  common::Rng rng_a(17);
+  common::Rng rng_b(17);
+  const auto a = derive_users(fleet_, config, rng_a);
+  const auto b = derive_users(fleet_, config, rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a[k].taxi, b[k].taxi);
+    EXPECT_EQ(a[k].current_cell, b[k].current_cell);
+    EXPECT_EQ(a[k].task_pos, b[k].task_pos);
+  }
+}
+
+TEST_F(PosFixture, RejectsBadConfig) {
+  common::Rng rng(19);
+  UserDerivationConfig bad;
+  bad.min_task_set = 0;
+  EXPECT_THROW(derive_users(fleet_, bad, rng), common::PreconditionError);
+  bad = UserDerivationConfig{};
+  bad.min_task_set = 10;
+  bad.max_task_set = 5;
+  EXPECT_THROW(derive_users(fleet_, bad, rng), common::PreconditionError);
+  bad = UserDerivationConfig{};
+  bad.min_pos = 1.0;
+  EXPECT_THROW(derive_users(fleet_, bad, rng), common::PreconditionError);
+}
+
+TEST(UserPosForCell, LooksUpTaskSet) {
+  MobilityUser user;
+  user.task_pos = {{7, 0.4}, {3, 0.2}};
+  EXPECT_DOUBLE_EQ(user_pos_for_cell(user, 7), 0.4);
+  EXPECT_DOUBLE_EQ(user_pos_for_cell(user, 3), 0.2);
+  EXPECT_DOUBLE_EQ(user_pos_for_cell(user, 5), 0.0);
+}
+
+TEST(AllPosValues, FlattensEveryTaskSet) {
+  MobilityUser a;
+  a.task_pos = {{1, 0.3}, {2, 0.1}};
+  MobilityUser b;
+  b.task_pos = {{1, 0.5}};
+  const auto values = all_pos_values({a, b});
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_DOUBLE_EQ(values[0], 0.3);
+  EXPECT_DOUBLE_EQ(values[2], 0.5);
+}
+
+}  // namespace
+}  // namespace mcs::mobility

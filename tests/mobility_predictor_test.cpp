@@ -1,0 +1,120 @@
+// Unit tests for the fleet model and top-k prediction-accuracy evaluation
+// (the machinery behind Fig 3).
+#include "mobility/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "trace/generator.hpp"
+
+namespace mcs::mobility {
+namespace {
+
+/// A dataset whose taxi 1 cycles deterministically between two cell centers.
+trace::TraceDataset two_cell_dataset(const geo::GridMap& grid, std::size_t hops) {
+  const auto a = grid.center_of(grid.cell_at(5, 5));
+  const auto b = grid.center_of(grid.cell_at(5, 6));
+  trace::TraceDataset dataset;
+  for (std::size_t k = 0; k < hops; ++k) {
+    dataset.add({1, static_cast<trace::Timestamp>(100 * k), k % 2 == 0 ? a : b,
+                 k % 2 == 0 ? trace::EventKind::kPickup : trace::EventKind::kDropoff});
+  }
+  return dataset;
+}
+
+TEST(FleetModel, TrainsOneModelPerTaxi) {
+  const geo::GridMap grid(geo::shanghai_bounding_box(), 2000.0);
+  auto dataset = two_cell_dataset(grid, 20);
+  dataset.add({2, 100, grid.center_of(grid.cell_at(3, 3)), trace::EventKind::kPickup});
+  dataset.add({2, 200, grid.center_of(grid.cell_at(3, 4)), trace::EventKind::kDropoff});
+  const FleetModel fleet(dataset, grid, MarkovLearner(1.0));
+  ASSERT_EQ(fleet.taxis().size(), 2u);
+  EXPECT_EQ(fleet.model(1).locations().size(), 2u);
+  EXPECT_THROW(fleet.model(99), common::PreconditionError);
+}
+
+TEST(FleetModel, SkipsTaxisWithFewerThanTwoEvents) {
+  const geo::GridMap grid(geo::shanghai_bounding_box(), 2000.0);
+  trace::TraceDataset dataset;
+  dataset.add({7, 100, grid.center_of(0), trace::EventKind::kPickup});
+  const FleetModel fleet(dataset, grid, MarkovLearner(1.0));
+  EXPECT_TRUE(fleet.taxis().empty());
+}
+
+TEST(FleetModel, HoldoutSplitsTheSequence) {
+  const geo::GridMap grid(geo::shanghai_bounding_box(), 2000.0);
+  const auto dataset = two_cell_dataset(grid, 10);
+  const FleetModel fleet(dataset, grid, MarkovLearner(1.0), 0.5);
+  // Train keeps 5 events; the holdout re-includes the boundary cell so its
+  // first transition is scored: 10 - 5 + 1 = 6 entries.
+  EXPECT_EQ(fleet.holdout(1).size(), 6u);
+  const FleetModel full(dataset, grid, MarkovLearner(1.0), 1.0);
+  EXPECT_TRUE(full.holdout(1).empty());
+}
+
+TEST(FleetModel, RejectsBadTrainFraction) {
+  const geo::GridMap grid(geo::shanghai_bounding_box(), 2000.0);
+  const auto dataset = two_cell_dataset(grid, 10);
+  EXPECT_THROW(FleetModel(dataset, grid, MarkovLearner(1.0), 0.0), common::PreconditionError);
+  EXPECT_THROW(FleetModel(dataset, grid, MarkovLearner(1.0), 1.5), common::PreconditionError);
+}
+
+TEST(TopKAccuracy, PerfectOnDeterministicChain) {
+  const geo::GridMap grid(geo::shanghai_bounding_box(), 2000.0);
+  const auto dataset = two_cell_dataset(grid, 40);
+  const FleetModel fleet(dataset, grid, MarkovLearner(1.0), 0.5);
+  const auto results = evaluate_topk_accuracy(fleet, {1, 2});
+  ASSERT_EQ(results.size(), 2u);
+  // The chain alternates A->B->A; top-1 from either cell is the other cell.
+  EXPECT_DOUBLE_EQ(results[0].accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(results[1].accuracy(), 1.0);
+  EXPECT_GT(results[0].total, 0u);
+}
+
+TEST(TopKAccuracy, MonotoneInK) {
+  trace::CityConfig config;
+  config.num_taxis = 20;
+  config.num_days = 4;
+  config.trips_per_day = 15;
+  const trace::CityModel city(config);
+  const auto dataset = trace::generate_trace(city);
+  const FleetModel fleet(dataset, city.grid(), MarkovLearner(1.0), 0.8);
+  const auto results = evaluate_topk_accuracy(fleet, {1, 3, 5, 9, 15});
+  for (std::size_t k = 1; k < results.size(); ++k) {
+    EXPECT_GE(results[k].accuracy(), results[k - 1].accuracy());
+  }
+  EXPECT_GT(results.back().accuracy(), 0.5);
+}
+
+TEST(TopKAccuracy, ApproachesGroundTruthTopKMass) {
+  // With plenty of data, learned top-9 accuracy should be close to the
+  // ground-truth top-9 probability mass (the information-theoretic ceiling).
+  trace::CityConfig config;
+  config.num_taxis = 15;
+  config.num_days = 20;
+  config.trips_per_day = 25;
+  const trace::CityModel city(config);
+  const auto dataset = trace::generate_trace(city);
+  const FleetModel fleet(dataset, city.grid(), MarkovLearner(1.0), 0.8);
+  const auto results = evaluate_topk_accuracy(fleet, {9});
+
+  // Average ground-truth top-9 mass from each taxi's home cell as a proxy.
+  double truth_mass = 0.0;
+  for (trace::TaxiId taxi = 0; taxi < config.num_taxis; ++taxi) {
+    const auto dist = city.ground_truth_distribution(taxi, city.home_cell(taxi));
+    for (std::size_t k = 0; k < std::min<std::size_t>(9, dist.size()); ++k) {
+      truth_mass += dist[k].probability;
+    }
+  }
+  truth_mass /= config.num_taxis;
+  EXPECT_NEAR(results[0].accuracy(), truth_mass, 0.12);
+}
+
+TEST(TopKAccuracy, RejectsEmptyKList) {
+  const geo::GridMap grid(geo::shanghai_bounding_box(), 2000.0);
+  const FleetModel fleet(two_cell_dataset(grid, 10), grid, MarkovLearner(1.0), 0.5);
+  EXPECT_THROW(evaluate_topk_accuracy(fleet, {}), common::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mcs::mobility

@@ -1,0 +1,123 @@
+// Tests for the second-order Markov model: smoothing formula, backoff
+// behaviour, ranking, and the order-comparison harness.
+#include "mobility/second_order.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "trace/generator.hpp"
+
+namespace mcs::mobility {
+namespace {
+
+TEST(SecondOrderModel, SmoothedProbabilitiesMatchFormula) {
+  // Sequence 1,2,3,2,3,1: history (1,2)->3 once, (2,3)->2 once, (3,2)->3
+  // once, (2,3)->1 once. Locations {1,2,3}, l = 3.
+  const std::vector<geo::CellId> cells{1, 2, 3, 2, 3, 1};
+  const SecondOrderModel model(cells, 1.0);
+  // History (2,3) has two continuations: 2 and 1, one each.
+  EXPECT_NEAR(model.probability(2, 3, 2), (1.0 + 1.0) / (2.0 + 3.0), 1e-12);
+  EXPECT_NEAR(model.probability(2, 3, 1), (1.0 + 1.0) / (2.0 + 3.0), 1e-12);
+  EXPECT_NEAR(model.probability(2, 3, 3), 1.0 / 5.0, 1e-12);  // unseen next
+}
+
+TEST(SecondOrderModel, RowsSumToOneOverLocations) {
+  const std::vector<geo::CellId> cells{1, 2, 3, 2, 3, 1, 2, 2, 3};
+  const SecondOrderModel model(cells, 1.0);
+  double total = 0.0;
+  for (geo::CellId next : model.locations()) {
+    total += model.probability(2, 3, next);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(SecondOrderModel, BacksOffToFirstOrderOnUnseenHistory) {
+  const std::vector<geo::CellId> cells{1, 2, 3, 2, 3, 1};
+  const SecondOrderModel model(cells, 1.0);
+  EXPECT_FALSE(model.has_history(3, 3));
+  EXPECT_TRUE(model.has_history(2, 3));
+  // First-order row from 3: counts 3->2 once, 3->1 once.
+  TransitionCounts counts;
+  counts.add_sequence(cells);
+  const MarkovModel first = MarkovLearner(1.0).fit(counts);
+  for (geo::CellId next : model.locations()) {
+    EXPECT_NEAR(model.probability(3, 3, next), first.probability(3, next), 1e-12);
+  }
+}
+
+TEST(SecondOrderModel, OutsideLocationSetIsZero) {
+  const std::vector<geo::CellId> cells{1, 2, 3, 2};
+  const SecondOrderModel model(cells, 1.0);
+  EXPECT_DOUBLE_EQ(model.probability(1, 2, 99), 0.0);
+}
+
+TEST(SecondOrderModel, TopKRanksByProbability) {
+  // Make (1,2)->3 twice, (1,2)->1 once.
+  const std::vector<geo::CellId> cells{1, 2, 3, 9, 1, 2, 3, 9, 1, 2, 1};
+  const SecondOrderModel model(cells, 1.0);
+  const auto top = model.top_k(1, 2, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, 3);
+  EXPECT_GE(top[0].second, top[1].second);
+}
+
+TEST(SecondOrderModel, CapturesDirectionFirstOrderCannot) {
+  // Deterministic figure-eight: from cell 2 the next cell depends on where
+  // you came from: 1->2->3 and 3->2->1. Second order nails it; first order
+  // is 50/50 from cell 2.
+  std::vector<geo::CellId> cells;
+  for (int rep = 0; rep < 20; ++rep) {
+    cells.push_back(1);
+    cells.push_back(2);
+    cells.push_back(3);
+    cells.push_back(2);
+  }
+  const SecondOrderModel model(cells, 0.0);
+  EXPECT_GT(model.probability(1, 2, 3), 0.99);
+  EXPECT_GT(model.probability(3, 2, 1), 0.99);
+
+  TransitionCounts counts;
+  counts.add_sequence(cells);
+  const MarkovModel first = MarkovLearner(0.0).fit(counts);
+  EXPECT_NEAR(first.probability(2, 3), 0.5, 0.03);
+}
+
+TEST(SecondOrderModel, RejectsNegativeSmoothing) {
+  const std::vector<geo::CellId> cells{1, 2, 3};
+  EXPECT_THROW(SecondOrderModel(cells, -1.0), common::PreconditionError);
+}
+
+TEST(CompareModelOrders, RunsOnGeneratedTraces) {
+  trace::CityConfig config;
+  config.num_taxis = 15;
+  config.num_days = 6;
+  config.trips_per_day = 15;
+  const trace::CityModel city(config);
+  const auto dataset = trace::generate_trace(city);
+  const auto comparison = compare_model_orders(dataset, city.grid(), 1.0, 0.8, {3, 9});
+  ASSERT_EQ(comparison.first_order.size(), 2u);
+  EXPECT_GT(comparison.predictions, 100u);
+  EXPECT_LE(comparison.backoff_uses, comparison.predictions);
+  // Both orders should be far better than chance and within a few points of
+  // each other on this memoryless-by-construction workload.
+  EXPECT_GT(comparison.first_order[1].accuracy(), 0.6);
+  EXPECT_GT(comparison.second_order[1].accuracy(), 0.6);
+  EXPECT_NEAR(comparison.first_order[1].accuracy(), comparison.second_order[1].accuracy(),
+              0.1);
+}
+
+TEST(CompareModelOrders, RejectsDegenerateArguments) {
+  trace::CityConfig config;
+  config.num_taxis = 2;
+  config.num_days = 1;
+  config.trips_per_day = 5;
+  const trace::CityModel city(config);
+  const auto dataset = trace::generate_trace(city);
+  EXPECT_THROW(compare_model_orders(dataset, city.grid(), 1.0, 0.8, {}),
+               common::PreconditionError);
+  EXPECT_THROW(compare_model_orders(dataset, city.grid(), 1.0, 1.0, {3}),
+               common::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mcs::mobility

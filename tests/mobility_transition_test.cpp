@@ -1,0 +1,84 @@
+// Unit tests for transition-count accumulation.
+#include "mobility/transition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace mcs::mobility {
+namespace {
+
+TEST(TransitionCounts, EmptyByDefault) {
+  const TransitionCounts counts;
+  EXPECT_EQ(counts.total(), 0u);
+  EXPECT_EQ(counts.count(1, 2), 0u);
+  EXPECT_EQ(counts.row_total(1), 0u);
+  EXPECT_TRUE(counts.locations().empty());
+  EXPECT_TRUE(counts.row(1).empty());
+}
+
+TEST(TransitionCounts, AccumulatesCounts) {
+  TransitionCounts counts;
+  counts.add(1, 2);
+  counts.add(1, 2);
+  counts.add(1, 3);
+  EXPECT_EQ(counts.count(1, 2), 2u);
+  EXPECT_EQ(counts.count(1, 3), 1u);
+  EXPECT_EQ(counts.count(2, 1), 0u);
+  EXPECT_EQ(counts.row_total(1), 3u);
+  EXPECT_EQ(counts.total(), 3u);
+}
+
+TEST(TransitionCounts, BulkAdd) {
+  TransitionCounts counts;
+  counts.add(4, 5, 10);
+  EXPECT_EQ(counts.count(4, 5), 10u);
+  EXPECT_EQ(counts.row_total(4), 10u);
+  EXPECT_THROW(counts.add(4, 5, 0), common::PreconditionError);
+  EXPECT_THROW(counts.add(-1, 5), common::PreconditionError);
+}
+
+TEST(TransitionCounts, LocationsIncludeSourcesAndDestinations) {
+  TransitionCounts counts;
+  counts.add(1, 2);
+  counts.add(3, 1);
+  const auto locations = counts.locations();
+  ASSERT_EQ(locations.size(), 3u);
+  EXPECT_EQ(locations[0], 1);
+  EXPECT_EQ(locations[1], 2);
+  EXPECT_EQ(locations[2], 3);
+}
+
+TEST(TransitionCounts, RowIsSortedByDestination) {
+  TransitionCounts counts;
+  counts.add(1, 9);
+  counts.add(1, 2);
+  counts.add(1, 9);
+  const auto row = counts.row(1);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0].first, 2);
+  EXPECT_EQ(row[0].second, 1u);
+  EXPECT_EQ(row[1].first, 9);
+  EXPECT_EQ(row[1].second, 2u);
+}
+
+TEST(TransitionCounts, AddSequenceCountsConsecutivePairs) {
+  TransitionCounts counts;
+  const std::vector<geo::CellId> cells{1, 2, 2, 3, 1};
+  counts.add_sequence(cells);
+  EXPECT_EQ(counts.count(1, 2), 1u);
+  EXPECT_EQ(counts.count(2, 2), 1u);
+  EXPECT_EQ(counts.count(2, 3), 1u);
+  EXPECT_EQ(counts.count(3, 1), 1u);
+  EXPECT_EQ(counts.total(), 4u);
+}
+
+TEST(TransitionCounts, ShortSequencesAddNothing) {
+  TransitionCounts counts;
+  counts.add_sequence(std::vector<geo::CellId>{});
+  counts.add_sequence(std::vector<geo::CellId>{7});
+  EXPECT_EQ(counts.total(), 0u);
+}
+
+}  // namespace
+}  // namespace mcs::mobility

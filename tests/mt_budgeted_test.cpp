@@ -1,0 +1,129 @@
+// Tests for budgeted multi-task coverage: budget safety, the KMN singleton
+// safeguard, monotonicity in the budget, and near-optimality against brute
+// force on small instances.
+#include "auction/multi_task/budgeted.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+#include "test_util.hpp"
+
+namespace mcs::auction::multi_task {
+namespace {
+
+/// Brute-force optimum of the budgeted objective Σ_j min{Q_j, coverage_j}.
+double brute_force_value(const MultiTaskInstance& instance, double budget) {
+  const auto requirements = instance.requirement_contributions();
+  double best = 0.0;
+  const auto n = instance.num_users();
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    double cost = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (mask & (1u << k)) {
+        cost += instance.users[k].cost;
+      }
+    }
+    if (cost > budget) {
+      continue;
+    }
+    std::vector<UserId> set;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (mask & (1u << k)) {
+        set.push_back(static_cast<UserId>(k));
+      }
+    }
+    double value = 0.0;
+    for (std::size_t j = 0; j < instance.num_tasks(); ++j) {
+      value += std::min(requirements[j],
+                        instance.achieved_contribution(set, static_cast<TaskIndex>(j)));
+    }
+    best = std::max(best, value);
+  }
+  return best;
+}
+
+TEST(MtBudgeted, StaysWithinBudget) {
+  const auto instance = test::random_multi_task(12, 4, 0.6, 3);
+  const auto result = max_coverage_for_budget(instance, 15.0);
+  EXPECT_LE(result.allocation.total_cost, 15.0 + 1e-9);
+  EXPECT_EQ(result.achieved_pos.size(), instance.num_tasks());
+}
+
+TEST(MtBudgeted, ZeroAffordableUsersYieldsEmptySelection) {
+  MultiTaskInstance instance;
+  instance.requirement_pos = {0.5};
+  instance.users = {{{0}, {0.4}, 100.0}};
+  const auto result = max_coverage_for_budget(instance, 1.0);
+  EXPECT_TRUE(result.allocation.winners.empty());
+  EXPECT_DOUBLE_EQ(result.covered_contribution, 0.0);
+}
+
+TEST(MtBudgeted, SingletonSafeguardBeatsGreedyTrap) {
+  // Greedy's first pick (best ratio) exhausts the budget on a small gain; a
+  // single expensive generalist is worth more.
+  MultiTaskInstance instance;
+  instance.requirement_pos = {0.6, 0.6, 0.6};
+  instance.users = {
+      {{0}, {0.3}, 1.0},                      // ratio bait
+      {{0, 1, 2}, {0.5, 0.5, 0.5}, 9.5},      // the generalist
+  };
+  const auto result = max_coverage_for_budget(instance, 10.0);
+  // Greedy takes user 0 (ratio 0.357) then cannot afford user 1 (9.5 > 9);
+  // the singleton safeguard returns user 1 alone (value 3·q(0.5) = 2.08 vs
+  // q(0.3) = 0.357).
+  EXPECT_EQ(result.allocation.winners, (std::vector<UserId>{1}));
+  EXPECT_NEAR(result.covered_contribution, 3.0 * common::contribution_from_pos(0.5), 1e-9);
+}
+
+TEST(MtBudgeted, MoreBudgetNeverHurts) {
+  const auto instance = test::random_multi_task(14, 5, 0.6, 7);
+  double previous = -1.0;
+  for (double budget : {3.0, 6.0, 12.0, 25.0, 50.0, 200.0}) {
+    const auto result = max_coverage_for_budget(instance, budget);
+    EXPECT_GE(result.covered_contribution, previous - 1e-9) << "budget " << budget;
+    previous = result.covered_contribution;
+  }
+}
+
+TEST(MtBudgeted, CoverageCapsAtTheRequirements) {
+  const auto instance = test::random_multi_task(14, 4, 0.4, 9);
+  const auto result = max_coverage_for_budget(instance, 1e6);
+  double cap = 0.0;
+  for (double q : instance.requirement_contributions()) {
+    cap += q;
+  }
+  EXPECT_LE(result.covered_contribution, cap + 1e-9);
+}
+
+TEST(MtBudgeted, RejectsBadBudget) {
+  const auto instance = test::random_multi_task(5, 2, 0.4, 1);
+  EXPECT_THROW(max_coverage_for_budget(instance, 0.0), common::PreconditionError);
+}
+
+class MtBudgetedProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MtBudgetedProperty, WithinKmnFactorOfBruteForce) {
+  common::Rng rng(GetParam());
+  const auto n = static_cast<std::size_t>(rng.uniform_int(3, 12));
+  const auto t = static_cast<std::size_t>(rng.uniform_int(1, 4));
+  const auto instance =
+      test::random_multi_task(n, t, rng.uniform(0.3, 0.8), GetParam() ^ 0xaa);
+  double total_cost = 0.0;
+  for (const auto& user : instance.users) {
+    total_cost += user.cost;
+  }
+  const double budget = rng.uniform(1.0, total_cost);
+
+  const auto result = max_coverage_for_budget(instance, budget);
+  const double optimum = brute_force_value(instance, budget);
+  // KMN guarantee for greedy + best singleton: (1 - 1/e)/2 ≈ 0.316.
+  EXPECT_GE(result.covered_contribution, 0.316 * optimum - 1e-9)
+      << "budget " << budget << " optimum " << optimum;
+  EXPECT_LE(result.covered_contribution, optimum + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MtBudgetedProperty, ::testing::Range<std::uint64_t>(1400, 1430));
+
+}  // namespace
+}  // namespace mcs::auction::multi_task

@@ -1,0 +1,87 @@
+// Unit and property tests for the multi-task exact branch-and-bound: hand
+// cases, brute-force agreement, dominance over greedy, and budget behaviour.
+#include "auction/multi_task/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "auction/multi_task/greedy.hpp"
+#include "test_util.hpp"
+
+namespace mcs::auction::multi_task {
+namespace {
+
+TEST(ExactMulti, PrefersOneGeneralistOverTwoSpecialists) {
+  MultiTaskInstance instance;
+  instance.requirement_pos = {0.4, 0.4};
+  instance.users = {
+      {{0}, {0.5}, 2.0},
+      {{1}, {0.5}, 2.0},
+      {{0, 1}, {0.45, 0.45}, 3.0},  // covers both for less
+  };
+  const auto result = solve_exact(instance);
+  ASSERT_TRUE(result.allocation.feasible);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_EQ(result.allocation.winners, (std::vector<UserId>{2}));
+  EXPECT_DOUBLE_EQ(result.allocation.total_cost, 3.0);
+}
+
+TEST(ExactMulti, InfeasibleReported) {
+  MultiTaskInstance instance;
+  instance.requirement_pos = {0.9};
+  instance.users = {{{0}, {0.2}, 1.0}};
+  const auto result = solve_exact(instance);
+  EXPECT_FALSE(result.allocation.feasible);
+  EXPECT_TRUE(result.proven_optimal);
+}
+
+TEST(ExactMulti, NeverWorseThanGreedy) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const auto instance = test::random_multi_task(14, 5, 0.6, seed);
+    const auto greedy = solve_greedy(instance);
+    const auto exact = solve_exact(instance);
+    EXPECT_EQ(greedy.allocation.feasible, exact.allocation.feasible);
+    if (exact.allocation.feasible) {
+      EXPECT_LE(exact.allocation.total_cost, greedy.allocation.total_cost + 1e-9);
+      EXPECT_TRUE(instance.covers(exact.allocation.winners));
+    }
+  }
+}
+
+TEST(ExactMulti, TinyBudgetFallsBackToGreedyIncumbent) {
+  const auto instance = test::random_multi_task(16, 5, 0.7, 99);
+  if (!instance.is_feasible()) {
+    GTEST_SKIP();
+  }
+  const ExactOptions options{.node_budget = 3};
+  const auto result = solve_exact(instance, options);
+  ASSERT_TRUE(result.allocation.feasible);
+  EXPECT_FALSE(result.proven_optimal);
+  EXPECT_TRUE(instance.covers(result.allocation.winners));
+  EXPECT_LE(result.allocation.total_cost,
+            solve_greedy(instance).allocation.total_cost + 1e-9);
+}
+
+class ExactMultiProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactMultiProperty, MatchesBruteForce) {
+  common::Rng rng(GetParam());
+  const auto n = static_cast<std::size_t>(rng.uniform_int(2, 13));
+  const auto t = static_cast<std::size_t>(rng.uniform_int(1, 5));
+  const auto instance =
+      test::random_multi_task(n, t, rng.uniform(0.2, 0.8), GetParam() ^ 0x3333);
+  const auto reference = test::brute_force(instance);
+  const auto result = solve_exact(instance);
+  if (!reference.has_value()) {
+    EXPECT_FALSE(result.allocation.feasible);
+    return;
+  }
+  ASSERT_TRUE(result.allocation.feasible);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_NEAR(result.allocation.total_cost, instance.cost_of(*reference), 1e-9);
+  EXPECT_TRUE(instance.covers(result.allocation.winners));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactMultiProperty, ::testing::Range<std::uint64_t>(600, 640));
+
+}  // namespace
+}  // namespace mcs::auction::multi_task

@@ -1,0 +1,197 @@
+// Unit and property tests for Algorithm 4 (greedy winner determination for
+// the multi-task single-minded setting): selection order, coverage,
+// residual bookkeeping, infeasibility, monotonicity (Lemma 2), and the
+// H(γ) approximation bound against brute force (Theorem 5).
+#include "auction/multi_task/greedy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/math.hpp"
+#include "test_util.hpp"
+
+namespace mcs::auction::multi_task {
+namespace {
+
+MultiTaskInstance two_task_instance() {
+  MultiTaskInstance instance;
+  instance.requirement_pos = {0.6, 0.6};
+  instance.users = {
+      {{0}, {0.5}, 2.0},      // user 0: task 0 only
+      {{1}, {0.5}, 2.0},      // user 1: task 1 only
+      {{0, 1}, {0.5, 0.5}, 3.0},  // user 2: both tasks, best ratio
+      {{0, 1}, {0.3, 0.3}, 6.0},  // user 3: poor ratio
+  };
+  return instance;
+}
+
+TEST(MtGreedy, PicksBestRatioFirst) {
+  const auto result = solve_greedy(two_task_instance());
+  ASSERT_TRUE(result.allocation.feasible);
+  ASSERT_FALSE(result.steps.empty());
+  // User 2's ratio: 2·q(0.5)/3 = 0.462 > user 0/1's q(0.5)/2 = 0.347.
+  EXPECT_EQ(result.steps.front().selected, 2);
+}
+
+TEST(MtGreedy, CoversEveryTask) {
+  const auto instance = two_task_instance();
+  const auto result = solve_greedy(instance);
+  ASSERT_TRUE(result.allocation.feasible);
+  EXPECT_TRUE(instance.covers(result.allocation.winners));
+}
+
+TEST(MtGreedy, StepsRecordDecreasingResiduals) {
+  const auto instance = two_task_instance();
+  const auto result = solve_greedy(instance);
+  const auto requirements = instance.requirement_contributions();
+  ASSERT_FALSE(result.steps.empty());
+  // First step starts from the full requirements.
+  for (std::size_t j = 0; j < requirements.size(); ++j) {
+    EXPECT_NEAR(result.steps.front().residual_before[j], requirements[j], 1e-12);
+  }
+  // Residual totals never increase between iterations.
+  for (std::size_t s = 1; s < result.steps.size(); ++s) {
+    double before = 0.0;
+    double after = 0.0;
+    for (std::size_t j = 0; j < requirements.size(); ++j) {
+      before += result.steps[s - 1].residual_before[j];
+      after += result.steps[s].residual_before[j];
+    }
+    EXPECT_LE(after, before + 1e-12);
+  }
+}
+
+TEST(MtGreedy, StepRatioMatchesDefinition) {
+  const auto result = solve_greedy(two_task_instance());
+  for (const auto& step : result.steps) {
+    EXPECT_GT(step.ratio, 0.0);
+    EXPECT_NEAR(step.ratio * two_task_instance().users[static_cast<std::size_t>(step.selected)]
+                                 .cost,
+                step.effective_contribution, 1e-9);
+  }
+}
+
+TEST(MtGreedy, InfeasibleWhenATaskIsUncoverable) {
+  MultiTaskInstance instance;
+  instance.requirement_pos = {0.6, 0.9};
+  instance.users = {{{0}, {0.7}, 1.0}};  // nobody bids on task 1
+  const auto result = solve_greedy(instance);
+  EXPECT_FALSE(result.allocation.feasible);
+  EXPECT_TRUE(result.allocation.winners.empty());
+  EXPECT_TRUE(result.steps.empty());
+}
+
+TEST(MtGreedy, InfeasibleWhenContributionRunsOut) {
+  MultiTaskInstance instance;
+  instance.requirement_pos = {0.9};
+  instance.users = {{{0}, {0.3}, 1.0}, {{0}, {0.3}, 1.0}};  // 0.51 < 0.9
+  EXPECT_FALSE(solve_greedy(instance).allocation.feasible);
+}
+
+TEST(MtGreedy, ContributionsCapAtResiduals) {
+  // A user with huge PoS on a nearly-satisfied task gets credit only for the
+  // residual, so a cheaper specialist can out-rank her.
+  MultiTaskInstance instance;
+  instance.requirement_pos = {0.5, 0.5};
+  instance.users = {
+      {{0}, {0.49}, 1.0},      // nearly covers task 0
+      {{0}, {0.9}, 1.5},       // big PoS on task 0, capped after user 0
+      {{1}, {0.55}, 1.0},      // task 1 specialist
+  };
+  const auto result = solve_greedy(instance);
+  ASSERT_TRUE(result.allocation.feasible);
+  EXPECT_TRUE(instance.covers(result.allocation.winners));
+}
+
+TEST(MtGreedy, TieBreaksTowardLowerUserId) {
+  MultiTaskInstance instance;
+  instance.requirement_pos = {0.4};
+  instance.users = {{{0}, {0.5}, 2.0}, {{0}, {0.5}, 2.0}};
+  const auto result = solve_greedy(instance);
+  ASSERT_TRUE(result.allocation.feasible);
+  EXPECT_EQ(result.allocation.winners, (std::vector<UserId>{0}));
+}
+
+class MtGreedyProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MtGreedyProperty, CoversWheneverFeasible) {
+  common::Rng rng(GetParam());
+  const auto n = static_cast<std::size_t>(rng.uniform_int(2, 14));
+  const auto t = static_cast<std::size_t>(rng.uniform_int(1, 5));
+  const auto instance =
+      test::random_multi_task(n, t, rng.uniform(0.2, 0.8), GetParam() ^ 0x1111);
+  const auto result = solve_greedy(instance);
+  EXPECT_EQ(result.allocation.feasible, instance.is_feasible());
+  if (result.allocation.feasible) {
+    EXPECT_TRUE(instance.covers(result.allocation.winners));
+    EXPECT_NEAR(result.allocation.total_cost, instance.cost_of(result.allocation.winners),
+                1e-9);
+  }
+}
+
+TEST_P(MtGreedyProperty, WithinHarmonicBoundOfOptimum) {
+  // Theorem 5: cost(greedy) <= H(γ)·cost(OPT) with γ the largest capped
+  // contribution measured in Δq units. We evaluate the bound with
+  // Δq = the smallest positive capped contribution across users, which
+  // makes H(γ) the loosest (safest) version of the guarantee.
+  common::Rng rng(GetParam() ^ 0xfee1);
+  const auto n = static_cast<std::size_t>(rng.uniform_int(3, 12));
+  const auto t = static_cast<std::size_t>(rng.uniform_int(1, 4));
+  const auto instance =
+      test::random_multi_task(n, t, rng.uniform(0.2, 0.7), GetParam() ^ 0x2222);
+  const auto reference = test::brute_force(instance);
+  if (!reference.has_value()) {
+    return;
+  }
+  const auto result = solve_greedy(instance);
+  ASSERT_TRUE(result.allocation.feasible);
+
+  const auto requirements = instance.requirement_contributions();
+  double delta_q = std::numeric_limits<double>::infinity();
+  double gamma_contribution = 0.0;
+  for (const auto& user : instance.users) {
+    double capped = 0.0;
+    for (std::size_t k = 0; k < user.tasks.size(); ++k) {
+      const double q = std::min(common::contribution_from_pos(user.pos[k]),
+                                requirements[static_cast<std::size_t>(user.tasks[k])]);
+      capped += q;
+      if (q > 0.0) {
+        delta_q = std::min(delta_q, q);
+      }
+    }
+    gamma_contribution = std::max(gamma_contribution, capped);
+  }
+  const double gamma = gamma_contribution / delta_q;
+  const double optimal = instance.cost_of(*reference);
+  EXPECT_LE(result.allocation.total_cost,
+            common::harmonic_real(gamma) * optimal + 1e-6)
+      << "gamma=" << gamma;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MtGreedyProperty, ::testing::Range<std::uint64_t>(400, 430));
+
+class MtGreedyMonotonicity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MtGreedyMonotonicity, RaisingAWinnersContributionKeepsHerWinning) {
+  // Lemma 2: monotone in declared contributions.
+  const auto instance = test::random_multi_task(10, 4, 0.5, GetParam());
+  const auto result = solve_greedy(instance);
+  if (!result.allocation.feasible) {
+    return;
+  }
+  for (UserId winner : result.allocation.winners) {
+    const double total =
+        instance.users[static_cast<std::size_t>(winner)].total_contribution();
+    for (double scale : {1.2, 2.0, 5.0}) {
+      const auto raised =
+          solve_greedy(instance.with_declared_total_contribution(winner, total * scale));
+      ASSERT_TRUE(raised.allocation.feasible);
+      EXPECT_TRUE(raised.allocation.contains(winner))
+          << "winner " << winner << " lost after scaling contribution by " << scale;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MtGreedyMonotonicity, ::testing::Range<std::uint64_t>(500, 515));
+
+}  // namespace
+}  // namespace mcs::auction::multi_task

@@ -1,0 +1,68 @@
+// Integration tests for the complete multi-task single-minded mechanism.
+#include "auction/multi_task/mechanism.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "sim/metrics.hpp"
+#include "test_util.hpp"
+
+namespace mcs::auction::multi_task {
+namespace {
+
+TEST(MultiTaskMechanism, AllocatesAndRewardsConsistently) {
+  const auto instance = test::random_multi_task(15, 5, 0.6, 11);
+  const auto outcome = run_mechanism(instance, {.alpha = 10.0});
+  if (!outcome.allocation.feasible) {
+    GTEST_SKIP();
+  }
+  ASSERT_EQ(outcome.rewards.size(), outcome.allocation.winners.size());
+  for (std::size_t k = 0; k < outcome.rewards.size(); ++k) {
+    EXPECT_EQ(outcome.rewards[k].user, outcome.allocation.winners[k]);
+    EXPECT_GE(outcome.rewards[k].reward.critical_pos, 0.0);
+    EXPECT_LE(outcome.rewards[k].reward.critical_pos, 1.0);
+  }
+  EXPECT_TRUE(instance.covers(outcome.allocation.winners));
+}
+
+TEST(MultiTaskMechanism, InfeasibleYieldsNoRewards) {
+  MultiTaskInstance instance;
+  instance.requirement_pos = {0.99};
+  instance.users = {{{0}, {0.1}, 1.0}};
+  const auto outcome = run_mechanism(instance);
+  EXPECT_FALSE(outcome.allocation.feasible);
+  EXPECT_TRUE(outcome.rewards.empty());
+}
+
+TEST(MultiTaskMechanism, WinnersAreIndividuallyRational) {
+  for (std::uint64_t seed : {13ULL, 14ULL, 15ULL}) {
+    const auto instance = test::random_multi_task(12, 4, 0.5, seed);
+    const auto outcome = run_mechanism(instance, {.alpha = 10.0});
+    if (!outcome.allocation.feasible) {
+      continue;
+    }
+    const auto utilities = sim::expected_utilities(instance, outcome);
+    EXPECT_TRUE(sim::individually_rational(utilities)) << "seed " << seed;
+  }
+}
+
+TEST(MultiTaskMechanism, AchievedPosMeetsEveryRequirement) {
+  const auto instance = test::random_multi_task(20, 5, 0.6, 21);
+  const auto outcome = run_mechanism(instance);
+  if (!outcome.allocation.feasible) {
+    GTEST_SKIP();
+  }
+  const auto achieved = sim::achieved_pos(instance, outcome.allocation.winners);
+  for (std::size_t j = 0; j < achieved.size(); ++j) {
+    EXPECT_GE(achieved[j], instance.requirement_pos[j] - 1e-9) << "task " << j;
+  }
+}
+
+TEST(MultiTaskMechanism, RejectsBadConfig) {
+  const auto instance = test::random_multi_task(5, 2, 0.4, 1);
+  EXPECT_THROW(run_mechanism(instance, MechanismConfig{.alpha = 0.0}),
+               common::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mcs::auction::multi_task

@@ -1,0 +1,72 @@
+// Unit tests for the MT-VCG baseline: cheapest-first coverage under inflated
+// declared PoS, and its failure to meet true PoS requirements (Fig 7).
+#include "auction/multi_task/vcg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hpp"
+#include "test_util.hpp"
+
+namespace mcs::auction::multi_task {
+namespace {
+
+TEST(MtVcg, CheapestUsersCoverAllTasks) {
+  MultiTaskInstance instance;
+  instance.requirement_pos = {0.8, 0.8, 0.8};
+  instance.users = {
+      {{0, 1}, {0.2, 0.2}, 5.0},
+      {{2}, {0.2}, 1.0},
+      {{0, 1, 2}, {0.2, 0.2, 0.2}, 2.0},
+  };
+  const auto allocation = solve_mt_vcg(instance);
+  ASSERT_TRUE(allocation.feasible);
+  // Cheapest order: user 1 (covers 2), user 2 (covers 0, 1); user 0 skipped.
+  EXPECT_EQ(allocation.winners, (std::vector<UserId>{1, 2}));
+  EXPECT_DOUBLE_EQ(allocation.total_cost, 3.0);
+}
+
+TEST(MtVcg, SkipsUsersAddingNoNewTask) {
+  MultiTaskInstance instance;
+  instance.requirement_pos = {0.8};
+  instance.users = {
+      {{0}, {0.2}, 1.0},
+      {{0}, {0.9}, 2.0},  // redundant under declared PoS = 1
+  };
+  const auto allocation = solve_mt_vcg(instance);
+  ASSERT_TRUE(allocation.feasible);
+  EXPECT_EQ(allocation.winners, (std::vector<UserId>{0}));
+}
+
+TEST(MtVcg, InfeasibleWhenATaskHasNoBidder) {
+  MultiTaskInstance instance;
+  instance.requirement_pos = {0.8, 0.8};
+  instance.users = {{{0}, {0.2}, 1.0}};
+  EXPECT_FALSE(solve_mt_vcg(instance).feasible);
+}
+
+TEST(MtVcg, AchievedPosFallsShortOfRequirement) {
+  // With true PoS ~0.2 per user, one user per task cannot reach 0.8.
+  const auto instance = test::random_multi_task(12, 4, 0.8, 42, 4, 0.3);
+  const auto allocation = solve_mt_vcg(instance);
+  if (!allocation.feasible) {
+    GTEST_SKIP();
+  }
+  const double average = sim::average_achieved_pos(instance, allocation.winners);
+  EXPECT_LT(average, 0.8);
+}
+
+TEST(MtVcg, CostsNoMoreThanCoveringEverybody) {
+  const auto instance = test::random_multi_task(10, 3, 0.5, 7);
+  const auto allocation = solve_mt_vcg(instance);
+  if (!allocation.feasible) {
+    GTEST_SKIP();
+  }
+  std::vector<UserId> everyone(instance.num_users());
+  for (std::size_t k = 0; k < everyone.size(); ++k) {
+    everyone[k] = static_cast<UserId>(k);
+  }
+  EXPECT_LE(allocation.total_cost, instance.cost_of(everyone));
+}
+
+}  // namespace
+}  // namespace mcs::auction::multi_task

@@ -1,0 +1,96 @@
+// Tests for the declared-PoS reputation tracker: z-score arithmetic, honest
+// users staying unflagged, over-claimers getting caught, and an end-to-end
+// check on simulated settlement streams.
+#include "platform/reputation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace mcs::platform {
+namespace {
+
+TEST(ReputationRecord, ZScoreArithmetic) {
+  ReputationTracker tracker;
+  // Declared 0.5 four times, succeeded once: expected 2, var 1, realized 1.
+  for (int k = 0; k < 4; ++k) {
+    tracker.record(1, 0.5, k == 0);
+  }
+  const auto record = tracker.record_of(1);
+  EXPECT_EQ(record.rounds, 4u);
+  EXPECT_DOUBLE_EQ(record.expected_successes, 2.0);
+  EXPECT_DOUBLE_EQ(record.variance, 1.0);
+  EXPECT_EQ(record.realized_successes, 1u);
+  EXPECT_DOUBLE_EQ(record.z_score(), -1.0);
+}
+
+TEST(ReputationRecord, DegenerateDeclarationsHaveZeroZ) {
+  ReputationTracker tracker;
+  tracker.record(2, 1.0, true);  // variance contribution 0
+  EXPECT_DOUBLE_EQ(tracker.record_of(2).z_score(), 0.0);
+}
+
+TEST(ReputationTracker, UnknownUserIsZeroed) {
+  const ReputationTracker tracker;
+  const auto record = tracker.record_of(99);
+  EXPECT_EQ(record.rounds, 0u);
+  EXPECT_DOUBLE_EQ(record.z_score(), 0.0);
+}
+
+TEST(ReputationTracker, RejectsBadInputs) {
+  ReputationTracker tracker;
+  EXPECT_THROW(tracker.record(1, -0.1, true), common::PreconditionError);
+  EXPECT_THROW(tracker.record(1, 1.1, true), common::PreconditionError);
+  EXPECT_THROW(tracker.flagged_overclaimers(0.0), common::PreconditionError);
+  EXPECT_THROW(tracker.flagged_overclaimers(2.0, 0), common::PreconditionError);
+}
+
+TEST(ReputationTracker, HonestUsersStayUnflagged) {
+  // Honest: outcomes drawn at exactly the declared probability.
+  common::Rng rng(11);
+  ReputationTracker tracker;
+  for (int round = 0; round < 200; ++round) {
+    const double p = rng.uniform(0.2, 0.8);
+    tracker.record(1, p, rng.bernoulli(p));
+  }
+  // 3-sigma flag: an honest user trips it with probability ~1e-3.
+  EXPECT_TRUE(tracker.flagged_overclaimers(3.0, 10).empty());
+}
+
+TEST(ReputationTracker, OverclaimersGetFlagged) {
+  // Over-claimer: declares 0.6 but delivers at 0.2.
+  common::Rng rng(13);
+  ReputationTracker tracker;
+  for (int round = 0; round < 60; ++round) {
+    tracker.record(7, 0.6, rng.bernoulli(0.2));
+    tracker.record(8, 0.6, rng.bernoulli(0.6));  // honest control
+  }
+  const auto flagged = tracker.flagged_overclaimers(3.0, 10);
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0], 7);
+}
+
+TEST(ReputationTracker, UnderclaimersAreNotFlagged) {
+  // Delivering MORE than declared is fine (the flag is one-sided).
+  common::Rng rng(17);
+  ReputationTracker tracker;
+  for (int round = 0; round < 60; ++round) {
+    tracker.record(3, 0.2, rng.bernoulli(0.7));
+  }
+  EXPECT_TRUE(tracker.flagged_overclaimers(2.0, 10).empty());
+  EXPECT_GT(tracker.record_of(3).z_score(), 0.0);
+}
+
+TEST(ReputationTracker, MinRoundsGatesTheFlag) {
+  ReputationTracker tracker;
+  for (int round = 0; round < 4; ++round) {
+    tracker.record(5, 0.9, false);  // blatant, but only 4 observations
+  }
+  EXPECT_TRUE(tracker.flagged_overclaimers(2.0, 5).empty());
+  tracker.record(5, 0.9, false);
+  EXPECT_EQ(tracker.flagged_overclaimers(2.0, 5).size(), 1u);
+}
+
+}  // namespace
+}  // namespace mcs::platform

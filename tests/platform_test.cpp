@@ -1,0 +1,283 @@
+// Tests for the multi-round crowdsensing platform: position evolution,
+// campaign accounting, budget enforcement, both execution models, and
+// determinism.
+#include "platform/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace mcs::platform {
+namespace {
+
+class PlatformFixture : public ::testing::Test {
+ protected:
+  PlatformFixture() : city_(make_config()), dataset_(trace::generate_trace(city_)) {
+    fleet_ = mobility::FleetModel(dataset_, city_.grid(), mobility::MarkovLearner(1.0));
+  }
+
+  static trace::CityConfig make_config() {
+    trace::CityConfig config;
+    config.num_taxis = 50;
+    config.num_days = 6;
+    config.trips_per_day = 20;
+    return config;
+  }
+
+  static CampaignConfig campaign_config() {
+    CampaignConfig config;
+    config.rounds = 5;
+    config.num_tasks = 8;
+    config.num_bidders = 40;
+    config.pos_requirement = 0.6;
+    config.seed = 99;
+    return config;
+  }
+
+  trace::CityModel city_;
+  trace::TraceDataset dataset_;
+  mobility::FleetModel fleet_;
+};
+
+TEST_F(PlatformFixture, StartsEveryTaxiAtHome) {
+  const Platform platform(city_, fleet_, campaign_config());
+  for (trace::TaxiId taxi : fleet_.taxis()) {
+    EXPECT_EQ(platform.position_of(taxi), city_.home_cell(taxi));
+  }
+  EXPECT_THROW(platform.position_of(9999), common::PreconditionError);
+}
+
+TEST_F(PlatformFixture, RunsTheConfiguredNumberOfRounds) {
+  Platform platform(city_, fleet_, campaign_config());
+  const auto report = platform.run_campaign();
+  EXPECT_EQ(report.rounds.size(), campaign_config().rounds);
+  EXPECT_GT(report.rounds_held, 0u);
+  for (std::size_t k = 0; k < report.rounds.size(); ++k) {
+    EXPECT_EQ(report.rounds[k].round, k);
+  }
+}
+
+TEST_F(PlatformFixture, PositionsStayInTerritoriesAndEvolve) {
+  Platform platform(city_, fleet_, campaign_config());
+  platform.run_campaign();
+  std::size_t moved = 0;
+  for (trace::TaxiId taxi : fleet_.taxis()) {
+    const geo::CellId position = platform.position_of(taxi);
+    const auto territory = city_.territory(taxi);
+    EXPECT_TRUE(std::binary_search(territory.begin(), territory.end(), position));
+    moved += position != city_.home_cell(taxi) ? 1 : 0;
+  }
+  EXPECT_GT(moved, fleet_.taxis().size() / 4);  // most taxis end up elsewhere
+}
+
+TEST_F(PlatformFixture, AccountingIsSelfConsistent) {
+  Platform platform(city_, fleet_, campaign_config());
+  const auto report = platform.run_campaign();
+  double payout = 0.0;
+  double cost = 0.0;
+  std::size_t posted = 0;
+  std::size_t completed = 0;
+  for (const auto& round : report.rounds) {
+    payout += round.payout;
+    cost += round.social_cost;
+    posted += round.tasks_posted;
+    completed += round.tasks_completed;
+    EXPECT_LE(round.tasks_completed, round.tasks_posted);
+    if (round.held) {
+      EXPECT_GT(round.winners, 0u);
+      EXPECT_GT(round.social_cost, 0.0);
+      EXPECT_GE(round.mean_achieved_pos, round.mean_required_pos - 1e-9);
+    } else {
+      EXPECT_EQ(round.winners, 0u);
+      EXPECT_DOUBLE_EQ(round.payout, 0.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(report.total_payout, payout);
+  EXPECT_DOUBLE_EQ(report.total_social_cost, cost);
+  EXPECT_EQ(report.total_tasks_posted, posted);
+  EXPECT_EQ(report.total_tasks_completed, completed);
+  EXPECT_NEAR(report.completion_rate(),
+              posted == 0 ? 0.0 : static_cast<double>(completed) / posted, 1e-12);
+}
+
+TEST_F(PlatformFixture, BudgetStopsFurtherAuctions) {
+  auto config = campaign_config();
+  config.rounds = 6;
+  config.budget = 1.0;  // roughly one round's payout at most
+  Platform platform(city_, fleet_, config);
+  const auto report = platform.run_campaign();
+  // The first held round may overshoot the budget (commitments are honored),
+  // after which no further auctions are held.
+  bool exhausted = false;
+  for (const auto& round : report.rounds) {
+    if (exhausted) {
+      EXPECT_FALSE(round.held);
+    }
+    if (round.payout > 0.0) {
+      exhausted = true;
+    }
+  }
+  EXPECT_LE(report.rounds_held, 2u);
+}
+
+TEST_F(PlatformFixture, DeterministicGivenSeed) {
+  Platform a(city_, fleet_, campaign_config());
+  Platform b(city_, fleet_, campaign_config());
+  const auto ra = a.run_campaign();
+  const auto rb = b.run_campaign();
+  ASSERT_EQ(ra.rounds.size(), rb.rounds.size());
+  EXPECT_DOUBLE_EQ(ra.total_payout, rb.total_payout);
+  EXPECT_EQ(ra.total_tasks_completed, rb.total_tasks_completed);
+  for (std::size_t k = 0; k < ra.rounds.size(); ++k) {
+    EXPECT_EQ(ra.rounds[k].winners, rb.rounds[k].winners);
+    EXPECT_DOUBLE_EQ(ra.rounds[k].social_cost, rb.rounds[k].social_cost);
+  }
+}
+
+TEST_F(PlatformFixture, BernoulliExecutionCompletesMoreOftenThanGroundTruth) {
+  // Under ground truth a winner completes at most ONE task per round (she
+  // lands on one cell), so the per-round completion count is generally lower
+  // than under independent Bernoulli draws across her whole task set.
+  auto config = campaign_config();
+  config.rounds = 8;
+  config.execution = ExecutionModel::kDeclaredBernoulli;
+  Platform bernoulli(city_, fleet_, config);
+  const auto report_bernoulli = bernoulli.run_campaign();
+
+  config.execution = ExecutionModel::kGroundTruthMobility;
+  Platform ground_truth(city_, fleet_, config);
+  const auto report_truth = ground_truth.run_campaign();
+
+  ASSERT_GT(report_bernoulli.total_tasks_posted, 0u);
+  ASSERT_GT(report_truth.total_tasks_posted, 0u);
+  EXPECT_GE(report_bernoulli.completion_rate() + 0.05, report_truth.completion_rate());
+}
+
+TEST_F(PlatformFixture, TaskPoliciesAllProduceRunnableCampaigns) {
+  for (TaskPolicy policy :
+       {TaskPolicy::kMostCovered, TaskPolicy::kZipfDemand, TaskPolicy::kUniformRandom}) {
+    auto config = campaign_config();
+    config.task_policy = policy;
+    config.rounds = 3;
+    Platform platform(city_, fleet_, config);
+    const auto report = platform.run_campaign();
+    EXPECT_EQ(report.rounds.size(), 3u);
+    EXPECT_GT(report.total_tasks_posted, 0u)
+        << "policy " << static_cast<int>(policy) << " never held an auction";
+  }
+}
+
+TEST_F(PlatformFixture, RandomDemandCoversLessThanMostCovered) {
+  // Tasks drawn from the coverage tail are harder to satisfy, so the
+  // completion rate under uniform demand should not beat the most-covered
+  // policy by more than noise.
+  auto config = campaign_config();
+  config.rounds = 8;
+  config.task_policy = TaskPolicy::kMostCovered;
+  const auto covered = Platform(city_, fleet_, config).run_campaign();
+  config.task_policy = TaskPolicy::kUniformRandom;
+  const auto random = Platform(city_, fleet_, config).run_campaign();
+  if (covered.total_tasks_posted == 0 || random.total_tasks_posted == 0) {
+    GTEST_SKIP();
+  }
+  EXPECT_GE(covered.completion_rate() + 0.15, random.completion_rate());
+}
+
+TEST_F(PlatformFixture, ReputationAccumulatesOnePerWinPerRound) {
+  auto config = campaign_config();
+  config.execution = ExecutionModel::kDeclaredBernoulli;  // honest by construction
+  Platform platform(city_, fleet_, config);
+  const auto report = platform.run_campaign();
+  std::size_t observations = 0;
+  for (trace::TaxiId taxi : fleet_.taxis()) {
+    observations += platform.reputation().record_of(taxi).rounds;
+  }
+  EXPECT_EQ(observations, report.total_wins());
+  // Under declared-Bernoulli execution nobody systematically over-claims.
+  EXPECT_TRUE(platform.reputation().flagged_overclaimers(4.0, 3).empty());
+}
+
+TEST_F(PlatformFixture, WinAccountingMatchesRoundReports) {
+  Platform platform(city_, fleet_, campaign_config());
+  const auto report = platform.run_campaign();
+  std::size_t wins_from_rounds = 0;
+  for (const auto& round : report.rounds) {
+    EXPECT_EQ(round.winning_taxis.size(), round.winners);
+    wins_from_rounds += round.winning_taxis.size();
+    for (trace::TaxiId taxi : round.winning_taxis) {
+      EXPECT_TRUE(report.wins_by_taxi.contains(taxi));
+    }
+  }
+  EXPECT_EQ(report.total_wins(), wins_from_rounds);
+}
+
+TEST_F(PlatformFixture, ConcentrationMetricsAreSane) {
+  Platform platform(city_, fleet_, campaign_config());
+  const auto report = platform.run_campaign();
+  if (report.total_wins() == 0) {
+    GTEST_SKIP();
+  }
+  const double hhi = report.win_concentration();
+  EXPECT_GE(hhi, 1.0 / static_cast<double>(report.wins_by_taxi.size()) - 1e-12);
+  EXPECT_LE(hhi, 1.0);
+  EXPECT_GE(report.top_winner_share(), hhi - 1e-12);  // top share >= HHI always
+  EXPECT_LE(report.top_winner_share(), 1.0);
+}
+
+TEST(CampaignReportMetrics, HandComputedConcentration) {
+  CampaignReport report;
+  report.wins_by_taxi = {{1, 3}, {2, 1}};
+  EXPECT_EQ(report.total_wins(), 4u);
+  EXPECT_NEAR(report.win_concentration(), 0.75 * 0.75 + 0.25 * 0.25, 1e-12);
+  EXPECT_NEAR(report.top_winner_share(), 0.75, 1e-12);
+  const CampaignReport empty;
+  EXPECT_DOUBLE_EQ(empty.win_concentration(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.top_winner_share(), 0.0);
+}
+
+TEST_F(PlatformFixture, PartialAvailabilityStillRunsCampaigns) {
+  auto config = campaign_config();
+  config.availability = 0.6;
+  config.num_bidders = 25;
+  Platform platform(city_, fleet_, config);
+  const auto report = platform.run_campaign();
+  EXPECT_EQ(report.rounds.size(), config.rounds);
+  // With 50 taxis at 60% availability, rounds should still mostly be held.
+  EXPECT_GT(report.rounds_held, 0u);
+}
+
+TEST_F(PlatformFixture, LowerAvailabilityRaisesCosts) {
+  // A thinner market is less competitive; the per-round social cost should
+  // not be cheaper than the full-availability market by more than noise.
+  auto config = campaign_config();
+  config.rounds = 6;
+  config.num_bidders = 20;
+  Platform full(city_, fleet_, config);
+  const auto report_full = full.run_campaign();
+  config.availability = 0.5;
+  Platform thin(city_, fleet_, config);
+  const auto report_thin = thin.run_campaign();
+  if (report_full.rounds_held == 0 || report_thin.rounds_held == 0) {
+    GTEST_SKIP();
+  }
+  const double cost_full =
+      report_full.total_social_cost / static_cast<double>(report_full.rounds_held);
+  const double cost_thin =
+      report_thin.total_social_cost / static_cast<double>(report_thin.rounds_held);
+  EXPECT_GE(cost_thin * 1.3, cost_full);
+}
+
+TEST_F(PlatformFixture, RejectsBadConfig) {
+  auto config = campaign_config();
+  config.rounds = 0;
+  EXPECT_THROW(Platform(city_, fleet_, config), common::PreconditionError);
+  config = campaign_config();
+  config.budget = 0.0;
+  EXPECT_THROW(Platform(city_, fleet_, config), common::PreconditionError);
+  config = campaign_config();
+  config.pos_requirement = 1.0;
+  EXPECT_THROW(Platform(city_, fleet_, config), common::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mcs::platform

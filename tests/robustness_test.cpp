@@ -1,0 +1,150 @@
+// Robustness sweeps: the mechanisms across extreme but legal parameter
+// regions — requirements near the (0, 1) boundaries, degenerate PoS values,
+// tiny and huge costs, and large random end-to-end instances. Nothing here
+// checks exact values; everything checks the invariants that must survive:
+// no crash, coverage when feasible, individual rationality, and consistency
+// between the reported and recomputed totals.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "auction/single_task/mechanism.hpp"
+#include "auction/multi_task/mechanism.hpp"
+#include "common/math.hpp"
+#include "sim/metrics.hpp"
+#include "test_util.hpp"
+
+namespace mcs::auction {
+namespace {
+
+void check_single_outcome(const SingleTaskInstance& instance,
+                          const MechanismOutcome& outcome) {
+  if (!outcome.allocation.feasible) {
+    EXPECT_TRUE(outcome.rewards.empty());
+    return;
+  }
+  EXPECT_TRUE(instance.covers(outcome.allocation.winners));
+  EXPECT_NEAR(outcome.allocation.total_cost, instance.cost_of(outcome.allocation.winners),
+              1e-9);
+  EXPECT_EQ(outcome.rewards.size(), outcome.allocation.winners.size());
+  for (const auto& winner : outcome.rewards) {
+    EXPECT_GE(winner.reward.critical_pos, 0.0);
+    EXPECT_LE(winner.reward.critical_pos, 1.0);
+    const double true_pos = instance.bids[static_cast<std::size_t>(winner.user)].pos;
+    EXPECT_GE(winner.reward.expected_utility(true_pos), -1e-6);
+  }
+}
+
+TEST(Robustness, RequirementNearZero) {
+  SingleTaskInstance instance;
+  instance.requirement_pos = 1e-9;
+  instance.bids = {{5.0, 0.01}, {1.0, 0.005}};
+  const auto outcome = single_task::run_mechanism(instance, {.epsilon = 0.5, .alpha = 10.0});
+  check_single_outcome(instance, outcome);
+  ASSERT_TRUE(outcome.allocation.feasible);
+  EXPECT_EQ(outcome.allocation.winners.size(), 1u);  // one tiny PoS suffices
+}
+
+TEST(Robustness, RequirementNearOne) {
+  SingleTaskInstance instance;
+  instance.requirement_pos = 0.999999;
+  instance.bids.assign(40, {1.0, 0.3});
+  const auto outcome = single_task::run_mechanism(instance, {.epsilon = 0.5, .alpha = 10.0});
+  check_single_outcome(instance, outcome);
+  ASSERT_TRUE(outcome.allocation.feasible);  // 40·q(0.3) = 14.3 >> 13.8
+  EXPECT_GT(outcome.allocation.winners.size(), 35u);
+}
+
+TEST(Robustness, DeclaredPosOfExactlyOne) {
+  SingleTaskInstance instance;
+  instance.requirement_pos = 0.9;
+  instance.bids = {{5.0, 1.0}, {1.0, 0.3}, {1.5, 0.3}};
+  const auto outcome = single_task::run_mechanism(instance, {.epsilon = 0.2, .alpha = 10.0});
+  check_single_outcome(instance, outcome);
+  EXPECT_TRUE(outcome.allocation.feasible);
+}
+
+TEST(Robustness, ExtremeCostScales) {
+  for (double scale : {1e-6, 1e6}) {
+    SingleTaskInstance instance;
+    instance.requirement_pos = 0.6;
+    instance.bids = {{3.0 * scale, 0.4}, {2.0 * scale, 0.4}, {10.0 * scale, 0.5}};
+    const auto outcome =
+        single_task::run_mechanism(instance, {.epsilon = 0.3, .alpha = 10.0});
+    check_single_outcome(instance, outcome);
+    ASSERT_TRUE(outcome.allocation.feasible) << "scale " << scale;
+    EXPECT_NEAR(outcome.allocation.total_cost, 5.0 * scale, 1e-6 * scale);
+  }
+}
+
+TEST(Robustness, MixedCostMagnitudesInOneInstance) {
+  SingleTaskInstance instance;
+  instance.requirement_pos = 0.7;
+  instance.bids = {{1e-3, 0.3}, {1e3, 0.5}, {2.0, 0.4}, {3.0, 0.4}};
+  const auto outcome = single_task::run_mechanism(instance, {.epsilon = 0.3, .alpha = 10.0});
+  check_single_outcome(instance, outcome);
+  ASSERT_TRUE(outcome.allocation.feasible);
+  // The 1e3-cost user must not be selected: the three cheap users cover.
+  EXPECT_FALSE(outcome.allocation.contains(1));
+}
+
+TEST(Robustness, SingleUserMarket) {
+  SingleTaskInstance instance;
+  instance.requirement_pos = 0.4;
+  instance.bids = {{2.0, 0.5}};
+  const auto outcome = single_task::run_mechanism(instance, {.epsilon = 0.5, .alpha = 10.0});
+  check_single_outcome(instance, outcome);
+  ASSERT_TRUE(outcome.allocation.feasible);
+  // Pivotal user: critical PoS is the requirement boundary, not zero — she
+  // must still cover the task alone.
+  EXPECT_EQ(outcome.rewards[0].reward.critical_pos <= 0.4 + 1e-6, true);
+}
+
+TEST(Robustness, ManyIdenticalUsers) {
+  SingleTaskInstance instance;
+  instance.requirement_pos = 0.8;
+  instance.bids.assign(60, {2.0, 0.1});
+  const auto outcome = single_task::run_mechanism(instance, {.epsilon = 0.5, .alpha = 10.0});
+  check_single_outcome(instance, outcome);
+  ASSERT_TRUE(outcome.allocation.feasible);
+  // ceil(Q / q(0.1)) identical users needed.
+  const auto needed = static_cast<std::size_t>(
+      std::ceil(instance.requirement_contribution() / common::contribution_from_pos(0.1)));
+  EXPECT_EQ(outcome.allocation.winners.size(), needed);
+}
+
+class RobustnessSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RobustnessSweep, LargeRandomSingleTaskInstancesHoldInvariants) {
+  common::Rng rng(GetParam());
+  SingleTaskInstance instance;
+  instance.requirement_pos = rng.uniform(0.05, 0.95);
+  const auto n = static_cast<std::size_t>(rng.uniform_int(40, 120));
+  for (std::size_t k = 0; k < n; ++k) {
+    instance.bids.push_back({rng.uniform(0.1, 50.0), rng.uniform(0.0, 0.6)});
+  }
+  const auto outcome = single_task::run_mechanism(
+      instance, {.epsilon = 0.5, .alpha = 10.0, .binary_search_iterations = 24});
+  check_single_outcome(instance, outcome);
+}
+
+TEST_P(RobustnessSweep, LargeRandomMultiTaskInstancesHoldInvariants) {
+  common::Rng rng(GetParam() ^ 0xf00d);
+  const auto n = static_cast<std::size_t>(rng.uniform_int(30, 80));
+  const auto t = static_cast<std::size_t>(rng.uniform_int(5, 25));
+  const auto instance =
+      test::random_multi_task(n, t, rng.uniform(0.2, 0.7), GetParam() ^ 0xbeef, 8, 0.45);
+  const auto outcome = multi_task::run_mechanism(instance, {.alpha = 10.0});
+  if (!outcome.allocation.feasible) {
+    EXPECT_FALSE(instance.is_feasible());
+    return;
+  }
+  EXPECT_TRUE(instance.covers(outcome.allocation.winners));
+  const auto utilities = sim::expected_utilities(instance, outcome);
+  EXPECT_TRUE(sim::individually_rational(utilities));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RobustnessSweep, ::testing::Range<std::uint64_t>(1300, 1312));
+
+}  // namespace
+}  // namespace mcs::auction

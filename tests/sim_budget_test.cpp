@@ -1,0 +1,141 @@
+// Tests for the reward-budgeting module: payout decomposition, the affine
+// α law, the budget solver, and agreement with Monte-Carlo settlement.
+#include "sim/budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include "auction/single_task/mechanism.hpp"
+#include "auction/multi_task/mechanism.hpp"
+#include "common/check.hpp"
+#include "sim/execution.hpp"
+#include "test_util.hpp"
+
+namespace mcs::sim {
+namespace {
+
+auction::MechanismOutcome hand_outcome() {
+  auction::MechanismOutcome outcome;
+  outcome.allocation.feasible = true;
+  outcome.allocation.winners = {0, 1};
+  outcome.rewards = {
+      {0, 0.0, {0.4, 3.0, 10.0}},  // p̄ 0.4, cost 3
+      {1, 0.0, {0.2, 2.0, 10.0}},  // p̄ 0.2, cost 2
+  };
+  return outcome;
+}
+
+auction::SingleTaskInstance hand_instance() {
+  auction::SingleTaskInstance instance;
+  instance.requirement_pos = 0.5;
+  instance.bids = {{3.0, 0.6}, {2.0, 0.3}};
+  return instance;
+}
+
+TEST(PayoutEstimate, DecomposesCostAndRent) {
+  const auto estimate = estimate_payout(hand_instance(), hand_outcome());
+  EXPECT_DOUBLE_EQ(estimate.total_cost, 5.0);
+  // Rents: (0.6 - 0.4) + (0.3 - 0.2) = 0.3.
+  EXPECT_NEAR(estimate.rent_per_alpha, 0.3, 1e-12);
+  // Worst case: (1 - 0.4) + (1 - 0.2) = 1.4.
+  EXPECT_NEAR(estimate.worst_case_per_alpha, 1.4, 1e-12);
+  EXPECT_NEAR(estimate.expected_payout(10.0), 5.0 + 3.0, 1e-12);
+  EXPECT_NEAR(estimate.worst_case_payout(10.0), 5.0 + 14.0, 1e-12);
+}
+
+TEST(PayoutEstimate, EmptyOutcomeIsZero) {
+  const auction::MechanismOutcome outcome;
+  const auto estimate = estimate_payout(hand_instance(), outcome);
+  EXPECT_DOUBLE_EQ(estimate.expected_payout(10.0), 0.0);
+}
+
+TEST(PayoutEstimate, RejectsForeignOutcome) {
+  auto outcome = hand_outcome();
+  outcome.rewards[0].user = 7;
+  EXPECT_THROW(estimate_payout(hand_instance(), outcome), common::PreconditionError);
+}
+
+TEST(AlphaForBudget, SolvesTheAffineLaw) {
+  const auto estimate = estimate_payout(hand_instance(), hand_outcome());
+  // 5 + 0.3·α = 8  =>  α = 10.
+  EXPECT_NEAR(alpha_for_budget(estimate, 8.0), 10.0, 1e-9);
+  EXPECT_NEAR(estimate.expected_payout(alpha_for_budget(estimate, 8.0)), 8.0, 1e-9);
+}
+
+TEST(AlphaForBudget, ZeroWhenCostsBustTheBudget) {
+  const auto estimate = estimate_payout(hand_instance(), hand_outcome());
+  EXPECT_DOUBLE_EQ(alpha_for_budget(estimate, 4.0), 0.0);
+}
+
+TEST(AlphaForBudget, CapWhenNoRent) {
+  PayoutEstimate estimate;
+  estimate.total_cost = 1.0;
+  estimate.rent_per_alpha = 0.0;
+  EXPECT_DOUBLE_EQ(alpha_for_budget(estimate, 2.0, 500.0), 500.0);
+  EXPECT_THROW(alpha_for_budget(estimate, -1.0), common::PreconditionError);
+  EXPECT_THROW(alpha_for_budget(estimate, 1.0, 0.0), common::PreconditionError);
+}
+
+TEST(AlphaForBudget, WorstCaseIsMoreConservative) {
+  const auto estimate = estimate_payout(hand_instance(), hand_outcome());
+  EXPECT_LT(alpha_for_budget_worst_case(estimate, 8.0), alpha_for_budget(estimate, 8.0));
+  // 5 + 1.4·α = 8 => α = 15/7.
+  EXPECT_NEAR(alpha_for_budget_worst_case(estimate, 8.0), 3.0 / 1.4, 1e-9);
+}
+
+TEST(PayoutEstimate, MatchesMonteCarloSettlement) {
+  // Full pipeline: run the real mechanism, then check the analytic expected
+  // payout against the empirical mean of settled executions.
+  const auto instance = test::random_single_task(15, 0.8, 5);
+  const auto outcome =
+      auction::single_task::run_mechanism(instance, {.epsilon = 0.5, .alpha = 10.0});
+  ASSERT_TRUE(outcome.allocation.feasible);
+  const auto estimate = estimate_payout(instance, outcome);
+
+  common::Rng rng(9);
+  double total = 0.0;
+  constexpr int kRuns = 100000;
+  for (int run = 0; run < kRuns; ++run) {
+    const auto execution = simulate(instance, outcome.allocation.winners, rng);
+    total += settle_payout(outcome, execution.winner_success);
+  }
+  EXPECT_NEAR(total / kRuns, estimate.expected_payout(10.0),
+              0.01 * estimate.expected_payout(10.0));
+}
+
+TEST(PayoutEstimate, MultiTaskUsesAnySuccessProbability) {
+  const auto instance = test::random_multi_task(12, 4, 0.5, 3);
+  const auto outcome = auction::multi_task::run_mechanism(instance, {.alpha = 10.0});
+  if (!outcome.allocation.feasible) {
+    GTEST_SKIP();
+  }
+  const auto estimate = estimate_payout(instance, outcome);
+  EXPECT_GT(estimate.total_cost, 0.0);
+  EXPECT_GE(estimate.rent_per_alpha, -1e-9);  // IR: rents are non-negative
+  EXPECT_GE(estimate.worst_case_per_alpha, estimate.rent_per_alpha);
+
+  common::Rng rng(11);
+  double total = 0.0;
+  constexpr int kRuns = 50000;
+  for (int run = 0; run < kRuns; ++run) {
+    const auto execution = simulate(instance, outcome.allocation.winners, rng);
+    total += settle_payout(outcome, execution.winner_any_success);
+  }
+  EXPECT_NEAR(total / kRuns, estimate.expected_payout(10.0),
+              0.01 * std::max(1.0, estimate.expected_payout(10.0)));
+}
+
+TEST(AlphaForBudget, ChosenAlphaKeepsEmpiricalPayoutNearBudget) {
+  const auto instance = test::random_single_task(15, 0.8, 7);
+  // α does not affect the allocation or the critical PoS, so the outcome
+  // computed at any α re-scales exactly.
+  const auto outcome =
+      auction::single_task::run_mechanism(instance, {.epsilon = 0.5, .alpha = 1.0});
+  ASSERT_TRUE(outcome.allocation.feasible);
+  auto estimate = estimate_payout(instance, outcome);
+  const double budget = estimate.total_cost * 1.5;
+  const double alpha = alpha_for_budget(estimate, budget);
+  EXPECT_NEAR(estimate.expected_payout(alpha), budget, 1e-6 * budget);
+}
+
+}  // namespace
+}  // namespace mcs::sim

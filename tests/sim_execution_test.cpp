@@ -1,0 +1,121 @@
+// Unit tests for the Bernoulli execution engine and reward settlement:
+// deterministic edges (PoS 0/1), empirical-analytic agreement, and payout
+// accounting.
+#include "sim/execution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "sim/metrics.hpp"
+
+namespace mcs::sim {
+namespace {
+
+TEST(SimulateSingle, DeterministicAtPosExtremes) {
+  auction::SingleTaskInstance instance;
+  instance.requirement_pos = 0.5;
+  instance.bids = {{1.0, 1.0}, {1.0, 0.0}};
+  common::Rng rng(1);
+  const auto run = simulate(instance, {0, 1}, rng);
+  ASSERT_EQ(run.winner_success.size(), 2u);
+  EXPECT_TRUE(run.winner_success[0]);
+  EXPECT_FALSE(run.winner_success[1]);
+  EXPECT_TRUE(run.task_completed);
+}
+
+TEST(SimulateSingle, NoWinnersNoCompletion) {
+  auction::SingleTaskInstance instance;
+  instance.requirement_pos = 0.5;
+  instance.bids = {{1.0, 0.9}};
+  common::Rng rng(2);
+  const auto run = simulate(instance, {}, rng);
+  EXPECT_TRUE(run.winner_success.empty());
+  EXPECT_FALSE(run.task_completed);
+}
+
+TEST(SimulateSingle, RejectsBadWinnerId) {
+  auction::SingleTaskInstance instance;
+  instance.requirement_pos = 0.5;
+  instance.bids = {{1.0, 0.9}};
+  common::Rng rng(3);
+  EXPECT_THROW(simulate(instance, {5}, rng), common::PreconditionError);
+}
+
+TEST(EmpiricalSinglePos, MatchesAnalyticValue) {
+  auction::SingleTaskInstance instance;
+  instance.requirement_pos = 0.5;
+  instance.bids = {{1.0, 0.4}, {1.0, 0.3}, {1.0, 0.2}};
+  const std::vector<auction::UserId> winners{0, 1, 2};
+  common::Rng rng(4);
+  const double empirical = empirical_task_pos(instance, winners, 200000, rng);
+  const double analytic = achieved_pos(instance, winners);  // 1 - .6*.7*.8
+  EXPECT_NEAR(analytic, 1.0 - 0.6 * 0.7 * 0.8, 1e-12);
+  EXPECT_NEAR(empirical, analytic, 0.005);
+}
+
+TEST(SimulateMulti, TracksPerTaskCompletion) {
+  auction::MultiTaskInstance instance;
+  instance.requirement_pos = {0.5, 0.5, 0.5};
+  instance.users = {
+      {{0, 1}, {1.0, 0.0}, 1.0},
+      {{2}, {1.0}, 1.0},
+  };
+  common::Rng rng(5);
+  const auto run = simulate(instance, {0, 1}, rng);
+  ASSERT_EQ(run.task_completed.size(), 3u);
+  EXPECT_TRUE(run.task_completed[0]);   // user 0, PoS 1
+  EXPECT_FALSE(run.task_completed[1]);  // user 0, PoS 0
+  EXPECT_TRUE(run.task_completed[2]);   // user 1, PoS 1
+  EXPECT_TRUE(run.winner_any_success[0]);
+  EXPECT_TRUE(run.winner_any_success[1]);
+}
+
+TEST(SimulateMulti, AnySuccessFalseWhenAllTasksFail) {
+  auction::MultiTaskInstance instance;
+  instance.requirement_pos = {0.5};
+  instance.users = {{{0}, {0.0}, 1.0}};
+  common::Rng rng(6);
+  const auto run = simulate(instance, {0}, rng);
+  EXPECT_FALSE(run.winner_any_success[0]);
+  EXPECT_FALSE(run.task_completed[0]);
+}
+
+TEST(EmpiricalMultiPos, MatchesAnalyticPerTask) {
+  auction::MultiTaskInstance instance;
+  instance.requirement_pos = {0.5, 0.5};
+  instance.users = {
+      {{0, 1}, {0.3, 0.2}, 1.0},
+      {{0}, {0.4}, 1.0},
+  };
+  const std::vector<auction::UserId> winners{0, 1};
+  common::Rng rng(7);
+  const auto empirical = empirical_task_pos(instance, winners, 100000, rng);
+  const auto analytic = achieved_pos(instance, winners);
+  ASSERT_EQ(empirical.size(), 2u);
+  EXPECT_NEAR(empirical[0], analytic[0], 0.01);
+  EXPECT_NEAR(empirical[1], analytic[1], 0.01);
+}
+
+TEST(SettlePayout, SumsTheRightBranches) {
+  auction::MechanismOutcome outcome;
+  outcome.allocation.feasible = true;
+  outcome.allocation.winners = {0, 1};
+  outcome.rewards = {
+      {0, 0.1, {0.2, 3.0, 10.0}},  // success: 0.8*10+3 = 11
+      {1, 0.5, {0.4, 2.0, 10.0}},  // failure: -0.4*10+2 = -2
+  };
+  EXPECT_DOUBLE_EQ(settle_payout(outcome, {true, false}), 11.0 - 2.0);
+  EXPECT_DOUBLE_EQ(settle_payout(outcome, {true, true}), 11.0 + 8.0);
+  EXPECT_THROW(settle_payout(outcome, {true}), common::PreconditionError);
+}
+
+TEST(EmpiricalPos, RejectsZeroRuns) {
+  auction::SingleTaskInstance instance;
+  instance.requirement_pos = 0.5;
+  instance.bids = {{1.0, 0.5}};
+  common::Rng rng(8);
+  EXPECT_THROW(empirical_task_pos(instance, {0}, 0, rng), common::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mcs::sim

@@ -1,0 +1,71 @@
+// Unit tests for the analytic evaluation metrics.
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace mcs::sim {
+namespace {
+
+TEST(AchievedPosSingle, ProbabilityComposition) {
+  auction::SingleTaskInstance instance;
+  instance.requirement_pos = 0.5;
+  instance.bids = {{1.0, 0.5}, {1.0, 0.4}};
+  EXPECT_NEAR(achieved_pos(instance, {0, 1}), 1.0 - 0.5 * 0.6, 1e-12);
+  EXPECT_DOUBLE_EQ(achieved_pos(instance, {}), 0.0);
+}
+
+TEST(AchievedPosMulti, PerTaskAndAverage) {
+  auction::MultiTaskInstance instance;
+  instance.requirement_pos = {0.5, 0.5};
+  instance.users = {
+      {{0}, {0.5}, 1.0},
+      {{1}, {0.3}, 1.0},
+  };
+  const auto pos = achieved_pos(instance, {0, 1});
+  ASSERT_EQ(pos.size(), 2u);
+  EXPECT_NEAR(pos[0], 0.5, 1e-12);
+  EXPECT_NEAR(pos[1], 0.3, 1e-12);
+  EXPECT_NEAR(average_achieved_pos(instance, {0, 1}), 0.4, 1e-12);
+}
+
+TEST(ExpectedUtilitiesSingle, UsesTruePos) {
+  auction::SingleTaskInstance instance;
+  instance.requirement_pos = 0.5;
+  instance.bids = {{2.0, 0.6}};
+  auction::MechanismOutcome outcome;
+  outcome.allocation.feasible = true;
+  outcome.allocation.winners = {0};
+  outcome.rewards = {{0, 0.0, {0.5, 2.0, 10.0}}};
+  const auto utilities = expected_utilities(instance, outcome);
+  ASSERT_EQ(utilities.size(), 1u);
+  EXPECT_NEAR(utilities[0], (0.6 - 0.5) * 10.0, 1e-12);
+}
+
+TEST(ExpectedUtilitiesMulti, UsesAnySuccessProbability) {
+  auction::MultiTaskInstance instance;
+  instance.requirement_pos = {0.5, 0.5};
+  instance.users = {{{0, 1}, {0.5, 0.5}, 1.0}};
+  auction::MechanismOutcome outcome;
+  outcome.allocation.feasible = true;
+  outcome.allocation.winners = {0};
+  outcome.rewards = {{0, 0.0, {0.5, 1.0, 10.0}}};
+  const auto utilities = expected_utilities(instance, outcome);
+  ASSERT_EQ(utilities.size(), 1u);
+  EXPECT_NEAR(utilities[0], (0.75 - 0.5) * 10.0, 1e-12);  // 1 - 0.25 = 0.75
+}
+
+TEST(IndividuallyRational, ToleratesTinyNegatives) {
+  EXPECT_TRUE(individually_rational({0.5, 0.0, -1e-12}));
+  EXPECT_FALSE(individually_rational({0.5, -0.1}));
+  EXPECT_TRUE(individually_rational({}));
+}
+
+TEST(AverageAchievedPos, RejectsNoTasks) {
+  auction::MultiTaskInstance instance;
+  EXPECT_THROW(average_achieved_pos(instance, {}), common::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mcs::sim

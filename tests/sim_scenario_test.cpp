@@ -1,0 +1,236 @@
+// Unit tests for the scenario builders bridging mobility users to auction
+// instances: sampling, PoS consistency, cost model, requirement capping,
+// prefix slicing, and the popular-cell ranking.
+#include "sim/scenario.hpp"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace mcs::sim {
+namespace {
+
+/// A small synthetic user pool (no mobility pipeline needed).
+std::vector<mobility::MobilityUser> make_pool() {
+  std::vector<mobility::MobilityUser> pool;
+  // Cells 100 and 101 are popular; 200+ are niche.
+  for (int k = 0; k < 12; ++k) {
+    mobility::MobilityUser user;
+    user.taxi = k;
+    user.current_cell = 100;
+    user.task_pos = {{100, 0.3}, {101, 0.2}, {200 + k, 0.1}};
+    pool.push_back(user);
+  }
+  for (int k = 12; k < 16; ++k) {
+    mobility::MobilityUser user;
+    user.taxi = k;
+    user.current_cell = 101;
+    user.task_pos = {{101, 0.25}, {300 + k, 0.15}};
+    pool.push_back(user);
+  }
+  return pool;
+}
+
+TEST(PopularCells, RanksByTaskSetFrequency) {
+  const auto ranked = popular_cells(make_pool());
+  ASSERT_GE(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0], 101);  // 16 users
+  EXPECT_EQ(ranked[1], 100);  // 12 users
+}
+
+TEST(BuildSingleTask, SamplesOnlyUsersCoveringTheCell) {
+  const auto pool = make_pool();
+  ScenarioParams params;
+  common::Rng rng(1);
+  const auto scenario = build_single_task(pool, 100, 8, params, rng);
+  ASSERT_TRUE(scenario.has_value());
+  EXPECT_EQ(scenario->instance.bids.size(), 8u);
+  EXPECT_EQ(scenario->participants.size(), 8u);
+  for (std::size_t k = 0; k < scenario->participants.size(); ++k) {
+    const auto& user = pool[scenario->participants[k]];
+    EXPECT_DOUBLE_EQ(scenario->instance.bids[k].pos,
+                     mobility::user_pos_for_cell(user, 100));
+    EXPECT_GT(scenario->instance.bids[k].pos, 0.0);
+  }
+  scenario->instance.validate();
+}
+
+TEST(BuildSingleTask, NulloptWhenTooFewCandidates) {
+  const auto pool = make_pool();
+  ScenarioParams params;
+  common::Rng rng(2);
+  // Only 12 users cover cell 100.
+  EXPECT_FALSE(build_single_task(pool, 100, 13, params, rng).has_value());
+  // Nobody covers cell 999.
+  EXPECT_FALSE(build_single_task(pool, 999, 1, params, rng).has_value());
+}
+
+TEST(BuildSingleTask, CostsFollowTheTruncatedModel) {
+  const auto pool = make_pool();
+  ScenarioParams params;
+  params.cost_mean = 15.0;
+  params.cost_variance = 5.0;
+  common::Rng rng(3);
+  const auto scenario = build_single_task(pool, 101, 10, params, rng);
+  ASSERT_TRUE(scenario.has_value());
+  for (const auto& bid : scenario->instance.bids) {
+    EXPECT_GE(bid.cost, params.cost_floor);
+    EXPECT_LT(bid.cost, 45.0);
+  }
+}
+
+TEST(BuildSingleTask, RequirementCapBindsWhenAchievableIsLow) {
+  const auto pool = make_pool();
+  ScenarioParams params;
+  params.pos_requirement = 0.99;
+  params.requirement_cap_fraction = 0.9;
+  common::Rng rng(4);
+  const auto scenario = build_single_task(pool, 100, 5, params, rng);
+  ASSERT_TRUE(scenario.has_value());
+  EXPECT_LT(scenario->instance.requirement_pos, 0.99);
+  EXPECT_TRUE(scenario->instance.is_feasible());
+}
+
+TEST(BuildMultiTask, TaskCellsAreTheMostPopular) {
+  const auto pool = make_pool();
+  ScenarioParams params;
+  common::Rng rng(5);
+  const auto scenario = build_multi_task(pool, 2, 10, params, rng);
+  ASSERT_TRUE(scenario.has_value());
+  EXPECT_EQ(scenario->task_cells, (std::vector<geo::CellId>{101, 100}));
+  EXPECT_EQ(scenario->instance.num_tasks(), 2u);
+  EXPECT_EQ(scenario->instance.num_users(), 10u);
+  scenario->instance.validate();
+}
+
+TEST(BuildMultiTask, BidsAreTheTaskSetIntersection) {
+  const auto pool = make_pool();
+  ScenarioParams params;
+  common::Rng rng(6);
+  const auto scenario = build_multi_task(pool, 2, 12, params, rng);
+  ASSERT_TRUE(scenario.has_value());
+  for (std::size_t k = 0; k < scenario->instance.users.size(); ++k) {
+    const auto& bid = scenario->instance.users[k];
+    const auto& user = pool[scenario->participants[k]];
+    ASSERT_FALSE(bid.tasks.empty());
+    for (std::size_t j = 0; j < bid.tasks.size(); ++j) {
+      const geo::CellId cell =
+          scenario->task_cells[static_cast<std::size_t>(bid.tasks[j])];
+      EXPECT_DOUBLE_EQ(bid.pos[j], mobility::user_pos_for_cell(user, cell));
+    }
+  }
+}
+
+TEST(BuildMultiTaskAt, UsesTheExplicitCells) {
+  const auto pool = make_pool();
+  ScenarioParams params;
+  common::Rng rng(21);
+  const auto scenario = build_multi_task_at(pool, {100, 101}, 10, params, rng);
+  ASSERT_TRUE(scenario.has_value());
+  EXPECT_EQ(scenario->task_cells, (std::vector<geo::CellId>{100, 101}));
+  scenario->instance.validate();
+}
+
+TEST(BuildMultiTaskAt, RejectsDuplicateOrEmptyCells) {
+  const auto pool = make_pool();
+  ScenarioParams params;
+  common::Rng rng(22);
+  EXPECT_THROW(build_multi_task_at(pool, {100, 100}, 5, params, rng),
+               common::PreconditionError);
+  EXPECT_THROW(build_multi_task_at(pool, {}, 5, params, rng), common::PreconditionError);
+}
+
+TEST(BuildMultiTaskAt, UncoveredCellsShrinkTheCandidatePool) {
+  const auto pool = make_pool();
+  ScenarioParams params;
+  common::Rng rng(23);
+  // Cell 999 is in nobody's task set; candidates are those touching 100.
+  const auto scenario = build_multi_task_at(pool, {100, 999}, 12, params, rng);
+  ASSERT_TRUE(scenario.has_value());
+  EXPECT_FALSE(scenario->instance.is_feasible());  // task 1 has no bidder
+}
+
+TEST(BuildMultiTask, NulloptWhenTooFewTasksOrUsers) {
+  const auto pool = make_pool();
+  ScenarioParams params;
+  common::Rng rng(7);
+  EXPECT_FALSE(build_multi_task(pool, 100, 5, params, rng).has_value());
+  EXPECT_FALSE(build_multi_task(pool, 2, 17, params, rng).has_value());
+}
+
+TEST(BuildFeasibleMultiTask, RetriesUntilFeasible) {
+  const auto pool = make_pool();
+  ScenarioParams params;
+  params.pos_requirement = 0.5;  // achievable: 12 users x q(0.3) on cell 100
+  common::Rng rng(8);
+  const auto scenario = build_feasible_multi_task(pool, 2, 14, params, rng, 20);
+  ASSERT_TRUE(scenario.has_value());
+  EXPECT_TRUE(scenario->instance.is_feasible());
+}
+
+TEST(PrefixUsers, KeepsTasksAndTruncatesUsers) {
+  auction::MultiTaskInstance instance;
+  instance.requirement_pos = {0.5, 0.4};
+  instance.users = {
+      {{0}, {0.3}, 1.0},
+      {{1}, {0.3}, 2.0},
+      {{0, 1}, {0.2, 0.2}, 3.0},
+  };
+  const auto prefix = prefix_users(instance, 2);
+  EXPECT_EQ(prefix.num_users(), 2u);
+  EXPECT_EQ(prefix.num_tasks(), 2u);
+  EXPECT_DOUBLE_EQ(prefix.users[1].cost, 2.0);
+  EXPECT_THROW(prefix_users(instance, 0), common::PreconditionError);
+  EXPECT_THROW(prefix_users(instance, 4), common::PreconditionError);
+}
+
+TEST(CapRequirements, CapsAtFractionOfAchievable) {
+  auction::MultiTaskInstance instance;
+  instance.requirement_pos = {0.9, 0.9};
+  instance.users = {
+      {{0}, {0.5}, 1.0},
+      {{1}, {0.2}, 1.0},
+  };
+  cap_requirements_to_achievable(instance, 0.9);
+  EXPECT_NEAR(instance.requirement_pos[0], 0.45, 1e-12);
+  EXPECT_NEAR(instance.requirement_pos[1], 0.18, 1e-12);
+  EXPECT_TRUE(instance.is_feasible());
+  EXPECT_THROW(cap_requirements_to_achievable(instance, 0.0), common::PreconditionError);
+  EXPECT_THROW(cap_requirements_to_achievable(instance, 1.0), common::PreconditionError);
+}
+
+TEST(CapRequirements, FloorKeepsRequirementsValid) {
+  auction::MultiTaskInstance instance;
+  instance.requirement_pos = {0.9};
+  instance.users = {{{0}, {0.001}, 1.0}};
+  cap_requirements_to_achievable(instance, 0.9, 0.01);
+  EXPECT_DOUBLE_EQ(instance.requirement_pos[0], 0.01);
+  instance.validate();  // still a valid probability
+}
+
+TEST(ScaleRequirements, ScalesByLevelTimesAchievable) {
+  auction::MultiTaskInstance instance;
+  instance.requirement_pos = {0.8};
+  instance.users = {{{0}, {0.5}, 1.0}};
+  scale_requirements_by_achievable(instance, 0.5, 0.95);
+  EXPECT_NEAR(instance.requirement_pos[0], 0.5 * 0.95 * 0.5, 1e-12);
+  EXPECT_THROW(scale_requirements_by_achievable(instance, 0.0), common::PreconditionError);
+}
+
+TEST(SampleCost, RespectsFloorAndThrowsOnBadParams) {
+  ScenarioParams params;
+  common::Rng rng(9);
+  for (int k = 0; k < 200; ++k) {
+    EXPECT_GE(sample_cost(params, rng), params.cost_floor);
+  }
+  params.cost_variance = -1.0;
+  EXPECT_THROW(sample_cost(params, rng), common::PreconditionError);
+  params = ScenarioParams{};
+  params.cost_variance = 0.0;
+  EXPECT_DOUBLE_EQ(sample_cost(params, rng), params.cost_mean);
+}
+
+}  // namespace
+}  // namespace mcs::sim

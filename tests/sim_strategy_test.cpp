@@ -1,0 +1,84 @@
+// Unit tests for the misreport-sweep experiment engine.
+#include "sim/strategy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace mcs::sim {
+namespace {
+
+auction::SingleTaskInstance paper_example() {
+  auction::SingleTaskInstance instance;
+  instance.requirement_pos = 0.9;
+  instance.bids = {{3.0, 0.7}, {2.0, 0.7}, {1.0, 0.5}, {4.0, 0.8}};
+  return instance;
+}
+
+TEST(SweepDeclaredPos, WinFlagsAreMonotoneInDeclaration) {
+  const auction::single_task::MechanismConfig config{.epsilon = 0.1, .alpha = 10.0};
+  const auto sweep =
+      sweep_declared_pos(paper_example(), 2, {0.1, 0.3, 0.5, 0.7, 0.9}, config);
+  ASSERT_EQ(sweep.size(), 5u);
+  bool seen_win = false;
+  for (const auto& point : sweep) {
+    if (seen_win) {
+      EXPECT_TRUE(point.won);  // once winning, higher declarations keep winning
+    }
+    seen_win = seen_win || point.won;
+  }
+  EXPECT_TRUE(seen_win);
+}
+
+TEST(SweepDeclaredPos, LosingPointsHaveZeroUtility) {
+  const auction::single_task::MechanismConfig config{.epsilon = 0.1, .alpha = 10.0};
+  const auto sweep = sweep_declared_pos(paper_example(), 2, {0.1, 0.9}, config);
+  EXPECT_FALSE(sweep[0].won);
+  EXPECT_DOUBLE_EQ(sweep[0].expected_utility, 0.0);
+  EXPECT_TRUE(sweep[1].won);
+  // True PoS 0.5 below the critical 2/3: inflating yields negative utility.
+  EXPECT_LT(sweep[1].expected_utility, 0.0);
+}
+
+TEST(SweepDeclaredPos, TruthfulWinnerKeepsConstantUtility) {
+  const auction::single_task::MechanismConfig config{.epsilon = 0.1, .alpha = 10.0};
+  const auto sweep = sweep_declared_pos(paper_example(), 1, {0.7, 0.8, 0.9}, config);
+  for (const auto& point : sweep) {
+    ASSERT_TRUE(point.won);
+    EXPECT_NEAR(point.expected_utility, sweep.front().expected_utility, 1e-5);
+  }
+}
+
+TEST(SweepDeclaredPos, RejectsBadUser) {
+  const auction::single_task::MechanismConfig config{};
+  EXPECT_THROW(sweep_declared_pos(paper_example(), 9, {0.5}, config),
+               common::PreconditionError);
+}
+
+TEST(SweepDeclaredContribution, LosingBelowThresholdWinningAbove) {
+  auction::MultiTaskInstance instance;
+  instance.requirement_pos = {0.6};
+  instance.users = {
+      {{0}, {0.55}, 1.0},
+      {{0}, {0.5}, 2.0},
+      {{0}, {0.5}, 2.5},
+  };
+  const auction::multi_task::MechanismConfig config{.alpha = 10.0};
+  const double total = instance.users[0].total_contribution();
+  const auto sweep =
+      sweep_declared_contribution(instance, 0, {0.01, total, 3.0 * total}, config);
+  ASSERT_EQ(sweep.size(), 3u);
+  EXPECT_TRUE(sweep[1].won);  // truthful winner
+  EXPECT_TRUE(sweep[2].won);  // monotone
+}
+
+TEST(TruthfulIsOptimal, ComparesAgainstBest) {
+  std::vector<MisreportPoint> sweep{{0.1, true, 1.0}, {0.2, true, 2.0}};
+  EXPECT_TRUE(truthful_is_optimal(sweep, 2.0));
+  EXPECT_TRUE(truthful_is_optimal(sweep, 2.5));
+  EXPECT_FALSE(truthful_is_optimal(sweep, 1.5));
+  EXPECT_TRUE(truthful_is_optimal({}, 0.0));
+}
+
+}  // namespace
+}  // namespace mcs::sim

@@ -1,0 +1,88 @@
+// Unit and property tests for the exact branch-and-bound (the paper's OPT
+// baseline): optimality against brute force, warm-start dominance, and the
+// node-budget escape hatch.
+#include "auction/single_task/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "auction/single_task/fptas.hpp"
+#include "auction/single_task/min_greedy.hpp"
+#include "test_util.hpp"
+
+namespace mcs::auction::single_task {
+namespace {
+
+TEST(ExactSingle, SolvesPaperExample) {
+  SingleTaskInstance instance;
+  instance.requirement_pos = 0.9;
+  instance.bids = {{3.0, 0.7}, {2.0, 0.7}, {1.0, 0.5}, {4.0, 0.8}};
+  const auto result = solve_exact(instance);
+  ASSERT_TRUE(result.allocation.feasible);
+  EXPECT_TRUE(result.proven_optimal);
+  // Two optima tie at cost 5: {0, 1} (PoS 0.91) and {2, 3} (PoS exactly 0.9).
+  EXPECT_DOUBLE_EQ(result.allocation.total_cost, 5.0);
+  EXPECT_TRUE(instance.covers(result.allocation.winners));
+}
+
+TEST(ExactSingle, InfeasibleReported) {
+  SingleTaskInstance instance;
+  instance.requirement_pos = 0.99;
+  instance.bids = {{1.0, 0.1}};
+  const auto result = solve_exact(instance);
+  EXPECT_FALSE(result.allocation.feasible);
+  EXPECT_TRUE(result.proven_optimal);
+}
+
+TEST(ExactSingle, NeverWorseThanHeuristics) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto instance = test::random_single_task(20, 0.8, seed);
+    const auto exact = solve_exact(instance);
+    if (!exact.allocation.feasible) {
+      continue;
+    }
+    EXPECT_LE(exact.allocation.total_cost,
+              solve_min_greedy(instance).total_cost + 1e-9);
+    EXPECT_LE(exact.allocation.total_cost,
+              solve_fptas(instance, 0.5).total_cost + 1e-9);
+  }
+}
+
+TEST(ExactSingle, TinyNodeBudgetFallsBackToIncumbent) {
+  const auto instance = test::random_single_task(25, 0.9, 77);
+  const ExactOptions options{.node_budget = 5};
+  const auto result = solve_exact(instance, options);
+  ASSERT_TRUE(result.allocation.feasible);
+  EXPECT_FALSE(result.proven_optimal);
+  // Still a valid cover (the Min-Greedy warm start).
+  EXPECT_TRUE(instance.covers(result.allocation.winners));
+}
+
+TEST(ExactSingle, ReportsNodeCount) {
+  const auto instance = test::random_single_task(10, 0.7, 5);
+  const auto result = solve_exact(instance);
+  EXPECT_GT(result.nodes_explored, 0u);
+}
+
+class ExactSingleProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactSingleProperty, MatchesBruteForce) {
+  common::Rng rng(GetParam());
+  const auto n = static_cast<std::size_t>(rng.uniform_int(2, 14));
+  const auto instance = test::random_single_task(n, rng.uniform(0.3, 0.95), GetParam() ^ 0x77);
+
+  const auto reference = test::brute_force(instance);
+  const auto result = solve_exact(instance);
+  if (!reference.has_value()) {
+    EXPECT_FALSE(result.allocation.feasible);
+    return;
+  }
+  ASSERT_TRUE(result.allocation.feasible);
+  EXPECT_TRUE(result.proven_optimal);
+  EXPECT_NEAR(result.allocation.total_cost, instance.cost_of(*reference), 1e-9);
+  EXPECT_TRUE(instance.covers(result.allocation.winners));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactSingleProperty, ::testing::Range<std::uint64_t>(200, 240));
+
+}  // namespace
+}  // namespace mcs::auction::single_task

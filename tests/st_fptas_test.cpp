@@ -1,0 +1,147 @@
+// Unit and property tests for Algorithm 2 (the FPTAS winner determination):
+// the paper's worked example, the (1+ε) approximation guarantee against
+// brute force, coverage, determinism, and the monotonicity that underpins
+// the critical-bid reward scheme (Lemma 1).
+#include "auction/single_task/fptas.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+#include "test_util.hpp"
+
+namespace mcs::auction::single_task {
+namespace {
+
+SingleTaskInstance paper_example() {
+  SingleTaskInstance instance;
+  instance.requirement_pos = 0.9;
+  instance.bids = {{3.0, 0.7}, {2.0, 0.7}, {1.0, 0.5}, {4.0, 0.8}};
+  return instance;
+}
+
+TEST(Fptas, SolvesThePaperExample) {
+  // Section III-A: the optimum selects users 1 and 2 (cost 5, PoS 0.91).
+  const auto allocation = solve_fptas(paper_example(), 0.1);
+  ASSERT_TRUE(allocation.feasible);
+  EXPECT_EQ(allocation.winners, (std::vector<UserId>{0, 1}));
+  EXPECT_DOUBLE_EQ(allocation.total_cost, 5.0);
+}
+
+TEST(Fptas, InfeasibleInstanceReported) {
+  SingleTaskInstance instance;
+  instance.requirement_pos = 0.99;
+  instance.bids = {{1.0, 0.1}, {1.0, 0.1}};
+  const auto allocation = solve_fptas(instance, 0.1);
+  EXPECT_FALSE(allocation.feasible);
+  EXPECT_TRUE(allocation.winners.empty());
+}
+
+TEST(Fptas, WinnersCoverTheRequirement) {
+  const auto instance = test::random_single_task(30, 0.8, 7);
+  const auto allocation = solve_fptas(instance, 0.5);
+  ASSERT_TRUE(allocation.feasible);
+  EXPECT_TRUE(instance.covers(allocation.winners));
+  EXPECT_NEAR(allocation.total_cost, instance.cost_of(allocation.winners), 1e-9);
+}
+
+TEST(Fptas, DeterministicAcrossCalls) {
+  const auto instance = test::random_single_task(25, 0.7, 11);
+  const auto a = solve_fptas(instance, 0.3);
+  const auto b = solve_fptas(instance, 0.3);
+  EXPECT_EQ(a.winners, b.winners);
+  EXPECT_DOUBLE_EQ(a.total_cost, b.total_cost);
+}
+
+TEST(Fptas, RejectsBadEpsilon) {
+  EXPECT_THROW(solve_fptas(paper_example(), 0.0), common::PreconditionError);
+  EXPECT_THROW(solve_fptas(paper_example(), -0.5), common::PreconditionError);
+}
+
+TEST(Fptas, HandlesDeclaredPosOfOne) {
+  SingleTaskInstance instance;
+  instance.requirement_pos = 0.9;
+  instance.bids = {{5.0, 1.0}, {1.0, 0.2}, {1.2, 0.2}};
+  const auto allocation = solve_fptas(instance, 0.2);
+  ASSERT_TRUE(allocation.feasible);
+  EXPECT_TRUE(instance.covers(allocation.winners));
+}
+
+struct ApproxCase {
+  std::uint64_t seed;
+  double epsilon;
+};
+
+class FptasApproximation : public ::testing::TestWithParam<ApproxCase> {};
+
+TEST_P(FptasApproximation, WithinGuaranteeOfBruteForce) {
+  const auto [seed, epsilon] = GetParam();
+  common::Rng rng(seed);
+  const auto n = static_cast<std::size_t>(rng.uniform_int(4, 14));
+  const auto instance = test::random_single_task(n, rng.uniform(0.3, 0.9), seed ^ 0xabcd);
+
+  const auto reference = test::brute_force(instance);
+  const auto allocation = solve_fptas(instance, epsilon);
+  if (!reference.has_value()) {
+    EXPECT_FALSE(allocation.feasible);
+    return;
+  }
+  ASSERT_TRUE(allocation.feasible);
+  const double optimal = instance.cost_of(*reference);
+  EXPECT_LE(allocation.total_cost, (1.0 + epsilon) * optimal + 1e-9)
+      << "n=" << n << " optimal=" << optimal;
+  EXPECT_TRUE(instance.covers(allocation.winners));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndEpsilons, FptasApproximation,
+    ::testing::Values(ApproxCase{1, 0.1}, ApproxCase{2, 0.1}, ApproxCase{3, 0.1},
+                      ApproxCase{4, 0.5}, ApproxCase{5, 0.5}, ApproxCase{6, 0.5},
+                      ApproxCase{7, 1.0}, ApproxCase{8, 1.0}, ApproxCase{9, 0.25},
+                      ApproxCase{10, 0.25}, ApproxCase{11, 0.05}, ApproxCase{12, 0.05},
+                      ApproxCase{13, 2.0}, ApproxCase{14, 0.75}, ApproxCase{15, 0.33}));
+
+class FptasMonotonicity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FptasMonotonicity, RaisingAWinnersPosKeepsHerWinning) {
+  // Lemma 1: the winner determination is monotone in the declared PoS.
+  const auto instance = test::random_single_task(12, 0.7, GetParam());
+  const auto allocation = solve_fptas(instance, 0.4);
+  if (!allocation.feasible) {
+    return;
+  }
+  for (UserId winner : allocation.winners) {
+    const double p = instance.bids[static_cast<std::size_t>(winner)].pos;
+    for (double bump : {0.05, 0.15, 0.3}) {
+      const double declared = std::min(0.99, p + bump);
+      const auto raised = solve_fptas(instance.with_declared_pos(winner, declared), 0.4);
+      ASSERT_TRUE(raised.feasible);
+      EXPECT_TRUE(raised.contains(winner))
+          << "winner " << winner << " lost after raising PoS to " << declared;
+    }
+  }
+}
+
+TEST_P(FptasMonotonicity, LoweringALosersPosKeepsHerLosing) {
+  const auto instance = test::random_single_task(12, 0.7, GetParam() ^ 0x9999);
+  const auto allocation = solve_fptas(instance, 0.4);
+  if (!allocation.feasible) {
+    return;
+  }
+  for (UserId user = 0; user < static_cast<UserId>(instance.num_users()); ++user) {
+    if (allocation.contains(user)) {
+      continue;
+    }
+    const double p = instance.bids[static_cast<std::size_t>(user)].pos;
+    const auto lowered = solve_fptas(instance.with_declared_pos(user, p * 0.5), 0.4);
+    if (lowered.feasible) {
+      EXPECT_FALSE(lowered.contains(user))
+          << "loser " << user << " won after lowering her PoS";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FptasMonotonicity, ::testing::Range<std::uint64_t>(20, 35));
+
+}  // namespace
+}  // namespace mcs::auction::single_task

@@ -1,0 +1,83 @@
+// Integration tests for the complete single-task mechanism: allocation plus
+// rewards, individual rationality, and configuration validation.
+#include "auction/single_task/mechanism.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+#include "test_util.hpp"
+
+namespace mcs::auction::single_task {
+namespace {
+
+TEST(SingleTaskMechanism, PaperExampleEndToEnd) {
+  SingleTaskInstance instance;
+  instance.requirement_pos = 0.9;
+  instance.bids = {{3.0, 0.7}, {2.0, 0.7}, {1.0, 0.5}, {4.0, 0.8}};
+  const auto outcome = run_mechanism(instance, {.epsilon = 0.1, .alpha = 10.0});
+  ASSERT_TRUE(outcome.allocation.feasible);
+  EXPECT_EQ(outcome.allocation.winners, (std::vector<UserId>{0, 1}));
+  ASSERT_EQ(outcome.rewards.size(), 2u);
+  for (std::size_t k = 0; k < outcome.rewards.size(); ++k) {
+    EXPECT_EQ(outcome.rewards[k].user, outcome.allocation.winners[k]);
+    EXPECT_NEAR(outcome.rewards[k].reward.critical_pos, 2.0 / 3.0, 1e-5);
+  }
+}
+
+TEST(SingleTaskMechanism, InfeasibleYieldsNoRewards) {
+  SingleTaskInstance instance;
+  instance.requirement_pos = 0.99;
+  instance.bids = {{1.0, 0.05}};
+  const auto outcome = run_mechanism(instance);
+  EXPECT_FALSE(outcome.allocation.feasible);
+  EXPECT_TRUE(outcome.rewards.empty());
+}
+
+TEST(SingleTaskMechanism, RewardsAlignWithWinners) {
+  const auto instance = test::random_single_task(20, 0.8, 17);
+  const auto outcome = run_mechanism(instance, {.epsilon = 0.5, .alpha = 10.0});
+  ASSERT_TRUE(outcome.allocation.feasible);
+  ASSERT_EQ(outcome.rewards.size(), outcome.allocation.winners.size());
+  for (std::size_t k = 0; k < outcome.rewards.size(); ++k) {
+    EXPECT_EQ(outcome.rewards[k].user, outcome.allocation.winners[k]);
+  }
+}
+
+TEST(SingleTaskMechanism, WinnersAreIndividuallyRational) {
+  for (std::uint64_t seed : {21ULL, 22ULL, 23ULL}) {
+    const auto instance = test::random_single_task(15, 0.75, seed);
+    const auto outcome = run_mechanism(instance, {.epsilon = 0.5, .alpha = 10.0});
+    if (!outcome.allocation.feasible) {
+      continue;
+    }
+    for (const auto& winner : outcome.rewards) {
+      const double true_pos = instance.bids[static_cast<std::size_t>(winner.user)].pos;
+      EXPECT_GE(winner.reward.expected_utility(true_pos), -1e-6);
+    }
+  }
+}
+
+TEST(SingleTaskMechanism, AlphaScalesUtilitiesLinearly) {
+  const auto instance = test::random_single_task(12, 0.7, 31);
+  const auto small = run_mechanism(instance, {.epsilon = 0.5, .alpha = 5.0});
+  const auto large = run_mechanism(instance, {.epsilon = 0.5, .alpha = 20.0});
+  ASSERT_TRUE(small.allocation.feasible);
+  ASSERT_EQ(small.allocation.winners, large.allocation.winners);
+  for (std::size_t k = 0; k < small.rewards.size(); ++k) {
+    const double p = instance.bids[static_cast<std::size_t>(small.rewards[k].user)].pos;
+    EXPECT_NEAR(large.rewards[k].reward.expected_utility(p),
+                4.0 * small.rewards[k].reward.expected_utility(p), 1e-6);
+  }
+}
+
+TEST(SingleTaskMechanism, RejectsBadConfig) {
+  const auto instance = test::random_single_task(5, 0.5, 1);
+  EXPECT_THROW(run_mechanism(instance, MechanismConfig{.epsilon = 0.0, .alpha = 10.0}),
+               common::PreconditionError);
+  EXPECT_THROW(run_mechanism(instance, MechanismConfig{.epsilon = 0.5, .alpha = -1.0}),
+               common::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mcs::auction::single_task

@@ -1,0 +1,73 @@
+// Tests for the naive single-task baselines and their ordering relative to
+// the density-aware algorithms.
+#include "auction/single_task/naive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "auction/single_task/exact.hpp"
+#include "auction/single_task/min_greedy.hpp"
+#include "test_util.hpp"
+
+namespace mcs::auction::single_task {
+namespace {
+
+TEST(CheapestFirst, AddsByCostUntilCovered) {
+  SingleTaskInstance instance;
+  instance.requirement_pos = 0.7;
+  instance.bids = {{5.0, 0.6}, {1.0, 0.3}, {2.0, 0.3}, {3.0, 0.4}};
+  const auto allocation = solve_cheapest_first(instance);
+  ASSERT_TRUE(allocation.feasible);
+  // Cost order 1, 2, 3: q(0.3)+q(0.3)+q(0.4) covers q(0.7)? 0.357+0.357+0.51
+  // = 1.22 >= 1.20 — users {1, 2, 3}.
+  EXPECT_EQ(allocation.winners, (std::vector<UserId>{1, 2, 3}));
+  EXPECT_TRUE(instance.covers(allocation.winners));
+}
+
+TEST(CheapestFirst, InfeasibleReported) {
+  SingleTaskInstance instance;
+  instance.requirement_pos = 0.9;
+  instance.bids = {{1.0, 0.2}};
+  EXPECT_FALSE(solve_cheapest_first(instance).feasible);
+}
+
+TEST(CheapestFirst, SkipsZeroPosUsers) {
+  SingleTaskInstance instance;
+  instance.requirement_pos = 0.3;
+  instance.bids = {{0.5, 0.0}, {2.0, 0.5}};
+  const auto allocation = solve_cheapest_first(instance);
+  ASSERT_TRUE(allocation.feasible);
+  EXPECT_EQ(allocation.winners, (std::vector<UserId>{1}));
+}
+
+TEST(RandomOrder, CoversAndIsSeedDeterministic) {
+  const auto instance = test::random_single_task(15, 0.8, 5);
+  common::Rng rng_a(9);
+  common::Rng rng_b(9);
+  const auto a = solve_random_order(instance, rng_a);
+  const auto b = solve_random_order(instance, rng_b);
+  ASSERT_TRUE(a.feasible);
+  EXPECT_EQ(a.winners, b.winners);
+  EXPECT_TRUE(instance.covers(a.winners));
+}
+
+class NaiveOrdering : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NaiveOrdering, NaiveBaselinesNeverBeatTheOptimum) {
+  const auto instance = test::random_single_task(14, 0.75, GetParam());
+  const auto optimum = solve_exact(instance);
+  if (!optimum.allocation.feasible) {
+    EXPECT_FALSE(solve_cheapest_first(instance).feasible);
+    return;
+  }
+  EXPECT_GE(solve_cheapest_first(instance).total_cost,
+            optimum.allocation.total_cost - 1e-9);
+  common::Rng rng(GetParam());
+  EXPECT_GE(solve_random_order(instance, rng).total_cost,
+            optimum.allocation.total_cost - 1e-9);
+  EXPECT_GE(solve_min_greedy(instance).total_cost, optimum.allocation.total_cost - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NaiveOrdering, ::testing::Range<std::uint64_t>(1200, 1215));
+
+}  // namespace
+}  // namespace mcs::auction::single_task

@@ -1,0 +1,79 @@
+// Unit tests for the ST-VCG baseline and a concrete reconstruction of the
+// paper's Section III-A argument that VCG fails in the PoS dimension.
+#include "auction/single_task/vcg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "auction/single_task/exact.hpp"
+#include "common/check.hpp"
+#include "common/math.hpp"
+
+namespace mcs::auction::single_task {
+namespace {
+
+SingleTaskInstance paper_example() {
+  SingleTaskInstance instance;
+  instance.requirement_pos = 0.9;
+  instance.bids = {{3.0, 0.7}, {2.0, 0.7}, {1.0, 0.5}, {4.0, 0.8}};
+  return instance;
+}
+
+TEST(StVcg, SelectsTheSingleCheapestUser) {
+  const auto allocation = solve_st_vcg(paper_example());
+  ASSERT_TRUE(allocation.feasible);
+  EXPECT_EQ(allocation.winners, (std::vector<UserId>{2}));
+  EXPECT_DOUBLE_EQ(allocation.total_cost, 1.0);
+}
+
+TEST(StVcg, EmptyInstanceIsInfeasible) {
+  SingleTaskInstance instance;
+  instance.requirement_pos = 0.5;
+  EXPECT_FALSE(solve_st_vcg(instance).feasible);
+}
+
+TEST(StVcg, TieBreaksTowardLowerId) {
+  SingleTaskInstance instance;
+  instance.requirement_pos = 0.5;
+  instance.bids = {{2.0, 0.3}, {2.0, 0.9}};
+  EXPECT_EQ(solve_st_vcg(instance).winners, (std::vector<UserId>{0}));
+}
+
+TEST(StVcg, AchievedPosFallsShortOfRequirement) {
+  // Fig 7's point: the single recruited user's true PoS (0.5 here) is far
+  // below the 0.9 requirement.
+  const auto instance = paper_example();
+  const auto allocation = solve_st_vcg(instance);
+  double achieved = instance.bids[static_cast<std::size_t>(allocation.winners[0])].pos;
+  EXPECT_LT(achieved, instance.requirement_pos);
+}
+
+TEST(VcgCounterExample, InflatingPosIsProfitableUnderVcg) {
+  // Section III-A: if user 2 (cost 1, true PoS 0.5) declares PoS 0.9, the
+  // cost-minimizing allocation under declared types selects {1, 2}; her VCG
+  // payment (externality) exceeds her cost, so she profits — even though her
+  // true PoS leaves the task under-covered.
+  const auto truth = paper_example();
+  const auto lied = truth.with_declared_pos(2, 0.9);
+
+  const auto with = solve_exact(lied).allocation;
+  ASSERT_TRUE(with.feasible);
+  EXPECT_TRUE(with.contains(2));
+
+  const auto without = solve_exact(lied.without_user(2)).allocation;
+  ASSERT_TRUE(without.feasible);
+
+  const double others_cost = with.total_cost - truth.bids[2].cost;
+  const double vcg_payment = without.total_cost - others_cost;
+  const double vcg_utility = vcg_payment - truth.bids[2].cost;
+  EXPECT_GT(vcg_utility, 0.0) << "the manipulation must be profitable under VCG";
+
+  // And the resulting coverage is short of the requirement with true types:
+  double q = 0.0;
+  for (UserId winner : with.winners) {
+    q += truth.contribution(winner);
+  }
+  EXPECT_LT(common::pos_from_contribution(q), truth.requirement_pos);
+}
+
+}  // namespace
+}  // namespace mcs::auction::single_task

@@ -1,0 +1,120 @@
+// Shared helpers for the test suites: deterministic random auction instances
+// and tiny brute-force reference solvers used to validate the optimized
+// algorithms on every instance small enough to enumerate.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "auction/instance.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+
+namespace mcs::test {
+
+/// Random single-task instance: n users, costs in [1, 10], PoS in [0.05,
+/// pos_hi], requirement `t`.
+inline auction::SingleTaskInstance random_single_task(std::size_t n, double t,
+                                                      std::uint64_t seed,
+                                                      double pos_hi = 0.5) {
+  common::Rng rng(seed);
+  auction::SingleTaskInstance instance;
+  instance.requirement_pos = t;
+  instance.bids.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    instance.bids.push_back({rng.uniform(1.0, 10.0), rng.uniform(0.05, pos_hi)});
+  }
+  return instance;
+}
+
+/// Random multi-task single-minded instance: n users over t tasks, each user
+/// demanding 1..max_set tasks with PoS in [0.05, pos_hi].
+inline auction::MultiTaskInstance random_multi_task(std::size_t n, std::size_t t,
+                                                    double requirement, std::uint64_t seed,
+                                                    std::size_t max_set = 5,
+                                                    double pos_hi = 0.5) {
+  common::Rng rng(seed);
+  auction::MultiTaskInstance instance;
+  instance.requirement_pos.assign(t, requirement);
+  instance.users.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auction::MultiTaskUserBid bid;
+    bid.cost = rng.uniform(1.0, 10.0);
+    const auto size = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(std::min(max_set, t))));
+    std::vector<bool> chosen(t, false);
+    for (std::size_t k = 0; k < size; ++k) {
+      chosen[static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(t) - 1))] =
+          true;
+    }
+    for (std::size_t j = 0; j < t; ++j) {
+      if (chosen[j]) {
+        bid.tasks.push_back(static_cast<auction::TaskIndex>(j));
+        bid.pos.push_back(rng.uniform(0.05, pos_hi));
+      }
+    }
+    instance.users.push_back(std::move(bid));
+  }
+  return instance;
+}
+
+/// Exhaustive minimum-cost covering subset of a single-task instance, or
+/// nullopt when infeasible. O(2^n); keep n <= ~16.
+inline std::optional<std::vector<auction::UserId>> brute_force(
+    const auction::SingleTaskInstance& instance) {
+  const auto n = instance.num_users();
+  const double requirement = instance.requirement_contribution();
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::optional<std::vector<auction::UserId>> best;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    double cost = 0.0;
+    double contribution = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (mask & (1u << k)) {
+        cost += instance.bids[k].cost;
+        contribution += instance.contribution(static_cast<auction::UserId>(k));
+      }
+    }
+    if (common::approx_ge(contribution, requirement) && cost < best_cost) {
+      best_cost = cost;
+      std::vector<auction::UserId> set;
+      for (std::size_t k = 0; k < n; ++k) {
+        if (mask & (1u << k)) {
+          set.push_back(static_cast<auction::UserId>(k));
+        }
+      }
+      best = std::move(set);
+    }
+  }
+  return best;
+}
+
+/// Exhaustive minimum-cost covering subset of a multi-task instance, or
+/// nullopt when infeasible. O(2^n · t); keep n <= ~16.
+inline std::optional<std::vector<auction::UserId>> brute_force(
+    const auction::MultiTaskInstance& instance) {
+  const auto n = instance.num_users();
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::optional<std::vector<auction::UserId>> best;
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::vector<auction::UserId> set;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (mask & (1u << k)) {
+        set.push_back(static_cast<auction::UserId>(k));
+      }
+    }
+    if (!instance.covers(set)) {
+      continue;
+    }
+    const double cost = instance.cost_of(set);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = std::move(set);
+    }
+  }
+  return best;
+}
+
+}  // namespace mcs::test

@@ -1,0 +1,97 @@
+// Unit tests for the trace dataset container: per-taxi grouping, time
+// ordering, and cell-sequence extraction.
+#include "trace/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcs::trace {
+namespace {
+
+TraceEvent make_event(TaxiId taxi, Timestamp time, double lat, double lon,
+                      EventKind kind = EventKind::kPickup) {
+  return TraceEvent{taxi, time, {lat, lon}, kind};
+}
+
+TEST(TraceDataset, EmptyByDefault) {
+  const TraceDataset dataset;
+  EXPECT_TRUE(dataset.empty());
+  EXPECT_EQ(dataset.size(), 0u);
+  EXPECT_TRUE(dataset.taxi_ids().empty());
+  EXPECT_TRUE(dataset.events_of(1).empty());
+}
+
+TEST(TraceDataset, GroupsByTaxiSortedById) {
+  TraceDataset dataset;
+  dataset.add(make_event(5, 100, 31.2, 121.5));
+  dataset.add(make_event(1, 50, 31.2, 121.5));
+  dataset.add(make_event(5, 90, 31.3, 121.6));
+  const auto ids = dataset.taxi_ids();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], 1);
+  EXPECT_EQ(ids[1], 5);
+  EXPECT_EQ(dataset.events_of(5).size(), 2u);
+  EXPECT_EQ(dataset.events_of(1).size(), 1u);
+  EXPECT_TRUE(dataset.events_of(99).empty());
+}
+
+TEST(TraceDataset, EventsOfAreTimeOrdered) {
+  TraceDataset dataset;
+  dataset.add(make_event(1, 300, 31.0, 121.2));
+  dataset.add(make_event(1, 100, 31.1, 121.3));
+  dataset.add(make_event(1, 200, 31.2, 121.4));
+  const auto events = dataset.events_of(1);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].timestamp, 100);
+  EXPECT_EQ(events[1].timestamp, 200);
+  EXPECT_EQ(events[2].timestamp, 300);
+}
+
+TEST(TraceDataset, PickupSortsBeforeDropoffAtSameInstant) {
+  TraceDataset dataset;
+  dataset.add(make_event(1, 100, 31.0, 121.2, EventKind::kDropoff));
+  dataset.add(make_event(1, 100, 31.1, 121.3, EventKind::kPickup));
+  const auto events = dataset.events_of(1);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, EventKind::kPickup);
+  EXPECT_EQ(events[1].kind, EventKind::kDropoff);
+}
+
+TEST(TraceDataset, AddAfterQueryReindexes) {
+  TraceDataset dataset;
+  dataset.add(make_event(1, 100, 31.0, 121.2));
+  EXPECT_EQ(dataset.events_of(1).size(), 1u);
+  dataset.add(make_event(1, 200, 31.1, 121.3));
+  EXPECT_EQ(dataset.events_of(1).size(), 2u);
+  EXPECT_EQ(dataset.size(), 2u);
+}
+
+TEST(TraceDataset, CellSequenceFollowsEvents) {
+  const geo::GridMap grid(geo::shanghai_bounding_box(), 2000.0);
+  const auto a = grid.center_of(grid.cell_at(2, 3));
+  const auto b = grid.center_of(grid.cell_at(4, 7));
+  TraceDataset dataset;
+  dataset.add({1, 100, a, EventKind::kPickup});
+  dataset.add({1, 200, b, EventKind::kDropoff});
+  dataset.add({1, 300, a, EventKind::kPickup});
+  const auto cells = dataset.cell_sequence(1, grid);
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0], grid.cell_at(2, 3));
+  EXPECT_EQ(cells[1], grid.cell_at(4, 7));
+  EXPECT_EQ(cells[2], grid.cell_at(2, 3));
+}
+
+TEST(TraceDataset, AllEventsGroupedByTaxiThenTime) {
+  TraceDataset dataset;
+  dataset.add(make_event(2, 100, 31.0, 121.2));
+  dataset.add(make_event(1, 200, 31.1, 121.3));
+  dataset.add(make_event(1, 100, 31.2, 121.4));
+  const auto all = dataset.all_events();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].taxi_id, 1);
+  EXPECT_EQ(all[0].timestamp, 100);
+  EXPECT_EQ(all[1].taxi_id, 1);
+  EXPECT_EQ(all[2].taxi_id, 2);
+}
+
+}  // namespace
+}  // namespace mcs::trace

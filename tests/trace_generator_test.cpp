@@ -1,0 +1,212 @@
+// Unit and property tests for the synthetic city model and trace generator:
+// determinism, territory containment, kernel normalization, and agreement
+// between sampled frequencies and the ground-truth distribution.
+#include "trace/generator.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace mcs::trace {
+namespace {
+
+CityConfig small_city() {
+  CityConfig config;
+  config.num_taxis = 10;
+  config.num_days = 3;
+  config.trips_per_day = 10;
+  return config;
+}
+
+TEST(CityModel, DeterministicGivenConfig) {
+  const CityModel a(small_city());
+  const CityModel b(small_city());
+  EXPECT_EQ(a.hotspots(), b.hotspots());
+  for (TaxiId taxi = 0; taxi < 5; ++taxi) {
+    EXPECT_EQ(a.home_cell(taxi), b.home_cell(taxi));
+    EXPECT_EQ(a.territory(taxi), b.territory(taxi));
+  }
+}
+
+TEST(CityModel, HotspotsAreDistinctValidCells) {
+  const CityModel city(small_city());
+  auto hotspots = city.hotspots();
+  EXPECT_EQ(hotspots.size(), static_cast<std::size_t>(small_city().num_hotspots));
+  std::sort(hotspots.begin(), hotspots.end());
+  EXPECT_EQ(std::adjacent_find(hotspots.begin(), hotspots.end()), hotspots.end());
+  for (geo::CellId cell : hotspots) {
+    EXPECT_TRUE(city.grid().valid(cell));
+  }
+}
+
+TEST(CityModel, HomeCellIsAHotspot) {
+  const CityModel city(small_city());
+  for (TaxiId taxi = 0; taxi < small_city().num_taxis; ++taxi) {
+    const auto& hotspots = city.hotspots();
+    EXPECT_NE(std::find(hotspots.begin(), hotspots.end(), city.home_cell(taxi)),
+              hotspots.end());
+  }
+}
+
+TEST(CityModel, PersonalHotspotsAreNormalizedSubset) {
+  const CityModel city(small_city());
+  for (TaxiId taxi = 0; taxi < 5; ++taxi) {
+    const auto personal = city.personal_hotspots(taxi);
+    EXPECT_EQ(personal.size(), static_cast<std::size_t>(small_city().personal_hotspots));
+    double total = 0.0;
+    for (const auto& [cell, weight] : personal) {
+      total += weight;
+      const auto& pool = city.hotspots();
+      EXPECT_NE(std::find(pool.begin(), pool.end(), cell), pool.end());
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(CityModel, TerritoryContainsHomeDistrictAndPersonalHotspots) {
+  const CityModel city(small_city());
+  for (TaxiId taxi = 0; taxi < 5; ++taxi) {
+    const auto territory = city.territory(taxi);
+    EXPECT_TRUE(std::is_sorted(territory.begin(), territory.end()));
+    EXPECT_TRUE(std::binary_search(territory.begin(), territory.end(), city.home_cell(taxi)));
+    for (const auto& [cell, _] : city.personal_hotspots(taxi)) {
+      EXPECT_TRUE(std::binary_search(territory.begin(), territory.end(), cell));
+    }
+  }
+}
+
+TEST(CityModel, GroundTruthIsANormalizedSortedDistribution) {
+  const CityModel city(small_city());
+  const auto dist = city.ground_truth_distribution(0, city.home_cell(0));
+  ASSERT_FALSE(dist.empty());
+  double total = 0.0;
+  for (std::size_t k = 0; k < dist.size(); ++k) {
+    total += dist[k].probability;
+    EXPECT_GT(dist[k].probability, 0.0);
+    if (k > 0) {
+      EXPECT_LE(dist[k].probability, dist[k - 1].probability);
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(CityModel, GroundTruthSupportIsTheTerritory) {
+  const CityModel city(small_city());
+  const auto territory = city.territory(3);
+  const auto dist = city.ground_truth_distribution(3, city.home_cell(3));
+  EXPECT_EQ(dist.size(), territory.size());
+  for (const auto& entry : dist) {
+    EXPECT_TRUE(std::binary_search(territory.begin(), territory.end(), entry.cell));
+  }
+}
+
+TEST(CityModel, SelfTransitionDominatesFromHome) {
+  // The kernel's locality term peaks at distance zero, so staying put should
+  // be the single most likely move from home for most taxis.
+  const CityModel city(small_city());
+  int self_top = 0;
+  for (TaxiId taxi = 0; taxi < small_city().num_taxis; ++taxi) {
+    const auto dist = city.ground_truth_distribution(taxi, city.home_cell(taxi));
+    if (dist.front().cell == city.home_cell(taxi)) {
+      ++self_top;
+    }
+  }
+  EXPECT_GE(self_top, small_city().num_taxis / 2);
+}
+
+TEST(CityModel, SampledFrequenciesMatchGroundTruth) {
+  const CityModel city(small_city());
+  const geo::CellId home = city.home_cell(1);
+  const auto dist = city.ground_truth_distribution(1, home);
+  std::map<geo::CellId, int> counts;
+  common::Rng rng(123);
+  constexpr int kDraws = 200000;
+  for (int k = 0; k < kDraws; ++k) {
+    ++counts[city.sample_next_cell(1, home, rng)];
+  }
+  for (const auto& entry : dist) {
+    if (entry.probability < 0.02) {
+      continue;  // skip low-mass cells where relative error is noisy
+    }
+    EXPECT_NEAR(counts[entry.cell] / static_cast<double>(kDraws), entry.probability, 0.01)
+        << "cell " << entry.cell;
+  }
+}
+
+TEST(CityModel, RejectsInvalidConfig) {
+  auto bad = small_city();
+  bad.num_taxis = 0;
+  EXPECT_THROW((void)CityModel(bad), common::PreconditionError);
+  bad = small_city();
+  bad.personal_hotspots = bad.num_hotspots + 1;
+  EXPECT_THROW((void)CityModel(bad), common::PreconditionError);
+  bad = small_city();
+  bad.locality_decay = 0.0;
+  EXPECT_THROW((void)CityModel(bad), common::PreconditionError);
+  bad = small_city();
+  bad.min_trip_gap_s = 100;
+  bad.max_trip_gap_s = 50;
+  EXPECT_THROW((void)CityModel(bad), common::PreconditionError);
+}
+
+TEST(GenerateTrace, ProducesExpectedEventCount) {
+  const auto config = small_city();
+  const CityModel city(config);
+  const auto dataset = generate_trace(city);
+  const auto expected = static_cast<std::size_t>(config.num_taxis) *
+                        static_cast<std::size_t>(config.num_days) *
+                        static_cast<std::size_t>(config.trips_per_day) * 2;
+  EXPECT_EQ(dataset.size(), expected);
+  EXPECT_EQ(dataset.taxi_ids().size(), static_cast<std::size_t>(config.num_taxis));
+}
+
+TEST(GenerateTrace, IsDeterministic) {
+  const CityModel city(small_city());
+  const auto a = generate_trace(city);
+  const auto b = generate_trace(city);
+  ASSERT_EQ(a.size(), b.size());
+  const auto ea = a.all_events();
+  const auto eb = b.all_events();
+  for (std::size_t k = 0; k < ea.size(); ++k) {
+    EXPECT_EQ(ea[k], eb[k]);
+  }
+}
+
+TEST(GenerateTrace, EventsStayInTerritory) {
+  const CityModel city(small_city());
+  const auto dataset = generate_trace(city);
+  for (TaxiId taxi : dataset.taxi_ids()) {
+    const auto territory = city.territory(taxi);
+    for (geo::CellId cell : dataset.cell_sequence(taxi, city.grid())) {
+      EXPECT_TRUE(std::binary_search(territory.begin(), territory.end(), cell))
+          << "taxi " << taxi << " left its territory";
+    }
+  }
+}
+
+TEST(GenerateTrace, TimestampsAdvancePerTaxi) {
+  const CityModel city(small_city());
+  const auto dataset = generate_trace(city);
+  for (TaxiId taxi : dataset.taxi_ids()) {
+    const auto events = dataset.events_of(taxi);
+    for (std::size_t k = 1; k < events.size(); ++k) {
+      EXPECT_GT(events[k].timestamp, events[k - 1].timestamp);
+    }
+    EXPECT_GE(events.front().timestamp, small_city().start_time);
+  }
+}
+
+TEST(GenerateTrace, AlternatesPickupAndDropoff) {
+  const CityModel city(small_city());
+  const auto dataset = generate_trace(city);
+  const auto events = dataset.events_of(0);
+  for (std::size_t k = 0; k < events.size(); ++k) {
+    EXPECT_EQ(events[k].kind, k % 2 == 0 ? EventKind::kPickup : EventKind::kDropoff);
+  }
+}
+
+}  // namespace
+}  // namespace mcs::trace

@@ -1,0 +1,85 @@
+// Unit tests for trace CSV persistence: round trips and malformed inputs.
+#include "trace/io.hpp"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "trace/generator.hpp"
+
+namespace mcs::trace {
+namespace {
+
+TraceDataset sample_dataset() {
+  TraceDataset dataset;
+  dataset.add({1, 100, {31.234567, 121.543210}, EventKind::kPickup});
+  dataset.add({1, 200, {31.3, 121.6}, EventKind::kDropoff});
+  dataset.add({2, 150, {31.1, 121.4}, EventKind::kPickup});
+  return dataset;
+}
+
+TEST(TraceIo, RoundTripPreservesEvents) {
+  const auto original = sample_dataset();
+  const auto restored = from_csv(to_csv(original));
+  ASSERT_EQ(restored.size(), original.size());
+  const auto a = original.all_events();
+  const auto b = restored.all_events();
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a[k].taxi_id, b[k].taxi_id);
+    EXPECT_EQ(a[k].timestamp, b[k].timestamp);
+    EXPECT_EQ(a[k].kind, b[k].kind);
+    EXPECT_NEAR(a[k].location.lat, b[k].location.lat, 1e-6);
+    EXPECT_NEAR(a[k].location.lon, b[k].location.lon, 1e-6);
+  }
+}
+
+TEST(TraceIo, EmptyDatasetRoundTrips) {
+  const auto restored = from_csv(to_csv(TraceDataset{}));
+  EXPECT_TRUE(restored.empty());
+  EXPECT_TRUE(from_csv("").empty());
+}
+
+TEST(TraceIo, GeneratedTraceRoundTrips) {
+  CityConfig config;
+  config.num_taxis = 3;
+  config.num_days = 1;
+  config.trips_per_day = 5;
+  const CityModel city(config);
+  const auto original = generate_trace(city);
+  const auto restored = from_csv(to_csv(original));
+  EXPECT_EQ(restored.size(), original.size());
+  EXPECT_EQ(restored.taxi_ids(), original.taxi_ids());
+}
+
+TEST(TraceIo, RejectsUnknownKind) {
+  EXPECT_THROW(from_csv("taxi_id,timestamp,lat,lon,kind\n1,100,31.2,121.5,teleport\n"),
+               common::PreconditionError);
+}
+
+TEST(TraceIo, RejectsMalformedNumbers) {
+  EXPECT_THROW(from_csv("taxi_id,timestamp,lat,lon,kind\nabc,100,31.2,121.5,pickup\n"),
+               common::PreconditionError);
+  EXPECT_THROW(from_csv("taxi_id,timestamp,lat,lon,kind\n1,100,not-a-lat,121.5,pickup\n"),
+               common::PreconditionError);
+}
+
+TEST(TraceIo, RejectsMissingColumns) {
+  EXPECT_THROW(from_csv("taxi_id,timestamp\n1,100\n"), common::PreconditionError);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "mcs_trace_io_test.csv";
+  const auto original = sample_dataset();
+  save_csv(path, original);
+  const auto restored = load_csv(path);
+  EXPECT_EQ(restored.size(), original.size());
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(load_csv("/nonexistent/missing_trace.csv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mcs::trace
