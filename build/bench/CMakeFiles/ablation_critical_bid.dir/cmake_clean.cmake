@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_critical_bid.dir/ablation_critical_bid.cpp.o"
+  "CMakeFiles/ablation_critical_bid.dir/ablation_critical_bid.cpp.o.d"
+  "ablation_critical_bid"
+  "ablation_critical_bid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_critical_bid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_failure_injection.dir/ablation_failure_injection.cpp.o"
+  "CMakeFiles/ablation_failure_injection.dir/ablation_failure_injection.cpp.o.d"
+  "ablation_failure_injection"
+  "ablation_failure_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_failure_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_markov_order.dir/ablation_markov_order.cpp.o"
+  "CMakeFiles/ablation_markov_order.dir/ablation_markov_order.cpp.o.d"
+  "ablation_markov_order"
+  "ablation_markov_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_markov_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_task_set_size.dir/ablation_task_set_size.cpp.o"
+  "CMakeFiles/ablation_task_set_size.dir/ablation_task_set_size.cpp.o.d"
+  "ablation_task_set_size"
+  "ablation_task_set_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_task_set_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounds_check.dir/bounds_check.cpp.o"
+  "CMakeFiles/bounds_check.dir/bounds_check.cpp.o.d"
+  "bounds_check"
+  "bounds_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounds_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_selection_boundary.dir/fig2_selection_boundary.cpp.o"
+  "CMakeFiles/fig2_selection_boundary.dir/fig2_selection_boundary.cpp.o.d"
+  "fig2_selection_boundary"
+  "fig2_selection_boundary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_selection_boundary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

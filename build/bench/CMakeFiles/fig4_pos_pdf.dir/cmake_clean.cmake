@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_pos_pdf.dir/fig4_pos_pdf.cpp.o"
+  "CMakeFiles/fig4_pos_pdf.dir/fig4_pos_pdf.cpp.o.d"
+  "fig4_pos_pdf"
+  "fig4_pos_pdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_pos_pdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

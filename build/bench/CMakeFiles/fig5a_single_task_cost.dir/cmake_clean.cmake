@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_single_task_cost.dir/fig5a_single_task_cost.cpp.o"
+  "CMakeFiles/fig5a_single_task_cost.dir/fig5a_single_task_cost.cpp.o.d"
+  "fig5a_single_task_cost"
+  "fig5a_single_task_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_single_task_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_multi_task_users.dir/fig5b_multi_task_users.cpp.o"
+  "CMakeFiles/fig5b_multi_task_users.dir/fig5b_multi_task_users.cpp.o.d"
+  "fig5b_multi_task_users"
+  "fig5b_multi_task_users.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_multi_task_users.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

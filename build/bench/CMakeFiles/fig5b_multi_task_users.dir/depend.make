@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5b_multi_task_users.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5c_multi_task_tasks.dir/fig5c_multi_task_tasks.cpp.o"
+  "CMakeFiles/fig5c_multi_task_tasks.dir/fig5c_multi_task_tasks.cpp.o.d"
+  "fig5c_multi_task_tasks"
+  "fig5c_multi_task_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_multi_task_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_task_pos.dir/fig7_task_pos.cpp.o"
+  "CMakeFiles/fig7_task_pos.dir/fig7_task_pos.cpp.o.d"
+  "fig7_task_pos"
+  "fig7_task_pos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_task_pos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_users_vs_requirement.dir/fig8_users_vs_requirement.cpp.o"
+  "CMakeFiles/fig8_users_vs_requirement.dir/fig8_users_vs_requirement.cpp.o.d"
+  "fig8_users_vs_requirement"
+  "fig8_users_vs_requirement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_users_vs_requirement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8_users_vs_requirement.
+# This may be replaced when dependencies are built.

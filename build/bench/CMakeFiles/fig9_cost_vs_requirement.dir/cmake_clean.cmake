@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_cost_vs_requirement.dir/fig9_cost_vs_requirement.cpp.o"
+  "CMakeFiles/fig9_cost_vs_requirement.dir/fig9_cost_vs_requirement.cpp.o.d"
+  "fig9_cost_vs_requirement"
+  "fig9_cost_vs_requirement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_cost_vs_requirement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_mechanisms.dir/perf_mechanisms.cpp.o"
+  "CMakeFiles/perf_mechanisms.dir/perf_mechanisms.cpp.o.d"
+  "perf_mechanisms"
+  "perf_mechanisms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

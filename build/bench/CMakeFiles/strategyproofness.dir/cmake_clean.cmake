@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategyproofness.dir/strategyproofness.cpp.o"
+  "CMakeFiles/strategyproofness.dir/strategyproofness.cpp.o.d"
+  "strategyproofness"
+  "strategyproofness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategyproofness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

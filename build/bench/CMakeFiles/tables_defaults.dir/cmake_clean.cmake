@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tables_defaults.dir/tables_defaults.cpp.o"
+  "CMakeFiles/tables_defaults.dir/tables_defaults.cpp.o.d"
+  "tables_defaults"
+  "tables_defaults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tables_defaults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

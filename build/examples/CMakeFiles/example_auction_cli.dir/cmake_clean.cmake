@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_auction_cli.dir/auction_cli.cpp.o"
+  "CMakeFiles/example_auction_cli.dir/auction_cli.cpp.o.d"
+  "example_auction_cli"
+  "example_auction_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_auction_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_budget_aware_alpha.dir/budget_aware_alpha.cpp.o"
+  "CMakeFiles/example_budget_aware_alpha.dir/budget_aware_alpha.cpp.o.d"
+  "example_budget_aware_alpha"
+  "example_budget_aware_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_budget_aware_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_budget_aware_alpha.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_campaign.dir/campaign.cpp.o"
+  "CMakeFiles/example_campaign.dir/campaign.cpp.o.d"
+  "example_campaign"
+  "example_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

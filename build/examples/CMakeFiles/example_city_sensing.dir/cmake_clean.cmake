@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_city_sensing.dir/city_sensing.cpp.o"
+  "CMakeFiles/example_city_sensing.dir/city_sensing.cpp.o.d"
+  "example_city_sensing"
+  "example_city_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_city_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_strategic_user.dir/strategic_user.cpp.o"
+  "CMakeFiles/example_strategic_user.dir/strategic_user.cpp.o.d"
+  "example_strategic_user"
+  "example_strategic_user.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_strategic_user.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/auction/bounds.cpp" "src/CMakeFiles/mcs_auction.dir/auction/bounds.cpp.o" "gcc" "src/CMakeFiles/mcs_auction.dir/auction/bounds.cpp.o.d"
+  "/root/repo/src/auction/instance.cpp" "src/CMakeFiles/mcs_auction.dir/auction/instance.cpp.o" "gcc" "src/CMakeFiles/mcs_auction.dir/auction/instance.cpp.o.d"
+  "/root/repo/src/auction/io.cpp" "src/CMakeFiles/mcs_auction.dir/auction/io.cpp.o" "gcc" "src/CMakeFiles/mcs_auction.dir/auction/io.cpp.o.d"
+  "/root/repo/src/auction/multi_task/budgeted.cpp" "src/CMakeFiles/mcs_auction.dir/auction/multi_task/budgeted.cpp.o" "gcc" "src/CMakeFiles/mcs_auction.dir/auction/multi_task/budgeted.cpp.o.d"
+  "/root/repo/src/auction/multi_task/exact.cpp" "src/CMakeFiles/mcs_auction.dir/auction/multi_task/exact.cpp.o" "gcc" "src/CMakeFiles/mcs_auction.dir/auction/multi_task/exact.cpp.o.d"
+  "/root/repo/src/auction/multi_task/greedy.cpp" "src/CMakeFiles/mcs_auction.dir/auction/multi_task/greedy.cpp.o" "gcc" "src/CMakeFiles/mcs_auction.dir/auction/multi_task/greedy.cpp.o.d"
+  "/root/repo/src/auction/multi_task/mechanism.cpp" "src/CMakeFiles/mcs_auction.dir/auction/multi_task/mechanism.cpp.o" "gcc" "src/CMakeFiles/mcs_auction.dir/auction/multi_task/mechanism.cpp.o.d"
+  "/root/repo/src/auction/multi_task/reward.cpp" "src/CMakeFiles/mcs_auction.dir/auction/multi_task/reward.cpp.o" "gcc" "src/CMakeFiles/mcs_auction.dir/auction/multi_task/reward.cpp.o.d"
+  "/root/repo/src/auction/multi_task/vcg.cpp" "src/CMakeFiles/mcs_auction.dir/auction/multi_task/vcg.cpp.o" "gcc" "src/CMakeFiles/mcs_auction.dir/auction/multi_task/vcg.cpp.o.d"
+  "/root/repo/src/auction/single_task/budgeted.cpp" "src/CMakeFiles/mcs_auction.dir/auction/single_task/budgeted.cpp.o" "gcc" "src/CMakeFiles/mcs_auction.dir/auction/single_task/budgeted.cpp.o.d"
+  "/root/repo/src/auction/single_task/dp_knapsack.cpp" "src/CMakeFiles/mcs_auction.dir/auction/single_task/dp_knapsack.cpp.o" "gcc" "src/CMakeFiles/mcs_auction.dir/auction/single_task/dp_knapsack.cpp.o.d"
+  "/root/repo/src/auction/single_task/exact.cpp" "src/CMakeFiles/mcs_auction.dir/auction/single_task/exact.cpp.o" "gcc" "src/CMakeFiles/mcs_auction.dir/auction/single_task/exact.cpp.o.d"
+  "/root/repo/src/auction/single_task/fptas.cpp" "src/CMakeFiles/mcs_auction.dir/auction/single_task/fptas.cpp.o" "gcc" "src/CMakeFiles/mcs_auction.dir/auction/single_task/fptas.cpp.o.d"
+  "/root/repo/src/auction/single_task/mechanism.cpp" "src/CMakeFiles/mcs_auction.dir/auction/single_task/mechanism.cpp.o" "gcc" "src/CMakeFiles/mcs_auction.dir/auction/single_task/mechanism.cpp.o.d"
+  "/root/repo/src/auction/single_task/min_greedy.cpp" "src/CMakeFiles/mcs_auction.dir/auction/single_task/min_greedy.cpp.o" "gcc" "src/CMakeFiles/mcs_auction.dir/auction/single_task/min_greedy.cpp.o.d"
+  "/root/repo/src/auction/single_task/naive.cpp" "src/CMakeFiles/mcs_auction.dir/auction/single_task/naive.cpp.o" "gcc" "src/CMakeFiles/mcs_auction.dir/auction/single_task/naive.cpp.o.d"
+  "/root/repo/src/auction/single_task/reward.cpp" "src/CMakeFiles/mcs_auction.dir/auction/single_task/reward.cpp.o" "gcc" "src/CMakeFiles/mcs_auction.dir/auction/single_task/reward.cpp.o.d"
+  "/root/repo/src/auction/single_task/vcg.cpp" "src/CMakeFiles/mcs_auction.dir/auction/single_task/vcg.cpp.o" "gcc" "src/CMakeFiles/mcs_auction.dir/auction/single_task/vcg.cpp.o.d"
+  "/root/repo/src/auction/types.cpp" "src/CMakeFiles/mcs_auction.dir/auction/types.cpp.o" "gcc" "src/CMakeFiles/mcs_auction.dir/auction/types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_common.dir/common/check.cpp.o"
+  "CMakeFiles/mcs_common.dir/common/check.cpp.o.d"
+  "CMakeFiles/mcs_common.dir/common/csv.cpp.o"
+  "CMakeFiles/mcs_common.dir/common/csv.cpp.o.d"
+  "CMakeFiles/mcs_common.dir/common/distributions.cpp.o"
+  "CMakeFiles/mcs_common.dir/common/distributions.cpp.o.d"
+  "CMakeFiles/mcs_common.dir/common/math.cpp.o"
+  "CMakeFiles/mcs_common.dir/common/math.cpp.o.d"
+  "CMakeFiles/mcs_common.dir/common/parallel.cpp.o"
+  "CMakeFiles/mcs_common.dir/common/parallel.cpp.o.d"
+  "CMakeFiles/mcs_common.dir/common/rng.cpp.o"
+  "CMakeFiles/mcs_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/mcs_common.dir/common/stats.cpp.o"
+  "CMakeFiles/mcs_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/mcs_common.dir/common/table.cpp.o"
+  "CMakeFiles/mcs_common.dir/common/table.cpp.o.d"
+  "libmcs_common.a"
+  "libmcs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

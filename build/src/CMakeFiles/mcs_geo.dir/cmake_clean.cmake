@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_geo.dir/geo/grid.cpp.o"
+  "CMakeFiles/mcs_geo.dir/geo/grid.cpp.o.d"
+  "libmcs_geo.a"
+  "libmcs_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobility/learner.cpp" "src/CMakeFiles/mcs_mobility.dir/mobility/learner.cpp.o" "gcc" "src/CMakeFiles/mcs_mobility.dir/mobility/learner.cpp.o.d"
+  "/root/repo/src/mobility/multistep.cpp" "src/CMakeFiles/mcs_mobility.dir/mobility/multistep.cpp.o" "gcc" "src/CMakeFiles/mcs_mobility.dir/mobility/multistep.cpp.o.d"
+  "/root/repo/src/mobility/pos.cpp" "src/CMakeFiles/mcs_mobility.dir/mobility/pos.cpp.o" "gcc" "src/CMakeFiles/mcs_mobility.dir/mobility/pos.cpp.o.d"
+  "/root/repo/src/mobility/predictor.cpp" "src/CMakeFiles/mcs_mobility.dir/mobility/predictor.cpp.o" "gcc" "src/CMakeFiles/mcs_mobility.dir/mobility/predictor.cpp.o.d"
+  "/root/repo/src/mobility/second_order.cpp" "src/CMakeFiles/mcs_mobility.dir/mobility/second_order.cpp.o" "gcc" "src/CMakeFiles/mcs_mobility.dir/mobility/second_order.cpp.o.d"
+  "/root/repo/src/mobility/stationary.cpp" "src/CMakeFiles/mcs_mobility.dir/mobility/stationary.cpp.o" "gcc" "src/CMakeFiles/mcs_mobility.dir/mobility/stationary.cpp.o.d"
+  "/root/repo/src/mobility/transition.cpp" "src/CMakeFiles/mcs_mobility.dir/mobility/transition.cpp.o" "gcc" "src/CMakeFiles/mcs_mobility.dir/mobility/transition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

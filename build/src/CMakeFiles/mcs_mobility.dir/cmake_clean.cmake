@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_mobility.dir/mobility/learner.cpp.o"
+  "CMakeFiles/mcs_mobility.dir/mobility/learner.cpp.o.d"
+  "CMakeFiles/mcs_mobility.dir/mobility/multistep.cpp.o"
+  "CMakeFiles/mcs_mobility.dir/mobility/multistep.cpp.o.d"
+  "CMakeFiles/mcs_mobility.dir/mobility/pos.cpp.o"
+  "CMakeFiles/mcs_mobility.dir/mobility/pos.cpp.o.d"
+  "CMakeFiles/mcs_mobility.dir/mobility/predictor.cpp.o"
+  "CMakeFiles/mcs_mobility.dir/mobility/predictor.cpp.o.d"
+  "CMakeFiles/mcs_mobility.dir/mobility/second_order.cpp.o"
+  "CMakeFiles/mcs_mobility.dir/mobility/second_order.cpp.o.d"
+  "CMakeFiles/mcs_mobility.dir/mobility/stationary.cpp.o"
+  "CMakeFiles/mcs_mobility.dir/mobility/stationary.cpp.o.d"
+  "CMakeFiles/mcs_mobility.dir/mobility/transition.cpp.o"
+  "CMakeFiles/mcs_mobility.dir/mobility/transition.cpp.o.d"
+  "libmcs_mobility.a"
+  "libmcs_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_platform.dir/platform/platform.cpp.o"
+  "CMakeFiles/mcs_platform.dir/platform/platform.cpp.o.d"
+  "CMakeFiles/mcs_platform.dir/platform/reputation.cpp.o"
+  "CMakeFiles/mcs_platform.dir/platform/reputation.cpp.o.d"
+  "libmcs_platform.a"
+  "libmcs_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/budget.cpp" "src/CMakeFiles/mcs_sim.dir/sim/budget.cpp.o" "gcc" "src/CMakeFiles/mcs_sim.dir/sim/budget.cpp.o.d"
+  "/root/repo/src/sim/execution.cpp" "src/CMakeFiles/mcs_sim.dir/sim/execution.cpp.o" "gcc" "src/CMakeFiles/mcs_sim.dir/sim/execution.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/CMakeFiles/mcs_sim.dir/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/mcs_sim.dir/sim/experiment.cpp.o.d"
+  "/root/repo/src/sim/failures.cpp" "src/CMakeFiles/mcs_sim.dir/sim/failures.cpp.o" "gcc" "src/CMakeFiles/mcs_sim.dir/sim/failures.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/CMakeFiles/mcs_sim.dir/sim/metrics.cpp.o" "gcc" "src/CMakeFiles/mcs_sim.dir/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "src/CMakeFiles/mcs_sim.dir/sim/scenario.cpp.o" "gcc" "src/CMakeFiles/mcs_sim.dir/sim/scenario.cpp.o.d"
+  "/root/repo/src/sim/strategy.cpp" "src/CMakeFiles/mcs_sim.dir/sim/strategy.cpp.o" "gcc" "src/CMakeFiles/mcs_sim.dir/sim/strategy.cpp.o.d"
+  "/root/repo/src/sim/verification.cpp" "src/CMakeFiles/mcs_sim.dir/sim/verification.cpp.o" "gcc" "src/CMakeFiles/mcs_sim.dir/sim/verification.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcs_auction.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_sim.dir/sim/budget.cpp.o"
+  "CMakeFiles/mcs_sim.dir/sim/budget.cpp.o.d"
+  "CMakeFiles/mcs_sim.dir/sim/execution.cpp.o"
+  "CMakeFiles/mcs_sim.dir/sim/execution.cpp.o.d"
+  "CMakeFiles/mcs_sim.dir/sim/experiment.cpp.o"
+  "CMakeFiles/mcs_sim.dir/sim/experiment.cpp.o.d"
+  "CMakeFiles/mcs_sim.dir/sim/failures.cpp.o"
+  "CMakeFiles/mcs_sim.dir/sim/failures.cpp.o.d"
+  "CMakeFiles/mcs_sim.dir/sim/metrics.cpp.o"
+  "CMakeFiles/mcs_sim.dir/sim/metrics.cpp.o.d"
+  "CMakeFiles/mcs_sim.dir/sim/scenario.cpp.o"
+  "CMakeFiles/mcs_sim.dir/sim/scenario.cpp.o.d"
+  "CMakeFiles/mcs_sim.dir/sim/strategy.cpp.o"
+  "CMakeFiles/mcs_sim.dir/sim/strategy.cpp.o.d"
+  "CMakeFiles/mcs_sim.dir/sim/verification.cpp.o"
+  "CMakeFiles/mcs_sim.dir/sim/verification.cpp.o.d"
+  "libmcs_sim.a"
+  "libmcs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

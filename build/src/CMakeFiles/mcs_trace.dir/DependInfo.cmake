@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/dataset.cpp" "src/CMakeFiles/mcs_trace.dir/trace/dataset.cpp.o" "gcc" "src/CMakeFiles/mcs_trace.dir/trace/dataset.cpp.o.d"
+  "/root/repo/src/trace/generator.cpp" "src/CMakeFiles/mcs_trace.dir/trace/generator.cpp.o" "gcc" "src/CMakeFiles/mcs_trace.dir/trace/generator.cpp.o.d"
+  "/root/repo/src/trace/import.cpp" "src/CMakeFiles/mcs_trace.dir/trace/import.cpp.o" "gcc" "src/CMakeFiles/mcs_trace.dir/trace/import.cpp.o.d"
+  "/root/repo/src/trace/io.cpp" "src/CMakeFiles/mcs_trace.dir/trace/io.cpp.o" "gcc" "src/CMakeFiles/mcs_trace.dir/trace/io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcs_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

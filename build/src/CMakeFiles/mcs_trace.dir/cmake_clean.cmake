@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_trace.dir/trace/dataset.cpp.o"
+  "CMakeFiles/mcs_trace.dir/trace/dataset.cpp.o.d"
+  "CMakeFiles/mcs_trace.dir/trace/generator.cpp.o"
+  "CMakeFiles/mcs_trace.dir/trace/generator.cpp.o.d"
+  "CMakeFiles/mcs_trace.dir/trace/import.cpp.o"
+  "CMakeFiles/mcs_trace.dir/trace/import.cpp.o.d"
+  "CMakeFiles/mcs_trace.dir/trace/io.cpp.o"
+  "CMakeFiles/mcs_trace.dir/trace/io.cpp.o.d"
+  "libmcs_trace.a"
+  "libmcs_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auction_bounds_test.dir/auction_bounds_test.cpp.o"
+  "CMakeFiles/auction_bounds_test.dir/auction_bounds_test.cpp.o.d"
+  "auction_bounds_test"
+  "auction_bounds_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auction_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auction_instance_test.dir/auction_instance_test.cpp.o"
+  "CMakeFiles/auction_instance_test.dir/auction_instance_test.cpp.o.d"
+  "auction_instance_test"
+  "auction_instance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auction_instance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

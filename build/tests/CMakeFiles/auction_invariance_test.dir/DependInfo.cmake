@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/auction_invariance_test.cpp" "tests/CMakeFiles/auction_invariance_test.dir/auction_invariance_test.cpp.o" "gcc" "tests/CMakeFiles/auction_invariance_test.dir/auction_invariance_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcs_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_auction.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auction_invariance_test.dir/auction_invariance_test.cpp.o"
+  "CMakeFiles/auction_invariance_test.dir/auction_invariance_test.cpp.o.d"
+  "auction_invariance_test"
+  "auction_invariance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auction_invariance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

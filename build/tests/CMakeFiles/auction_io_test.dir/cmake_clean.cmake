@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auction_io_test.dir/auction_io_test.cpp.o"
+  "CMakeFiles/auction_io_test.dir/auction_io_test.cpp.o.d"
+  "auction_io_test"
+  "auction_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auction_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auction_types_test.dir/auction_types_test.cpp.o"
+  "CMakeFiles/auction_types_test.dir/auction_types_test.cpp.o.d"
+  "auction_types_test"
+  "auction_types_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auction_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_distributions_test.dir/common_distributions_test.cpp.o"
+  "CMakeFiles/common_distributions_test.dir/common_distributions_test.cpp.o.d"
+  "common_distributions_test"
+  "common_distributions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_distributions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

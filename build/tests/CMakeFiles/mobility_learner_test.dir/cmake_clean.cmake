@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_learner_test.dir/mobility_learner_test.cpp.o"
+  "CMakeFiles/mobility_learner_test.dir/mobility_learner_test.cpp.o.d"
+  "mobility_learner_test"
+  "mobility_learner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_learner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

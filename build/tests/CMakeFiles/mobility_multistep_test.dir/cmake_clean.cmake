@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_multistep_test.dir/mobility_multistep_test.cpp.o"
+  "CMakeFiles/mobility_multistep_test.dir/mobility_multistep_test.cpp.o.d"
+  "mobility_multistep_test"
+  "mobility_multistep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_multistep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

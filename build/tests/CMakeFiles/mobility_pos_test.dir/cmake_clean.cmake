@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_pos_test.dir/mobility_pos_test.cpp.o"
+  "CMakeFiles/mobility_pos_test.dir/mobility_pos_test.cpp.o.d"
+  "mobility_pos_test"
+  "mobility_pos_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_pos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

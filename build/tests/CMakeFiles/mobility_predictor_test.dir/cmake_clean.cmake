@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_predictor_test.dir/mobility_predictor_test.cpp.o"
+  "CMakeFiles/mobility_predictor_test.dir/mobility_predictor_test.cpp.o.d"
+  "mobility_predictor_test"
+  "mobility_predictor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

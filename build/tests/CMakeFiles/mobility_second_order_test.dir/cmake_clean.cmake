@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_second_order_test.dir/mobility_second_order_test.cpp.o"
+  "CMakeFiles/mobility_second_order_test.dir/mobility_second_order_test.cpp.o.d"
+  "mobility_second_order_test"
+  "mobility_second_order_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_second_order_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_stationary_test.dir/mobility_stationary_test.cpp.o"
+  "CMakeFiles/mobility_stationary_test.dir/mobility_stationary_test.cpp.o.d"
+  "mobility_stationary_test"
+  "mobility_stationary_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_stationary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

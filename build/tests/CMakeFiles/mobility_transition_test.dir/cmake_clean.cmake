@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_transition_test.dir/mobility_transition_test.cpp.o"
+  "CMakeFiles/mobility_transition_test.dir/mobility_transition_test.cpp.o.d"
+  "mobility_transition_test"
+  "mobility_transition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_transition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mt_budgeted_test.dir/mt_budgeted_test.cpp.o"
+  "CMakeFiles/mt_budgeted_test.dir/mt_budgeted_test.cpp.o.d"
+  "mt_budgeted_test"
+  "mt_budgeted_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mt_budgeted_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

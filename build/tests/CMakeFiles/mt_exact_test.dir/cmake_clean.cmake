@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mt_exact_test.dir/mt_exact_test.cpp.o"
+  "CMakeFiles/mt_exact_test.dir/mt_exact_test.cpp.o.d"
+  "mt_exact_test"
+  "mt_exact_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mt_exact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mt_greedy_test.dir/mt_greedy_test.cpp.o"
+  "CMakeFiles/mt_greedy_test.dir/mt_greedy_test.cpp.o.d"
+  "mt_greedy_test"
+  "mt_greedy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mt_greedy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

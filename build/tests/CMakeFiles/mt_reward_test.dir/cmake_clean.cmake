@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mt_reward_test.dir/mt_reward_test.cpp.o"
+  "CMakeFiles/mt_reward_test.dir/mt_reward_test.cpp.o.d"
+  "mt_reward_test"
+  "mt_reward_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mt_reward_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

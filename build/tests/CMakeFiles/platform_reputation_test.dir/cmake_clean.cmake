@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_reputation_test.dir/platform_reputation_test.cpp.o"
+  "CMakeFiles/platform_reputation_test.dir/platform_reputation_test.cpp.o.d"
+  "platform_reputation_test"
+  "platform_reputation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_reputation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_budget_test.dir/sim_budget_test.cpp.o"
+  "CMakeFiles/sim_budget_test.dir/sim_budget_test.cpp.o.d"
+  "sim_budget_test"
+  "sim_budget_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_budget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_execution_test.dir/sim_execution_test.cpp.o"
+  "CMakeFiles/sim_execution_test.dir/sim_execution_test.cpp.o.d"
+  "sim_execution_test"
+  "sim_execution_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_execution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_verification_test.dir/sim_verification_test.cpp.o"
+  "CMakeFiles/sim_verification_test.dir/sim_verification_test.cpp.o.d"
+  "sim_verification_test"
+  "sim_verification_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_verification_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

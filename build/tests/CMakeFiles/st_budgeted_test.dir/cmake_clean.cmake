@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_budgeted_test.dir/st_budgeted_test.cpp.o"
+  "CMakeFiles/st_budgeted_test.dir/st_budgeted_test.cpp.o.d"
+  "st_budgeted_test"
+  "st_budgeted_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_budgeted_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

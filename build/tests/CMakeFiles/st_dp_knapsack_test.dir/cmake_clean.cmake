@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_dp_knapsack_test.dir/st_dp_knapsack_test.cpp.o"
+  "CMakeFiles/st_dp_knapsack_test.dir/st_dp_knapsack_test.cpp.o.d"
+  "st_dp_knapsack_test"
+  "st_dp_knapsack_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_dp_knapsack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_exact_test.dir/st_exact_test.cpp.o"
+  "CMakeFiles/st_exact_test.dir/st_exact_test.cpp.o.d"
+  "st_exact_test"
+  "st_exact_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_exact_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_fptas_test.dir/st_fptas_test.cpp.o"
+  "CMakeFiles/st_fptas_test.dir/st_fptas_test.cpp.o.d"
+  "st_fptas_test"
+  "st_fptas_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_fptas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

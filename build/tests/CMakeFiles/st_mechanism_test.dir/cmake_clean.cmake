@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_mechanism_test.dir/st_mechanism_test.cpp.o"
+  "CMakeFiles/st_mechanism_test.dir/st_mechanism_test.cpp.o.d"
+  "st_mechanism_test"
+  "st_mechanism_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_mechanism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_min_greedy_test.dir/st_min_greedy_test.cpp.o"
+  "CMakeFiles/st_min_greedy_test.dir/st_min_greedy_test.cpp.o.d"
+  "st_min_greedy_test"
+  "st_min_greedy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_min_greedy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_naive_test.dir/st_naive_test.cpp.o"
+  "CMakeFiles/st_naive_test.dir/st_naive_test.cpp.o.d"
+  "st_naive_test"
+  "st_naive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_naive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_reward_test.dir/st_reward_test.cpp.o"
+  "CMakeFiles/st_reward_test.dir/st_reward_test.cpp.o.d"
+  "st_reward_test"
+  "st_reward_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_reward_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_vcg_test.dir/st_vcg_test.cpp.o"
+  "CMakeFiles/st_vcg_test.dir/st_vcg_test.cpp.o.d"
+  "st_vcg_test"
+  "st_vcg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_vcg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

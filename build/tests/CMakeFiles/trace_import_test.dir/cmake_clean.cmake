@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_import_test.dir/trace_import_test.cpp.o"
+  "CMakeFiles/trace_import_test.dir/trace_import_test.cpp.o.d"
+  "trace_import_test"
+  "trace_import_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_import_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
