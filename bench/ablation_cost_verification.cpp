@@ -18,7 +18,7 @@
 int main() {
   using namespace mcs;
 
-  const auction::single_task::MechanismConfig config{.epsilon = 0.1, .alpha = 10.0};
+  const auction::MechanismConfig config{.alpha = 10.0, .single_task = {.epsilon = 0.1}};
 
   // The stable-boundary instance from the test suite: user 1's critical PoS
   // is 0.5 for declared costs in (2, 3) and 2/3 in (3, 6).

@@ -23,8 +23,8 @@ int main() {
   {
     const auto params = bench::single_task_params();
     const auto cells = sim::popular_cells(workload.users());
-    const auction::single_task::MechanismConfig config{
-        .epsilon = 0.5, .alpha = kAlpha, .binary_search_iterations = 32};
+    const auction::MechanismConfig config{
+        .alpha = kAlpha, .single_task = {.epsilon = 0.5, .binary_search_iterations = 32}};
     bench::repeat_feasible_single(
         workload, cells.front(), 50, params, 10, rng, [&](const sim::SingleTaskScenario& s) {
           const auto outcome = auction::single_task::run_mechanism(s.instance, config);
@@ -38,7 +38,7 @@ int main() {
   std::vector<double> multi_utilities;
   {
     const auto params = bench::single_task_params();
-    const auction::multi_task::MechanismConfig config{.alpha = kAlpha};
+    const auction::MechanismConfig config{.alpha = kAlpha};
     bench::repeat_feasible_multi(
         workload, 15, 100, params, 10, rng, [&](const sim::MultiTaskScenario& s) {
           const auto outcome = auction::multi_task::run_mechanism(s.instance, config);

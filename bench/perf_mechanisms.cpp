@@ -1,9 +1,23 @@
 // Google-benchmark microbenchmarks of the mechanism building blocks: the
 // Algorithm 1 DP, the FPTAS winner determination across n and ε, the
-// multi-task greedy, and both reward schemes. These quantify the complexity
-// claims of Theorems 3 and 6.
+// multi-task greedy, and both reward schemes — these quantify the complexity
+// claims of Theorems 3 and 6 — plus the batched auction::Engine throughput
+// suite (campaign-round auctions/sec at 1, 2, and N workers). After the
+// google-benchmark run, main() emits a machine-readable JSON record of the
+// batched throughput to stdout and, when MCS_BENCH_JSON names a file path,
+// to that file, so the bench trajectory can be tracked across commits. Pass
+// --benchmark_filter to restrict the microbenchmarks (e.g.
+// --benchmark_filter=NONE emits only the JSON record).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <thread>
+
+#include "auction/engine.hpp"
 #include "auction/single_task/dp_knapsack.hpp"
 #include "auction/single_task/fptas.hpp"
 #include "auction/single_task/mechanism.hpp"
@@ -83,7 +97,7 @@ void BM_SingleTaskMechanismWithRewards(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const bool parallel = state.range(1) != 0;
   const auto instance = make_single(n, 13);
-  auction::single_task::MechanismConfig config{.epsilon = 0.5, .alpha = 10.0};
+  auction::MechanismConfig config{.alpha = 10.0, .single_task = {.epsilon = 0.5}};
   config.parallel_rewards = parallel;
   for (auto _ : state) {
     benchmark::DoNotOptimize(auction::single_task::run_mechanism(instance, config));
@@ -108,13 +122,105 @@ BENCHMARK(BM_MultiTaskGreedy)->Args({30, 15})->Args({100, 15})->Args({100, 50})-
 void BM_MultiTaskMechanismWithRewards(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto instance = make_multi(n, 15, 19);
-  const auction::multi_task::MechanismConfig config{.alpha = 10.0};
+  const auction::MechanismConfig config{.alpha = 10.0};
   for (auto _ : state) {
     benchmark::DoNotOptimize(auction::multi_task::run_mechanism(instance, config));
   }
 }
 BENCHMARK(BM_MultiTaskMechanismWithRewards)->Arg(30)->Arg(60)->Arg(100);
 
+// --- batched auction engine -------------------------------------------------
+
+/// A campaign round's worth of auctions: the shape platform::run_campaign
+/// submits, one multi-task auction per round, batched across rounds.
+std::vector<auction::MultiTaskInstance> make_round_batch(std::size_t auctions, std::size_t users,
+                                                         std::size_t tasks) {
+  std::vector<auction::MultiTaskInstance> batch;
+  batch.reserve(auctions);
+  for (std::size_t k = 0; k < auctions; ++k) {
+    batch.push_back(make_multi(users, tasks, 100 + k));
+  }
+  return batch;
+}
+
+void BM_BatchedEngineCampaignRounds(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  const auto batch = make_round_batch(16, 60, 15);
+  const auction::Engine engine(auction::EngineOptions{.workers = workers});
+  const auction::MechanismConfig config{.alpha = 10.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(batch, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * batch.size()));
+}
+BENCHMARK(BM_BatchedEngineCampaignRounds)->Arg(1)->Arg(2)->Arg(8)->UseRealTime();
+
+/// Times engine.run over `reps` repetitions and returns the best
+/// auctions/sec (best-of to shed scheduler noise).
+double measure_auctions_per_sec(const auction::Engine& engine,
+                                const std::vector<auction::MultiTaskInstance>& batch,
+                                const auction::MechanismConfig& config, std::size_t reps) {
+  double best = 0.0;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(engine.run(batch, config));
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+    best = std::max(best, static_cast<double>(batch.size()) / elapsed.count());
+  }
+  return best;
+}
+
+/// One JSON record per run: campaign-round throughput at 1, 2, and 8
+/// workers, plus the hardware context needed to interpret the numbers (the
+/// 8-vs-1 speedup only materializes when the host has the cores).
+void emit_batched_throughput_record() {
+  constexpr std::size_t kAuctions = 16;
+  constexpr std::size_t kUsers = 60;
+  constexpr std::size_t kTasks = 15;
+  constexpr std::size_t kReps = 3;
+  const auto batch = make_round_batch(kAuctions, kUsers, kTasks);
+  const auction::MechanismConfig config{.alpha = 10.0};
+
+  std::ostringstream json;
+  json << "{\"bench\":\"batched_engine_throughput\",\"auctions\":" << kAuctions
+       << ",\"users_per_auction\":" << kUsers << ",\"tasks_per_auction\":" << kTasks
+       << ",\"hardware_concurrency\":" << std::thread::hardware_concurrency()
+       << ",\"results\":[";
+  double workers1 = 0.0;
+  double workers8 = 0.0;
+  const std::size_t worker_counts[] = {1, 2, 8};
+  for (std::size_t k = 0; k < std::size(worker_counts); ++k) {
+    const std::size_t workers = worker_counts[k];
+    const auction::Engine engine(auction::EngineOptions{.workers = workers});
+    const double throughput = measure_auctions_per_sec(engine, batch, config, kReps);
+    if (workers == 1) {
+      workers1 = throughput;
+    }
+    if (workers == 8) {
+      workers8 = throughput;
+    }
+    json << (k > 0 ? "," : "") << "{\"workers\":" << workers
+         << ",\"auctions_per_sec\":" << throughput << "}";
+  }
+  json << "],\"speedup_8_vs_1\":" << (workers1 > 0.0 ? workers8 / workers1 : 0.0) << "}";
+
+  std::cout << json.str() << "\n";
+  if (const char* path = std::getenv("MCS_BENCH_JSON"); path != nullptr && *path != '\0') {
+    std::ofstream out(path);
+    out << json.str() << "\n";
+    std::cout << "[json written to " << path << "]\n";
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_batched_throughput_record();
+  return 0;
+}

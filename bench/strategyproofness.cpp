@@ -20,7 +20,7 @@ int main() {
   auction::SingleTaskInstance instance;
   instance.requirement_pos = 0.9;
   instance.bids = {{3.0, 0.7}, {2.0, 0.7}, {1.0, 0.5}, {4.0, 0.8}};
-  const auction::single_task::MechanismConfig config{.epsilon = 0.1, .alpha = 10.0};
+  const auction::MechanismConfig config{.alpha = 10.0, .single_task = {.epsilon = 0.1}};
 
   const auto truthful = auction::single_task::run_mechanism(instance, config);
   std::cout << "single-task truthful winners:";
@@ -66,7 +66,7 @@ int main() {
   const auto scenario = sim::build_feasible_multi_task(
       workload.users(), 10, 40, bench::multi_task_params(), rng, 30);
   if (scenario.has_value()) {
-    const auction::multi_task::MechanismConfig mt_config{.alpha = 10.0};
+    const auction::MechanismConfig mt_config{.alpha = 10.0};
     const auto outcome = auction::multi_task::run_mechanism(scenario->instance, mt_config);
     if (outcome.allocation.feasible && !outcome.allocation.winners.empty()) {
       const auction::UserId user = outcome.allocation.winners.front();

@@ -19,7 +19,7 @@ int main() {
                            {"description", "paper", "this repo"});
   table2.add_row({"PoS requirement T", "0.8", bench::fmt(params.pos_requirement, 2)});
   table2.add_row({"Reward scaling factor alpha", "10",
-                  bench::fmt(auction::single_task::MechanismConfig{}.alpha, 0)});
+                  bench::fmt(auction::MechanismConfig{}.alpha, 0)});
   table2.add_row({"Tasks of each user", "[10, 20]",
                   "[" + std::to_string(users.min_task_set) + ", " +
                       std::to_string(users.max_task_set) + "]"});
@@ -36,9 +36,7 @@ int main() {
   // Hard checks: a drifted default would silently change every figure.
   bool ok = params.pos_requirement == 0.8 && params.cost_mean == 15.0 &&
             params.cost_variance == 5.0 && users.min_task_set == 10 &&
-            users.max_task_set == 20 &&
-            auction::single_task::MechanismConfig{}.alpha == 10.0 &&
-            auction::multi_task::MechanismConfig{}.alpha == 10.0;
+            users.max_task_set == 20 && auction::MechanismConfig{}.alpha == 10.0;
   std::cout << (ok ? "defaults match the paper\n" : "DEFAULTS DRIFTED FROM THE PAPER\n");
   return ok ? EXIT_SUCCESS : EXIT_FAILURE;
 }

@@ -1,20 +1,27 @@
-// auction_cli: run the strategy-proof mechanisms on instance files.
+// auction_cli: run the strategy-proof mechanisms on instance files through
+// the batched auction::Engine — the unified entry point that takes any mix
+// of single- and multi-task instances plus one shared MechanismConfig.
 //
 // Usage:
-//   example_auction_cli <instance-file> [alpha] [epsilon]
+//   example_auction_cli <instance-file>... [alpha] [epsilon]
 //   example_auction_cli            (no args: writes demo files, runs both)
 //
-// Instance files use the plain-text format of auction/io.hpp (header
-// mcs-single-task-v1 or mcs-multi-task-v1; '#' comments allowed), so a
-// downstream user can run the mechanisms on their own marketplace data
-// without writing any C++.
+// Every argument naming an existing file is loaded as an instance; the first
+// non-file numeric argument is alpha, the second epsilon. All instances run
+// as ONE engine batch, so auctions execute concurrently and outcomes come
+// back in submission order. Instance files use the plain-text format of
+// auction/io.hpp (header mcs-single-task-v1 or mcs-multi-task-v1; '#'
+// comments allowed), so a downstream user can run the mechanisms on their
+// own marketplace data without writing any C++.
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
+#include <vector>
 
+#include "auction/engine.hpp"
 #include "auction/io.hpp"
-#include "auction/single_task/mechanism.hpp"
-#include "auction/multi_task/mechanism.hpp"
 #include "common/table.hpp"
 #include "sim/metrics.hpp"
 
@@ -22,9 +29,8 @@ namespace {
 
 using namespace mcs;
 
-void report_single(const auction::SingleTaskInstance& instance, double alpha, double epsilon) {
-  const auto outcome = auction::single_task::run_mechanism(
-      instance, {.epsilon = epsilon, .alpha = alpha});
+void report_single(const auction::SingleTaskInstance& instance,
+                   const auction::MechanismOutcome& outcome) {
   if (!outcome.allocation.feasible) {
     std::cout << "INFEASIBLE: no user set reaches the required PoS "
               << instance.requirement_pos << "\n";
@@ -48,8 +54,8 @@ void report_single(const auction::SingleTaskInstance& instance, double alpha, do
             << " (required " << instance.requirement_pos << ")\n";
 }
 
-void report_multi(const auction::MultiTaskInstance& instance, double alpha) {
-  const auto outcome = auction::multi_task::run_mechanism(instance, {.alpha = alpha});
+void report_multi(const auction::MultiTaskInstance& instance,
+                  const auction::MechanismOutcome& outcome) {
   if (!outcome.allocation.feasible) {
     std::cout << "INFEASIBLE: the users cannot cover every task requirement\n";
     return;
@@ -74,23 +80,56 @@ void report_multi(const auction::MultiTaskInstance& instance, double alpha) {
   }
 }
 
-int run_file(const std::filesystem::path& path, double alpha, double epsilon) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    std::cerr << "cannot open " << path << "\n";
+void report(const auction::AuctionInstance& instance,
+            const auction::MechanismOutcome& outcome) {
+  if (const auto* single = std::get_if<auction::SingleTaskInstance>(&instance)) {
+    report_single(*single, outcome);
+  } else {
+    report_multi(std::get<auction::MultiTaskInstance>(instance), outcome);
+  }
+}
+
+/// One instance per file, any mix of families; returns false on a bad file.
+bool load_batch(const std::vector<std::filesystem::path>& paths,
+                std::vector<auction::AuctionInstance>& batch) {
+  for (const auto& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "cannot open " << path << "\n";
+      return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const auto kind = auction::detect_instance_kind(buffer.str());
+    if (kind == "single") {
+      batch.emplace_back(auction::single_task_from_text(buffer.str()));
+    } else if (kind == "multi") {
+      batch.emplace_back(auction::multi_task_from_text(buffer.str()));
+    } else {
+      std::cerr << "unrecognized instance header in " << path << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+int run_files(const std::vector<std::filesystem::path>& paths, double alpha, double epsilon) {
+  std::vector<auction::AuctionInstance> batch;
+  if (!load_batch(paths, batch)) {
     return 1;
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const auto kind = auction::detect_instance_kind(buffer.str());
-  std::cout << "== " << path << " (" << (kind.empty() ? "unknown" : kind) << ") ==\n";
-  if (kind == "single") {
-    report_single(auction::single_task_from_text(buffer.str()), alpha, epsilon);
-  } else if (kind == "multi") {
-    report_multi(auction::multi_task_from_text(buffer.str()), alpha);
-  } else {
-    std::cerr << "unrecognized instance header in " << path << "\n";
-    return 1;
+  // One config serves both families: shared fields at the top level,
+  // family-only knobs nested (the other family's sub-struct is ignored).
+  const auction::MechanismConfig config{.alpha = alpha, .single_task = {.epsilon = epsilon}};
+  const auction::Engine engine;  // process-wide shared thread pool
+  const auto outcomes = engine.run(batch, config);
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    const bool single = std::holds_alternative<auction::SingleTaskInstance>(batch[k]);
+    std::cout << "== " << paths[k] << " (" << (single ? "single" : "multi") << ") ==\n";
+    report(batch[k], outcomes[k]);
+    if (k + 1 < batch.size()) {
+      std::cout << "\n";
+    }
   }
   return 0;
 }
@@ -116,11 +155,8 @@ int demo() {
   auction::save_multi_task(multi_path, multi);
 
   std::cout << "no arguments: wrote demo instances to " << single_path << " and "
-            << multi_path << "\n\n";
-  int status = run_file(single_path, 10.0, 0.1);
-  std::cout << "\n";
-  status |= run_file(multi_path, 10.0, 0.1);
-  return status;
+            << multi_path << "\nrunning both as one engine batch\n\n";
+  return run_files({single_path, multi_path}, 10.0, 0.1);
 }
 
 }  // namespace
@@ -129,7 +165,27 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     return demo();
   }
-  const double alpha = argc > 2 ? std::atof(argv[2]) : 10.0;
-  const double epsilon = argc > 3 ? std::atof(argv[3]) : 0.1;
-  return run_file(argv[1], alpha, epsilon);
+  std::vector<std::filesystem::path> paths;
+  std::vector<double> numbers;
+  for (int k = 1; k < argc; ++k) {
+    const std::filesystem::path candidate(argv[k]);
+    if (std::filesystem::exists(candidate)) {
+      paths.push_back(candidate);
+    } else {
+      char* end = nullptr;
+      const double value = std::strtod(argv[k], &end);
+      if (end == argv[k] || *end != '\0') {
+        std::cerr << "argument is neither an existing file nor a number: " << argv[k] << "\n";
+        return 1;
+      }
+      numbers.push_back(value);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "no instance files given\n";
+    return 1;
+  }
+  const double alpha = numbers.size() > 0 ? numbers[0] : 10.0;
+  const double epsilon = numbers.size() > 1 ? numbers[1] : 0.1;
+  return run_files(paths, alpha, epsilon);
 }

@@ -32,8 +32,8 @@ int main() {
     return 1;
   }
 
-  const auction::single_task::MechanismConfig mechanism{
-      .epsilon = 0.5, .alpha = 10.0, .binary_search_iterations = 32};
+  const auction::MechanismConfig mechanism{
+      .alpha = 10.0, .single_task = {.epsilon = 0.5, .binary_search_iterations = 32}};
   common::TextTable table("capacity planning: one task, 60 bidders",
                           {"required PoS", "#winners", "social cost", "achieved PoS",
                            "expected payout"});

@@ -40,7 +40,7 @@ int main() {
   }
 
   // 3. Run the strategy-proof mechanism.
-  const auction::multi_task::MechanismConfig mechanism{.alpha = 10.0};
+  const auction::MechanismConfig mechanism{.alpha = 10.0};
   const auto outcome = auction::multi_task::run_mechanism(scenario->instance, mechanism);
   std::cout << "recruited " << outcome.allocation.winners.size() << " of "
             << scenario->instance.num_users() << " bidders, social cost "

@@ -25,7 +25,7 @@ int main() {
       {2.5, 0.6},  // user 4
   };
 
-  const auction::single_task::MechanismConfig config{.epsilon = 0.1, .alpha = 10.0};
+  const auction::MechanismConfig config{.alpha = 10.0, .single_task = {.epsilon = 0.1}};
   const auto outcome = auction::single_task::run_mechanism(instance, config);
   if (!outcome.allocation.feasible) {
     std::cout << "No user set can reach the required PoS.\n";

@@ -46,7 +46,7 @@ int main() {
   auction::SingleTaskInstance instance;
   instance.requirement_pos = 0.9;
   instance.bids = {{3.0, 0.7}, {2.0, 0.7}, {1.0, 0.5}, {4.0, 0.8}};
-  const auction::single_task::MechanismConfig config{.epsilon = 0.1, .alpha = 10.0};
+  const auction::MechanismConfig config{.alpha = 10.0, .single_task = {.epsilon = 0.1}};
   const auction::UserId strategic = 2;
 
   std::cout << "Task requires PoS 0.9; users (cost, PoS): (3,0.7) (2,0.7) (1,0.5) (4,0.8)\n"

@@ -1,0 +1,88 @@
+#include "auction/engine.hpp"
+
+#include "auction/multi_task/mechanism.hpp"
+#include "auction/single_task/mechanism.hpp"
+
+namespace mcs::auction {
+
+namespace {
+
+MechanismOutcome dispatch(const SingleTaskInstance& instance, const MechanismConfig& config) {
+  return single_task::run_mechanism(instance, config);
+}
+
+MechanismOutcome dispatch(const MultiTaskInstance& instance, const MechanismConfig& config) {
+  return multi_task::run_mechanism(instance, config);
+}
+
+MechanismOutcome dispatch(const AuctionInstance& instance, const MechanismConfig& config) {
+  return std::visit([&](const auto& typed) { return dispatch(typed, config); }, instance);
+}
+
+}  // namespace
+
+Engine::Engine(const EngineOptions& options)
+    : owned_(options.workers > 0 ? std::make_unique<common::ThreadPool>(options.workers)
+                                 : nullptr) {}
+
+common::ThreadPool& Engine::pool() const {
+  return owned_ ? *owned_ : common::ThreadPool::shared();
+}
+
+std::size_t Engine::worker_count() const { return pool().worker_count(); }
+
+MechanismConfig Engine::effective_config(const MechanismConfig& config) const {
+  MechanismConfig adjusted = config;
+  if (owned_ && adjusted.reward_workers == 0) {
+    adjusted.reward_workers = owned_->worker_count();
+  }
+  return adjusted;
+}
+
+template <typename Item>
+std::vector<MechanismOutcome> Engine::run_batch(const std::vector<Item>& batch,
+                                                const MechanismConfig& config) const {
+  const MechanismConfig adjusted = effective_config(config);
+  std::vector<MechanismOutcome> outcomes(batch.size());
+  // Inter-auction parallelism: one strided chunk per worker. Inside a pool
+  // worker any nested parallel_map degrades to serial, so each auction runs
+  // the exact serial code path; a lone auction runs inline on the calling
+  // thread, where the critical-bid parallel_map still fans out.
+  pool().for_each_index(
+      batch.size(),
+      [&](std::size_t index) { outcomes[index] = dispatch(batch[index], adjusted); },
+      pool().worker_count());
+  return outcomes;
+}
+
+std::vector<MechanismOutcome> Engine::run(const std::vector<AuctionInstance>& batch,
+                                          const MechanismConfig& config) const {
+  return run_batch(batch, config);
+}
+
+std::vector<MechanismOutcome> Engine::run(const std::vector<SingleTaskInstance>& batch,
+                                          const MechanismConfig& config) const {
+  return run_batch(batch, config);
+}
+
+std::vector<MechanismOutcome> Engine::run(const std::vector<MultiTaskInstance>& batch,
+                                          const MechanismConfig& config) const {
+  return run_batch(batch, config);
+}
+
+MechanismOutcome Engine::run_one(const SingleTaskInstance& instance,
+                                 const MechanismConfig& config) const {
+  return dispatch(instance, effective_config(config));
+}
+
+MechanismOutcome Engine::run_one(const MultiTaskInstance& instance,
+                                 const MechanismConfig& config) const {
+  return dispatch(instance, effective_config(config));
+}
+
+MechanismOutcome Engine::run_one(const AuctionInstance& instance,
+                                 const MechanismConfig& config) const {
+  return dispatch(instance, effective_config(config));
+}
+
+}  // namespace mcs::auction

@@ -1,0 +1,73 @@
+// Batched auction engine: the platform-facing entry point for running many
+// auctions of either family on the persistent thread pool. Campaign rounds,
+// experiment sweeps, and replayed traces are streams of independent sealed-bid
+// auctions (Algorithms 2–5 share nothing across instances), so the engine
+// parallelizes ACROSS auctions first; a lone auction instead runs on the
+// calling thread where the per-winner critical-bid parallelism inside
+// run_mechanism still fans out.
+//
+// Determinism contract: outcomes come back in submission order and are
+// bit-identical to calling the per-family run_mechanism serially on each
+// instance, whatever the worker count — both parallelism levels only ever
+// partition independent, index-addressed work.
+#pragma once
+
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "auction/instance.hpp"
+#include "common/thread_pool.hpp"
+
+namespace mcs::auction {
+
+/// One auction of either family, as submitted to the engine.
+using AuctionInstance = std::variant<SingleTaskInstance, MultiTaskInstance>;
+
+struct EngineOptions {
+  /// Worker threads. 0 shares the process-wide pool (the common case: one
+  /// engine per process); a positive count gives the engine a dedicated pool
+  /// of exactly that size, which then also caps the intra-auction
+  /// critical-bid threads — workers = 1 is the fully serial reference path.
+  std::size_t workers = 0;
+};
+
+class Engine {
+ public:
+  explicit Engine(const EngineOptions& options = {});
+
+  /// Threads available to a batch (the shared or dedicated pool's size).
+  std::size_t worker_count() const;
+
+  /// Runs a batch under one shared config; outcomes align with the batch.
+  /// The first exception (by batch index), e.g. a PreconditionError from an
+  /// invalid instance or config, is rethrown after the batch completes.
+  std::vector<MechanismOutcome> run(const std::vector<AuctionInstance>& batch,
+                                    const MechanismConfig& config = {}) const;
+  std::vector<MechanismOutcome> run(const std::vector<SingleTaskInstance>& batch,
+                                    const MechanismConfig& config = {}) const;
+  std::vector<MechanismOutcome> run(const std::vector<MultiTaskInstance>& batch,
+                                    const MechanismConfig& config = {}) const;
+
+  /// Single-auction convenience: runs on the calling thread with the
+  /// engine's worker budget applied to the critical-bid computations.
+  MechanismOutcome run_one(const SingleTaskInstance& instance,
+                           const MechanismConfig& config = {}) const;
+  MechanismOutcome run_one(const MultiTaskInstance& instance,
+                           const MechanismConfig& config = {}) const;
+  MechanismOutcome run_one(const AuctionInstance& instance,
+                           const MechanismConfig& config = {}) const;
+
+ private:
+  template <typename Item>
+  std::vector<MechanismOutcome> run_batch(const std::vector<Item>& batch,
+                                          const MechanismConfig& config) const;
+  common::ThreadPool& pool() const;
+  /// A dedicated pool's size becomes the default critical-bid budget, so an
+  /// Engine{workers = w} never uses more than w threads at either level.
+  MechanismConfig effective_config(const MechanismConfig& config) const;
+
+  std::unique_ptr<common::ThreadPool> owned_;  ///< null when sharing
+};
+
+}  // namespace mcs::auction

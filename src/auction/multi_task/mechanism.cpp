@@ -6,7 +6,8 @@
 
 namespace mcs::auction::multi_task {
 
-MechanismOutcome run_mechanism(const MultiTaskInstance& instance, const MechanismConfig& config) {
+MechanismOutcome run_mechanism(const MultiTaskInstance& instance,
+                               const auction::MechanismConfig& config) {
   MCS_EXPECTS(config.alpha > 0.0, "reward scaling factor must be positive");
 
   MechanismOutcome outcome;
@@ -14,12 +15,13 @@ MechanismOutcome run_mechanism(const MultiTaskInstance& instance, const Mechanis
   if (!outcome.allocation.feasible) {
     return outcome;
   }
-  const RewardOptions reward_options{.alpha = config.alpha, .rule = config.critical_bid_rule};
+  const RewardOptions reward_options{.alpha = config.alpha,
+                                     .rule = config.multi_task.critical_bid_rule};
   const auto& winners = outcome.allocation.winners;
   outcome.rewards = common::parallel_map<WinnerReward>(
       winners.size(),
       [&](std::size_t index) { return compute_reward(instance, winners[index], reward_options); },
-      config.parallel_rewards ? common::default_worker_count() : 1);
+      config.reward_worker_budget());
   return outcome;
 }
 

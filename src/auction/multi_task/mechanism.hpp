@@ -10,19 +10,16 @@
 
 namespace mcs::auction::multi_task {
 
-struct MechanismConfig {
-  double alpha = 10.0;  ///< reward scaling factor (paper Table II)
-  /// Critical-bid rule; kBinarySearch is strategy-proof, kPaperIterationMin
-  /// reproduces the paper's Algorithm 5 literally (see reward.hpp).
-  CriticalBidRule critical_bid_rule = CriticalBidRule::kBinarySearch;
-  /// Compute the winners' critical bids on multiple threads (bit-identical
-  /// to the serial path; each bid is independent).
-  bool parallel_rewards = true;
-};
+/// Transitional name for the unified config; scheduled for removal one
+/// release after its introduction. The per-family field moved:
+/// critical_bid_rule now lives in MechanismConfig::multi_task.
+using MechanismConfig [[deprecated("use mcs::auction::MechanismConfig")]] =
+    auction::MechanismConfig;
 
-/// Runs the full strategy-proof multi-task mechanism. For infeasible
+/// Runs the full strategy-proof multi-task mechanism. Reads config.alpha,
+/// config.multi_task.*, and the reward-parallelism fields. For infeasible
 /// instances the allocation is infeasible and no rewards are issued.
 MechanismOutcome run_mechanism(const MultiTaskInstance& instance,
-                               const MechanismConfig& config = {});
+                               const auction::MechanismConfig& config = {});
 
 }  // namespace mcs::auction::multi_task

@@ -27,13 +27,9 @@
 
 namespace mcs::auction::multi_task {
 
-/// How a winner's critical contribution is computed.
-enum class CriticalBidRule {
-  /// Binary search for the true win threshold (strategy-proof; default).
-  kBinarySearch,
-  /// The paper's Algorithm 5 iteration minimum (kept for reproduction).
-  kPaperIterationMin,
-};
+/// The rule enum lives in auction/types.hpp so the unified MechanismConfig
+/// can carry it; this alias keeps the historical qualified name working.
+using CriticalBidRule = auction::CriticalBidRule;
 
 struct RewardOptions {
   double alpha = 10.0;  ///< reward scaling factor α (paper Table II)

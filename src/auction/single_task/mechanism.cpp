@@ -6,24 +6,25 @@
 
 namespace mcs::auction::single_task {
 
-MechanismOutcome run_mechanism(const SingleTaskInstance& instance, const MechanismConfig& config) {
-  MCS_EXPECTS(config.epsilon > 0.0, "approximation parameter must be positive");
+MechanismOutcome run_mechanism(const SingleTaskInstance& instance,
+                               const auction::MechanismConfig& config) {
+  MCS_EXPECTS(config.single_task.epsilon > 0.0, "approximation parameter must be positive");
   MCS_EXPECTS(config.alpha > 0.0, "reward scaling factor must be positive");
 
   MechanismOutcome outcome;
-  outcome.allocation = solve_fptas(instance, config.epsilon);
+  outcome.allocation = solve_fptas(instance, config.single_task.epsilon);
   if (!outcome.allocation.feasible) {
     return outcome;
   }
-  const RewardOptions reward_options{.alpha = config.alpha,
-                                     .epsilon = config.epsilon,
-                                     .binary_search_iterations =
-                                         config.binary_search_iterations};
+  const RewardOptions reward_options{
+      .alpha = config.alpha,
+      .epsilon = config.single_task.epsilon,
+      .binary_search_iterations = config.single_task.binary_search_iterations};
   const auto& winners = outcome.allocation.winners;
   outcome.rewards = common::parallel_map<WinnerReward>(
       winners.size(),
       [&](std::size_t index) { return compute_reward(instance, winners[index], reward_options); },
-      config.parallel_rewards ? common::default_worker_count() : 1);
+      config.reward_worker_budget());
   return outcome;
 }
 

@@ -1,7 +1,8 @@
 // Facade of the complete single-task mechanism M = (A, R): the FPTAS winner
 // determination (Algorithm 2) plus the critical-bid execution-contingent
 // reward scheme (Algorithm 3). This is the object a platform runs per task:
-// collect sealed bids, call run(), pay each winner reward.on_success() or
+// collect sealed bids, call run_mechanism() (or batch many auctions through
+// auction::Engine), pay each winner reward.on_success() or
 // reward.on_failure() depending on the observed execution outcome.
 #pragma once
 
@@ -9,20 +10,17 @@
 
 namespace mcs::auction::single_task {
 
-struct MechanismConfig {
-  double epsilon = 0.1;  ///< FPTAS approximation parameter
-  double alpha = 10.0;   ///< reward scaling factor (paper Table II)
-  int binary_search_iterations = 48;
-  /// Compute the winners' critical bids on multiple threads. Results are
-  /// bit-identical to the serial path (each bid is an independent
-  /// computation); disable for single-core determinism profiling.
-  bool parallel_rewards = true;
-};
+/// Transitional name for the unified config; scheduled for removal one
+/// release after its introduction. The per-family fields moved: epsilon and
+/// binary_search_iterations now live in MechanismConfig::single_task.
+using MechanismConfig [[deprecated("use mcs::auction::MechanismConfig")]] =
+    auction::MechanismConfig;
 
-/// Runs the full strategy-proof single-task mechanism. The returned outcome
-/// holds the allocation and one EC reward per winner. For infeasible
+/// Runs the full strategy-proof single-task mechanism. Reads config.alpha,
+/// config.single_task.*, and the reward-parallelism fields. The returned
+/// outcome holds the allocation and one EC reward per winner. For infeasible
 /// instances the allocation is infeasible and no rewards are issued.
 MechanismOutcome run_mechanism(const SingleTaskInstance& instance,
-                               const MechanismConfig& config = {});
+                               const auction::MechanismConfig& config = {});
 
 }  // namespace mcs::auction::single_task

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 
 namespace mcs::auction {
 
@@ -17,6 +18,13 @@ const WinnerReward& MechanismOutcome::reward_of(UserId user) const {
     }
   }
   throw common::PreconditionError("user is not a winner of this outcome");
+}
+
+std::size_t MechanismConfig::reward_worker_budget() const {
+  if (!parallel_rewards) {
+    return 1;
+  }
+  return reward_workers > 0 ? reward_workers : common::default_worker_count();
 }
 
 }  // namespace mcs::auction

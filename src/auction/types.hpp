@@ -5,6 +5,7 @@
 // PoS declaration a dominant strategy (Theorems 1 and 4).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -67,6 +68,49 @@ struct MechanismOutcome {
   std::vector<WinnerReward> rewards;
 
   const WinnerReward& reward_of(UserId user) const;
+};
+
+/// How a multi-task winner's critical contribution is computed.
+/// kBinarySearch is strategy-proof; kPaperIterationMin reproduces the
+/// paper's Algorithm 5 literally (see multi_task/reward.hpp for the
+/// reproduction finding behind the default).
+enum class CriticalBidRule {
+  kBinarySearch,
+  kPaperIterationMin,
+};
+
+/// Knobs only the single-task (FPTAS) family reads.
+struct SingleTaskKnobs {
+  double epsilon = 0.1;               ///< FPTAS approximation parameter
+  int binary_search_iterations = 48;  ///< ~1e-14 relative precision on q̄
+};
+
+/// Knobs only the multi-task single-minded family reads.
+struct MultiTaskKnobs {
+  CriticalBidRule critical_bid_rule = CriticalBidRule::kBinarySearch;
+};
+
+/// One configuration for both mechanism families — what the batched
+/// auction::Engine and every caller of the per-family run_mechanism take.
+/// Shared fields live at the top level; per-family knobs nest so a config is
+/// valid for either instance kind (the other family's sub-struct is simply
+/// ignored).
+struct MechanismConfig {
+  double alpha = 10.0;  ///< reward scaling factor (paper Table II)
+  /// Compute the winners' critical bids on multiple threads. Results are
+  /// bit-identical to the serial path (each bid is an independent
+  /// computation); disable for single-core determinism profiling.
+  bool parallel_rewards = true;
+  /// Upper bound on threads for the critical-bid computations; 0 means
+  /// common::default_worker_count().
+  std::size_t reward_workers = 0;
+  SingleTaskKnobs single_task = {};
+  MultiTaskKnobs multi_task = {};
+
+  /// The thread budget the reward schemes actually use: 1 when
+  /// parallel_rewards is off, otherwise reward_workers (or the hardware
+  /// default when 0).
+  std::size_t reward_worker_budget() const;
 };
 
 }  // namespace mcs::auction

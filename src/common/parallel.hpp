@@ -1,67 +1,36 @@
-// Minimal fork-join parallelism for embarrassingly parallel loops. The
+// Order-preserving parallel map over the process-wide ThreadPool. The
 // mechanisms' reward schemes compute one critical bid per winner, each an
 // independent re-run of the winner-determination algorithm — the textbook
-// case. parallel_map preserves input order, propagates the first exception,
-// and degrades to a plain loop for tiny inputs or a single worker, so results
-// are bit-identical to the serial path.
+// case. parallel_map preserves input order, propagates the first exception
+// (by index), and degrades to a plain loop for tiny inputs, a single worker,
+// or when the caller is already a pool worker, so results are bit-identical
+// to the serial path.
+//
+// The callable is a template parameter (not std::function): critical-bid
+// loops sit on the hot path and must not pay a type-erasure allocation per
+// call site.
 #pragma once
 
 #include <cstddef>
-#include <exception>
-#include <functional>
-#include <thread>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 
 namespace mcs::common {
 
-/// A sensible worker count: hardware concurrency, at least 1.
-std::size_t default_worker_count();
-
-/// Applies `fn(index)` for index in [0, count) and returns the results in
-/// index order. Runs serially when count < 2 or workers < 2. If any call
-/// throws, the first exception (by index) is rethrown after all workers
-/// join. `fn` must be safe to call concurrently from multiple threads.
-template <typename T>
-std::vector<T> parallel_map(std::size_t count, const std::function<T(std::size_t)>& fn,
+/// Applies `fn(index)` for index in [0, count) on the shared ThreadPool and
+/// returns the results in index order. Runs serially when count < 2 or
+/// workers < 2. If any call throws, every index is still attempted and the
+/// first exception (by index) is rethrown. `fn` must be safe to call
+/// concurrently from multiple threads.
+template <typename T, typename Fn>
+std::vector<T> parallel_map(std::size_t count, Fn&& fn,
                             std::size_t workers = default_worker_count()) {
   MCS_EXPECTS(workers >= 1, "need at least one worker");
   std::vector<T> results(count);
-  if (count == 0) {
-    return results;
-  }
-  if (count < 2 || workers < 2) {
-    for (std::size_t index = 0; index < count; ++index) {
-      results[index] = fn(index);
-    }
-    return results;
-  }
-
-  const std::size_t thread_count = std::min(workers, count);
-  std::vector<std::exception_ptr> errors(count);
-  std::vector<std::thread> threads;
-  threads.reserve(thread_count);
-  for (std::size_t worker = 0; worker < thread_count; ++worker) {
-    threads.emplace_back([&, worker] {
-      // Strided assignment: deterministic and balanced for similar items.
-      for (std::size_t index = worker; index < count; index += thread_count) {
-        try {
-          results[index] = fn(index);
-        } catch (...) {
-          errors[index] = std::current_exception();
-        }
-      }
-    });
-  }
-  for (auto& thread : threads) {
-    thread.join();
-  }
-  for (const auto& error : errors) {
-    if (error) {
-      std::rethrow_exception(error);
-    }
-  }
+  ThreadPool::shared().for_each_index(
+      count, [&](std::size_t index) { results[index] = fn(index); }, workers);
   return results;
 }
 

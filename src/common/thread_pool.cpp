@@ -1,0 +1,69 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace mcs::common {
+
+namespace {
+// Set for the lifetime of every pool worker thread; read by nested parallel
+// calls to decide on inline execution. Process-wide on purpose: a worker of
+// one pool must not block on another pool either.
+thread_local bool tls_on_pool_worker = false;
+}  // namespace
+
+std::size_t default_worker_count() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+bool ThreadPool::on_worker_thread() { return tls_on_pool_worker; }
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(default_worker_count());
+  return pool;
+}
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  MCS_EXPECTS(workers >= 1, "thread pool needs at least one worker");
+  workers_.reserve(workers);
+  for (std::size_t worker = 0; worker < workers; ++worker) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  tls_on_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping, and all queued work has drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace mcs::common

@@ -1,0 +1,139 @@
+// Persistent execution substrate: a long-lived worker pool for the
+// embarrassingly parallel loops in the mechanisms (critical bids, batched
+// auctions). Unlike a fork-join helper that spawns threads per call, the pool
+// pays thread creation once and amortizes it over every batch — the property
+// a platform serving a continuous stream of auction rounds needs.
+//
+// Determinism contract: work is partitioned into strided chunks by index and
+// results are owned by the caller per index, so outputs are bit-identical to
+// a serial loop no matter how many workers run. Exception contract: every
+// index is attempted, then the first exception BY INDEX is rethrown.
+// Nested-parallelism contract: a for_each_index issued from inside a pool
+// worker runs inline (serially) on that worker, which makes nesting
+// deadlock-free by construction.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace mcs::common {
+
+/// A sensible worker count: hardware concurrency, at least 1.
+std::size_t default_worker_count();
+
+class ThreadPool {
+ public:
+  /// No cap on the number of strided chunks (count becomes the cap).
+  static constexpr std::size_t kUnbounded = std::numeric_limits<std::size_t>::max();
+
+  /// Spawns `workers` long-lived threads (>= 1).
+  explicit ThreadPool(std::size_t workers = default_worker_count());
+  /// Runs any queued work to completion, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// True when the calling thread is a worker of any ThreadPool — the signal
+  /// that a nested parallel call must run inline.
+  static bool on_worker_thread();
+
+  /// The process-wide pool (default_worker_count() workers), created on first
+  /// use. parallel_map and the default-configured auction engine run here.
+  static ThreadPool& shared();
+
+  /// Applies `fn(index)` for index in [0, count), blocking until all calls
+  /// complete. Work is split into min(count, max_workers) strided chunks.
+  /// Runs inline (serially, in index order) when count < 2, max_workers < 2,
+  /// or the caller is itself a pool worker. If calls throw, every index is
+  /// still attempted and the first exception by index is rethrown.
+  /// `fn` must be safe to call concurrently from multiple threads.
+  template <typename Fn>
+  void for_each_index(std::size_t count, Fn&& fn, std::size_t max_workers = kUnbounded) {
+    if (count == 0) {
+      return;
+    }
+    const std::size_t chunks = std::min(count, std::max<std::size_t>(1, max_workers));
+    if (count < 2 || chunks < 2 || on_worker_thread()) {
+      for (std::size_t index = 0; index < count; ++index) {
+        fn(index);
+      }
+      return;
+    }
+
+    std::vector<std::exception_ptr> errors(count);
+    Completion completion{chunks};
+    for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+      enqueue([&, chunk] {
+        for (std::size_t index = chunk; index < count; index += chunks) {
+          try {
+            fn(index);
+          } catch (...) {
+            errors[index] = std::current_exception();
+          }
+        }
+        completion.finish_one();
+      });
+    }
+    completion.wait();
+    for (const auto& error : errors) {
+      if (error) {
+        std::rethrow_exception(error);
+      }
+    }
+  }
+
+  /// Queues one task and returns its future. Do not block on the future from
+  /// inside a pool worker: the task may be waiting for that same worker.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
+    using Result = std::invoke_result_t<std::decay_t<Fn>>;
+    auto task = std::make_shared<std::packaged_task<Result()>>(std::forward<Fn>(fn));
+    auto future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+ private:
+  /// Latch-like completion state of one for_each_index call.
+  struct Completion {
+    explicit Completion(std::size_t chunks) : remaining(chunks) {}
+    void finish_one() {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (--remaining == 0) {
+        done.notify_one();
+      }
+    }
+    void wait() {
+      std::unique_lock<std::mutex> lock(mutex);
+      done.wait(lock, [&] { return remaining == 0; });
+    }
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining;
+  };
+
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mcs::common

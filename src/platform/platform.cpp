@@ -179,9 +179,9 @@ RoundReport Platform::run_round(std::size_t round, double budget_left) {
     return report;  // nothing coverable this slot
   }
 
-  const auction::multi_task::MechanismConfig mechanism{
-      .alpha = config_.alpha, .critical_bid_rule = config_.critical_bid_rule};
-  const auto outcome = auction::multi_task::run_mechanism(scenario->instance, mechanism);
+  const auction::MechanismConfig mechanism{
+      .alpha = config_.alpha, .multi_task = {.critical_bid_rule = config_.critical_bid_rule}};
+  const auto outcome = engine_.run_one(scenario->instance, mechanism);
   if (!outcome.allocation.feasible) {
     return report;
   }

@@ -22,7 +22,7 @@
 #include <map>
 #include <vector>
 
-#include "auction/multi_task/mechanism.hpp"
+#include "auction/engine.hpp"
 #include "mobility/pos.hpp"
 #include "platform/reputation.hpp"
 #include "sim/scenario.hpp"
@@ -61,8 +61,7 @@ struct CampaignConfig {
   /// infeasible rounds are simply skipped.
   double requirement_cap_fraction = 0.9;
   double alpha = 10.0;
-  auction::multi_task::CriticalBidRule critical_bid_rule =
-      auction::multi_task::CriticalBidRule::kBinarySearch;
+  auction::CriticalBidRule critical_bid_rule = auction::CriticalBidRule::kBinarySearch;
   TaskPolicy task_policy = TaskPolicy::kMostCovered;
   double demand_zipf_exponent = 1.0;  ///< for TaskPolicy::kZipfDemand
   /// Probability a taxi is on shift (able to bid) in a given round; off-shift
@@ -141,6 +140,9 @@ class Platform {
   const trace::CityModel& city_;
   const mobility::FleetModel& fleet_;
   CampaignConfig config_;
+  /// Shares the process-wide pool; every round's auction is submitted here
+  /// so the critical-bid computations reuse long-lived workers.
+  auction::Engine engine_;
   common::Rng rng_;
   std::vector<geo::CellId> positions_;  ///< indexed by position in fleet_.taxis()
   ReputationTracker reputation_;

@@ -22,4 +22,29 @@ WorkloadConfig default_bench_workload() {
   return config;
 }
 
+std::vector<auction::AuctionInstance> sample_round_batch(const Workload& workload,
+                                                         std::size_t rounds,
+                                                         std::size_t num_tasks,
+                                                         std::size_t num_users,
+                                                         const ScenarioParams& params,
+                                                         common::Rng& rng) {
+  std::vector<auction::AuctionInstance> batch;
+  batch.reserve(rounds);
+  for (std::size_t round = 0; round < rounds; ++round) {
+    auto scenario =
+        build_feasible_multi_task(workload.users(), num_tasks, num_users, params, rng, 30);
+    if (!scenario.has_value()) {
+      continue;
+    }
+    batch.emplace_back(std::move(scenario->instance));
+  }
+  return batch;
+}
+
+std::vector<auction::MechanismOutcome> run_round_batch(
+    const auction::Engine& engine, const std::vector<auction::AuctionInstance>& batch,
+    const auction::MechanismConfig& config) {
+  return engine.run(batch, config);
+}
+
 }  // namespace mcs::sim

@@ -1,13 +1,16 @@
 // Shared experiment plumbing for the benches and examples: one call builds
 // the full pipeline of the paper's evaluation — synthetic city, trace,
 // per-taxi mobility models, and the derived mobile-user population that the
-// scenario builders sample auction participants from.
+// scenario builders sample auction participants from — plus the round-batch
+// helpers that feed streams of sampled auctions to auction::Engine.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "auction/engine.hpp"
 #include "mobility/pos.hpp"
+#include "sim/scenario.hpp"
 #include "trace/generator.hpp"
 
 namespace mcs::sim {
@@ -44,5 +47,24 @@ class Workload {
 /// The workload the bench binaries share (paper-default parameters, sized to
 /// finish in seconds rather than minutes).
 WorkloadConfig default_bench_workload();
+
+/// Samples up to `rounds` feasible multi-task auctions from the workload's
+/// user population — the stream a running platform would hold, one auction
+/// per campaign round, each on the `num_tasks` most popular cells with a
+/// fresh bidder sample. Returns fewer when the population cannot support the
+/// count (deterministic given `rng`).
+std::vector<auction::AuctionInstance> sample_round_batch(const Workload& workload,
+                                                         std::size_t rounds,
+                                                         std::size_t num_tasks,
+                                                         std::size_t num_users,
+                                                         const ScenarioParams& params,
+                                                         common::Rng& rng);
+
+/// Submits a sampled round batch to the engine under one shared config;
+/// outcomes align with the batch (see Engine::run for the determinism
+/// contract).
+std::vector<auction::MechanismOutcome> run_round_batch(
+    const auction::Engine& engine, const std::vector<auction::AuctionInstance>& batch,
+    const auction::MechanismConfig& config = {});
 
 }  // namespace mcs::sim

@@ -10,8 +10,7 @@ namespace mcs::sim {
 
 std::vector<MisreportPoint> sweep_declared_pos(
     const auction::SingleTaskInstance& truth, auction::UserId user,
-    const std::vector<double>& declared_grid,
-    const auction::single_task::MechanismConfig& config) {
+    const std::vector<double>& declared_grid, const auction::MechanismConfig& config) {
   MCS_EXPECTS(user >= 0 && static_cast<std::size_t>(user) < truth.bids.size(),
               "user id out of range");
   const double true_pos = truth.bids[static_cast<std::size_t>(user)].pos;
@@ -22,13 +21,14 @@ std::vector<MisreportPoint> sweep_declared_pos(
     const auto instance = truth.with_declared_pos(user, declared);
     MisreportPoint point;
     point.declared = declared;
-    const auto allocation = auction::single_task::solve_fptas(instance, config.epsilon);
+    const auto allocation =
+        auction::single_task::solve_fptas(instance, config.single_task.epsilon);
     point.won = allocation.feasible && allocation.contains(user);
     if (point.won) {
       const auction::single_task::RewardOptions options{
           .alpha = config.alpha,
-          .epsilon = config.epsilon,
-          .binary_search_iterations = config.binary_search_iterations};
+          .epsilon = config.single_task.epsilon,
+          .binary_search_iterations = config.single_task.binary_search_iterations};
       const auto reward = auction::single_task::compute_reward(instance, user, options);
       // The reward is settled against the user's TRUE success probability.
       point.expected_utility = reward.reward.expected_utility(true_pos);
@@ -40,8 +40,7 @@ std::vector<MisreportPoint> sweep_declared_pos(
 
 std::vector<MisreportPoint> sweep_declared_contribution(
     const auction::MultiTaskInstance& truth, auction::UserId user,
-    const std::vector<double>& declared_grid,
-    const auction::multi_task::MechanismConfig& config) {
+    const std::vector<double>& declared_grid, const auction::MechanismConfig& config) {
   MCS_EXPECTS(user >= 0 && static_cast<std::size_t>(user) < truth.num_users(),
               "user id out of range");
   const double true_any =
@@ -56,8 +55,8 @@ std::vector<MisreportPoint> sweep_declared_contribution(
     const auto result = auction::multi_task::solve_greedy(instance);
     point.won = result.allocation.feasible && result.allocation.contains(user);
     if (point.won) {
-      const auction::multi_task::RewardOptions options{.alpha = config.alpha,
-                                                       .rule = config.critical_bid_rule};
+      const auction::multi_task::RewardOptions options{
+          .alpha = config.alpha, .rule = config.multi_task.critical_bid_rule};
       const auto reward = auction::multi_task::compute_reward(instance, user, options);
       point.expected_utility = reward.reward.expected_utility(true_any);
     }

@@ -23,15 +23,13 @@ struct MisreportPoint {
 /// mechanism. The instance holds the true types.
 std::vector<MisreportPoint> sweep_declared_pos(
     const auction::SingleTaskInstance& truth, auction::UserId user,
-    const std::vector<double>& declared_grid,
-    const auction::single_task::MechanismConfig& config);
+    const std::vector<double>& declared_grid, const auction::MechanismConfig& config);
 
 /// Sweeps user `user`'s declared TOTAL contribution (her PoS vector scaled in
 /// contribution space) over `declared_grid` in the multi-task mechanism.
 std::vector<MisreportPoint> sweep_declared_contribution(
     const auction::MultiTaskInstance& truth, auction::UserId user,
-    const std::vector<double>& declared_grid,
-    const auction::multi_task::MechanismConfig& config);
+    const std::vector<double>& declared_grid, const auction::MechanismConfig& config);
 
 /// True when no point in the sweep beats the truthful utility by more than
 /// `tolerance` — the empirical strategy-proofness check.

@@ -15,7 +15,7 @@ double deterrence_threshold(double audit_prob) {
 std::vector<CostMisreportPoint> sweep_declared_cost(
     const auction::SingleTaskInstance& truth, auction::UserId user,
     const std::vector<double>& declared_grid,
-    const auction::single_task::MechanismConfig& config, const CostAuditModel& audit) {
+    const auction::MechanismConfig& config, const CostAuditModel& audit) {
   MCS_EXPECTS(user >= 0 && static_cast<std::size_t>(user) < truth.bids.size(),
               "user id out of range");
   MCS_EXPECTS(audit.audit_prob >= 0.0 && audit.audit_prob <= 1.0,
@@ -33,13 +33,14 @@ std::vector<CostMisreportPoint> sweep_declared_cost(
 
     CostMisreportPoint point;
     point.declared_cost = declared;
-    const auto allocation = auction::single_task::solve_fptas(instance, config.epsilon);
+    const auto allocation =
+        auction::single_task::solve_fptas(instance, config.single_task.epsilon);
     point.won = allocation.feasible && allocation.contains(user);
     if (point.won) {
       const auction::single_task::RewardOptions options{
           .alpha = config.alpha,
-          .epsilon = config.epsilon,
-          .binary_search_iterations = config.binary_search_iterations};
+          .epsilon = config.single_task.epsilon,
+          .binary_search_iterations = config.single_task.binary_search_iterations};
       const auto reward = auction::single_task::compute_reward(instance, user, options);
       // The EC reward reimburses the DECLARED cost; the margin (ĉ - c)
       // survives an audit-free round and costs φ·|ĉ - c| when caught.

@@ -59,6 +59,6 @@ struct CostMisreportPoint {
 std::vector<CostMisreportPoint> sweep_declared_cost(
     const auction::SingleTaskInstance& truth, auction::UserId user,
     const std::vector<double>& declared_grid,
-    const auction::single_task::MechanismConfig& config, const CostAuditModel& audit);
+    const auction::MechanismConfig& config, const CostAuditModel& audit);
 
 }  // namespace mcs::sim

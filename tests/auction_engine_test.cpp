@@ -1,0 +1,150 @@
+// Tests for the batched auction engine: outcomes must come back in
+// submission order and be bit-identical to the serial per-instance
+// run_mechanism path, for both families, any worker count, and mixed
+// batches; infeasible instances flow through; config errors surface as the
+// usual PreconditionError.
+#include "auction/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "auction/multi_task/mechanism.hpp"
+#include "auction/single_task/mechanism.hpp"
+#include "test_util.hpp"
+
+namespace mcs::auction {
+namespace {
+
+// Bit-identical comparison: exact double equality on every field of the
+// outcome, which holds because both paths run the same deterministic code.
+void expect_identical(const MechanismOutcome& actual, const MechanismOutcome& expected) {
+  ASSERT_EQ(actual.allocation.feasible, expected.allocation.feasible);
+  ASSERT_EQ(actual.allocation.winners, expected.allocation.winners);
+  EXPECT_EQ(actual.allocation.total_cost, expected.allocation.total_cost);
+  ASSERT_EQ(actual.rewards.size(), expected.rewards.size());
+  for (std::size_t k = 0; k < actual.rewards.size(); ++k) {
+    EXPECT_EQ(actual.rewards[k].user, expected.rewards[k].user);
+    EXPECT_EQ(actual.rewards[k].critical_contribution,
+              expected.rewards[k].critical_contribution);
+    EXPECT_EQ(actual.rewards[k].reward.critical_pos, expected.rewards[k].reward.critical_pos);
+    EXPECT_EQ(actual.rewards[k].reward.cost, expected.rewards[k].reward.cost);
+    EXPECT_EQ(actual.rewards[k].reward.alpha, expected.rewards[k].reward.alpha);
+  }
+}
+
+MechanismConfig single_config() {
+  return MechanismConfig{.alpha = 10.0, .single_task = {.epsilon = 0.5}};
+}
+
+TEST(Engine, BatchedSingleTaskIsBitIdenticalToSerial) {
+  std::vector<SingleTaskInstance> batch;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    batch.push_back(test::random_single_task(14, 0.8, seed));
+  }
+  const auto config = single_config();
+  for (std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    const Engine engine(EngineOptions{.workers = workers});
+    const auto outcomes = engine.run(batch, config);
+    ASSERT_EQ(outcomes.size(), batch.size());
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      expect_identical(outcomes[k], single_task::run_mechanism(batch[k], config));
+    }
+  }
+}
+
+TEST(Engine, BatchedMultiTaskIsBitIdenticalToSerial) {
+  std::vector<MultiTaskInstance> batch;
+  for (std::uint64_t seed = 11; seed <= 18; ++seed) {
+    batch.push_back(test::random_multi_task(16, 5, 0.6, seed));
+  }
+  const MechanismConfig config{.alpha = 10.0};
+  for (std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    const Engine engine(EngineOptions{.workers = workers});
+    const auto outcomes = engine.run(batch, config);
+    ASSERT_EQ(outcomes.size(), batch.size());
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      expect_identical(outcomes[k], multi_task::run_mechanism(batch[k], config));
+    }
+  }
+}
+
+TEST(Engine, MixedBatchPreservesSubmissionOrder) {
+  std::vector<AuctionInstance> batch;
+  for (std::uint64_t seed = 21; seed <= 24; ++seed) {
+    batch.emplace_back(test::random_single_task(12, 0.8, seed));
+    batch.emplace_back(test::random_multi_task(12, 4, 0.6, seed));
+  }
+  const auto config = single_config();
+  const Engine engine(EngineOptions{.workers = 3});
+  const auto outcomes = engine.run(batch, config);
+  ASSERT_EQ(outcomes.size(), batch.size());
+  for (std::size_t k = 0; k < batch.size(); ++k) {
+    if (const auto* single = std::get_if<SingleTaskInstance>(&batch[k])) {
+      expect_identical(outcomes[k], single_task::run_mechanism(*single, config));
+    } else {
+      expect_identical(outcomes[k],
+                       multi_task::run_mechanism(std::get<MultiTaskInstance>(batch[k]), config));
+    }
+  }
+}
+
+TEST(Engine, SharedPoolEngineMatchesDedicatedPoolEngine) {
+  std::vector<SingleTaskInstance> batch;
+  for (std::uint64_t seed = 31; seed <= 36; ++seed) {
+    batch.push_back(test::random_single_task(12, 0.8, seed));
+  }
+  const auto config = single_config();
+  const Engine shared_engine;  // process-wide pool
+  const Engine dedicated(EngineOptions{.workers = 2});
+  const auto from_shared = shared_engine.run(batch, config);
+  const auto from_dedicated = dedicated.run(batch, config);
+  ASSERT_EQ(from_shared.size(), from_dedicated.size());
+  for (std::size_t k = 0; k < from_shared.size(); ++k) {
+    expect_identical(from_shared[k], from_dedicated[k]);
+  }
+}
+
+TEST(Engine, RunOneMatchesRunMechanism) {
+  const auto single = test::random_single_task(15, 0.8, 41);
+  const auto multi = test::random_multi_task(15, 5, 0.6, 42);
+  const auto config = single_config();
+  const Engine engine(EngineOptions{.workers = 2});
+  expect_identical(engine.run_one(single, config), single_task::run_mechanism(single, config));
+  expect_identical(engine.run_one(multi, config), multi_task::run_mechanism(multi, config));
+  expect_identical(engine.run_one(AuctionInstance{single}, config),
+                   single_task::run_mechanism(single, config));
+}
+
+TEST(Engine, InfeasibleInstancesFlowThroughTheBatch) {
+  SingleTaskInstance infeasible;
+  infeasible.requirement_pos = 0.99;
+  infeasible.bids = {{1.0, 0.1}, {2.0, 0.1}};  // combined PoS 0.19 << 0.99
+  std::vector<AuctionInstance> batch;
+  batch.emplace_back(infeasible);
+  batch.emplace_back(test::random_single_task(12, 0.8, 51));
+  const Engine engine(EngineOptions{.workers = 2});
+  const auto outcomes = engine.run(batch, single_config());
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_FALSE(outcomes[0].allocation.feasible);
+  EXPECT_TRUE(outcomes[0].rewards.empty());
+  EXPECT_TRUE(outcomes[1].allocation.feasible);
+}
+
+TEST(Engine, InvalidConfigThrowsPreconditionError) {
+  std::vector<SingleTaskInstance> batch{test::random_single_task(8, 0.7, 61),
+                                        test::random_single_task(8, 0.7, 62)};
+  const Engine engine(EngineOptions{.workers = 2});
+  EXPECT_THROW(engine.run(batch, MechanismConfig{.alpha = -1.0}), common::PreconditionError);
+}
+
+TEST(Engine, EmptyBatchYieldsEmptyOutcomes) {
+  const Engine engine;
+  EXPECT_TRUE(engine.run(std::vector<AuctionInstance>{}).empty());
+}
+
+TEST(Engine, WorkerCountReflectsOptions) {
+  EXPECT_EQ(Engine(EngineOptions{.workers = 3}).worker_count(), 3u);
+  EXPECT_EQ(Engine().worker_count(), common::ThreadPool::shared().worker_count());
+}
+
+}  // namespace
+}  // namespace mcs::auction

@@ -73,7 +73,7 @@ TEST(ParallelMap, RejectsZeroWorkers) {
 
 TEST(ParallelRewards, SingleTaskParallelEqualsSerial) {
   const auto instance = test::random_single_task(20, 0.8, 33);
-  auction::single_task::MechanismConfig config{.epsilon = 0.5, .alpha = 10.0};
+  auction::MechanismConfig config{.alpha = 10.0, .single_task = {.epsilon = 0.5}};
   config.parallel_rewards = false;
   const auto serial = auction::single_task::run_mechanism(instance, config);
   config.parallel_rewards = true;
@@ -88,7 +88,7 @@ TEST(ParallelRewards, SingleTaskParallelEqualsSerial) {
 
 TEST(ParallelRewards, MultiTaskParallelEqualsSerial) {
   const auto instance = test::random_multi_task(18, 5, 0.6, 35);
-  auction::multi_task::MechanismConfig config{.alpha = 10.0};
+  auction::MechanismConfig config{.alpha = 10.0};
   config.parallel_rewards = false;
   const auto serial = auction::multi_task::run_mechanism(instance, config);
   config.parallel_rewards = true;

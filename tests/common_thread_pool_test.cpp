@@ -1,0 +1,164 @@
+// Tests for the persistent thread pool: deterministic result ordering,
+// first-exception-by-index propagation, reuse across batches, submit
+// futures, and nested-parallelism safety (a nested call must run inline on
+// the worker instead of deadlocking on the pool's own queue).
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.hpp"
+
+namespace mcs::common {
+namespace {
+
+TEST(ThreadPool, RejectsZeroWorkers) { EXPECT_THROW(ThreadPool(0), PreconditionError); }
+
+TEST(ThreadPool, ReportsWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.worker_count(), 3u);
+}
+
+TEST(ThreadPool, ForEachIndexCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(257);
+  pool.for_each_index(257, [&](std::size_t index) { ++visits[index]; }, 6);
+  for (const auto& count : visits) {
+    EXPECT_EQ(count.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ResultsAreOrderedByIndexRegardlessOfWorkers) {
+  ThreadPool pool(5);
+  for (std::size_t max_workers : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    std::vector<int> results(100, -1);
+    pool.for_each_index(
+        100, [&](std::size_t index) { results[index] = static_cast<int>(index * index); },
+        max_workers);
+    for (std::size_t k = 0; k < results.size(); ++k) {
+      EXPECT_EQ(results[k], static_cast<int>(k * k));
+    }
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossManyBatches) {
+  // The point of a persistent pool: repeated batches reuse the same workers.
+  // 100 sequential batches through one pool must all complete correctly.
+  ThreadPool pool(4);
+  for (int batch = 0; batch < 100; ++batch) {
+    std::vector<int> results(32, 0);
+    pool.for_each_index(results.size(),
+                        [&](std::size_t index) { results[index] = batch + static_cast<int>(index); },
+                        4);
+    for (std::size_t k = 0; k < results.size(); ++k) {
+      ASSERT_EQ(results[k], batch + static_cast<int>(k));
+    }
+  }
+  EXPECT_EQ(pool.worker_count(), 4u);
+}
+
+TEST(ThreadPool, PropagatesTheFirstExceptionByIndex) {
+  ThreadPool pool(4);
+  const auto boom = [](std::size_t index) {
+    if (index == 3 || index == 40) {
+      throw std::runtime_error("boom " + std::to_string(index));
+    }
+  };
+  try {
+    pool.for_each_index(64, boom, 4);
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "boom 3");
+  }
+}
+
+TEST(ThreadPool, EveryIndexStillRunsWhenSomeThrow) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(64);
+  const auto boom = [&](std::size_t index) {
+    ++visits[index];
+    if (index % 7 == 0) {
+      throw std::runtime_error("x");
+    }
+  };
+  EXPECT_THROW(pool.for_each_index(64, boom, 4), std::runtime_error);
+  for (const auto& count : visits) {
+    EXPECT_EQ(count.load(), 1);
+  }
+}
+
+TEST(ThreadPool, NestedCallsRunInlineOnTheWorker) {
+  // A for_each_index issued from inside a pool worker must run inline: it
+  // cannot wait on the pool's own queue without risking deadlock. This test
+  // both asserts the inline property and, by completing at all, shows the
+  // nesting is deadlock-free even with a single worker.
+  ThreadPool pool(1);
+  std::atomic<int> inner_total{0};
+  std::atomic<bool> saw_worker_flag{false};
+  pool.for_each_index(
+      4,
+      [&](std::size_t) {
+        saw_worker_flag = saw_worker_flag || ThreadPool::on_worker_thread();
+        pool.for_each_index(8, [&](std::size_t) { ++inner_total; }, 8);
+      },
+      4);
+  EXPECT_TRUE(saw_worker_flag.load());
+  EXPECT_EQ(inner_total.load(), 32);
+}
+
+TEST(ThreadPool, NestedParallelMapFromWorkerIsSerialAndCorrect) {
+  ThreadPool pool(2);
+  std::vector<std::vector<int>> results(6);
+  pool.for_each_index(
+      6,
+      [&](std::size_t outer) {
+        // parallel_map targets the shared pool; from inside a worker of any
+        // pool it must degrade to the serial path and still be correct.
+        results[outer] = parallel_map<int>(
+            10, [&](std::size_t inner) { return static_cast<int>(outer * 10 + inner); }, 4);
+      },
+      6);
+  for (std::size_t outer = 0; outer < results.size(); ++outer) {
+    ASSERT_EQ(results[outer].size(), 10u);
+    for (std::size_t inner = 0; inner < 10; ++inner) {
+      EXPECT_EQ(results[outer][inner], static_cast<int>(outer * 10 + inner));
+    }
+  }
+}
+
+TEST(ThreadPool, SubmitRunsTasksAndReturnsFutures) {
+  ThreadPool pool(2);
+  auto doubled = pool.submit([] { return 21 * 2; });
+  auto threaded = pool.submit([] { return std::this_thread::get_id(); });
+  EXPECT_EQ(doubled.get(), 42);
+  EXPECT_NE(threaded.get(), std::this_thread::get_id());
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionsThroughTheFuture) {
+  ThreadPool pool(1);
+  auto future = pool.submit([]() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, SharedPoolIsAProcessWideSingleton) {
+  EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+  EXPECT_GE(ThreadPool::shared().worker_count(), 1u);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWork) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int k = 0; k < 50; ++k) {
+      (void)pool.submit([&] { ++ran; });
+    }
+  }  // ~ThreadPool joins only after the queue has drained
+  EXPECT_EQ(ran.load(), 50);
+}
+
+}  // namespace
+}  // namespace mcs::common

@@ -47,7 +47,7 @@ TEST_F(PipelineFixture, SingleTaskAuctionEndToEnd) {
   }
 
   const auto outcome = auction::single_task::run_mechanism(
-      scenario->instance, {.epsilon = 0.5, .alpha = 10.0});
+      scenario->instance, {.alpha = 10.0, .single_task = {.epsilon = 0.5}});
   if (!outcome.allocation.feasible) {
     GTEST_SKIP() << "knife-edge instance: requirement equals total contribution";
   }

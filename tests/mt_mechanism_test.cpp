@@ -60,7 +60,7 @@ TEST(MultiTaskMechanism, AchievedPosMeetsEveryRequirement) {
 
 TEST(MultiTaskMechanism, RejectsBadConfig) {
   const auto instance = test::random_multi_task(5, 2, 0.4, 1);
-  EXPECT_THROW(run_mechanism(instance, MechanismConfig{.alpha = 0.0}),
+  EXPECT_THROW(run_mechanism(instance, auction::MechanismConfig{.alpha = 0.0}),
                common::PreconditionError);
 }
 

@@ -39,7 +39,7 @@ TEST(Robustness, RequirementNearZero) {
   SingleTaskInstance instance;
   instance.requirement_pos = 1e-9;
   instance.bids = {{5.0, 0.01}, {1.0, 0.005}};
-  const auto outcome = single_task::run_mechanism(instance, {.epsilon = 0.5, .alpha = 10.0});
+  const auto outcome = single_task::run_mechanism(instance, {.alpha = 10.0, .single_task = {.epsilon = 0.5}});
   check_single_outcome(instance, outcome);
   ASSERT_TRUE(outcome.allocation.feasible);
   EXPECT_EQ(outcome.allocation.winners.size(), 1u);  // one tiny PoS suffices
@@ -49,7 +49,7 @@ TEST(Robustness, RequirementNearOne) {
   SingleTaskInstance instance;
   instance.requirement_pos = 0.999999;
   instance.bids.assign(40, {1.0, 0.3});
-  const auto outcome = single_task::run_mechanism(instance, {.epsilon = 0.5, .alpha = 10.0});
+  const auto outcome = single_task::run_mechanism(instance, {.alpha = 10.0, .single_task = {.epsilon = 0.5}});
   check_single_outcome(instance, outcome);
   ASSERT_TRUE(outcome.allocation.feasible);  // 40·q(0.3) = 14.3 >> 13.8
   EXPECT_GT(outcome.allocation.winners.size(), 35u);
@@ -59,7 +59,7 @@ TEST(Robustness, DeclaredPosOfExactlyOne) {
   SingleTaskInstance instance;
   instance.requirement_pos = 0.9;
   instance.bids = {{5.0, 1.0}, {1.0, 0.3}, {1.5, 0.3}};
-  const auto outcome = single_task::run_mechanism(instance, {.epsilon = 0.2, .alpha = 10.0});
+  const auto outcome = single_task::run_mechanism(instance, {.alpha = 10.0, .single_task = {.epsilon = 0.2}});
   check_single_outcome(instance, outcome);
   EXPECT_TRUE(outcome.allocation.feasible);
 }
@@ -70,7 +70,7 @@ TEST(Robustness, ExtremeCostScales) {
     instance.requirement_pos = 0.6;
     instance.bids = {{3.0 * scale, 0.4}, {2.0 * scale, 0.4}, {10.0 * scale, 0.5}};
     const auto outcome =
-        single_task::run_mechanism(instance, {.epsilon = 0.3, .alpha = 10.0});
+        single_task::run_mechanism(instance, {.alpha = 10.0, .single_task = {.epsilon = 0.3}});
     check_single_outcome(instance, outcome);
     ASSERT_TRUE(outcome.allocation.feasible) << "scale " << scale;
     EXPECT_NEAR(outcome.allocation.total_cost, 5.0 * scale, 1e-6 * scale);
@@ -81,7 +81,7 @@ TEST(Robustness, MixedCostMagnitudesInOneInstance) {
   SingleTaskInstance instance;
   instance.requirement_pos = 0.7;
   instance.bids = {{1e-3, 0.3}, {1e3, 0.5}, {2.0, 0.4}, {3.0, 0.4}};
-  const auto outcome = single_task::run_mechanism(instance, {.epsilon = 0.3, .alpha = 10.0});
+  const auto outcome = single_task::run_mechanism(instance, {.alpha = 10.0, .single_task = {.epsilon = 0.3}});
   check_single_outcome(instance, outcome);
   ASSERT_TRUE(outcome.allocation.feasible);
   // The 1e3-cost user must not be selected: the three cheap users cover.
@@ -92,7 +92,7 @@ TEST(Robustness, SingleUserMarket) {
   SingleTaskInstance instance;
   instance.requirement_pos = 0.4;
   instance.bids = {{2.0, 0.5}};
-  const auto outcome = single_task::run_mechanism(instance, {.epsilon = 0.5, .alpha = 10.0});
+  const auto outcome = single_task::run_mechanism(instance, {.alpha = 10.0, .single_task = {.epsilon = 0.5}});
   check_single_outcome(instance, outcome);
   ASSERT_TRUE(outcome.allocation.feasible);
   // Pivotal user: critical PoS is the requirement boundary, not zero — she
@@ -104,7 +104,7 @@ TEST(Robustness, ManyIdenticalUsers) {
   SingleTaskInstance instance;
   instance.requirement_pos = 0.8;
   instance.bids.assign(60, {2.0, 0.1});
-  const auto outcome = single_task::run_mechanism(instance, {.epsilon = 0.5, .alpha = 10.0});
+  const auto outcome = single_task::run_mechanism(instance, {.alpha = 10.0, .single_task = {.epsilon = 0.5}});
   check_single_outcome(instance, outcome);
   ASSERT_TRUE(outcome.allocation.feasible);
   // ceil(Q / q(0.1)) identical users needed.
@@ -124,7 +124,7 @@ TEST_P(RobustnessSweep, LargeRandomSingleTaskInstancesHoldInvariants) {
     instance.bids.push_back({rng.uniform(0.1, 50.0), rng.uniform(0.0, 0.6)});
   }
   const auto outcome = single_task::run_mechanism(
-      instance, {.epsilon = 0.5, .alpha = 10.0, .binary_search_iterations = 24});
+      instance, {.alpha = 10.0, .single_task = {.epsilon = 0.5, .binary_search_iterations = 24}});
   check_single_outcome(instance, outcome);
 }
 

@@ -87,7 +87,7 @@ TEST(PayoutEstimate, MatchesMonteCarloSettlement) {
   // payout against the empirical mean of settled executions.
   const auto instance = test::random_single_task(15, 0.8, 5);
   const auto outcome =
-      auction::single_task::run_mechanism(instance, {.epsilon = 0.5, .alpha = 10.0});
+      auction::single_task::run_mechanism(instance, {.alpha = 10.0, .single_task = {.epsilon = 0.5}});
   ASSERT_TRUE(outcome.allocation.feasible);
   const auto estimate = estimate_payout(instance, outcome);
 
@@ -129,7 +129,7 @@ TEST(AlphaForBudget, ChosenAlphaKeepsEmpiricalPayoutNearBudget) {
   // α does not affect the allocation or the critical PoS, so the outcome
   // computed at any α re-scales exactly.
   const auto outcome =
-      auction::single_task::run_mechanism(instance, {.epsilon = 0.5, .alpha = 1.0});
+      auction::single_task::run_mechanism(instance, {.alpha = 1.0, .single_task = {.epsilon = 0.5}});
   ASSERT_TRUE(outcome.allocation.feasible);
   auto estimate = estimate_payout(instance, outcome);
   const double budget = estimate.total_cost * 1.5;

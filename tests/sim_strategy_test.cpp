@@ -16,7 +16,7 @@ auction::SingleTaskInstance paper_example() {
 }
 
 TEST(SweepDeclaredPos, WinFlagsAreMonotoneInDeclaration) {
-  const auction::single_task::MechanismConfig config{.epsilon = 0.1, .alpha = 10.0};
+  const auction::MechanismConfig config{.alpha = 10.0, .single_task = {.epsilon = 0.1}};
   const auto sweep =
       sweep_declared_pos(paper_example(), 2, {0.1, 0.3, 0.5, 0.7, 0.9}, config);
   ASSERT_EQ(sweep.size(), 5u);
@@ -31,7 +31,7 @@ TEST(SweepDeclaredPos, WinFlagsAreMonotoneInDeclaration) {
 }
 
 TEST(SweepDeclaredPos, LosingPointsHaveZeroUtility) {
-  const auction::single_task::MechanismConfig config{.epsilon = 0.1, .alpha = 10.0};
+  const auction::MechanismConfig config{.alpha = 10.0, .single_task = {.epsilon = 0.1}};
   const auto sweep = sweep_declared_pos(paper_example(), 2, {0.1, 0.9}, config);
   EXPECT_FALSE(sweep[0].won);
   EXPECT_DOUBLE_EQ(sweep[0].expected_utility, 0.0);
@@ -41,7 +41,7 @@ TEST(SweepDeclaredPos, LosingPointsHaveZeroUtility) {
 }
 
 TEST(SweepDeclaredPos, TruthfulWinnerKeepsConstantUtility) {
-  const auction::single_task::MechanismConfig config{.epsilon = 0.1, .alpha = 10.0};
+  const auction::MechanismConfig config{.alpha = 10.0, .single_task = {.epsilon = 0.1}};
   const auto sweep = sweep_declared_pos(paper_example(), 1, {0.7, 0.8, 0.9}, config);
   for (const auto& point : sweep) {
     ASSERT_TRUE(point.won);
@@ -50,7 +50,7 @@ TEST(SweepDeclaredPos, TruthfulWinnerKeepsConstantUtility) {
 }
 
 TEST(SweepDeclaredPos, RejectsBadUser) {
-  const auction::single_task::MechanismConfig config{};
+  const auction::MechanismConfig config{};
   EXPECT_THROW(sweep_declared_pos(paper_example(), 9, {0.5}, config),
                common::PreconditionError);
 }
@@ -63,7 +63,7 @@ TEST(SweepDeclaredContribution, LosingBelowThresholdWinningAbove) {
       {{0}, {0.5}, 2.0},
       {{0}, {0.5}, 2.5},
   };
-  const auction::multi_task::MechanismConfig config{.alpha = 10.0};
+  const auction::MechanismConfig config{.alpha = 10.0};
   const double total = instance.users[0].total_contribution();
   const auto sweep =
       sweep_declared_contribution(instance, 0, {0.01, total, 3.0 * total}, config);

@@ -29,7 +29,7 @@ TEST(DeterrenceThreshold, MatchesClosedForm) {
 }
 
 TEST(SweepDeclaredCost, TruthfulPointMatchesPlainUtility) {
-  const auction::single_task::MechanismConfig config{.epsilon = 0.1, .alpha = 10.0};
+  const auction::MechanismConfig config{.alpha = 10.0, .single_task = {.epsilon = 0.1}};
   const CostAuditModel audit{.audit_prob = 0.5, .penalty_factor = 2.0};
   // User 1 (cost 2, PoS 0.7) is a truthful winner with utility 1/3.
   const auto sweep = sweep_declared_cost(paper_example(), 1, {2.0}, config, audit);
@@ -51,7 +51,7 @@ auction::SingleTaskInstance stable_boundary_example() {
 }
 
 TEST(SweepDeclaredCost, OverstatementMarginTaxedByAudit) {
-  const auction::single_task::MechanismConfig config{.epsilon = 0.1, .alpha = 10.0};
+  const auction::MechanismConfig config{.alpha = 10.0, .single_task = {.epsilon = 0.1}};
   // Truthful utility for user 1: (0.7 - 0.5)·10 = 2.
   // No audit: overstating by 0.5 (while still winning) nets the full margin.
   const CostAuditModel no_audit{.audit_prob = 0.0, .penalty_factor = 0.0};
@@ -79,7 +79,7 @@ TEST(SweepDeclaredCost, UnderstatementIsAlsoFined) {
   // isolates the taxed negative margin.
   auto instance = stable_boundary_example();
   instance.bids[1].cost = 2.8;
-  const auction::single_task::MechanismConfig config{.epsilon = 0.1, .alpha = 10.0};
+  const auction::MechanismConfig config{.alpha = 10.0, .single_task = {.epsilon = 0.1}};
   const CostAuditModel strict{.audit_prob = 0.5, .penalty_factor = 3.0};
   const auto sweep = sweep_declared_cost(instance, 1, {2.2}, config, strict);
   ASSERT_TRUE(sweep[0].won);
@@ -96,7 +96,7 @@ TEST(SweepDeclaredCost, AllocationChannelSurvivesAnyMarginFine) {
   // cannot substitute for outright cost verification.
   auto instance = stable_boundary_example();
   instance.bids[1].cost = 3.1;  // truthful critical PoS is 2/3
-  const auction::single_task::MechanismConfig config{.epsilon = 0.1, .alpha = 10.0};
+  const auction::MechanismConfig config{.alpha = 10.0, .single_task = {.epsilon = 0.1}};
   const CostAuditModel strict{.audit_prob = 0.5,
                               .penalty_factor = deterrence_threshold(0.5) + 1.0};
 
@@ -111,7 +111,7 @@ TEST(SweepDeclaredCost, AllocationChannelSurvivesAnyMarginFine) {
 }
 
 TEST(SweepDeclaredCost, RejectsBadInputs) {
-  const auction::single_task::MechanismConfig config{};
+  const auction::MechanismConfig config{};
   const CostAuditModel audit{};
   EXPECT_THROW(sweep_declared_cost(paper_example(), 9, {2.0}, config, audit),
                common::PreconditionError);
@@ -130,7 +130,7 @@ TEST_P(CostTruthfulness, SufficientPenaltyDetersTheMarginChannel) {
   // declaration. Misreports that shift the allocation boundary are the
   // allocation channel, demonstrated separately above.
   const auto instance = test::random_single_task(10, 0.7, GetParam());
-  const auction::single_task::MechanismConfig config{.epsilon = 0.5, .alpha = 10.0};
+  const auction::MechanismConfig config{.alpha = 10.0, .single_task = {.epsilon = 0.5}};
   const CostAuditModel audit{.audit_prob = 0.5,
                              .penalty_factor = deterrence_threshold(0.5) + 0.5};
   for (auction::UserId user = 0; user < 4; ++user) {

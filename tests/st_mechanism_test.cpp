@@ -15,7 +15,7 @@ TEST(SingleTaskMechanism, PaperExampleEndToEnd) {
   SingleTaskInstance instance;
   instance.requirement_pos = 0.9;
   instance.bids = {{3.0, 0.7}, {2.0, 0.7}, {1.0, 0.5}, {4.0, 0.8}};
-  const auto outcome = run_mechanism(instance, {.epsilon = 0.1, .alpha = 10.0});
+  const auto outcome = run_mechanism(instance, {.alpha = 10.0, .single_task = {.epsilon = 0.1}});
   ASSERT_TRUE(outcome.allocation.feasible);
   EXPECT_EQ(outcome.allocation.winners, (std::vector<UserId>{0, 1}));
   ASSERT_EQ(outcome.rewards.size(), 2u);
@@ -36,7 +36,7 @@ TEST(SingleTaskMechanism, InfeasibleYieldsNoRewards) {
 
 TEST(SingleTaskMechanism, RewardsAlignWithWinners) {
   const auto instance = test::random_single_task(20, 0.8, 17);
-  const auto outcome = run_mechanism(instance, {.epsilon = 0.5, .alpha = 10.0});
+  const auto outcome = run_mechanism(instance, {.alpha = 10.0, .single_task = {.epsilon = 0.5}});
   ASSERT_TRUE(outcome.allocation.feasible);
   ASSERT_EQ(outcome.rewards.size(), outcome.allocation.winners.size());
   for (std::size_t k = 0; k < outcome.rewards.size(); ++k) {
@@ -47,7 +47,7 @@ TEST(SingleTaskMechanism, RewardsAlignWithWinners) {
 TEST(SingleTaskMechanism, WinnersAreIndividuallyRational) {
   for (std::uint64_t seed : {21ULL, 22ULL, 23ULL}) {
     const auto instance = test::random_single_task(15, 0.75, seed);
-    const auto outcome = run_mechanism(instance, {.epsilon = 0.5, .alpha = 10.0});
+    const auto outcome = run_mechanism(instance, {.alpha = 10.0, .single_task = {.epsilon = 0.5}});
     if (!outcome.allocation.feasible) {
       continue;
     }
@@ -60,8 +60,8 @@ TEST(SingleTaskMechanism, WinnersAreIndividuallyRational) {
 
 TEST(SingleTaskMechanism, AlphaScalesUtilitiesLinearly) {
   const auto instance = test::random_single_task(12, 0.7, 31);
-  const auto small = run_mechanism(instance, {.epsilon = 0.5, .alpha = 5.0});
-  const auto large = run_mechanism(instance, {.epsilon = 0.5, .alpha = 20.0});
+  const auto small = run_mechanism(instance, {.alpha = 5.0, .single_task = {.epsilon = 0.5}});
+  const auto large = run_mechanism(instance, {.alpha = 20.0, .single_task = {.epsilon = 0.5}});
   ASSERT_TRUE(small.allocation.feasible);
   ASSERT_EQ(small.allocation.winners, large.allocation.winners);
   for (std::size_t k = 0; k < small.rewards.size(); ++k) {
@@ -73,9 +73,9 @@ TEST(SingleTaskMechanism, AlphaScalesUtilitiesLinearly) {
 
 TEST(SingleTaskMechanism, RejectsBadConfig) {
   const auto instance = test::random_single_task(5, 0.5, 1);
-  EXPECT_THROW(run_mechanism(instance, MechanismConfig{.epsilon = 0.0, .alpha = 10.0}),
+  EXPECT_THROW(run_mechanism(instance, auction::MechanismConfig{.alpha = 10.0, .single_task = {.epsilon = 0.0}}),
                common::PreconditionError);
-  EXPECT_THROW(run_mechanism(instance, MechanismConfig{.epsilon = 0.5, .alpha = -1.0}),
+  EXPECT_THROW(run_mechanism(instance, auction::MechanismConfig{.alpha = -1.0, .single_task = {.epsilon = 0.5}}),
                common::PreconditionError);
 }
 
