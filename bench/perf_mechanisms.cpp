@@ -2,12 +2,15 @@
 // Algorithm 1 DP, the FPTAS winner determination across n and ε, the
 // multi-task greedy, and both reward schemes — these quantify the complexity
 // claims of Theorems 3 and 6 — plus the batched auction::Engine throughput
-// suite (campaign-round auctions/sec at 1, 2, and N workers). After the
-// google-benchmark run, main() emits a machine-readable JSON record of the
-// batched throughput to stdout and, when MCS_BENCH_JSON names a file path,
-// to that file, so the bench trajectory can be tracked across commits. Pass
-// --benchmark_filter to restrict the microbenchmarks (e.g.
-// --benchmark_filter=NONE emits only the JSON record).
+// suite (campaign-round auctions/sec at 1, 2, and N workers) and a
+// fault-injection suite (run_isolated throughput as a growing fraction of
+// the batch is poisoned or the wall-clock budget is exhausted). After the
+// google-benchmark run, main() emits machine-readable JSON records — batched
+// throughput and fault-injection throughput, one object per line — to
+// stdout and, when MCS_BENCH_JSON names a file path, to that file, so the
+// bench trajectory can be tracked across commits. Pass --benchmark_filter to
+// restrict the microbenchmarks (e.g. --benchmark_filter=NONE emits only the
+// JSON records).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -155,6 +158,41 @@ void BM_BatchedEngineCampaignRounds(benchmark::State& state) {
 }
 BENCHMARK(BM_BatchedEngineCampaignRounds)->Arg(1)->Arg(2)->Arg(8)->UseRealTime();
 
+// --- fault-injection throughput ---------------------------------------------
+
+/// A round batch with `poison_percent`% of the auctions replaced by invalid
+/// instances (negative cost): the isolated engine must fail those slots
+/// structurally while the healthy slots run at full speed.
+std::vector<auction::MultiTaskInstance> make_poisoned_batch(std::size_t auctions,
+                                                            std::size_t users,
+                                                            std::size_t tasks,
+                                                            std::size_t poison_percent) {
+  auto batch = make_round_batch(auctions, users, tasks);
+  const std::size_t poisoned = auctions * poison_percent / 100;
+  for (std::size_t k = 0; k < poisoned; ++k) {
+    // Spread the poison across the batch so every strided chunk sees some.
+    batch[k * auctions / std::max<std::size_t>(poisoned, 1)].users[0].cost = -1.0;
+  }
+  return batch;
+}
+
+void BM_IsolatedEngineFaultInjection(benchmark::State& state) {
+  const auto workers = static_cast<std::size_t>(state.range(0));
+  const auto poison_percent = static_cast<std::size_t>(state.range(1));
+  const auto batch = make_poisoned_batch(16, 60, 15, poison_percent);
+  const auction::Engine engine(auction::EngineOptions{.workers = workers});
+  const auction::MechanismConfig config{.alpha = 10.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run_isolated(batch, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * batch.size()));
+}
+BENCHMARK(BM_IsolatedEngineFaultInjection)
+    ->Args({8, 0})
+    ->Args({8, 25})
+    ->Args({8, 50})
+    ->UseRealTime();
+
 /// Times engine.run over `reps` repetitions and returns the best
 /// auctions/sec (best-of to shed scheduler noise).
 double measure_auctions_per_sec(const auction::Engine& engine,
@@ -170,10 +208,10 @@ double measure_auctions_per_sec(const auction::Engine& engine,
   return best;
 }
 
-/// One JSON record per run: campaign-round throughput at 1, 2, and 8
-/// workers, plus the hardware context needed to interpret the numbers (the
-/// 8-vs-1 speedup only materializes when the host has the cores).
-void emit_batched_throughput_record() {
+/// Campaign-round throughput at 1, 2, and 8 workers, plus the hardware
+/// context needed to interpret the numbers (the 8-vs-1 speedup only
+/// materializes when the host has the cores).
+std::string build_batched_throughput_record() {
   constexpr std::size_t kAuctions = 16;
   constexpr std::size_t kUsers = 60;
   constexpr std::size_t kTasks = 15;
@@ -203,11 +241,100 @@ void emit_batched_throughput_record() {
          << ",\"auctions_per_sec\":" << throughput << "}";
   }
   json << "],\"speedup_8_vs_1\":" << (workers1 > 0.0 ? workers8 / workers1 : 0.0) << "}";
+  return json.str();
+}
 
-  std::cout << json.str() << "\n";
+/// Times engine.run_isolated over `reps` repetitions, returning the best
+/// auctions/sec plus per-status slot counts from the (deterministic) result.
+struct IsolatedMeasurement {
+  double auctions_per_sec = 0.0;
+  std::size_t ok = 0;
+  std::size_t degraded = 0;
+  std::size_t timed_out = 0;
+  std::size_t failed = 0;
+};
+
+IsolatedMeasurement measure_isolated(const auction::Engine& engine,
+                                     const std::vector<auction::MultiTaskInstance>& batch,
+                                     const auction::MechanismConfig& config, std::size_t reps) {
+  IsolatedMeasurement measurement;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto slots = engine.run_isolated(batch, config);
+    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+    measurement.auctions_per_sec = std::max(
+        measurement.auctions_per_sec, static_cast<double>(batch.size()) / elapsed.count());
+    if (rep == 0) {
+      for (const auto& slot : slots) {
+        switch (slot.status) {
+          case auction::AuctionStatus::kOk: ++measurement.ok; break;
+          case auction::AuctionStatus::kDegraded: ++measurement.degraded; break;
+          case auction::AuctionStatus::kTimedOut: ++measurement.timed_out; break;
+          case auction::AuctionStatus::kFailed: ++measurement.failed; break;
+        }
+      }
+    }
+  }
+  return measurement;
+}
+
+/// Fault-injection throughput: the cost of fault isolation under increasing
+/// poison rates (invalid instances -> kFailed slots) and under an exhausted
+/// wall-clock budget (every slot kTimedOut). The interesting comparisons:
+/// poison 0% vs the plain batched record (isolation overhead on healthy
+/// batches should be noise), and the poisoned rows' throughput rising as
+/// failed slots short-circuit.
+std::string build_fault_injection_record() {
+  constexpr std::size_t kAuctions = 16;
+  constexpr std::size_t kUsers = 60;
+  constexpr std::size_t kTasks = 15;
+  constexpr std::size_t kWorkers = 8;
+  constexpr std::size_t kReps = 3;
+  const auction::Engine engine(auction::EngineOptions{.workers = kWorkers});
+  const auction::MechanismConfig config{.alpha = 10.0};
+
+  std::ostringstream json;
+  json << "{\"bench\":\"fault_injection_throughput\",\"auctions\":" << kAuctions
+       << ",\"users_per_auction\":" << kUsers << ",\"tasks_per_auction\":" << kTasks
+       << ",\"workers\":" << kWorkers
+       << ",\"hardware_concurrency\":" << std::thread::hardware_concurrency()
+       << ",\"results\":[";
+  const std::size_t poison_percents[] = {0, 25, 50};
+  for (std::size_t k = 0; k < std::size(poison_percents); ++k) {
+    const std::size_t percent = poison_percents[k];
+    const auto batch = make_poisoned_batch(kAuctions, kUsers, kTasks, percent);
+    const auto m = measure_isolated(engine, batch, config, kReps);
+    json << (k > 0 ? "," : "") << "{\"case\":\"poison_" << percent << "pct\""
+         << ",\"auctions_per_sec\":" << m.auctions_per_sec << ",\"ok\":" << m.ok
+         << ",\"degraded\":" << m.degraded << ",\"timed_out\":" << m.timed_out
+         << ",\"failed\":" << m.failed << "}";
+  }
+  // Exhausted budget: every slot trips the cooperative deadline immediately.
+  auction::MechanismConfig starved = config;
+  starved.time_budget_seconds = 1e-9;
+  starved.degrade_on_timeout = false;
+  const auto batch = make_round_batch(kAuctions, kUsers, kTasks);
+  const auto m = measure_isolated(engine, batch, starved, kReps);
+  json << ",{\"case\":\"budget_exhausted\",\"auctions_per_sec\":" << m.auctions_per_sec
+       << ",\"ok\":" << m.ok << ",\"degraded\":" << m.degraded
+       << ",\"timed_out\":" << m.timed_out << ",\"failed\":" << m.failed << "}";
+  json << "]}";
+  return json.str();
+}
+
+/// Emits every JSON record to stdout and, when MCS_BENCH_JSON names a file,
+/// writes them there too (one object per line).
+void emit_json_records() {
+  const std::string records[] = {build_batched_throughput_record(),
+                                 build_fault_injection_record()};
+  for (const auto& record : records) {
+    std::cout << record << "\n";
+  }
   if (const char* path = std::getenv("MCS_BENCH_JSON"); path != nullptr && *path != '\0') {
     std::ofstream out(path);
-    out << json.str() << "\n";
+    for (const auto& record : records) {
+      out << record << "\n";
+    }
     std::cout << "[json written to " << path << "]\n";
   }
 }
@@ -221,6 +348,6 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  emit_batched_throughput_record();
+  emit_json_records();
   return 0;
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //   example_auction_cli <instance-file>... [alpha] [epsilon]
-//   example_auction_cli            (no args: writes demo files, runs both)
+//   example_auction_cli            (no args: writes demo files, runs all)
 //
 // Every argument naming an existing file is loaded as an instance; the first
 // non-file numeric argument is alpha, the second epsilon. All instances run
@@ -13,11 +13,18 @@
 // auction/io.hpp (header mcs-single-task-v1 or mcs-multi-task-v1; '#'
 // comments allowed), so a downstream user can run the mechanisms on their
 // own marketplace data without writing any C++.
+//
+// The batch is fault-isolated: a file that fails to parse, or an auction
+// that throws or exceeds its wall-clock budget, reports its own error while
+// every other slot completes normally (Engine::run_isolated). The no-args
+// demo shows this by poisoning one of its three instance files.
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "auction/engine.hpp"
@@ -89,55 +96,95 @@ void report(const auction::AuctionInstance& instance,
   }
 }
 
-/// One instance per file, any mix of families; returns false on a bad file.
-bool load_batch(const std::vector<std::filesystem::path>& paths,
-                std::vector<auction::AuctionInstance>& batch) {
-  for (const auto& path : paths) {
+/// One instance per file. A file that cannot be opened or parsed becomes a
+/// load error instead of aborting the run — the io parsers name the file and
+/// line, and the rest of the batch still executes.
+struct LoadedFile {
+  std::filesystem::path path;
+  std::optional<auction::AuctionInstance> instance;
+  std::string load_error;
+};
+
+LoadedFile load_file(const std::filesystem::path& path) {
+  LoadedFile loaded{path, std::nullopt, {}};
+  try {
     std::ifstream in(path, std::ios::binary);
     if (!in) {
-      std::cerr << "cannot open " << path << "\n";
-      return false;
+      loaded.load_error = "cannot open " + path.string();
+      return loaded;
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
     const auto kind = auction::detect_instance_kind(buffer.str());
+    // load_* (rather than *_from_text) so parse errors name the file.
     if (kind == "single") {
-      batch.emplace_back(auction::single_task_from_text(buffer.str()));
+      loaded.instance = auction::load_single_task(path);
     } else if (kind == "multi") {
-      batch.emplace_back(auction::multi_task_from_text(buffer.str()));
+      loaded.instance = auction::load_multi_task(path);
     } else {
-      std::cerr << "unrecognized instance header in " << path << "\n";
-      return false;
+      loaded.load_error = "unrecognized instance header in " + path.string();
     }
+  } catch (const std::exception& error) {
+    loaded.load_error = error.what();
   }
-  return true;
+  return loaded;
 }
 
 int run_files(const std::vector<std::filesystem::path>& paths, double alpha, double epsilon) {
+  std::vector<LoadedFile> files;
+  files.reserve(paths.size());
   std::vector<auction::AuctionInstance> batch;
-  if (!load_batch(paths, batch)) {
-    return 1;
+  std::vector<std::size_t> slot_of_file(paths.size(), SIZE_MAX);
+  for (const auto& path : paths) {
+    files.push_back(load_file(path));
+    if (files.back().instance) {
+      slot_of_file[files.size() - 1] = batch.size();
+      batch.push_back(*files.back().instance);
+    }
   }
+
   // One config serves both families: shared fields at the top level,
   // family-only knobs nested (the other family's sub-struct is ignored).
   const auction::MechanismConfig config{.alpha = alpha, .single_task = {.epsilon = epsilon}};
   const auction::Engine engine;  // process-wide shared thread pool
-  const auto outcomes = engine.run(batch, config);
-  for (std::size_t k = 0; k < batch.size(); ++k) {
-    const bool single = std::holds_alternative<auction::SingleTaskInstance>(batch[k]);
-    std::cout << "== " << paths[k] << " (" << (single ? "single" : "multi") << ") ==\n";
-    report(batch[k], outcomes[k]);
-    if (k + 1 < batch.size()) {
+  const auto slots = engine.run_isolated(batch, config);
+
+  std::size_t healthy = 0;
+  for (std::size_t k = 0; k < files.size(); ++k) {
+    const auto& file = files[k];
+    const bool single =
+        file.instance && std::holds_alternative<auction::SingleTaskInstance>(*file.instance);
+    std::cout << "== " << file.path << " ("
+              << (file.instance ? (single ? "single" : "multi") : "unreadable") << ") ==\n";
+    if (!file.instance) {
+      std::cout << "SKIPPED: " << file.load_error << "\n";
+    } else {
+      const auto& slot = slots[slot_of_file[k]];
+      if (slot.status == auction::AuctionStatus::kDegraded) {
+        std::cout << "[degraded: fell back to the 2-approximation or partial coverage]\n";
+      }
+      if (!slot.ok()) {
+        std::cout << "AUCTION " << auction::to_string(slot.status) << ": " << slot.error << "\n";
+      } else {
+        ++healthy;
+        report(*file.instance, slot.outcome);
+      }
+    }
+    if (k + 1 < files.size()) {
       std::cout << "\n";
     }
   }
-  return 0;
+  std::cout << "\n" << healthy << "/" << files.size() << " auctions completed\n";
+  // The batch as a whole succeeds if anything ran; per-slot failures are in
+  // the report above.
+  return healthy > 0 ? 0 : 1;
 }
 
 int demo() {
   const auto dir = std::filesystem::temp_directory_path();
   const auto single_path = dir / "mcs_demo_single.txt";
   const auto multi_path = dir / "mcs_demo_multi.txt";
+  const auto poisoned_path = dir / "mcs_demo_poisoned.txt";
 
   auction::SingleTaskInstance single;
   single.requirement_pos = 0.9;
@@ -154,9 +201,14 @@ int demo() {
   };
   auction::save_multi_task(multi_path, multi);
 
-  std::cout << "no arguments: wrote demo instances to " << single_path << " and "
-            << multi_path << "\nrunning both as one engine batch\n\n";
-  return run_files({single_path, multi_path}, 10.0, 0.1);
+  // A hostile file — negative cost — that the hardened parser rejects with
+  // the file and line; the other two auctions are unaffected.
+  std::ofstream(poisoned_path) << "mcs-single-task-v1\nrequirement 0.9\nuser -3.0 0.7\n";
+
+  std::cout << "no arguments: wrote demo instances to " << single_path << ", " << multi_path
+            << ", and (deliberately poisoned) " << poisoned_path
+            << "\nrunning all three as one fault-isolated engine batch\n\n";
+  return run_files({single_path, poisoned_path, multi_path}, 10.0, 0.1);
 }
 
 }  // namespace

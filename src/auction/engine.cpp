@@ -1,7 +1,10 @@
 #include "auction/engine.hpp"
 
+#include <exception>
+
 #include "auction/multi_task/mechanism.hpp"
 #include "auction/single_task/mechanism.hpp"
+#include "common/deadline.hpp"
 
 namespace mcs::auction {
 
@@ -19,7 +22,42 @@ MechanismOutcome dispatch(const AuctionInstance& instance, const MechanismConfig
   return std::visit([&](const auto& typed) { return dispatch(typed, config); }, instance);
 }
 
+/// Runs one auction and folds any per-auction failure into the slot. The
+/// happy path stores the strict outcome unchanged, so isolation costs
+/// healthy auctions nothing but the status bookkeeping.
+template <typename Item>
+AuctionOutcome dispatch_isolated(const Item& instance, const MechanismConfig& config) {
+  AuctionOutcome slot;
+  try {
+    slot.outcome = dispatch(instance, config);
+    slot.status = slot.outcome.degraded ? AuctionStatus::kDegraded : AuctionStatus::kOk;
+  } catch (const common::DeadlineExceeded& e) {
+    slot.status = AuctionStatus::kTimedOut;
+    slot.outcome = MechanismOutcome{};
+    slot.error = e.what();
+  } catch (const std::exception& e) {
+    slot.status = AuctionStatus::kFailed;
+    slot.outcome = MechanismOutcome{};
+    slot.error = e.what();
+  }
+  return slot;
+}
+
 }  // namespace
+
+const char* to_string(AuctionStatus status) {
+  switch (status) {
+    case AuctionStatus::kOk:
+      return "ok";
+    case AuctionStatus::kDegraded:
+      return "degraded";
+    case AuctionStatus::kTimedOut:
+      return "timed-out";
+    case AuctionStatus::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
 
 Engine::Engine(const EngineOptions& options)
     : owned_(options.workers > 0 ? std::make_unique<common::ThreadPool>(options.workers)
@@ -70,6 +108,36 @@ std::vector<MechanismOutcome> Engine::run(const std::vector<MultiTaskInstance>& 
   return run_batch(batch, config);
 }
 
+template <typename Item>
+std::vector<AuctionOutcome> Engine::run_batch_isolated(const std::vector<Item>& batch,
+                                                       const MechanismConfig& config) const {
+  const MechanismConfig adjusted = effective_config(config);
+  std::vector<AuctionOutcome> slots(batch.size());
+  // Same scheduling as run_batch; dispatch_isolated swallows per-slot
+  // exceptions before they can reach for_each_index's rethrow machinery, so
+  // sibling auctions always complete.
+  pool().for_each_index(
+      batch.size(),
+      [&](std::size_t index) { slots[index] = dispatch_isolated(batch[index], adjusted); },
+      pool().worker_count());
+  return slots;
+}
+
+std::vector<AuctionOutcome> Engine::run_isolated(const std::vector<AuctionInstance>& batch,
+                                                 const MechanismConfig& config) const {
+  return run_batch_isolated(batch, config);
+}
+
+std::vector<AuctionOutcome> Engine::run_isolated(const std::vector<SingleTaskInstance>& batch,
+                                                 const MechanismConfig& config) const {
+  return run_batch_isolated(batch, config);
+}
+
+std::vector<AuctionOutcome> Engine::run_isolated(const std::vector<MultiTaskInstance>& batch,
+                                                 const MechanismConfig& config) const {
+  return run_batch_isolated(batch, config);
+}
+
 MechanismOutcome Engine::run_one(const SingleTaskInstance& instance,
                                  const MechanismConfig& config) const {
   return dispatch(instance, effective_config(config));
@@ -83,6 +151,21 @@ MechanismOutcome Engine::run_one(const MultiTaskInstance& instance,
 MechanismOutcome Engine::run_one(const AuctionInstance& instance,
                                  const MechanismConfig& config) const {
   return dispatch(instance, effective_config(config));
+}
+
+AuctionOutcome Engine::run_one_isolated(const SingleTaskInstance& instance,
+                                        const MechanismConfig& config) const {
+  return dispatch_isolated(instance, effective_config(config));
+}
+
+AuctionOutcome Engine::run_one_isolated(const MultiTaskInstance& instance,
+                                        const MechanismConfig& config) const {
+  return dispatch_isolated(instance, effective_config(config));
+}
+
+AuctionOutcome Engine::run_one_isolated(const AuctionInstance& instance,
+                                        const MechanismConfig& config) const {
+  return dispatch_isolated(instance, effective_config(config));
 }
 
 }  // namespace mcs::auction

@@ -10,9 +10,16 @@
 // bit-identical to calling the per-family run_mechanism serially on each
 // instance, whatever the worker count — both parallelism levels only ever
 // partition independent, index-addressed work.
+//
+// Fault isolation: run() keeps the strict contract (first exception by index
+// rethrown after the batch completes), while run_isolated() never throws for
+// a per-auction failure — each slot instead carries a structured
+// AuctionStatus plus the error text, so one malformed instance or blown
+// deadline cannot take down its siblings' results.
 #pragma once
 
 #include <memory>
+#include <string>
 #include <variant>
 #include <vector>
 
@@ -23,6 +30,28 @@ namespace mcs::auction {
 
 /// One auction of either family, as submitted to the engine.
 using AuctionInstance = std::variant<SingleTaskInstance, MultiTaskInstance>;
+
+/// How one isolated auction slot ended.
+enum class AuctionStatus {
+  kOk,        ///< clean outcome, identical to the strict path
+  kDegraded,  ///< a fallback produced the outcome (see MechanismOutcome::degraded)
+  kTimedOut,  ///< the wall-clock budget expired (common::DeadlineExceeded)
+  kFailed,    ///< any other exception (e.g. PreconditionError on bad input)
+};
+
+const char* to_string(AuctionStatus status);
+
+/// One slot of an isolated batch: the outcome when the auction produced one
+/// (kOk/kDegraded — bit-identical to run_mechanism on that instance), plus
+/// the captured error text otherwise.
+struct AuctionOutcome {
+  AuctionStatus status = AuctionStatus::kOk;
+  MechanismOutcome outcome;  ///< default-constructed for kTimedOut/kFailed
+  std::string error;         ///< exception what(); empty for kOk/kDegraded
+
+  /// True when `outcome` is meaningful (possibly via a degraded ladder).
+  bool ok() const { return status == AuctionStatus::kOk || status == AuctionStatus::kDegraded; }
+};
 
 struct EngineOptions {
   /// Worker threads. 0 shares the process-wide pool (the common case: one
@@ -49,6 +78,18 @@ class Engine {
   std::vector<MechanismOutcome> run(const std::vector<MultiTaskInstance>& batch,
                                     const MechanismConfig& config = {}) const;
 
+  /// Fault-isolated batch: never throws for a per-auction failure. Healthy
+  /// slots are bit-identical to the strict path; a throwing or
+  /// deadline-exceeding auction only poisons its own slot, which carries the
+  /// structured status and error text instead. (Batch-level errors — e.g.
+  /// allocation failure of the outcome vector itself — still throw.)
+  std::vector<AuctionOutcome> run_isolated(const std::vector<AuctionInstance>& batch,
+                                           const MechanismConfig& config = {}) const;
+  std::vector<AuctionOutcome> run_isolated(const std::vector<SingleTaskInstance>& batch,
+                                           const MechanismConfig& config = {}) const;
+  std::vector<AuctionOutcome> run_isolated(const std::vector<MultiTaskInstance>& batch,
+                                           const MechanismConfig& config = {}) const;
+
   /// Single-auction convenience: runs on the calling thread with the
   /// engine's worker budget applied to the critical-bid computations.
   MechanismOutcome run_one(const SingleTaskInstance& instance,
@@ -58,10 +99,22 @@ class Engine {
   MechanismOutcome run_one(const AuctionInstance& instance,
                            const MechanismConfig& config = {}) const;
 
+  /// Isolated single-auction convenience, same capture rules as
+  /// run_isolated.
+  AuctionOutcome run_one_isolated(const SingleTaskInstance& instance,
+                                  const MechanismConfig& config = {}) const;
+  AuctionOutcome run_one_isolated(const MultiTaskInstance& instance,
+                                  const MechanismConfig& config = {}) const;
+  AuctionOutcome run_one_isolated(const AuctionInstance& instance,
+                                  const MechanismConfig& config = {}) const;
+
  private:
   template <typename Item>
   std::vector<MechanismOutcome> run_batch(const std::vector<Item>& batch,
                                           const MechanismConfig& config) const;
+  template <typename Item>
+  std::vector<AuctionOutcome> run_batch_isolated(const std::vector<Item>& batch,
+                                                 const MechanismConfig& config) const;
   common::ThreadPool& pool() const;
   /// A dedicated pool's size becomes the default critical-bid budget, so an
   /// Engine{workers = w} never uses more than w threads at either level.

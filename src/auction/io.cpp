@@ -1,6 +1,7 @@
 #include "auction/io.hpp"
 
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -14,6 +15,11 @@ namespace {
 
 constexpr const char* kSingleHeader = "mcs-single-task-v1";
 constexpr const char* kMultiHeader = "mcs-multi-task-v1";
+constexpr const char* kDefaultSource = "instance text";
+
+/// Upper bound on the declared task count: a hostile 'tasks 1e15' line must
+/// fail cleanly instead of attempting a huge allocation.
+constexpr std::size_t kMaxTaskCount = std::size_t{1} << 20;
 
 std::string format_double(double value) {
   char buffer[64];
@@ -22,8 +28,9 @@ std::string format_double(double value) {
   return buffer;
 }
 
-[[noreturn]] void fail(std::size_t line_number, const std::string& message) {
-  throw common::PreconditionError("instance text, line " + std::to_string(line_number) + ": " +
+[[noreturn]] void fail(const std::string& source, std::size_t line_number,
+                       const std::string& message) {
+  throw common::PreconditionError(source + ", line " + std::to_string(line_number) + ": " +
                                   message);
 }
 
@@ -54,26 +61,199 @@ std::vector<std::pair<std::size_t, std::vector<std::string>>> tokenize(
   return records;
 }
 
-double parse_double(const std::string& token, std::size_t line_number) {
+double parse_double(const std::string& source, const std::string& token,
+                    std::size_t line_number) {
   double value{};
   const char* begin = token.data();
   const char* end = begin + token.size();
   const auto [ptr, ec] = std::from_chars(begin, end, value);
   if (ec != std::errc() || ptr != end) {
-    fail(line_number, "malformed number '" + token + "'");
+    fail(source, line_number, "malformed number '" + token + "'");
+  }
+  // from_chars happily parses "inf" and "nan"; neither is a valid cost, PoS,
+  // or requirement anywhere in the formats.
+  if (!std::isfinite(value)) {
+    fail(source, line_number, "non-finite number '" + token + "'");
   }
   return value;
 }
 
-std::size_t parse_size(const std::string& token, std::size_t line_number) {
+std::size_t parse_size(const std::string& source, const std::string& token,
+                       std::size_t line_number) {
   std::size_t value{};
   const char* begin = token.data();
   const char* end = begin + token.size();
   const auto [ptr, ec] = std::from_chars(begin, end, value);
   if (ec != std::errc() || ptr != end) {
-    fail(line_number, "malformed count '" + token + "'");
+    fail(source, line_number, "malformed count '" + token + "'");
   }
   return value;
+}
+
+double parse_pos(const std::string& source, const std::string& token,
+                 std::size_t line_number) {
+  const double pos = parse_double(source, token, line_number);
+  if (pos < 0.0 || pos > 1.0) {
+    fail(source, line_number, "PoS " + token + " out of range [0, 1]");
+  }
+  return pos;
+}
+
+double parse_requirement(const std::string& source, const std::string& token,
+                         std::size_t line_number) {
+  const double requirement = parse_double(source, token, line_number);
+  if (requirement <= 0.0 || requirement >= 1.0) {
+    fail(source, line_number, "PoS requirement " + token + " out of range (0, 1)");
+  }
+  return requirement;
+}
+
+double parse_cost(const std::string& source, const std::string& token,
+                  std::size_t line_number) {
+  const double cost = parse_double(source, token, line_number);
+  if (cost <= 0.0) {
+    fail(source, line_number, "cost " + token + " must be strictly positive");
+  }
+  return cost;
+}
+
+/// Final whole-instance validation, with the source folded into any error so
+/// a bad file is named in the message.
+template <typename Instance>
+void validate_parsed(const Instance& instance, const std::string& source) {
+  try {
+    instance.validate();
+  } catch (const common::PreconditionError& e) {
+    throw common::PreconditionError(source + ": " + e.what());
+  }
+}
+
+SingleTaskInstance parse_single_task(const std::string& text, const std::string& source) {
+  const auto records = tokenize(text);
+  if (records.empty() || records.front().second.size() != 1 ||
+      records.front().second.front() != kSingleHeader) {
+    fail(source, records.empty() ? 1 : records.front().first,
+         "missing mcs-single-task-v1 header");
+  }
+  SingleTaskInstance instance;
+  bool have_requirement = false;
+  for (std::size_t r = 1; r < records.size(); ++r) {
+    const auto& [line_number, tokens] = records[r];
+    if (tokens.front() == "requirement") {
+      if (tokens.size() != 2 || have_requirement) {
+        fail(source, line_number, "expected exactly one 'requirement <pos>' line");
+      }
+      instance.requirement_pos = parse_requirement(source, tokens[1], line_number);
+      have_requirement = true;
+    } else if (tokens.front() == "user") {
+      if (tokens.size() != 3) {
+        fail(source, line_number, "expected 'user <cost> <pos>'");
+      }
+      instance.bids.push_back({parse_cost(source, tokens[1], line_number),
+                               parse_pos(source, tokens[2], line_number)});
+    } else {
+      fail(source, line_number, "unknown directive '" + tokens.front() + "'");
+    }
+  }
+  if (!have_requirement) {
+    fail(source, records.back().first, "instance is missing its requirement line");
+  }
+  validate_parsed(instance, source);
+  return instance;
+}
+
+MultiTaskInstance parse_multi_task(const std::string& text, const std::string& source) {
+  const auto records = tokenize(text);
+  if (records.empty() || records.front().second.size() != 1 ||
+      records.front().second.front() != kMultiHeader) {
+    fail(source, records.empty() ? 1 : records.front().first,
+         "missing mcs-multi-task-v1 header");
+  }
+  MultiTaskInstance instance;
+  bool have_tasks = false;
+  std::size_t tasks_line = 0;
+  std::vector<bool> requirement_seen;
+  for (std::size_t r = 1; r < records.size(); ++r) {
+    const auto& [line_number, tokens] = records[r];
+    if (tokens.front() == "tasks") {
+      if (tokens.size() != 2 || have_tasks) {
+        fail(source, line_number, "expected exactly one 'tasks <count>' line before anything else");
+      }
+      const std::size_t count = parse_size(source, tokens[1], line_number);
+      if (count == 0 || count > kMaxTaskCount) {
+        fail(source, line_number,
+             "task count must lie in [1, " + std::to_string(kMaxTaskCount) + "]");
+      }
+      instance.requirement_pos.assign(count, 0.0);
+      requirement_seen.assign(count, false);
+      have_tasks = true;
+      tasks_line = line_number;
+    } else if (tokens.front() == "requirement") {
+      if (!have_tasks) {
+        fail(source, line_number, "'tasks <count>' must come before requirements");
+      }
+      if (tokens.size() != 3) {
+        fail(source, line_number, "expected 'requirement <task> <pos>'");
+      }
+      const std::size_t task = parse_size(source, tokens[1], line_number);
+      if (task >= instance.num_tasks()) {
+        fail(source, line_number, "task index out of range");
+      }
+      if (requirement_seen[task]) {
+        fail(source, line_number, "duplicate requirement for task " + tokens[1]);
+      }
+      instance.requirement_pos[task] = parse_requirement(source, tokens[2], line_number);
+      requirement_seen[task] = true;
+    } else if (tokens.front() == "user") {
+      if (!have_tasks) {
+        fail(source, line_number, "'tasks <count>' must come before users");
+      }
+      if (tokens.size() < 3) {
+        fail(source, line_number, "expected 'user <cost> <count> <task:pos>...'");
+      }
+      MultiTaskUserBid bid;
+      bid.cost = parse_cost(source, tokens[1], line_number);
+      const std::size_t count = parse_size(source, tokens[2], line_number);
+      if (count == 0) {
+        fail(source, line_number, "single-minded users must demand at least one task");
+      }
+      if (tokens.size() != 3 + count) {
+        fail(source, line_number, "task:pos pair count does not match the declared count");
+      }
+      for (std::size_t k = 0; k < count; ++k) {
+        const auto& pair = tokens[3 + k];
+        const auto colon = pair.find(':');
+        if (colon == std::string::npos) {
+          fail(source, line_number, "expected task:pos, got '" + pair + "'");
+        }
+        const std::size_t task = parse_size(source, pair.substr(0, colon), line_number);
+        if (task >= instance.num_tasks()) {
+          fail(source, line_number, "task index out of range in '" + pair + "'");
+        }
+        if (!bid.tasks.empty() && static_cast<std::size_t>(bid.tasks.back()) >= task) {
+          fail(source, line_number,
+               static_cast<std::size_t>(bid.tasks.back()) == task
+                   ? "duplicate task index in '" + pair + "'"
+                   : "task set must be strictly ascending at '" + pair + "'");
+        }
+        bid.tasks.push_back(static_cast<TaskIndex>(task));
+        bid.pos.push_back(parse_pos(source, pair.substr(colon + 1), line_number));
+      }
+      instance.users.push_back(std::move(bid));
+    } else {
+      fail(source, line_number, "unknown directive '" + tokens.front() + "'");
+    }
+  }
+  if (!have_tasks) {
+    fail(source, records.back().first, "instance is missing its tasks line");
+  }
+  for (std::size_t j = 0; j < requirement_seen.size(); ++j) {
+    if (!requirement_seen[j]) {
+      fail(source, tasks_line, "task " + std::to_string(j) + " has no requirement line");
+    }
+  }
+  validate_parsed(instance, source);
+  return instance;
 }
 
 std::string read_file(const std::filesystem::path& path) {
@@ -127,93 +307,11 @@ std::string to_text(const MultiTaskInstance& instance) {
 }
 
 SingleTaskInstance single_task_from_text(const std::string& text) {
-  const auto records = tokenize(text);
-  MCS_EXPECTS(!records.empty() && records.front().second.size() == 1 &&
-                  records.front().second.front() == kSingleHeader,
-              "missing mcs-single-task-v1 header");
-  SingleTaskInstance instance;
-  bool have_requirement = false;
-  for (std::size_t r = 1; r < records.size(); ++r) {
-    const auto& [line_number, tokens] = records[r];
-    if (tokens.front() == "requirement") {
-      if (tokens.size() != 2 || have_requirement) {
-        fail(line_number, "expected exactly one 'requirement <pos>' line");
-      }
-      instance.requirement_pos = parse_double(tokens[1], line_number);
-      have_requirement = true;
-    } else if (tokens.front() == "user") {
-      if (tokens.size() != 3) {
-        fail(line_number, "expected 'user <cost> <pos>'");
-      }
-      instance.bids.push_back(
-          {parse_double(tokens[1], line_number), parse_double(tokens[2], line_number)});
-    } else {
-      fail(line_number, "unknown directive '" + tokens.front() + "'");
-    }
-  }
-  MCS_EXPECTS(have_requirement, "instance is missing its requirement line");
-  instance.validate();
-  return instance;
+  return parse_single_task(text, kDefaultSource);
 }
 
 MultiTaskInstance multi_task_from_text(const std::string& text) {
-  const auto records = tokenize(text);
-  MCS_EXPECTS(!records.empty() && records.front().second.size() == 1 &&
-                  records.front().second.front() == kMultiHeader,
-              "missing mcs-multi-task-v1 header");
-  MultiTaskInstance instance;
-  bool have_tasks = false;
-  for (std::size_t r = 1; r < records.size(); ++r) {
-    const auto& [line_number, tokens] = records[r];
-    if (tokens.front() == "tasks") {
-      if (tokens.size() != 2 || have_tasks) {
-        fail(line_number, "expected exactly one 'tasks <count>' line before anything else");
-      }
-      instance.requirement_pos.assign(parse_size(tokens[1], line_number), 0.0);
-      have_tasks = true;
-    } else if (tokens.front() == "requirement") {
-      if (!have_tasks) {
-        fail(line_number, "'tasks <count>' must come before requirements");
-      }
-      if (tokens.size() != 3) {
-        fail(line_number, "expected 'requirement <task> <pos>'");
-      }
-      const std::size_t task = parse_size(tokens[1], line_number);
-      if (task >= instance.num_tasks()) {
-        fail(line_number, "task index out of range");
-      }
-      instance.requirement_pos[task] = parse_double(tokens[2], line_number);
-    } else if (tokens.front() == "user") {
-      if (!have_tasks) {
-        fail(line_number, "'tasks <count>' must come before users");
-      }
-      if (tokens.size() < 3) {
-        fail(line_number, "expected 'user <cost> <count> <task:pos>...'");
-      }
-      MultiTaskUserBid bid;
-      bid.cost = parse_double(tokens[1], line_number);
-      const std::size_t count = parse_size(tokens[2], line_number);
-      if (tokens.size() != 3 + count) {
-        fail(line_number, "task:pos pair count does not match the declared count");
-      }
-      for (std::size_t k = 0; k < count; ++k) {
-        const auto& pair = tokens[3 + k];
-        const auto colon = pair.find(':');
-        if (colon == std::string::npos) {
-          fail(line_number, "expected task:pos, got '" + pair + "'");
-        }
-        bid.tasks.push_back(
-            static_cast<TaskIndex>(parse_size(pair.substr(0, colon), line_number)));
-        bid.pos.push_back(parse_double(pair.substr(colon + 1), line_number));
-      }
-      instance.users.push_back(std::move(bid));
-    } else {
-      fail(line_number, "unknown directive '" + tokens.front() + "'");
-    }
-  }
-  MCS_EXPECTS(have_tasks, "instance is missing its tasks line");
-  instance.validate();
-  return instance;
+  return parse_multi_task(text, kDefaultSource);
 }
 
 void save_single_task(const std::filesystem::path& path, const SingleTaskInstance& instance) {
@@ -225,11 +323,11 @@ void save_multi_task(const std::filesystem::path& path, const MultiTaskInstance&
 }
 
 SingleTaskInstance load_single_task(const std::filesystem::path& path) {
-  return single_task_from_text(read_file(path));
+  return parse_single_task(read_file(path), path.string());
 }
 
 MultiTaskInstance load_multi_task(const std::filesystem::path& path) {
-  return multi_task_from_text(read_file(path));
+  return parse_multi_task(read_file(path), path.string());
 }
 
 std::string detect_instance_kind(const std::string& text) {

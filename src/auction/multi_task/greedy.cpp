@@ -30,15 +30,40 @@ bool any_residual(const std::vector<double>& residual) {
                      [](double r) { return r > kResidualFloor; });
 }
 
+/// Closes out a keep_partial run: the allocation stays infeasible but keeps
+/// the selected prefix and its cost, and the unmet tasks are reported.
+GreedyResult finish_partial(const MultiTaskInstance& instance, GreedyResult result,
+                            const std::vector<double>& residual, bool timed_out) {
+  for (std::size_t j = 0; j < residual.size(); ++j) {
+    if (residual[j] > kResidualFloor) {
+      result.uncovered_tasks.push_back(static_cast<TaskIndex>(j));
+    }
+  }
+  result.timed_out = timed_out;
+  std::sort(result.allocation.winners.begin(), result.allocation.winners.end());
+  result.allocation.total_cost = instance.cost_of(result.allocation.winners);
+  return result;
+}
+
 }  // namespace
 
 GreedyResult solve_greedy(const MultiTaskInstance& instance) {
+  return solve_greedy(instance, GreedyOptions{});
+}
+
+GreedyResult solve_greedy(const MultiTaskInstance& instance, const GreedyOptions& options) {
   instance.validate();
   GreedyResult result;
   std::vector<double> residual = instance.requirement_contributions();
   std::vector<bool> selected(instance.num_users(), false);
 
   while (any_residual(residual)) {
+    if (options.deadline.expired()) {
+      if (options.keep_partial) {
+        return finish_partial(instance, std::move(result), residual, /*timed_out=*/true);
+      }
+      options.deadline.check("multi-task greedy cover");
+    }
     UserId best = -1;
     double best_ratio = 0.0;
     double best_effective = 0.0;
@@ -59,6 +84,9 @@ GreedyResult solve_greedy(const MultiTaskInstance& instance) {
     }
     if (best < 0) {
       // Stalled with unmet requirements: infeasible instance.
+      if (options.keep_partial) {
+        return finish_partial(instance, std::move(result), residual, /*timed_out=*/false);
+      }
       return GreedyResult{};
     }
     result.steps.push_back({best, best_effective, best_ratio, residual});

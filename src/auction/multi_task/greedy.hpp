@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "auction/instance.hpp"
+#include "common/deadline.hpp"
 
 namespace mcs::auction::multi_task {
 
@@ -29,9 +30,26 @@ struct GreedyStep {
   std::vector<double> residual_before;
 };
 
+struct GreedyOptions {
+  /// Cooperative wall-clock budget, polled once per greedy iteration.
+  common::Deadline deadline = {};
+  /// Keep the selected prefix when the loop stalls (infeasible) or the
+  /// deadline expires: the result's allocation stays infeasible but carries
+  /// the partial winner set, its cost, and the iteration log, and
+  /// `uncovered_tasks` lists the unmet requirements. When false (the
+  /// default) a stall returns an empty result and an expiry throws
+  /// common::DeadlineExceeded — the paper-exact contract.
+  bool keep_partial = false;
+};
+
 struct GreedyResult {
   Allocation allocation;
   std::vector<GreedyStep> steps;  ///< selection order; empty when infeasible
+  /// Tasks whose requirement is unmet, ascending; populated only under
+  /// GreedyOptions::keep_partial (empty on full coverage).
+  std::vector<TaskIndex> uncovered_tasks;
+  /// True when the deadline (not a stall) ended a keep_partial run.
+  bool timed_out = false;
 };
 
 /// Runs Algorithm 4. Returns an infeasible Allocation when the loop stalls
@@ -39,5 +57,6 @@ struct GreedyResult {
 /// Ties on the ratio break toward the lower user id. The instance must be
 /// valid.
 GreedyResult solve_greedy(const MultiTaskInstance& instance);
+GreedyResult solve_greedy(const MultiTaskInstance& instance, const GreedyOptions& options);
 
 }  // namespace mcs::auction::multi_task

@@ -10,13 +10,23 @@ MechanismOutcome run_mechanism(const MultiTaskInstance& instance,
                                const auction::MechanismConfig& config) {
   MCS_EXPECTS(config.alpha > 0.0, "reward scaling factor must be positive");
 
+  const auto deadline = common::Deadline::from_budget(config.time_budget_seconds);
   MechanismOutcome outcome;
-  outcome.allocation = solve_greedy(instance).allocation;
+  const auto greedy = solve_greedy(
+      instance, GreedyOptions{.deadline = deadline,
+                              .keep_partial = config.multi_task.partial_coverage});
+  outcome.allocation = greedy.allocation;
   if (!outcome.allocation.feasible) {
+    // Partial coverage (when enabled): report what WAS covered — the winner
+    // prefix and the uncovered task set — but pay no rewards; a partial
+    // cover has no critical bids, so any payment rule would be gameable.
+    outcome.uncovered_tasks = greedy.uncovered_tasks;
+    outcome.degraded = !outcome.allocation.winners.empty() || greedy.timed_out;
     return outcome;
   }
   const RewardOptions reward_options{.alpha = config.alpha,
-                                     .rule = config.multi_task.critical_bid_rule};
+                                     .rule = config.multi_task.critical_bid_rule,
+                                     .deadline = deadline};
   const auto& winners = outcome.allocation.winners;
   outcome.rewards = common::parallel_map<WinnerReward>(
       winners.size(),

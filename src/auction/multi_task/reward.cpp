@@ -12,17 +12,19 @@ namespace mcs::auction::multi_task {
 namespace {
 
 bool wins_with_total_contribution(const MultiTaskInstance& instance, UserId user,
-                                  double declared_total) {
-  const auto result =
-      solve_greedy(instance.with_declared_total_contribution(user, declared_total));
+                                  double declared_total, const common::Deadline& deadline) {
+  const auto result = solve_greedy(instance.with_declared_total_contribution(user, declared_total),
+                                   GreedyOptions{.deadline = deadline});
   return result.allocation.feasible && result.allocation.contains(user);
 }
 
 /// The paper's Algorithm 5: minimum over the without-i iterations of the
 /// contribution needed to beat that iteration's winner ratio.
-double iteration_min_critical(const MultiTaskInstance& instance, UserId winner) {
+double iteration_min_critical(const MultiTaskInstance& instance, UserId winner,
+                              const common::Deadline& deadline) {
   const double cost_i = instance.users[static_cast<std::size_t>(winner)].cost;
-  const auto without = solve_greedy(instance.without_user(winner));
+  const auto without =
+      solve_greedy(instance.without_user(winner), GreedyOptions{.deadline = deadline});
   if (!without.allocation.feasible) {
     // Winner is pivotal: with any positive declaration the greedy loop must
     // eventually select her, so her critical contribution vanishes.
@@ -47,15 +49,16 @@ double iteration_min_critical(const MultiTaskInstance& instance, UserId winner) 
 
 /// Myerson-style rule: binary search for the smallest total declared
 /// contribution (along the winner's own task-PoS direction) that still wins.
-double binary_search_critical(const MultiTaskInstance& instance, UserId winner,
-                              int iterations) {
-  if (!solve_greedy(instance.without_user(winner)).allocation.feasible) {
+double binary_search_critical(const MultiTaskInstance& instance, UserId winner, int iterations,
+                              const common::Deadline& deadline) {
+  if (!solve_greedy(instance.without_user(winner), GreedyOptions{.deadline = deadline})
+           .allocation.feasible) {
     return 0.0;  // pivotal, as above
   }
   const double declared = instance.users[static_cast<std::size_t>(winner)].total_contribution();
-  MCS_EXPECTS(wins_with_total_contribution(instance, winner, declared),
+  MCS_EXPECTS(wins_with_total_contribution(instance, winner, declared, deadline),
               "the binary-search critical bid is only defined for winners");
-  if (wins_with_total_contribution(instance, winner, 0.0)) {
+  if (wins_with_total_contribution(instance, winner, 0.0, deadline)) {
     return 0.0;
   }
   // Monotonicity (Lemma 2): wins(q) is a step function. Invariant: loses at
@@ -63,8 +66,9 @@ double binary_search_critical(const MultiTaskInstance& instance, UserId winner,
   double lo = 0.0;
   double hi = declared;
   for (int iter = 0; iter < iterations; ++iter) {
+    deadline.check("multi-task critical-bid search");
     const double mid = 0.5 * (lo + hi);
-    if (wins_with_total_contribution(instance, winner, mid)) {
+    if (wins_with_total_contribution(instance, winner, mid, deadline)) {
       hi = mid;
     } else {
       lo = mid;
@@ -82,9 +86,10 @@ double critical_contribution(const MultiTaskInstance& instance, UserId winner,
   MCS_EXPECTS(options.binary_search_iterations > 0, "need at least one bisection step");
   switch (options.rule) {
     case CriticalBidRule::kPaperIterationMin:
-      return iteration_min_critical(instance, winner);
+      return iteration_min_critical(instance, winner, options.deadline);
     case CriticalBidRule::kBinarySearch:
-      return binary_search_critical(instance, winner, options.binary_search_iterations);
+      return binary_search_critical(instance, winner, options.binary_search_iterations,
+                                    options.deadline);
   }
   throw common::PreconditionError("unknown critical-bid rule");
 }

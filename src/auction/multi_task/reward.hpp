@@ -24,6 +24,7 @@
 #pragma once
 
 #include "auction/instance.hpp"
+#include "common/deadline.hpp"
 
 namespace mcs::auction::multi_task {
 
@@ -35,6 +36,9 @@ struct RewardOptions {
   double alpha = 10.0;  ///< reward scaling factor α (paper Table II)
   CriticalBidRule rule = CriticalBidRule::kBinarySearch;
   int binary_search_iterations = 48;  ///< ~1e-14 relative precision on q̄
+  /// Cooperative wall-clock budget; polled once per bisection step and
+  /// threaded into the greedy re-runs.
+  common::Deadline deadline = {};
 };
 
 /// Critical contribution q̄_i of `winner` under the selected rule. For

@@ -23,7 +23,8 @@ struct State {
 /// `contribution_cap` when finite; states with cost > cost_cap are dropped
 /// when cost_cap >= 0. Returns the state pool and the final frontier.
 std::pair<std::vector<State>, std::vector<std::int32_t>> sweep(
-    std::span<const KnapsackItem> items, double contribution_cap, std::int64_t cost_cap) {
+    std::span<const KnapsackItem> items, double contribution_cap, std::int64_t cost_cap,
+    const common::Deadline& deadline = {}) {
   std::vector<State> pool;
   pool.push_back(State{});  // the empty set
   std::vector<std::int32_t> frontier{0};
@@ -31,6 +32,7 @@ std::pair<std::vector<State>, std::vector<std::int32_t>> sweep(
   std::vector<State> extensions;
 
   for (std::size_t j = 0; j < items.size(); ++j) {
+    deadline.check("knapsack DP sweep");
     const auto& item = items[j];
     // Extend every frontier state with item j. The extension list inherits
     // the frontier's cost order because the added cost is constant.
@@ -107,10 +109,11 @@ void check_items(std::span<const KnapsackItem> items) {
 }  // namespace
 
 std::optional<KnapsackSolution> solve_min_knapsack(std::span<const KnapsackItem> items,
-                                                   double requirement) {
+                                                   double requirement,
+                                                   const common::Deadline& deadline) {
   MCS_EXPECTS(requirement >= 0.0, "requirement must be non-negative");
   check_items(items);
-  const auto [pool, frontier] = sweep(items, requirement, /*cost_cap=*/-1);
+  const auto [pool, frontier] = sweep(items, requirement, /*cost_cap=*/-1, deadline);
   // Minimum-cost feasible state: the frontier is cost-ascending, so the first
   // state meeting the requirement is optimal.
   for (std::int32_t state_index : frontier) {

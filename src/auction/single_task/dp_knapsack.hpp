@@ -15,6 +15,8 @@
 #include <span>
 #include <vector>
 
+#include "common/deadline.hpp"
+
 namespace mcs::auction::single_task {
 
 /// One knapsack item: a real-valued contribution and an integer (scaled)
@@ -36,9 +38,11 @@ struct KnapsackSolution {
 /// Minimum-cost subset with total contribution >= requirement, or nullopt
 /// when even the full item set falls short. Contributions are capped at
 /// `requirement` during the DP (capping preserves optimality for a covering
-/// constraint and sharpens dominance pruning).
+/// constraint and sharpens dominance pruning). The sweep polls `deadline`
+/// once per item and throws common::DeadlineExceeded when it expires.
 std::optional<KnapsackSolution> solve_min_knapsack(std::span<const KnapsackItem> items,
-                                                   double requirement);
+                                                   double requirement,
+                                                   const common::Deadline& deadline = {});
 
 /// The dual form Algorithm 1's discussion also describes: the
 /// maximum-contribution subset whose total scaled cost stays within

@@ -11,7 +11,8 @@
 
 namespace mcs::auction::single_task {
 
-Allocation solve_fptas(const SingleTaskInstance& instance, double epsilon) {
+Allocation solve_fptas(const SingleTaskInstance& instance, double epsilon,
+                       const common::Deadline& deadline) {
   MCS_EXPECTS(epsilon > 0.0, "approximation parameter must be positive");
   instance.validate();
   const double requirement = instance.requirement_contribution();
@@ -47,6 +48,7 @@ Allocation solve_fptas(const SingleTaskInstance& instance, double epsilon) {
   std::vector<KnapsackItem> items;
 
   for (std::size_t k = 1; k <= n; ++k) {
+    deadline.check("FPTAS subproblem scan");
     prefix_contribution += contributions[k - 1];
     if (!common::approx_ge(prefix_contribution, requirement)) {
       continue;  // the first k users cannot cover the task
@@ -65,7 +67,7 @@ Allocation solve_fptas(const SingleTaskInstance& instance, double epsilon) {
       items.push_back({contributions[j], scaled});
     }
 
-    const auto solution = solve_min_knapsack(items, requirement);
+    const auto solution = solve_min_knapsack(items, requirement, deadline);
     if (!solution.has_value()) {
       continue;
     }

@@ -12,12 +12,17 @@
 #pragma once
 
 #include "auction/instance.hpp"
+#include "common/deadline.hpp"
 
 namespace mcs::auction::single_task {
 
 /// Runs the FPTAS winner determination. `epsilon` > 0 is the approximation
 /// parameter. Returns an infeasible Allocation when even the full user set
 /// cannot meet the requirement. The instance must be valid (validate()).
-Allocation solve_fptas(const SingleTaskInstance& instance, double epsilon);
+/// The subproblem scan and the DP sweeps poll `deadline` cooperatively and
+/// throw common::DeadlineExceeded when it expires (the mechanism facade may
+/// then retry on the Min-Greedy degraded ladder).
+Allocation solve_fptas(const SingleTaskInstance& instance, double epsilon,
+                       const common::Deadline& deadline = {});
 
 }  // namespace mcs::auction::single_task

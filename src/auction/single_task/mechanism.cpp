@@ -1,31 +1,60 @@
 #include "auction/single_task/mechanism.hpp"
 
 #include "auction/single_task/fptas.hpp"
+#include "auction/single_task/min_greedy.hpp"
 #include "common/check.hpp"
 #include "common/parallel.hpp"
 
 namespace mcs::auction::single_task {
 
-MechanismOutcome run_mechanism(const SingleTaskInstance& instance,
-                               const auction::MechanismConfig& config) {
-  MCS_EXPECTS(config.single_task.epsilon > 0.0, "approximation parameter must be positive");
-  MCS_EXPECTS(config.alpha > 0.0, "reward scaling factor must be positive");
+namespace {
 
+MechanismOutcome run_with_rule(const SingleTaskInstance& instance,
+                               const auction::MechanismConfig& config, WinnerRule rule,
+                               const common::Deadline& deadline) {
   MechanismOutcome outcome;
-  outcome.allocation = solve_fptas(instance, config.single_task.epsilon);
+  outcome.degraded = rule == WinnerRule::kMinGreedy;
+  outcome.allocation = rule == WinnerRule::kMinGreedy
+                           ? solve_min_greedy(instance)
+                           : solve_fptas(instance, config.single_task.epsilon, deadline);
   if (!outcome.allocation.feasible) {
     return outcome;
   }
   const RewardOptions reward_options{
       .alpha = config.alpha,
       .epsilon = config.single_task.epsilon,
-      .binary_search_iterations = config.single_task.binary_search_iterations};
+      .binary_search_iterations = config.single_task.binary_search_iterations,
+      .winner_rule = rule,
+      .deadline = deadline};
   const auto& winners = outcome.allocation.winners;
   outcome.rewards = common::parallel_map<WinnerReward>(
       winners.size(),
       [&](std::size_t index) { return compute_reward(instance, winners[index], reward_options); },
       config.reward_worker_budget());
   return outcome;
+}
+
+}  // namespace
+
+MechanismOutcome run_mechanism(const SingleTaskInstance& instance,
+                               const auction::MechanismConfig& config) {
+  MCS_EXPECTS(config.single_task.epsilon > 0.0, "approximation parameter must be positive");
+  MCS_EXPECTS(config.alpha > 0.0, "reward scaling factor must be positive");
+
+  const auto deadline = common::Deadline::from_budget(config.time_budget_seconds);
+  if (deadline.is_unlimited() || !config.degrade_on_timeout) {
+    return run_with_rule(instance, config, WinnerRule::kFptas, deadline);
+  }
+  try {
+    return run_with_rule(instance, config, WinnerRule::kFptas, deadline);
+  } catch (const common::DeadlineExceeded&) {
+    // Degradation ladder: the (1+ε) FPTAS blew its budget, so rerun under
+    // the 2-approx Min-Greedy rule (allocation AND critical bids — the
+    // reward must replay the rule that selected the winners) with a fresh
+    // budget. A second expiry propagates to the engine as a timeout.
+    return run_with_rule(instance, config, WinnerRule::kMinGreedy,
+                         common::Deadline::from_budget(config.time_budget_seconds));
+  }
 }
 
 }  // namespace mcs::auction::single_task

@@ -1,6 +1,7 @@
 #include "auction/single_task/reward.hpp"
 
 #include "auction/single_task/fptas.hpp"
+#include "auction/single_task/min_greedy.hpp"
 #include "common/check.hpp"
 #include "common/math.hpp"
 
@@ -9,9 +10,11 @@ namespace mcs::auction::single_task {
 namespace {
 
 bool wins_with_contribution(const SingleTaskInstance& instance, UserId user, double declared_q,
-                            double epsilon) {
-  const auto allocation = solve_fptas(instance.with_declared_contribution(user, declared_q),
-                                      epsilon);
+                            const RewardOptions& options) {
+  const auto modified = instance.with_declared_contribution(user, declared_q);
+  const auto allocation = options.winner_rule == WinnerRule::kMinGreedy
+                              ? solve_min_greedy(modified)
+                              : solve_fptas(modified, options.epsilon, options.deadline);
   return allocation.feasible && allocation.contains(user);
 }
 
@@ -22,10 +25,10 @@ double critical_contribution(const SingleTaskInstance& instance, UserId winner,
   MCS_EXPECTS(options.alpha > 0.0, "reward scaling factor must be positive");
   MCS_EXPECTS(options.binary_search_iterations > 0, "need at least one bisection step");
   const double declared = instance.contribution(winner);
-  MCS_EXPECTS(wins_with_contribution(instance, winner, declared, options.epsilon),
+  MCS_EXPECTS(wins_with_contribution(instance, winner, declared, options),
               "critical bid is only defined for winners");
 
-  if (wins_with_contribution(instance, winner, 0.0, options.epsilon)) {
+  if (wins_with_contribution(instance, winner, 0.0, options)) {
     return 0.0;
   }
   // Monotonicity (Lemma 1): wins(q) is a step function, false below the
@@ -33,8 +36,9 @@ double critical_contribution(const SingleTaskInstance& instance, UserId winner,
   double lo = 0.0;
   double hi = declared;
   for (int iter = 0; iter < options.binary_search_iterations; ++iter) {
+    options.deadline.check("single-task critical-bid search");
     const double mid = 0.5 * (lo + hi);
-    if (wins_with_contribution(instance, winner, mid, options.epsilon)) {
+    if (wins_with_contribution(instance, winner, mid, options)) {
       hi = mid;
     } else {
       lo = mid;

@@ -10,13 +10,27 @@
 #pragma once
 
 #include "auction/instance.hpp"
+#include "common/deadline.hpp"
 
 namespace mcs::auction::single_task {
+
+/// Which winner-determination algorithm the critical-bid search replays. The
+/// reward scheme must re-run the SAME rule that selected the winners, or the
+/// computed threshold is for the wrong mechanism; kMinGreedy is the degraded
+/// ladder's rule, matching the fallback allocation after an FPTAS timeout.
+enum class WinnerRule {
+  kFptas,
+  kMinGreedy,
+};
 
 struct RewardOptions {
   double alpha = 10.0;             ///< reward scaling factor α (paper Table II)
   double epsilon = 0.1;            ///< FPTAS parameter used by the re-runs
   int binary_search_iterations = 48;  ///< ~1e-14 relative precision on q̄
+  WinnerRule winner_rule = WinnerRule::kFptas;
+  /// Cooperative wall-clock budget; polled once per bisection step and
+  /// threaded into the FPTAS re-runs.
+  common::Deadline deadline = {};
 };
 
 /// Critical contribution q̄_i of `winner`: the infimum of declared

@@ -66,6 +66,16 @@ struct WinnerReward {
 struct MechanismOutcome {
   Allocation allocation;
   std::vector<WinnerReward> rewards;
+  /// True when a degraded path produced this outcome: the single-task
+  /// Min-Greedy fallback after an FPTAS timeout, or a multi-task
+  /// partial-coverage round. Degraded outcomes trade the approximation /
+  /// coverage guarantee for availability; the (1+ε) bound becomes 2 on the
+  /// Min-Greedy ladder.
+  bool degraded = false;
+  /// Multi-task partial coverage only: task indices whose PoS requirement
+  /// the (partial) winner set does not meet, ascending. Empty on full
+  /// coverage and for single-task outcomes.
+  std::vector<TaskIndex> uncovered_tasks;
 
   const WinnerReward& reward_of(UserId user) const;
 };
@@ -88,6 +98,13 @@ struct SingleTaskKnobs {
 /// Knobs only the multi-task single-minded family reads.
 struct MultiTaskKnobs {
   CriticalBidRule critical_bid_rule = CriticalBidRule::kBinarySearch;
+  /// When the greedy cover stalls (infeasible instance) or hits the auction
+  /// deadline, keep the selected winner prefix: the outcome stays infeasible
+  /// and pays no rewards (partial coverage cannot be strategy-proof), but
+  /// reports the partial winner set and the uncovered task indices so the
+  /// platform can act on what WAS covered. Off reproduces the paper's
+  /// all-or-nothing behaviour exactly.
+  bool partial_coverage = false;
 };
 
 /// One configuration for both mechanism families — what the batched
@@ -104,6 +121,18 @@ struct MechanismConfig {
   /// Upper bound on threads for the critical-bid computations; 0 means
   /// common::default_worker_count().
   std::size_t reward_workers = 0;
+  /// Wall-clock budget per auction in seconds; 0 (or below) = unlimited.
+  /// Cooperative: the FPTAS DP, the greedy cover, and the critical-bid loops
+  /// poll a common::Deadline, so an expired budget surfaces as
+  /// common::DeadlineExceeded (or as the degraded ladder below) rather than
+  /// an unbounded round.
+  double time_budget_seconds = 0.0;
+  /// Single-task degradation ladder: when the FPTAS hits the deadline, retry
+  /// winner determination AND critical bids under the 2-approx Min-Greedy
+  /// rule with a fresh budget, marking the outcome degraded. When off, the
+  /// DeadlineExceeded propagates (the batched engine turns it into a
+  /// structured timeout status).
+  bool degrade_on_timeout = true;
   SingleTaskKnobs single_task = {};
   MultiTaskKnobs multi_task = {};
 

@@ -1,0 +1,35 @@
+#include "common/deadline.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+namespace mcs::common {
+
+Deadline Deadline::after(double seconds) {
+  Deadline deadline;
+  deadline.limited_ = true;
+  deadline.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                    std::chrono::duration<double>(std::max(0.0, seconds)));
+  return deadline;
+}
+
+Deadline Deadline::from_budget(double seconds) {
+  return seconds > 0.0 ? after(seconds) : unlimited();
+}
+
+void Deadline::check(const char* where) const {
+  if (expired()) {
+    throw DeadlineExceeded(std::string(where) + ": wall-clock budget exhausted");
+  }
+}
+
+double Deadline::remaining_seconds() const {
+  if (!limited_) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const std::chrono::duration<double> left = at_ - Clock::now();
+  return std::max(0.0, left.count());
+}
+
+}  // namespace mcs::common

@@ -1,0 +1,60 @@
+// Cooperative wall-clock deadlines for the auction hot paths. A production
+// platform cannot let one runaway FPTAS grid or slow greedy round hold a
+// worker thread forever, so every long-running mechanism loop (the Algorithm
+// 1 DP sweep, the Algorithm 2 subproblem scan, the Algorithm 4 cover loop,
+// and both critical-bid bisections) polls a Deadline token at its outer
+// iterations and bails out with DeadlineExceeded when the budget is spent.
+//
+// The token is cooperative on purpose: no signals, no thread cancellation —
+// the loops stay deterministic and sanitizer-clean, and a poll costs one
+// steady_clock read at a granularity coarse enough to be invisible in the
+// benches. A default-constructed Deadline is unlimited and polls for free.
+#pragma once
+
+#include <chrono>
+#include <stdexcept>
+
+namespace mcs::common {
+
+/// Thrown when a cooperative deadline expires inside a mechanism loop. The
+/// batched engine turns it into a structured per-auction timeout status; the
+/// single-task mechanism may first retry on its degraded ladder.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A copyable wall-clock budget token. Default-constructed = unlimited.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() = default;
+
+  static Deadline unlimited() { return Deadline{}; }
+
+  /// Expires `seconds` from now; a non-positive budget is already expired.
+  static Deadline after(double seconds);
+
+  /// The MechanismConfig convention: a budget of 0 (or below) means no
+  /// deadline at all, anything positive counts down from now.
+  static Deadline from_budget(double seconds);
+
+  bool is_unlimited() const { return !limited_; }
+
+  /// True when the budget is spent. Free for unlimited deadlines.
+  bool expired() const { return limited_ && Clock::now() >= at_; }
+
+  /// Throws DeadlineExceeded("<where>: wall-clock budget exhausted") when
+  /// expired; `where` names the loop for the engine's error status.
+  void check(const char* where) const;
+
+  /// Seconds left; +infinity when unlimited, clamped at 0 when expired.
+  double remaining_seconds() const;
+
+ private:
+  bool limited_ = false;
+  Clock::time_point at_{};
+};
+
+}  // namespace mcs::common

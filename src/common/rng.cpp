@@ -71,4 +71,10 @@ bool Rng::bernoulli(double p) {
   return uniform01() < p;
 }
 
+void Rng::set_state(const std::array<std::uint64_t, 4>& state) {
+  MCS_EXPECTS(state[0] != 0 || state[1] != 0 || state[2] != 0 || state[3] != 0,
+              "the all-zero xoshiro256** state is invalid");
+  state_ = state;
+}
+
 }  // namespace mcs::common

@@ -41,6 +41,14 @@ class Rng {
   /// Bernoulli draw with success probability p in [0, 1].
   bool bernoulli(double p);
 
+  /// Raw 256-bit engine state, for checkpointing.
+  std::array<std::uint64_t, 4> state() const { return state_; }
+
+  /// Restores a previously captured state; the stream resumes exactly where
+  /// it was captured. The all-zero state is invalid for xoshiro256** (the
+  /// generator would stay at zero forever) and is rejected.
+  void set_state(const std::array<std::uint64_t, 4>& state);
+
  private:
   std::array<std::uint64_t, 4> state_;
 };

@@ -1,0 +1,354 @@
+#include "platform/journal.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace mcs::platform {
+
+namespace {
+
+constexpr const char* kJournalHeader = "mcs-journal-v1";
+
+std::string format_double(double value) {
+  char buffer[64];
+  // %.17g round-trips every double exactly, so a resumed campaign replays to
+  // bit-identical state.
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+[[noreturn]] void fail(std::size_t line_number, const std::string& message) {
+  throw common::PreconditionError("campaign journal, line " + std::to_string(line_number) +
+                                  ": " + message);
+}
+
+/// One meaningful journal line. For the `error` directive the raw remainder
+/// of the line is preserved verbatim (exception text may contain '#'), so it
+/// is carried separately from the whitespace-split tokens.
+struct JournalLine {
+  std::size_t number = 0;
+  std::vector<std::string> tokens;
+  std::string error_text;  ///< only for the `error` directive
+};
+
+std::vector<JournalLine> meaningful_lines(const std::string& text) {
+  std::vector<JournalLine> lines;
+  std::istringstream stream(text);
+  std::string raw;
+  std::size_t number = 0;
+  while (std::getline(stream, raw)) {
+    ++number;
+    if (!raw.empty() && raw.back() == '\r') {
+      raw.pop_back();
+    }
+    const auto first = raw.find_first_not_of(" \t");
+    if (first == std::string::npos || raw[first] == '#') {
+      continue;
+    }
+    const auto first_end = raw.find_first_of(" \t", first);
+    const std::string keyword = raw.substr(first, first_end - first);
+    JournalLine line;
+    line.number = number;
+    if (keyword == "error") {
+      const auto value = raw.find_first_not_of(" \t", first_end);
+      line.tokens = {keyword};
+      line.error_text = value == std::string::npos ? "" : raw.substr(value);
+    } else {
+      std::string body = raw;
+      const auto comment = body.find('#');
+      if (comment != std::string::npos) {
+        body.resize(comment);
+      }
+      std::istringstream fields(body);
+      std::string token;
+      while (fields >> token) {
+        line.tokens.push_back(std::move(token));
+      }
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+double parse_double(const std::string& token, std::size_t line_number) {
+  double value{};
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    fail(line_number, "malformed number '" + token + "'");
+  }
+  return value;
+}
+
+std::uint64_t parse_u64(const std::string& token, std::size_t line_number) {
+  std::uint64_t value{};
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    fail(line_number, "malformed count '" + token + "'");
+  }
+  return value;
+}
+
+std::size_t parse_size(const std::string& token, std::size_t line_number) {
+  return static_cast<std::size_t>(parse_u64(token, line_number));
+}
+
+std::int32_t parse_i32(const std::string& token, std::size_t line_number) {
+  std::int64_t value{};
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end ||
+      value < std::numeric_limits<std::int32_t>::min() ||
+      value > std::numeric_limits<std::int32_t>::max()) {
+    fail(line_number, "malformed id '" + token + "'");
+  }
+  return static_cast<std::int32_t>(value);
+}
+
+bool parse_flag(const JournalLine& line) {
+  if (line.tokens.size() != 2 || (line.tokens[1] != "0" && line.tokens[1] != "1")) {
+    fail(line.number, "expected '" + line.tokens.front() + " 0|1'");
+  }
+  return line.tokens[1] == "1";
+}
+
+double parse_double_directive(const JournalLine& line) {
+  if (line.tokens.size() != 2) {
+    fail(line.number, "expected '" + line.tokens.front() + " <value>'");
+  }
+  return parse_double(line.tokens[1], line.number);
+}
+
+std::size_t parse_size_directive(const JournalLine& line) {
+  if (line.tokens.size() != 2) {
+    fail(line.number, "expected '" + line.tokens.front() + " <count>'");
+  }
+  return parse_size(line.tokens[1], line.number);
+}
+
+/// Parses one complete block, lines[begin..end] inclusive where lines[end]
+/// is the `end round` terminator.
+JournalEntry parse_block(const std::vector<JournalLine>& lines, std::size_t begin,
+                         std::size_t end) {
+  const auto& head = lines[begin];
+  if (head.tokens.size() != 3 || head.tokens[0] != "begin" || head.tokens[1] != "round") {
+    fail(head.number, "expected 'begin round <n>'");
+  }
+  JournalEntry entry;
+  entry.report.round = parse_size(head.tokens[2], head.number);
+
+  bool have_rng = false;
+  bool have_positions = false;
+  std::size_t reputation_count = 0;
+  bool have_reputation = false;
+  for (std::size_t i = begin + 1; i < end; ++i) {
+    const auto& line = lines[i];
+    const auto& keyword = line.tokens.front();
+    if (keyword == "held") {
+      entry.report.held = parse_flag(line);
+    } else if (keyword == "degraded") {
+      entry.report.degraded = parse_flag(line);
+    } else if (keyword == "winners") {
+      entry.report.winners = parse_size_directive(line);
+    } else if (keyword == "social_cost") {
+      entry.report.social_cost = parse_double_directive(line);
+    } else if (keyword == "payout") {
+      entry.report.payout = parse_double_directive(line);
+    } else if (keyword == "tasks_posted") {
+      entry.report.tasks_posted = parse_size_directive(line);
+    } else if (keyword == "tasks_completed") {
+      entry.report.tasks_completed = parse_size_directive(line);
+    } else if (keyword == "mean_required_pos") {
+      entry.report.mean_required_pos = parse_double_directive(line);
+    } else if (keyword == "mean_achieved_pos") {
+      entry.report.mean_achieved_pos = parse_double_directive(line);
+    } else if (keyword == "error") {
+      entry.report.error = line.error_text;
+    } else if (keyword == "winning_taxis") {
+      if (line.tokens.size() < 2) {
+        fail(line.number, "expected 'winning_taxis <count> <ids>...'");
+      }
+      const std::size_t count = parse_size(line.tokens[1], line.number);
+      if (line.tokens.size() != 2 + count) {
+        fail(line.number, "winning taxi count does not match the declared count");
+      }
+      for (std::size_t k = 0; k < count; ++k) {
+        entry.report.winning_taxis.push_back(parse_i32(line.tokens[2 + k], line.number));
+      }
+    } else if (keyword == "positions") {
+      if (line.tokens.size() < 2) {
+        fail(line.number, "expected 'positions <count> <cells>...'");
+      }
+      const std::size_t count = parse_size(line.tokens[1], line.number);
+      if (line.tokens.size() != 2 + count) {
+        fail(line.number, "position count does not match the declared count");
+      }
+      for (std::size_t k = 0; k < count; ++k) {
+        entry.positions.push_back(parse_i32(line.tokens[2 + k], line.number));
+      }
+      have_positions = true;
+    } else if (keyword == "rng") {
+      if (line.tokens.size() != 5) {
+        fail(line.number, "expected 'rng <s0> <s1> <s2> <s3>'");
+      }
+      for (std::size_t k = 0; k < 4; ++k) {
+        entry.rng_state[k] = parse_u64(line.tokens[1 + k], line.number);
+      }
+      have_rng = true;
+    } else if (keyword == "reputation") {
+      reputation_count = parse_size_directive(line);
+      have_reputation = true;
+    } else if (keyword == "rep") {
+      if (line.tokens.size() != 6) {
+        fail(line.number, "expected 'rep <taxi> <rounds> <expected> <variance> <realized>'");
+      }
+      ReputationRecord record;
+      const trace::TaxiId taxi = parse_i32(line.tokens[1], line.number);
+      record.rounds = parse_size(line.tokens[2], line.number);
+      record.expected_successes = parse_double(line.tokens[3], line.number);
+      record.variance = parse_double(line.tokens[4], line.number);
+      record.realized_successes = parse_size(line.tokens[5], line.number);
+      entry.reputation.emplace_back(taxi, record);
+    } else if (keyword == "begin") {
+      fail(line.number, "unterminated block: 'begin' before the previous 'end round'");
+    } else {
+      fail(line.number, "unknown directive '" + keyword + "'");
+    }
+  }
+
+  const auto& tail = lines[end];
+  if (tail.tokens.size() != 3 || tail.tokens[1] != "round" ||
+      parse_size(tail.tokens[2], tail.number) != entry.report.round) {
+    fail(tail.number, "expected 'end round " + std::to_string(entry.report.round) + "'");
+  }
+  if (!have_positions || !have_rng || !have_reputation) {
+    fail(tail.number, "block is missing its positions/rng/reputation snapshot");
+  }
+  if (entry.reputation.size() != reputation_count) {
+    fail(tail.number, "reputation record count does not match the declared count");
+  }
+  return entry;
+}
+
+}  // namespace
+
+std::string to_text(const JournalEntry& entry) {
+  std::ostringstream out;
+  out << "begin round " << entry.report.round << "\n";
+  out << "held " << (entry.report.held ? 1 : 0) << "\n";
+  out << "degraded " << (entry.report.degraded ? 1 : 0) << "\n";
+  out << "winners " << entry.report.winners << "\n";
+  out << "social_cost " << format_double(entry.report.social_cost) << "\n";
+  out << "payout " << format_double(entry.report.payout) << "\n";
+  out << "tasks_posted " << entry.report.tasks_posted << "\n";
+  out << "tasks_completed " << entry.report.tasks_completed << "\n";
+  out << "mean_required_pos " << format_double(entry.report.mean_required_pos) << "\n";
+  out << "mean_achieved_pos " << format_double(entry.report.mean_achieved_pos) << "\n";
+  out << "winning_taxis " << entry.report.winning_taxis.size();
+  for (trace::TaxiId taxi : entry.report.winning_taxis) {
+    out << ' ' << taxi;
+  }
+  out << "\n";
+  if (!entry.report.error.empty()) {
+    out << "error " << entry.report.error << "\n";
+  }
+  out << "positions " << entry.positions.size();
+  for (geo::CellId cell : entry.positions) {
+    out << ' ' << cell;
+  }
+  out << "\n";
+  out << "rng " << entry.rng_state[0] << ' ' << entry.rng_state[1] << ' ' << entry.rng_state[2]
+      << ' ' << entry.rng_state[3] << "\n";
+  out << "reputation " << entry.reputation.size() << "\n";
+  for (const auto& [taxi, record] : entry.reputation) {
+    out << "rep " << taxi << ' ' << record.rounds << ' '
+        << format_double(record.expected_successes) << ' ' << format_double(record.variance)
+        << ' ' << record.realized_successes << "\n";
+  }
+  out << "end round " << entry.report.round << "\n";
+  return out.str();
+}
+
+std::vector<JournalEntry> journal_from_text(const std::string& text) {
+  const auto lines = meaningful_lines(text);
+  if (lines.empty() || lines.front().tokens.size() != 1 ||
+      lines.front().tokens.front() != kJournalHeader) {
+    fail(lines.empty() ? 1 : lines.front().number, "missing mcs-journal-v1 header");
+  }
+  std::vector<JournalEntry> entries;
+  std::size_t i = 1;
+  while (i < lines.size()) {
+    // A block only counts once terminated; an unterminated tail is a torn
+    // append (the process died mid-write) and is dropped on replay.
+    std::size_t end = i;
+    while (end < lines.size() && lines[end].tokens.front() != "end") {
+      ++end;
+    }
+    if (end == lines.size()) {
+      break;  // torn tail: no terminator ever written
+    }
+    const bool is_last_block = [&] {
+      for (std::size_t k = end + 1; k < lines.size(); ++k) {
+        if (lines[k].tokens.front() == "end") {
+          return false;
+        }
+      }
+      return true;
+    }();
+    try {
+      entries.push_back(parse_block(lines, i, end));
+    } catch (const common::PreconditionError&) {
+      if (is_last_block) {
+        break;  // a torn write can also truncate mid-line; drop the tail
+      }
+      throw;  // corruption before the last complete block is a real error
+    }
+    i = end + 1;
+  }
+  return entries;
+}
+
+std::vector<JournalEntry> replay_journal(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (!std::filesystem::exists(path)) {
+      return {};  // no journal yet: the campaign has not started
+    }
+    throw std::runtime_error("cannot open campaign journal for reading: " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return journal_from_text(buffer.str());
+}
+
+JournalWriter::JournalWriter(const std::filesystem::path& path) : path_(path) {
+  const bool fresh = !std::filesystem::exists(path) ||
+                     std::filesystem::file_size(path) == 0;
+  out_.open(path, std::ios::binary | std::ios::app);
+  if (!out_) {
+    throw std::runtime_error("cannot open campaign journal for appending: " + path.string());
+  }
+  if (fresh) {
+    out_ << kJournalHeader << "\n";
+    out_.flush();
+  }
+}
+
+void JournalWriter::append(const JournalEntry& entry) {
+  out_ << to_text(entry);
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("failed appending to campaign journal: " + path_.string());
+  }
+}
+
+}  // namespace mcs::platform

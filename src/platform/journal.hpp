@@ -1,0 +1,85 @@
+// Append-only campaign journal (mcs-journal-v1): crash-safe checkpointing
+// for multi-round campaigns. After every completed round the platform
+// appends one self-contained block holding the round's report plus the full
+// state needed to resume — fleet positions, the 256-bit RNG state, and the
+// reputation ledger — so a killed campaign restarts from the last journaled
+// round and replays to a state bit-identical to an uninterrupted run
+// (doubles are written with %.17g and round-trip exactly).
+//
+// Format, following the auction::io text conventions ('#' comments and blank
+// lines ignored; the `error` directive instead takes the raw remainder of
+// its line, since captured exception text may contain anything):
+//
+//     mcs-journal-v1
+//     begin round 0
+//     held 1
+//     degraded 0
+//     winners 2
+//     social_cost 3.5
+//     payout 12.25
+//     tasks_posted 8
+//     tasks_completed 5
+//     mean_required_pos 0.6
+//     mean_achieved_pos 0.71
+//     winning_taxis 2 14 37          # count, then taxi ids
+//     error <raw text>               # only present when non-empty
+//     positions 50 102 97 ...        # count, then one cell per fleet taxi
+//     rng 123 456 789 1011           # xoshiro256** state words
+//     reputation 2                   # count, then one `rep` line each
+//     rep 14 3 2.1 0.63 2            # taxi rounds expected variance realized
+//     end round 0
+//
+// A block is only valid once its `end round N` terminator is present, so a
+// torn tail (the process died mid-append) is detected and dropped on
+// replay; corruption BEFORE the last complete block throws instead.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "platform/platform.hpp"
+
+namespace mcs::platform {
+
+/// One journaled round: the report plus the platform state snapshot taken
+/// right after the round ran.
+struct JournalEntry {
+  RoundReport report;
+  std::vector<geo::CellId> positions;  ///< indexed like FleetModel::taxis()
+  std::array<std::uint64_t, 4> rng_state{};
+  /// Full reputation ledger, ascending by taxi id.
+  std::vector<std::pair<trace::TaxiId, ReputationRecord>> reputation;
+};
+
+/// Serializes one entry as a journal block (without the file header).
+std::string to_text(const JournalEntry& entry);
+
+/// Parses a full journal file's text. Throws PreconditionError (with the
+/// offending line number) on a bad header or corruption before the last
+/// complete block; an incomplete trailing block is silently dropped.
+std::vector<JournalEntry> journal_from_text(const std::string& text);
+
+/// Loads and replays a journal file. A missing file is an empty journal (the
+/// campaign simply has not started); other I/O failures throw
+/// std::runtime_error naming the path.
+std::vector<JournalEntry> replay_journal(const std::filesystem::path& path);
+
+/// Appends entries to a journal file, creating it (with the format header)
+/// when absent or empty. Each append is flushed before returning, so the
+/// journal never lags the campaign by more than the block being written.
+class JournalWriter {
+ public:
+  explicit JournalWriter(const std::filesystem::path& path);
+
+  void append(const JournalEntry& entry);
+
+ private:
+  std::filesystem::path path_;
+  std::ofstream out_;
+};
+
+}  // namespace mcs::platform

@@ -1,13 +1,30 @@
 #include "platform/platform.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/check.hpp"
 #include "common/distributions.hpp"
+#include "platform/journal.hpp"
 #include "sim/execution.hpp"
 #include "sim/metrics.hpp"
 
 namespace mcs::platform {
+
+namespace {
+
+void accumulate(CampaignReport& report, const RoundReport& round) {
+  report.total_payout += round.payout;
+  report.total_social_cost += round.social_cost;
+  report.total_tasks_posted += round.tasks_posted;
+  report.total_tasks_completed += round.tasks_completed;
+  report.rounds_held += round.held ? 1 : 0;
+  for (trace::TaxiId taxi : round.winning_taxis) {
+    ++report.wins_by_taxi[taxi];
+  }
+}
+
+}  // namespace
 
 double CampaignReport::completion_rate() const {
   if (total_tasks_posted == 0) {
@@ -76,17 +93,46 @@ geo::CellId Platform::position_of(trace::TaxiId taxi) const {
 
 CampaignReport Platform::run_campaign() {
   CampaignReport report;
-  for (std::size_t round = 0; round < config_.rounds; ++round) {
+  std::size_t start_round = 0;
+  std::unique_ptr<JournalWriter> journal;
+  if (!config_.journal_path.empty()) {
+    // Resume: fold every journaled round back into the report and restore
+    // the platform state captured after the last one. The replayed rounds
+    // are bit-identical to what an uninterrupted run produced, because the
+    // journal stores every double at full precision.
+    const auto replayed = replay_journal(config_.journal_path);
+    for (std::size_t k = 0; k < replayed.size(); ++k) {
+      const auto& entry = replayed[k];
+      MCS_EXPECTS(entry.report.round == k, "campaign journal rounds are not contiguous");
+      accumulate(report, entry.report);
+      report.rounds.push_back(entry.report);
+    }
+    if (!replayed.empty()) {
+      const auto& last = replayed.back();
+      MCS_EXPECTS(last.positions.size() == positions_.size(),
+                  "campaign journal was written for a different fleet");
+      positions_ = last.positions;
+      rng_.set_state(last.rng_state);
+      reputation_ = ReputationTracker{};
+      for (const auto& [taxi, record] : last.reputation) {
+        reputation_.restore(taxi, record);
+      }
+      start_round = last.report.round + 1;
+    }
+    journal = std::make_unique<JournalWriter>(config_.journal_path);
+  }
+  for (std::size_t round = start_round; round < config_.rounds; ++round) {
     const double budget_left = config_.budget - report.total_payout;
     auto round_report = run_round(round, budget_left);
-    report.total_payout += round_report.payout;
-    report.total_social_cost += round_report.social_cost;
-    report.total_tasks_posted += round_report.tasks_posted;
-    report.total_tasks_completed += round_report.tasks_completed;
-    report.rounds_held += round_report.held ? 1 : 0;
-    for (trace::TaxiId taxi : round_report.winning_taxis) {
-      ++report.wins_by_taxi[taxi];
+    if (journal) {
+      JournalEntry entry;
+      entry.report = round_report;
+      entry.positions = positions_;
+      entry.rng_state = rng_.state();
+      entry.reputation.assign(reputation_.records().begin(), reputation_.records().end());
+      journal->append(entry);
     }
+    accumulate(report, round_report);
     report.rounds.push_back(std::move(round_report));
   }
   return report;
@@ -180,11 +226,18 @@ RoundReport Platform::run_round(std::size_t round, double budget_left) {
   }
 
   const auction::MechanismConfig mechanism{
-      .alpha = config_.alpha, .multi_task = {.critical_bid_rule = config_.critical_bid_rule}};
-  const auto outcome = engine_.run_one(scenario->instance, mechanism);
-  if (!outcome.allocation.feasible) {
+      .alpha = config_.alpha,
+      .time_budget_seconds = config_.auction_time_budget_seconds,
+      .multi_task = {.critical_bid_rule = config_.critical_bid_rule}};
+  // Isolated dispatch: a throwing or deadline-exceeding auction skips this
+  // round (captured in the report) instead of aborting the whole campaign.
+  const auto slot = engine_.run_one_isolated(scenario->instance, mechanism);
+  report.degraded = slot.outcome.degraded;
+  report.error = slot.error;
+  if (!slot.ok() || !slot.outcome.allocation.feasible) {
     return report;
   }
+  const auto& outcome = slot.outcome;
 
   report.held = true;
   report.winners = outcome.allocation.winners.size();

@@ -18,8 +18,10 @@
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <limits>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "auction/engine.hpp"
@@ -70,6 +72,14 @@ struct CampaignConfig {
   ExecutionModel execution = ExecutionModel::kGroundTruthMobility;
   /// The campaign stops holding auctions once cumulative payout reaches this.
   double budget = std::numeric_limits<double>::infinity();
+  /// Per-auction wall-clock budget in seconds (0 = unlimited); a round whose
+  /// auction exceeds it falls back per the mechanism's degradation ladder,
+  /// and a still-failing round is skipped instead of aborting the campaign.
+  double auction_time_budget_seconds = 0.0;
+  /// When non-empty, every completed round is appended to this journal file
+  /// (format mcs-journal-v1, see platform/journal.hpp) and run_campaign
+  /// resumes from the last journaled round after a crash or kill.
+  std::filesystem::path journal_path;
   std::uint64_t seed = 1;
 };
 
@@ -85,6 +95,8 @@ struct RoundReport {
   double mean_required_pos = 0.0;
   double mean_achieved_pos = 0.0;  ///< analytic, under declared PoS
   std::vector<trace::TaxiId> winning_taxis;  ///< the recruited taxis, ascending
+  bool degraded = false;  ///< the round's auction used a fallback path
+  std::string error;      ///< auction failure captured by the engine; empty when clean
 };
 
 /// Aggregated campaign outcome.

@@ -50,6 +50,13 @@ class ReputationTracker {
 
   std::size_t tracked_users() const { return records_.size(); }
 
+  /// The full ledger, ascending by taxi id — used for checkpointing.
+  const std::map<trace::TaxiId, ReputationRecord>& records() const { return records_; }
+
+  /// Restores one user's record verbatim (checkpoint replay); replaces any
+  /// existing record for that user.
+  void restore(trace::TaxiId taxi, const ReputationRecord& record) { records_[taxi] = record; }
+
  private:
   std::map<trace::TaxiId, ReputationRecord> records_;
 };

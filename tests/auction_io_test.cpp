@@ -3,6 +3,7 @@
 #include "auction/io.hpp"
 
 #include <filesystem>
+#include <fstream>
 
 #include <gtest/gtest.h>
 
@@ -92,6 +93,113 @@ TEST(MultiTaskText, DiagnosesMalformedInput) {
   EXPECT_THROW(
       multi_task_from_text("mcs-multi-task-v1\ntasks 1\nrequirement 0 0.5\nuser 1 1 0-0.3\n"),
       common::PreconditionError);  // missing colon
+}
+
+/// Expects the text to be rejected with a message carrying both a line
+/// number and the given fragment.
+template <typename Parser>
+void expect_rejects(Parser parse, const std::string& text, const std::string& fragment) {
+  try {
+    parse(text);
+    FAIL() << "expected a parse error containing '" << fragment << "'";
+  } catch (const common::PreconditionError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find(", line "), std::string::npos) << what;
+    EXPECT_NE(what.find(fragment), std::string::npos) << what;
+  }
+}
+
+TEST(SingleTaskText, RejectsHostileInputWithLineNumbers) {
+  const auto parse = [](const std::string& text) { return single_task_from_text(text); };
+  expect_rejects(parse, "", "missing mcs-single-task-v1 header");
+  expect_rejects(parse, "mcs-single-task-v\nrequirement 0.5\n",
+                 "missing mcs-single-task-v1 header");
+  expect_rejects(parse, "mcs-single-task-v1\nrequirement 0.5\nuser inf 0.5\n", "non-finite");
+  expect_rejects(parse, "mcs-single-task-v1\nrequirement 0.5\nuser nan 0.5\n", "non-finite");
+  expect_rejects(parse, "mcs-single-task-v1\nrequirement 0.5\nuser 1 inf\n", "non-finite");
+  expect_rejects(parse, "mcs-single-task-v1\nrequirement 0.5\nuser 1 1.5\n",
+                 "out of range [0, 1]");
+  expect_rejects(parse, "mcs-single-task-v1\nrequirement 0.5\nuser 1 -0.1\n",
+                 "out of range [0, 1]");
+  expect_rejects(parse, "mcs-single-task-v1\nrequirement 0.5\nuser 0 0.5\n",
+                 "strictly positive");
+  expect_rejects(parse, "mcs-single-task-v1\nrequirement 0.5\nuser -2 0.5\n",
+                 "strictly positive");
+  expect_rejects(parse, "mcs-single-task-v1\nrequirement 0\nuser 1 0.5\n",
+                 "out of range (0, 1)");
+  expect_rejects(parse, "mcs-single-task-v1\nrequirement nan\nuser 1 0.5\n", "non-finite");
+  expect_rejects(parse, "mcs-single-task-v1\nuser 1 0.5\n", "missing its requirement");
+}
+
+TEST(MultiTaskText, RejectsHostileInputWithLineNumbers) {
+  const auto parse = [](const std::string& text) { return multi_task_from_text(text); };
+  expect_rejects(parse, "mcs-multi-task-v\ntasks 1\n", "missing mcs-multi-task-v1 header");
+  // A huge declared task count must fail cleanly, not attempt an allocation.
+  expect_rejects(parse, "mcs-multi-task-v1\ntasks 999999999999999999\n", "task count");
+  expect_rejects(parse, "mcs-multi-task-v1\ntasks 1048577\n", "task count");
+  expect_rejects(parse, "mcs-multi-task-v1\ntasks 0\n", "task count");
+  expect_rejects(parse,
+                 "mcs-multi-task-v1\ntasks 1\nrequirement 0 0.5\nrequirement 0 0.6\n",
+                 "duplicate requirement for task 0");
+  expect_rejects(parse, "mcs-multi-task-v1\ntasks 2\nrequirement 0 0.5\nuser 1 1 0:0.3\n",
+                 "task 1 has no requirement line");
+  expect_rejects(parse,
+                 "mcs-multi-task-v1\ntasks 1\nrequirement 0 0.5\nuser 1 2 0:0.3 0:0.4\n",
+                 "duplicate task index");
+  expect_rejects(parse,
+                 "mcs-multi-task-v1\ntasks 2\nrequirement 0 0.5\nrequirement 1 0.5\n"
+                 "user 1 2 1:0.3 0:0.4\n",
+                 "strictly ascending");
+  expect_rejects(parse,
+                 "mcs-multi-task-v1\ntasks 1\nrequirement 0 0.5\nuser 1 1 0:nan\n",
+                 "non-finite");
+  expect_rejects(parse,
+                 "mcs-multi-task-v1\ntasks 1\nrequirement 0 0.5\nuser inf 1 0:0.3\n",
+                 "non-finite");
+  expect_rejects(parse,
+                 "mcs-multi-task-v1\ntasks 1\nrequirement 0 0.5\nuser 1 1 5:0.3\n",
+                 "task index out of range");
+  expect_rejects(parse, "mcs-multi-task-v1\ntasks 1\nrequirement 0 0.5\nuser 1 0\n",
+                 "at least one task");
+  expect_rejects(parse, "mcs-multi-task-v1\ntasks 1\nrequirement 0 1.5\nuser 1 1 0:0.3\n",
+                 "out of range (0, 1)");
+}
+
+TEST(InstanceFiles, LoadErrorsNameTheFile) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path = dir / "mcs_io_hostile_test.txt";
+  {
+    std::ofstream out(path);
+    out << "mcs-single-task-v1\nrequirement 0.5\nuser inf 0.5\n";
+  }
+  try {
+    load_single_task(path);
+    FAIL() << "expected a parse error";
+  } catch (const common::PreconditionError& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find(path.string()), std::string::npos) << what;
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+  }
+  {
+    std::ofstream out(path);
+    out << "mcs-multi-task-v1\ntasks 1\nrequirement 0 0.5\nuser 1 1 0:2.0\n";
+  }
+  try {
+    load_multi_task(path);
+    FAIL() << "expected a parse error";
+  } catch (const common::PreconditionError& error) {
+    EXPECT_NE(std::string(error.what()).find(path.string()), std::string::npos)
+        << error.what();
+  }
+  std::filesystem::remove(path);
+  try {
+    save_single_task("/nonexistent-dir/mcs-io.txt", test::random_single_task(4, 0.7, 3));
+    FAIL() << "expected an I/O error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("/nonexistent-dir/mcs-io.txt"),
+              std::string::npos)
+        << error.what();
+  }
 }
 
 TEST(InstanceFiles, SaveAndLoad) {

@@ -160,5 +160,130 @@ TEST(ThreadPool, DestructorDrainsQueuedWork) {
   EXPECT_EQ(ran.load(), 50);
 }
 
+// --- Stress tests: exception storms and teardown mid-flight. These run
+// under the `parallel` ctest label, so the tsan and asan-ubsan presets
+// exercise them with sanitizers on.
+
+TEST(ThreadPoolStress, RepeatedBatchesUnderExceptionStorms) {
+  // Exceptions must never corrupt the pool: after a batch where many indices
+  // throw, the next batch must run normally on the same workers, and the
+  // first exception by index must win every time.
+  ThreadPool pool(4);
+  for (int batch = 0; batch < 50; ++batch) {
+    std::vector<std::atomic<int>> visits(128);
+    const std::size_t first_thrower = static_cast<std::size_t>(batch % 11);
+    try {
+      pool.for_each_index(
+          visits.size(),
+          [&](std::size_t index) {
+            ++visits[index];
+            if (index % 11 == first_thrower % 11 && index >= first_thrower) {
+              throw std::runtime_error("storm " + std::to_string(index));
+            }
+          },
+          4);
+      FAIL() << "every batch has throwers";
+    } catch (const std::runtime_error& error) {
+      EXPECT_EQ(std::string(error.what()), "storm " + std::to_string(first_thrower));
+    }
+    for (const auto& count : visits) {
+      ASSERT_EQ(count.load(), 1);
+    }
+  }
+}
+
+TEST(ThreadPoolStress, DestructionMidFlightDrainsEverySubmittedTask) {
+  // Tear pools down while their queues are still full; the destructor
+  // contract is that queued work runs to completion first. Some tasks throw
+  // through their (discarded) futures, which must not disturb teardown.
+  for (int iteration = 0; iteration < 20; ++iteration) {
+    std::atomic<int> ran{0};
+    {
+      ThreadPool pool(3);
+      for (int k = 0; k < 200; ++k) {
+        (void)pool.submit([&ran, k]() -> int {
+          ++ran;
+          if (k % 13 == 0) {
+            throw std::runtime_error("discarded");
+          }
+          return k;
+        });
+      }
+    }  // destroyed with most of the queue still pending
+    ASSERT_EQ(ran.load(), 200);
+  }
+}
+
+TEST(ThreadPoolStress, ConcurrentCallersShareOnePool) {
+  // Several external threads drive for_each_index batches through the same
+  // pool concurrently; each caller's per-index results must come out exactly
+  // as a serial loop would produce them, and throwers must only affect their
+  // own batch.
+  ThreadPool pool(4);
+  constexpr std::size_t kCallers = 4;
+  constexpr std::size_t kBatches = 10;
+  constexpr std::size_t kCount = 200;
+  std::vector<std::thread> callers;
+  std::vector<std::atomic<int>> failures(kCallers);
+  for (std::size_t caller = 0; caller < kCallers; ++caller) {
+    callers.emplace_back([&, caller] {
+      for (std::size_t batch = 0; batch < kBatches; ++batch) {
+        std::vector<std::size_t> results(kCount, 0);
+        const bool throwing = (caller + batch) % 3 == 0;
+        try {
+          pool.for_each_index(
+              kCount,
+              [&](std::size_t index) {
+                results[index] = caller * 10000 + index;
+                if (throwing && index == 17) {
+                  throw std::runtime_error("batch poisoned");
+                }
+              },
+              4);
+          if (throwing) {
+            ++failures[caller];  // expected a throw
+          }
+        } catch (const std::runtime_error&) {
+          if (!throwing) {
+            ++failures[caller];
+          }
+        }
+        for (std::size_t index = 0; index < kCount; ++index) {
+          if (results[index] != caller * 10000 + index) {
+            ++failures[caller];
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : callers) {
+    thread.join();
+  }
+  for (const auto& count : failures) {
+    EXPECT_EQ(count.load(), 0);
+  }
+}
+
+TEST(ThreadPoolStress, RapidCreateDestroyCycles) {
+  // Pool lifetime churn: construction spawns workers, destruction joins
+  // them; cycling quickly must neither leak nor deadlock, including when the
+  // final batch throws.
+  for (int cycle = 0; cycle < 30; ++cycle) {
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(pool.for_each_index(
+                     16,
+                     [&](std::size_t index) {
+                       ++ran;
+                       if (index == 5) {
+                         throw std::runtime_error("final batch");
+                       }
+                     },
+                     2),
+                 std::runtime_error);
+    EXPECT_EQ(ran.load(), 16);
+  }
+}
+
 }  // namespace
 }  // namespace mcs::common
