@@ -7,10 +7,21 @@
 namespace mcs::common {
 
 Deadline Deadline::after(double seconds) {
+  const double capped = std::max(0.0, seconds);
+  // A budget beyond what steady_clock can represent (~146 years at
+  // nanosecond resolution) is "never": the duration_cast below would be
+  // float-to-integer overflow — UB that can land on an already-expired
+  // negative deadline. Half the representable range leaves headroom for the
+  // addition to now().
+  constexpr double kUnlimitedSeconds =
+      std::chrono::duration<double>(Clock::duration::max() / 2).count();
+  if (!(capped < kUnlimitedSeconds)) {
+    return unlimited();
+  }
   Deadline deadline;
   deadline.limited_ = true;
   deadline.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                                    std::chrono::duration<double>(std::max(0.0, seconds)));
+                                    std::chrono::duration<double>(capped));
   return deadline;
 }
 

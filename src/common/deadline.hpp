@@ -34,6 +34,8 @@ class Deadline {
   static Deadline unlimited() { return Deadline{}; }
 
   /// Expires `seconds` from now; a non-positive budget is already expired.
+  /// A budget too large for the clock to represent is unlimited — the cast
+  /// to clock ticks would otherwise overflow (UB).
   static Deadline after(double seconds);
 
   /// The MechanismConfig convention: a budget of 0 (or below) means no

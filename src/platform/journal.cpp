@@ -27,22 +27,33 @@ std::string format_double(double value) {
                                   ": " + message);
 }
 
-/// One meaningful journal line. For the `error` directive the raw remainder
-/// of the line is preserved verbatim (exception text may contain '#'), so it
-/// is carried separately from the whitespace-split tokens.
+/// One meaningful journal line. For the `config` and `error` directives the
+/// raw remainder of the line is preserved verbatim (the text may contain
+/// '#'), so it is carried separately from the whitespace-split tokens.
 struct JournalLine {
   std::size_t number = 0;
   std::vector<std::string> tokens;
-  std::string error_text;  ///< only for the `error` directive
+  std::string raw_text;  ///< only for the `config` and `error` directives
+  /// Byte offset just past this line's '\n' in the journal text; truncating
+  /// to it keeps the line.
+  std::size_t end_offset = 0;
+  /// False when the line is the file's last and lacks a terminating '\n' —
+  /// a torn write. An unterminated line never completes a block, or the next
+  /// append would fuse with it into one malformed line.
+  bool terminated = false;
 };
 
 std::vector<JournalLine> meaningful_lines(const std::string& text) {
   std::vector<JournalLine> lines;
-  std::istringstream stream(text);
-  std::string raw;
   std::size_t number = 0;
-  while (std::getline(stream, raw)) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
     ++number;
+    const auto newline = text.find('\n', pos);
+    const bool terminated = newline != std::string::npos;
+    const std::size_t end_offset = terminated ? newline + 1 : text.size();
+    std::string raw = text.substr(pos, (terminated ? newline : text.size()) - pos);
+    pos = end_offset;
     if (!raw.empty() && raw.back() == '\r') {
       raw.pop_back();
     }
@@ -54,10 +65,12 @@ std::vector<JournalLine> meaningful_lines(const std::string& text) {
     const std::string keyword = raw.substr(first, first_end - first);
     JournalLine line;
     line.number = number;
-    if (keyword == "error") {
+    line.end_offset = end_offset;
+    line.terminated = terminated;
+    if (keyword == "error" || keyword == "config") {
       const auto value = raw.find_first_not_of(" \t", first_end);
       line.tokens = {keyword};
-      line.error_text = value == std::string::npos ? "" : raw.substr(value);
+      line.raw_text = value == std::string::npos ? "" : raw.substr(value);
     } else {
       std::string body = raw;
       const auto comment = body.find('#');
@@ -172,7 +185,7 @@ JournalEntry parse_block(const std::vector<JournalLine>& lines, std::size_t begi
     } else if (keyword == "mean_achieved_pos") {
       entry.report.mean_achieved_pos = parse_double_directive(line);
     } else if (keyword == "error") {
-      entry.report.error = line.error_text;
+      entry.report.error = line.raw_text;
     } else if (keyword == "winning_taxis") {
       if (line.tokens.size() < 2) {
         fail(line.number, "expected 'winning_taxis <count> <ids>...'");
@@ -259,7 +272,16 @@ std::string to_text(const JournalEntry& entry) {
   }
   out << "\n";
   if (!entry.report.error.empty()) {
-    out << "error " << entry.report.error << "\n";
+    // The format is line-oriented: a newline inside the captured exception
+    // text would end the directive early and corrupt every block after it,
+    // so flatten line breaks to spaces.
+    std::string error = entry.report.error;
+    for (char& c : error) {
+      if (c == '\n' || c == '\r') {
+        c = ' ';
+      }
+    }
+    out << "error " << error << "\n";
   }
   out << "positions " << entry.positions.size();
   for (geo::CellId cell : entry.positions) {
@@ -278,23 +300,54 @@ std::string to_text(const JournalEntry& entry) {
   return out.str();
 }
 
-std::vector<JournalEntry> journal_from_text(const std::string& text) {
+std::string config_fingerprint(const CampaignConfig& config) {
+  std::ostringstream out;
+  out << "seed=" << config.seed                                              //
+      << " tasks=" << config.num_tasks                                       //
+      << " bidders=" << config.num_bidders                                   //
+      << " pos=" << format_double(config.pos_requirement)                    //
+      << " cap=" << format_double(config.requirement_cap_fraction)           //
+      << " alpha=" << format_double(config.alpha)                            //
+      << " rule=" << static_cast<int>(config.critical_bid_rule)              //
+      << " policy=" << static_cast<int>(config.task_policy)                  //
+      << " zipf=" << format_double(config.demand_zipf_exponent)              //
+      << " avail=" << format_double(config.availability)                     //
+      << " exec=" << static_cast<int>(config.execution)                      //
+      << " budget=" << format_double(config.budget)                          //
+      << " auction_seconds=" << format_double(config.auction_time_budget_seconds);
+  return out.str();
+}
+
+ReplayedJournal parse_journal(const std::string& text) {
   const auto lines = meaningful_lines(text);
   if (lines.empty() || lines.front().tokens.size() != 1 ||
       lines.front().tokens.front() != kJournalHeader) {
     fail(lines.empty() ? 1 : lines.front().number, "missing mcs-journal-v1 header");
   }
-  std::vector<JournalEntry> entries;
+  ReplayedJournal result;
+  if (!lines.front().terminated) {
+    return result;  // torn header write: nothing valid yet, rewrite from scratch
+  }
+  result.valid_bytes = lines.front().end_offset;
   std::size_t i = 1;
+  if (i < lines.size() && lines[i].tokens.front() == "config") {
+    if (!lines[i].terminated) {
+      return result;  // torn config write: drop it, the header stands
+    }
+    result.config = lines[i].raw_text;
+    result.valid_bytes = lines[i].end_offset;
+    ++i;
+  }
   while (i < lines.size()) {
-    // A block only counts once terminated; an unterminated tail is a torn
-    // append (the process died mid-write) and is dropped on replay.
+    // A block only counts once its newline-terminated `end round` line is
+    // present; an unterminated tail is a torn append (the process died
+    // mid-write) and is dropped on replay.
     std::size_t end = i;
     while (end < lines.size() && lines[end].tokens.front() != "end") {
       ++end;
     }
-    if (end == lines.size()) {
-      break;  // torn tail: no terminator ever written
+    if (end == lines.size() || !lines[end].terminated) {
+      break;  // torn tail: no complete terminator ever written
     }
     const bool is_last_block = [&] {
       for (std::size_t k = end + 1; k < lines.size(); ++k) {
@@ -305,19 +358,24 @@ std::vector<JournalEntry> journal_from_text(const std::string& text) {
       return true;
     }();
     try {
-      entries.push_back(parse_block(lines, i, end));
+      result.entries.push_back(parse_block(lines, i, end));
     } catch (const common::PreconditionError&) {
       if (is_last_block) {
         break;  // a torn write can also truncate mid-line; drop the tail
       }
       throw;  // corruption before the last complete block is a real error
     }
+    result.valid_bytes = lines[end].end_offset;
     i = end + 1;
   }
-  return entries;
+  return result;
 }
 
-std::vector<JournalEntry> replay_journal(const std::filesystem::path& path) {
+std::vector<JournalEntry> journal_from_text(const std::string& text) {
+  return parse_journal(text).entries;
+}
+
+ReplayedJournal load_journal(const std::filesystem::path& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     if (!std::filesystem::exists(path)) {
@@ -327,10 +385,16 @@ std::vector<JournalEntry> replay_journal(const std::filesystem::path& path) {
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return journal_from_text(buffer.str());
+  return parse_journal(buffer.str());
 }
 
-JournalWriter::JournalWriter(const std::filesystem::path& path) : path_(path) {
+std::vector<JournalEntry> replay_journal(const std::filesystem::path& path) {
+  return load_journal(path).entries;
+}
+
+JournalWriter::JournalWriter(const std::filesystem::path& path,
+                             const std::string& config_fingerprint)
+    : path_(path) {
   const bool fresh = !std::filesystem::exists(path) ||
                      std::filesystem::file_size(path) == 0;
   out_.open(path, std::ios::binary | std::ios::app);
@@ -339,6 +403,9 @@ JournalWriter::JournalWriter(const std::filesystem::path& path) : path_(path) {
   }
   if (fresh) {
     out_ << kJournalHeader << "\n";
+    if (!config_fingerprint.empty()) {
+      out_ << "config " << config_fingerprint << "\n";
+    }
     out_.flush();
   }
 }

@@ -7,10 +7,13 @@
 // (doubles are written with %.17g and round-trip exactly).
 //
 // Format, following the auction::io text conventions ('#' comments and blank
-// lines ignored; the `error` directive instead takes the raw remainder of
-// its line, since captured exception text may contain anything):
+// lines ignored; the `config` and `error` directives instead take the raw
+// remainder of their line, since captured exception text may contain
+// anything — though serialization flattens newlines in error text to spaces,
+// so a block can never be torn open by the message it carries):
 //
 //     mcs-journal-v1
+//     config seed=77 tasks=6 ...        # fingerprint of the journaling run
 //     begin round 0
 //     held 1
 //     degraded 0
@@ -29,15 +32,27 @@
 //     rep 14 3 2.1 0.63 2            # taxi rounds expected variance realized
 //     end round 0
 //
-// A block is only valid once its `end round N` terminator is present, so a
-// torn tail (the process died mid-append) is detected and dropped on
-// replay; corruption BEFORE the last complete block throws instead.
+// A block is only valid once its newline-terminated `end round N` line is
+// present, so a torn tail (the process died mid-append) is detected and
+// dropped on replay; corruption BEFORE the last complete block throws
+// instead. Resuming truncates the file to the valid prefix before appending,
+// so a torn tail can never merge with the re-run rounds written after it.
+//
+// The `config` line fingerprints the campaign knobs that determine each
+// round's outcome (seed, task/bidder counts, alpha, budget, ...). Resume
+// refuses a journal whose fingerprint differs from the resuming campaign's:
+// splicing rounds journaled under one configuration into a campaign run
+// under another would silently void the bit-identical-resume guarantee. The
+// round count is deliberately not part of the fingerprint — resuming with a
+// larger `rounds` than the killed run is exactly how a campaign continues.
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -56,24 +71,53 @@ struct JournalEntry {
 };
 
 /// Serializes one entry as a journal block (without the file header).
+/// Newlines inside the error text are flattened to spaces — the format is
+/// line-oriented, and a raw '\n' would terminate the directive early and
+/// corrupt every block after it.
 std::string to_text(const JournalEntry& entry);
+
+/// The campaign-config fingerprint written as the journal's `config` line.
+/// Covers every knob that shapes a round's outcome; excludes `rounds` (see
+/// the format notes above) and `journal_path` itself.
+std::string config_fingerprint(const CampaignConfig& config);
+
+/// A parsed journal: the complete entries, plus what resume needs to append
+/// safely after a crash.
+struct ReplayedJournal {
+  std::vector<JournalEntry> entries;
+  /// Byte length of the valid prefix — header, `config` line, and every
+  /// complete block. Anything past it is a torn tail from a crashed append;
+  /// resume truncates the file here before appending new rounds.
+  std::size_t valid_bytes = 0;
+  /// Raw `config` fingerprint recorded when the journal was created; empty
+  /// when the journal has none.
+  std::string config;
+};
 
 /// Parses a full journal file's text. Throws PreconditionError (with the
 /// offending line number) on a bad header or corruption before the last
 /// complete block; an incomplete trailing block is silently dropped.
+ReplayedJournal parse_journal(const std::string& text);
+
+/// Convenience wrapper around parse_journal returning just the entries.
 std::vector<JournalEntry> journal_from_text(const std::string& text);
 
-/// Loads and replays a journal file. A missing file is an empty journal (the
+/// Loads and parses a journal file. A missing file is an empty journal (the
 /// campaign simply has not started); other I/O failures throw
 /// std::runtime_error naming the path.
+ReplayedJournal load_journal(const std::filesystem::path& path);
+
+/// Convenience wrapper around load_journal returning just the entries.
 std::vector<JournalEntry> replay_journal(const std::filesystem::path& path);
 
-/// Appends entries to a journal file, creating it (with the format header)
-/// when absent or empty. Each append is flushed before returning, so the
-/// journal never lags the campaign by more than the block being written.
+/// Appends entries to a journal file, creating it (with the format header
+/// and, when non-empty, the `config` fingerprint line) when absent or empty.
+/// Each append is flushed before returning, so the journal never lags the
+/// campaign by more than the block being written.
 class JournalWriter {
  public:
-  explicit JournalWriter(const std::filesystem::path& path);
+  explicit JournalWriter(const std::filesystem::path& path,
+                         const std::string& config_fingerprint = {});
 
   void append(const JournalEntry& entry);
 

@@ -10,6 +10,7 @@
 // machine (n = 800 at epsilon = 0.05 measures seconds against a 0.25 s
 // budget), while the healthy instances finish in microseconds; cooperative
 // deadline polling caps the timed-out slot's cost near the budget itself.
+#include <limits>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -176,6 +177,21 @@ TEST(FaultTolerance, PartialCoverageReportsUncoveredTasks) {
   EXPECT_TRUE(strict.allocation.winners.empty());
   EXPECT_FALSE(strict.degraded);
   EXPECT_TRUE(strict.uncovered_tasks.empty());
+}
+
+TEST(FaultTolerance, AstronomicalTimeBudgetsNeverExpire) {
+  // A huge "effectively unlimited" budget must not overflow the clock's
+  // integer tick count into an already-expired deadline.
+  for (double seconds : {1e18, 1e300, std::numeric_limits<double>::infinity()}) {
+    const auto deadline = common::Deadline::after(seconds);
+    EXPECT_FALSE(deadline.expired()) << "budget " << seconds;
+    EXPECT_NO_THROW(deadline.check("astronomical budget"));
+    EXPECT_GT(deadline.remaining_seconds(), 1e9);
+  }
+  EXPECT_FALSE(common::Deadline::from_budget(1e18).expired());
+  // Sane budgets are still enforced.
+  EXPECT_TRUE(common::Deadline::after(0.0).expired());
+  EXPECT_FALSE(common::Deadline::after(60.0).expired());
 }
 
 TEST(FaultTolerance, StatusNamesAreStable) {

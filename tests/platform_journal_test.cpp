@@ -172,6 +172,45 @@ TEST_F(JournalFixture, TornTrailingBlockIsDroppedAndRewritten) {
   const auto expected = uninterrupted.run_campaign();
   Platform resumed(city_, fleet_, campaign_config(true));
   expect_campaign_identical(resumed.run_campaign(), expected);
+
+  // The resume must have truncated the torn fragment before appending, so
+  // the recovered journal replays cleanly: all rounds present, no torn
+  // 'begin' left to fuse with the appended blocks.
+  const auto recovered = replay_journal(journal_path_);
+  ASSERT_EQ(recovered.size(), expected.rounds.size());
+  for (std::size_t k = 0; k < recovered.size(); ++k) {
+    expect_round_identical(recovered[k].report, expected.rounds[k]);
+  }
+
+  // And a second resume (e.g. re-running the completed campaign) still works.
+  Platform again(city_, fleet_, campaign_config(true));
+  expect_campaign_identical(again.run_campaign(), expected);
+}
+
+TEST_F(JournalFixture, ResumingUnderADifferentConfigurationThrows) {
+  auto truncated = campaign_config(true);
+  truncated.rounds = 3;
+  Platform first(city_, fleet_, truncated);
+  first.run_campaign();
+
+  // Any knob that shapes a round's outcome voids the journal...
+  auto different_seed = campaign_config(true);
+  different_seed.seed = 78;
+  EXPECT_THROW(Platform(city_, fleet_, different_seed).run_campaign(),
+               common::PreconditionError);
+  auto different_alpha = campaign_config(true);
+  different_alpha.alpha = 12.0;
+  EXPECT_THROW(Platform(city_, fleet_, different_alpha).run_campaign(),
+               common::PreconditionError);
+  auto different_tasks = campaign_config(true);
+  different_tasks.num_tasks = 5;
+  EXPECT_THROW(Platform(city_, fleet_, different_tasks).run_campaign(),
+               common::PreconditionError);
+
+  // ...but a larger round count is exactly how a killed campaign resumes.
+  Platform resumed(city_, fleet_, campaign_config(true));
+  Platform uninterrupted(city_, fleet_, campaign_config(false));
+  expect_campaign_identical(resumed.run_campaign(), uninterrupted.run_campaign());
 }
 
 TEST_F(JournalFixture, CorruptionBeforeTheLastCompleteBlockThrows) {
@@ -226,6 +265,40 @@ TEST(Journal, EntryTextRoundTripsExactly) {
   EXPECT_EQ(parsed[0].reputation[0].first, 3);
   EXPECT_EQ(parsed[0].reputation[0].second.expected_successes, 1.5);
   EXPECT_EQ(parsed[0].reputation[0].second.variance, 0.375);
+}
+
+TEST(Journal, ErrorTextNewlinesAreFlattenedSoLaterBlocksSurvive) {
+  JournalEntry poisoned;
+  poisoned.report.round = 0;
+  poisoned.report.error = "first line\nsecond line\r\nthird";
+  poisoned.positions = {1};
+  poisoned.reputation = {};
+  JournalEntry clean;
+  clean.report.round = 1;
+  clean.positions = {2};
+  const auto text = std::string("mcs-journal-v1\n") + to_text(poisoned) + to_text(clean);
+  // Both blocks parse: the embedded newlines did not tear block 0 open.
+  const auto parsed = journal_from_text(text);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].report.error, "first line second line  third");
+  EXPECT_EQ(parsed[1].report.round, 1u);
+}
+
+TEST(Journal, ValidPrefixExcludesTheTornTail) {
+  JournalEntry entry;
+  entry.report.round = 0;
+  entry.positions = {7};
+  const std::string valid = std::string("mcs-journal-v1\nconfig seed=1\n") + to_text(entry);
+  // A torn append — and even a torn `end round` line missing its newline —
+  // must stay outside the valid prefix, or the next append would fuse with it.
+  for (const std::string tail :
+       {std::string("begin round 1\nheld 1\n"), std::string("begin round 1\nend round 1")}) {
+    const auto replayed = parse_journal(valid + tail);
+    ASSERT_EQ(replayed.entries.size(), 1u);
+    EXPECT_EQ(replayed.config, "seed=1");
+    EXPECT_EQ(replayed.valid_bytes, valid.size());
+  }
+  EXPECT_EQ(parse_journal(valid).valid_bytes, valid.size());
 }
 
 }  // namespace
