@@ -1,0 +1,45 @@
+// The instance shapes of the multi-task scaling suite, shared between
+// bench/perf_mechanisms (which measures them at n up to 400) and
+// tests/perf_smoke_test (which asserts lazy ≡ reference on the same shapes
+// at tiny n every ctest run). Header-only and dependency-light so the test
+// target can include it without dragging the sim stack in.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "auction/instance.hpp"
+#include "common/distributions.hpp"
+#include "common/rng.hpp"
+
+namespace mcs::bench_shapes {
+
+/// The scaling-suite population: paper Table II costs (truncated normal
+/// around 15), every task requiring PoS `requirement`, each user demanding a
+/// random subset of up to 20 tasks with per-task PoS in [0.05, 0.4].
+inline auction::MultiTaskInstance scaling_instance(std::size_t users, std::size_t tasks,
+                                                   std::uint64_t seed,
+                                                   double requirement = 0.8) {
+  common::Rng rng(seed);
+  auction::MultiTaskInstance instance;
+  instance.requirement_pos.assign(tasks, requirement);
+  instance.users.reserve(users);
+  for (std::size_t i = 0; i < users; ++i) {
+    auction::MultiTaskUserBid bid;
+    bid.cost = common::sample_truncated_normal(rng, 15.0, 2.24, 0.5, 40.0);
+    const auto size = static_cast<std::size_t>(
+        rng.uniform_int(1, static_cast<std::int64_t>(std::min<std::size_t>(tasks, 20))));
+    const auto chosen = common::sample_without_replacement(rng, tasks, size);
+    std::vector<std::size_t> sorted(chosen.begin(), chosen.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t task : sorted) {
+      bid.tasks.push_back(static_cast<auction::TaskIndex>(task));
+      bid.pos.push_back(rng.uniform(0.05, 0.4));
+    }
+    instance.users.push_back(std::move(bid));
+  }
+  return instance;
+}
+
+}  // namespace mcs::bench_shapes

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "auction/multi_task/gain.hpp"
 #include "common/check.hpp"
 #include "common/math.hpp"
 
@@ -9,19 +10,10 @@ namespace mcs::auction::multi_task {
 
 namespace {
 
-constexpr double kResidualFloor = 1e-12;
-
-/// Σ_j min{q_i^j, Q̄_j} against the current residual caps.
+/// Σ_j min{q_i^j, Q̄_j} against the current residual caps — the shared gain
+/// function of gain.hpp under this file's historical name.
 double marginal_gain(const MultiTaskUserBid& bid, const std::vector<double>& residual) {
-  double total = 0.0;
-  for (std::size_t k = 0; k < bid.tasks.size(); ++k) {
-    const auto task = static_cast<std::size_t>(bid.tasks[k]);
-    if (residual[task] <= kResidualFloor) {
-      continue;
-    }
-    total += std::min(common::contribution_from_pos(bid.pos[k]), residual[task]);
-  }
-  return total;
+  return effective_contribution(bid, residual);
 }
 
 }  // namespace

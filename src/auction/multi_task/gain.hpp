@@ -1,0 +1,62 @@
+// The single source of truth for the multi-task gain function: the
+// residual-capped marginal contribution Σ_j min{q_i^j, Q̄_j} that both the
+// cover greedy (Algorithm 4, greedy.cpp) and the budgeted-maximization
+// greedy (budgeted.cpp) rank users by. Keeping one definition matters
+// because the lazy-greedy heap relies on this exact function being
+// monotone non-increasing in the residuals (submodularity): any drift
+// between copies would silently break the staleness argument.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "auction/instance.hpp"
+#include "common/math.hpp"
+
+namespace mcs::auction::multi_task {
+
+/// Residuals below this absolute floor count as satisfied; guards against a
+/// requirement lingering at ~1e-16 after exact-looking subtractions.
+inline constexpr double kResidualFloor = 1e-12;
+
+/// Σ_j min{q_j, Q̄_j} over parallel (task, contribution) arrays — the CSR
+/// slice of one user — skipping tasks whose residual is already satisfied.
+inline double effective_contribution(std::span<const TaskIndex> tasks,
+                                     std::span<const double> contributions,
+                                     const std::vector<double>& residual) {
+  double total = 0.0;
+  for (std::size_t k = 0; k < tasks.size(); ++k) {
+    const auto task = static_cast<std::size_t>(tasks[k]);
+    if (residual[task] <= kResidualFloor) {
+      continue;
+    }
+    total += std::min(contributions[k], residual[task]);
+  }
+  return total;
+}
+
+/// Same gain against a bid in the nested (array-of-structs) layout,
+/// converting PoS to contributions on the fly. contribution_from_pos is
+/// deterministic, so this is bit-identical to the span overload fed
+/// precomputed contributions.
+inline double effective_contribution(const MultiTaskUserBid& bid,
+                                     const std::vector<double>& residual) {
+  double total = 0.0;
+  for (std::size_t k = 0; k < bid.tasks.size(); ++k) {
+    const auto task = static_cast<std::size_t>(bid.tasks[k]);
+    if (residual[task] <= kResidualFloor) {
+      continue;
+    }
+    total += std::min(common::contribution_from_pos(bid.pos[k]), residual[task]);
+  }
+  return total;
+}
+
+/// True while any requirement is still unmet (above the floor).
+inline bool any_residual(const std::vector<double>& residual) {
+  return std::any_of(residual.begin(), residual.end(),
+                     [](double r) { return r > kResidualFloor; });
+}
+
+}  // namespace mcs::auction::multi_task

@@ -1,38 +1,34 @@
 #include "auction/multi_task/greedy.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <queue>
 
+#include "auction/multi_task/gain.hpp"
 #include "common/check.hpp"
-#include "common/math.hpp"
 
 namespace mcs::auction::multi_task {
 
 namespace {
 
-/// Residuals below this absolute floor count as satisfied; guards against a
-/// requirement lingering at ~1e-16 after exact-looking subtractions.
-constexpr double kResidualFloor = 1e-12;
-
-double effective_contribution(const MultiTaskUserBid& bid, const std::vector<double>& residual) {
-  double total = 0.0;
-  for (std::size_t k = 0; k < bid.tasks.size(); ++k) {
-    const auto task = static_cast<std::size_t>(bid.tasks[k]);
-    if (residual[task] <= kResidualFloor) {
-      continue;
-    }
-    total += std::min(common::contribution_from_pos(bid.pos[k]), residual[task]);
-  }
-  return total;
+/// The selected user's gain read through the overlay.
+double effective_of(const MultiTaskView& view, const ViewOverlay& overlay, UserId user,
+                    const std::vector<double>& residual) {
+  return effective_contribution(view.user_tasks(user), overlay.contributions_of(view, user),
+                                residual);
 }
 
-bool any_residual(const std::vector<double>& residual) {
-  return std::any_of(residual.begin(), residual.end(),
-                     [](double r) { return r > kResidualFloor; });
-}
+/// One round's argmax: the user, her gain, and her ratio.
+struct Pick {
+  UserId user = 0;
+  double effective = 0.0;
+  double ratio = 0.0;
+};
 
 /// Closes out a keep_partial run: the allocation stays infeasible but keeps
 /// the selected prefix and its cost, and the unmet tasks are reported.
-GreedyResult finish_partial(const MultiTaskInstance& instance, GreedyResult result,
+GreedyResult finish_partial(const MultiTaskView& view, GreedyResult result,
                             const std::vector<double>& residual, bool timed_out) {
   for (std::size_t j = 0; j < residual.size(); ++j) {
     if (residual[j] > kResidualFloor) {
@@ -41,7 +37,161 @@ GreedyResult finish_partial(const MultiTaskInstance& instance, GreedyResult resu
   }
   result.timed_out = timed_out;
   std::sort(result.allocation.winners.begin(), result.allocation.winners.end());
-  result.allocation.total_cost = instance.cost_of(result.allocation.winners);
+  result.allocation.total_cost = view.cost_of(result.allocation.winners);
+  return result;
+}
+
+/// The paper-literal argmax: rescan every unselected user each round.
+/// Ascending id order plus the strict `>` comparison break ratio ties toward
+/// the lower user id.
+class ReferencePicker {
+ public:
+  ReferencePicker(const MultiTaskView& view, const ViewOverlay& overlay)
+      : view_(view), overlay_(overlay), selected_(view.num_users(), false) {}
+
+  std::optional<Pick> next(const std::vector<double>& residual) {
+    UserId best = -1;
+    double best_ratio = 0.0;
+    double best_effective = 0.0;
+    for (std::size_t i = 0; i < view_.num_users(); ++i) {
+      const auto user = static_cast<UserId>(i);
+      if (selected_[i] || overlay_.excludes(user)) {
+        continue;
+      }
+      const double effective = effective_of(view_, overlay_, user, residual);
+      if (effective <= 0.0) {
+        continue;
+      }
+      const double ratio = effective / view_.costs[i];
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best_effective = effective;
+        best = user;
+      }
+    }
+    if (best < 0) {
+      return std::nullopt;
+    }
+    selected_[static_cast<std::size_t>(best)] = true;
+    return Pick{best, best_effective, best_ratio};
+  }
+
+ private:
+  const MultiTaskView& view_;
+  const ViewOverlay& overlay_;
+  std::vector<bool> selected_;
+};
+
+/// The CELF-style lazy argmax. Every heap entry carries the round its ratio
+/// was computed in; ratios are non-increasing across rounds (the gain is
+/// submodular in the shrinking residuals and costs are constant), so a stale
+/// ratio is an upper bound. Popping until the top entry is fresh therefore
+/// yields the true argmax, and ordering equal ratios by ascending user id
+/// reproduces the reference scan's lowest-id tie-break: a smaller-id user
+/// whose stale bound ties the fresh top would still sit above it, so she is
+/// recomputed first and, on a true tie, selected first.
+class LazyPicker {
+ public:
+  LazyPicker(const MultiTaskView& view, const ViewOverlay& overlay)
+      : view_(view), overlay_(overlay) {
+    std::vector<Entry> entries;
+    entries.reserve(view.num_users());
+    for (std::size_t i = 0; i < view.num_users(); ++i) {
+      const auto user = static_cast<UserId>(i);
+      if (overlay.excludes(user)) {
+        continue;
+      }
+      // Round 0's residuals ARE the requirements, so the precomputed
+      // first-round gains apply; only an overridden user needs a fresh scan.
+      const double effective = user == overlay.overridden_user
+                                   ? effective_of(view, overlay, user, view.requirements)
+                                   : view.initial_effective[i];
+      if (effective <= 0.0) {
+        continue;
+      }
+      entries.push_back({effective / view.costs[i], effective, user, 0});
+    }
+    heap_ = Heap(Order{}, std::move(entries));
+  }
+
+  std::optional<Pick> next(const std::vector<double>& residual) {
+    while (!heap_.empty()) {
+      const Entry top = heap_.top();
+      heap_.pop();
+      if (top.round == round_) {
+        ++round_;
+        return Pick{top.user, top.effective, top.ratio};
+      }
+      const double effective = effective_of(view_, overlay_, top.user, residual);
+      if (effective <= 0.0) {
+        // Gains never recover (residuals only shrink): drop the user for good.
+        continue;
+      }
+      heap_.push({effective / view_.costs[static_cast<std::size_t>(top.user)], effective,
+                  top.user, round_});
+    }
+    ++round_;
+    return std::nullopt;
+  }
+
+ private:
+  struct Entry {
+    double ratio;
+    double effective;
+    UserId user;
+    std::uint32_t round;
+  };
+  struct Order {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.ratio != b.ratio) {
+        return a.ratio < b.ratio;
+      }
+      return a.user > b.user;  // equal ratios: lower id on top
+    }
+  };
+  using Heap = std::priority_queue<Entry, std::vector<Entry>, Order>;
+
+  const MultiTaskView& view_;
+  const ViewOverlay& overlay_;
+  Heap heap_;
+  std::uint32_t round_ = 0;
+};
+
+template <typename Picker>
+GreedyResult run_greedy(const MultiTaskView& view, const ViewOverlay& overlay,
+                        const GreedyOptions& options, Picker picker) {
+  GreedyResult result;
+  std::vector<double> residual = view.requirements;
+
+  while (any_residual(residual)) {
+    if (options.deadline.expired()) {
+      if (options.keep_partial) {
+        return finish_partial(view, std::move(result), residual, /*timed_out=*/true);
+      }
+      options.deadline.check("multi-task greedy cover");
+    }
+    const auto pick = picker.next(residual);
+    if (!pick) {
+      // Stalled with unmet requirements: infeasible instance.
+      if (options.keep_partial) {
+        return finish_partial(view, std::move(result), residual, /*timed_out=*/false);
+      }
+      return GreedyResult{};
+    }
+    result.steps.push_back({pick->user, pick->effective, pick->ratio,
+                            options.record_residuals ? residual : std::vector<double>{}});
+    result.allocation.winners.push_back(pick->user);
+    const auto tasks = view.user_tasks(pick->user);
+    const auto contributions = overlay.contributions_of(view, pick->user);
+    for (std::size_t k = 0; k < tasks.size(); ++k) {
+      const auto task = static_cast<std::size_t>(tasks[k]);
+      residual[task] = std::max(0.0, residual[task] - contributions[k]);
+    }
+  }
+
+  result.allocation.feasible = true;
+  std::sort(result.allocation.winners.begin(), result.allocation.winners.end());
+  result.allocation.total_cost = view.cost_of(result.allocation.winners);
   return result;
 }
 
@@ -52,58 +202,18 @@ GreedyResult solve_greedy(const MultiTaskInstance& instance) {
 }
 
 GreedyResult solve_greedy(const MultiTaskInstance& instance, const GreedyOptions& options) {
-  instance.validate();
-  GreedyResult result;
-  std::vector<double> residual = instance.requirement_contributions();
-  std::vector<bool> selected(instance.num_users(), false);
+  return solve_greedy(MultiTaskView::from_instance(instance), ViewOverlay::none(), options);
+}
 
-  while (any_residual(residual)) {
-    if (options.deadline.expired()) {
-      if (options.keep_partial) {
-        return finish_partial(instance, std::move(result), residual, /*timed_out=*/true);
-      }
-      options.deadline.check("multi-task greedy cover");
-    }
-    UserId best = -1;
-    double best_ratio = 0.0;
-    double best_effective = 0.0;
-    for (std::size_t i = 0; i < instance.num_users(); ++i) {
-      if (selected[i]) {
-        continue;
-      }
-      const double effective = effective_contribution(instance.users[i], residual);
-      if (effective <= 0.0) {
-        continue;
-      }
-      const double ratio = effective / instance.users[i].cost;
-      if (ratio > best_ratio) {
-        best_ratio = ratio;
-        best_effective = effective;
-        best = static_cast<UserId>(i);
-      }
-    }
-    if (best < 0) {
-      // Stalled with unmet requirements: infeasible instance.
-      if (options.keep_partial) {
-        return finish_partial(instance, std::move(result), residual, /*timed_out=*/false);
-      }
-      return GreedyResult{};
-    }
-    result.steps.push_back({best, best_effective, best_ratio, residual});
-    selected[static_cast<std::size_t>(best)] = true;
-    result.allocation.winners.push_back(best);
-    const auto& bid = instance.users[static_cast<std::size_t>(best)];
-    for (std::size_t k = 0; k < bid.tasks.size(); ++k) {
-      const auto task = static_cast<std::size_t>(bid.tasks[k]);
-      residual[task] =
-          std::max(0.0, residual[task] - common::contribution_from_pos(bid.pos[k]));
-    }
+GreedyResult solve_greedy(const MultiTaskView& view, const ViewOverlay& overlay,
+                          const GreedyOptions& options) {
+  switch (options.algorithm) {
+    case GreedyAlgorithm::kLazy:
+      return run_greedy(view, overlay, options, LazyPicker(view, overlay));
+    case GreedyAlgorithm::kReferenceScan:
+      return run_greedy(view, overlay, options, ReferencePicker(view, overlay));
   }
-
-  result.allocation.feasible = true;
-  std::sort(result.allocation.winners.begin(), result.allocation.winners.end());
-  result.allocation.total_cost = instance.cost_of(result.allocation.winners);
-  return result;
+  throw common::PreconditionError("unknown greedy algorithm");
 }
 
 }  // namespace mcs::auction::multi_task

@@ -5,18 +5,37 @@
 //     ( Σ_{j∈S_i} min{q_i^j, Q̄_j} ) / c_i
 // and deducts her contributions, until every requirement is met. Guarantees
 // (Theorems 4-6, Lemma 2): H(γ)-approximation, monotone in declared
-// contributions, O(n²t) time.
+// contributions.
 //
-// The iteration log (who was picked, at what ratio, against which residuals)
-// is exposed because the reward scheme (Algorithm 5) replays it.
+// Two interchangeable argmax strategies (GreedyAlgorithm, see
+// auction/types.hpp): the paper-literal O(n²t) full rescan per round
+// (kReferenceScan) and the CELF-style lazy max-heap of stale ratios (kLazy,
+// the default). Because residuals only shrink and costs are constant, every
+// stale heap ratio is an upper bound on the user's current ratio, so a
+// popped entry whose recomputed ratio still tops the heap is the true
+// argmax; the heap orders equal ratios by ascending user id, preserving the
+// reference's lowest-id tie-break exactly. The two paths are bit-identical
+// (same winners, same steps, same tie-breaks) — an invariant asserted by
+// tests/mt_lazy_equivalence_test.cpp and tests/perf_smoke_test.cpp.
+//
+// The iteration log (who was picked, at what ratio) is exposed because the
+// reward scheme (Algorithm 5) replays it. The solve_greedy overloads on
+// MultiTaskView run the same algorithms against the flat CSR layout through
+// an exclusion/override overlay — the allocation-free probe path of the
+// reward scheme — and report winners under ORIGINAL user ids.
 #pragma once
 
 #include <vector>
 
 #include "auction/instance.hpp"
+#include "auction/multi_task/view.hpp"
 #include "common/deadline.hpp"
 
 namespace mcs::auction::multi_task {
+
+/// The algorithm enum lives in auction/types.hpp so the unified
+/// MechanismConfig can carry it; this alias keeps call sites short.
+using GreedyAlgorithm = auction::GreedyAlgorithm;
 
 /// One iteration of the greedy loop.
 struct GreedyStep {
@@ -26,7 +45,10 @@ struct GreedyStep {
   double effective_contribution = 0.0;
   /// Her contribution-cost ratio at that point.
   double ratio = 0.0;
-  /// Residual requirements Q̄ at the start of the iteration.
+  /// Residual requirements Q̄ at the start of the iteration. Populated only
+  /// under GreedyOptions::record_residuals — the copy is O(t) per step, so
+  /// the hot path skips it; the binary-search reward rule opts in for the
+  /// one without-i run whose log its replay probes consume (reward.cpp).
   std::vector<double> residual_before;
 };
 
@@ -40,6 +62,11 @@ struct GreedyOptions {
   /// default) a stall returns an empty result and an expiry throws
   /// common::DeadlineExceeded — the paper-exact contract.
   bool keep_partial = false;
+  /// Argmax strategy; kLazy and kReferenceScan produce identical results.
+  GreedyAlgorithm algorithm = GreedyAlgorithm::kLazy;
+  /// Snapshot the residual vector into every GreedyStep (tests/debugging
+  /// only; off keeps the hot path free of per-step O(t) copies).
+  bool record_residuals = false;
 };
 
 struct GreedyResult {
@@ -55,8 +82,15 @@ struct GreedyResult {
 /// Runs Algorithm 4. Returns an infeasible Allocation when the loop stalls
 /// with unmet requirements (no remaining user adds positive contribution).
 /// Ties on the ratio break toward the lower user id. The instance must be
-/// valid.
+/// valid (it is validated on entry).
 GreedyResult solve_greedy(const MultiTaskInstance& instance);
 GreedyResult solve_greedy(const MultiTaskInstance& instance, const GreedyOptions& options);
+
+/// Runs Algorithm 4 against a prebuilt CSR view through an overlay, without
+/// copying or validating anything. Winner ids, steps, and costs refer to the
+/// ORIGINAL instance ids (an excluded user simply never appears), and are
+/// bit-identical to solving the equivalent materialized copy.
+GreedyResult solve_greedy(const MultiTaskView& view, const ViewOverlay& overlay,
+                          const GreedyOptions& options = {});
 
 }  // namespace mcs::auction::multi_task

@@ -11,10 +11,15 @@ MechanismOutcome run_mechanism(const MultiTaskInstance& instance,
   MCS_EXPECTS(config.alpha > 0.0, "reward scaling factor must be positive");
 
   const auto deadline = common::Deadline::from_budget(config.time_budget_seconds);
+  // One CSR build serves winner determination AND every critical-bid probe
+  // of every winner — the probes below only layer overlays on top of it.
+  const auto view = MultiTaskView::from_instance(instance);
   MechanismOutcome outcome;
   const auto greedy = solve_greedy(
-      instance, GreedyOptions{.deadline = deadline,
-                              .keep_partial = config.multi_task.partial_coverage});
+      view, ViewOverlay::none(),
+      GreedyOptions{.deadline = deadline,
+                    .keep_partial = config.multi_task.partial_coverage,
+                    .algorithm = config.multi_task.winner_determination});
   outcome.allocation = greedy.allocation;
   if (!outcome.allocation.feasible) {
     // Partial coverage (when enabled): report what WAS covered — the winner
@@ -26,12 +31,26 @@ MechanismOutcome run_mechanism(const MultiTaskInstance& instance,
   }
   const RewardOptions reward_options{.alpha = config.alpha,
                                      .rule = config.multi_task.critical_bid_rule,
-                                     .deadline = deadline};
+                                     .deadline = deadline,
+                                     .algorithm = config.multi_task.winner_determination,
+                                     .masked_resolves = config.multi_task.masked_rewards};
+  // Per-winner critical bids are independent; fan them out across the shared
+  // pool (parallel_map assembles results in submission order, bit-identical
+  // to the serial loop). Each probe polls the same deadline token.
   const auto& winners = outcome.allocation.winners;
-  outcome.rewards = common::parallel_map<WinnerReward>(
-      winners.size(),
-      [&](std::size_t index) { return compute_reward(instance, winners[index], reward_options); },
-      config.reward_worker_budget());
+  if (config.multi_task.masked_rewards) {
+    outcome.rewards = common::parallel_map<WinnerReward>(
+        winners.size(),
+        [&](std::size_t index) { return compute_reward(view, winners[index], reward_options); },
+        config.reward_worker_budget());
+  } else {
+    outcome.rewards = common::parallel_map<WinnerReward>(
+        winners.size(),
+        [&](std::size_t index) {
+          return compute_reward(instance, winners[index], reward_options);
+        },
+        config.reward_worker_budget());
+  }
   return outcome;
 }
 

@@ -21,9 +21,22 @@
 // When the without-i run stalls (i is pivotal for feasibility) she would be
 // selected eventually at any positive declaration, so her critical
 // contribution is 0 under both rules.
+//
+// Probe cost: naively every rule re-runs the greedy cover dozens of times
+// per winner. The default path instead solves ONE recorded without-i run
+// per winner against the shared MultiTaskView (exclusion overlay, no O(n·t)
+// instance copy) and answers each bisection probe by REPLAYING that log:
+// the with-i run tracks the without-i run round for round until i first
+// tops the argmax, so "does i win at declaration q" reduces to comparing
+// i's ratio against each recorded round's winner at that round's residuals
+// — O(rounds · |S_i|) per probe, bit-identical to a full re-solve (see
+// DESIGN.md §8). RewardOptions::masked_resolves = false restores the legacy
+// copied-instance full-re-solve probes, kept bit-identical as the
+// equivalence oracle (asserted by tests/mt_lazy_equivalence_test.cpp).
 #pragma once
 
 #include "auction/instance.hpp"
+#include "auction/multi_task/view.hpp"
 #include "common/deadline.hpp"
 
 namespace mcs::auction::multi_task {
@@ -39,6 +52,12 @@ struct RewardOptions {
   /// Cooperative wall-clock budget; polled once per bisection step and
   /// threaded into the greedy re-runs.
   common::Deadline deadline = {};
+  /// Winner-determination algorithm used by the greedy probe re-runs.
+  auction::GreedyAlgorithm algorithm = auction::GreedyAlgorithm::kLazy;
+  /// Solve the probes through view overlays instead of materialized
+  /// instance copies (instance-based entry points only; the view-based
+  /// overloads are always masked). Both paths are bit-identical.
+  bool masked_resolves = true;
 };
 
 /// Critical contribution q̄_i of `winner` under the selected rule. For
@@ -48,8 +67,15 @@ struct RewardOptions {
 double critical_contribution(const MultiTaskInstance& instance, UserId winner,
                              const RewardOptions& options = {});
 
+/// Same, against a prebuilt view — the amortized path the mechanism uses so
+/// n winners share one CSR build instead of paying n·probes instance copies.
+double critical_contribution(const MultiTaskView& view, UserId winner,
+                             const RewardOptions& options = {});
+
 /// Full reward for one winner.
 WinnerReward compute_reward(const MultiTaskInstance& instance, UserId winner,
+                            const RewardOptions& options);
+WinnerReward compute_reward(const MultiTaskView& view, UserId winner,
                             const RewardOptions& options);
 
 }  // namespace mcs::auction::multi_task

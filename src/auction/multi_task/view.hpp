@@ -1,0 +1,97 @@
+// Flat, cache-friendly view of a MultiTaskInstance plus lightweight overlays
+// — the data layer of the lazy-greedy hot path.
+//
+// MultiTaskView stores the instance in CSR form (ligra-style): one
+// contiguous task-index array, one parallel contribution array (q = -ln(1-p)
+// precomputed once), and per-user offsets into both, next to flat cost and
+// requirement arrays. contribution_from_pos is deterministic, so every
+// number a greedy run reads from the view is bit-identical to what the
+// nested-layout run computes on the fly.
+//
+// ViewOverlay answers the reward scheme's two probe shapes — "without user
+// i" and "user i declares total contribution x" — without the O(n·t)
+// instance copy (and its ~2n vector allocations) that without_user /
+// with_declared_total_contribution pay per probe. An overlay is O(1) to
+// build for exclusion and O(|S_i|) for an override, and a greedy run reads
+// through it with two branchless id compares. The override replicates the
+// copied path's q → PoS → q round trip exactly, so masked re-solves stay
+// bit-identical to re-solves on a materialized copy (asserted by
+// tests/mt_lazy_equivalence_test.cpp).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "auction/instance.hpp"
+
+namespace mcs::auction::multi_task {
+
+/// Sentinel for "no user" in overlay slots.
+inline constexpr UserId kNoUser = -1;
+
+struct MultiTaskView {
+  /// offsets[i]..offsets[i+1] delimit user i's slice of tasks/contributions.
+  std::vector<std::size_t> offsets;
+  std::vector<TaskIndex> tasks;          ///< concatenated task sets, ascending per user
+  std::vector<double> contributions;     ///< q_i^j aligned with `tasks`
+  std::vector<double> costs;             ///< c_i per user
+  std::vector<double> requirements;      ///< Q_j per task (contribution domain)
+  /// Each user's effective contribution against the untouched requirements —
+  /// the first-round ratio numerators, precomputed so a masked probe's heap
+  /// build is O(n) instead of O(n·t).
+  std::vector<double> initial_effective;
+
+  std::size_t num_users() const { return costs.size(); }
+  std::size_t num_tasks() const { return requirements.size(); }
+
+  std::span<const TaskIndex> user_tasks(UserId user) const {
+    const auto i = static_cast<std::size_t>(user);
+    return {tasks.data() + offsets[i], offsets[i + 1] - offsets[i]};
+  }
+  std::span<const double> user_contributions(UserId user) const {
+    const auto i = static_cast<std::size_t>(user);
+    return {contributions.data() + offsets[i], offsets[i + 1] - offsets[i]};
+  }
+
+  /// Σ_j q_i^j in the same summation order as
+  /// MultiTaskUserBid::total_contribution.
+  double total_contribution(UserId user) const;
+  /// Σ c_i over a user set, same order as MultiTaskInstance::cost_of.
+  double cost_of(const std::vector<UserId>& users) const;
+
+  /// Builds the view, validating the instance once (the per-probe
+  /// solve_greedy calls on the view skip re-validation).
+  static MultiTaskView from_instance(const MultiTaskInstance& instance);
+};
+
+/// A masked / overridden reading of a MultiTaskView. At most one user is
+/// excluded and at most one user's contribution vector is replaced; that is
+/// all the critical-bid probes ever need.
+struct ViewOverlay {
+  UserId excluded_user = kNoUser;
+  UserId overridden_user = kNoUser;
+  /// Replacement contributions for overridden_user, aligned with her CSR
+  /// slice; empty unless overridden_user is set.
+  std::vector<double> overridden_contributions;
+
+  bool excludes(UserId user) const { return user == excluded_user; }
+
+  /// The user's contribution array under this overlay.
+  std::span<const double> contributions_of(const MultiTaskView& view, UserId user) const {
+    if (user == overridden_user) {
+      return overridden_contributions;
+    }
+    return view.user_contributions(user);
+  }
+
+  static ViewOverlay none() { return {}; }
+  static ViewOverlay without(UserId user);
+  /// Mirrors MultiTaskInstance::with_declared_total_contribution bit for bit,
+  /// including the contribution → PoS → contribution round trip the copied
+  /// path performs (scaling happens in contribution space, storage in PoS
+  /// space) and its uniform-share branch for zero-contribution users.
+  static ViewOverlay with_declared_total_contribution(const MultiTaskView& view, UserId user,
+                                                      double declared_total_q);
+};
+
+}  // namespace mcs::auction::multi_task

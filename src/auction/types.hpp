@@ -89,6 +89,18 @@ enum class CriticalBidRule {
   kPaperIterationMin,
 };
 
+/// How the multi-task greedy cover (Algorithm 4) finds each round's argmax.
+/// kLazy is the CELF-style max-heap of stale contribution/cost ratios —
+/// submodularity of the residual-capped cover means ratios only ever
+/// decrease, so a freshly recomputed entry that still tops the heap is the
+/// true argmax. kReferenceScan is the paper-literal O(n²t) full rescan kept
+/// as the equivalence oracle; both produce bit-identical winners, steps, and
+/// tie-breaks (asserted by tests/mt_lazy_equivalence_test.cpp).
+enum class GreedyAlgorithm {
+  kLazy,
+  kReferenceScan,
+};
+
 /// Knobs only the single-task (FPTAS) family reads.
 struct SingleTaskKnobs {
   double epsilon = 0.1;               ///< FPTAS approximation parameter
@@ -98,6 +110,15 @@ struct SingleTaskKnobs {
 /// Knobs only the multi-task single-minded family reads.
 struct MultiTaskKnobs {
   CriticalBidRule critical_bid_rule = CriticalBidRule::kBinarySearch;
+  /// Winner-determination algorithm; kLazy and kReferenceScan are
+  /// bit-identical, the knob exists for benchmarking and bisection.
+  GreedyAlgorithm winner_determination = GreedyAlgorithm::kLazy;
+  /// Run the critical-bid greedy probes on a flat CSR view of the instance
+  /// with an exclusion-mask / declared-contribution overlay instead of
+  /// materializing an O(n·t) instance copy per probe. Bit-identical to the
+  /// copied path (asserted by tests); off reproduces the legacy allocation
+  /// behaviour for benchmarking.
+  bool masked_rewards = true;
   /// When the greedy cover stalls (infeasible instance) or hits the auction
   /// deadline, keep the selected winner prefix: the outcome stays infeasible
   /// and pays no rewards (partial coverage cannot be strategy-proof), but

@@ -41,9 +41,15 @@ TEST(MtGreedy, CoversEveryTask) {
 
 TEST(MtGreedy, StepsRecordDecreasingResiduals) {
   const auto instance = two_task_instance();
-  const auto result = solve_greedy(instance);
+  // Residual snapshots are opt-in: the reward rule never reads them, so the
+  // hot path skips the per-step O(t) copy unless asked.
+  const auto result = solve_greedy(instance, GreedyOptions{.record_residuals = true});
   const auto requirements = instance.requirement_contributions();
   ASSERT_FALSE(result.steps.empty());
+  // Without the opt-in, no snapshot is taken.
+  const auto bare = solve_greedy(instance);
+  ASSERT_FALSE(bare.steps.empty());
+  EXPECT_TRUE(bare.steps.front().residual_before.empty());
   // First step starts from the full requirements.
   for (std::size_t j = 0; j < requirements.size(); ++j) {
     EXPECT_NEAR(result.steps.front().residual_before[j], requirements[j], 1e-12);

@@ -1,0 +1,60 @@
+// Fast perf-smoke gate (seconds, not minutes): runs the multi-task scaling
+// suite's shape at tiny sizes and asserts the optimized path (lazy greedy +
+// masked re-solves + parallel rewards) agrees with the reference path
+// (full-rescan winner determination + copied-instance probes) END TO END —
+// the same invariant bench/perf_mechanisms measures at n up to 400, wired
+// into every preset's ctest run so a correctness regression in the hot path
+// can never hide behind a green unit suite. Carries the `parallel` label so
+// the tsan and asan-ubsan presets (which filter on that label) include it.
+// No timing assertions: sanitizer builds are legitimately slow.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <iostream>
+
+#include "auction/multi_task/mechanism.hpp"
+#include "bench_shapes.hpp"
+#include "test_util.hpp"
+
+namespace mcs::auction::multi_task {
+namespace {
+
+TEST(PerfSmoke, LazyAndReferenceMechanismsAgreeAcrossTinyScalingSweep) {
+  auction::MechanismConfig lazy;  // defaults: kLazy + masked + parallel rewards
+  auction::MechanismConfig reference;
+  reference.multi_task.winner_determination = GreedyAlgorithm::kReferenceScan;
+  reference.multi_task.masked_rewards = false;
+  std::size_t feasible = 0;
+  for (const std::size_t n : {10, 20, 40}) {
+    for (const std::uint64_t seed : {1ull, 2ull}) {
+      const auto instance = bench_shapes::scaling_instance(n, /*tasks=*/6, seed, 0.6);
+      const auto start = std::chrono::steady_clock::now();
+      const auto optimized = run_mechanism(instance, lazy);
+      const std::chrono::duration<double> lazy_elapsed =
+          std::chrono::steady_clock::now() - start;
+      const auto baseline = run_mechanism(instance, reference);
+      test::expect_identical_outcome(optimized, baseline);
+      feasible += optimized.allocation.feasible ? 1 : 0;
+      std::cout << "[perf-smoke] n=" << n << " seed=" << seed << " winners="
+                << optimized.allocation.winners.size() << " lazy_ms="
+                << lazy_elapsed.count() * 1e3 << "\n";
+    }
+  }
+  // The reward (critical-bid) phase only runs on feasible covers; the sweep
+  // must exercise it, not just winner determination.
+  EXPECT_GT(feasible, 0u);
+}
+
+TEST(PerfSmoke, BothCriticalBidRulesSurviveTheSweep) {
+  auction::MechanismConfig lazy;
+  lazy.multi_task.critical_bid_rule = CriticalBidRule::kPaperIterationMin;
+  auction::MechanismConfig reference = lazy;
+  reference.multi_task.winner_determination = GreedyAlgorithm::kReferenceScan;
+  reference.multi_task.masked_rewards = false;
+  const auto instance = bench_shapes::scaling_instance(20, 6, 3, 0.6);
+  test::expect_identical_outcome(run_mechanism(instance, lazy),
+                                 run_mechanism(instance, reference));
+}
+
+}  // namespace
+}  // namespace mcs::auction::multi_task

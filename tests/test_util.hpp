@@ -3,12 +3,16 @@
 // algorithms on every instance small enough to enumerate.
 #pragma once
 
+#include <gtest/gtest.h>
+
 #include <algorithm>
 #include <limits>
 #include <optional>
 #include <vector>
 
 #include "auction/instance.hpp"
+#include "auction/multi_task/greedy.hpp"
+#include "auction/types.hpp"
 #include "common/math.hpp"
 #include "common/rng.hpp"
 
@@ -115,6 +119,55 @@ inline std::optional<std::vector<auction::UserId>> brute_force(
     }
   }
   return best;
+}
+
+/// Asserts two greedy runs are BIT-identical: same winners, same step order,
+/// same tie-breaks, and exact (==, not near) doubles. `map_id` translates
+/// `b`'s user ids into `a`'s space (identity by default; used when `b` ran on
+/// a without_user copy whose ids above the removed user shifted down).
+template <typename MapId>
+inline void expect_identical_greedy(const auction::multi_task::GreedyResult& a,
+                                    const auction::multi_task::GreedyResult& b, MapId map_id) {
+  ASSERT_EQ(a.allocation.feasible, b.allocation.feasible);
+  ASSERT_EQ(a.allocation.winners.size(), b.allocation.winners.size());
+  for (std::size_t k = 0; k < a.allocation.winners.size(); ++k) {
+    EXPECT_EQ(a.allocation.winners[k], map_id(b.allocation.winners[k])) << "winner slot " << k;
+  }
+  EXPECT_EQ(a.allocation.total_cost, b.allocation.total_cost);
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (std::size_t s = 0; s < a.steps.size(); ++s) {
+    EXPECT_EQ(a.steps[s].selected, map_id(b.steps[s].selected)) << "step " << s;
+    EXPECT_EQ(a.steps[s].effective_contribution, b.steps[s].effective_contribution)
+        << "step " << s;
+    EXPECT_EQ(a.steps[s].ratio, b.steps[s].ratio) << "step " << s;
+  }
+  EXPECT_EQ(a.uncovered_tasks, b.uncovered_tasks);
+  EXPECT_EQ(a.timed_out, b.timed_out);
+}
+
+inline void expect_identical_greedy(const auction::multi_task::GreedyResult& a,
+                                    const auction::multi_task::GreedyResult& b) {
+  expect_identical_greedy(a, b, [](auction::UserId id) { return id; });
+}
+
+/// Asserts two mechanism outcomes are bit-identical, rewards included.
+inline void expect_identical_outcome(const auction::MechanismOutcome& a,
+                                     const auction::MechanismOutcome& b) {
+  ASSERT_EQ(a.allocation.feasible, b.allocation.feasible);
+  EXPECT_EQ(a.allocation.winners, b.allocation.winners);
+  EXPECT_EQ(a.allocation.total_cost, b.allocation.total_cost);
+  EXPECT_EQ(a.degraded, b.degraded);
+  EXPECT_EQ(a.uncovered_tasks, b.uncovered_tasks);
+  ASSERT_EQ(a.rewards.size(), b.rewards.size());
+  for (std::size_t k = 0; k < a.rewards.size(); ++k) {
+    EXPECT_EQ(a.rewards[k].user, b.rewards[k].user) << "reward slot " << k;
+    EXPECT_EQ(a.rewards[k].critical_contribution, b.rewards[k].critical_contribution)
+        << "reward slot " << k;
+    EXPECT_EQ(a.rewards[k].reward.critical_pos, b.rewards[k].reward.critical_pos)
+        << "reward slot " << k;
+    EXPECT_EQ(a.rewards[k].reward.cost, b.rewards[k].reward.cost) << "reward slot " << k;
+    EXPECT_EQ(a.rewards[k].reward.alpha, b.rewards[k].reward.alpha) << "reward slot " << k;
+  }
 }
 
 }  // namespace mcs::test
