@@ -36,6 +36,7 @@
 #include "bench_shapes.hpp"
 #include "common/distributions.hpp"
 #include "common/rng.hpp"
+#include "obs/telemetry.hpp"
 
 namespace {
 
@@ -461,12 +462,42 @@ std::string build_fault_injection_record() {
   return json.str();
 }
 
+/// Telemetry record: one instrumented campaign-round batch (8 auctions) with
+/// mcs::obs enabled — the summed per-mechanism phase records plus the merged
+/// process-wide registry (engine status tallies, pool utilization). Shows
+/// what the JSON sink exports and keeps an eye on the counter magnitudes
+/// (e.g. probes per winner) across commits; timings here are context, not a
+/// gate — the overhead gate lives in tests/perf_smoke_test.cpp.
+std::string build_telemetry_record() {
+  constexpr std::size_t kAuctions = 8;
+  constexpr std::size_t kUsers = 60;
+  constexpr std::size_t kTasks = 15;
+  obs::Registry::global().reset();
+  const obs::ScopedTelemetry telemetry(true);
+  const auto batch = make_round_batch(kAuctions, kUsers, kTasks);
+  const auction::Engine engine;
+  const auction::MechanismConfig config{.alpha = 10.0};
+  const auto slots = engine.run_isolated(batch, config);
+
+  obs::MechanismTelemetry totals;
+  for (const auto& slot : slots) {
+    totals += slot.outcome.telemetry;
+  }
+  std::ostringstream json;
+  json << "{\"bench\":\"telemetry\",\"auctions\":" << kAuctions
+       << ",\"users_per_auction\":" << kUsers << ",\"tasks_per_auction\":" << kTasks
+       << ",\"mechanism_totals\":" << obs::to_json(totals)
+       << ",\"registry\":" << obs::Registry::global().snapshot().to_json() << "}";
+  return json.str();
+}
+
 /// Emits every JSON record to stdout and, when MCS_BENCH_JSON names a file,
 /// writes them there too (one object per line).
 void emit_json_records() {
   const std::string records[] = {build_multi_task_scaling_record(),
                                  build_batched_throughput_record(),
-                                 build_fault_injection_record()};
+                                 build_fault_injection_record(),
+                                 build_telemetry_record()};
   for (const auto& record : records) {
     std::cout << record << "\n";
   }

@@ -3,7 +3,7 @@
 // of single- and multi-task instances plus one shared MechanismConfig.
 //
 // Usage:
-//   example_auction_cli <instance-file>... [alpha] [epsilon]
+//   example_auction_cli <instance-file>... [alpha] [epsilon] [--telemetry out.json]
 //   example_auction_cli            (no args: writes demo files, runs all)
 //
 // Every argument naming an existing file is loaded as an instance; the first
@@ -13,6 +13,12 @@
 // auction/io.hpp (header mcs-single-task-v1 or mcs-multi-task-v1; '#'
 // comments allowed), so a downstream user can run the mechanisms on their
 // own marketplace data without writing any C++.
+//
+// --telemetry <path> enables mcs::obs for the run and writes a JSON report:
+// one mechanism record per auction (phase split, probe/degradation counts)
+// plus the merged process-wide registry (engine status tallies, pool queue
+// depth / utilization). Telemetry never changes outcomes — the same batch
+// with the flag off is bit-identical.
 //
 // The batch is fault-isolated: a file that fails to parse, or an auction
 // that throws or exceeds its wall-clock budget, reports its own error while
@@ -30,6 +36,7 @@
 #include "auction/engine.hpp"
 #include "auction/io.hpp"
 #include "common/table.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/metrics.hpp"
 
 namespace {
@@ -130,7 +137,38 @@ LoadedFile load_file(const std::filesystem::path& path) {
   return loaded;
 }
 
-int run_files(const std::vector<std::filesystem::path>& paths, double alpha, double epsilon) {
+/// Writes the run's telemetry JSON: per-auction mechanism records keyed by
+/// file plus the merged registry snapshot.
+void write_telemetry_json(const std::filesystem::path& out_path,
+                          const std::vector<LoadedFile>& files,
+                          const std::vector<std::size_t>& slot_of_file,
+                          const std::vector<auction::AuctionOutcome>& slots) {
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open telemetry sink " << out_path << " for writing\n";
+    return;
+  }
+  out << "{\n  \"telemetry_version\": 1,\n  \"auctions\": [\n";
+  bool first = true;
+  for (std::size_t k = 0; k < files.size(); ++k) {
+    if (slot_of_file[k] == SIZE_MAX) {
+      continue;  // unreadable file: never reached the engine
+    }
+    const auto& slot = slots[slot_of_file[k]];
+    if (!first) {
+      out << ",\n";
+    }
+    first = false;
+    out << "    {\"file\": \"" << files[k].path.generic_string() << "\", \"status\": \""
+        << auction::to_string(slot.status) << "\", \"mechanism\": "
+        << obs::to_json(slot.outcome.telemetry) << "}";
+  }
+  out << "\n  ],\n  \"registry\": " << obs::Registry::global().snapshot().to_json() << "\n}\n";
+  std::cout << "telemetry written to " << out_path << "\n";
+}
+
+int run_files(const std::vector<std::filesystem::path>& paths, double alpha, double epsilon,
+              const std::filesystem::path& telemetry_path = {}) {
   std::vector<LoadedFile> files;
   files.reserve(paths.size());
   std::vector<auction::AuctionInstance> batch;
@@ -146,8 +184,14 @@ int run_files(const std::vector<std::filesystem::path>& paths, double alpha, dou
   // One config serves both families: shared fields at the top level,
   // family-only knobs nested (the other family's sub-struct is ignored).
   const auction::MechanismConfig config{.alpha = alpha, .single_task = {.epsilon = epsilon}};
+  if (!telemetry_path.empty()) {
+    obs::set_enabled(true);
+  }
   const auction::Engine engine;  // process-wide shared thread pool
   const auto slots = engine.run_isolated(batch, config);
+  if (!telemetry_path.empty()) {
+    write_telemetry_json(telemetry_path, files, slot_of_file, slots);
+  }
 
   std::size_t healthy = 0;
   for (std::size_t k = 0; k < files.size(); ++k) {
@@ -219,7 +263,19 @@ int main(int argc, char** argv) {
   }
   std::vector<std::filesystem::path> paths;
   std::vector<double> numbers;
+  std::filesystem::path telemetry_path;
   for (int k = 1; k < argc; ++k) {
+    // Flags are claimed before the file-or-number classification: the sink
+    // path usually does not exist yet, so it must never be mistaken for a
+    // malformed number.
+    if (std::string(argv[k]) == "--telemetry") {
+      if (k + 1 >= argc) {
+        std::cerr << "--telemetry requires an output path\n";
+        return 1;
+      }
+      telemetry_path = argv[++k];
+      continue;
+    }
     const std::filesystem::path candidate(argv[k]);
     if (std::filesystem::exists(candidate)) {
       paths.push_back(candidate);
@@ -239,5 +295,5 @@ int main(int argc, char** argv) {
   }
   const double alpha = numbers.size() > 0 ? numbers[0] : 10.0;
   const double epsilon = numbers.size() > 1 ? numbers[1] : 0.1;
-  return run_files(paths, alpha, epsilon);
+  return run_files(paths, alpha, epsilon, telemetry_path);
 }

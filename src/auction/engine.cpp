@@ -5,10 +5,65 @@
 #include "auction/multi_task/mechanism.hpp"
 #include "auction/single_task/mechanism.hpp"
 #include "common/deadline.hpp"
+#include "obs/telemetry.hpp"
 
 namespace mcs::auction {
 
 namespace {
+
+// Engine-level registry metrics: batch shape plus the per-slot status mix —
+// the first signals an operator watches ("how much degraded/timed-out
+// traffic are we serving?"). Shared across Engine instances.
+struct EngineMetrics {
+  obs::Registry::MetricId batches;
+  obs::Registry::MetricId auctions;
+  obs::Registry::MetricId slots_ok;
+  obs::Registry::MetricId slots_degraded;
+  obs::Registry::MetricId slots_timed_out;
+  obs::Registry::MetricId slots_failed;
+
+  static const EngineMetrics& get() {
+    static const EngineMetrics metrics{
+        obs::Registry::global().metric("engine.batches"),
+        obs::Registry::global().metric("engine.auctions"),
+        obs::Registry::global().metric("engine.slots_ok"),
+        obs::Registry::global().metric("engine.slots_degraded"),
+        obs::Registry::global().metric("engine.slots_timed_out"),
+        obs::Registry::global().metric("engine.slots_failed"),
+    };
+    return metrics;
+  }
+};
+
+void record_batch(std::size_t size) {
+  if (!obs::enabled()) {
+    return;
+  }
+  const EngineMetrics& metrics = EngineMetrics::get();
+  obs::Registry::global().add(metrics.batches, 1);
+  obs::Registry::global().add(metrics.auctions, static_cast<std::int64_t>(size));
+}
+
+void record_status(AuctionStatus status) {
+  if (!obs::enabled()) {
+    return;
+  }
+  const EngineMetrics& metrics = EngineMetrics::get();
+  switch (status) {
+    case AuctionStatus::kOk:
+      obs::Registry::global().add(metrics.slots_ok, 1);
+      break;
+    case AuctionStatus::kDegraded:
+      obs::Registry::global().add(metrics.slots_degraded, 1);
+      break;
+    case AuctionStatus::kTimedOut:
+      obs::Registry::global().add(metrics.slots_timed_out, 1);
+      break;
+    case AuctionStatus::kFailed:
+      obs::Registry::global().add(metrics.slots_failed, 1);
+      break;
+  }
+}
 
 MechanismOutcome dispatch(const SingleTaskInstance& instance, const MechanismConfig& config) {
   return single_task::run_mechanism(instance, config);
@@ -40,6 +95,7 @@ AuctionOutcome dispatch_isolated(const Item& instance, const MechanismConfig& co
     slot.outcome = MechanismOutcome{};
     slot.error = e.what();
   }
+  record_status(slot.status);
   return slot;
 }
 
@@ -81,6 +137,7 @@ template <typename Item>
 std::vector<MechanismOutcome> Engine::run_batch(const std::vector<Item>& batch,
                                                 const MechanismConfig& config) const {
   const MechanismConfig adjusted = effective_config(config);
+  record_batch(batch.size());
   std::vector<MechanismOutcome> outcomes(batch.size());
   // Inter-auction parallelism: one strided chunk per worker. Inside a pool
   // worker any nested parallel_map degrades to serial, so each auction runs
@@ -112,6 +169,7 @@ template <typename Item>
 std::vector<AuctionOutcome> Engine::run_batch_isolated(const std::vector<Item>& batch,
                                                        const MechanismConfig& config) const {
   const MechanismConfig adjusted = effective_config(config);
+  record_batch(batch.size());
   std::vector<AuctionOutcome> slots(batch.size());
   // Same scheduling as run_batch; dispatch_isolated swallows per-slot
   // exceptions before they can reach for_each_index's rethrow machinery, so
@@ -140,31 +198,37 @@ std::vector<AuctionOutcome> Engine::run_isolated(const std::vector<MultiTaskInst
 
 MechanismOutcome Engine::run_one(const SingleTaskInstance& instance,
                                  const MechanismConfig& config) const {
+  record_batch(1);
   return dispatch(instance, effective_config(config));
 }
 
 MechanismOutcome Engine::run_one(const MultiTaskInstance& instance,
                                  const MechanismConfig& config) const {
+  record_batch(1);
   return dispatch(instance, effective_config(config));
 }
 
 MechanismOutcome Engine::run_one(const AuctionInstance& instance,
                                  const MechanismConfig& config) const {
+  record_batch(1);
   return dispatch(instance, effective_config(config));
 }
 
 AuctionOutcome Engine::run_one_isolated(const SingleTaskInstance& instance,
                                         const MechanismConfig& config) const {
+  record_batch(1);
   return dispatch_isolated(instance, effective_config(config));
 }
 
 AuctionOutcome Engine::run_one_isolated(const MultiTaskInstance& instance,
                                         const MechanismConfig& config) const {
+  record_batch(1);
   return dispatch_isolated(instance, effective_config(config));
 }
 
 AuctionOutcome Engine::run_one_isolated(const AuctionInstance& instance,
                                         const MechanismConfig& config) const {
+  record_batch(1);
   return dispatch_isolated(instance, effective_config(config));
 }
 

@@ -46,8 +46,9 @@ GreedyResult finish_partial(const MultiTaskView& view, GreedyResult result,
 /// the lower user id.
 class ReferencePicker {
  public:
-  ReferencePicker(const MultiTaskView& view, const ViewOverlay& overlay)
-      : view_(view), overlay_(overlay), selected_(view.num_users(), false) {}
+  ReferencePicker(const MultiTaskView& view, const ViewOverlay& overlay,
+                  obs::PhaseCounters* counters)
+      : view_(view), overlay_(overlay), counters_(counters), selected_(view.num_users(), false) {}
 
   std::optional<Pick> next(const std::vector<double>& residual) {
     UserId best = -1;
@@ -57,6 +58,9 @@ class ReferencePicker {
       const auto user = static_cast<UserId>(i);
       if (selected_[i] || overlay_.excludes(user)) {
         continue;
+      }
+      if (counters_ != nullptr) {
+        ++counters_->heap_reevaluations;
       }
       const double effective = effective_of(view_, overlay_, user, residual);
       if (effective <= 0.0) {
@@ -79,6 +83,7 @@ class ReferencePicker {
  private:
   const MultiTaskView& view_;
   const ViewOverlay& overlay_;
+  obs::PhaseCounters* counters_;
   std::vector<bool> selected_;
 };
 
@@ -92,8 +97,8 @@ class ReferencePicker {
 /// recomputed first and, on a true tie, selected first.
 class LazyPicker {
  public:
-  LazyPicker(const MultiTaskView& view, const ViewOverlay& overlay)
-      : view_(view), overlay_(overlay) {
+  LazyPicker(const MultiTaskView& view, const ViewOverlay& overlay, obs::PhaseCounters* counters)
+      : view_(view), overlay_(overlay), counters_(counters) {
     std::vector<Entry> entries;
     entries.reserve(view.num_users());
     for (std::size_t i = 0; i < view.num_users(); ++i) {
@@ -121,6 +126,9 @@ class LazyPicker {
       if (top.round == round_) {
         ++round_;
         return Pick{top.user, top.effective, top.ratio};
+      }
+      if (counters_ != nullptr) {
+        ++counters_->heap_reevaluations;
       }
       const double effective = effective_of(view_, overlay_, top.user, residual);
       if (effective <= 0.0) {
@@ -153,6 +161,7 @@ class LazyPicker {
 
   const MultiTaskView& view_;
   const ViewOverlay& overlay_;
+  obs::PhaseCounters* counters_;
   Heap heap_;
   std::uint32_t round_ = 0;
 };
@@ -164,6 +173,9 @@ GreedyResult run_greedy(const MultiTaskView& view, const ViewOverlay& overlay,
   std::vector<double> residual = view.requirements;
 
   while (any_residual(residual)) {
+    if (options.counters != nullptr) {
+      ++options.counters->deadline_polls;
+    }
     if (options.deadline.expired()) {
       if (options.keep_partial) {
         return finish_partial(view, std::move(result), residual, /*timed_out=*/true);
@@ -177,6 +189,9 @@ GreedyResult run_greedy(const MultiTaskView& view, const ViewOverlay& overlay,
         return finish_partial(view, std::move(result), residual, /*timed_out=*/false);
       }
       return GreedyResult{};
+    }
+    if (options.counters != nullptr) {
+      ++options.counters->rounds;
     }
     result.steps.push_back({pick->user, pick->effective, pick->ratio,
                             options.record_residuals ? residual : std::vector<double>{}});
@@ -209,9 +224,9 @@ GreedyResult solve_greedy(const MultiTaskView& view, const ViewOverlay& overlay,
                           const GreedyOptions& options) {
   switch (options.algorithm) {
     case GreedyAlgorithm::kLazy:
-      return run_greedy(view, overlay, options, LazyPicker(view, overlay));
+      return run_greedy(view, overlay, options, LazyPicker(view, overlay, options.counters));
     case GreedyAlgorithm::kReferenceScan:
-      return run_greedy(view, overlay, options, ReferencePicker(view, overlay));
+      return run_greedy(view, overlay, options, ReferencePicker(view, overlay, options.counters));
   }
   throw common::PreconditionError("unknown greedy algorithm");
 }

@@ -30,6 +30,7 @@
 #include "auction/instance.hpp"
 #include "auction/multi_task/view.hpp"
 #include "common/deadline.hpp"
+#include "obs/telemetry.hpp"
 
 namespace mcs::auction::multi_task {
 
@@ -67,6 +68,12 @@ struct GreedyOptions {
   /// Snapshot the residual vector into every GreedyStep (tests/debugging
   /// only; off keeps the hot path free of per-step O(t) copies).
   bool record_residuals = false;
+  /// When non-null, accumulates rounds (greedy picks), deadline polls, and
+  /// gain re-evaluations inside the argmax (lazy-heap stale recomputes for
+  /// kLazy, full candidate scans for kReferenceScan — the counter is
+  /// algorithm-dependent by design: it measures the CELF saving). The caller
+  /// owns the block and must not share it across concurrent solves.
+  obs::PhaseCounters* counters = nullptr;
 };
 
 struct GreedyResult {

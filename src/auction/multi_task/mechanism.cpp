@@ -3,6 +3,7 @@
 #include "auction/multi_task/greedy.hpp"
 #include "common/check.hpp"
 #include "common/parallel.hpp"
+#include "obs/telemetry.hpp"
 
 namespace mcs::auction::multi_task {
 
@@ -10,16 +11,23 @@ MechanismOutcome run_mechanism(const MultiTaskInstance& instance,
                                const auction::MechanismConfig& config) {
   MCS_EXPECTS(config.alpha > 0.0, "reward scaling factor must be positive");
 
+  const bool telemetry = obs::enabled();
   const auto deadline = common::Deadline::from_budget(config.time_budget_seconds);
+  MechanismOutcome outcome;
+  outcome.telemetry.enabled = telemetry;
+  const obs::PhaseTimer wd_timer(telemetry);
   // One CSR build serves winner determination AND every critical-bid probe
   // of every winner — the probes below only layer overlays on top of it.
   const auto view = MultiTaskView::from_instance(instance);
-  MechanismOutcome outcome;
   const auto greedy = solve_greedy(
       view, ViewOverlay::none(),
       GreedyOptions{.deadline = deadline,
                     .keep_partial = config.multi_task.partial_coverage,
-                    .algorithm = config.multi_task.winner_determination});
+                    .algorithm = config.multi_task.winner_determination,
+                    .counters = telemetry ? &outcome.telemetry.winner_determination : nullptr});
+  if (telemetry) {
+    outcome.telemetry.winner_determination_seconds = wd_timer.seconds();
+  }
   outcome.allocation = greedy.allocation;
   if (!outcome.allocation.feasible) {
     // Partial coverage (when enabled): report what WAS covered — the winner
@@ -27,6 +35,9 @@ MechanismOutcome run_mechanism(const MultiTaskInstance& instance,
     // cover has no critical bids, so any payment rule would be gameable.
     outcome.uncovered_tasks = greedy.uncovered_tasks;
     outcome.degraded = !outcome.allocation.winners.empty() || greedy.timed_out;
+    if (telemetry && outcome.degraded) {
+      outcome.telemetry.degraded_events = 1;
+    }
     return outcome;
   }
   const RewardOptions reward_options{.alpha = config.alpha,
@@ -38,7 +49,26 @@ MechanismOutcome run_mechanism(const MultiTaskInstance& instance,
   // pool (parallel_map assembles results in submission order, bit-identical
   // to the serial loop). Each probe polls the same deadline token.
   const auto& winners = outcome.allocation.winners;
-  if (config.multi_task.masked_rewards) {
+  const obs::PhaseTimer reward_timer(telemetry);
+  if (telemetry) {
+    // One counter block per winner, merged in index order afterwards, so the
+    // totals are deterministic regardless of how parallel_map schedules.
+    std::vector<obs::PhaseCounters> per_winner(winners.size());
+    outcome.rewards = common::parallel_map<WinnerReward>(
+        winners.size(),
+        [&](std::size_t index) {
+          RewardOptions slot_options = reward_options;
+          slot_options.counters = &per_winner[index];
+          return config.multi_task.masked_rewards
+                     ? compute_reward(view, winners[index], slot_options)
+                     : compute_reward(instance, winners[index], slot_options);
+        },
+        config.reward_worker_budget());
+    for (const obs::PhaseCounters& block : per_winner) {
+      outcome.telemetry.rewards += block;
+    }
+    outcome.telemetry.rewards_seconds = reward_timer.seconds();
+  } else if (config.multi_task.masked_rewards) {
     outcome.rewards = common::parallel_map<WinnerReward>(
         winners.size(),
         [&](std::size_t index) { return compute_reward(view, winners[index], reward_options); },

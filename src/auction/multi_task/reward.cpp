@@ -13,7 +13,20 @@ namespace mcs::auction::multi_task {
 namespace {
 
 GreedyOptions probe_options(const RewardOptions& options) {
-  return GreedyOptions{.deadline = options.deadline, .algorithm = options.algorithm};
+  if (options.counters != nullptr) {
+    // Every probe_options() consumer is about to issue one greedy re-run.
+    ++options.counters->probes;
+  }
+  return GreedyOptions{.deadline = options.deadline, .algorithm = options.algorithm,
+                       .counters = options.counters};
+}
+
+/// A recorded-run replay is a probe too — counted at the call sites because
+/// replay_wins itself stays allocation- and options-free.
+void count_replay_probe(const RewardOptions& options) {
+  if (options.counters != nullptr) {
+    ++options.counters->probes;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -92,8 +105,10 @@ double binary_search_critical(const MultiTaskView& view, UserId winner,
     return 0.0;  // pivotal, as above
   }
   const double declared = view.total_contribution(winner);
+  count_replay_probe(options);
   MCS_EXPECTS(replay_wins(view, without, winner, declared),
               "the binary-search critical bid is only defined for winners");
+  count_replay_probe(options);
   if (replay_wins(view, without, winner, 0.0)) {
     return 0.0;
   }
@@ -103,7 +118,12 @@ double binary_search_critical(const MultiTaskView& view, UserId winner,
   double hi = declared;
   for (int iter = 0; iter < options.binary_search_iterations; ++iter) {
     options.deadline.check("multi-task critical-bid search");
+    if (options.counters != nullptr) {
+      ++options.counters->deadline_polls;
+      ++options.counters->bisection_steps;
+    }
     const double mid = 0.5 * (lo + hi);
+    count_replay_probe(options);
     if (replay_wins(view, without, winner, mid)) {
       hi = mid;
     } else {
@@ -164,6 +184,10 @@ double binary_search_critical_copied(const MultiTaskInstance& instance, UserId w
   double hi = declared;
   for (int iter = 0; iter < options.binary_search_iterations; ++iter) {
     options.deadline.check("multi-task critical-bid search");
+    if (options.counters != nullptr) {
+      ++options.counters->deadline_polls;
+      ++options.counters->bisection_steps;
+    }
     const double mid = 0.5 * (lo + hi);
     if (wins_with_total_contribution_copied(instance, winner, mid, options)) {
       hi = mid;

@@ -38,6 +38,7 @@
 #include "auction/instance.hpp"
 #include "auction/multi_task/view.hpp"
 #include "common/deadline.hpp"
+#include "obs/telemetry.hpp"
 
 namespace mcs::auction::multi_task {
 
@@ -58,6 +59,11 @@ struct RewardOptions {
   /// instance copies (instance-based entry points only; the view-based
   /// overloads are always masked). Both paths are bit-identical.
   bool masked_resolves = true;
+  /// When non-null, accumulates probe / bisection / deadline-poll counts
+  /// (and the probe solves' greedy rounds). The caller owns the block; under
+  /// parallel rewards each worker slot must get its own (the mechanism
+  /// facade merges them in index order).
+  obs::PhaseCounters* counters = nullptr;
 };
 
 /// Critical contribution q̄_i of `winner` under the selected rule. For

@@ -12,7 +12,7 @@
 namespace mcs::auction::single_task {
 
 Allocation solve_fptas(const SingleTaskInstance& instance, double epsilon,
-                       const common::Deadline& deadline) {
+                       const common::Deadline& deadline, obs::PhaseCounters* counters) {
   MCS_EXPECTS(epsilon > 0.0, "approximation parameter must be positive");
   instance.validate();
   const double requirement = instance.requirement_contribution();
@@ -49,6 +49,10 @@ Allocation solve_fptas(const SingleTaskInstance& instance, double epsilon,
 
   for (std::size_t k = 1; k <= n; ++k) {
     deadline.check("FPTAS subproblem scan");
+    if (counters != nullptr) {
+      ++counters->deadline_polls;
+      ++counters->rounds;
+    }
     prefix_contribution += contributions[k - 1];
     if (!common::approx_ge(prefix_contribution, requirement)) {
       continue;  // the first k users cannot cover the task

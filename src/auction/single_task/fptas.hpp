@@ -13,6 +13,7 @@
 
 #include "auction/instance.hpp"
 #include "common/deadline.hpp"
+#include "obs/telemetry.hpp"
 
 namespace mcs::auction::single_task {
 
@@ -21,8 +22,11 @@ namespace mcs::auction::single_task {
 /// cannot meet the requirement. The instance must be valid (validate()).
 /// The subproblem scan and the DP sweeps poll `deadline` cooperatively and
 /// throw common::DeadlineExceeded when it expires (the mechanism facade may
-/// then retry on the Min-Greedy degraded ladder).
+/// then retry on the Min-Greedy degraded ladder). `counters`, when non-null,
+/// accumulates rounds (subproblem scans) and scan-level deadline polls (the
+/// DP's inner polls are uncounted to keep the hot loop branch-free).
 Allocation solve_fptas(const SingleTaskInstance& instance, double epsilon,
-                       const common::Deadline& deadline = {});
+                       const common::Deadline& deadline = {},
+                       obs::PhaseCounters* counters = nullptr);
 
 }  // namespace mcs::auction::single_task

@@ -4,6 +4,7 @@
 #include "auction/single_task/min_greedy.hpp"
 #include "common/check.hpp"
 #include "common/parallel.hpp"
+#include "obs/telemetry.hpp"
 
 namespace mcs::auction::single_task {
 
@@ -12,11 +13,23 @@ namespace {
 MechanismOutcome run_with_rule(const SingleTaskInstance& instance,
                                const auction::MechanismConfig& config, WinnerRule rule,
                                const common::Deadline& deadline) {
+  const bool telemetry = obs::enabled();
   MechanismOutcome outcome;
+  outcome.telemetry.enabled = telemetry;
   outcome.degraded = rule == WinnerRule::kMinGreedy;
-  outcome.allocation = rule == WinnerRule::kMinGreedy
-                           ? solve_min_greedy(instance)
-                           : solve_fptas(instance, config.single_task.epsilon, deadline);
+  if (telemetry && outcome.degraded) {
+    outcome.telemetry.degraded_events = 1;
+  }
+  {
+    const obs::PhaseTimer timer(telemetry);
+    obs::PhaseCounters* counters = telemetry ? &outcome.telemetry.winner_determination : nullptr;
+    outcome.allocation = rule == WinnerRule::kMinGreedy
+                             ? solve_min_greedy(instance, deadline, counters)
+                             : solve_fptas(instance, config.single_task.epsilon, deadline, counters);
+    if (telemetry) {
+      outcome.telemetry.winner_determination_seconds = timer.seconds();
+    }
+  }
   if (!outcome.allocation.feasible) {
     return outcome;
   }
@@ -27,10 +40,32 @@ MechanismOutcome run_with_rule(const SingleTaskInstance& instance,
       .winner_rule = rule,
       .deadline = deadline};
   const auto& winners = outcome.allocation.winners;
-  outcome.rewards = common::parallel_map<WinnerReward>(
-      winners.size(),
-      [&](std::size_t index) { return compute_reward(instance, winners[index], reward_options); },
-      config.reward_worker_budget());
+  const obs::PhaseTimer reward_timer(telemetry);
+  if (telemetry) {
+    // Each winner's reward computation counts into its own block; merging in
+    // index order afterwards keeps the totals deterministic regardless of
+    // how parallel_map schedules the slots.
+    std::vector<obs::PhaseCounters> per_winner(winners.size());
+    outcome.rewards = common::parallel_map<WinnerReward>(
+        winners.size(),
+        [&](std::size_t index) {
+          RewardOptions slot_options = reward_options;
+          slot_options.counters = &per_winner[index];
+          return compute_reward(instance, winners[index], slot_options);
+        },
+        config.reward_worker_budget());
+    for (const obs::PhaseCounters& block : per_winner) {
+      outcome.telemetry.rewards += block;
+    }
+    outcome.telemetry.rewards_seconds = reward_timer.seconds();
+  } else {
+    outcome.rewards = common::parallel_map<WinnerReward>(
+        winners.size(),
+        [&](std::size_t index) {
+          return compute_reward(instance, winners[index], reward_options);
+        },
+        config.reward_worker_budget());
+  }
   return outcome;
 }
 

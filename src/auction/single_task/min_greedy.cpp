@@ -9,7 +9,8 @@
 
 namespace mcs::auction::single_task {
 
-Allocation solve_min_greedy(const SingleTaskInstance& instance) {
+Allocation solve_min_greedy(const SingleTaskInstance& instance, const common::Deadline& deadline,
+                            obs::PhaseCounters* counters) {
   instance.validate();
   Allocation result;
   if (!instance.is_feasible()) {
@@ -42,8 +43,15 @@ Allocation solve_min_greedy(const SingleTaskInstance& instance) {
   double covered = 0.0;
   std::size_t last_pick_position = 0;
   for (std::size_t k = 0; k < n; ++k) {
+    deadline.check("min-greedy cover scan");
+    if (counters != nullptr) {
+      ++counters->deadline_polls;
+    }
     if (contributions[static_cast<std::size_t>(order[k])] <= 0.0) {
       continue;
+    }
+    if (counters != nullptr) {
+      ++counters->rounds;
     }
     greedy.push_back(order[k]);
     covered += contributions[static_cast<std::size_t>(order[k])];
@@ -66,6 +74,10 @@ Allocation solve_min_greedy(const SingleTaskInstance& instance) {
     UserId best_closer = -1;
     double best_closer_cost = std::numeric_limits<double>::infinity();
     for (std::size_t k = last_pick_position; k < n; ++k) {
+      deadline.check("min-greedy swap scan");
+      if (counters != nullptr) {
+        ++counters->deadline_polls;
+      }
       const UserId user = order[k];
       if (std::find(prefix.begin(), prefix.end(), user) != prefix.end()) {
         continue;

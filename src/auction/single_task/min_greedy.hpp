@@ -8,11 +8,22 @@
 #pragma once
 
 #include "auction/instance.hpp"
+#include "common/deadline.hpp"
+#include "obs/telemetry.hpp"
 
 namespace mcs::auction::single_task {
 
 /// Runs the Min-Greedy baseline. Returns an infeasible Allocation when the
 /// instance is infeasible. The instance must be valid.
-Allocation solve_min_greedy(const SingleTaskInstance& instance);
+///
+/// `deadline` is polled once per greedy-fill pick and once per swap-closer
+/// scan candidate, mirroring the FPTAS subproblem scan — this is the
+/// degradation ladder's fallback rule and every kMinGreedy critical-bid
+/// probe, so it must honour the cooperative budget too (a second expiry on
+/// the ladder propagates to the engine as a timeout). `counters`, when
+/// non-null, accumulates rounds (greedy picks) and deadline polls.
+Allocation solve_min_greedy(const SingleTaskInstance& instance,
+                            const common::Deadline& deadline = {},
+                            obs::PhaseCounters* counters = nullptr);
 
 }  // namespace mcs::auction::single_task

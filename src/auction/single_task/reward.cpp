@@ -9,13 +9,63 @@ namespace mcs::auction::single_task {
 
 namespace {
 
-bool wins_with_contribution(const SingleTaskInstance& instance, UserId user, double declared_q,
-                            const RewardOptions& options) {
-  const auto modified = instance.with_declared_contribution(user, declared_q);
-  const auto allocation = options.winner_rule == WinnerRule::kMinGreedy
-                              ? solve_min_greedy(modified)
-                              : solve_fptas(modified, options.epsilon, options.deadline);
+// One winner-determination re-run against `probe`, which already carries the
+// winner's probed declaration. Both rules honour the options' deadline; the
+// probe count feeds the telemetry record.
+bool probe_wins(const SingleTaskInstance& probe, UserId user, const RewardOptions& options) {
+  if (options.counters != nullptr) {
+    ++options.counters->probes;
+  }
+  const auto allocation =
+      options.winner_rule == WinnerRule::kMinGreedy
+          ? solve_min_greedy(probe, options.deadline, options.counters)
+          : solve_fptas(probe, options.epsilon, options.deadline, options.counters);
   return allocation.feasible && allocation.contains(user);
+}
+
+// Copying probe path: materializes a fresh instance per probe. Kept as the
+// oracle the scratch path is asserted bit-identical against.
+bool wins_with_contribution_copied(const SingleTaskInstance& instance, UserId user,
+                                   double declared_q, const RewardOptions& options) {
+  const auto modified = instance.with_declared_contribution(user, declared_q);
+  return probe_wins(modified, user, options);
+}
+
+// Scratch probe path: writes the probed declaration into a caller-owned
+// mutable copy in place. pos_from_contribution is exactly the conversion
+// with_declared_contribution applies, so the solver sees a bit-identical
+// instance without the O(n) copy per probe.
+bool wins_with_contribution_scratch(SingleTaskInstance& scratch, UserId user, double declared_q,
+                                    const RewardOptions& options) {
+  scratch.bids[static_cast<std::size_t>(user)].pos = common::pos_from_contribution(declared_q);
+  return probe_wins(scratch, user, options);
+}
+
+// The bisection of Algorithm 3 over wins(q), shared by both probe paths.
+// Monotonicity (Lemma 1): wins(q) is a step function, false below the
+// critical bid and true at/above it. Invariant: loses at lo, wins at hi.
+template <typename WinsFn>
+double bisect_critical(double declared, const RewardOptions& options, WinsFn&& wins) {
+  MCS_EXPECTS(wins(declared), "critical bid is only defined for winners");
+  if (wins(0.0)) {
+    return 0.0;
+  }
+  double lo = 0.0;
+  double hi = declared;
+  for (int iter = 0; iter < options.binary_search_iterations; ++iter) {
+    options.deadline.check("single-task critical-bid search");
+    if (options.counters != nullptr) {
+      ++options.counters->deadline_polls;
+      ++options.counters->bisection_steps;
+    }
+    const double mid = 0.5 * (lo + hi);
+    if (wins(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
 }
 
 }  // namespace
@@ -25,26 +75,16 @@ double critical_contribution(const SingleTaskInstance& instance, UserId winner,
   MCS_EXPECTS(options.alpha > 0.0, "reward scaling factor must be positive");
   MCS_EXPECTS(options.binary_search_iterations > 0, "need at least one bisection step");
   const double declared = instance.contribution(winner);
-  MCS_EXPECTS(wins_with_contribution(instance, winner, declared, options),
-              "critical bid is only defined for winners");
 
-  if (wins_with_contribution(instance, winner, 0.0, options)) {
-    return 0.0;
+  if (options.scratch_probes) {
+    SingleTaskInstance scratch = instance;  // one copy for the whole search
+    return bisect_critical(declared, options, [&](double q) {
+      return wins_with_contribution_scratch(scratch, winner, q, options);
+    });
   }
-  // Monotonicity (Lemma 1): wins(q) is a step function, false below the
-  // critical bid and true at/above it. Invariant: loses at lo, wins at hi.
-  double lo = 0.0;
-  double hi = declared;
-  for (int iter = 0; iter < options.binary_search_iterations; ++iter) {
-    options.deadline.check("single-task critical-bid search");
-    const double mid = 0.5 * (lo + hi);
-    if (wins_with_contribution(instance, winner, mid, options)) {
-      hi = mid;
-    } else {
-      lo = mid;
-    }
-  }
-  return hi;
+  return bisect_critical(declared, options, [&](double q) {
+    return wins_with_contribution_copied(instance, winner, q, options);
+  });
 }
 
 WinnerReward compute_reward(const SingleTaskInstance& instance, UserId winner,

@@ -11,6 +11,7 @@
 
 #include "auction/instance.hpp"
 #include "common/deadline.hpp"
+#include "obs/telemetry.hpp"
 
 namespace mcs::auction::single_task {
 
@@ -29,8 +30,18 @@ struct RewardOptions {
   int binary_search_iterations = 48;  ///< ~1e-14 relative precision on q̄
   WinnerRule winner_rule = WinnerRule::kFptas;
   /// Cooperative wall-clock budget; polled once per bisection step and
-  /// threaded into the FPTAS re-runs.
+  /// threaded into the FPTAS and Min-Greedy re-runs.
   common::Deadline deadline = {};
+  /// Answer each critical-bid probe by mutating one reusable scratch copy of
+  /// the instance (save/restore the winner's declared PoS around the probe)
+  /// instead of materializing a fresh O(n) copy per probe. Bit-identical to
+  /// the copying path (asserted by tests/st_reward_test.cpp); off reproduces
+  /// the legacy allocation behaviour for benchmarking.
+  bool scratch_probes = true;
+  /// When non-null, accumulates probe / bisection / deadline-poll counts.
+  /// The caller owns the block; under parallel rewards each worker slot must
+  /// get its own (the mechanism facade merges them in index order).
+  obs::PhaseCounters* counters = nullptr;
 };
 
 /// Critical contribution q̄_i of `winner`: the infimum of declared

@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/telemetry.hpp"
+
 namespace mcs::auction {
 
 /// Index of a user within an auction instance.
@@ -76,6 +78,11 @@ struct MechanismOutcome {
   /// the (partial) winner set does not meet, ascending. Empty on full
   /// coverage and for single-task outcomes.
   std::vector<TaskIndex> uncovered_tasks;
+  /// Phase timings and event counts of the run that produced this outcome.
+  /// Populated only while obs::enabled(); otherwise default (disabled, all
+  /// zeros). Purely additive: the allocation and rewards are bit-identical
+  /// whether or not telemetry was on.
+  obs::MechanismTelemetry telemetry;
 
   const WinnerReward& reward_of(UserId user) const;
 };

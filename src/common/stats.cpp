@@ -56,9 +56,17 @@ Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo) {
 }
 
 void Histogram::add(double value) {
-  auto bin = static_cast<std::ptrdiff_t>(std::floor((value - lo_) / width_));
-  bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(bin)];
+  if (!std::isfinite(value)) {
+    // NaN/±inf carry no bin information and make the float→integer cast
+    // below UB; tally them instead of crashing an experiment sweep.
+    ++dropped_;
+    return;
+  }
+  // Clamp in the double domain BEFORE the integer cast: a finite value far
+  // outside [lo, hi] (e.g. 1e308) would overflow ptrdiff_t, which is UB too.
+  const double last = static_cast<double>(counts_.size()) - 1.0;
+  const double scaled = std::clamp(std::floor((value - lo_) / width_), 0.0, last);
+  ++counts_[static_cast<std::size_t>(scaled)];
   ++total_;
 }
 

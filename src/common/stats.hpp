@@ -30,8 +30,11 @@ class RunningStats {
   double max_ = 0.0;
 };
 
-/// Fixed-width-bin histogram over [lo, hi]. Values outside the range are
-/// clamped into the first/last bin so no sample is silently dropped.
+/// Fixed-width-bin histogram over [lo, hi]. Finite values outside the range
+/// are clamped into the first/last bin so no real sample is silently lost.
+/// Non-finite samples (NaN, ±inf) carry no bin information — they are
+/// rejected and tallied in dropped() instead of feeding the float→integer
+/// bin cast, which is undefined behavior for them.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -41,6 +44,8 @@ class Histogram {
 
   std::size_t bins() const { return counts_.size(); }
   std::size_t total() const { return total_; }
+  /// Non-finite samples rejected by add(); not part of total().
+  std::size_t dropped() const { return dropped_; }
   std::size_t count(std::size_t bin) const;
   /// Center of the bin, for plotting.
   double bin_center(std::size_t bin) const;
@@ -56,6 +61,7 @@ class Histogram {
   double width_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t dropped_ = 0;
 };
 
 /// Empirical CDF over a sample; value() evaluates F(x), quantile() inverts it.

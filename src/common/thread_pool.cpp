@@ -1,6 +1,9 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/telemetry.hpp"
 
 namespace mcs::common {
 
@@ -9,6 +12,29 @@ namespace {
 // calls to decide on inline execution. Process-wide on purpose: a worker of
 // one pool must not block on another pool either.
 thread_local bool tls_on_pool_worker = false;
+
+// Pool-level registry metrics, shared by every ThreadPool instance (the
+// platform runs one shared pool; per-pool attribution is not worth a second
+// registry). Ids resolve once; add() is a relaxed increment on the calling
+// thread's own shard.
+struct PoolMetrics {
+  obs::Registry::MetricId enqueued;
+  obs::Registry::MetricId executed;
+  obs::Registry::MetricId queue_depth;   // gauge: enqueued but not yet started
+  obs::Registry::MetricId busy_workers;  // gauge: workers executing a task
+  obs::Registry::MetricId busy_micros;   // total wall-clock spent in tasks
+
+  static const PoolMetrics& get() {
+    static const PoolMetrics metrics{
+        obs::Registry::global().metric("pool.tasks_enqueued"),
+        obs::Registry::global().metric("pool.tasks_executed"),
+        obs::Registry::global().metric("pool.queue_depth"),
+        obs::Registry::global().metric("pool.busy_workers"),
+        obs::Registry::global().metric("pool.busy_micros"),
+    };
+    return metrics;
+  }
+};
 }  // namespace
 
 std::size_t default_worker_count() {
@@ -24,6 +50,10 @@ ThreadPool& ThreadPool::shared() {
 
 ThreadPool::ThreadPool(std::size_t workers) {
   MCS_EXPECTS(workers >= 1, "thread pool needs at least one worker");
+  // Force the metric registry (and the global Registry behind it) into
+  // existence before the workers start, so its static lifetime brackets
+  // theirs no matter which translation unit touched telemetry first.
+  (void)PoolMetrics::get();
   workers_.reserve(workers);
   for (std::size_t worker = 0; worker < workers; ++worker) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -42,6 +72,11 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::enqueue(std::function<void()> task) {
+  if (obs::enabled()) {
+    const PoolMetrics& metrics = PoolMetrics::get();
+    obs::Registry::global().add(metrics.enqueued, 1);
+    obs::Registry::global().add(metrics.queue_depth, 1);
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
@@ -62,7 +97,22 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (obs::enabled()) {
+      const PoolMetrics& metrics = PoolMetrics::get();
+      obs::Registry& registry = obs::Registry::global();
+      registry.add(metrics.queue_depth, -1);
+      registry.add(metrics.busy_workers, 1);
+      const auto start = std::chrono::steady_clock::now();
+      task();
+      const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+      registry.add(metrics.busy_micros, micros);
+      registry.add(metrics.busy_workers, -1);
+      registry.add(metrics.executed, 1);
+    } else {
+      task();
+    }
   }
 }
 

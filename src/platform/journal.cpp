@@ -186,6 +186,26 @@ JournalEntry parse_block(const std::vector<JournalLine>& lines, std::size_t begi
       entry.report.mean_achieved_pos = parse_double_directive(line);
     } else if (keyword == "error") {
       entry.report.error = line.raw_text;
+    } else if (keyword == "telemetry") {
+      // Optional: blocks without this line (telemetry off, or written before
+      // the record existed) leave the default disabled/all-zeros record.
+      if (line.tokens.size() != 14) {
+        fail(line.number,
+             "expected 'telemetry <wd_s> <rw_s> <degraded> <5 wd counters> <5 rw counters>'");
+      }
+      auto& t = entry.report.telemetry;
+      t.enabled = true;
+      t.winner_determination_seconds = parse_double(line.tokens[1], line.number);
+      t.rewards_seconds = parse_double(line.tokens[2], line.number);
+      t.degraded_events = parse_u64(line.tokens[3], line.number);
+      std::size_t k = 4;
+      for (obs::PhaseCounters* phase : {&t.winner_determination, &t.rewards}) {
+        phase->probes = parse_u64(line.tokens[k++], line.number);
+        phase->deadline_polls = parse_u64(line.tokens[k++], line.number);
+        phase->rounds = parse_u64(line.tokens[k++], line.number);
+        phase->heap_reevaluations = parse_u64(line.tokens[k++], line.number);
+        phase->bisection_steps = parse_u64(line.tokens[k++], line.number);
+      }
     } else if (keyword == "winning_taxis") {
       if (line.tokens.size() < 2) {
         fail(line.number, "expected 'winning_taxis <count> <ids>...'");
@@ -271,6 +291,19 @@ std::string to_text(const JournalEntry& entry) {
     out << ' ' << taxi;
   }
   out << "\n";
+  if (entry.report.telemetry.enabled) {
+    // Optional record (PR 4): journals written with telemetry off — and
+    // every pre-telemetry journal — simply omit the line, and readers
+    // default the record to disabled, so old journals stay loadable.
+    const auto& t = entry.report.telemetry;
+    out << "telemetry " << format_double(t.winner_determination_seconds) << ' '
+        << format_double(t.rewards_seconds) << ' ' << t.degraded_events;
+    for (const obs::PhaseCounters* phase : {&t.winner_determination, &t.rewards}) {
+      out << ' ' << phase->probes << ' ' << phase->deadline_polls << ' ' << phase->rounds << ' '
+          << phase->heap_reevaluations << ' ' << phase->bisection_steps;
+    }
+    out << "\n";
+  }
   if (!entry.report.error.empty()) {
     // The format is line-oriented: a newline inside the captured exception
     // text would end the directive early and corrupt every block after it,

@@ -19,6 +19,7 @@ void accumulate(CampaignReport& report, const RoundReport& round) {
   report.total_tasks_posted += round.tasks_posted;
   report.total_tasks_completed += round.tasks_completed;
   report.rounds_held += round.held ? 1 : 0;
+  report.telemetry_totals += round.telemetry;
   for (trace::TaxiId taxi : round.winning_taxis) {
     ++report.wins_by_taxi[taxi];
   }
@@ -250,6 +251,7 @@ RoundReport Platform::run_round(std::size_t round, double budget_left) {
   const auto slot = engine_.run_one_isolated(scenario->instance, mechanism);
   report.degraded = slot.outcome.degraded;
   report.error = slot.error;
+  report.telemetry = slot.outcome.telemetry;
   if (!slot.ok() || !slot.outcome.allocation.feasible) {
     return report;
   }

@@ -97,6 +97,10 @@ struct RoundReport {
   std::vector<trace::TaxiId> winning_taxis;  ///< the recruited taxis, ascending
   bool degraded = false;  ///< the round's auction used a fallback path
   std::string error;      ///< auction failure captured by the engine; empty when clean
+  /// The round's mechanism telemetry (phase timings, probe/degradation
+  /// counts). Populated only while obs::enabled(); journaled as an optional
+  /// backward-compatible record and surfaced in CampaignReport totals.
+  obs::MechanismTelemetry telemetry;
 };
 
 /// Aggregated campaign outcome.
@@ -111,6 +115,9 @@ struct CampaignReport {
   /// Win concentration matters operationally: a platform whose rewards pool
   /// on a few users erodes everyone else's incentive to keep bidding.
   std::map<trace::TaxiId, std::size_t> wins_by_taxi;
+  /// Sum of every round's telemetry record (all zeros, enabled=false, when
+  /// telemetry was off for the whole campaign).
+  obs::MechanismTelemetry telemetry_totals;
 
   /// Fraction of posted tasks completed across the campaign.
   double completion_rate() const;

@@ -120,11 +120,16 @@ TEST(FaultTolerance, IsolationMatchesAcrossWorkerCounts) {
 }
 
 TEST(FaultTolerance, SingleTaskTimeoutDegradesToMinGreedy) {
-  const auto instance = slow_instance();
+  // epsilon = 1e-6 prices the FPTAS DP astronomically over any budget, so
+  // the timeout is certain; the instance is kept at n = 200 so the
+  // Min-Greedy retry (which now honours its own fresh deadline, critical-bid
+  // probes included) finishes well inside the budget even under the
+  // sanitizer presets on a loaded single-core machine.
+  const auto instance = test::random_single_task(200, 0.9, 7, 0.3);
   const MechanismConfig config{.alpha = 10.0,
                                .time_budget_seconds = 0.25,
                                .degrade_on_timeout = true,
-                               .single_task = {.epsilon = 0.05}};
+                               .single_task = {.epsilon = 1e-6}};
   const Engine engine(EngineOptions{.workers = 2});
   const auto slot = engine.run_one_isolated(instance, config);
   ASSERT_EQ(slot.status, AuctionStatus::kDegraded);

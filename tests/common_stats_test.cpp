@@ -3,6 +3,7 @@
 #include "common/stats.hpp"
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -64,6 +65,38 @@ TEST(Histogram, ClampsOutOfRangeValues) {
   h.add(1.0);  // exactly at the top edge -> last bin
   EXPECT_EQ(h.count(0), 1u);
   EXPECT_EQ(h.count(1), 2u);
+}
+
+TEST(Histogram, NonFiniteSamplesAreDroppedNotBinned) {
+  // Regression for the UB bug: add() used to cast floor((value - lo)/width)
+  // to a signed integer BEFORE clamping, so NaN and ±inf hit the
+  // float-to-integer cast with an unrepresentable value (UB, flagged by
+  // UBSan — the asan-ubsan preset runs this test). Non-finite samples are
+  // now rejected and tallied in dropped().
+  Histogram h(0.0, 1.0, 4);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.dropped(), 3u);
+  h.add(0.5);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.dropped(), 3u);
+  EXPECT_EQ(h.count(2), 1u);
+}
+
+TEST(Histogram, HugeFiniteValuesClampIntoTheEdgeBins) {
+  // Finite-but-huge samples also used to overflow the pre-clamp cast; the
+  // clamp now happens in floating point, so they land in the edge bins.
+  Histogram h(0.0, 1.0, 4);
+  h.add(1e308);
+  h.add(-1e308);
+  h.add(std::numeric_limits<double>::max());
+  h.add(std::numeric_limits<double>::lowest());
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(3), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.dropped(), 0u);
 }
 
 TEST(Histogram, MassAndDensity) {

@@ -9,11 +9,15 @@
 // No timing assertions: sanitizer builds are legitimately slow.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <iostream>
+#include <limits>
+#include <utility>
 
 #include "auction/multi_task/mechanism.hpp"
 #include "bench_shapes.hpp"
+#include "obs/telemetry.hpp"
 #include "test_util.hpp"
 
 namespace mcs::auction::multi_task {
@@ -43,6 +47,44 @@ TEST(PerfSmoke, LazyAndReferenceMechanismsAgreeAcrossTinyScalingSweep) {
   // The reward (critical-bid) phase only runs on feasible covers; the sweep
   // must exercise it, not just winner determination.
   EXPECT_GT(feasible, 0u);
+}
+
+TEST(PerfSmoke, DisabledTelemetryIsFreeAndEnabledTelemetryOnlyAddsFields) {
+  // The mcs::obs determinism contract, gated like the lazy-vs-reference
+  // invariant above: with telemetry off the mechanism outcome is
+  // bit-identical to the enabled run (only the telemetry fields differ), and
+  // the disabled path must not be measurably slower than the enabled one —
+  // best-of-5 each, with a generous noise floor, because sanitizer builds
+  // and loaded CI machines are legitimately slow.
+  const auto instance = bench_shapes::scaling_instance(40, 6, 5, 0.6);
+  const auction::MechanismConfig config;
+  auto best_of_5 = [&] {
+    double best = std::numeric_limits<double>::infinity();
+    MechanismOutcome outcome;
+    for (int repeat = 0; repeat < 5; ++repeat) {
+      const auto start = std::chrono::steady_clock::now();
+      outcome = run_mechanism(instance, config);
+      const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+      best = std::min(best, elapsed.count());
+    }
+    return std::pair{best, outcome};
+  };
+  obs::ScopedTelemetry off(false);
+  const auto [disabled_seconds, plain] = best_of_5();
+  EXPECT_FALSE(plain.telemetry.enabled);
+  double enabled_seconds = 0.0;
+  {
+    const obs::ScopedTelemetry on(true);
+    const auto [seconds, instrumented] = best_of_5();
+    enabled_seconds = seconds;
+    EXPECT_TRUE(instrumented.telemetry.enabled);
+    test::expect_identical_outcome(instrumented, plain);
+  }
+  EXPECT_LE(disabled_seconds, enabled_seconds * 2.0 + 5e-3)
+      << "disabled " << disabled_seconds * 1e3 << " ms vs enabled " << enabled_seconds * 1e3
+      << " ms";
+  std::cout << "[perf-smoke] telemetry disabled_ms=" << disabled_seconds * 1e3
+            << " enabled_ms=" << enabled_seconds * 1e3 << "\n";
 }
 
 TEST(PerfSmoke, BothCriticalBidRulesSurviveTheSweep) {

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "common/check.hpp"
+#include "obs/telemetry.hpp"
 
 namespace mcs::platform {
 namespace {
@@ -64,6 +65,22 @@ class JournalFixture : public ::testing::Test {
   std::filesystem::path journal_path_;
 };
 
+void expect_telemetry_identical(const obs::MechanismTelemetry& actual,
+                                const obs::MechanismTelemetry& expected) {
+  EXPECT_EQ(actual.enabled, expected.enabled);
+  EXPECT_EQ(actual.winner_determination_seconds, expected.winner_determination_seconds);
+  EXPECT_EQ(actual.rewards_seconds, expected.rewards_seconds);
+  EXPECT_EQ(actual.degraded_events, expected.degraded_events);
+  for (const auto& [a, b] : {std::pair{&actual.winner_determination, &expected.winner_determination},
+                             std::pair{&actual.rewards, &expected.rewards}}) {
+    EXPECT_EQ(a->probes, b->probes);
+    EXPECT_EQ(a->deadline_polls, b->deadline_polls);
+    EXPECT_EQ(a->rounds, b->rounds);
+    EXPECT_EQ(a->heap_reevaluations, b->heap_reevaluations);
+    EXPECT_EQ(a->bisection_steps, b->bisection_steps);
+  }
+}
+
 void expect_round_identical(const RoundReport& actual, const RoundReport& expected) {
   EXPECT_EQ(actual.round, expected.round);
   EXPECT_EQ(actual.held, expected.held);
@@ -77,6 +94,7 @@ void expect_round_identical(const RoundReport& actual, const RoundReport& expect
   EXPECT_EQ(actual.mean_required_pos, expected.mean_required_pos);
   EXPECT_EQ(actual.mean_achieved_pos, expected.mean_achieved_pos);
   EXPECT_EQ(actual.winning_taxis, expected.winning_taxis);
+  expect_telemetry_identical(actual.telemetry, expected.telemetry);
 }
 
 void expect_campaign_identical(const CampaignReport& actual, const CampaignReport& expected) {
@@ -133,6 +151,38 @@ TEST_F(JournalFixture, KillAfterRoundKThenResumeReproducesTheCampaign) {
       EXPECT_EQ(a.variance, b.variance);
       EXPECT_EQ(a.realized_successes, b.realized_successes);
     }
+  }
+}
+
+TEST_F(JournalFixture, TelemetryEnabledRoundsSurviveTheJournalAndResume) {
+  // With telemetry on, every round's record (phase timings, probe and
+  // degradation counts) is journaled; a resumed campaign replays those
+  // rounds verbatim, wall-clock values included — the journal is the record
+  // of what actually ran, not a re-measurement.
+  const obs::ScopedTelemetry on(true);
+  auto truncated = campaign_config(true);
+  truncated.rounds = 3;
+  Platform first(city_, fleet_, truncated);
+  const auto before = first.run_campaign();
+  ASSERT_EQ(before.rounds.size(), 3u);
+  for (const auto& round : before.rounds) {
+    if (round.held) {  // a held round ran its auction under the enabled flag
+      EXPECT_TRUE(round.telemetry.enabled);
+      EXPECT_GT(round.telemetry.winner_determination.rounds, 0u);
+    }
+  }
+  EXPECT_TRUE(before.telemetry_totals.enabled);
+
+  Platform resumed(city_, fleet_, campaign_config(true));
+  const auto after = resumed.run_campaign();
+  ASSERT_EQ(after.rounds.size(), campaign_config(true).rounds);
+  for (std::size_t k = 0; k < before.rounds.size(); ++k) {
+    expect_telemetry_identical(after.rounds[k].telemetry, before.rounds[k].telemetry);
+  }
+  const auto entries = replay_journal(journal_path_);
+  ASSERT_EQ(entries.size(), after.rounds.size());
+  for (std::size_t k = 0; k < entries.size(); ++k) {
+    expect_telemetry_identical(entries[k].report.telemetry, after.rounds[k].telemetry);
   }
 }
 
@@ -267,6 +317,60 @@ TEST(Journal, EntryTextRoundTripsExactly) {
   EXPECT_EQ(parsed[0].reputation[0].second.variance, 0.375);
 }
 
+TEST(Journal, TelemetryRecordRoundTripsExactly) {
+  JournalEntry entry;
+  entry.report.round = 2;
+  entry.report.held = true;
+  entry.report.degraded = true;
+  entry.report.error = "fell back to the 2-approximation";
+  entry.positions = {4};
+  auto& t = entry.report.telemetry;
+  t.enabled = true;
+  t.winner_determination_seconds = 0.1 + 0.2;  // not exactly 0.3
+  t.rewards_seconds = 1.0 / 3.0;
+  t.degraded_events = 1;
+  t.winner_determination = {.probes = 0, .deadline_polls = 18446744073709551615ULL,
+                            .rounds = 7, .heap_reevaluations = 123, .bisection_steps = 0};
+  t.rewards = {.probes = 96, .deadline_polls = 96, .rounds = 200,
+               .heap_reevaluations = 0, .bisection_steps = 96};
+  const auto parsed = journal_from_text(std::string("mcs-journal-v1\n") + to_text(entry));
+  ASSERT_EQ(parsed.size(), 1u);
+  expect_round_identical(parsed[0].report, entry.report);
+  // Error and degraded flags ride the same block as the telemetry line.
+  EXPECT_EQ(parsed[0].report.error, entry.report.error);
+  EXPECT_TRUE(parsed[0].report.degraded);
+}
+
+TEST(Journal, BlocksWithoutTelemetryLoadTheDisabledRecord) {
+  // Backward compatibility: journals written before the telemetry record
+  // existed (or with telemetry off) have no `telemetry` line; they must load
+  // with the default disabled/all-zeros record, not fail.
+  JournalEntry legacy;
+  legacy.report.round = 0;
+  legacy.positions = {1};
+  ASSERT_EQ(to_text(legacy).find("telemetry"), std::string::npos);
+  const auto parsed = journal_from_text(std::string("mcs-journal-v1\n") + to_text(legacy));
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_FALSE(parsed[0].report.telemetry.enabled);
+  EXPECT_EQ(parsed[0].report.telemetry.degraded_events, 0u);
+}
+
+TEST(Journal, MalformedTelemetryLineIsRejected) {
+  JournalEntry entry;
+  entry.report.round = 0;
+  entry.positions = {1};
+  entry.report.telemetry.enabled = true;
+  auto text = std::string("mcs-journal-v1\nconfig seed=1\n") + to_text(entry);
+  const auto pos = text.find("telemetry ");
+  ASSERT_NE(pos, std::string::npos);
+  // Drop one trailing counter: 13 tokens instead of 14. The block is the
+  // journal's tail, so the torn-tail rule applies — it is excluded from the
+  // valid prefix rather than aborting the replay.
+  const auto line_end = text.find('\n', pos);
+  text.erase(text.rfind(' ', line_end), line_end - text.rfind(' ', line_end));
+  EXPECT_TRUE(parse_journal(text).entries.empty());
+}
+
 TEST(Journal, ErrorTextNewlinesAreFlattenedSoLaterBlocksSurvive) {
   JournalEntry poisoned;
   poisoned.report.round = 0;
@@ -291,7 +395,7 @@ TEST(Journal, ValidPrefixExcludesTheTornTail) {
   const std::string valid = std::string("mcs-journal-v1\nconfig seed=1\n") + to_text(entry);
   // A torn append — and even a torn `end round` line missing its newline —
   // must stay outside the valid prefix, or the next append would fuse with it.
-  for (const std::string tail :
+  for (const std::string& tail :
        {std::string("begin round 1\nheld 1\n"), std::string("begin round 1\nend round 1")}) {
     const auto replayed = parse_journal(valid + tail);
     ASSERT_EQ(replayed.entries.size(), 1u);

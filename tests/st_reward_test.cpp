@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "auction/single_task/fptas.hpp"
+#include "auction/single_task/min_greedy.hpp"
 #include "common/check.hpp"
 #include "common/math.hpp"
 #include "test_util.hpp"
@@ -85,6 +86,34 @@ TEST(Reward, RejectsBadOptions) {
   EXPECT_THROW(compute_reward(paper_example(), 0, options), common::PreconditionError);
   options = {.alpha = 10.0, .epsilon = 0.1, .binary_search_iterations = 0};
   EXPECT_THROW(compute_reward(paper_example(), 0, options), common::PreconditionError);
+}
+
+TEST(CriticalBid, ScratchProbesAreBitIdenticalToCopiedProbes) {
+  // Regression for the probe allocation bug: each wins-with-contribution
+  // probe used to materialize a full O(n) instance copy. The scratch path
+  // mutates one reusable copy per critical_contribution call instead; it
+  // must reproduce the copying path's critical contributions EXACTLY (same
+  // doubles, both rules), because with_declared_contribution applies the
+  // very same pos_from_contribution conversion the scratch write applies.
+  for (std::uint64_t seed : {41ULL, 42ULL, 43ULL, 44ULL}) {
+    const auto instance = test::random_single_task(15, 0.8, seed);
+    for (const WinnerRule rule : {WinnerRule::kFptas, WinnerRule::kMinGreedy}) {
+      RewardOptions scratch{.alpha = 10.0, .epsilon = 0.5, .winner_rule = rule};
+      RewardOptions copied = scratch;
+      copied.scratch_probes = false;
+      const auto allocation = rule == WinnerRule::kFptas
+                                  ? solve_fptas(instance, scratch.epsilon)
+                                  : solve_min_greedy(instance);
+      if (!allocation.feasible) {
+        continue;
+      }
+      for (const UserId winner : allocation.winners) {
+        EXPECT_EQ(critical_contribution(instance, winner, scratch),
+                  critical_contribution(instance, winner, copied))
+            << "seed " << seed << " winner " << winner;
+      }
+    }
+  }
 }
 
 class SingleTaskTruthfulness : public ::testing::TestWithParam<std::uint64_t> {};
