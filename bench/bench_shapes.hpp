@@ -15,6 +15,24 @@
 
 namespace mcs::bench_shapes {
 
+/// The single-task scaling population: paper Table II costs (truncated
+/// normal around 15), PoS in [0.02, 0.35], requirement 0.8. Shared between
+/// bench/perf_mechanisms (which measures the critical-bid fast path against
+/// the full-solve oracle at n up to 400) and tests/perf_smoke_test (which
+/// asserts fast ≡ oracle on the same shape at tiny n every ctest run).
+inline auction::SingleTaskInstance single_task_scaling_instance(std::size_t users,
+                                                                std::uint64_t seed) {
+  common::Rng rng(seed);
+  auction::SingleTaskInstance instance;
+  instance.requirement_pos = 0.8;
+  instance.bids.reserve(users);
+  for (std::size_t k = 0; k < users; ++k) {
+    instance.bids.push_back({common::sample_truncated_normal(rng, 15.0, 2.24, 0.5, 40.0),
+                             rng.uniform(0.02, 0.35)});
+  }
+  return instance;
+}
+
 /// The scaling-suite population: paper Table II costs (truncated normal
 /// around 15), every task requiring PoS `requirement`, each user demanding a
 /// random subset of up to 20 tasks with per-task PoS in [0.05, 0.4].

@@ -10,9 +10,11 @@
 // reward phase split, n up to 400), batched throughput, and fault-injection
 // throughput, one object per line — to
 // stdout and, when MCS_BENCH_JSON names a file path, to that file, so the
-// bench trajectory can be tracked across commits. Pass --benchmark_filter to
-// restrict the microbenchmarks (e.g. --benchmark_filter=NONE emits only the
-// JSON records).
+// bench trajectory can be tracked across commits. The single-task scaling
+// suite (critical-bid DP-reuse fast path vs the full-solve oracle, one core)
+// rides in the same JSON stream. Pass --benchmark_filter to restrict the
+// microbenchmarks (e.g. --benchmark_filter=NONE emits only the JSON
+// records).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -42,16 +44,11 @@ namespace {
 
 using namespace mcs;
 
+/// The single-task population lives in bench/bench_shapes.hpp, shared with
+/// tests/perf_smoke_test.cpp so the committed single-task scaling record and
+/// the ctest fast≡oracle gate measure literally the same shape.
 auction::SingleTaskInstance make_single(std::size_t n, std::uint64_t seed) {
-  common::Rng rng(seed);
-  auction::SingleTaskInstance instance;
-  instance.requirement_pos = 0.8;
-  instance.bids.reserve(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    instance.bids.push_back({common::sample_truncated_normal(rng, 15.0, 2.24, 0.5, 40.0),
-                             rng.uniform(0.02, 0.35)});
-  }
-  return instance;
+  return bench_shapes::single_task_scaling_instance(n, seed);
 }
 
 /// The multi-task population lives in bench/bench_shapes.hpp, shared with
@@ -332,6 +329,94 @@ std::string build_multi_task_scaling_record() {
   return json.str();
 }
 
+/// The single-task scaling suite: the critical-bid fast path
+/// (ProbeStrategy::kDpReuse) vs the full-solve oracle at n ∈ {50,100,200,400}
+/// on the bench_shapes single-task population. Phases: winner determination
+/// (identical in both configurations — the strategies only differ in the
+/// reward search), then the per-winner critical-bid phase timed serially so
+/// the split reflects algorithmic cost, then the end-to-end mechanism with
+/// parallel rewards OFF — the committed record backs the ISSUE-5 acceptance
+/// bar (>= 5x end-to-end at n = 400 on one core). Each row also records the
+/// fast path's probe accounting (dp_reuse_hits / dp_reuse_fallbacks) from an
+/// instrumented run, so a silent fallback storm — which would erase the
+/// speedup while staying bit-identical — is visible in the committed JSON.
+std::string build_single_task_scaling_record() {
+  constexpr double kEpsilon = 0.5;
+  constexpr std::uint64_t kSeed = 21;
+  const std::size_t sizes[] = {50, 100, 200, 400};
+
+  std::ostringstream json;
+  json << "{\"bench\":\"single_task_scaling\",\"epsilon\":" << kEpsilon << ",\"seed\":" << kSeed
+       << ",\"available_cores\":" << std::max(1u, std::thread::hardware_concurrency())
+       << ",\"parallel_rewards\":false,\"results\":[";
+  for (std::size_t k = 0; k < std::size(sizes); ++k) {
+    const std::size_t n = sizes[k];
+    // The oracle's reward phase is ~50 full FPTAS solves per winner: at
+    // n = 400 a single repetition is already tens of seconds, so the larger
+    // sizes run fewer repetitions (best-of still sheds warm-up noise).
+    const std::size_t reps = n <= 100 ? 3 : (n <= 200 ? 2 : 1);
+    const auto instance = make_single(n, kSeed);
+    using auction::single_task::RewardOptions;
+
+    const double wd_ms = best_elapsed_ms(reps, [&] {
+      benchmark::DoNotOptimize(auction::single_task::solve_fptas(instance, kEpsilon));
+    });
+    const auto allocation = auction::single_task::solve_fptas(instance, kEpsilon);
+
+    const RewardOptions fast_options{.alpha = 10.0,
+                                     .epsilon = kEpsilon,
+                                     .probe_strategy = auction::ProbeStrategy::kDpReuse};
+    RewardOptions oracle_options = fast_options;
+    oracle_options.probe_strategy = auction::ProbeStrategy::kFullSolve;
+    const double reward_fast_ms = best_elapsed_ms(reps, [&] {
+      for (auction::UserId winner : allocation.winners) {
+        benchmark::DoNotOptimize(
+            auction::single_task::compute_reward(instance, winner, fast_options));
+      }
+    });
+    const double reward_oracle_ms = best_elapsed_ms(reps, [&] {
+      for (auction::UserId winner : allocation.winners) {
+        benchmark::DoNotOptimize(
+            auction::single_task::compute_reward(instance, winner, oracle_options));
+      }
+    });
+
+    auction::MechanismConfig fast_config{.alpha = 10.0, .single_task = {.epsilon = kEpsilon}};
+    fast_config.parallel_rewards = false;
+    auction::MechanismConfig oracle_config = fast_config;
+    oracle_config.single_task.probe_strategy = auction::ProbeStrategy::kFullSolve;
+    const double mech_fast_ms = best_elapsed_ms(reps, [&] {
+      benchmark::DoNotOptimize(auction::single_task::run_mechanism(instance, fast_config));
+    });
+    const double mech_oracle_ms = best_elapsed_ms(reps, [&] {
+      benchmark::DoNotOptimize(auction::single_task::run_mechanism(instance, oracle_config));
+    });
+
+    // Probe accounting of the fast path, from one instrumented run.
+    obs::PhaseCounters reward_counters;
+    {
+      const obs::ScopedTelemetry telemetry(true);
+      const auto outcome = auction::single_task::run_mechanism(instance, fast_config);
+      reward_counters = outcome.telemetry.rewards;
+    }
+
+    json << (k > 0 ? "," : "") << "{\"users\":" << n
+         << ",\"winners\":" << allocation.winners.size() << ",\"reps\":" << reps
+         << ",\"winner_determination_ms\":" << wd_ms
+         << ",\"rewards\":{\"dp_reuse_ms\":" << reward_fast_ms
+         << ",\"full_solve_ms\":" << reward_oracle_ms
+         << ",\"speedup\":" << (reward_fast_ms > 0.0 ? reward_oracle_ms / reward_fast_ms : 0.0)
+         << ",\"probes\":" << reward_counters.probes
+         << ",\"dp_reuse_hits\":" << reward_counters.dp_reuse_hits
+         << ",\"dp_reuse_fallbacks\":" << reward_counters.dp_reuse_fallbacks
+         << "},\"mechanism\":{\"dp_reuse_ms\":" << mech_fast_ms
+         << ",\"full_solve_ms\":" << mech_oracle_ms << ",\"end_to_end_speedup\":"
+         << (mech_fast_ms > 0.0 ? mech_oracle_ms / mech_fast_ms : 0.0) << "}}";
+  }
+  json << "]}";
+  return json.str();
+}
+
 /// Campaign-round throughput across a worker sweep, plus the hardware
 /// context needed to interpret the numbers. The sweep is clamped to the
 /// available cores — a multi-worker row measured on fewer physical cores
@@ -495,6 +580,7 @@ std::string build_telemetry_record() {
 /// writes them there too (one object per line).
 void emit_json_records() {
   const std::string records[] = {build_multi_task_scaling_record(),
+                                 build_single_task_scaling_record(),
                                  build_batched_throughput_record(),
                                  build_fault_injection_record(),
                                  build_telemetry_record()};

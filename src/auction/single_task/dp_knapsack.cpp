@@ -108,6 +108,21 @@ void check_items(std::span<const KnapsackItem> items) {
 
 }  // namespace
 
+std::vector<FrontierEntry> min_knapsack_frontier(std::span<const KnapsackItem> items,
+                                                 double requirement,
+                                                 const common::Deadline& deadline) {
+  MCS_EXPECTS(requirement >= 0.0, "requirement must be non-negative");
+  check_items(items);
+  const auto [pool, frontier] = sweep(items, requirement, /*cost_cap=*/-1, deadline);
+  std::vector<FrontierEntry> entries;
+  entries.reserve(frontier.size());
+  for (std::int32_t state_index : frontier) {
+    const State& state = pool[static_cast<std::size_t>(state_index)];
+    entries.push_back({state.cost, state.contribution});
+  }
+  return entries;
+}
+
 std::optional<KnapsackSolution> solve_min_knapsack(std::span<const KnapsackItem> items,
                                                    double requirement,
                                                    const common::Deadline& deadline) {

@@ -35,6 +35,28 @@ struct KnapsackSolution {
   double total_contribution = 0.0;
 };
 
+/// One surviving Pareto state of the minimum-knapsack sweep, stripped of its
+/// reconstruction links: the subset's (already-scaled) integer cost and its
+/// capped contribution. Within a frontier costs are non-decreasing (equal
+/// costs can coexist at distinct contributions) and contributions strictly
+/// ascending.
+struct FrontierEntry {
+  std::int64_t scaled_cost = 0;
+  double contribution = 0.0;
+};
+
+/// The final Pareto frontier of the Algorithm 1 sweep over `items` with
+/// contributions capped at `requirement` — the values solve_min_knapsack
+/// scans, without materializing any subset. The single-task reward fast path
+/// builds one frontier per (winner, FPTAS subproblem) over the OTHER items
+/// and answers every critical-bid probe against it (DESIGN.md §8): the
+/// sweep's floating-point folds over without-winner subsets are exactly the
+/// ones a full re-solve would compute, which is what makes the reuse
+/// bit-identical. Polls `deadline` once per item, like solve_min_knapsack.
+std::vector<FrontierEntry> min_knapsack_frontier(std::span<const KnapsackItem> items,
+                                                 double requirement,
+                                                 const common::Deadline& deadline = {});
+
 /// Minimum-cost subset with total contribution >= requirement, or nullopt
 /// when even the full item set falls short. Contributions are capped at
 /// `requirement` during the DP (capping preserves optimality for a covering

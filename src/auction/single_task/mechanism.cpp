@@ -38,6 +38,7 @@ MechanismOutcome run_with_rule(const SingleTaskInstance& instance,
       .epsilon = config.single_task.epsilon,
       .binary_search_iterations = config.single_task.binary_search_iterations,
       .winner_rule = rule,
+      .probe_strategy = config.single_task.probe_strategy,
       .deadline = deadline};
   const auto& winners = outcome.allocation.winners;
   const obs::PhaseTimer reward_timer(telemetry);

@@ -60,7 +60,16 @@ Allocation solve_min_greedy(const SingleTaskInstance& instance, const common::De
       break;
     }
   }
-  MCS_ENSURES(common::approx_ge(covered, requirement), "feasible instance must be coverable");
+  if (!common::approx_ge(covered, requirement)) {
+    // Knife-edge instance: the total contribution equals the requirement to
+    // within rounding, so is_feasible() (an id-order sum) and the
+    // density-order accumulation above can disagree. Report infeasible
+    // rather than crash — the same guard solve_fptas applies when its DP
+    // and is_feasible() disagree. Critical-bid probes bisect onto exactly
+    // such boundaries, so this is reachable from any reward search.
+    result.feasible = false;
+    return result;
+  }
   const double greedy_cost = instance.cost_of(greedy);
 
   // Swap variant: drop the final pick and close the residual with the single
@@ -69,6 +78,10 @@ Allocation solve_min_greedy(const SingleTaskInstance& instance, const common::De
   std::vector<UserId> swap_set;
   if (!greedy.empty()) {
     std::vector<UserId> prefix(greedy.begin(), greedy.end() - 1);
+    std::vector<char> in_prefix(n, 0);
+    for (UserId user : prefix) {
+      in_prefix[static_cast<std::size_t>(user)] = 1;
+    }
     const double prefix_cover = covered - contributions[static_cast<std::size_t>(greedy.back())];
     const double residual = requirement - prefix_cover;
     UserId best_closer = -1;
@@ -79,7 +92,7 @@ Allocation solve_min_greedy(const SingleTaskInstance& instance, const common::De
         ++counters->deadline_polls;
       }
       const UserId user = order[k];
-      if (std::find(prefix.begin(), prefix.end(), user) != prefix.end()) {
+      if (in_prefix[static_cast<std::size_t>(user)] != 0) {
         continue;
       }
       const double cost = instance.bids[static_cast<std::size_t>(user)].cost;

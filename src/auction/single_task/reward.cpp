@@ -41,25 +41,33 @@ bool wins_with_contribution_scratch(SingleTaskInstance& scratch, UserId user, do
   return probe_wins(scratch, user, options);
 }
 
-// The bisection of Algorithm 3 over wins(q), shared by both probe paths.
+// The bisection of Algorithm 3 over wins(q), shared by all probe paths.
 // Monotonicity (Lemma 1): wins(q) is a step function, false below the
 // critical bid and true at/above it. Invariant: loses at lo, wins at hi.
+// Every probe — the two boundary probes included — runs behind the same
+// deadline poll and poll counter, so the budget covers every solve the
+// search issues, not just the bisection loop's.
 template <typename WinsFn>
 double bisect_critical(double declared, const RewardOptions& options, WinsFn&& wins) {
-  MCS_EXPECTS(wins(declared), "critical bid is only defined for winners");
-  if (wins(0.0)) {
+  const auto polled_wins = [&](double q) {
+    options.deadline.check("single-task critical-bid search");
+    if (options.counters != nullptr) {
+      ++options.counters->deadline_polls;
+    }
+    return wins(q);
+  };
+  MCS_EXPECTS(polled_wins(declared), "critical bid is only defined for winners");
+  if (polled_wins(0.0)) {
     return 0.0;
   }
   double lo = 0.0;
   double hi = declared;
   for (int iter = 0; iter < options.binary_search_iterations; ++iter) {
-    options.deadline.check("single-task critical-bid search");
     if (options.counters != nullptr) {
-      ++options.counters->deadline_polls;
       ++options.counters->bisection_steps;
     }
     const double mid = 0.5 * (lo + hi);
-    if (wins(mid)) {
+    if (polled_wins(mid)) {
       hi = mid;
     } else {
       lo = mid;
@@ -76,6 +84,22 @@ double critical_contribution(const SingleTaskInstance& instance, UserId winner,
   MCS_EXPECTS(options.binary_search_iterations > 0, "need at least one bisection step");
   const double declared = instance.contribution(winner);
 
+  if (options.winner_rule == WinnerRule::kFptas &&
+      options.probe_strategy == ProbeStrategy::kDpReuse) {
+    // Fast path: one reusable probe context per winner answers the whole
+    // bisection from reused DP frontiers (falling back to full solves only
+    // when its certificate cannot decide a probe). Min-Greedy probes stay on
+    // the full-solve path: its density order depends on the probed
+    // declaration, and a full greedy pass is O(n log n) anyway.
+    FptasProbeContext context(instance, winner, options.epsilon, options.deadline,
+                              options.counters);
+    return bisect_critical(declared, options, [&](double q) {
+      if (options.counters != nullptr) {
+        ++options.counters->probes;
+      }
+      return context.wins(q);
+    });
+  }
   if (options.scratch_probes) {
     SingleTaskInstance scratch = instance;  // one copy for the whole search
     return bisect_critical(declared, options, [&](double q) {

@@ -29,8 +29,15 @@ struct RewardOptions {
   double epsilon = 0.1;            ///< FPTAS parameter used by the re-runs
   int binary_search_iterations = 48;  ///< ~1e-14 relative precision on q̄
   WinnerRule winner_rule = WinnerRule::kFptas;
-  /// Cooperative wall-clock budget; polled once per bisection step and
-  /// threaded into the FPTAS and Min-Greedy re-runs.
+  /// How FPTAS critical-bid probes are answered: kDpReuse (default) builds
+  /// one FptasProbeContext per winner and answers probes from reused
+  /// without-winner DP frontiers; kFullSolve re-runs the winner
+  /// determination per probe (the oracle the fast path is differential-
+  /// tested against). Bit-identical outcomes either way; Min-Greedy probes
+  /// always full-solve. See DESIGN.md §8.
+  ProbeStrategy probe_strategy = ProbeStrategy::kDpReuse;
+  /// Cooperative wall-clock budget; polled once per probe and threaded into
+  /// the FPTAS and Min-Greedy re-runs.
   common::Deadline deadline = {};
   /// Answer each critical-bid probe by mutating one reusable scratch copy of
   /// the instance (save/restore the winner's declared PoS around the probe)

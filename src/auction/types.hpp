@@ -108,10 +108,27 @@ enum class GreedyAlgorithm {
   kReferenceScan,
 };
 
+/// How the single-task critical-bid search answers its wins(q) probes.
+/// kDpReuse is the fast path: one without-winner knapsack frontier per
+/// (winner, FPTAS subproblem), built once per critical-bid search and
+/// combined with the probed declaration in O(log states) per bisection step;
+/// probes whose outcome could differ from a full re-solve by floating-point
+/// reassociation (detected by an interval certificate) fall back to the full
+/// solve, so the two strategies are bit-identical (asserted by
+/// tests/st_probe_equivalence_test.cpp). kFullSolve re-runs winner
+/// determination from scratch on every probe — the oracle and the benchmark
+/// baseline. Min-Greedy probes always full-solve (already cheap).
+enum class ProbeStrategy {
+  kDpReuse,
+  kFullSolve,
+};
+
 /// Knobs only the single-task (FPTAS) family reads.
 struct SingleTaskKnobs {
   double epsilon = 0.1;               ///< FPTAS approximation parameter
   int binary_search_iterations = 48;  ///< ~1e-14 relative precision on q̄
+  /// Probe strategy of the critical-bid reward search (see ProbeStrategy).
+  ProbeStrategy probe_strategy = ProbeStrategy::kDpReuse;
 };
 
 /// Knobs only the multi-task single-minded family reads.

@@ -39,6 +39,10 @@ void append_phase_json(std::string& out, const PhaseCounters& phase) {
   append_json_number(out, phase.heap_reevaluations);
   out += ",\"bisection_steps\":";
   append_json_number(out, phase.bisection_steps);
+  out += ",\"dp_reuse_hits\":";
+  append_json_number(out, phase.dp_reuse_hits);
+  out += ",\"dp_reuse_fallbacks\":";
+  append_json_number(out, phase.dp_reuse_fallbacks);
   out += "}";
 }
 
@@ -67,6 +71,8 @@ PhaseCounters& PhaseCounters::operator+=(const PhaseCounters& other) {
   rounds += other.rounds;
   heap_reevaluations += other.heap_reevaluations;
   bisection_steps += other.bisection_steps;
+  dp_reuse_hits += other.dp_reuse_hits;
+  dp_reuse_fallbacks += other.dp_reuse_fallbacks;
   return *this;
 }
 

@@ -1,7 +1,9 @@
-// Fast perf-smoke gate (seconds, not minutes): runs the multi-task scaling
-// suite's shape at tiny sizes and asserts the optimized path (lazy greedy +
-// masked re-solves + parallel rewards) agrees with the reference path
-// (full-rescan winner determination + copied-instance probes) END TO END —
+// Fast perf-smoke gate (seconds, not minutes): runs both scaling suites'
+// shapes at tiny sizes and asserts each optimized path — the multi-task one
+// (lazy greedy + masked re-solves + parallel rewards) and the single-task
+// critical-bid DP-reuse fast path — agrees with its reference/oracle path
+// (full-rescan winner determination + copied-instance or full-solve probes)
+// END TO END —
 // the same invariant bench/perf_mechanisms measures at n up to 400, wired
 // into every preset's ctest run so a correctness regression in the hot path
 // can never hide behind a green unit suite. Carries the `parallel` label so
@@ -16,6 +18,7 @@
 #include <utility>
 
 #include "auction/multi_task/mechanism.hpp"
+#include "auction/single_task/mechanism.hpp"
 #include "bench_shapes.hpp"
 #include "obs/telemetry.hpp"
 #include "test_util.hpp"
@@ -42,6 +45,49 @@ TEST(PerfSmoke, LazyAndReferenceMechanismsAgreeAcrossTinyScalingSweep) {
       std::cout << "[perf-smoke] n=" << n << " seed=" << seed << " winners="
                 << optimized.allocation.winners.size() << " lazy_ms="
                 << lazy_elapsed.count() * 1e3 << "\n";
+    }
+  }
+  // The reward (critical-bid) phase only runs on feasible covers; the sweep
+  // must exercise it, not just winner determination.
+  EXPECT_GT(feasible, 0u);
+}
+
+TEST(PerfSmoke, SingleTaskFastProbesAgreeWithOracleAcrossTinyScalingSweep) {
+  // The single-task counterpart of the gate above: on the exact shape
+  // bench/perf_mechanisms measures at n up to 400, the critical-bid DP-reuse
+  // fast path (the default) must agree with the full-solve oracle END TO
+  // END — winners, critical bids, rewards, degradation flags — at tiny n,
+  // every ctest run, under every preset. Also checks the fast path's probe
+  // accounting: each probe is a reuse hit or a counted fallback, never
+  // unaccounted.
+  auction::MechanismConfig fast;  // default: ProbeStrategy::kDpReuse
+  fast.single_task.epsilon = 0.5;
+  auction::MechanismConfig oracle = fast;
+  oracle.single_task.probe_strategy = ProbeStrategy::kFullSolve;
+  std::size_t feasible = 0;
+  for (const std::size_t n : {10, 20, 40}) {
+    for (const std::uint64_t seed : {21ull, 22ull}) {
+      const auto instance = bench_shapes::single_task_scaling_instance(n, seed);
+      const obs::ScopedTelemetry telemetry(true);
+      const auto start = std::chrono::steady_clock::now();
+      const auto optimized = single_task::run_mechanism(instance, fast);
+      const std::chrono::duration<double> fast_elapsed =
+          std::chrono::steady_clock::now() - start;
+      const auto baseline = single_task::run_mechanism(instance, oracle);
+      test::expect_identical_outcome(optimized, baseline);
+      feasible += optimized.allocation.feasible ? 1 : 0;
+      if (optimized.allocation.feasible) {
+        const auto& rewards = optimized.telemetry.rewards;
+        EXPECT_EQ(rewards.dp_reuse_hits + rewards.dp_reuse_fallbacks, rewards.probes)
+            << "n=" << n << " seed=" << seed;
+        EXPECT_EQ(baseline.telemetry.rewards.dp_reuse_hits +
+                      baseline.telemetry.rewards.dp_reuse_fallbacks,
+                  0u)
+            << "n=" << n << " seed=" << seed;
+      }
+      std::cout << "[perf-smoke] single-task n=" << n << " seed=" << seed << " winners="
+                << optimized.allocation.winners.size() << " fast_ms="
+                << fast_elapsed.count() * 1e3 << "\n";
     }
   }
   // The reward (critical-bid) phase only runs on feasible covers; the sweep

@@ -98,7 +98,13 @@ TEST(CriticalBid, ScratchProbesAreBitIdenticalToCopiedProbes) {
   for (std::uint64_t seed : {41ULL, 42ULL, 43ULL, 44ULL}) {
     const auto instance = test::random_single_task(15, 0.8, seed);
     for (const WinnerRule rule : {WinnerRule::kFptas, WinnerRule::kMinGreedy}) {
-      RewardOptions scratch{.alpha = 10.0, .epsilon = 0.5, .winner_rule = rule};
+      // Pin the full-solve strategy: with kDpReuse the FPTAS search answers
+      // from the probe context before the scratch/copied split is reached,
+      // and this test is specifically about the two full-solve probe paths.
+      RewardOptions scratch{.alpha = 10.0,
+                            .epsilon = 0.5,
+                            .winner_rule = rule,
+                            .probe_strategy = ProbeStrategy::kFullSolve};
       RewardOptions copied = scratch;
       copied.scratch_probes = false;
       const auto allocation = rule == WinnerRule::kFptas
