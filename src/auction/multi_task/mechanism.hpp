@@ -10,12 +10,6 @@
 
 namespace mcs::auction::multi_task {
 
-/// Transitional name for the unified config; scheduled for removal one
-/// release after its introduction. The per-family field moved:
-/// critical_bid_rule now lives in MechanismConfig::multi_task.
-using MechanismConfig [[deprecated("use mcs::auction::MechanismConfig")]] =
-    auction::MechanismConfig;
-
 /// Runs the full strategy-proof multi-task mechanism. Reads config.alpha,
 /// config.multi_task.*, and the reward-parallelism fields. For infeasible
 /// instances the allocation is infeasible and no rewards are issued.

@@ -10,12 +10,6 @@
 
 namespace mcs::auction::single_task {
 
-/// Transitional name for the unified config; scheduled for removal one
-/// release after its introduction. The per-family fields moved: epsilon and
-/// binary_search_iterations now live in MechanismConfig::single_task.
-using MechanismConfig [[deprecated("use mcs::auction::MechanismConfig")]] =
-    auction::MechanismConfig;
-
 /// Runs the full strategy-proof single-task mechanism. Reads config.alpha,
 /// config.single_task.*, and the reward-parallelism fields. The returned
 /// outcome holds the allocation and one EC reward per winner. For infeasible

@@ -348,6 +348,12 @@ std::string config_fingerprint(const CampaignConfig& config) {
       << " exec=" << static_cast<int>(config.execution)                      //
       << " budget=" << format_double(config.budget)                          //
       << " auction_seconds=" << format_double(config.auction_time_budget_seconds);
+  if (config.shards != 1) {
+    // Only non-default so every pre-sharding journal (implicitly shards=1)
+    // keeps resuming: sharded rounds can differ once users straddle shards,
+    // so splicing across shard counts must be refused.
+    out << " shards=" << config.shards;
+  }
   return out.str();
 }
 

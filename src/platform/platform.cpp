@@ -13,6 +13,20 @@ namespace mcs::platform {
 
 namespace {
 
+/// The service configuration a campaign's rounds run under: the campaign's
+/// mechanism knobs plus its shard count (cell-modulo policy). The service's
+/// own journal stays off — the campaign journal also captures platform state
+/// (positions, rng, reputation), which the round-outcome journal cannot.
+service::ServiceConfig service_config_for(const CampaignConfig& config) {
+  service::ServiceConfig service_config;
+  service_config.shards = service::ShardMap(config.shards);
+  service_config.mechanism =
+      auction::MechanismConfig{.alpha = config.alpha,
+                               .time_budget_seconds = config.auction_time_budget_seconds,
+                               .multi_task = {.critical_bid_rule = config.critical_bid_rule}};
+  return service_config;
+}
+
 void accumulate(CampaignReport& report, const RoundReport& round) {
   report.total_payout += round.payout;
   report.total_social_cost += round.social_cost;
@@ -69,7 +83,11 @@ double CampaignReport::top_winner_share() const {
 
 Platform::Platform(const trace::CityModel& city, const mobility::FleetModel& fleet,
                    const CampaignConfig& config)
-    : city_(city), fleet_(fleet), config_(config), rng_(config.seed) {
+    : city_(city),
+      fleet_(fleet),
+      config_(config),
+      service_(service_config_for(config)),
+      rng_(config.seed) {
   MCS_EXPECTS(config.rounds > 0, "campaign needs at least one round");
   MCS_EXPECTS(config.num_tasks > 0, "campaign needs at least one task per round");
   MCS_EXPECTS(config.num_bidders > 0, "campaign needs at least one bidder per round");
@@ -242,13 +260,14 @@ RoundReport Platform::run_round(std::size_t round, double budget_left) {
     return report;  // nothing coverable this slot
   }
 
-  const auction::MechanismConfig mechanism{
-      .alpha = config_.alpha,
-      .time_budget_seconds = config_.auction_time_budget_seconds,
-      .multi_task = {.critical_bid_rule = config_.critical_bid_rule}};
-  // Isolated dispatch: a throwing or deadline-exceeding auction skips this
-  // round (captured in the report) instead of aborting the whole campaign.
-  const auto slot = engine_.run_one_isolated(scenario->instance, mechanism);
+  // Isolated dispatch through the campaign service: a throwing or
+  // deadline-exceeding auction skips this round (captured in the report)
+  // instead of aborting the whole campaign. Submit-then-wait keeps this
+  // blocking loop's behaviour while the async surface stays available to
+  // direct service users.
+  const auto round_id =
+      service_.submit_round(service::GeoRound{scenario->instance, scenario->task_cells});
+  const auto slot = service_.wait_outcome(round_id);
   report.degraded = slot.outcome.degraded;
   report.error = slot.error;
   report.telemetry = slot.outcome.telemetry;

@@ -24,9 +24,9 @@
 #include <string>
 #include <vector>
 
-#include "auction/engine.hpp"
 #include "mobility/pos.hpp"
 #include "platform/reputation.hpp"
+#include "service/service.hpp"
 #include "sim/scenario.hpp"
 #include "trace/generator.hpp"
 
@@ -80,6 +80,12 @@ struct CampaignConfig {
   /// (format mcs-journal-v1, see platform/journal.hpp) and run_campaign
   /// resumes from the last journaled round after a crash or kill.
   std::filesystem::path journal_path;
+  /// Geo shards each round's auction is partitioned into (cell-modulo
+  /// policy, see service/shard.hpp). 1 — the default, and the only value
+  /// legacy journals were written under — is the unsharded pass-through,
+  /// bit-identical to dispatching the flat instance; > 1 trades the border
+  /// straddlers' out-of-shard task entries for per-shard mechanism runs.
+  std::size_t shards = 1;
   std::uint64_t seed = 1;
 };
 
@@ -134,6 +140,13 @@ struct CampaignReport {
 /// The running platform: owns the per-taxi position state and drives the
 /// auction/execution/settlement loop over a fixed city and learned fleet.
 /// The city model and fleet must outlive the platform.
+///
+/// run_campaign is the blocking compatibility surface over the geo-sharded
+/// service::CampaignService: each round is submitted as a GeoRound and
+/// awaited synchronously, so with the default single shard every campaign
+/// output (reports, journal, resume) is bit-identical to the pre-service
+/// engine dispatch. Callers wanting the async submit/poll/stream surface use
+/// the service directly.
 class Platform {
  public:
   Platform(const trace::CityModel& city, const mobility::FleetModel& fleet,
@@ -159,9 +172,10 @@ class Platform {
   const trace::CityModel& city_;
   const mobility::FleetModel& fleet_;
   CampaignConfig config_;
-  /// Shares the process-wide pool; every round's auction is submitted here
-  /// so the critical-bid computations reuse long-lived workers.
-  auction::Engine engine_;
+  /// The sharded campaign service every round's auction goes through
+  /// (sharing the process-wide pool, so the critical-bid computations reuse
+  /// long-lived workers); run_round submits and waits synchronously.
+  service::CampaignService service_;
   common::Rng rng_;
   std::vector<geo::CellId> positions_;  ///< indexed by position in fleet_.taxis()
   ReputationTracker reputation_;

@@ -1,0 +1,374 @@
+#include "service/journal.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace mcs::service {
+
+namespace {
+
+constexpr const char* kHeader = "mcs-service-journal-v1";
+
+std::string format_double(double value) {
+  char buffer[64];
+  // %.17g round-trips every double exactly — replayed outcomes are
+  // bit-identical to the computed ones.
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+[[noreturn]] void fail(std::size_t line_number, const std::string& message) {
+  throw common::PreconditionError("service journal, line " + std::to_string(line_number) + ": " +
+                                  message);
+}
+
+struct Line {
+  std::size_t number = 0;
+  std::vector<std::string> tokens;
+  std::string raw_text;  ///< only for the `config` and `error` directives
+  std::size_t end_offset = 0;
+  bool terminated = false;  ///< false on a torn (no trailing '\n') last line
+};
+
+std::vector<Line> meaningful_lines(const std::string& text) {
+  std::vector<Line> lines;
+  std::size_t number = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    ++number;
+    const auto newline = text.find('\n', pos);
+    const bool terminated = newline != std::string::npos;
+    const std::size_t end_offset = terminated ? newline + 1 : text.size();
+    std::string raw = text.substr(pos, (terminated ? newline : text.size()) - pos);
+    pos = end_offset;
+    if (!raw.empty() && raw.back() == '\r') {
+      raw.pop_back();
+    }
+    const auto first = raw.find_first_not_of(" \t");
+    if (first == std::string::npos || raw[first] == '#') {
+      continue;
+    }
+    const auto first_end = raw.find_first_of(" \t", first);
+    const std::string keyword = raw.substr(first, first_end - first);
+    Line line;
+    line.number = number;
+    line.end_offset = end_offset;
+    line.terminated = terminated;
+    if (keyword == "error" || keyword == "config") {
+      const auto value = raw.find_first_not_of(" \t", first_end);
+      line.tokens = {keyword};
+      line.raw_text = value == std::string::npos ? "" : raw.substr(value);
+    } else {
+      std::string body = raw;
+      const auto comment = body.find('#');
+      if (comment != std::string::npos) {
+        body.resize(comment);
+      }
+      std::istringstream fields(body);
+      std::string token;
+      while (fields >> token) {
+        line.tokens.push_back(std::move(token));
+      }
+    }
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+double parse_double(const std::string& token, std::size_t line_number) {
+  double value{};
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    fail(line_number, "malformed number '" + token + "'");
+  }
+  return value;
+}
+
+std::uint64_t parse_u64(const std::string& token, std::size_t line_number) {
+  std::uint64_t value{};
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    fail(line_number, "malformed count '" + token + "'");
+  }
+  return value;
+}
+
+std::int32_t parse_i32(const std::string& token, std::size_t line_number) {
+  std::int64_t value{};
+  const char* begin = token.data();
+  const char* end = begin + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end || value < std::numeric_limits<std::int32_t>::min() ||
+      value > std::numeric_limits<std::int32_t>::max()) {
+    fail(line_number, "malformed id '" + token + "'");
+  }
+  return static_cast<std::int32_t>(value);
+}
+
+auction::AuctionStatus parse_status(const std::string& token, std::size_t line_number) {
+  for (const auto status :
+       {auction::AuctionStatus::kOk, auction::AuctionStatus::kDegraded,
+        auction::AuctionStatus::kTimedOut, auction::AuctionStatus::kFailed}) {
+    if (token == auction::to_string(status)) {
+      return status;
+    }
+  }
+  fail(line_number, "unknown status '" + token + "'");
+}
+
+std::string flatten_newlines(std::string text) {
+  for (char& c : text) {
+    if (c == '\n' || c == '\r') {
+      c = ' ';
+    }
+  }
+  return text;
+}
+
+/// Cursor over the meaningful lines of one block.
+class BlockReader {
+ public:
+  BlockReader(const std::vector<Line>& lines, std::size_t index) : lines_(lines), index_(index) {}
+
+  std::size_t index() const { return index_; }
+  bool at_end() const { return index_ >= lines_.size(); }
+  const Line& peek() const { return lines_[index_]; }
+
+  const Line& expect(const std::string& keyword) {
+    if (at_end()) {
+      fail(lines_.empty() ? 1 : lines_.back().number + 1, "expected '" + keyword + "'");
+    }
+    const Line& line = lines_[index_++];
+    if (line.tokens.front() != keyword) {
+      fail(line.number, "expected '" + keyword + "', found '" + line.tokens.front() + "'");
+    }
+    return line;
+  }
+
+  std::size_t expect_count(const std::string& keyword) {
+    const Line& line = expect(keyword);
+    if (line.tokens.size() < 2) {
+      fail(line.number, "expected '" + keyword + " <count> ...'");
+    }
+    return static_cast<std::size_t>(parse_u64(line.tokens[1], line.number));
+  }
+
+ private:
+  const std::vector<Line>& lines_;
+  std::size_t index_;
+};
+
+bool parse_flag(const Line& line) {
+  if (line.tokens.size() != 2 || (line.tokens[1] != "0" && line.tokens[1] != "1")) {
+    fail(line.number, "expected '" + line.tokens.front() + " 0|1'");
+  }
+  return line.tokens[1] == "1";
+}
+
+}  // namespace
+
+std::string to_text(const ServiceJournalRecord& record) {
+  std::ostringstream out;
+  out << "begin round " << record.round << "\n";
+  out << "status " << auction::to_string(record.status) << "\n";
+  out << "users " << record.users << "\n";
+  out << "tasks " << record.tasks << "\n";
+  out << "shards_run " << record.shards_run << "\n";
+  out << "straddlers " << record.straddlers << "\n";
+  out << "feasible " << (record.outcome.allocation.feasible ? 1 : 0) << "\n";
+  out << "degraded " << (record.outcome.degraded ? 1 : 0) << "\n";
+  out << "winners " << record.outcome.allocation.winners.size();
+  for (auction::UserId winner : record.outcome.allocation.winners) {
+    out << ' ' << winner;
+  }
+  out << "\n";
+  out << "total_cost " << format_double(record.outcome.allocation.total_cost) << "\n";
+  out << "uncovered " << record.outcome.uncovered_tasks.size();
+  for (auction::TaskIndex task : record.outcome.uncovered_tasks) {
+    out << ' ' << task;
+  }
+  out << "\n";
+  out << "rewards " << record.outcome.rewards.size() << "\n";
+  for (const auto& reward : record.outcome.rewards) {
+    out << "reward " << reward.user << ' ' << format_double(reward.critical_contribution) << ' '
+        << format_double(reward.reward.critical_pos) << ' ' << format_double(reward.reward.cost)
+        << ' ' << format_double(reward.reward.alpha) << "\n";
+  }
+  if (!record.error.empty()) {
+    out << "error " << flatten_newlines(record.error) << "\n";
+  }
+  out << "end round " << record.round << "\n";
+  return out.str();
+}
+
+ReplayedServiceJournal parse_service_journal(const std::string& text) {
+  const auto lines = meaningful_lines(text);
+  if (lines.empty() || lines.front().tokens.size() != 1 || lines.front().tokens.front() != kHeader) {
+    fail(lines.empty() ? 1 : lines.front().number, "missing mcs-service-journal-v1 header");
+  }
+  ReplayedServiceJournal result;
+  if (!lines.front().terminated) {
+    return result;  // torn header write: nothing valid yet
+  }
+  result.valid_bytes = lines.front().end_offset;
+  std::size_t i = 1;
+  if (i < lines.size() && lines[i].tokens.front() == "config") {
+    if (!lines[i].terminated) {
+      return result;
+    }
+    result.config = lines[i].raw_text;
+    result.valid_bytes = lines[i].end_offset;
+    ++i;
+  }
+  while (i < lines.size()) {
+    BlockReader reader(lines, i);
+    ServiceJournalRecord record;
+    bool complete = true;
+    try {
+      const Line& begin = reader.expect("begin");
+      if (begin.tokens.size() != 3 || begin.tokens[1] != "round") {
+        fail(begin.number, "expected 'begin round <n>'");
+      }
+      record.round = parse_u64(begin.tokens[2], begin.number);
+      {
+        const Line& line = reader.expect("status");
+        if (line.tokens.size() != 2) {
+          fail(line.number, "expected 'status <value>'");
+        }
+        record.status = parse_status(line.tokens[1], line.number);
+      }
+      record.users = reader.expect_count("users");
+      record.tasks = reader.expect_count("tasks");
+      record.shards_run = reader.expect_count("shards_run");
+      record.straddlers = reader.expect_count("straddlers");
+      record.outcome.allocation.feasible = parse_flag(reader.expect("feasible"));
+      record.outcome.degraded = parse_flag(reader.expect("degraded"));
+      {
+        const Line& line = reader.expect("winners");
+        const auto count = parse_u64(line.tokens[1], line.number);
+        if (line.tokens.size() != count + 2) {
+          fail(line.number, "winner count does not match the listed ids");
+        }
+        for (std::size_t k = 0; k < count; ++k) {
+          record.outcome.allocation.winners.push_back(parse_i32(line.tokens[k + 2], line.number));
+        }
+      }
+      {
+        const Line& line = reader.expect("total_cost");
+        if (line.tokens.size() != 2) {
+          fail(line.number, "expected 'total_cost <value>'");
+        }
+        record.outcome.allocation.total_cost = parse_double(line.tokens[1], line.number);
+      }
+      {
+        const Line& line = reader.expect("uncovered");
+        const auto count = parse_u64(line.tokens[1], line.number);
+        if (line.tokens.size() != count + 2) {
+          fail(line.number, "uncovered count does not match the listed tasks");
+        }
+        for (std::size_t k = 0; k < count; ++k) {
+          record.outcome.uncovered_tasks.push_back(parse_i32(line.tokens[k + 2], line.number));
+        }
+      }
+      const std::size_t reward_count = reader.expect_count("rewards");
+      for (std::size_t k = 0; k < reward_count; ++k) {
+        const Line& line = reader.expect("reward");
+        if (line.tokens.size() != 6) {
+          fail(line.number, "expected 'reward <user> <q> <p> <cost> <alpha>'");
+        }
+        auction::WinnerReward reward;
+        reward.user = parse_i32(line.tokens[1], line.number);
+        reward.critical_contribution = parse_double(line.tokens[2], line.number);
+        reward.reward.critical_pos = parse_double(line.tokens[3], line.number);
+        reward.reward.cost = parse_double(line.tokens[4], line.number);
+        reward.reward.alpha = parse_double(line.tokens[5], line.number);
+        record.outcome.rewards.push_back(reward);
+      }
+      if (!reader.at_end() && reader.peek().tokens.front() == "error") {
+        record.error = reader.peek().raw_text;
+        reader.expect("error");
+      }
+      const Line& end = reader.expect("end");
+      if (end.tokens.size() != 3 || end.tokens[1] != "round" ||
+          parse_u64(end.tokens[2], end.number) != record.round) {
+        fail(end.number, "expected 'end round " + std::to_string(record.round) + "'");
+      }
+      if (!end.terminated) {
+        complete = false;  // torn final line: drop the block
+      } else {
+        result.valid_bytes = end.end_offset;
+        i = reader.index();
+      }
+    } catch (const common::PreconditionError&) {
+      // Corruption in the LAST block is a torn append and is dropped; any
+      // complete block after the corruption point means real damage.
+      bool more_blocks = false;
+      for (std::size_t k = reader.index(); k < lines.size(); ++k) {
+        if (lines[k].tokens.front() == "end" && lines[k].terminated) {
+          more_blocks = true;
+        }
+      }
+      if (more_blocks) {
+        throw;
+      }
+      complete = false;
+    }
+    if (!complete) {
+      break;
+    }
+    const std::size_t expected = result.records.size();
+    if (record.round != expected) {
+      fail(lines[i > 0 ? i - 1 : 0].number, "journal rounds are not contiguous from 0");
+    }
+    result.records.push_back(std::move(record));
+  }
+  return result;
+}
+
+ReplayedServiceJournal load_service_journal(const std::filesystem::path& path) {
+  if (!std::filesystem::exists(path)) {
+    return {};
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open service journal: " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_service_journal(buffer.str());
+}
+
+ServiceJournalWriter::ServiceJournalWriter(const std::filesystem::path& path,
+                                           const std::string& config_fingerprint)
+    : path_(path) {
+  const bool fresh = !std::filesystem::exists(path) || std::filesystem::file_size(path) == 0;
+  out_.open(path, std::ios::binary | std::ios::app);
+  if (!out_) {
+    throw std::runtime_error("cannot open service journal for appending: " + path.string());
+  }
+  if (fresh) {
+    out_ << kHeader << "\n";
+    if (!config_fingerprint.empty()) {
+      out_ << "config " << config_fingerprint << "\n";
+    }
+    out_.flush();
+  }
+}
+
+void ServiceJournalWriter::append(const ServiceJournalRecord& record) {
+  out_ << to_text(record);
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("service journal append failed: " + path_.string());
+  }
+}
+
+}  // namespace mcs::service

@@ -1,0 +1,103 @@
+// Append-only round-outcome journal (mcs-service-journal-v1): the campaign
+// service's durability story. After every COMPUTED round the service appends
+// one self-contained block holding the round's merged outcome; a service
+// restarted on the same journal serves those rounds straight from disk
+// (RoundOutcome::replayed_from_journal) instead of recomputing them, so a
+// crashed traffic stream resumes with every settled round bit-identical
+// (doubles are written with %.17g and round-trip exactly).
+//
+// Format, following the platform journal's text conventions ('#' comments
+// and blank lines ignored; the `config` and `error` directives take the raw
+// remainder of their line, with newlines in error text flattened to spaces):
+//
+//     mcs-service-journal-v1
+//     config shards=4 policy=0 alpha=10 ...   # fingerprint of the service
+//     begin round 0
+//     status ok                      # ok | degraded | timed-out | failed
+//     users 100                      # sanity echo of the submitted round
+//     tasks 12
+//     shards_run 4
+//     straddlers 3
+//     feasible 1
+//     degraded 0
+//     winners 3 1 5 9                # count, then ascending global user ids
+//     total_cost 37.25
+//     uncovered 0                    # count, then ascending task indices
+//     rewards 3                      # count, then one `reward` line each
+//     reward 1 0.51 0.4 12.5 10      # user q̄ p̄ cost alpha
+//     error <raw text>               # only present when non-empty
+//     end round 0
+//
+// A block is only valid once its newline-terminated `end round N` line is
+// present: a torn tail (the service died mid-append) is detected and dropped
+// on replay, and the writer truncates to the valid prefix before appending.
+// Corruption before the last complete block throws. The `config` line
+// fingerprints every knob that shapes a round's outcome (shard map,
+// mechanism config); replaying under a different configuration throws, since
+// the journaled outcomes would not match what the service would compute.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "auction/engine.hpp"
+
+namespace mcs::service {
+
+/// Round identifier assigned by the service, sequential from 0.
+using RoundId = std::uint64_t;
+
+/// One journaled round: the merged outcome plus the round-shape echo used to
+/// detect a diverging resubmission. Telemetry is deliberately not journaled
+/// — it describes the run that computed the outcome, not the outcome.
+struct ServiceJournalRecord {
+  RoundId round = 0;
+  auction::AuctionStatus status = auction::AuctionStatus::kOk;
+  std::size_t users = 0;  ///< submitted round's user count
+  std::size_t tasks = 0;  ///< submitted round's task count
+  std::size_t shards_run = 0;
+  std::size_t straddlers = 0;
+  auction::MechanismOutcome outcome;
+  std::string error;
+};
+
+/// Serializes one record as a journal block (without the file header).
+std::string to_text(const ServiceJournalRecord& record);
+
+/// A parsed service journal: complete records plus what a safe append needs.
+struct ReplayedServiceJournal {
+  std::vector<ServiceJournalRecord> records;  ///< ascending, contiguous from 0
+  /// Byte length of the valid prefix; anything past it is a torn tail.
+  std::size_t valid_bytes = 0;
+  /// Raw `config` fingerprint; empty when the journal has none.
+  std::string config;
+};
+
+/// Parses a full journal's text. Throws PreconditionError (with line number)
+/// on a bad header or corruption before the last complete block; an
+/// incomplete trailing block is silently dropped.
+ReplayedServiceJournal parse_service_journal(const std::string& text);
+
+/// Loads and parses a journal file. A missing file is an empty journal;
+/// other I/O failures throw std::runtime_error naming the path.
+ReplayedServiceJournal load_service_journal(const std::filesystem::path& path);
+
+/// Appends records to a journal file, creating it (header + `config` line)
+/// when absent or empty. Each append is flushed before returning.
+class ServiceJournalWriter {
+ public:
+  explicit ServiceJournalWriter(const std::filesystem::path& path,
+                                const std::string& config_fingerprint = {});
+
+  void append(const ServiceJournalRecord& record);
+
+ private:
+  std::filesystem::path path_;
+  std::ofstream out_;
+};
+
+}  // namespace mcs::service

@@ -1,0 +1,343 @@
+#include "service/service.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace mcs::service {
+
+namespace {
+
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+/// Registry ids of the service's process-wide metrics, resolved once.
+struct ServiceMetrics {
+  obs::Registry::MetricId submitted;
+  obs::Registry::MetricId completed;
+  obs::Registry::MetricId replayed;
+  obs::Registry::MetricId queue_depth;
+
+  static const ServiceMetrics& get() {
+    static const ServiceMetrics metrics{
+        obs::Registry::global().metric("service.rounds_submitted"),
+        obs::Registry::global().metric("service.rounds_completed"),
+        obs::Registry::global().metric("service.rounds_replayed"),
+        obs::Registry::global().metric("service.queue_depth"),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
+
+std::string to_json(const RoundTelemetry& telemetry) {
+  std::ostringstream out;
+  out << "{\"round\":" << telemetry.round                        //
+      << ",\"status\":\"" << auction::to_string(telemetry.status) << '"'  //
+      << ",\"shards_run\":" << telemetry.shards_run              //
+      << ",\"straddlers\":" << telemetry.straddlers              //
+      << ",\"latency_seconds\":" << format_double(telemetry.latency_seconds)
+      << ",\"replayed\":" << (telemetry.replayed_from_journal ? 1 : 0)
+      << ",\"mechanism\":" << obs::to_json(telemetry.mechanism) << '}';
+  return out.str();
+}
+
+std::string service_config_fingerprint(const ServiceConfig& config) {
+  // Only knobs that shape outcomes; see the declaration for what is excluded
+  // (everything covered by a bit-identity contract, plus queue/thread sizes).
+  const auto& m = config.mechanism;
+  std::ostringstream out;
+  out << "shards=" << config.shards.shard_count()                          //
+      << " shard_policy=" << static_cast<int>(config.shards.policy())      //
+      << " alpha=" << format_double(m.alpha)                               //
+      << " auction_seconds=" << format_double(m.time_budget_seconds)       //
+      << " degrade=" << (m.degrade_on_timeout ? 1 : 0)                     //
+      << " epsilon=" << format_double(m.single_task.epsilon)               //
+      << " bisect_iters=" << m.single_task.binary_search_iterations        //
+      << " rule=" << static_cast<int>(m.multi_task.critical_bid_rule)      //
+      << " partial=" << (m.multi_task.partial_coverage ? 1 : 0);
+  return out.str();
+}
+
+CampaignService::CampaignService(const ServiceConfig& config)
+    : config_(config), engine_(auction::EngineOptions{.workers = config.workers}) {
+  MCS_EXPECTS(config.queue_capacity >= 1, "service queue needs capacity >= 1");
+  MCS_EXPECTS(config.shards.shard_count() == 1 ||
+                  config.mechanism.multi_task.critical_bid_rule !=
+                      auction::CriticalBidRule::kPaperIterationMin,
+              "CriticalBidRule::kPaperIterationMin is not shard-decomposable (its minimum "
+              "ranges over the GLOBAL without-i iteration sequence); use kBinarySearch or a "
+              "single shard");
+  if (!config_.journal_path.empty()) {
+    const auto fingerprint = service_config_fingerprint(config_);
+    auto replayed = load_service_journal(config_.journal_path);
+    if (replayed.config.empty()) {
+      MCS_EXPECTS(replayed.records.empty(),
+                  "service journal has rounds but no config fingerprint");
+    } else {
+      MCS_EXPECTS(replayed.config == fingerprint,
+                  "service journal was written under a different service configuration; "
+                  "replaying it would serve outcomes this service would not compute");
+    }
+    journaled_ = std::move(replayed.records);
+    // Drop any torn tail before appending, as the platform journal does: the
+    // next round's block must follow the last complete one.
+    if (std::filesystem::exists(config_.journal_path) &&
+        std::filesystem::file_size(config_.journal_path) > replayed.valid_bytes) {
+      std::filesystem::resize_file(config_.journal_path, replayed.valid_bytes);
+    }
+    journal_ = std::make_unique<ServiceJournalWriter>(config_.journal_path, fingerprint);
+  }
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+CampaignService::~CampaignService() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  queue_ready_.notify_all();
+  dispatcher_.join();
+}
+
+RoundId CampaignService::submit_round(GeoRound round) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  queue_space_.wait(lock, [this] { return queue_.size() < config_.queue_capacity; });
+  const RoundId id = next_round_++;
+  queue_.push_back(Request{id, std::move(round)});
+  ++stats_.submitted;
+  obs::Registry::global().add(ServiceMetrics::get().submitted, 1);
+  obs::Registry::global().add(ServiceMetrics::get().queue_depth, 1);
+  lock.unlock();
+  queue_ready_.notify_one();
+  return id;
+}
+
+std::optional<RoundId> CampaignService::try_submit_round(GeoRound round) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (queue_.size() >= config_.queue_capacity) {
+    return std::nullopt;
+  }
+  const RoundId id = next_round_++;
+  queue_.push_back(Request{id, std::move(round)});
+  ++stats_.submitted;
+  obs::Registry::global().add(ServiceMetrics::get().submitted, 1);
+  obs::Registry::global().add(ServiceMetrics::get().queue_depth, 1);
+  lock.unlock();
+  queue_ready_.notify_one();
+  return id;
+}
+
+std::optional<RoundOutcome> CampaignService::poll_outcome(RoundId round) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MCS_EXPECTS(round < next_round_, "poll_outcome: round was never submitted");
+  const auto it = completed_.find(round);
+  if (it != completed_.end()) {
+    RoundOutcome outcome = std::move(it->second);
+    completed_.erase(it);
+    return outcome;
+  }
+  MCS_EXPECTS(round >= next_completed_, "poll_outcome: outcome was already delivered");
+  return std::nullopt;
+}
+
+RoundOutcome CampaignService::wait_outcome(RoundId round) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  MCS_EXPECTS(round < next_round_, "wait_outcome: round was never submitted");
+  round_done_.wait(lock, [this, round] { return round < next_completed_; });
+  const auto it = completed_.find(round);
+  MCS_EXPECTS(it != completed_.end(), "wait_outcome: outcome was already delivered");
+  RoundOutcome outcome = std::move(it->second);
+  completed_.erase(it);
+  return outcome;
+}
+
+void CampaignService::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  round_done_.wait(lock, [this] { return next_completed_ == next_round_; });
+}
+
+std::size_t CampaignService::stream_telemetry(TelemetrySink sink) {
+  MCS_EXPECTS(sink != nullptr, "stream_telemetry needs a callable sink");
+  std::lock_guard<std::mutex> lock(sinks_mutex_);
+  const std::size_t id = next_subscription_++;
+  sinks_.emplace_back(id, std::move(sink));
+  return id;
+}
+
+void CampaignService::unsubscribe(std::size_t subscription) {
+  std::lock_guard<std::mutex> lock(sinks_mutex_);
+  for (std::size_t k = 0; k < sinks_.size(); ++k) {
+    if (sinks_[k].first == subscription) {
+      sinks_.erase(sinks_.begin() + static_cast<std::ptrdiff_t>(k));
+      return;
+    }
+  }
+  throw common::PreconditionError("unsubscribe: unknown telemetry subscription");
+}
+
+ServiceStats CampaignService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void CampaignService::dispatcher_loop() {
+  for (;;) {
+    Request request;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping, and every submitted round has been served
+      }
+      request = std::move(queue_.front());
+      queue_.pop_front();
+      obs::Registry::global().add(ServiceMetrics::get().queue_depth, -1);
+    }
+    queue_space_.notify_one();
+    publish(compute(request));
+  }
+}
+
+RoundOutcome CampaignService::compute(const Request& request) {
+  RoundOutcome out;
+  out.round = request.round;
+
+  // Durability: a round already settled in the journal is served from disk,
+  // bit-identically, without recomputation — unless the resubmitted round's
+  // shape diverges from what was journaled, which means the caller is not
+  // replaying the same campaign.
+  if (request.round < journaled_.size()) {
+    const auto& record = journaled_[static_cast<std::size_t>(request.round)];
+    if (record.users != request.payload.instance.num_users() ||
+        record.tasks != request.payload.instance.num_tasks()) {
+      out.status = auction::AuctionStatus::kFailed;
+      out.error = "journal replay mismatch: round " + std::to_string(request.round) +
+                  " was journaled with " + std::to_string(record.users) + " users / " +
+                  std::to_string(record.tasks) + " tasks but resubmitted with " +
+                  std::to_string(request.payload.instance.num_users()) + " / " +
+                  std::to_string(request.payload.instance.num_tasks());
+      return out;
+    }
+    out.status = record.status;
+    out.outcome = record.outcome;
+    out.error = record.error;
+    out.shards_run = record.shards_run;
+    out.straddlers = record.straddlers;
+    out.replayed_from_journal = true;
+    return out;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    if (config_.shards.shard_count() == 1) {
+      // Pass-through: bit-identical to the bare engine by construction.
+      auto slot = engine_.run_one_isolated(request.payload.instance, config_.mechanism);
+      out.status = slot.status;
+      out.outcome = std::move(slot.outcome);
+      out.error = std::move(slot.error);
+      out.shards_run = 1;
+    } else {
+      auto partition = partition_round(request.payload, config_.shards);
+      out.straddlers = partition.straddlers.size();
+      if (partition.shards.empty()) {
+        // No shard owns a task (a zero-task round): run flat so the outcome
+        // matches whatever the mechanism says about the degenerate instance.
+        auto slot = engine_.run_one_isolated(request.payload.instance, config_.mechanism);
+        out.status = slot.status;
+        out.outcome = std::move(slot.outcome);
+        out.error = std::move(slot.error);
+        out.shards_run = 0;
+      } else {
+        std::vector<auction::MultiTaskInstance> batch;
+        batch.reserve(partition.shards.size());
+        for (auto& slice : partition.shards) {
+          batch.push_back(std::move(slice.instance));
+        }
+        const auto slots = engine_.run_isolated(batch, config_.mechanism);
+        auto merged = merge_outcomes(request.payload.instance, partition, slots,
+                                     config_.mechanism.multi_task.partial_coverage);
+        out.status = merged.status;
+        out.outcome = std::move(merged.outcome);
+        out.error = std::move(merged.error);
+        out.shards_run = partition.shards.size();
+      }
+    }
+  } catch (const std::exception& e) {
+    // Partitioning rejected the round (e.g. task_cells misaligned with the
+    // instance) — poison this round only, like the engine's isolated path.
+    out.status = auction::AuctionStatus::kFailed;
+    out.outcome = auction::MechanismOutcome{};
+    out.error = e.what();
+  }
+  out.latency_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  if (journal_) {
+    ServiceJournalRecord record;
+    record.round = out.round;
+    record.status = out.status;
+    record.users = request.payload.instance.num_users();
+    record.tasks = request.payload.instance.num_tasks();
+    record.shards_run = out.shards_run;
+    record.straddlers = out.straddlers;
+    record.outcome = out.outcome;
+    record.error = out.error;
+    journal_->append(record);
+  }
+  return out;
+}
+
+void CampaignService::publish(RoundOutcome outcome) {
+  RoundTelemetry telemetry;
+  telemetry.round = outcome.round;
+  telemetry.status = outcome.status;
+  telemetry.shards_run = outcome.shards_run;
+  telemetry.straddlers = outcome.straddlers;
+  telemetry.latency_seconds = outcome.latency_seconds;
+  telemetry.replayed_from_journal = outcome.replayed_from_journal;
+  telemetry.mechanism = outcome.outcome.telemetry;
+
+  // Sinks run BEFORE the outcome becomes pollable, so a caller returning
+  // from wait_outcome/drain knows every sink already saw the round — anyone
+  // tearing down sink state after a drain cannot race a late delivery. They
+  // run outside mutex_ so a slow dashboard cannot stall poll/submit;
+  // copying the list keeps unsubscribe-during-delivery safe (the documented
+  // caveat: an in-flight call to a just-removed sink may still finish).
+  std::vector<std::pair<std::size_t, TelemetrySink>> sinks;
+  {
+    std::lock_guard<std::mutex> lock(sinks_mutex_);
+    sinks = sinks_;
+  }
+  for (const auto& [_, sink] : sinks) {
+    sink(telemetry);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MCS_ENSURES(outcome.round == next_completed_, "rounds must complete in submission order");
+    ++stats_.completed;
+    if (outcome.replayed_from_journal) {
+      ++stats_.replayed;
+      obs::Registry::global().add(ServiceMetrics::get().replayed, 1);
+    }
+    if (outcome.status == auction::AuctionStatus::kDegraded) {
+      ++stats_.degraded;
+    } else if (!outcome.ok()) {
+      ++stats_.failed;
+    }
+    completed_.emplace(outcome.round, std::move(outcome));
+    ++next_completed_;
+    obs::Registry::global().add(ServiceMetrics::get().completed, 1);
+  }
+  round_done_.notify_all();
+}
+
+}  // namespace mcs::service

@@ -1,0 +1,226 @@
+// The geo-sharded campaign service (ROADMAP item 1): the platform-facing API
+// redesigned from "call run_campaign and block" to a long-running handle.
+// A CampaignService accepts rounds as requests:
+//
+//     service::CampaignService service(config);
+//     const auto id = service.submit_round({instance, task_cells});
+//     ... submit more rounds, do other work ...
+//     const auto outcome = service.wait_outcome(id);      // or poll_outcome
+//
+// Rounds flow through a bounded submission queue into a single dispatcher
+// thread, which partitions each round by geo cell (service/shard.hpp), runs
+// the per-shard mechanisms through one auction::Engine batch — the engine's
+// thread pool is where the concurrency lives; the dispatcher only
+// orchestrates — and merges the shard outcomes back into one round outcome.
+// Rounds complete strictly in submission order, which keeps the journal
+// append-only and the telemetry stream ordered.
+//
+// API shape:
+//   * submit_round blocks while the queue is full (backpressure, bounded
+//     memory); try_submit_round refuses instead. Both assign sequential
+//     round ids starting at 0 (after any journal-replayed rounds).
+//   * poll_outcome / wait_outcome each deliver a round's outcome exactly
+//     once: a delivered outcome leaves the service's buffer, so a sustained
+//     campaign does not accumulate completed rounds without bound.
+//   * stream_telemetry registers a sink invoked on the dispatcher thread
+//     after every round, in round order — the push-based view for dashboards
+//     and the load generator. Sinks must not call back into the service.
+//
+// Determinism contract (inherits shard.hpp's): with shard_count == 1 the
+// service is a pass-through — every outcome is bit-identical to
+// Engine::run_one_isolated on the same instance and config. With
+// shard_count > 1 outcomes are bit-identical to the flat run on
+// straddler-free rounds under CriticalBidRule::kBinarySearch; the
+// constructor refuses kPaperIterationMin at shard_count > 1 because that
+// rule couples shards through the global iteration sequence (see shard.hpp).
+//
+// Durability: with a journal_path configured, every computed round is
+// appended to an mcs-service-journal-v1 file (service/journal.hpp). A
+// service restarted on that journal serves the journaled rounds from disk —
+// resubmitting the same campaign replays settled rounds bit-identically
+// without recomputation, then computation resumes at the first un-journaled
+// round. A journal written under a different configuration is refused.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "auction/engine.hpp"
+#include "obs/telemetry.hpp"
+#include "service/journal.hpp"
+#include "service/shard.hpp"
+
+namespace mcs::service {
+
+struct ServiceConfig {
+  /// Cell → shard mapping. The default single shard is the pass-through
+  /// configuration (no partitioning, bit-identical to the bare engine).
+  ShardMap shards = ShardMap(1);
+  /// Mechanism configuration applied to every shard of every round.
+  auction::MechanismConfig mechanism;
+  /// Bound on queued (submitted, not yet dispatched) rounds; submit_round
+  /// blocks at the bound. Must be >= 1.
+  std::size_t queue_capacity = 64;
+  /// Engine worker threads; 0 shares the process-wide pool.
+  std::size_t workers = 0;
+  /// When non-empty, computed rounds are journaled here and a restart
+  /// replays them (see the header comment's durability story).
+  std::filesystem::path journal_path;
+};
+
+/// The settled result of one submitted round, delivered exactly once.
+struct RoundOutcome {
+  RoundId round = 0;
+  auction::AuctionStatus status = auction::AuctionStatus::kOk;
+  /// The merged mechanism outcome; default-constructed for
+  /// kTimedOut/kFailed (same convention as auction::AuctionOutcome).
+  auction::MechanismOutcome outcome;
+  std::string error;  ///< failure text; empty for kOk/kDegraded
+  std::size_t shards_run = 0;   ///< shards that owned at least one task
+  std::size_t straddlers = 0;   ///< users restricted by the straddler protocol
+  /// Dispatch-to-merge wall-clock seconds (compute only, not queue wait);
+  /// ~0 for journal-replayed rounds.
+  double latency_seconds = 0.0;
+  /// True when this outcome was served from the journal, not computed.
+  bool replayed_from_journal = false;
+
+  /// True when `outcome` is meaningful (possibly degraded).
+  bool ok() const {
+    return status == auction::AuctionStatus::kOk || status == auction::AuctionStatus::kDegraded;
+  }
+};
+
+/// What a telemetry sink sees after every round, in round order.
+struct RoundTelemetry {
+  RoundId round = 0;
+  auction::AuctionStatus status = auction::AuctionStatus::kOk;
+  std::size_t shards_run = 0;
+  std::size_t straddlers = 0;
+  double latency_seconds = 0.0;
+  bool replayed_from_journal = false;
+  /// The round's merged mechanism telemetry (all zeros while obs is off).
+  obs::MechanismTelemetry mechanism;
+};
+
+/// One-line JSON object for a round's telemetry (stable keys; the
+/// "mechanism" value is obs::to_json of the merged record).
+std::string to_json(const RoundTelemetry& telemetry);
+
+/// Monotonic counters over the service's lifetime (restarts reset them;
+/// journal-replayed rounds count as completed AND replayed).
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t replayed = 0;  ///< completed rounds served from the journal
+  std::uint64_t failed = 0;    ///< completed rounds with status kFailed/kTimedOut
+  std::uint64_t degraded = 0;  ///< completed rounds with status kDegraded
+};
+
+/// Fingerprint of every ServiceConfig knob that shapes round outcomes (shard
+/// map, mechanism) — what the journal's `config` line records. Thread/queue
+/// knobs are deliberately excluded: outcomes are bit-identical across worker
+/// and queue-capacity settings, so they may change between restarts.
+std::string service_config_fingerprint(const ServiceConfig& config);
+
+class CampaignService {
+ public:
+  /// Starts the dispatcher. Throws PreconditionError on an invalid
+  /// configuration — including CriticalBidRule::kPaperIterationMin with
+  /// shard_count > 1 (not shard-decomposable, see shard.hpp) — and when the
+  /// configured journal was written under a different fingerprint.
+  explicit CampaignService(const ServiceConfig& config);
+
+  /// Drains every submitted round (completing, journaling, and streaming
+  /// them), then stops the dispatcher. Undelivered outcomes are discarded —
+  /// journaled rounds survive, in-memory ones do not.
+  ~CampaignService();
+
+  CampaignService(const CampaignService&) = delete;
+  CampaignService& operator=(const CampaignService&) = delete;
+
+  const ServiceConfig& config() const { return config_; }
+
+  /// Number of journaled rounds found at startup: submissions with ids below
+  /// this are served from the journal instead of computed.
+  std::size_t journaled_rounds() const { return journaled_.size(); }
+
+  /// Submits a round and returns its id, blocking while the queue is full.
+  /// task_cells must align with the instance's tasks when shard_count > 1;
+  /// a single-shard service ignores them (may be empty).
+  RoundId submit_round(GeoRound round);
+
+  /// Non-blocking submit: nullopt when the queue is full.
+  std::optional<RoundId> try_submit_round(GeoRound round);
+
+  /// Delivers a completed round's outcome, or nullopt while it is still
+  /// queued/running. Throws PreconditionError for an id never submitted or
+  /// already delivered.
+  std::optional<RoundOutcome> poll_outcome(RoundId round);
+
+  /// Blocks until the round completes and delivers its outcome. Same
+  /// id-validity rules as poll_outcome.
+  RoundOutcome wait_outcome(RoundId round);
+
+  /// Blocks until every submitted round has completed (outcomes may still be
+  /// undelivered).
+  void drain();
+
+  using TelemetrySink = std::function<void(const RoundTelemetry&)>;
+
+  /// Registers a sink; returns the subscription id for unsubscribe. The sink
+  /// runs on the dispatcher thread after each round completes, in round
+  /// order, BEFORE the outcome becomes pollable (so wait_outcome/drain
+  /// returning guarantees every sink saw the round), and must not call back
+  /// into the service.
+  std::size_t stream_telemetry(TelemetrySink sink);
+
+  /// Removes a subscription. A sink already invoked for an in-flight round
+  /// may still be mid-call when this returns.
+  void unsubscribe(std::size_t subscription);
+
+  ServiceStats stats() const;
+
+ private:
+  struct Request {
+    RoundId round = 0;
+    GeoRound payload;
+  };
+
+  void dispatcher_loop();
+  RoundOutcome compute(const Request& request);
+  void publish(RoundOutcome outcome);
+
+  ServiceConfig config_;
+  auction::Engine engine_;
+  std::vector<ServiceJournalRecord> journaled_;  ///< rounds replayed at startup
+  std::unique_ptr<ServiceJournalWriter> journal_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_space_;   ///< signaled when the queue shrinks
+  std::condition_variable queue_ready_;   ///< signaled when work or stop arrives
+  std::condition_variable round_done_;    ///< signaled when a round completes
+  std::deque<Request> queue_;
+  std::map<RoundId, RoundOutcome> completed_;  ///< undelivered outcomes
+  RoundId next_round_ = 0;       ///< id the next submission gets
+  RoundId next_completed_ = 0;   ///< lowest id not yet completed
+  ServiceStats stats_;
+  bool stopping_ = false;
+
+  std::mutex sinks_mutex_;
+  std::vector<std::pair<std::size_t, TelemetrySink>> sinks_;
+  std::size_t next_subscription_ = 0;
+
+  std::thread dispatcher_;  ///< last member: joins before the rest tears down
+};
+
+}  // namespace mcs::service

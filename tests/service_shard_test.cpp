@@ -1,0 +1,348 @@
+// Geo-shard partitioning and merging: every task and every (non-empty) user
+// lands in exactly one shard, the straddler protocol's owner choice and
+// tie-break are deterministic, and the sharded pipeline
+// (partition → per-shard engine → merge) reproduces the flat mechanism
+// BIT-identically on straddler-free instances — feasible, infeasible
+// all-or-nothing, and partial-coverage rounds alike.
+#include "service/shard.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "auction/engine.hpp"
+#include "auction/multi_task/mechanism.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "test_util.hpp"
+
+namespace mcs::service {
+namespace {
+
+using auction::MultiTaskInstance;
+using auction::MultiTaskUserBid;
+using auction::TaskIndex;
+using auction::UserId;
+
+/// Random geo round with arbitrary task cells — straddlers happen freely.
+GeoRound arbitrary_round(std::size_t n, std::size_t t, std::uint64_t seed) {
+  GeoRound round;
+  round.instance = test::random_multi_task(n, t, 0.5, seed);
+  common::Rng rng(seed ^ 0xce11);
+  round.task_cells.reserve(t);
+  for (std::size_t j = 0; j < t; ++j) {
+    round.task_cells.push_back(static_cast<geo::CellId>(rng.uniform_int(0, 63)));
+  }
+  return round;
+}
+
+/// Residue-pure round: task j sits in cell j, and every user's task set is
+/// drawn from ONE residue class mod `groups` — so for any shard count
+/// dividing `groups`, all of a user's tasks share a shard and the round is
+/// straddler-free under ShardMap(kCellModulo) by construction.
+GeoRound residue_pure_round(std::size_t n, std::size_t t, std::size_t groups,
+                            double requirement, std::uint64_t seed, double pos_hi = 0.5) {
+  GeoRound round;
+  round.instance.requirement_pos.assign(t, requirement);
+  common::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    MultiTaskUserBid bid;
+    bid.cost = rng.uniform(1.0, 10.0);
+    const auto group = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(groups) - 1));
+    for (std::size_t j = group; j < t; j += groups) {
+      if (rng.uniform(0.0, 1.0) < 0.6) {
+        bid.tasks.push_back(static_cast<TaskIndex>(j));
+        bid.pos.push_back(rng.uniform(0.05, pos_hi));
+      }
+    }
+    if (bid.tasks.empty()) {
+      bid.tasks.push_back(static_cast<TaskIndex>(group));
+      bid.pos.push_back(rng.uniform(0.05, pos_hi));
+    }
+    round.instance.users.push_back(std::move(bid));
+  }
+  round.task_cells.reserve(t);
+  for (std::size_t j = 0; j < t; ++j) {
+    round.task_cells.push_back(static_cast<geo::CellId>(j));
+  }
+  return round;
+}
+
+/// Runs the full sharded pipeline on a round and returns the merged slot.
+auction::AuctionOutcome run_sharded(const GeoRound& round, const ShardMap& map,
+                                    const auction::MechanismConfig& config,
+                                    std::size_t workers = 0) {
+  const auto partition = partition_round(round, map);
+  std::vector<MultiTaskInstance> batch;
+  batch.reserve(partition.shards.size());
+  for (const auto& slice : partition.shards) {
+    batch.push_back(slice.instance);
+  }
+  const auction::Engine engine(auction::EngineOptions{.workers = workers});
+  const auto slots = engine.run_isolated(batch, config);
+  return merge_outcomes(round.instance, partition, slots, config.multi_task.partial_coverage);
+}
+
+// ---------------------------------------------------------------------------
+// Partition properties
+// ---------------------------------------------------------------------------
+
+class PartitionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PartitionProperty, EveryTaskAndUserInExactlyOneShard) {
+  const auto round = arbitrary_round(24, 8, GetParam());
+  for (const std::size_t shard_count : {1u, 2u, 3u, 5u}) {
+    const auto partition = partition_round(round, ShardMap(shard_count));
+
+    std::vector<int> task_seen(round.instance.num_tasks(), 0);
+    std::vector<int> user_seen(round.instance.num_users(), 0);
+    for (const auto& slice : partition.shards) {
+      ASSERT_EQ(slice.instance.num_tasks(), slice.global_tasks.size());
+      ASSERT_EQ(slice.instance.num_users(), slice.global_users.size());
+      EXPECT_TRUE(std::is_sorted(slice.global_tasks.begin(), slice.global_tasks.end()));
+      EXPECT_TRUE(std::is_sorted(slice.global_users.begin(), slice.global_users.end()));
+      for (std::size_t j = 0; j < slice.global_tasks.size(); ++j) {
+        const auto task = static_cast<std::size_t>(slice.global_tasks[j]);
+        ++task_seen[task];
+        // The slice's requirement is the global task's, and the cell maps to
+        // this shard.
+        EXPECT_EQ(slice.instance.requirement_pos[j], round.instance.requirement_pos[task]);
+        EXPECT_EQ(ShardMap(shard_count).shard_of(round.task_cells[task]), slice.shard);
+      }
+      for (std::size_t i = 0; i < slice.global_users.size(); ++i) {
+        ++user_seen[static_cast<std::size_t>(slice.global_users[i])];
+        const auto& local = slice.instance.users[i];
+        const auto& global = round.instance.users[static_cast<std::size_t>(slice.global_users[i])];
+        EXPECT_EQ(local.cost, global.cost);
+        EXPECT_TRUE(std::is_sorted(local.tasks.begin(), local.tasks.end()));
+        // Every local task entry is one of the user's global entries with the
+        // same declared PoS.
+        for (std::size_t k = 0; k < local.tasks.size(); ++k) {
+          const auto global_task = slice.global_tasks[static_cast<std::size_t>(local.tasks[k])];
+          EXPECT_EQ(local.pos[k], global.pos_for(global_task));
+        }
+      }
+    }
+    for (std::size_t j = 0; j < task_seen.size(); ++j) {
+      EXPECT_EQ(task_seen[j], 1) << "task " << j << " at " << shard_count << " shards";
+    }
+    for (UserId user : partition.unassigned_users) {
+      EXPECT_EQ(user_seen[static_cast<std::size_t>(user)], 0);
+      EXPECT_TRUE(round.instance.users[static_cast<std::size_t>(user)].tasks.empty());
+    }
+    std::size_t assigned = 0;
+    for (std::size_t i = 0; i < user_seen.size(); ++i) {
+      EXPECT_LE(user_seen[i], 1) << "user " << i;
+      assigned += static_cast<std::size_t>(user_seen[i]);
+    }
+    EXPECT_EQ(assigned + partition.unassigned_users.size(), round.instance.num_users());
+
+    // A straddler keeps her cost and loses only out-of-shard task entries;
+    // dropped_task_entries accounts for every lost entry.
+    std::size_t local_entries = 0;
+    for (const auto& slice : partition.shards) {
+      for (const auto& user : slice.instance.users) {
+        local_entries += user.tasks.size();
+      }
+    }
+    std::size_t global_entries = 0;
+    for (const auto& user : round.instance.users) {
+      global_entries += user.tasks.size();
+    }
+    EXPECT_EQ(local_entries + partition.dropped_task_entries, global_entries);
+    if (shard_count == 1) {
+      EXPECT_TRUE(partition.straddlers.empty());
+      EXPECT_EQ(partition.dropped_task_entries, 0u);
+    }
+  }
+}
+
+TEST_P(PartitionProperty, PartitionIsAPureFunctionOfTheRound) {
+  const auto round = arbitrary_round(20, 6, GetParam() ^ 0xdead);
+  const ShardMap map(3);
+  const auto a = partition_round(round, map);
+  const auto b = partition_round(round, map);
+  ASSERT_EQ(a.shards.size(), b.shards.size());
+  EXPECT_EQ(a.straddlers, b.straddlers);
+  EXPECT_EQ(a.unassigned_users, b.unassigned_users);
+  EXPECT_EQ(a.dropped_task_entries, b.dropped_task_entries);
+  for (std::size_t s = 0; s < a.shards.size(); ++s) {
+    EXPECT_EQ(a.shards[s].shard, b.shards[s].shard);
+    EXPECT_EQ(a.shards[s].global_tasks, b.shards[s].global_tasks);
+    EXPECT_EQ(a.shards[s].global_users, b.shards[s].global_users);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionProperty, ::testing::Range<std::uint64_t>(1, 13));
+
+// ---------------------------------------------------------------------------
+// Straddler protocol
+// ---------------------------------------------------------------------------
+
+TEST(StraddlerProtocol, OwnerIsTheLargestContributionShare) {
+  // Two tasks in different shards (cells 0 and 1 under modulo-2); the user
+  // declares more contribution on task 1, so shard 1 owns her.
+  GeoRound round;
+  round.instance.requirement_pos = {0.5, 0.5};
+  round.task_cells = {0, 1};
+  MultiTaskUserBid bid;
+  bid.tasks = {0, 1};
+  bid.pos = {0.2, 0.6};
+  bid.cost = 3.0;
+  round.instance.users.push_back(bid);
+
+  const auto partition = partition_round(round, ShardMap(2));
+  ASSERT_EQ(partition.straddlers, std::vector<UserId>{0});
+  ASSERT_EQ(partition.shards.size(), 2u);
+  EXPECT_TRUE(partition.shards[0].global_users.empty());
+  ASSERT_EQ(partition.shards[1].global_users, std::vector<UserId>{0});
+  // Her bid kept its full cost and only the in-shard task entry.
+  const auto& local = partition.shards[1].instance.users[0];
+  EXPECT_EQ(local.cost, 3.0);
+  ASSERT_EQ(local.tasks.size(), 1u);
+  EXPECT_EQ(local.pos[0], 0.6);
+  EXPECT_EQ(partition.dropped_task_entries, 1u);
+}
+
+TEST(StraddlerProtocol, ExactTieGoesToTheLowestShardId) {
+  GeoRound round;
+  round.instance.requirement_pos = {0.5, 0.5};
+  round.task_cells = {1, 2};  // shards 1 and 0 under modulo-2, in that order
+  MultiTaskUserBid bid;
+  bid.tasks = {0, 1};
+  bid.pos = {0.4, 0.4};  // identical declared contribution on both shards
+  bid.cost = 1.0;
+  round.instance.users.push_back(bid);
+
+  const auto partition = partition_round(round, ShardMap(2));
+  ASSERT_EQ(partition.straddlers, std::vector<UserId>{0});
+  // Shard 0 owns the tie even though the user's first-listed task is shard 1's.
+  ASSERT_EQ(partition.shards[0].shard, 0u);
+  EXPECT_EQ(partition.shards[0].global_users, std::vector<UserId>{0});
+  EXPECT_TRUE(partition.shards[1].global_users.empty());
+}
+
+TEST(StraddlerProtocol, MisalignedTaskCellsAreRejected) {
+  GeoRound round;
+  round.instance = test::random_multi_task(4, 3, 0.5, 7);
+  round.task_cells = {0, 1};  // one short
+  EXPECT_THROW(partition_round(round, ShardMap(2)), common::PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// Shard policies
+// ---------------------------------------------------------------------------
+
+TEST(ShardPolicyTest, RowBandsKeepRowsContiguous) {
+  const geo::GridMap grid(geo::shanghai_bounding_box(), 2000.0);
+  const auto map = ShardMap::row_bands(grid, 4);
+  std::size_t previous = 0;
+  for (std::int32_t row = 0; row < grid.rows(); ++row) {
+    const auto shard = map.shard_of(grid.cell_at(row, 0));
+    EXPECT_GE(shard, previous) << "row " << row;
+    EXPECT_EQ(shard, map.shard_of(grid.cell_at(row, grid.cols() - 1)));
+    previous = shard;
+  }
+  EXPECT_EQ(map.shard_of(grid.cell_at(grid.rows() - 1, 0)), 3u);
+  EXPECT_THROW(ShardMap::row_bands(grid, static_cast<std::size_t>(grid.rows()) + 1),
+               common::PreconditionError);
+}
+
+TEST(ShardPolicyTest, CellModuloCoversAllShards) {
+  const ShardMap map(3);
+  for (geo::CellId cell = 0; cell < 9; ++cell) {
+    EXPECT_EQ(map.shard_of(cell), static_cast<std::size_t>(cell) % 3);
+  }
+  EXPECT_THROW(ShardMap(0), common::PreconditionError);
+  EXPECT_THROW(map.shard_of(-1), common::PreconditionError);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity: sharded ≡ flat on straddler-free rounds
+// ---------------------------------------------------------------------------
+
+class ShardedEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShardedEquivalence, FeasibleRoundsMatchFlatBitIdentically) {
+  const auto round = residue_pure_round(28, 12, 4, 0.45, GetParam(), 0.6);
+  const auction::MechanismConfig config{};
+  const auto flat = auction::multi_task::run_mechanism(round.instance, config);
+  for (const std::size_t shard_count : {2u, 4u}) {
+    const auto partition = partition_round(round, ShardMap(shard_count));
+    ASSERT_TRUE(partition.straddlers.empty());
+    const auto merged = run_sharded(round, ShardMap(shard_count), config);
+    ASSERT_TRUE(merged.ok()) << merged.error;
+    test::expect_identical_outcome(merged.outcome, flat);
+  }
+}
+
+TEST_P(ShardedEquivalence, InfeasibleRoundsMatchFlatAllOrNothing) {
+  // Requirement 0.97 with PoS ≤ 0.2 per entry: most rounds cannot cover every
+  // task, exercising the all-or-nothing merge (flat drops everything).
+  const auto round = residue_pure_round(12, 8, 4, 0.97, GetParam() ^ 0xbad, 0.2);
+  const auction::MechanismConfig config{};
+  const auto flat = auction::multi_task::run_mechanism(round.instance, config);
+  const auto merged = run_sharded(round, ShardMap(4), config);
+  ASSERT_TRUE(merged.ok()) << merged.error;
+  test::expect_identical_outcome(merged.outcome, flat);
+}
+
+TEST_P(ShardedEquivalence, PartialCoverageRoundsMatchFlat) {
+  auto config = auction::MechanismConfig{};
+  config.multi_task.partial_coverage = true;
+  const auto round = residue_pure_round(12, 8, 4, 0.97, GetParam() ^ 0xcafe, 0.2);
+  const auto flat = auction::multi_task::run_mechanism(round.instance, config);
+  const auto merged = run_sharded(round, ShardMap(4), config);
+  ASSERT_TRUE(merged.ok()) << merged.error;
+  test::expect_identical_outcome(merged.outcome, flat);
+}
+
+TEST_P(ShardedEquivalence, IdenticalAcrossWorkerCountsWithStraddlers) {
+  // With straddlers the sharded outcome may differ from flat, but it must be
+  // a pure function of the round — identical whatever the engine's
+  // parallelism.
+  const auto round = arbitrary_round(24, 8, GetParam() ^ 0x57ad);
+  const auction::MechanismConfig config{};
+  const auto serial = run_sharded(round, ShardMap(3), config, 1);
+  const auto parallel = run_sharded(round, ShardMap(3), config, 4);
+  ASSERT_EQ(serial.status, parallel.status);
+  EXPECT_EQ(serial.error, parallel.error);
+  test::expect_identical_outcome(serial.outcome, parallel.outcome);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedEquivalence, ::testing::Range<std::uint64_t>(1, 17));
+
+// ---------------------------------------------------------------------------
+// Merge status semantics
+// ---------------------------------------------------------------------------
+
+TEST(MergeOutcomes, FailedShardPoisonsTheRound) {
+  const auto round = residue_pure_round(12, 8, 2, 0.4, 3);
+  const auto partition = partition_round(round, ShardMap(2));
+  ASSERT_EQ(partition.shards.size(), 2u);
+  std::vector<auction::AuctionOutcome> slots(2);
+  slots[0].status = auction::AuctionStatus::kOk;
+  slots[1].status = auction::AuctionStatus::kFailed;
+  slots[1].error = "boom";
+  const auto merged = merge_outcomes(round.instance, partition, slots, false);
+  EXPECT_EQ(merged.status, auction::AuctionStatus::kFailed);
+  EXPECT_EQ(merged.error, "shard 1: boom");
+  EXPECT_TRUE(merged.outcome.allocation.winners.empty());
+}
+
+TEST(MergeOutcomes, TimedOutLosesToFailedButPoisonsAlone) {
+  const auto round = residue_pure_round(12, 8, 2, 0.4, 4);
+  const auto partition = partition_round(round, ShardMap(2));
+  std::vector<auction::AuctionOutcome> slots(2);
+  slots[0].status = auction::AuctionStatus::kTimedOut;
+  slots[0].error = "deadline";
+  const auto merged = merge_outcomes(round.instance, partition, slots, false);
+  EXPECT_EQ(merged.status, auction::AuctionStatus::kTimedOut);
+  EXPECT_EQ(merged.error, "shard 0: deadline");
+}
+
+}  // namespace
+}  // namespace mcs::service
