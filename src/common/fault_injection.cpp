@@ -1,0 +1,128 @@
+#include "common/fault_injection.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace mcs::common {
+
+namespace {
+
+/// SplitMix64 — the same finalizer Rng uses for seeding; enough mixing to
+/// decorrelate (seed, point, stream, hit) lattices.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0, 1) from the pure coordinate hash.
+double hash01(std::uint64_t seed, FailPoint point, std::uint64_t stream, std::uint64_t hit) {
+  std::uint64_t x = splitmix64(seed);
+  x = splitmix64(x ^ (static_cast<std::uint64_t>(point) + 1));
+  x = splitmix64(x ^ stream);
+  x = splitmix64(x ^ hit);
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+bool listed(const std::vector<std::pair<std::uint64_t, std::uint64_t>>& at, std::uint64_t stream,
+            std::uint64_t hit) {
+  for (const auto& [s, h] : at) {
+    if (s == stream && h == hit) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* to_string(FailPoint point) {
+  switch (point) {
+    case FailPoint::kShardRun:
+      return "shard-run";
+    case FailPoint::kJournalAppend:
+      return "journal-append";
+    case FailPoint::kJournalReplay:
+      return "journal-replay";
+    case FailPoint::kSinkDispatch:
+      return "sink-dispatch";
+    case FailPoint::kQueueHandoff:
+      return "queue-handoff";
+  }
+  return "unknown";
+}
+
+std::string injected_fault_message(FailPoint point, std::uint64_t stream, std::uint64_t hit) {
+  return "injected fault at " + std::string(to_string(point)) + " (stream " +
+         std::to_string(stream) + ", hit " + std::to_string(hit) + ")";
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed) : seed_(seed) {}
+
+void FaultInjector::configure(FailPoint point, FailPointSpec spec) {
+  MCS_EXPECTS(spec.fail_prob >= 0.0 && spec.fail_prob <= 1.0,
+              "fail point fail_prob must lie in [0, 1]");
+  MCS_EXPECTS(spec.stall_prob >= 0.0 && spec.stall_prob <= 1.0,
+              "fail point stall_prob must lie in [0, 1]");
+  MCS_EXPECTS(spec.fail_prob + spec.stall_prob <= 1.0,
+              "fail point fail_prob + stall_prob must not exceed 1");
+  MCS_EXPECTS(spec.stall_seconds >= 0.0, "fail point stall_seconds must be non-negative");
+  points_[static_cast<std::size_t>(point)].spec = std::move(spec);
+}
+
+const FailPointSpec& FaultInjector::spec(FailPoint point) const {
+  return points_[static_cast<std::size_t>(point)].spec;
+}
+
+FaultDecision FaultInjector::decide(FailPoint point, std::uint64_t stream,
+                                    std::uint64_t hit) const {
+  const PointState& state = points_[static_cast<std::size_t>(point)];
+  const FailPointSpec& spec = state.spec;
+
+  FaultDecision decision;
+  if (listed(spec.fail_at, stream, hit)) {
+    decision.action = FaultAction::kFail;
+  } else if (listed(spec.stall_at, stream, hit)) {
+    decision.action = FaultAction::kStall;
+  } else if (spec.fail_prob > 0.0 || spec.stall_prob > 0.0) {
+    const double u = hash01(seed_, point, stream, hit);
+    if (u < spec.fail_prob) {
+      decision.action = FaultAction::kFail;
+    } else if (u < spec.fail_prob + spec.stall_prob) {
+      decision.action = FaultAction::kStall;
+    }
+  }
+  if (decision.action == FaultAction::kStall) {
+    decision.stall_seconds = spec.stall_seconds;
+    state.stalls.fetch_add(1, std::memory_order_relaxed);
+  } else if (decision.action == FaultAction::kFail) {
+    state.failures.fetch_add(1, std::memory_order_relaxed);
+  }
+  return decision;
+}
+
+void FaultInjector::act(FailPoint point, std::uint64_t stream, std::uint64_t hit) const {
+  const FaultDecision decision = decide(point, stream, hit);
+  switch (decision.action) {
+    case FaultAction::kNone:
+      return;
+    case FaultAction::kStall:
+      std::this_thread::sleep_for(std::chrono::duration<double>(decision.stall_seconds));
+      return;
+    case FaultAction::kFail:
+      throw InjectedFault(injected_fault_message(point, stream, hit));
+  }
+}
+
+std::uint64_t FaultInjector::injected_failures(FailPoint point) const {
+  return points_[static_cast<std::size_t>(point)].failures.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::injected_stalls(FailPoint point) const {
+  return points_[static_cast<std::size_t>(point)].stalls.load(std::memory_order_relaxed);
+}
+
+}  // namespace mcs::common

@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 #include "common/check.hpp"
 
@@ -359,9 +360,19 @@ std::string config_fingerprint(const CampaignConfig& config) {
 
 ReplayedJournal parse_journal(const std::string& text) {
   const auto lines = meaningful_lines(text);
-  if (lines.empty() || lines.front().tokens.size() != 1 ||
-      lines.front().tokens.front() != kJournalHeader) {
-    fail(lines.empty() ? 1 : lines.front().number, "missing mcs-journal-v1 header");
+  if (lines.empty()) {
+    // Empty (or comment-only) file: an empty journal, not corruption — a
+    // writer that died before its first byte left nothing to recover.
+    return {};
+  }
+  if (lines.front().tokens.size() != 1 || lines.front().tokens.front() != kJournalHeader) {
+    // A write torn inside the very first line leaves an unterminated strict
+    // prefix of the header — a torn tail to drop, not corruption to throw.
+    if (lines.size() == 1 && !lines.front().terminated && lines.front().tokens.size() == 1 &&
+        std::string_view(kJournalHeader).starts_with(lines.front().tokens.front())) {
+      return {};
+    }
+    fail(lines.front().number, "missing mcs-journal-v1 header");
   }
   ReplayedJournal result;
   if (!lines.front().terminated) {

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <limits>
 #include <sstream>
+#include <string_view>
 
 #include "common/check.hpp"
 
@@ -211,8 +212,19 @@ std::string to_text(const ServiceJournalRecord& record) {
 
 ReplayedServiceJournal parse_service_journal(const std::string& text) {
   const auto lines = meaningful_lines(text);
-  if (lines.empty() || lines.front().tokens.size() != 1 || lines.front().tokens.front() != kHeader) {
-    fail(lines.empty() ? 1 : lines.front().number, "missing mcs-service-journal-v1 header");
+  if (lines.empty()) {
+    // Empty (or comment-only) file: an empty journal, not corruption — a
+    // writer that died before its first byte left nothing to recover.
+    return {};
+  }
+  if (lines.front().tokens.size() != 1 || lines.front().tokens.front() != kHeader) {
+    // A write torn inside the very first line leaves an unterminated strict
+    // prefix of the header — a torn tail to drop, not corruption to throw.
+    if (lines.size() == 1 && !lines.front().terminated && lines.front().tokens.size() == 1 &&
+        std::string_view(kHeader).starts_with(lines.front().tokens.front())) {
+      return {};
+    }
+    fail(lines.front().number, "missing mcs-service-journal-v1 header");
   }
   ReplayedServiceJournal result;
   if (!lines.front().terminated) {
@@ -253,6 +265,9 @@ ReplayedServiceJournal parse_service_journal(const std::string& text) {
       record.outcome.degraded = parse_flag(reader.expect("degraded"));
       {
         const Line& line = reader.expect("winners");
+        if (line.tokens.size() < 2) {
+          fail(line.number, "expected 'winners <count> <ids>...'");
+        }
         const auto count = parse_u64(line.tokens[1], line.number);
         if (line.tokens.size() != count + 2) {
           fail(line.number, "winner count does not match the listed ids");
@@ -270,6 +285,9 @@ ReplayedServiceJournal parse_service_journal(const std::string& text) {
       }
       {
         const Line& line = reader.expect("uncovered");
+        if (line.tokens.size() < 2) {
+          fail(line.number, "expected 'uncovered <count> <tasks>...'");
+        }
         const auto count = parse_u64(line.tokens[1], line.number);
         if (line.tokens.size() != count + 2) {
           fail(line.number, "uncovered count does not match the listed tasks");
@@ -363,7 +381,15 @@ ServiceJournalWriter::ServiceJournalWriter(const std::filesystem::path& path,
   }
 }
 
+void ServiceJournalWriter::set_fault_injector(
+    std::shared_ptr<const common::FaultInjector> injector) {
+  fault_injector_ = std::move(injector);
+}
+
 void ServiceJournalWriter::append(const ServiceJournalRecord& record) {
+  // The fault fires BEFORE any byte reaches the file, modelling a full-disk
+  // or I/O error on the append; the on-disk journal stays a valid prefix.
+  common::fault_point(fault_injector_.get(), common::FailPoint::kJournalAppend, record.round, 0);
   out_ << to_text(record);
   out_.flush();
   if (!out_) {

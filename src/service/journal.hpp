@@ -41,10 +41,12 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "auction/engine.hpp"
+#include "common/fault_injection.hpp"
 
 namespace mcs::service {
 
@@ -93,11 +95,16 @@ class ServiceJournalWriter {
   explicit ServiceJournalWriter(const std::filesystem::path& path,
                                 const std::string& config_fingerprint = {});
 
+  /// Installs the kJournalAppend fail point (test/bench facility). The fault
+  /// fires before any byte is written, so the journal stays a valid prefix.
+  void set_fault_injector(std::shared_ptr<const common::FaultInjector> injector);
+
   void append(const ServiceJournalRecord& record);
 
  private:
   std::filesystem::path path_;
   std::ofstream out_;
+  std::shared_ptr<const common::FaultInjector> fault_injector_;
 };
 
 }  // namespace mcs::service

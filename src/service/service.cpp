@@ -1,6 +1,8 @@
 #include "service/service.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 #include <utility>
@@ -23,6 +25,10 @@ struct ServiceMetrics {
   obs::Registry::MetricId completed;
   obs::Registry::MetricId replayed;
   obs::Registry::MetricId queue_depth;
+  obs::Registry::MetricId shard_retries;
+  obs::Registry::MetricId rounds_degraded;
+  obs::Registry::MetricId sinks_quarantined;
+  obs::Registry::MetricId watchdog_fires;
 
   static const ServiceMetrics& get() {
     static const ServiceMetrics metrics{
@@ -30,10 +36,19 @@ struct ServiceMetrics {
         obs::Registry::global().metric("service.rounds_completed"),
         obs::Registry::global().metric("service.rounds_replayed"),
         obs::Registry::global().metric("service.queue_depth"),
+        obs::Registry::global().metric("service.shard_retries"),
+        obs::Registry::global().metric("service.rounds_degraded"),
+        obs::Registry::global().metric("service.sinks_quarantined"),
+        obs::Registry::global().metric("service.watchdog_fires"),
     };
     return metrics;
   }
 };
+
+bool slot_dead(const auction::AuctionOutcome& slot) {
+  return slot.status == auction::AuctionStatus::kFailed ||
+         slot.status == auction::AuctionStatus::kTimedOut;
+}
 
 }  // namespace
 
@@ -43,6 +58,7 @@ std::string to_json(const RoundTelemetry& telemetry) {
       << ",\"status\":\"" << auction::to_string(telemetry.status) << '"'  //
       << ",\"shards_run\":" << telemetry.shards_run              //
       << ",\"straddlers\":" << telemetry.straddlers              //
+      << ",\"shard_retries\":" << telemetry.shard_retries        //
       << ",\"latency_seconds\":" << format_double(telemetry.latency_seconds)
       << ",\"replayed\":" << (telemetry.replayed_from_journal ? 1 : 0)
       << ",\"mechanism\":" << obs::to_json(telemetry.mechanism) << '}';
@@ -63,12 +79,28 @@ std::string service_config_fingerprint(const ServiceConfig& config) {
       << " bisect_iters=" << m.single_task.binary_search_iterations        //
       << " rule=" << static_cast<int>(m.multi_task.critical_bid_rule)      //
       << " partial=" << (m.multi_task.partial_coverage ? 1 : 0);
+  if (config.merge_policy != MergePolicy::kPoisonRound) {
+    // Only non-default so every pre-MergePolicy journal (implicitly
+    // kPoisonRound) keeps resuming. Retry/watchdog/sink knobs and the fault
+    // injector are deliberately excluded: without injection they never
+    // change a round's outcome, and WITH injection the journaled outcomes
+    // are exactly what the seeded faults produced — replayable by design.
+    out << " merge=" << static_cast<int>(config.merge_policy);
+  }
   return out.str();
 }
 
 CampaignService::CampaignService(const ServiceConfig& config)
     : config_(config), engine_(auction::EngineOptions{.workers = config.workers}) {
   MCS_EXPECTS(config.queue_capacity >= 1, "service queue needs capacity >= 1");
+  MCS_EXPECTS(config.retry.max_attempts >= 1, "shard retry needs max_attempts >= 1");
+  MCS_EXPECTS(config.retry.initial_backoff_seconds >= 0.0 &&
+                  config.retry.max_backoff_seconds >= 0.0,
+              "shard retry backoffs must be non-negative");
+  MCS_EXPECTS(config.retry.backoff_multiplier >= 1.0,
+              "shard retry backoff_multiplier must be >= 1 (backoff never shrinks)");
+  MCS_EXPECTS(config.watchdog_seconds >= 0.0, "watchdog_seconds must be non-negative (0 = off)");
+  MCS_EXPECTS(config.sink_slow_seconds >= 0.0, "sink_slow_seconds must be non-negative (0 = off)");
   MCS_EXPECTS(config.shards.shard_count() == 1 ||
                   config.mechanism.multi_task.critical_bid_rule !=
                       auction::CriticalBidRule::kPaperIterationMin,
@@ -94,6 +126,7 @@ CampaignService::CampaignService(const ServiceConfig& config)
       std::filesystem::resize_file(config_.journal_path, replayed.valid_bytes);
     }
     journal_ = std::make_unique<ServiceJournalWriter>(config_.journal_path, fingerprint);
+    journal_->set_fault_injector(config_.fault_injector);
   }
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
@@ -105,6 +138,12 @@ CampaignService::~CampaignService() {
   }
   queue_ready_.notify_all();
   dispatcher_.join();
+  // Watchdog-abandoned runners finish (or sleep out their injected stalls)
+  // here; their outcomes are discarded — the rounds already published as
+  // kTimedOut. Joining after the dispatcher keeps abandoned_ single-owner.
+  for (auto& runner : abandoned_) {
+    runner.join();
+  }
 }
 
 RoundId CampaignService::submit_round(GeoRound round) {
@@ -168,14 +207,14 @@ std::size_t CampaignService::stream_telemetry(TelemetrySink sink) {
   MCS_EXPECTS(sink != nullptr, "stream_telemetry needs a callable sink");
   std::lock_guard<std::mutex> lock(sinks_mutex_);
   const std::size_t id = next_subscription_++;
-  sinks_.emplace_back(id, std::move(sink));
+  sinks_.push_back(Subscription{id, std::move(sink), 0, false});
   return id;
 }
 
 void CampaignService::unsubscribe(std::size_t subscription) {
   std::lock_guard<std::mutex> lock(sinks_mutex_);
   for (std::size_t k = 0; k < sinks_.size(); ++k) {
-    if (sinks_[k].first == subscription) {
+    if (sinks_[k].id == subscription) {
       sinks_.erase(sinks_.begin() + static_cast<std::ptrdiff_t>(k));
       return;
     }
@@ -202,8 +241,96 @@ void CampaignService::dispatcher_loop() {
       obs::Registry::global().add(ServiceMetrics::get().queue_depth, -1);
     }
     queue_space_.notify_one();
-    publish(compute(request));
+
+    // The round's journaled shape must be captured before run_guarded takes
+    // ownership of the request (the watchdog path moves it into the runner).
+    const RoundId round = request.round;
+    const std::size_t users = request.payload.instance.num_users();
+    const std::size_t tasks = request.payload.instance.num_tasks();
+
+    RoundOutcome out;
+    try {
+      // A dropped handoff still publishes: the round fails LOUDLY — every
+      // submitted id stays pollable exactly once, never silently lost.
+      common::fault_point(config_.fault_injector.get(), common::FailPoint::kQueueHandoff, round,
+                          0);
+      out = run_guarded(std::move(request));
+    } catch (const std::exception& e) {
+      out = RoundOutcome{};
+      out.round = round;
+      out.status = auction::AuctionStatus::kFailed;
+      out.error = e.what();
+    }
+
+    journal_round(out, users, tasks, out.journal_error);
+    publish(std::move(out));
   }
+}
+
+RoundOutcome CampaignService::run_guarded(Request request) {
+  // Journal-replayed rounds are instant and never wedge; the watchdog only
+  // guards computed rounds.
+  if (config_.watchdog_seconds <= 0.0 || request.round < journaled_.size()) {
+    return compute(request);
+  }
+
+  struct GuardedRun {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    Request request;
+    RoundOutcome outcome;
+  };
+  auto run = std::make_shared<GuardedRun>();
+  const RoundId round = request.round;
+  run->request = std::move(request);
+
+  // One thread per guarded round, not a second pool: the runner only
+  // orchestrates (the engine's pool still does the work), and a wedged
+  // runner must be abandonable without poisoning any reusable worker.
+  std::thread runner([this, run] {
+    RoundOutcome outcome;
+    try {
+      outcome = compute(run->request);
+    } catch (const std::exception& e) {
+      outcome.round = run->request.round;
+      outcome.status = auction::AuctionStatus::kFailed;
+      outcome.error = e.what();
+    }
+    std::lock_guard<std::mutex> lock(run->m);
+    run->outcome = std::move(outcome);
+    run->done = true;
+    run->cv.notify_all();
+  });
+
+  std::unique_lock<std::mutex> lock(run->m);
+  const bool finished =
+      run->cv.wait_for(lock, std::chrono::duration<double>(config_.watchdog_seconds),
+                       [&run] { return run->done; });
+  lock.unlock();
+  if (finished) {
+    runner.join();
+    return std::move(run->outcome);
+  }
+
+  // Watchdog fires: abandon the runner (it keeps the shared GuardedRun state
+  // alive and is joined at destruction) and synthesize the round's outcome.
+  // The escalation ladder's last rung — cooperative deadlines and retries
+  // both failed to bring the round home in time.
+  abandoned_.push_back(std::move(runner));
+  {
+    std::lock_guard<std::mutex> stats_lock(mutex_);
+    ++stats_.watchdog_fires;
+  }
+  obs::Registry::global().add(ServiceMetrics::get().watchdog_fires, 1);
+
+  RoundOutcome out;
+  out.round = round;
+  out.status = auction::AuctionStatus::kTimedOut;
+  out.error = "watchdog: round still running after " +
+              format_double(config_.watchdog_seconds) + "s; runner abandoned";
+  out.latency_seconds = config_.watchdog_seconds;
+  return out;
 }
 
 RoundOutcome CampaignService::compute(const Request& request) {
@@ -215,6 +342,16 @@ RoundOutcome CampaignService::compute(const Request& request) {
   // shape diverges from what was journaled, which means the caller is not
   // replaying the same campaign.
   if (request.round < journaled_.size()) {
+    try {
+      common::fault_point(config_.fault_injector.get(), common::FailPoint::kJournalReplay,
+                          request.round, 0);
+    } catch (const std::exception& e) {
+      // A replay that cannot be read fails the round rather than silently
+      // recomputing it — the journaled outcome is the settled truth.
+      out.status = auction::AuctionStatus::kFailed;
+      out.error = e.what();
+      return out;
+    }
     const auto& record = journaled_[static_cast<std::size_t>(request.round)];
     if (record.users != request.payload.instance.num_users() ||
         record.tasks != request.payload.instance.num_tasks()) {
@@ -236,10 +373,29 @@ RoundOutcome CampaignService::compute(const Request& request) {
   }
 
   const auto start = std::chrono::steady_clock::now();
+  // The serial per-shard path exists for fault coverage: the kShardRun fail
+  // point and the retry loop need each shard attempt individually
+  // addressable. Engine batches are documented bit-identical to serial
+  // per-instance runs, so taking it never changes a healthy outcome; the
+  // batch fast path is kept for the common fault-free, no-retry service so
+  // PR 6 behavior stays byte-for-byte the same code.
+  const bool serial_shards =
+      config_.fault_injector != nullptr || config_.retry.max_attempts > 1;
+  // Retry backoffs never sleep past the watchdog: a retry that cannot start
+  // before the round is abandoned is pure waste.
+  const auto deadline = common::Deadline::from_budget(config_.watchdog_seconds);
   try {
     if (config_.shards.shard_count() == 1) {
       // Pass-through: bit-identical to the bare engine by construction.
-      auto slot = engine_.run_one_isolated(request.payload.instance, config_.mechanism);
+      auction::AuctionOutcome slot;
+      if (serial_shards) {
+        std::uint64_t hit = 0;
+        std::size_t retries = 0;
+        slot = attempt_shard(request.payload.instance, request.round, deadline, hit, retries);
+        out.shard_retries = retries;
+      } else {
+        slot = engine_.run_one_isolated(request.payload.instance, config_.mechanism);
+      }
       out.status = slot.status;
       out.outcome = std::move(slot.outcome);
       out.error = std::move(slot.error);
@@ -256,14 +412,30 @@ RoundOutcome CampaignService::compute(const Request& request) {
         out.error = std::move(slot.error);
         out.shards_run = 0;
       } else {
-        std::vector<auction::MultiTaskInstance> batch;
-        batch.reserve(partition.shards.size());
-        for (auto& slice : partition.shards) {
-          batch.push_back(std::move(slice.instance));
+        std::vector<auction::AuctionOutcome> slots;
+        if (serial_shards) {
+          // Shards run in slice order, so with no faults and no retries the
+          // round's kShardRun hit index IS the slice index — how a schedule
+          // targets "round r, shard s" (see fault_injection.hpp).
+          slots.reserve(partition.shards.size());
+          std::uint64_t hit = 0;
+          std::size_t retries = 0;
+          for (const auto& slice : partition.shards) {
+            slots.push_back(
+                attempt_shard(slice.instance, request.round, deadline, hit, retries));
+          }
+          out.shard_retries = retries;
+        } else {
+          std::vector<auction::MultiTaskInstance> batch;
+          batch.reserve(partition.shards.size());
+          for (auto& slice : partition.shards) {
+            batch.push_back(std::move(slice.instance));
+          }
+          slots = engine_.run_isolated(batch, config_.mechanism);
         }
-        const auto slots = engine_.run_isolated(batch, config_.mechanism);
-        auto merged = merge_outcomes(request.payload.instance, partition, slots,
-                                     config_.mechanism.multi_task.partial_coverage);
+        auto merged =
+            merge_outcomes(request.payload.instance, partition, slots,
+                           config_.mechanism.multi_task.partial_coverage, config_.merge_policy);
         out.status = merged.status;
         out.outcome = std::move(merged.outcome);
         out.error = std::move(merged.error);
@@ -279,20 +451,75 @@ RoundOutcome CampaignService::compute(const Request& request) {
   }
   out.latency_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-
-  if (journal_) {
-    ServiceJournalRecord record;
-    record.round = out.round;
-    record.status = out.status;
-    record.users = request.payload.instance.num_users();
-    record.tasks = request.payload.instance.num_tasks();
-    record.shards_run = out.shards_run;
-    record.straddlers = out.straddlers;
-    record.outcome = out.outcome;
-    record.error = out.error;
-    journal_->append(record);
-  }
   return out;
+}
+
+auction::AuctionOutcome CampaignService::attempt_shard(
+    const auction::MultiTaskInstance& instance, RoundId round, const common::Deadline& deadline,
+    std::uint64_t& hit, std::size_t& retries) const {
+  auction::AuctionOutcome slot;
+  double backoff = config_.retry.initial_backoff_seconds;
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      common::fault_point(config_.fault_injector.get(), common::FailPoint::kShardRun, round,
+                          hit++);
+      slot = engine_.run_one_isolated(instance, config_.mechanism);
+    } catch (const std::exception& e) {
+      // An injected shard failure lands exactly where a real one would: a
+      // dead slot for the merge policy to rule on.
+      slot = auction::AuctionOutcome{};
+      slot.status = auction::AuctionStatus::kFailed;
+      slot.error = e.what();
+    }
+    if (!slot_dead(slot) || attempt + 1 >= config_.retry.max_attempts) {
+      return slot;
+    }
+    const double remaining = deadline.remaining_seconds();
+    if (remaining <= 0.0) {
+      return slot;  // the watchdog is about to fire; don't burn its budget
+    }
+    const double sleep_seconds =
+        std::isfinite(remaining) ? std::min(backoff, remaining) : backoff;
+    if (sleep_seconds > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(sleep_seconds));
+    }
+    backoff = std::min(backoff * config_.retry.backoff_multiplier,
+                       config_.retry.max_backoff_seconds);
+    ++retries;
+  }
+}
+
+void CampaignService::journal_round(const RoundOutcome& outcome, std::size_t users,
+                                    std::size_t tasks, std::string& journal_error) {
+  if (!journal_ || outcome.replayed_from_journal) {
+    return;
+  }
+  if (!journal_healthy_) {
+    // Quarantined by an earlier failed append: the skipped block keeps the
+    // on-disk prefix contiguous, and the lost durability stays visible on
+    // every affected round.
+    journal_error = "journal quarantined by an earlier append failure; round not journaled";
+    return;
+  }
+  ServiceJournalRecord record;
+  record.round = outcome.round;
+  record.status = outcome.status;
+  record.users = users;
+  record.tasks = tasks;
+  record.shards_run = outcome.shards_run;
+  record.straddlers = outcome.straddlers;
+  record.outcome = outcome.outcome;
+  record.error = outcome.error;
+  try {
+    journal_->append(record);
+  } catch (const std::exception& e) {
+    // One failed append quarantines journaling for this lifetime: a skipped
+    // block would break the journal's contiguous-from-0 invariant and brick
+    // every later replay. The file keeps its valid prefix; the round's
+    // outcome stands, just not durably.
+    journal_healthy_ = false;
+    journal_error = std::string("journal append failed: ") + e.what();
+  }
 }
 
 void CampaignService::publish(RoundOutcome outcome) {
@@ -301,6 +528,7 @@ void CampaignService::publish(RoundOutcome outcome) {
   telemetry.status = outcome.status;
   telemetry.shards_run = outcome.shards_run;
   telemetry.straddlers = outcome.straddlers;
+  telemetry.shard_retries = outcome.shard_retries;
   telemetry.latency_seconds = outcome.latency_seconds;
   telemetry.replayed_from_journal = outcome.replayed_from_journal;
   telemetry.mechanism = outcome.outcome.telemetry;
@@ -311,25 +539,108 @@ void CampaignService::publish(RoundOutcome outcome) {
   // run outside mutex_ so a slow dashboard cannot stall poll/submit;
   // copying the list keeps unsubscribe-during-delivery safe (the documented
   // caveat: an in-flight call to a just-removed sink may still finish).
-  std::vector<std::pair<std::size_t, TelemetrySink>> sinks;
+  // Quarantined sinks are skipped entirely.
+  struct SinkCall {
+    std::size_t id = 0;
+    TelemetrySink sink;
+  };
+  std::vector<SinkCall> calls;
   {
     std::lock_guard<std::mutex> lock(sinks_mutex_);
-    sinks = sinks_;
+    for (const auto& sub : sinks_) {
+      if (!sub.quarantined) {
+        calls.push_back(SinkCall{sub.id, sub.sink});
+      }
+    }
   }
-  for (const auto& [_, sink] : sinks) {
-    sink(telemetry);
+  // Each delivery is wrapped: a throwing (or, with sink_slow_seconds, a
+  // slow) sink records an error on the round instead of propagating out of
+  // the dispatcher thread, and its failure streak feeds the quarantine. The
+  // kSinkDispatch hit index is the sink's ordinal in this round's delivery
+  // list, so a schedule can target "round r, second sink".
+  struct SinkResult {
+    std::size_t id = 0;
+    bool failed = false;
+  };
+  std::vector<SinkResult> results;
+  results.reserve(calls.size());
+  for (std::size_t ordinal = 0; ordinal < calls.size(); ++ordinal) {
+    std::string error;
+    const auto begin = std::chrono::steady_clock::now();
+    try {
+      common::fault_point(config_.fault_injector.get(), common::FailPoint::kSinkDispatch,
+                          outcome.round, ordinal);
+      calls[ordinal].sink(telemetry);
+    } catch (const std::exception& e) {
+      error = e.what();
+    } catch (...) {
+      error = "unknown exception";
+    }
+    if (error.empty() && config_.sink_slow_seconds > 0.0) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - begin).count();
+      if (elapsed > config_.sink_slow_seconds) {
+        error = "sink exceeded " + format_double(config_.sink_slow_seconds) + "s time budget";
+      }
+    }
+    if (!error.empty()) {
+      outcome.sink_errors.push_back("telemetry sink " + std::to_string(calls[ordinal].id) +
+                                    ": " + error);
+    }
+    results.push_back(SinkResult{calls[ordinal].id, !error.empty()});
+  }
+
+  // Streaks write back by id under the lock — a sink unsubscribed (or
+  // replaced) mid-delivery is simply skipped.
+  std::uint64_t sink_failures = 0;
+  std::uint64_t newly_quarantined = 0;
+  if (!results.empty()) {
+    std::lock_guard<std::mutex> lock(sinks_mutex_);
+    for (const auto& result : results) {
+      const auto it = std::find_if(sinks_.begin(), sinks_.end(),
+                                   [&result](const Subscription& s) { return s.id == result.id; });
+      if (it == sinks_.end()) {
+        continue;
+      }
+      if (!result.failed) {
+        it->consecutive_failures = 0;
+        continue;
+      }
+      ++sink_failures;
+      ++it->consecutive_failures;
+      if (config_.sink_quarantine_failures > 0 && !it->quarantined &&
+          it->consecutive_failures >= config_.sink_quarantine_failures) {
+        it->quarantined = true;
+        ++newly_quarantined;
+      }
+    }
+  }
+  if (newly_quarantined > 0) {
+    obs::Registry::global().add(ServiceMetrics::get().sinks_quarantined,
+                                static_cast<std::int64_t>(newly_quarantined));
+  }
+  if (outcome.shard_retries > 0) {
+    obs::Registry::global().add(ServiceMetrics::get().shard_retries,
+                                static_cast<std::int64_t>(outcome.shard_retries));
   }
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
     MCS_ENSURES(outcome.round == next_completed_, "rounds must complete in submission order");
     ++stats_.completed;
+    stats_.shard_retries += outcome.shard_retries;
+    stats_.sink_failures += sink_failures;
+    stats_.sinks_quarantined += newly_quarantined;
+    if (!outcome.journal_error.empty()) {
+      ++stats_.journal_append_failures;
+    }
     if (outcome.replayed_from_journal) {
       ++stats_.replayed;
       obs::Registry::global().add(ServiceMetrics::get().replayed, 1);
     }
     if (outcome.status == auction::AuctionStatus::kDegraded) {
       ++stats_.degraded;
+      obs::Registry::global().add(ServiceMetrics::get().rounds_degraded, 1);
     } else if (!outcome.ok()) {
       ++stats_.failed;
     }

@@ -40,6 +40,28 @@
 // resubmitting the same campaign replays settled rounds bit-identically
 // without recomputation, then computation resumes at the first un-journaled
 // round. A journal written under a different configuration is refused.
+//
+// Fault model (DESIGN.md §12): the paper's execution uncertainty lives at
+// the USER level (PoS < 1); this service additionally survives
+// INFRASTRUCTURE faults. The escalation ladder, cheapest rung first:
+//
+//   1. cooperative deadlines — the mechanism polls its own Deadline and
+//      degrades (engine kTimedOut/kDegraded slots);
+//   2. per-shard retry with bounded exponential backoff — a failed shard
+//      re-runs up to retry.max_attempts times before the merge sees it;
+//   3. MergePolicy::kDegradedMerge — a shard dead after its retries costs
+//      only its own tasks, not the round (kPoisonRound stays the default);
+//   4. stuck-round watchdog — a round wedged past watchdog_seconds is
+//      abandoned (its runner parks until destruction) and published as
+//      kTimedOut, and the dispatcher keeps serving subsequent rounds.
+//
+// A throwing/slow telemetry sink is quarantined after N consecutive
+// failures; a failed journal append quarantines journaling for the rest of
+// the service lifetime (the on-disk journal stays a valid replayable
+// prefix). Every recovery path is observable (service.shard_retries,
+// service.rounds_degraded, service.sinks_quarantined,
+// service.watchdog_fires) and every fault schedule is a pure function of
+// the ServiceConfig::fault_injector seed, so chaos runs replay bit-for-bit.
 #pragma once
 
 #include <condition_variable>
@@ -56,6 +78,8 @@
 #include <vector>
 
 #include "auction/engine.hpp"
+#include "common/deadline.hpp"
+#include "common/fault_injection.hpp"
 #include "obs/telemetry.hpp"
 #include "service/journal.hpp"
 #include "service/shard.hpp"
@@ -76,6 +100,52 @@ struct ServiceConfig {
   /// When non-empty, computed rounds are journaled here and a restart
   /// replays them (see the header comment's durability story).
   std::filesystem::path journal_path;
+
+  /// What a shard that is still dead after its retries does to the round.
+  /// kPoisonRound preserves PR-era bit-identity; kDegradedMerge salvages the
+  /// surviving shards (see shard.hpp's MergePolicy contract).
+  MergePolicy merge_policy = MergePolicy::kPoisonRound;
+
+  /// Per-shard retry with bounded exponential backoff. Attempts are total
+  /// (1 = no retry, today's behavior). Backoff sleeps are deadline-aware:
+  /// with a watchdog configured, a retry never sleeps past the round's
+  /// watchdog budget. Without a fault injector a deterministic mechanism
+  /// failure fails identically on every attempt, so retries only change
+  /// outcomes when the failure is injected (or genuinely transient).
+  struct RetryPolicy {
+    std::size_t max_attempts = 1;           ///< total attempts per shard, >= 1
+    double initial_backoff_seconds = 0.005; ///< sleep before the first retry
+    double backoff_multiplier = 2.0;        ///< growth per retry, >= 1
+    double max_backoff_seconds = 0.1;       ///< backoff ceiling
+  };
+  RetryPolicy retry;
+
+  /// Stuck-round watchdog: a round still running after this many seconds is
+  /// abandoned and published as kTimedOut so the dispatcher keeps serving.
+  /// 0 disables the watchdog — rounds then compute inline on the dispatcher
+  /// thread, exactly the pre-watchdog code path. The abandoned runner parks
+  /// until the service destructor (which waits for it), so the watchdog
+  /// isolates the ROUND, not the engine's shared thread pool — cooperative
+  /// mechanism deadlines remain the tool that protects the pool itself.
+  double watchdog_seconds = 0.0;
+
+  /// A telemetry sink failing (throwing, or exceeding sink_slow_seconds)
+  /// this many CONSECUTIVE rounds is quarantined: skipped for the rest of
+  /// the service lifetime (or until re-subscribed). 0 never quarantines;
+  /// failures are still recorded on the round either way.
+  std::size_t sink_quarantine_failures = 3;
+
+  /// When positive, a sink call slower than this counts as a failure for
+  /// quarantine purposes (a slow dashboard stalls every round: the
+  /// dispatcher delivers sinks before outcomes become pollable).
+  double sink_slow_seconds = 0.0;
+
+  /// Deterministic fault injection (test/bench facility, never a production
+  /// default). Null = disabled, costing one pointer test per fail point.
+  /// Excluded from the journal fingerprint — a journal written under
+  /// injection replays the outcomes the faults produced, which is the point
+  /// of seed-replayable chaos runs.
+  std::shared_ptr<common::FaultInjector> fault_injector;
 };
 
 /// The settled result of one submitted round, delivered exactly once.
@@ -89,10 +159,19 @@ struct RoundOutcome {
   std::size_t shards_run = 0;   ///< shards that owned at least one task
   std::size_t straddlers = 0;   ///< users restricted by the straddler protocol
   /// Dispatch-to-merge wall-clock seconds (compute only, not queue wait);
-  /// ~0 for journal-replayed rounds.
+  /// ~0 for journal-replayed rounds; ~watchdog_seconds for abandoned rounds.
   double latency_seconds = 0.0;
   /// True when this outcome was served from the journal, not computed.
   bool replayed_from_journal = false;
+  /// Extra shard attempts beyond each shard's first (0 without retries).
+  std::size_t shard_retries = 0;
+  /// Telemetry sinks that failed while delivering this round ("telemetry
+  /// sink <id>: <error>"). The outcome itself is unaffected — a sink
+  /// failure never poisons a round.
+  std::vector<std::string> sink_errors;
+  /// Non-empty when journaling this round failed; the round's outcome
+  /// stands, but it (and every later round this lifetime) is not durable.
+  std::string journal_error;
 
   /// True when `outcome` is meaningful (possibly degraded).
   bool ok() const {
@@ -106,6 +185,7 @@ struct RoundTelemetry {
   auction::AuctionStatus status = auction::AuctionStatus::kOk;
   std::size_t shards_run = 0;
   std::size_t straddlers = 0;
+  std::size_t shard_retries = 0;
   double latency_seconds = 0.0;
   bool replayed_from_journal = false;
   /// The round's merged mechanism telemetry (all zeros while obs is off).
@@ -124,6 +204,13 @@ struct ServiceStats {
   std::uint64_t replayed = 0;  ///< completed rounds served from the journal
   std::uint64_t failed = 0;    ///< completed rounds with status kFailed/kTimedOut
   std::uint64_t degraded = 0;  ///< completed rounds with status kDegraded
+  std::uint64_t shard_retries = 0;    ///< extra shard attempts beyond the first
+  std::uint64_t watchdog_fires = 0;   ///< rounds abandoned by the watchdog
+  std::uint64_t sink_failures = 0;    ///< telemetry sink delivery failures
+  std::uint64_t sinks_quarantined = 0;  ///< sinks isolated after repeat failure
+  /// Rounds not durably journaled: the append failure that quarantined
+  /// journaling plus every round skipped by the quarantine after it.
+  std::uint64_t journal_append_failures = 0;
 };
 
 /// Fingerprint of every ServiceConfig knob that shapes round outcomes (shard
@@ -196,14 +283,39 @@ class CampaignService {
     GeoRound payload;
   };
 
+  struct Subscription {
+    std::size_t id = 0;
+    TelemetrySink sink;
+    std::size_t consecutive_failures = 0;
+    bool quarantined = false;
+  };
+
   void dispatcher_loop();
+  /// Runs compute, guarded by the watchdog when configured: on expiry the
+  /// runner thread is abandoned (parked in abandoned_, joined at
+  /// destruction) and a synthetic kTimedOut outcome is returned.
+  RoundOutcome run_guarded(Request request);
   RoundOutcome compute(const Request& request);
+  /// One shard's mechanism run through the kShardRun fail point and the
+  /// retry/backoff loop. `hit` is the round's running kShardRun hit counter
+  /// (with no faults and no retries, hit == shard slice index); `retries`
+  /// accumulates extra attempts.
+  auction::AuctionOutcome attempt_shard(const auction::MultiTaskInstance& instance, RoundId round,
+                                        const common::Deadline& deadline, std::uint64_t& hit,
+                                        std::size_t& retries) const;
+  void journal_round(const RoundOutcome& outcome, std::size_t users, std::size_t tasks,
+                     std::string& journal_error);
   void publish(RoundOutcome outcome);
 
   ServiceConfig config_;
   auction::Engine engine_;
   std::vector<ServiceJournalRecord> journaled_;  ///< rounds replayed at startup
   std::unique_ptr<ServiceJournalWriter> journal_;
+  /// Cleared by the first failed append: a skipped block would break the
+  /// journal's contiguous-from-0 invariant, so one failure quarantines
+  /// journaling for the rest of this lifetime (the file stays a valid,
+  /// replayable prefix). Dispatcher-thread only.
+  bool journal_healthy_ = true;
 
   mutable std::mutex mutex_;
   std::condition_variable queue_space_;   ///< signaled when the queue shrinks
@@ -217,8 +329,13 @@ class CampaignService {
   bool stopping_ = false;
 
   std::mutex sinks_mutex_;
-  std::vector<std::pair<std::size_t, TelemetrySink>> sinks_;
+  std::vector<Subscription> sinks_;
   std::size_t next_subscription_ = 0;
+
+  /// Watchdog-abandoned round runners: dispatcher-thread only, joined by the
+  /// destructor after the dispatcher (teardown waits for wedged rounds —
+  /// bounded by the longest injected stall).
+  std::vector<std::thread> abandoned_;
 
   std::thread dispatcher_;  ///< last member: joins before the rest tears down
 };

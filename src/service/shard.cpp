@@ -165,34 +165,131 @@ std::vector<auction::UserId> merged_winners(const RoundPartition& partition,
   return winners;
 }
 
+/// A slot whose mechanism never produced an outcome: failed or timed out.
+bool slot_dead(const auction::AuctionOutcome& slot) {
+  return slot.status == auction::AuctionStatus::kFailed ||
+         slot.status == auction::AuctionStatus::kTimedOut;
+}
+
+/// Every dead shard's error, "shard <id>: <error>" joined with "; " in shard
+/// order — with a single dead shard this is exactly the pre-aggregation
+/// string, so journaled errors from older builds stay comparable.
+std::string aggregate_dead_errors(const RoundPartition& partition,
+                                  const std::vector<auction::AuctionOutcome>& slots) {
+  std::string error;
+  for (std::size_t s = 0; s < slots.size(); ++s) {
+    if (!slot_dead(slots[s])) {
+      continue;
+    }
+    if (!error.empty()) {
+      error += "; ";
+    }
+    error += "shard " + std::to_string(partition.shards[s].shard) + ": " + slots[s].error;
+  }
+  return error;
+}
+
 }  // namespace
 
 auction::AuctionOutcome merge_outcomes(const auction::MultiTaskInstance& flat,
                                        const RoundPartition& partition,
                                        const std::vector<auction::AuctionOutcome>& slots,
-                                       bool partial_coverage) {
+                                       bool partial_coverage, MergePolicy policy) {
   MCS_EXPECTS(slots.size() == partition.shards.size(),
               "merge_outcomes needs one slot per partition shard");
   auction::AuctionOutcome merged;
 
-  // A poisoned shard poisons the round: lowest-indexed kFailed first (a
-  // malformed shard instance is a caller bug worth surfacing over a blown
-  // deadline), then lowest-indexed kTimedOut.
-  for (const auto status : {auction::AuctionStatus::kFailed, auction::AuctionStatus::kTimedOut}) {
-    for (std::size_t s = 0; s < slots.size(); ++s) {
-      if (slots[s].status == status) {
-        merged.status = status;
-        merged.error =
-            "shard " + std::to_string(partition.shards[s].shard) + ": " + slots[s].error;
-        return merged;
-      }
+  bool any_failed = false;
+  std::size_t dead_shards = 0;
+  for (const auto& slot : slots) {
+    any_failed = any_failed || slot.status == auction::AuctionStatus::kFailed;
+    if (slot_dead(slot)) {
+      ++dead_shards;
     }
+  }
+
+  // Poisoned round: kFailed beats kTimedOut (a malformed shard instance is a
+  // caller bug worth surfacing over a blown deadline) and the error carries
+  // EVERY dead shard in shard order — the full blast radius, not just the
+  // first casualty. kDegradedMerge lands here too when no shard survived.
+  if (dead_shards > 0 &&
+      (policy == MergePolicy::kPoisonRound || dead_shards == slots.size())) {
+    merged.status = any_failed ? auction::AuctionStatus::kFailed
+                               : auction::AuctionStatus::kTimedOut;
+    merged.error = aggregate_dead_errors(partition, slots);
+    return merged;
   }
 
   // Telemetry totals merge in shard-index order — deterministic whatever the
   // engine's scheduling; timings are per-shard sums, not the flat run's.
+  // Dead slots contribute whatever their partial run recorded.
   for (const auto& slot : slots) {
     merged.outcome.telemetry += slot.outcome.telemetry;
+  }
+
+  if (dead_shards > 0) {
+    // kDegradedMerge with at least one survivor: salvage the surviving
+    // shards. The shard is the unit of all-or-nothing — a feasible shard's
+    // winners and critical-bid rewards are shard-local, so they stand
+    // unchanged; an infeasible survivor follows the flat partial_coverage
+    // rule (report its partial winners, pay nobody); a dead shard's entire
+    // task slate is uncovered.
+    merged.outcome.degraded = true;
+    merged.outcome.allocation.feasible = false;
+    merged.error = aggregate_dead_errors(partition, slots);
+    for (std::size_t s = 0; s < slots.size(); ++s) {
+      const auto& slice = partition.shards[s];
+      if (slot_dead(slots[s])) {
+        merged.outcome.uncovered_tasks.insert(merged.outcome.uncovered_tasks.end(),
+                                              slice.global_tasks.begin(),
+                                              slice.global_tasks.end());
+        continue;
+      }
+      const bool feasible = slots[s].outcome.allocation.feasible;
+      if (feasible || partial_coverage) {
+        for (auction::UserId local : slots[s].outcome.allocation.winners) {
+          merged.outcome.allocation.winners.push_back(
+              slice.global_users[static_cast<std::size_t>(local)]);
+        }
+      }
+      if (!feasible) {
+        if (partial_coverage) {
+          for (auction::TaskIndex local : slots[s].outcome.uncovered_tasks) {
+            merged.outcome.uncovered_tasks.push_back(
+                slice.global_tasks[static_cast<std::size_t>(local)]);
+          }
+        } else {
+          // All-or-nothing shard that fell short: nothing committed, so the
+          // whole slice counts as uncovered.
+          merged.outcome.uncovered_tasks.insert(merged.outcome.uncovered_tasks.end(),
+                                                slice.global_tasks.begin(),
+                                                slice.global_tasks.end());
+        }
+        continue;
+      }
+      for (const auto& reward : slots[s].outcome.rewards) {
+        auction::WinnerReward remapped = reward;
+        remapped.user = slice.global_users[static_cast<std::size_t>(reward.user)];
+        merged.outcome.rewards.push_back(remapped);
+      }
+    }
+    std::sort(merged.outcome.allocation.winners.begin(),
+              merged.outcome.allocation.winners.end());
+    std::sort(merged.outcome.uncovered_tasks.begin(), merged.outcome.uncovered_tasks.end());
+    std::sort(merged.outcome.rewards.begin(), merged.outcome.rewards.end(),
+              [](const auction::WinnerReward& a, const auction::WinnerReward& b) {
+                return a.user < b.user;
+              });
+    merged.outcome.allocation.total_cost =
+        merged.outcome.allocation.winners.empty()
+            ? 0.0
+            : flat.cost_of(merged.outcome.allocation.winners);
+    merged.status = auction::AuctionStatus::kDegraded;
+    if (merged.outcome.telemetry.enabled) {
+      merged.outcome.telemetry.degraded_events =
+          std::max<std::uint64_t>(merged.outcome.telemetry.degraded_events, 1);
+    }
+    return merged;
   }
 
   bool all_feasible = true;

@@ -132,11 +132,34 @@ struct RoundPartition {
 /// valid cell ids; the instance itself is validated by the mechanism run.
 RoundPartition partition_round(const GeoRound& round, const ShardMap& map);
 
+/// What a dead shard (kFailed / kTimedOut engine slot) does to the round.
+enum class MergePolicy {
+  /// A dead shard poisons the whole round: the merge returns kFailed (any
+  /// shard failed) or kTimedOut with every dead shard's error aggregated,
+  /// and no allocation. This is the bit-identity-preserving default — a
+  /// healthy round merges exactly as if the policy knob did not exist.
+  kPoisonRound,
+  /// Surviving shards still produce a round: the merge returns kDegraded
+  /// with the survivors' winners, the dead shards' ENTIRE task slates
+  /// reported as uncovered (reusing the partial-coverage reporting channel),
+  /// and rewards paid only for shards whose mechanism ran to completion
+  /// feasibly. Sound because the shard is the unit of all-or-nothing: a
+  /// feasible shard's critical bids are shard-local, so paying its winners
+  /// is unaffected by other shards' deaths. If EVERY shard is dead the
+  /// policy falls back to kPoisonRound semantics — there is nothing to
+  /// salvage. Deterministic: the merged outcome is a pure function of the
+  /// slots, never of retry timing or scheduling.
+  kDegradedMerge,
+};
+
 /// Merges per-shard engine slots (aligned with partition.shards) back into
 /// one round-level slot, reconstructing the flat outcome per the contract in
-/// the file header. Status: the lowest-indexed kFailed shard poisons the
-/// round (then kTimedOut, then kDegraded); rewards are paid only when every
-/// shard is feasible, matching the flat mechanism's all-or-nothing rule.
+/// the file header. Status under kPoisonRound: any kFailed shard poisons the
+/// round (then kTimedOut, then kDegraded), with ALL dead shards' errors
+/// aggregated in shard order so operators see the full blast radius; rewards
+/// are paid only when every shard is feasible, matching the flat mechanism's
+/// all-or-nothing rule. Under kDegradedMerge a partially-dead round becomes
+/// kDegraded per the MergePolicy contract above.
 /// `flat` must be the round's original instance (for the cost re-summation);
 /// `partial_coverage` must echo MechanismConfig::multi_task.partial_coverage
 /// so infeasible rounds keep or drop the partial winner prefix exactly as
@@ -144,6 +167,7 @@ RoundPartition partition_round(const GeoRound& round, const ShardMap& map);
 auction::AuctionOutcome merge_outcomes(const auction::MultiTaskInstance& flat,
                                        const RoundPartition& partition,
                                        const std::vector<auction::AuctionOutcome>& slots,
-                                       bool partial_coverage);
+                                       bool partial_coverage,
+                                       MergePolicy policy = MergePolicy::kPoisonRound);
 
 }  // namespace mcs::service

@@ -59,6 +59,74 @@ double achieved_pos_with_failures(const auction::MultiTaskInstance& instance,
   return (1.0 - model.outage_prob) * common::pos_from_contribution(effective_q);
 }
 
+CellFailureEvent draw_cell_failure(const CellFailureModel& model, common::Rng& rng) {
+  MCS_EXPECTS(model.event_prob >= 0.0 && model.event_prob < 1.0,
+              "cell-failure event probability must lie in [0, 1)");
+  MCS_EXPECTS(model.event_prob == 0.0 || !model.cells.empty(),
+              "cell-failure model needs candidate cells when event_prob > 0");
+  CellFailureEvent event;
+  event.occurred = rng.bernoulli(model.event_prob);
+  if (event.occurred) {
+    const auto pick =
+        rng.uniform_int(0, static_cast<std::int64_t>(model.cells.size()) - 1);
+    event.cell = model.cells[static_cast<std::size_t>(pick)];
+  }
+  return event;
+}
+
+FailureRun simulate_with_cell_failure(const auction::MultiTaskInstance& instance,
+                                      const std::vector<auction::UserId>& winners,
+                                      const std::vector<geo::CellId>& task_cells,
+                                      const CellFailureEvent& event, common::Rng& rng) {
+  MCS_EXPECTS(task_cells.size() == instance.num_tasks(),
+              "task_cells must align with the instance's tasks");
+  FailureRun run;
+  run.winner_hardware_ok.assign(winners.size(), true);  // no hardware axis here
+  run.winner_any_success.reserve(winners.size());
+  run.task_completed.assign(instance.num_tasks(), false);
+  for (auction::UserId winner : winners) {
+    MCS_EXPECTS(winner >= 0 && static_cast<std::size_t>(winner) < instance.users.size(),
+                "winner id out of range");
+    const auto& bid = instance.users[static_cast<std::size_t>(winner)];
+    bool any = false;
+    for (std::size_t k = 0; k < bid.tasks.size(); ++k) {
+      // Draw FIRST, then mask: the rng stream is identical with and without
+      // the event, so paired runs differ only inside the failed cell.
+      const bool attempt_ok = rng.bernoulli(bid.pos[k]);
+      const auto task = static_cast<std::size_t>(bid.tasks[k]);
+      const bool cell_ok = !event.occurred || task_cells[task] != event.cell;
+      if (attempt_ok && cell_ok) {
+        any = true;
+        run.task_completed[task] = true;
+      }
+    }
+    run.winner_any_success.push_back(any);
+  }
+  return run;
+}
+
+double achieved_pos_with_cell_failure(const auction::MultiTaskInstance& instance,
+                                      const std::vector<auction::UserId>& winners,
+                                      auction::TaskIndex task,
+                                      const std::vector<geo::CellId>& task_cells,
+                                      const CellFailureEvent& event) {
+  MCS_EXPECTS(task_cells.size() == instance.num_tasks(),
+              "task_cells must align with the instance's tasks");
+  MCS_EXPECTS(task >= 0 && static_cast<std::size_t>(task) < instance.num_tasks(),
+              "task index out of range");
+  if (event.occurred && task_cells[static_cast<std::size_t>(task)] == event.cell) {
+    return 0.0;
+  }
+  double q = 0.0;
+  for (auction::UserId winner : winners) {
+    MCS_EXPECTS(winner >= 0 && static_cast<std::size_t>(winner) < instance.users.size(),
+                "winner id out of range");
+    q += common::contribution_from_pos(
+        instance.users[static_cast<std::size_t>(winner)].pos_for(task));
+  }
+  return common::pos_from_contribution(q);
+}
+
 double compensated_requirement(double target, const FailureModel& model) {
   check_model(model);
   MCS_EXPECTS(target > 0.0 && target < 1.0, "target PoS must lie in (0, 1)");

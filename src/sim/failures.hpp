@@ -19,6 +19,7 @@
 
 #include "auction/instance.hpp"
 #include "common/rng.hpp"
+#include "geo/grid.hpp"
 
 namespace mcs::sim {
 
@@ -55,5 +56,56 @@ double achieved_pos_with_failures(const auction::MultiTaskInstance& instance,
 /// guaranteed — see the docs. Throws PreconditionError when the target is
 /// unreachable (target >= 1 - outage).
 double compensated_requirement(double target, const FailureModel& model);
+
+// ---------------------------------------------------------------------------
+// Correlated cell failures (ROADMAP item 4): a localized weather event —
+// storm, flood, cell-tower outage — zeroes the realized PoS of EVERY task
+// pinned to one grid cell for one round. Unlike `outage_prob` (city-wide)
+// and `hardware_prob` (per-winner), this failure is correlated by GEOGRAPHY,
+// which is exactly the shape the geo-sharded service's MergePolicy knob must
+// survive: a cell maps to one shard, so a weather event is also the
+// per-shard blast-radius scenario (EXPERIMENTS.md compares kPoisonRound vs
+// kDegradedMerge coverage under it).
+// ---------------------------------------------------------------------------
+
+/// Per-round weather-event model; zeros disable.
+struct CellFailureModel {
+  double event_prob = 0.0;        ///< P(an event hits this round), in [0, 1)
+  /// Candidate cells the event strikes, uniformly; must be non-empty when
+  /// event_prob > 0.
+  std::vector<geo::CellId> cells;
+};
+
+/// One round's realized weather event.
+struct CellFailureEvent {
+  bool occurred = false;
+  geo::CellId cell = 0;  ///< meaningful only when occurred
+};
+
+/// Draws whether (and where) a weather event strikes this round. Consumes
+/// exactly one bernoulli draw plus, on occurrence, one uniform_int — callers
+/// interleaving other draws stay aligned across event/no-event seeds only if
+/// they draw the event first (the convention sim code follows).
+CellFailureEvent draw_cell_failure(const CellFailureModel& model, common::Rng& rng);
+
+/// Simulates one execution round under a (possibly absent) weather event:
+/// task attempts on tasks in the failed cell fail outright, everything else
+/// succeeds with the declared PoS. task_cells must align with the instance's
+/// tasks. The per-attempt bernoulli draws are consumed IDENTICALLY whether
+/// or not the event occurred, so paired comparisons across merge policies
+/// (or against a no-event run) see the same realized randomness everywhere
+/// outside the failed cell.
+FailureRun simulate_with_cell_failure(const auction::MultiTaskInstance& instance,
+                                      const std::vector<auction::UserId>& winners,
+                                      const std::vector<geo::CellId>& task_cells,
+                                      const CellFailureEvent& event, common::Rng& rng);
+
+/// Analytic achieved PoS of a task under a realized weather event: 0 when
+/// the task's cell failed, the usual 1 - Π(1 - p_i) otherwise.
+double achieved_pos_with_cell_failure(const auction::MultiTaskInstance& instance,
+                                      const std::vector<auction::UserId>& winners,
+                                      auction::TaskIndex task,
+                                      const std::vector<geo::CellId>& task_cells,
+                                      const CellFailureEvent& event);
 
 }  // namespace mcs::sim

@@ -1,0 +1,192 @@
+// Deterministic fault injection: decisions are pure functions of
+// (seed, point, stream, hit) — replayable across instances, call orders, and
+// threads — explicit coordinate lists override the probabilistic draw, and
+// the disabled path (null injector) is a no-op.
+#include "common/fault_injection.hpp"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace mcs::common {
+namespace {
+
+TEST(FaultInjector, DefaultSpecsNeverFire) {
+  const FaultInjector injector(42);
+  for (std::size_t p = 0; p < kFailPointCount; ++p) {
+    for (std::uint64_t hit = 0; hit < 50; ++hit) {
+      EXPECT_EQ(injector.decide(static_cast<FailPoint>(p), 7, hit).action, FaultAction::kNone);
+    }
+  }
+  EXPECT_EQ(injector.injected_failures(FailPoint::kShardRun), 0u);
+}
+
+TEST(FaultInjector, DecisionsArePureFunctionsOfTheCoordinates) {
+  FailPointSpec spec;
+  spec.fail_prob = 0.3;
+  spec.stall_prob = 0.2;
+
+  FaultInjector a(1234);
+  FaultInjector b(1234);
+  a.configure(FailPoint::kShardRun, spec);
+  b.configure(FailPoint::kShardRun, spec);
+
+  // Same coordinates, fresh instance, any evaluation order: same decision.
+  std::vector<FaultAction> forward;
+  for (std::uint64_t stream = 0; stream < 20; ++stream) {
+    for (std::uint64_t hit = 0; hit < 10; ++hit) {
+      forward.push_back(a.decide(FailPoint::kShardRun, stream, hit).action);
+    }
+  }
+  std::size_t k = forward.size();
+  for (std::uint64_t stream = 20; stream-- > 0;) {
+    for (std::uint64_t hit = 10; hit-- > 0;) {
+      EXPECT_EQ(b.decide(FailPoint::kShardRun, stream, hit).action, forward[--k + 0]);
+    }
+  }
+
+  // Re-evaluating never changes the answer (no hidden counters).
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    EXPECT_EQ(a.decide(FailPoint::kShardRun, 3, 4).action,
+              b.decide(FailPoint::kShardRun, 3, 4).action);
+  }
+}
+
+TEST(FaultInjector, DifferentSeedsDisagreeSomewhere) {
+  FailPointSpec spec;
+  spec.fail_prob = 0.5;
+  FaultInjector a(1);
+  FaultInjector b(2);
+  a.configure(FailPoint::kShardRun, spec);
+  b.configure(FailPoint::kShardRun, spec);
+  bool differ = false;
+  for (std::uint64_t hit = 0; hit < 64 && !differ; ++hit) {
+    differ = a.decide(FailPoint::kShardRun, 0, hit).action !=
+             b.decide(FailPoint::kShardRun, 0, hit).action;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(FaultInjector, ProbabilityEdgesAreExact) {
+  FailPointSpec always_fail;
+  always_fail.fail_prob = 1.0;
+  FailPointSpec always_stall;
+  always_stall.stall_prob = 1.0;
+  always_stall.stall_seconds = 0.25;
+
+  FaultInjector injector(7);
+  injector.configure(FailPoint::kShardRun, always_fail);
+  injector.configure(FailPoint::kSinkDispatch, always_stall);
+  for (std::uint64_t hit = 0; hit < 32; ++hit) {
+    EXPECT_EQ(injector.decide(FailPoint::kShardRun, hit, hit).action, FaultAction::kFail);
+    const auto stall = injector.decide(FailPoint::kSinkDispatch, hit, hit);
+    EXPECT_EQ(stall.action, FaultAction::kStall);
+    EXPECT_EQ(stall.stall_seconds, 0.25);
+  }
+  EXPECT_EQ(injector.injected_failures(FailPoint::kShardRun), 32u);
+  EXPECT_EQ(injector.injected_stalls(FailPoint::kSinkDispatch), 32u);
+}
+
+TEST(FaultInjector, ExplicitCoordinatesOverrideTheDraw) {
+  FailPointSpec spec;  // zero probabilities: only the lists fire
+  spec.fail_at = {{3, 1}};
+  spec.stall_at = {{3, 2}, {5, 0}};
+  FaultInjector injector(11);
+  injector.configure(FailPoint::kShardRun, spec);
+
+  EXPECT_EQ(injector.decide(FailPoint::kShardRun, 3, 0).action, FaultAction::kNone);
+  EXPECT_EQ(injector.decide(FailPoint::kShardRun, 3, 1).action, FaultAction::kFail);
+  EXPECT_EQ(injector.decide(FailPoint::kShardRun, 3, 2).action, FaultAction::kStall);
+  EXPECT_EQ(injector.decide(FailPoint::kShardRun, 5, 0).action, FaultAction::kStall);
+  EXPECT_EQ(injector.decide(FailPoint::kShardRun, 5, 1).action, FaultAction::kNone);
+
+  // fail_at wins over stall_at at the same coordinate.
+  FailPointSpec both;
+  both.fail_at = {{1, 1}};
+  both.stall_at = {{1, 1}};
+  injector.configure(FailPoint::kQueueHandoff, both);
+  EXPECT_EQ(injector.decide(FailPoint::kQueueHandoff, 1, 1).action, FaultAction::kFail);
+}
+
+TEST(FaultInjector, ActThrowsInjectedFaultWithTheScheduleCoordinates) {
+  FailPointSpec spec;
+  spec.fail_at = {{4, 2}};
+  FaultInjector injector(9);
+  injector.configure(FailPoint::kJournalAppend, spec);
+  injector.act(FailPoint::kJournalAppend, 4, 1);  // no-op
+  try {
+    injector.act(FailPoint::kJournalAppend, 4, 2);
+    FAIL() << "expected InjectedFault";
+  } catch (const InjectedFault& e) {
+    EXPECT_EQ(std::string(e.what()), injected_fault_message(FailPoint::kJournalAppend, 4, 2));
+    EXPECT_NE(std::string(e.what()).find("journal-append"), std::string::npos);
+  }
+}
+
+TEST(FaultInjector, FaultPointHelperIsANoOpWithoutAnInjector) {
+  fault_point(nullptr, FailPoint::kShardRun, 0, 0);  // must not crash or throw
+}
+
+TEST(FaultInjector, ConfigureRejectsBadSpecs) {
+  FaultInjector injector(1);
+  FailPointSpec negative;
+  negative.fail_prob = -0.1;
+  EXPECT_THROW(injector.configure(FailPoint::kShardRun, negative), common::PreconditionError);
+  FailPointSpec overfull;
+  overfull.fail_prob = 0.7;
+  overfull.stall_prob = 0.5;
+  EXPECT_THROW(injector.configure(FailPoint::kShardRun, overfull), common::PreconditionError);
+  FailPointSpec negative_stall;
+  negative_stall.stall_seconds = -1.0;
+  EXPECT_THROW(injector.configure(FailPoint::kShardRun, negative_stall),
+               common::PreconditionError);
+}
+
+TEST(FaultInjector, EveryFailPointHasAName) {
+  for (std::size_t p = 0; p < kFailPointCount; ++p) {
+    EXPECT_STRNE(to_string(static_cast<FailPoint>(p)), "unknown");
+  }
+}
+
+TEST(FaultInjector, ConcurrentDecidesAgreeWithSerialReplay) {
+  // The service evaluates fail points from the dispatcher, guarded runners,
+  // and zombie (abandoned) rounds concurrently; decisions must not depend on
+  // the interleaving.
+  FailPointSpec spec;
+  spec.fail_prob = 0.4;
+  FaultInjector injector(777);
+  injector.configure(FailPoint::kShardRun, spec);
+
+  constexpr std::uint64_t kStreams = 8;
+  constexpr std::uint64_t kHits = 64;
+  std::vector<std::vector<FaultAction>> parallel(kStreams,
+                                                 std::vector<FaultAction>(kHits));
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kStreams);
+    for (std::uint64_t s = 0; s < kStreams; ++s) {
+      threads.emplace_back([&injector, &parallel, s] {
+        for (std::uint64_t h = 0; h < kHits; ++h) {
+          parallel[s][h] = injector.decide(FailPoint::kShardRun, s, h).action;
+        }
+      });
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
+  }
+  FaultInjector replay(777);
+  replay.configure(FailPoint::kShardRun, spec);
+  for (std::uint64_t s = 0; s < kStreams; ++s) {
+    for (std::uint64_t h = 0; h < kHits; ++h) {
+      EXPECT_EQ(parallel[s][h], replay.decide(FailPoint::kShardRun, s, h).action);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcs::common

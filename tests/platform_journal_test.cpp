@@ -285,7 +285,16 @@ TEST(Journal, MissingFileIsAnEmptyJournal) {
 
 TEST(Journal, RejectsForeignHeader) {
   EXPECT_THROW(journal_from_text("mcs-single-task-v1\n"), common::PreconditionError);
-  EXPECT_THROW(journal_from_text(""), common::PreconditionError);
+}
+
+TEST(Journal, EmptyOrTornHeaderIsAnEmptyJournal) {
+  // A writer that died before (or mid-way through) its first line left a
+  // torn tail, not corruption: nothing valid was ever on disk.
+  EXPECT_TRUE(journal_from_text("").empty());
+  EXPECT_TRUE(journal_from_text("mcs-jour").empty());
+  EXPECT_EQ(parse_journal("mcs-jour").valid_bytes, 0u);
+  // A terminated wrong header is a foreign file, never a torn write.
+  EXPECT_THROW(journal_from_text("mcs-jour\n"), common::PreconditionError);
 }
 
 TEST(Journal, EntryTextRoundTripsExactly) {

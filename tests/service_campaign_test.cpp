@@ -10,6 +10,7 @@
 #include <filesystem>
 #include <fstream>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -195,6 +196,31 @@ TEST(CampaignServiceTelemetry, SinksSeeEveryRoundInOrderUntilUnsubscribed) {
   std::lock_guard<std::mutex> lock(mutex);
   EXPECT_EQ(seen.size(), 5u);
   EXPECT_THROW(service.unsubscribe(subscription), common::PreconditionError);
+}
+
+TEST(CampaignServiceTelemetry, ThrowingSinkNeverEscapesTheDispatcher) {
+  // Regression: a sink exception used to propagate out of the dispatcher
+  // thread and terminate the process. It must instead be recorded on the
+  // round, leaving the outcome, the other sinks, and later rounds intact.
+  ServiceConfig config;
+  config.sink_quarantine_failures = 0;  // keep the broken sink in play
+  CampaignService service{config};
+  service.stream_telemetry(
+      [](const RoundTelemetry&) -> void { throw std::runtime_error("sink exploded"); });
+  std::size_t healthy_calls = 0;
+  service.stream_telemetry([&](const RoundTelemetry&) { ++healthy_calls; });
+
+  const auto first = service.wait_outcome(service.submit_round(flat_round(12, 3, 950)));
+  const auto second = service.wait_outcome(service.submit_round(flat_round(12, 3, 951)));
+  for (const auto* outcome : {&first, &second}) {
+    EXPECT_TRUE(outcome->ok()) << outcome->error;
+    ASSERT_EQ(outcome->sink_errors.size(), 1u);
+    EXPECT_NE(outcome->sink_errors.front().find("sink exploded"), std::string::npos);
+  }
+  EXPECT_EQ(healthy_calls, 2u);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.sink_failures, 2u);
+  EXPECT_EQ(stats.sinks_quarantined, 0u);  // threshold 0 = never quarantine
 }
 
 // ---------------------------------------------------------------------------

@@ -344,5 +344,131 @@ TEST(MergeOutcomes, TimedOutLosesToFailedButPoisonsAlone) {
   EXPECT_EQ(merged.error, "shard 0: deadline");
 }
 
+TEST(MergeOutcomes, AggregatesEveryDeadShardError) {
+  // The full blast radius: every dead shard appears in the round error, in
+  // shard order, not just the lowest-indexed casualty.
+  const auto round = residue_pure_round(24, 8, 4, 0.4, 5);
+  const auto partition = partition_round(round, ShardMap(4));
+  ASSERT_EQ(partition.shards.size(), 4u);
+  std::vector<auction::AuctionOutcome> slots(4);
+  slots[1].status = auction::AuctionStatus::kFailed;
+  slots[1].error = "boom";
+  slots[3].status = auction::AuctionStatus::kTimedOut;
+  slots[3].error = "deadline";
+  const auto merged = merge_outcomes(round.instance, partition, slots, false);
+  EXPECT_EQ(merged.status, auction::AuctionStatus::kFailed);
+  EXPECT_EQ(merged.error, "shard 1: boom; shard 3: deadline");
+}
+
+// ---------------------------------------------------------------------------
+// Degraded merge
+// ---------------------------------------------------------------------------
+
+/// Real per-shard engine slots for a partitioned round.
+std::vector<auction::AuctionOutcome> engine_slots(const RoundPartition& partition,
+                                                  const auction::MechanismConfig& config) {
+  std::vector<MultiTaskInstance> batch;
+  batch.reserve(partition.shards.size());
+  for (const auto& slice : partition.shards) {
+    batch.push_back(slice.instance);
+  }
+  const auction::Engine engine(auction::EngineOptions{.workers = 1});
+  return engine.run_isolated(batch, config);
+}
+
+TEST(MergeOutcomes, DegradedMergeSalvagesSurvivingShards) {
+  const auto round = residue_pure_round(24, 8, 2, 0.4, 6);
+  const auto partition = partition_round(round, ShardMap(2));
+  ASSERT_EQ(partition.shards.size(), 2u);
+  const auction::MechanismConfig config{};
+  auto slots = engine_slots(partition, config);
+  ASSERT_TRUE(slots[1].outcome.allocation.feasible) << "survivor shard must be feasible";
+  const auto survivor = slots[1];
+  slots[0] = auction::AuctionOutcome{};
+  slots[0].status = auction::AuctionStatus::kFailed;
+  slots[0].error = "boom";
+
+  const auto merged =
+      merge_outcomes(round.instance, partition, slots, false, MergePolicy::kDegradedMerge);
+  EXPECT_EQ(merged.status, auction::AuctionStatus::kDegraded);
+  EXPECT_TRUE(merged.outcome.degraded);
+  EXPECT_FALSE(merged.outcome.allocation.feasible);
+  EXPECT_EQ(merged.error, "shard 0: boom");
+
+  // Winners and rewards are the survivor's, mapped to global ids.
+  const auto& slice = partition.shards[1];
+  std::vector<UserId> expected_winners;
+  for (UserId local : survivor.outcome.allocation.winners) {
+    expected_winners.push_back(slice.global_users[static_cast<std::size_t>(local)]);
+  }
+  std::sort(expected_winners.begin(), expected_winners.end());
+  EXPECT_EQ(merged.outcome.allocation.winners, expected_winners);
+  ASSERT_EQ(merged.outcome.rewards.size(), survivor.outcome.rewards.size());
+  EXPECT_EQ(merged.outcome.allocation.total_cost,
+            round.instance.cost_of(merged.outcome.allocation.winners));
+
+  // The dead shard's entire task slate is uncovered.
+  std::vector<TaskIndex> expected_uncovered = partition.shards[0].global_tasks;
+  std::sort(expected_uncovered.begin(), expected_uncovered.end());
+  EXPECT_EQ(merged.outcome.uncovered_tasks, expected_uncovered);
+}
+
+TEST(MergeOutcomes, DegradedMergeWithEveryShardDeadFallsBackToPoison) {
+  const auto round = residue_pure_round(12, 8, 2, 0.4, 7);
+  const auto partition = partition_round(round, ShardMap(2));
+  std::vector<auction::AuctionOutcome> slots(2);
+  slots[0].status = auction::AuctionStatus::kTimedOut;
+  slots[0].error = "deadline";
+  slots[1].status = auction::AuctionStatus::kFailed;
+  slots[1].error = "boom";
+  const auto merged =
+      merge_outcomes(round.instance, partition, slots, false, MergePolicy::kDegradedMerge);
+  EXPECT_EQ(merged.status, auction::AuctionStatus::kFailed);
+  EXPECT_EQ(merged.error, "shard 0: deadline; shard 1: boom");
+  EXPECT_TRUE(merged.outcome.allocation.winners.empty());
+}
+
+TEST(MergeOutcomes, DegradedMergeInfeasibleSurvivorFollowsPartialCoverageRule) {
+  // Requirement 0.97 with PoS <= 0.2: the surviving shard is (almost surely)
+  // infeasible. All-or-nothing drops its winners and counts all its tasks
+  // uncovered; partial coverage keeps the partial prefix and only the truly
+  // uncovered tasks.
+  const auto round = residue_pure_round(24, 8, 2, 0.97, 8, 0.2);
+  const auto partition = partition_round(round, ShardMap(2));
+  ASSERT_EQ(partition.shards.size(), 2u);
+  auto config = auction::MechanismConfig{};
+  auto slots = engine_slots(partition, config);
+  ASSERT_FALSE(slots[1].outcome.allocation.feasible) << "survivor shard must be infeasible";
+  slots[0] = auction::AuctionOutcome{};
+  slots[0].status = auction::AuctionStatus::kFailed;
+  slots[0].error = "boom";
+
+  const auto all_or_nothing =
+      merge_outcomes(round.instance, partition, slots, false, MergePolicy::kDegradedMerge);
+  EXPECT_EQ(all_or_nothing.status, auction::AuctionStatus::kDegraded);
+  EXPECT_TRUE(all_or_nothing.outcome.allocation.winners.empty());
+  EXPECT_TRUE(all_or_nothing.outcome.rewards.empty());
+  // Dead shard's slate + the infeasible survivor's slate = every task.
+  EXPECT_EQ(all_or_nothing.outcome.uncovered_tasks.size(), round.instance.num_tasks());
+
+  auto partial_config = auction::MechanismConfig{};
+  partial_config.multi_task.partial_coverage = true;
+  auto partial_slots = engine_slots(partition, partial_config);
+  ASSERT_FALSE(partial_slots[1].outcome.allocation.feasible);
+  partial_slots[0] = auction::AuctionOutcome{};
+  partial_slots[0].status = auction::AuctionStatus::kFailed;
+  partial_slots[0].error = "boom";
+  const auto partial = merge_outcomes(round.instance, partition, partial_slots, true,
+                                      MergePolicy::kDegradedMerge);
+  EXPECT_EQ(partial.status, auction::AuctionStatus::kDegraded);
+  EXPECT_TRUE(partial.outcome.rewards.empty());  // infeasible survivor pays nobody
+  // The survivor's partial winners survive into the merged report.
+  EXPECT_EQ(partial.outcome.allocation.winners.size(),
+            partial_slots[1].outcome.allocation.winners.size());
+  // Uncovered = dead slate + survivor's own uncovered, never more than all.
+  EXPECT_GE(partial.outcome.uncovered_tasks.size(), partition.shards[0].global_tasks.size());
+  EXPECT_LE(partial.outcome.uncovered_tasks.size(), round.instance.num_tasks());
+}
+
 }  // namespace
 }  // namespace mcs::service

@@ -139,5 +139,84 @@ TEST(AchievedPosWithFailures, UnmodeledFailuresDegradeAchievedPos) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Correlated cell failures (weather events)
+// ---------------------------------------------------------------------------
+
+TEST(CellFailure, ModelChecksReject) {
+  common::Rng rng(9);
+  EXPECT_THROW(draw_cell_failure(CellFailureModel{.event_prob = 1.0, .cells = {0}}, rng),
+               common::PreconditionError);
+  EXPECT_THROW(draw_cell_failure(CellFailureModel{.event_prob = 0.5, .cells = {}}, rng),
+               common::PreconditionError);
+}
+
+TEST(CellFailure, DisabledModelNeverFires) {
+  common::Rng rng(10);
+  for (int k = 0; k < 100; ++k) {
+    EXPECT_FALSE(draw_cell_failure(CellFailureModel{}, rng).occurred);
+  }
+}
+
+TEST(CellFailure, DrawPicksAListedCell) {
+  common::Rng rng(11);
+  const CellFailureModel model{.event_prob = 0.9, .cells = {3, 7, 12}};
+  bool fired = false;
+  for (int k = 0; k < 200; ++k) {
+    const auto event = draw_cell_failure(model, rng);
+    if (event.occurred) {
+      fired = true;
+      EXPECT_TRUE(event.cell == 3 || event.cell == 7 || event.cell == 12);
+    }
+  }
+  EXPECT_TRUE(fired);
+}
+
+TEST(CellFailure, EventZeroesTheFailedCellOnly) {
+  // Two tasks in different cells, one certain winner each: the event on
+  // cell 0 kills task 0 and leaves task 1 untouched.
+  auction::MultiTaskInstance instance;
+  instance.requirement_pos = {0.5, 0.5};
+  instance.users = {{{0}, {1.0}, 1.0}, {{1}, {1.0}, 1.0}};
+  const std::vector<geo::CellId> task_cells{0, 5};
+  const CellFailureEvent event{.occurred = true, .cell = 0};
+  common::Rng rng(12);
+  const auto run = simulate_with_cell_failure(instance, {0, 1}, task_cells, event, rng);
+  EXPECT_FALSE(run.task_completed[0]);
+  EXPECT_TRUE(run.task_completed[1]);
+  EXPECT_FALSE(run.winner_any_success[0]);
+  EXPECT_TRUE(run.winner_any_success[1]);
+
+  EXPECT_EQ(achieved_pos_with_cell_failure(instance, {0, 1}, 0, task_cells, event), 0.0);
+  EXPECT_NEAR(achieved_pos_with_cell_failure(instance, {0, 1}, 1, task_cells, event),
+              instance.achieved_pos({0, 1}, 1), 1e-12);
+}
+
+TEST(CellFailure, RngStreamIsAlignedAcrossEventAndNoEvent) {
+  // The draw-then-mask contract: outside the failed cell, a paired run with
+  // the same seed realizes the same successes whether or not the event
+  // occurred.
+  const auto instance = test::random_multi_task(16, 4, 0.6, 123);
+  std::vector<auction::UserId> winners;
+  for (auction::UserId u = 0; u < 16; ++u) {
+    winners.push_back(u);
+  }
+  std::vector<geo::CellId> task_cells{0, 1, 2, 3};
+  common::Rng with_event_rng(77);
+  common::Rng without_event_rng(77);
+  const auto with_event = simulate_with_cell_failure(
+      instance, winners, task_cells, CellFailureEvent{.occurred = true, .cell = 2},
+      with_event_rng);
+  const auto without_event = simulate_with_cell_failure(instance, winners, task_cells,
+                                                        CellFailureEvent{}, without_event_rng);
+  for (std::size_t j = 0; j < task_cells.size(); ++j) {
+    if (task_cells[j] == 2) {
+      EXPECT_FALSE(with_event.task_completed[j]);
+    } else {
+      EXPECT_EQ(with_event.task_completed[j], without_event.task_completed[j]);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace mcs::sim
