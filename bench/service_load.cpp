@@ -15,9 +15,17 @@
 // n users to ~n/S, which dominates the reward phase (DESIGN.md §11).
 //
 // Usage: service_load [--users N] [--tasks T] [--rounds R]
-//                     [--shards S1,S2,...] [--out FILE]
+//                     [--shards S1,S2,...] [--chunk C] [--out FILE]
 // The JSON record also goes to stdout and, when MCS_BENCH_JSON names a file,
 // to that file (the bench/results convention).
+//
+// --chunk C streams the campaign instead of materializing it: rounds are
+// generated, submitted, and drained C at a time, and only a per-round digest
+// (winner ids + total cost) is retained for the cross-shard bit-identity
+// check — peak memory is one chunk of rounds regardless of --rounds. Round
+// generation is seeded per round index, so chunked and materialized runs
+// drive byte-identical traffic. --chunk 0 (default) keeps the one-big-batch
+// behaviour.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -41,6 +49,7 @@ struct Options {
   std::size_t tasks = 128;
   std::size_t rounds = 6;
   std::vector<std::size_t> shard_counts = {1, 4, 16};
+  std::size_t chunk = 0;  ///< rounds in flight at once; 0 = all of them
   std::string out;
 };
 
@@ -67,6 +76,8 @@ Options parse_options(int argc, char** argv) {
       options.rounds = static_cast<std::size_t>(std::stoull(value));
     } else if (flag == "--shards") {
       options.shard_counts = parse_list(value);
+    } else if (flag == "--chunk") {
+      options.chunk = static_cast<std::size_t>(std::stoull(value));
     } else if (flag == "--out") {
       options.out = value;
     } else {
@@ -126,58 +137,82 @@ struct SweepResult {
   std::size_t winners = 0;  ///< round 0's winner count (identical across sweeps)
 };
 
+/// What the cross-shard bit-identity check needs from one round — keeping
+/// the digest instead of the full RoundOutcome is what lets the chunked mode
+/// bound memory by the chunk size.
+struct RoundDigest {
+  std::vector<auction::UserId> winners;
+  double total_cost = 0.0;
+};
+
 int run(const Options& options) {
   const std::size_t groups =
       *std::max_element(options.shard_counts.begin(), options.shard_counts.end());
-  std::cerr << "generating " << options.rounds << " rounds of " << options.users
-            << " users x " << options.tasks << " tasks (residue-pure mod " << groups << ")\n";
-  std::vector<service::GeoRound> rounds;
-  rounds.reserve(options.rounds);
-  for (std::size_t r = 0; r < options.rounds; ++r) {
-    rounds.push_back(make_round(options, groups, 1000 + r));
-  }
+  const std::size_t chunk =
+      options.chunk == 0 ? options.rounds : std::min(options.chunk, options.rounds);
+  std::cerr << "driving " << options.rounds << " rounds of " << options.users << " users x "
+            << options.tasks << " tasks (residue-pure mod " << groups << ", " << chunk
+            << " in flight)\n";
 
   std::vector<SweepResult> sweeps;
-  std::vector<service::RoundOutcome> baseline;  // the flat (first) sweep's outcomes
+  std::vector<RoundDigest> baseline;  // the flat (first) sweep's digests
   for (const std::size_t shard_count : options.shard_counts) {
     service::ServiceConfig config;
     config.shards = service::ShardMap(shard_count);
-    config.queue_capacity = options.rounds;  // queue everything: latency is compute-only
+    config.queue_capacity = chunk;  // queue a full chunk: latency is compute-only
     service::CampaignService campaign_service(config);
 
     std::cerr << "shards=" << shard_count << ": ";
-    const auto start = std::chrono::steady_clock::now();
-    for (const auto& round : rounds) {
-      campaign_service.submit_round(round);
-    }
-    std::vector<service::RoundOutcome> outcomes;
-    for (std::size_t r = 0; r < options.rounds; ++r) {
-      outcomes.push_back(campaign_service.wait_outcome(r));
-    }
-    const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
-
     std::vector<double> latencies;
-    for (const auto& outcome : outcomes) {
-      if (!outcome.ok()) {
-        std::cerr << "round " << outcome.round << " failed: " << outcome.error << "\n";
-        return 1;
+    std::vector<RoundDigest> digests;
+    std::size_t round0_winners = 0;
+    double elapsed_seconds = 0.0;
+    std::vector<service::GeoRound> rounds;
+    rounds.reserve(chunk);
+    for (std::size_t begin = 0; begin < options.rounds; begin += chunk) {
+      const std::size_t end = std::min(begin + chunk, options.rounds);
+      // Per-round seeds keep chunked and materialized traffic identical.
+      rounds.clear();
+      for (std::size_t r = begin; r < end; ++r) {
+        rounds.push_back(make_round(options, groups, 1000 + r));
       }
-      if (outcome.straddlers != 0) {
-        std::cerr << "round " << outcome.round << " had " << outcome.straddlers
-                  << " straddlers; the workload must be residue-pure\n";
-        return 1;
+      const auto start = std::chrono::steady_clock::now();
+      for (const auto& round : rounds) {
+        campaign_service.submit_round(round);
       }
-      latencies.push_back(outcome.latency_seconds);
+      std::vector<service::RoundOutcome> outcomes;
+      for (std::size_t r = begin; r < end; ++r) {
+        outcomes.push_back(campaign_service.wait_outcome(r));
+      }
+      const std::chrono::duration<double> span = std::chrono::steady_clock::now() - start;
+      elapsed_seconds += span.count();
+
+      for (const auto& outcome : outcomes) {
+        if (!outcome.ok()) {
+          std::cerr << "round " << outcome.round << " failed: " << outcome.error << "\n";
+          return 1;
+        }
+        if (outcome.straddlers != 0) {
+          std::cerr << "round " << outcome.round << " had " << outcome.straddlers
+                    << " straddlers; the workload must be residue-pure\n";
+          return 1;
+        }
+        latencies.push_back(outcome.latency_seconds);
+        digests.push_back({outcome.outcome.allocation.winners,
+                           outcome.outcome.allocation.total_cost});
+        if (outcome.round == 0) {
+          round0_winners = outcome.outcome.allocation.winners.size();
+        }
+      }
     }
     // The determinism contract makes the sweeps comparable: every shard
     // count must produce the flat run's outcome bit for bit.
     if (baseline.empty()) {
-      baseline = outcomes;
+      baseline = std::move(digests);
     } else {
-      for (std::size_t r = 0; r < outcomes.size(); ++r) {
-        const auto& a = baseline[r].outcome.allocation;
-        const auto& b = outcomes[r].outcome.allocation;
-        if (a.winners != b.winners || a.total_cost != b.total_cost) {
+      for (std::size_t r = 0; r < digests.size(); ++r) {
+        if (baseline[r].winners != digests[r].winners ||
+            baseline[r].total_cost != digests[r].total_cost) {
           std::cerr << "round " << r << " diverged from the flat run at shards="
                     << shard_count << "\n";
           return 1;
@@ -189,8 +224,8 @@ int run(const Options& options) {
     sweep.shards = shard_count;
     sweep.p50_ms = percentile(latencies, 0.50) * 1e3;
     sweep.p99_ms = percentile(latencies, 0.99) * 1e3;
-    sweep.rounds_per_sec = static_cast<double>(options.rounds) / elapsed.count();
-    sweep.winners = outcomes.front().outcome.allocation.winners.size();
+    sweep.rounds_per_sec = static_cast<double>(options.rounds) / elapsed_seconds;
+    sweep.winners = round0_winners;
     sweeps.push_back(sweep);
     std::cerr << "p50 " << sweep.p50_ms << " ms, p99 " << sweep.p99_ms << " ms, "
               << sweep.rounds_per_sec << " rounds/sec\n";

@@ -1,0 +1,41 @@
+// Structure-of-arrays bid storage shared across the single-task mechanisms
+// (DESIGN.md §8). A SingleTaskInstance keeps bids as an array of
+// {cost, pos} structs — natural for validation and I/O, hostile to the hot
+// loops, which touch ONE field of every bid: the FPTAS gathers costs in
+// (cost, id) order, Min-Greedy ranks by contribution/cost density, and the
+// probe context folds contributions in id order. BidColumns transposes the
+// bids once per mechanism run into two flat 64-byte-aligned columns —
+// cost[i] and q[i] = -ln(1 - p_i) — so those loops stream 8-byte lanes
+// instead of striding 16-byte structs and re-deriving q per read.
+//
+// Bit-identity: q is computed by the same contribution_from_pos the nested
+// accessors call, once per bid, so every double a solver reads from the
+// columns is the identical bit pattern the struct path would compute on the
+// fly. The columns are a read-only snapshot: they must be rebuilt after any
+// mutation of the instance (the mechanism facade builds them once per run;
+// probe paths that mutate a scratch copy keep using the real instance).
+#pragma once
+
+#include <span>
+
+#include "auction/instance.hpp"
+#include "common/aligned.hpp"
+
+namespace mcs::auction {
+
+/// Flat per-user columns of a SingleTaskInstance, indexed by UserId.
+struct BidColumns {
+  common::aligned_vector<double> cost;  ///< c_i, aligned with user ids
+  common::aligned_vector<double> q;     ///< -ln(1 - p_i); +inf when p_i = 1
+
+  std::size_t size() const { return cost.size(); }
+
+  std::span<const double> cost_span() const { return {cost.data(), cost.size()}; }
+  std::span<const double> q_span() const { return {q.data(), q.size()}; }
+
+  /// Transposes the instance's bids. Does not validate — callers that need
+  /// validation (the mechanism facade) validate the instance once first.
+  static BidColumns from_single_task(const SingleTaskInstance& instance);
+};
+
+}  // namespace mcs::auction

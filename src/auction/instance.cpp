@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "auction/columns.hpp"
 #include "common/check.hpp"
 #include "common/math.hpp"
 
@@ -56,6 +57,10 @@ bool SingleTaskInstance::is_feasible() const {
     total += common::contribution_from_pos(bids[k].pos);
   }
   return common::approx_ge(total, requirement_contribution());
+}
+
+BidColumns SingleTaskInstance::make_columns() const {
+  return BidColumns::from_single_task(*this);
 }
 
 void SingleTaskInstance::validate() const {

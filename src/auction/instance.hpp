@@ -17,6 +17,8 @@
 
 namespace mcs::auction {
 
+struct BidColumns;
+
 /// One user's declaration in the single-task auction.
 struct SingleTaskBid {
   double cost = 0.0;  ///< c_i > 0 (verified by the platform)
@@ -42,6 +44,12 @@ struct SingleTaskInstance {
   bool covers(const std::vector<UserId>& users) const;
   /// True when even selecting everyone meets the requirement.
   bool is_feasible() const;
+
+  /// Flat SoA snapshot of the bids (cost[] and q[] columns, 64-byte
+  /// aligned) — what the mechanism facade builds once per run and threads
+  /// through winner determination and every critical-bid search. Stale after
+  /// any mutation of `bids`; see auction/columns.hpp.
+  BidColumns make_columns() const;
 
   /// Throws PreconditionError unless T ∈ (0,1), every cost > 0, and every
   /// PoS ∈ [0, 1].

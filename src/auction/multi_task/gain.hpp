@@ -22,9 +22,10 @@ inline constexpr double kResidualFloor = 1e-12;
 
 /// Σ_j min{q_j, Q̄_j} over parallel (task, contribution) arrays — the CSR
 /// slice of one user — skipping tasks whose residual is already satisfied.
+/// Residuals arrive as a span so plain and aligned columns both fit.
 inline double effective_contribution(std::span<const TaskIndex> tasks,
                                      std::span<const double> contributions,
-                                     const std::vector<double>& residual) {
+                                     std::span<const double> residual) {
   double total = 0.0;
   for (std::size_t k = 0; k < tasks.size(); ++k) {
     const auto task = static_cast<std::size_t>(tasks[k]);
@@ -41,7 +42,7 @@ inline double effective_contribution(std::span<const TaskIndex> tasks,
 /// deterministic, so this is bit-identical to the span overload fed
 /// precomputed contributions.
 inline double effective_contribution(const MultiTaskUserBid& bid,
-                                     const std::vector<double>& residual) {
+                                     std::span<const double> residual) {
   double total = 0.0;
   for (std::size_t k = 0; k < bid.tasks.size(); ++k) {
     const auto task = static_cast<std::size_t>(bid.tasks[k]);
@@ -54,7 +55,7 @@ inline double effective_contribution(const MultiTaskUserBid& bid,
 }
 
 /// True while any requirement is still unmet (above the floor).
-inline bool any_residual(const std::vector<double>& residual) {
+inline bool any_residual(std::span<const double> residual) {
   return std::any_of(residual.begin(), residual.end(),
                      [](double r) { return r > kResidualFloor; });
 }

@@ -14,7 +14,7 @@ namespace {
 
 /// The selected user's gain read through the overlay.
 double effective_of(const MultiTaskView& view, const ViewOverlay& overlay, UserId user,
-                    const std::vector<double>& residual) {
+                    std::span<const double> residual) {
   return effective_contribution(view.user_tasks(user), overlay.contributions_of(view, user),
                                 residual);
 }
@@ -170,7 +170,7 @@ template <typename Picker>
 GreedyResult run_greedy(const MultiTaskView& view, const ViewOverlay& overlay,
                         const GreedyOptions& options, Picker picker) {
   GreedyResult result;
-  std::vector<double> residual = view.requirements;
+  std::vector<double> residual(view.requirements.begin(), view.requirements.end());
 
   while (any_residual(residual)) {
     if (options.counters != nullptr) {

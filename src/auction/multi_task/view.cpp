@@ -26,7 +26,8 @@ MultiTaskView MultiTaskView::from_instance(const MultiTaskInstance& instance) {
   instance.validate();
   MultiTaskView view;
   const std::size_t n = instance.num_users();
-  view.requirements = instance.requirement_contributions();
+  const auto requirements = instance.requirement_contributions();
+  view.requirements.assign(requirements.begin(), requirements.end());
   view.offsets.reserve(n + 1);
   view.costs.reserve(n);
   std::size_t nnz = 0;

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "auction/instance.hpp"
+#include "common/aligned.hpp"
 
 namespace mcs::auction::multi_task {
 
@@ -32,17 +33,29 @@ inline constexpr UserId kNoUser = -1;
 struct MultiTaskView {
   /// offsets[i]..offsets[i+1] delimit user i's slice of tasks/contributions.
   std::vector<std::size_t> offsets;
-  std::vector<TaskIndex> tasks;          ///< concatenated task sets, ascending per user
-  std::vector<double> contributions;     ///< q_i^j aligned with `tasks`
-  std::vector<double> costs;             ///< c_i per user
-  std::vector<double> requirements;      ///< Q_j per task (contribution domain)
+  std::vector<TaskIndex> tasks;  ///< concatenated task sets, ascending per user
+  /// The double columns live in 64-byte-aligned storage (common/aligned.hpp)
+  /// so the gain loops stream cache-line-aligned 8-byte lanes; alignment
+  /// never changes a value, so the bit-identity contracts are untouched.
+  common::aligned_vector<double> contributions;      ///< q_i^j aligned with `tasks`
+  common::aligned_vector<double> costs;              ///< c_i per user
+  common::aligned_vector<double> requirements;       ///< Q_j per task (contribution domain)
   /// Each user's effective contribution against the untouched requirements —
   /// the first-round ratio numerators, precomputed so a masked probe's heap
   /// build is O(n) instead of O(n·t).
-  std::vector<double> initial_effective;
+  common::aligned_vector<double> initial_effective;
 
   std::size_t num_users() const { return costs.size(); }
   std::size_t num_tasks() const { return requirements.size(); }
+
+  /// Whole-column spans — the SoA surface the mechanisms and benches read.
+  std::span<const double> cost_span() const { return {costs.data(), costs.size()}; }
+  std::span<const double> contribution_span() const {
+    return {contributions.data(), contributions.size()};
+  }
+  std::span<const double> requirement_span() const {
+    return {requirements.data(), requirements.size()};
+  }
 
   std::span<const TaskIndex> user_tasks(UserId user) const {
     const auto i = static_cast<std::size_t>(user);

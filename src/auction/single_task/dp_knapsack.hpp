@@ -8,6 +8,16 @@
 //
 // Item subsets are reconstructed through parent links in a state pool rather
 // than stored per state, keeping the DP O(#states) in memory.
+//
+// Two kernels implement the sweep (auction::DpKernel). kColumns, the
+// default, keeps the frontier as two contiguous (cost, contribution) arrays
+// and merges extensions with a branch-light two-pointer pass — no state
+// pool, no index indirection, parent links in a side pool only when the
+// caller reconstructs a subset. kScalarOracle is the original pooled
+// implementation, retained verbatim as the differential oracle. Both
+// perform the identical comparisons on the identical doubles, so frontier
+// entries, chosen subsets, and tie-breaks are bit-for-bit equal
+// (tests/dp_kernel_equivalence_test.cpp).
 #pragma once
 
 #include <cstdint>
@@ -15,6 +25,7 @@
 #include <span>
 #include <vector>
 
+#include "auction/types.hpp"
 #include "common/deadline.hpp"
 
 namespace mcs::auction::single_task {
@@ -53,9 +64,13 @@ struct FrontierEntry {
 /// sweep's floating-point folds over without-winner subsets are exactly the
 /// ones a full re-solve would compute, which is what makes the reuse
 /// bit-identical. Polls `deadline` once per item, like solve_min_knapsack.
+/// The frontier-only path never allocates parent links under kColumns: the
+/// probe context builds thousands of these per reward phase and needs only
+/// the (cost, contribution) rows.
 std::vector<FrontierEntry> min_knapsack_frontier(std::span<const KnapsackItem> items,
                                                  double requirement,
-                                                 const common::Deadline& deadline = {});
+                                                 const common::Deadline& deadline = {},
+                                                 DpKernel kernel = DpKernel::kColumns);
 
 /// Minimum-cost subset with total contribution >= requirement, or nullopt
 /// when even the full item set falls short. Contributions are capped at
@@ -64,13 +79,15 @@ std::vector<FrontierEntry> min_knapsack_frontier(std::span<const KnapsackItem> i
 /// once per item and throws common::DeadlineExceeded when it expires.
 std::optional<KnapsackSolution> solve_min_knapsack(std::span<const KnapsackItem> items,
                                                    double requirement,
-                                                   const common::Deadline& deadline = {});
+                                                   const common::Deadline& deadline = {},
+                                                   DpKernel kernel = DpKernel::kColumns);
 
 /// The dual form Algorithm 1's discussion also describes: the
 /// maximum-contribution subset whose total scaled cost stays within
 /// `budget`. Always has a solution (the empty set). Budgeted coverage is the
 /// primitive behind budget-feasible crowdsensing (the paper's reference
 /// [5]): recruit the best task coverage a fixed budget can buy.
-KnapsackSolution solve_max_knapsack(std::span<const KnapsackItem> items, std::int64_t budget);
+KnapsackSolution solve_max_knapsack(std::span<const KnapsackItem> items, std::int64_t budget,
+                                    DpKernel kernel = DpKernel::kColumns);
 
 }  // namespace mcs::auction::single_task

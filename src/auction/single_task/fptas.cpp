@@ -31,9 +31,18 @@ double roundtrip_contribution(double declared_q) {
 }  // namespace
 
 Allocation solve_fptas(const SingleTaskInstance& instance, double epsilon,
-                       const common::Deadline& deadline, obs::PhaseCounters* counters) {
+                       const common::Deadline& deadline, obs::PhaseCounters* counters,
+                       DpKernel kernel) {
+  return solve_fptas(instance, BidColumns::from_single_task(instance), epsilon, deadline,
+                     counters, kernel);
+}
+
+Allocation solve_fptas(const SingleTaskInstance& instance, const BidColumns& columns,
+                       double epsilon, const common::Deadline& deadline,
+                       obs::PhaseCounters* counters, DpKernel kernel) {
   MCS_EXPECTS(epsilon > 0.0, "approximation parameter must be positive");
   instance.validate();
+  MCS_EXPECTS(columns.size() == instance.num_users(), "columns must snapshot this instance");
   const double requirement = instance.requirement_contribution();
   const auto n = instance.num_users();
 
@@ -43,22 +52,27 @@ Allocation solve_fptas(const SingleTaskInstance& instance, double epsilon,
   }
 
   // Sort user ids by (cost, id); ties broken by id for determinism.
+  const std::span<const double> cost_col = columns.cost_span();
+  const std::span<const double> q_col = columns.q_span();
   std::vector<UserId> order(n);
   std::iota(order.begin(), order.end(), UserId{0});
   std::sort(order.begin(), order.end(), [&](UserId a, UserId b) {
-    const double ca = instance.bids[static_cast<std::size_t>(a)].cost;
-    const double cb = instance.bids[static_cast<std::size_t>(b)].cost;
+    const double ca = cost_col[static_cast<std::size_t>(a)];
+    const double cb = cost_col[static_cast<std::size_t>(b)];
     if (ca != cb) {
       return ca < cb;
     }
     return a < b;
   });
 
-  // Contributions in sorted order, with prefix sums for a quick feasibility
-  // test per subproblem.
+  // Costs and contributions gathered once into sorted-order rows; the
+  // per-subproblem item builds below then stream these contiguously instead
+  // of re-gathering through the permutation every round.
+  std::vector<double> sorted_costs(n);
   std::vector<double> contributions(n);
   for (std::size_t k = 0; k < n; ++k) {
-    contributions[k] = instance.contribution(order[k]);
+    sorted_costs[k] = cost_col[static_cast<std::size_t>(order[k])];
+    contributions[k] = q_col[static_cast<std::size_t>(order[k])];
   }
 
   double best_scaled_value = std::numeric_limits<double>::infinity();
@@ -76,21 +90,20 @@ Allocation solve_fptas(const SingleTaskInstance& instance, double epsilon,
     if (!common::approx_ge(prefix_contribution, requirement)) {
       continue;  // the first k users cannot cover the task
     }
-    const double c_k = instance.bids[static_cast<std::size_t>(order[k - 1])].cost;
+    const double c_k = sorted_costs[k - 1];
     const double mu = epsilon * c_k / static_cast<double>(k);
 
     items.clear();
     items.reserve(k);
     for (std::size_t j = 0; j < k; ++j) {
-      const double cost = instance.bids[static_cast<std::size_t>(order[j])].cost;
       // mu can only vanish if c_k does, which validate() excludes; still
       // guard so a pathological instance degrades instead of dividing by 0.
       const std::int64_t scaled =
-          mu > 0.0 ? static_cast<std::int64_t>(std::floor(cost / mu)) : 0;
+          mu > 0.0 ? static_cast<std::int64_t>(std::floor(sorted_costs[j] / mu)) : 0;
       items.push_back({contributions[j], scaled});
     }
 
-    const auto solution = solve_min_knapsack(items, requirement, deadline);
+    const auto solution = solve_min_knapsack(items, requirement, deadline, kernel);
     if (!solution.has_value()) {
       continue;
     }
@@ -120,38 +133,47 @@ Allocation solve_fptas(const SingleTaskInstance& instance, double epsilon,
 
 FptasProbeContext::FptasProbeContext(const SingleTaskInstance& instance, UserId winner,
                                      double epsilon, common::Deadline deadline,
-                                     obs::PhaseCounters* counters)
+                                     obs::PhaseCounters* counters, DpKernel kernel)
+    : FptasProbeContext(instance, BidColumns::from_single_task(instance), winner, epsilon,
+                        std::move(deadline), counters, kernel) {}
+
+FptasProbeContext::FptasProbeContext(const SingleTaskInstance& instance,
+                                     const BidColumns& columns, UserId winner, double epsilon,
+                                     common::Deadline deadline, obs::PhaseCounters* counters,
+                                     DpKernel kernel)
     : scratch_(instance),
       winner_(winner),
       epsilon_(epsilon),
       deadline_(std::move(deadline)),
       counters_(counters),
+      kernel_(kernel),
       requirement_(instance.requirement_contribution()) {
   MCS_EXPECTS(epsilon > 0.0, "approximation parameter must be positive");
   instance.validate();
   const std::size_t n = instance.num_users();
+  MCS_EXPECTS(columns.size() == n, "columns must snapshot this instance");
   MCS_EXPECTS(winner >= 0 && static_cast<std::size_t>(winner) < n, "user id out of range");
   const std::size_t winner_index = static_cast<std::size_t>(winner);
+  const std::span<const double> cost_col = columns.cost_span();
+  const std::span<const double> q_col = columns.q_span();
 
   // is_feasible() replay state: the sequential id-order partial sum up to the
   // winner's slot and the per-id contributions after it. Re-folding
   // (prefix + q') + c_{w+1} + ... reproduces the oracle's sum exactly
   // because every non-probed term is the identical double.
   for (std::size_t k = 0; k < winner_index; ++k) {
-    id_prefix_before_winner_ += common::contribution_from_pos(instance.bids[k].pos);
+    id_prefix_before_winner_ += q_col[k];
   }
-  id_contributions_after_winner_.reserve(n - winner_index - 1);
-  for (std::size_t k = winner_index + 1; k < n; ++k) {
-    id_contributions_after_winner_.push_back(common::contribution_from_pos(instance.bids[k].pos));
-  }
+  id_contributions_after_winner_.assign(q_col.begin() + static_cast<std::ptrdiff_t>(winner_index) + 1,
+                                        q_col.end());
 
   // The (cost, id) order is probe-invariant: a critical-bid search changes
   // only the winner's declared PoS, never a cost.
   std::vector<UserId> order(n);
   std::iota(order.begin(), order.end(), UserId{0});
   std::sort(order.begin(), order.end(), [&](UserId a, UserId b) {
-    const double ca = instance.bids[static_cast<std::size_t>(a)].cost;
-    const double cb = instance.bids[static_cast<std::size_t>(b)].cost;
+    const double ca = cost_col[static_cast<std::size_t>(a)];
+    const double cb = cost_col[static_cast<std::size_t>(b)];
     if (ca != cb) {
       return ca < cb;
     }
@@ -164,16 +186,16 @@ FptasProbeContext::FptasProbeContext(const SingleTaskInstance& instance, UserId 
   sorted_contributions_.resize(n, 0.0);
   double max_finite_contribution = 0.0;
   for (std::size_t k = 0; k < n; ++k) {
-    sorted_costs_[k] = instance.bids[static_cast<std::size_t>(order[k])].cost;
+    sorted_costs_[k] = cost_col[static_cast<std::size_t>(order[k])];
     if (k == position_) {
       continue;  // slot m carries the probed contribution
     }
-    sorted_contributions_[k] = instance.contribution(order[k]);
+    sorted_contributions_[k] = q_col[static_cast<std::size_t>(order[k])];
     if (std::isfinite(sorted_contributions_[k])) {
       max_finite_contribution = std::max(max_finite_contribution, sorted_contributions_[k]);
     }
   }
-  declared_roundtrip_ = roundtrip_contribution(instance.contribution(winner_));
+  declared_roundtrip_ = roundtrip_contribution(q_col[winner_index]);
   if (std::isfinite(declared_roundtrip_)) {
     max_finite_contribution = std::max(max_finite_contribution, declared_roundtrip_);
   }
@@ -181,7 +203,7 @@ FptasProbeContext::FptasProbeContext(const SingleTaskInstance& instance, UserId 
   // infinities are exact under IEEE arithmetic and need no band.
   const double fold_magnitude = 1.0 + requirement_ + max_finite_contribution;
 
-  const double cost_winner = instance.bids[winner_index].cost;
+  const double cost_winner = cost_col[winner_index];
   subproblems_.resize(n + 1);
   std::vector<KnapsackItem> items;
   double prefix_contribution = 0.0;
@@ -197,8 +219,7 @@ FptasProbeContext::FptasProbeContext(const SingleTaskInstance& instance, UserId 
       prefix_at_position_ = prefix_contribution;  // ends as the sum of slots [0, m)
     }
     Subproblem& sub = subproblems_[k];
-    const double c_k = instance.bids[static_cast<std::size_t>(order[k - 1])].cost;
-    sub.mu = epsilon * c_k / static_cast<double>(k);
+    sub.mu = epsilon * sorted_costs_[k - 1] / static_cast<double>(k);
 
     if (k <= position_) {
       // The winner is outside the prefix: the oracle would solve the exact
@@ -210,12 +231,11 @@ FptasProbeContext::FptasProbeContext(const SingleTaskInstance& instance, UserId 
       items.clear();
       items.reserve(k);
       for (std::size_t j = 0; j < k; ++j) {
-        const double cost = instance.bids[static_cast<std::size_t>(order[j])].cost;
         const std::int64_t scaled =
-            sub.mu > 0.0 ? static_cast<std::int64_t>(std::floor(cost / sub.mu)) : 0;
+            sub.mu > 0.0 ? static_cast<std::int64_t>(std::floor(sorted_costs_[j] / sub.mu)) : 0;
         items.push_back({sorted_contributions_[j], scaled});
       }
-      const auto solution = solve_min_knapsack(items, requirement_, deadline_);
+      const auto solution = solve_min_knapsack(items, requirement_, deadline_, kernel_);
       if (solution.has_value()) {
         sub.constant_feasible = true;
         sub.constant_scaled_value = static_cast<double>(solution->total_scaled_cost) * sub.mu;
@@ -238,12 +258,11 @@ FptasProbeContext::FptasProbeContext(const SingleTaskInstance& instance, UserId 
       if (j == position_) {
         continue;
       }
-      const double cost = instance.bids[static_cast<std::size_t>(order[j])].cost;
       const std::int64_t scaled =
-          sub.mu > 0.0 ? static_cast<std::int64_t>(std::floor(cost / sub.mu)) : 0;
+          sub.mu > 0.0 ? static_cast<std::int64_t>(std::floor(sorted_costs_[j] / sub.mu)) : 0;
       items.push_back({sorted_contributions_[j], scaled});
     }
-    sub.frontier = min_knapsack_frontier(items, requirement_, deadline_);
+    sub.frontier = min_knapsack_frontier(items, requirement_, deadline_, kernel_);
     // Cheapest without-winner cover: the frontier is cost-ascending and its
     // contributions are the oracle's own fold values, so this scan IS the
     // oracle's feasibility scan restricted to without-winner states.
@@ -340,7 +359,7 @@ FptasProbeContext::ExactSubproblem FptasProbeContext::solve_subproblem_exact(
         sub.mu > 0.0 ? static_cast<std::int64_t>(std::floor(sorted_costs_[j] / sub.mu)) : 0;
     items.push_back({j == position_ ? probe_q : sorted_contributions_[j], scaled});
   }
-  const auto solution = solve_min_knapsack(items, requirement_, deadline_);
+  const auto solution = solve_min_knapsack(items, requirement_, deadline_, kernel_);
   ExactSubproblem exact;
   if (!solution.has_value()) {
     return exact;
@@ -360,7 +379,7 @@ bool FptasProbeContext::fallback_wins(double declared_q) {
   // solver. Bit-identical to the oracle by construction.
   scratch_.bids[static_cast<std::size_t>(winner_)].pos =
       common::pos_from_contribution(declared_q);
-  const auto allocation = solve_fptas(scratch_, epsilon_, deadline_, counters_);
+  const auto allocation = solve_fptas(scratch_, epsilon_, deadline_, counters_, kernel_);
   return allocation.feasible && allocation.contains(winner_);
 }
 

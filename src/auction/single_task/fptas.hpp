@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "auction/columns.hpp"
 #include "auction/instance.hpp"
 #include "auction/single_task/dp_knapsack.hpp"
 #include "common/deadline.hpp"
@@ -29,9 +30,23 @@ namespace mcs::auction::single_task {
 /// then retry on the Min-Greedy degraded ladder). `counters`, when non-null,
 /// accumulates rounds (subproblem scans) and scan-level deadline polls (the
 /// DP's inner polls are uncounted to keep the hot loop branch-free).
+/// `kernel` selects the Algorithm 1 sweep implementation (see DpKernel);
+/// both settings return bit-identical allocations.
 Allocation solve_fptas(const SingleTaskInstance& instance, double epsilon,
                        const common::Deadline& deadline = {},
-                       obs::PhaseCounters* counters = nullptr);
+                       obs::PhaseCounters* counters = nullptr,
+                       DpKernel kernel = DpKernel::kColumns);
+
+/// Column-routed overload: reads every per-user cost and contribution from
+/// `columns` (one BidColumns::from_single_task snapshot of `instance`)
+/// instead of striding the nested bids. The snapshot carries the identical
+/// doubles the struct accessors would compute, so the allocation is
+/// bit-identical; the mechanism facade builds the columns once per run and
+/// shares them between winner determination and every reward search.
+Allocation solve_fptas(const SingleTaskInstance& instance, const BidColumns& columns,
+                       double epsilon, const common::Deadline& deadline = {},
+                       obs::PhaseCounters* counters = nullptr,
+                       DpKernel kernel = DpKernel::kColumns);
 
 /// Reusable probe state of the single-task critical-bid fast path
 /// (ProbeStrategy::kDpReuse). The bisection of Algorithm 3 asks "does winner
@@ -75,7 +90,16 @@ class FptasProbeContext {
   /// dp_reuse_fallbacks; the caller counts probes. Polls `deadline` once
   /// per subproblem, like solve_fptas.
   FptasProbeContext(const SingleTaskInstance& instance, UserId winner, double epsilon,
-                    common::Deadline deadline = {}, obs::PhaseCounters* counters = nullptr);
+                    common::Deadline deadline = {}, obs::PhaseCounters* counters = nullptr,
+                    DpKernel kernel = DpKernel::kColumns);
+
+  /// Column-routed overload: the build reads costs and contributions from
+  /// `columns` (a snapshot of `instance`, borrowed only for the build)
+  /// instead of the nested bids — same doubles, bit-identical tables.
+  FptasProbeContext(const SingleTaskInstance& instance, const BidColumns& columns,
+                    UserId winner, double epsilon, common::Deadline deadline = {},
+                    obs::PhaseCounters* counters = nullptr,
+                    DpKernel kernel = DpKernel::kColumns);
 
   /// Whether the winner is selected when declaring contribution
   /// `declared_q`. Applies the same q → PoS → q round trip as the
@@ -137,6 +161,7 @@ class FptasProbeContext {
   double epsilon_;
   common::Deadline deadline_;
   obs::PhaseCounters* counters_;
+  DpKernel kernel_ = DpKernel::kColumns;  ///< threaded into every DP this context runs
   double requirement_ = 0.0;
   double declared_roundtrip_ = 0.0;  ///< build-time declaration after q→PoS→q
 

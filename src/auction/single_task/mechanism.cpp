@@ -1,5 +1,6 @@
 #include "auction/single_task/mechanism.hpp"
 
+#include "auction/columns.hpp"
 #include "auction/single_task/fptas.hpp"
 #include "auction/single_task/min_greedy.hpp"
 #include "common/check.hpp"
@@ -20,12 +21,17 @@ MechanismOutcome run_with_rule(const SingleTaskInstance& instance,
   if (telemetry && outcome.degraded) {
     outcome.telemetry.degraded_events = 1;
   }
+  // One SoA snapshot of the bids for the whole run: winner determination and
+  // every winner's critical-bid search read the same flat columns.
+  const BidColumns columns = instance.make_columns();
   {
     const obs::PhaseTimer timer(telemetry);
     obs::PhaseCounters* counters = telemetry ? &outcome.telemetry.winner_determination : nullptr;
-    outcome.allocation = rule == WinnerRule::kMinGreedy
-                             ? solve_min_greedy(instance, deadline, counters)
-                             : solve_fptas(instance, config.single_task.epsilon, deadline, counters);
+    outcome.allocation =
+        rule == WinnerRule::kMinGreedy
+            ? solve_min_greedy(instance, columns, deadline, counters)
+            : solve_fptas(instance, columns, config.single_task.epsilon, deadline, counters,
+                          config.single_task.dp_kernel);
     if (telemetry) {
       outcome.telemetry.winner_determination_seconds = timer.seconds();
     }
@@ -39,7 +45,9 @@ MechanismOutcome run_with_rule(const SingleTaskInstance& instance,
       .binary_search_iterations = config.single_task.binary_search_iterations,
       .winner_rule = rule,
       .probe_strategy = config.single_task.probe_strategy,
-      .deadline = deadline};
+      .deadline = deadline,
+      .dp_kernel = config.single_task.dp_kernel,
+      .columns = &columns};
   const auto& winners = outcome.allocation.winners;
   const obs::PhaseTimer reward_timer(telemetry);
   if (telemetry) {

@@ -11,7 +11,13 @@ namespace mcs::auction::single_task {
 
 Allocation solve_min_greedy(const SingleTaskInstance& instance, const common::Deadline& deadline,
                             obs::PhaseCounters* counters) {
+  return solve_min_greedy(instance, BidColumns::from_single_task(instance), deadline, counters);
+}
+
+Allocation solve_min_greedy(const SingleTaskInstance& instance, const BidColumns& columns,
+                            const common::Deadline& deadline, obs::PhaseCounters* counters) {
   instance.validate();
+  MCS_EXPECTS(columns.size() == instance.num_users(), "columns must snapshot this instance");
   Allocation result;
   if (!instance.is_feasible()) {
     return result;
@@ -19,19 +25,19 @@ Allocation solve_min_greedy(const SingleTaskInstance& instance, const common::De
   const double requirement = instance.requirement_contribution();
   const auto n = instance.num_users();
 
-  std::vector<double> contributions(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    contributions[k] = instance.contribution(static_cast<UserId>(k));
-  }
+  // The columns ARE the per-id contribution/cost rows the density sort and
+  // both scans consume; no per-call gather or q re-derivation.
+  const std::span<const double> contributions = columns.q_span();
+  const std::span<const double> costs = columns.cost_span();
 
   // Density order: contribution per unit cost, descending; ties by id.
   std::vector<UserId> order(n);
   std::iota(order.begin(), order.end(), UserId{0});
   std::sort(order.begin(), order.end(), [&](UserId a, UserId b) {
     const double da = contributions[static_cast<std::size_t>(a)] /
-                      instance.bids[static_cast<std::size_t>(a)].cost;
+                      costs[static_cast<std::size_t>(a)];
     const double db = contributions[static_cast<std::size_t>(b)] /
-                      instance.bids[static_cast<std::size_t>(b)].cost;
+                      costs[static_cast<std::size_t>(b)];
     if (da != db) {
       return da > db;
     }
@@ -95,7 +101,7 @@ Allocation solve_min_greedy(const SingleTaskInstance& instance, const common::De
       if (in_prefix[static_cast<std::size_t>(user)] != 0) {
         continue;
       }
-      const double cost = instance.bids[static_cast<std::size_t>(user)].cost;
+      const double cost = costs[static_cast<std::size_t>(user)];
       if (common::approx_ge(contributions[static_cast<std::size_t>(user)], residual) &&
           cost < best_closer_cost) {
         best_closer = user;

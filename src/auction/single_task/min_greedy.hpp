@@ -7,6 +7,7 @@
 // two is returned.
 #pragma once
 
+#include "auction/columns.hpp"
 #include "auction/instance.hpp"
 #include "common/deadline.hpp"
 #include "obs/telemetry.hpp"
@@ -23,6 +24,14 @@ namespace mcs::auction::single_task {
 /// the ladder propagates to the engine as a timeout). `counters`, when
 /// non-null, accumulates rounds (greedy picks) and deadline polls.
 Allocation solve_min_greedy(const SingleTaskInstance& instance,
+                            const common::Deadline& deadline = {},
+                            obs::PhaseCounters* counters = nullptr);
+
+/// Column-routed overload: the density sort and both scans read costs and
+/// contributions from `columns` (a BidColumns snapshot of `instance`)
+/// instead of striding the nested bids and re-deriving q per read — same
+/// doubles, bit-identical allocation.
+Allocation solve_min_greedy(const SingleTaskInstance& instance, const BidColumns& columns,
                             const common::Deadline& deadline = {},
                             obs::PhaseCounters* counters = nullptr);
 

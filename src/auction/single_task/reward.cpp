@@ -19,7 +19,8 @@ bool probe_wins(const SingleTaskInstance& probe, UserId user, const RewardOption
   const auto allocation =
       options.winner_rule == WinnerRule::kMinGreedy
           ? solve_min_greedy(probe, options.deadline, options.counters)
-          : solve_fptas(probe, options.epsilon, options.deadline, options.counters);
+          : solve_fptas(probe, options.epsilon, options.deadline, options.counters,
+                        options.dp_kernel);
   return allocation.feasible && allocation.contains(user);
 }
 
@@ -91,8 +92,12 @@ double critical_contribution(const SingleTaskInstance& instance, UserId winner,
     // when its certificate cannot decide a probe). Min-Greedy probes stay on
     // the full-solve path: its density order depends on the probed
     // declaration, and a full greedy pass is O(n log n) anyway.
-    FptasProbeContext context(instance, winner, options.epsilon, options.deadline,
-                              options.counters);
+    FptasProbeContext context =
+        options.columns != nullptr
+            ? FptasProbeContext(instance, *options.columns, winner, options.epsilon,
+                                options.deadline, options.counters, options.dp_kernel)
+            : FptasProbeContext(instance, winner, options.epsilon, options.deadline,
+                                options.counters, options.dp_kernel);
     return bisect_critical(declared, options, [&](double q) {
       if (options.counters != nullptr) {
         ++options.counters->probes;

@@ -45,6 +45,16 @@ struct RewardOptions {
   /// the copying path (asserted by tests/st_reward_test.cpp); off reproduces
   /// the legacy allocation behaviour for benchmarking.
   bool scratch_probes = true;
+  /// Frontier-DP kernel threaded into every FPTAS re-run and probe-context
+  /// build this search issues (see DpKernel); both settings bit-identical.
+  DpKernel dp_kernel = DpKernel::kColumns;
+  /// Borrowed per-instance bid columns (built once by the mechanism facade
+  /// and shared across all winners' searches). When non-null, the
+  /// probe-context build reads costs/contributions from these flat arrays;
+  /// null builds a snapshot on demand. Probe re-runs that mutate a scratch
+  /// instance always snapshot that instance themselves — the shared columns
+  /// describe only the unmodified auction.
+  const BidColumns* columns = nullptr;
   /// When non-null, accumulates probe / bisection / deadline-poll counts.
   /// The caller owns the block; under parallel rewards each worker slot must
   /// get its own (the mechanism facade merges them in index order).

@@ -123,12 +123,31 @@ enum class ProbeStrategy {
   kFullSolve,
 };
 
+/// Which implementation runs the Algorithm 1 Pareto-frontier sweep (the
+/// remaining single-task hot kernel — it dominates both solve_fptas and the
+/// probe-context builds). kColumns is the memory-engineered default: the
+/// frontier lives in two contiguous (cost, contribution) arrays merged with
+/// a branch-light two-pointer pass, parent links for subset reconstruction
+/// kept in a separate side pool only when a caller actually reconstructs
+/// (frontier-only callers allocate none). kScalarOracle is the original
+/// pointer-chasing state pool retained as the differential oracle; both
+/// kernels produce bit-identical frontiers, solutions, and tie-breaks
+/// (asserted by tests/dp_kernel_equivalence_test.cpp — see DESIGN.md §8).
+enum class DpKernel {
+  kColumns,
+  kScalarOracle,
+};
+
 /// Knobs only the single-task (FPTAS) family reads.
 struct SingleTaskKnobs {
   double epsilon = 0.1;               ///< FPTAS approximation parameter
   int binary_search_iterations = 48;  ///< ~1e-14 relative precision on q̄
   /// Probe strategy of the critical-bid reward search (see ProbeStrategy).
   ProbeStrategy probe_strategy = ProbeStrategy::kDpReuse;
+  /// Frontier-DP kernel behind every Algorithm 1 sweep (see DpKernel). The
+  /// knob exists for benchmarking and bisection; both settings are
+  /// bit-identical end to end.
+  DpKernel dp_kernel = DpKernel::kColumns;
 };
 
 /// Knobs only the multi-task single-minded family reads.

@@ -1,0 +1,49 @@
+// Cache-line-aligned storage for the hot-path columns (DESIGN.md §8). The
+// SoA layers — auction::BidColumns, the multi-task CSR view, and the
+// frontier-DP row buffers — allocate through this so every column starts on
+// a 64-byte boundary: loads in the vectorized sweeps never split a cache
+// line, and two columns touched together cannot false-share a line with an
+// unrelated heap block. Alignment changes WHERE values live, never what
+// they are, so it is invisible to the bit-identity contracts.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace mcs::common {
+
+/// Minimal C++17 allocator handing out `Alignment`-byte-aligned blocks via
+/// the aligned operator new. All instances are interchangeable (stateless).
+template <typename T, std::size_t Alignment = 64>
+struct AlignedAllocator {
+  static_assert(Alignment >= alignof(T), "alignment must not weaken the type's own");
+  static_assert((Alignment & (Alignment - 1)) == 0, "alignment must be a power of two");
+
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) { return true; }
+  friend bool operator!=(const AlignedAllocator&, const AlignedAllocator&) { return false; }
+};
+
+/// A std::vector whose buffer starts on a 64-byte (cache line) boundary.
+template <typename T>
+using aligned_vector = std::vector<T, AlignedAllocator<T, 64>>;
+
+}  // namespace mcs::common

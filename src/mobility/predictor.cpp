@@ -6,12 +6,20 @@
 
 namespace mcs::mobility {
 
-FleetModel::FleetModel(const trace::TraceDataset& dataset, const geo::GridMap& grid,
-                       const MarkovLearner& learner, double train_fraction) {
+namespace {
+
+/// Shared training loop of both FleetModel constructors: `cells_of` yields
+/// one taxi's visit sequence, whatever storage it streams from.
+template <typename CellsFn>
+void train_fleet(const std::vector<trace::TaxiId>& ids, CellsFn&& cells_of,
+                 const MarkovLearner& learner, double train_fraction,
+                 std::vector<trace::TaxiId>& taxis,
+                 std::map<trace::TaxiId, MarkovModel>& models,
+                 std::map<trace::TaxiId, std::vector<geo::CellId>>& holdouts) {
   MCS_EXPECTS(train_fraction > 0.0 && train_fraction <= 1.0,
               "train fraction must lie in (0, 1]");
-  for (trace::TaxiId taxi : dataset.taxi_ids()) {
-    const auto cells = dataset.cell_sequence(taxi, grid);
+  for (trace::TaxiId taxi : ids) {
+    const auto cells = cells_of(taxi);
     if (cells.size() < 2) {
       continue;
     }
@@ -21,15 +29,33 @@ FleetModel::FleetModel(const trace::TraceDataset& dataset, const geo::GridMap& g
 
     TransitionCounts counts;
     counts.add_sequence(std::span<const geo::CellId>(cells.data(), train_end));
-    taxis_.push_back(taxi);
-    models_[taxi] = learner.fit(counts);
+    taxis.push_back(taxi);
+    models[taxi] = learner.fit(counts);
     // The holdout keeps the last training cell so its first transition
     // (train_end - 1 -> train_end) is scored too.
     if (train_end < cells.size()) {
-      holdouts_[taxi].assign(cells.begin() + static_cast<std::ptrdiff_t>(train_end) - 1,
-                             cells.end());
+      holdouts[taxi].assign(cells.begin() + static_cast<std::ptrdiff_t>(train_end) - 1,
+                            cells.end());
     }
   }
+}
+
+}  // namespace
+
+FleetModel::FleetModel(const trace::TraceDataset& dataset, const geo::GridMap& grid,
+                       const MarkovLearner& learner, double train_fraction) {
+  train_fleet(
+      dataset.taxi_ids(),
+      [&](trace::TaxiId taxi) { return dataset.cell_sequence(taxi, grid); }, learner,
+      train_fraction, taxis_, models_, holdouts_);
+}
+
+FleetModel::FleetModel(const trace::MappedTraceDataset& dataset, const geo::GridMap& grid,
+                       const MarkovLearner& learner, double train_fraction) {
+  train_fleet(
+      dataset.taxi_ids(),
+      [&](trace::TaxiId taxi) { return dataset.cell_sequence(taxi, grid); }, learner,
+      train_fraction, taxis_, models_, holdouts_);
 }
 
 const MarkovModel& FleetModel::model(trace::TaxiId taxi) const {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "mobility/learner.hpp"
+#include "trace/columnfile.hpp"
 #include "trace/dataset.hpp"
 
 namespace mcs::mobility {
@@ -22,6 +23,13 @@ class FleetModel {
   /// of that taxi's visit sequence; the remainder is retained as the
   /// evaluation holdout.
   FleetModel(const trace::TraceDataset& dataset, const geo::GridMap& grid,
+             const MarkovLearner& learner, double train_fraction = 1.0);
+
+  /// Streaming twin: trains from an mmap-backed column file without ever
+  /// materializing TraceEvents — only each taxi's location lanes are paged
+  /// in. Identical models to training on the equivalent TraceDataset (the
+  /// column file stores the same rows in the same order).
+  FleetModel(const trace::MappedTraceDataset& dataset, const geo::GridMap& grid,
              const MarkovLearner& learner, double train_fraction = 1.0);
 
   const std::vector<trace::TaxiId>& taxis() const { return taxis_; }

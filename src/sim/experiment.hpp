@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "auction/engine.hpp"
@@ -66,5 +67,22 @@ std::vector<auction::AuctionInstance> sample_round_batch(const Workload& workloa
 std::vector<auction::MechanismOutcome> run_round_batch(
     const auction::Engine& engine, const std::vector<auction::AuctionInstance>& batch,
     const auction::MechanismConfig& config = {});
+
+/// Streaming twin of sample_round_batch + run_round_batch: samples and runs
+/// the `rounds` auctions in chunks of `chunk_size`, handing each (instance,
+/// outcome) pair to `sink` as its chunk completes and recycling the chunk
+/// storage. Peak memory is one chunk of instances plus outcomes regardless
+/// of the round count — the long-campaign path that a materialized batch
+/// cannot serve. Every auction is independent and the sampler draws from
+/// `rng` in exactly the batch order, so the streamed outcomes are identical
+/// to one big sample_round_batch/run_round_batch pass. Returns the number of
+/// rounds actually delivered (like sample_round_batch, fewer when the
+/// population cannot support the count).
+std::size_t stream_round_chunks(
+    const Workload& workload, const auction::Engine& engine, std::size_t rounds,
+    std::size_t num_tasks, std::size_t num_users, const ScenarioParams& params,
+    common::Rng& rng, std::size_t chunk_size, const auction::MechanismConfig& config,
+    const std::function<void(const auction::AuctionInstance&, const auction::MechanismOutcome&)>&
+        sink);
 
 }  // namespace mcs::sim

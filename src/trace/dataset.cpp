@@ -17,8 +17,9 @@ void TraceDataset::reindex() const {
   if (!index_dirty_) {
     return;
   }
-  sorted_ = events_;
-  std::stable_sort(sorted_.begin(), sorted_.end(), [](const TraceEvent& a, const TraceEvent& b) {
+  // Sort the one and only event array in place (stable: tied events keep
+  // insertion order, matching the behaviour of the old sorted-copy index).
+  std::stable_sort(events_.begin(), events_.end(), [](const TraceEvent& a, const TraceEvent& b) {
     if (a.taxi_id != b.taxi_id) {
       return a.taxi_id < b.taxi_id;
     }
@@ -30,10 +31,10 @@ void TraceDataset::reindex() const {
   ids_.clear();
   ranges_.clear();
   std::size_t begin = 0;
-  for (std::size_t k = 0; k <= sorted_.size(); ++k) {
-    if (k == sorted_.size() || (k > begin && sorted_[k].taxi_id != sorted_[begin].taxi_id)) {
+  for (std::size_t k = 0; k <= events_.size(); ++k) {
+    if (k == events_.size() || (k > begin && events_[k].taxi_id != events_[begin].taxi_id)) {
       if (k > begin) {
-        ids_.push_back(sorted_[begin].taxi_id);
+        ids_.push_back(events_[begin].taxi_id);
         ranges_.emplace_back(begin, k);
       }
       begin = k;
@@ -54,12 +55,17 @@ std::span<const TraceEvent> TraceDataset::events_of(TaxiId taxi) const {
     return {};
   }
   const auto& [begin, end] = ranges_[static_cast<std::size_t>(it - ids_.begin())];
-  return std::span<const TraceEvent>(sorted_.data() + begin, end - begin);
+  return std::span<const TraceEvent>(events_.data() + begin, end - begin);
 }
 
 std::span<const TraceEvent> TraceDataset::all_events() const {
   reindex();
-  return sorted_;
+  return events_;
+}
+
+std::size_t TraceDataset::memory_bytes() const {
+  return events_.capacity() * sizeof(TraceEvent) + ids_.capacity() * sizeof(TaxiId) +
+         ranges_.capacity() * sizeof(std::pair<std::size_t, std::size_t>);
 }
 
 std::vector<geo::CellId> TraceDataset::cell_sequence(TaxiId taxi, const geo::GridMap& grid) const {

@@ -35,13 +35,23 @@ class TraceDataset {
   /// Grid-cell visit sequence of one taxi (one entry per event, time order).
   std::vector<geo::CellId> cell_sequence(TaxiId taxi, const geo::GridMap& grid) const;
 
+  /// Heap footprint of the dataset: event storage plus the per-taxi index
+  /// arrays. Regression guard for the single-copy invariant — indexing must
+  /// not duplicate the event payload (tests/trace_dataset_test.cpp).
+  std::size_t memory_bytes() const;
+
  private:
   void reindex() const;
 
-  std::vector<TraceEvent> events_;
-  // Lazily rebuilt index: events sorted by (taxi, time), plus per-taxi ranges.
+  // The events themselves, sorted in place by (taxi, time) on reindex — the
+  // dataset holds exactly ONE copy of the payload; the lazily rebuilt index
+  // is only the distinct ids plus per-taxi [begin, end) ranges into it.
+  // In-place sorting is unobservable: nothing exposes insertion order, and
+  // stable_sort keeps tied events (same taxi, timestamp, kind) in their
+  // insertion order across repeated add()/reindex() cycles exactly as the
+  // old sorted-copy index did.
+  mutable std::vector<TraceEvent> events_;
   mutable bool index_dirty_ = true;
-  mutable std::vector<TraceEvent> sorted_;
   mutable std::vector<TaxiId> ids_;
   mutable std::vector<std::pair<std::size_t, std::size_t>> ranges_;
 };

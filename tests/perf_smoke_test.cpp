@@ -95,6 +95,31 @@ TEST(PerfSmoke, SingleTaskFastProbesAgreeWithOracleAcrossTinyScalingSweep) {
   EXPECT_GT(feasible, 0u);
 }
 
+TEST(PerfSmoke, ColumnsDpKernelAgreesWithScalarOracleEndToEnd) {
+  // The Algorithm 1 kernel gate: the memory-engineered columns sweep (the
+  // default DpKernel) must reproduce the retained scalar-oracle sweep END TO
+  // END — winners, total cost, every critical bid and reward — on the exact
+  // shape bench/memory_scaling measures at large n, every ctest run, under
+  // every preset. The dedicated differential suite
+  // (dp_kernel_equivalence_test) pins the frontiers themselves; this gate
+  // makes sure no mechanism-level wiring can route around the pinned kernel.
+  auction::MechanismConfig columns;  // default: DpKernel::kColumns
+  columns.single_task.epsilon = 0.5;
+  auction::MechanismConfig oracle = columns;
+  oracle.single_task.dp_kernel = DpKernel::kScalarOracle;
+  std::size_t feasible = 0;
+  for (const std::size_t n : {10, 20, 40}) {
+    for (const std::uint64_t seed : {31ull, 32ull}) {
+      const auto instance = bench_shapes::single_task_scaling_instance(n, seed);
+      const auto optimized = single_task::run_mechanism(instance, columns);
+      const auto baseline = single_task::run_mechanism(instance, oracle);
+      test::expect_identical_outcome(optimized, baseline);
+      feasible += optimized.allocation.feasible ? 1 : 0;
+    }
+  }
+  EXPECT_GT(feasible, 0u);
+}
+
 TEST(PerfSmoke, DisabledTelemetryIsFreeAndEnabledTelemetryOnlyAddsFields) {
   // The mcs::obs determinism contract, gated like the lazy-vs-reference
   // invariant above: with telemetry off the mechanism outcome is

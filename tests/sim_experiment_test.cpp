@@ -1,0 +1,86 @@
+// Tests for the experiment plumbing, centered on the streaming round
+// pipeline: stream_round_chunks must deliver exactly the outcomes of one
+// materialized sample_round_batch + run_round_batch pass — same instances,
+// same outcomes, same count — for every chunk size, because the sampler
+// draws from the rng in the identical order and every auction is
+// independent. That equivalence is what lets long campaigns run with peak
+// memory bounded by one chunk.
+#include "sim/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "test_util.hpp"
+
+namespace mcs::sim {
+namespace {
+
+/// A workload small enough to build in well under a second.
+WorkloadConfig tiny_workload() {
+  WorkloadConfig config;
+  config.city.num_taxis = 30;
+  config.city.num_days = 3;
+  config.city.trips_per_day = 10;
+  return config;
+}
+
+TEST(StreamRoundChunks, MatchesMaterializedBatchForEveryChunkSize) {
+  const Workload workload(tiny_workload());
+  const auction::Engine engine(auction::EngineOptions{.workers = 2});
+  const auction::MechanismConfig config;
+  constexpr std::size_t kRounds = 7;
+  constexpr std::size_t kTasks = 4;
+  constexpr std::size_t kUsers = 12;
+  const ScenarioParams params = [] {
+    ScenarioParams p;
+    p.requirement_cap_fraction = 0.9;
+    return p;
+  }();
+
+  common::Rng batch_rng(99);
+  const auto batch = sample_round_batch(workload, kRounds, kTasks, kUsers, params, batch_rng);
+  const auto batch_outcomes = run_round_batch(engine, batch, config);
+  ASSERT_EQ(batch_outcomes.size(), batch.size());
+  ASSERT_GT(batch.size(), 0u);
+
+  // Chunk sizes straddling the batch: smaller, dividing, non-dividing,
+  // equal, larger — all must reproduce the materialized pass exactly.
+  for (const std::size_t chunk_size : {std::size_t{1}, std::size_t{2}, std::size_t{3},
+                                       batch.size(), batch.size() + 5}) {
+    common::Rng stream_rng(99);
+    std::vector<auction::AuctionInstance> streamed_instances;
+    std::vector<auction::MechanismOutcome> streamed_outcomes;
+    const std::size_t delivered = stream_round_chunks(
+        workload, engine, kRounds, kTasks, kUsers, params, stream_rng, chunk_size, config,
+        [&](const auction::AuctionInstance& instance, const auction::MechanismOutcome& outcome) {
+          streamed_instances.push_back(instance);
+          streamed_outcomes.push_back(outcome);
+        });
+    ASSERT_EQ(delivered, batch.size()) << "chunk_size=" << chunk_size;
+    for (std::size_t r = 0; r < batch.size(); ++r) {
+      const auto& streamed = std::get<auction::MultiTaskInstance>(streamed_instances[r]);
+      const auto& expected = std::get<auction::MultiTaskInstance>(batch[r]);
+      EXPECT_EQ(streamed.users.size(), expected.users.size())
+          << "chunk_size=" << chunk_size << " round " << r;
+      EXPECT_EQ(streamed.requirement_pos, expected.requirement_pos)
+          << "chunk_size=" << chunk_size << " round " << r;
+      test::expect_identical_outcome(streamed_outcomes[r], batch_outcomes[r]);
+    }
+  }
+}
+
+TEST(StreamRoundChunks, RejectsZeroChunkSize) {
+  const Workload workload(tiny_workload());
+  const auction::Engine engine(auction::EngineOptions{.workers = 1});
+  common::Rng rng(1);
+  EXPECT_THROW(stream_round_chunks(workload, engine, 1, 2, 6, ScenarioParams{}, rng, 0, {},
+                                   [](const auto&, const auto&) {}),
+               common::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mcs::sim

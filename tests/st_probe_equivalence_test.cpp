@@ -167,6 +167,40 @@ TEST(ProbeEquivalence, EndToEndMechanismOutcomesAreBitIdentical) {
   }
 }
 
+TEST(ProbeEquivalence, FrontierOnlyPathYieldsIdenticalFrontierEntries) {
+  // The probe context consumes frontiers through min_knapsack_frontier,
+  // which under DpKernel::kColumns skips parent bookkeeping entirely (no
+  // reconstruction is ever requested on that path). Skipping the side pool
+  // must not perturb a single surviving state: on the same item lists the
+  // differential suites probe with, every frontier entry — scaled cost AND
+  // capped contribution — must equal the scalar oracle's bit for bit.
+  for (std::size_t shape = 0; shape < kShapes; ++shape) {
+    for (std::uint64_t seed = 0; seed < 8; ++seed) {
+      SCOPED_TRACE(std::string("shape=") + shape_name(shape) + " seed=" + std::to_string(seed));
+      const auto instance = make_instance(shape, seed);
+      for (const double mu : {0.05, 0.4}) {
+        std::vector<KnapsackItem> items;
+        items.reserve(instance.bids.size());
+        for (const auto& bid : instance.bids) {
+          items.push_back({common::contribution_from_pos(bid.pos),
+                           static_cast<std::int64_t>(bid.cost / mu)});
+        }
+        const double requirement = common::contribution_from_pos(instance.requirement_pos);
+        const auto columns =
+            min_knapsack_frontier(items, requirement, {}, DpKernel::kColumns);
+        const auto oracle =
+            min_knapsack_frontier(items, requirement, {}, DpKernel::kScalarOracle);
+        ASSERT_EQ(columns.size(), oracle.size()) << "mu=" << mu;
+        for (std::size_t k = 0; k < columns.size(); ++k) {
+          EXPECT_EQ(columns[k].scaled_cost, oracle[k].scaled_cost) << "mu=" << mu << " entry " << k;
+          EXPECT_EQ(columns[k].contribution, oracle[k].contribution)
+              << "mu=" << mu << " entry " << k;
+        }
+      }
+    }
+  }
+}
+
 TEST(ProbeEquivalence, FastPathIsDeterministicAcrossRepeatsAndTelemetry) {
   // Same config, same instance => same outcome, telemetry on or off (the
   // obs determinism contract extended to the fast path's fallback pattern).

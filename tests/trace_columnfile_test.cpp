@@ -1,0 +1,193 @@
+// Tests for the streaming column-file trace storage (DESIGN.md §9):
+// write/read roundtrip fidelity against TraceDataset::all_events(), the
+// zero-copy column spans and per-taxi row ranges, the FleetModel training
+// twin, and the reader's rejection of corrupt headers (bad magic, foreign
+// version, truncation).
+#include "trace/columnfile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "geo/grid.hpp"
+#include "mobility/predictor.hpp"
+#include "trace/generator.hpp"
+
+namespace mcs::trace {
+namespace {
+
+class TraceColumnFile : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("mcs_columnfile_test_" +
+              std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".bin"))
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::string path_;
+};
+
+TraceDataset small_dataset() {
+  TraceDataset dataset;
+  dataset.add({5, 100, {31.20, 121.50}, EventKind::kPickup});
+  dataset.add({1, 50, {31.25, 121.55}, EventKind::kPickup});
+  dataset.add({5, 90, {31.30, 121.60}, EventKind::kDropoff});
+  dataset.add({1, 50, {31.25, 121.55}, EventKind::kDropoff});
+  dataset.add({9, 10, {31.10, 121.40}, EventKind::kPickup});
+  return dataset;
+}
+
+TEST_F(TraceColumnFile, RoundtripReproducesAllEvents) {
+  const auto dataset = small_dataset();
+  write_trace_columns(dataset, path_);
+  const MappedTraceDataset mapped(path_);
+
+  ASSERT_EQ(mapped.size(), dataset.size());
+  EXPECT_EQ(mapped.num_taxis(), dataset.taxi_ids().size());
+  EXPECT_EQ(mapped.taxi_ids(), dataset.taxi_ids());
+
+  const auto original = dataset.all_events();
+  for (std::size_t row = 0; row < mapped.size(); ++row) {
+    const auto event = mapped.event_at(row);
+    EXPECT_EQ(event.taxi_id, original[row].taxi_id) << "row " << row;
+    EXPECT_EQ(event.timestamp, original[row].timestamp) << "row " << row;
+    EXPECT_EQ(event.location.lat, original[row].location.lat) << "row " << row;
+    EXPECT_EQ(event.location.lon, original[row].location.lon) << "row " << row;
+    EXPECT_EQ(event.kind, original[row].kind) << "row " << row;
+  }
+
+  // to_dataset materializes the identical dataset.
+  const auto rebuilt = mapped.to_dataset();
+  const auto rebuilt_events = rebuilt.all_events();
+  ASSERT_EQ(rebuilt_events.size(), original.size());
+  for (std::size_t row = 0; row < original.size(); ++row) {
+    EXPECT_EQ(rebuilt_events[row].taxi_id, original[row].taxi_id);
+    EXPECT_EQ(rebuilt_events[row].timestamp, original[row].timestamp);
+    EXPECT_EQ(rebuilt_events[row].kind, original[row].kind);
+  }
+}
+
+TEST_F(TraceColumnFile, ColumnSpansAndRangesMatchDataset) {
+  const auto dataset = small_dataset();
+  write_trace_columns(dataset, path_);
+  const MappedTraceDataset mapped(path_);
+
+  const auto timestamps = mapped.timestamps();
+  const auto taxis = mapped.taxi_column();
+  const auto original = dataset.all_events();
+  ASSERT_EQ(timestamps.size(), original.size());
+  for (std::size_t row = 0; row < original.size(); ++row) {
+    EXPECT_EQ(timestamps[row], original[row].timestamp);
+    EXPECT_EQ(taxis[row], original[row].taxi_id);
+  }
+
+  for (const TaxiId taxi : dataset.taxi_ids()) {
+    const auto [begin, end] = mapped.range_of(taxi);
+    const auto events = dataset.events_of(taxi);
+    ASSERT_EQ(end - begin, events.size()) << "taxi " << taxi;
+    for (std::size_t k = 0; k < events.size(); ++k) {
+      EXPECT_EQ(mapped.event_at(begin + k).timestamp, events[k].timestamp);
+    }
+  }
+  EXPECT_EQ(mapped.range_of(12345), (std::pair<std::size_t, std::size_t>{0, 0}));
+
+  const geo::GridMap grid(geo::shanghai_bounding_box(), 2000.0);
+  for (const TaxiId taxi : dataset.taxi_ids()) {
+    EXPECT_EQ(mapped.cell_sequence(taxi, grid), dataset.cell_sequence(taxi, grid))
+        << "taxi " << taxi;
+  }
+}
+
+TEST_F(TraceColumnFile, EmptyDatasetRoundtrips) {
+  write_trace_columns(TraceDataset{}, path_);
+  const MappedTraceDataset mapped(path_);
+  EXPECT_TRUE(mapped.empty());
+  EXPECT_EQ(mapped.num_taxis(), 0u);
+  EXPECT_TRUE(mapped.taxi_ids().empty());
+  EXPECT_TRUE(mapped.to_dataset().empty());
+}
+
+TEST_F(TraceColumnFile, FleetModelFromMappedMatchesInMemoryTraining) {
+  // The streaming training path must learn the exact models the in-memory
+  // path learns: same trace, same grid, same learner => identical
+  // per-taxi transition rows and holdouts.
+  trace::CityConfig config;
+  config.num_taxis = 12;
+  config.num_days = 3;
+  config.trips_per_day = 8;
+  const trace::CityModel city(config);
+  const auto dataset = trace::generate_trace(city);
+  write_trace_columns(dataset, path_);
+  const MappedTraceDataset mapped(path_);
+
+  const mobility::MarkovLearner learner(1.0);
+  const mobility::FleetModel from_memory(dataset, city.grid(), learner, 0.8);
+  const mobility::FleetModel from_mapped(mapped, city.grid(), learner, 0.8);
+
+  ASSERT_EQ(from_mapped.taxis(), from_memory.taxis());
+  for (const TaxiId taxi : from_memory.taxis()) {
+    const auto& memory_model = from_memory.model(taxi);
+    const auto& mapped_model = from_mapped.model(taxi);
+    EXPECT_EQ(mapped_model.locations(), memory_model.locations()) << "taxi " << taxi;
+    for (const geo::CellId cell : memory_model.locations()) {
+      EXPECT_EQ(mapped_model.row(cell), memory_model.row(cell))
+          << "taxi " << taxi << " cell " << cell;
+    }
+    EXPECT_EQ(from_mapped.holdout(taxi), from_memory.holdout(taxi)) << "taxi " << taxi;
+  }
+}
+
+TEST_F(TraceColumnFile, RejectsBadMagicVersionAndTruncation) {
+  write_trace_columns(small_dataset(), path_);
+
+  auto corrupt_at = [&](std::streamoff offset, const char* bytes, std::size_t count) {
+    std::fstream file(path_, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(offset);
+    file.write(bytes, static_cast<std::streamsize>(count));
+  };
+
+  {
+    const char bad_magic[8] = {'N', 'O', 'T', 'A', 'T', 'R', 'C', 'E'};
+    corrupt_at(0, bad_magic, sizeof(bad_magic));
+    EXPECT_THROW(MappedTraceDataset{path_}, common::PreconditionError);
+    corrupt_at(0, kColumnFileMagic, sizeof(kColumnFileMagic));  // restore
+  }
+  {
+    const std::uint32_t bad_version = 999;
+    corrupt_at(8, reinterpret_cast<const char*>(&bad_version), sizeof(bad_version));
+    EXPECT_THROW(MappedTraceDataset{path_}, common::PreconditionError);
+    const std::uint32_t good_version = kColumnFileVersion;
+    corrupt_at(8, reinterpret_cast<const char*>(&good_version), sizeof(good_version));
+  }
+  {
+    // A byte-swapped endian tag marks a foreign-endian writer.
+    const std::uint32_t swapped = 0x04030201;
+    corrupt_at(12, reinterpret_cast<const char*>(&swapped), sizeof(swapped));
+    EXPECT_THROW(MappedTraceDataset{path_}, common::PreconditionError);
+    const std::uint32_t native = kColumnFileEndianTag;
+    corrupt_at(12, reinterpret_cast<const char*>(&native), sizeof(native));
+  }
+  {
+    // Sanity: the restored file opens again, then truncation is rejected.
+    EXPECT_NO_THROW(MappedTraceDataset{path_});
+    std::filesystem::resize_file(path_, std::filesystem::file_size(path_) / 2);
+    EXPECT_THROW(MappedTraceDataset{path_}, common::PreconditionError);
+  }
+  {
+    // Shorter than even the header.
+    std::filesystem::resize_file(path_, 8);
+    EXPECT_THROW(MappedTraceDataset{path_}, common::PreconditionError);
+  }
+  EXPECT_THROW(MappedTraceDataset{path_ + ".does-not-exist"}, common::PreconditionError);
+}
+
+}  // namespace
+}  // namespace mcs::trace

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 namespace mcs::trace {
 namespace {
 
@@ -78,6 +81,34 @@ TEST(TraceDataset, CellSequenceFollowsEvents) {
   EXPECT_EQ(cells[0], grid.cell_at(2, 3));
   EXPECT_EQ(cells[1], grid.cell_at(4, 7));
   EXPECT_EQ(cells[2], grid.cell_at(2, 3));
+}
+
+TEST(TraceDataset, IndexingDoesNotDuplicateEventPayload) {
+  // Regression guard for the single-copy invariant: the index is ids plus
+  // [begin, end) ranges over the in-place-sorted event storage, never a
+  // second sorted copy of the events (the pre-fix container held one, which
+  // doubled peak memory on large traces).
+  std::vector<TraceEvent> events;
+  constexpr std::size_t kEvents = 4096;
+  events.reserve(kEvents);
+  for (std::size_t k = 0; k < kEvents; ++k) {
+    events.push_back(make_event(static_cast<TaxiId>(k % 16),
+                                static_cast<Timestamp>(kEvents - k), 31.0, 121.4));
+  }
+  TraceDataset dataset(std::move(events));
+  const std::size_t payload = kEvents * sizeof(TraceEvent);
+  ASSERT_EQ(dataset.size(), kEvents);
+  // Build the index, then re-measure: still one payload plus a small index
+  // (16 taxis of ids + ranges), nowhere near a second copy.
+  EXPECT_FALSE(dataset.events_of(0).empty());
+  EXPECT_LT(dataset.memory_bytes(), payload + payload / 2);
+  // The per-taxi spans alias the single storage, not an index-owned copy.
+  const auto all = dataset.all_events();
+  for (const TaxiId taxi : dataset.taxi_ids()) {
+    const auto span = dataset.events_of(taxi);
+    EXPECT_GE(span.data(), all.data());
+    EXPECT_LE(span.data() + span.size(), all.data() + all.size());
+  }
 }
 
 TEST(TraceDataset, AllEventsGroupedByTaxiThenTime) {
