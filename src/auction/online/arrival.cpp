@@ -1,0 +1,100 @@
+#include "auction/online/arrival.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+#include "common/rng.hpp"
+
+namespace mcs::auction::online {
+
+double Arrival::contribution() const { return common::contribution_from_pos(bid.pos); }
+
+double Arrival::density() const { return contribution() / bid.cost; }
+
+ArrivalStream::ArrivalStream(double requirement_pos, std::vector<Arrival> arrivals)
+    : requirement_pos_(requirement_pos), arrivals_(std::move(arrivals)) {
+  MCS_EXPECTS(requirement_pos_ > 0.0 && requirement_pos_ < 1.0,
+              "arrival stream requirement PoS must be in (0, 1)");
+  std::unordered_set<UserId> seen;
+  seen.reserve(arrivals_.size());
+  for (const Arrival& arrival : arrivals_) {
+    MCS_EXPECTS(arrival.user >= 0, "arrival user ids must be non-negative");
+    MCS_EXPECTS(seen.insert(arrival.user).second, "arrival user ids must be unique");
+    MCS_EXPECTS(arrival.bid.cost > 0.0, "arrival costs must be positive");
+    MCS_EXPECTS(arrival.bid.pos >= 0.0 && arrival.bid.pos <= 1.0,
+                "arrival PoS must be in [0, 1]");
+  }
+}
+
+ArrivalStream ArrivalStream::shuffled(const SingleTaskInstance& instance, std::uint64_t seed) {
+  instance.validate();
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(instance.num_users());
+  for (std::size_t k = 0; k < instance.num_users(); ++k) {
+    arrivals.push_back(Arrival{static_cast<UserId>(k), instance.bids[k]});
+  }
+  // Fisher–Yates on the deterministic engine: the same (instance, seed)
+  // replays the same order on every host.
+  common::Rng rng(seed);
+  for (std::size_t k = arrivals.size(); k > 1; --k) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(k) - 1));
+    std::swap(arrivals[k - 1], arrivals[j]);
+  }
+  return ArrivalStream(instance.requirement_pos, std::move(arrivals));
+}
+
+ArrivalStream ArrivalStream::by_key(const SingleTaskInstance& instance,
+                                    const std::vector<double>& keys) {
+  instance.validate();
+  MCS_EXPECTS(keys.size() == instance.num_users(),
+              "arrival keys must align with the instance's users");
+  for (const double key : keys) {
+    MCS_EXPECTS(std::isfinite(key), "arrival keys must be finite");
+  }
+  std::vector<std::size_t> order(instance.num_users());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&keys](std::size_t a, std::size_t b) {
+    return keys[a] < keys[b];  // stable: equal keys keep ascending user id
+  });
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(order.size());
+  for (const std::size_t k : order) {
+    arrivals.push_back(Arrival{static_cast<UserId>(k), instance.bids[k]});
+  }
+  return ArrivalStream(instance.requirement_pos, std::move(arrivals));
+}
+
+double ArrivalStream::requirement_contribution() const {
+  return common::contribution_from_pos(requirement_pos_);
+}
+
+const Arrival& ArrivalStream::at(std::size_t k) const {
+  MCS_EXPECTS(k < arrivals_.size(), "arrival index out of range");
+  return arrivals_[k];
+}
+
+SingleTaskInstance ArrivalStream::to_instance() const {
+  SingleTaskInstance instance;
+  instance.requirement_pos = requirement_pos_;
+  instance.bids.reserve(arrivals_.size());
+  for (const Arrival& arrival : arrivals_) {
+    instance.bids.push_back(arrival.bid);
+  }
+  return instance;
+}
+
+ArrivalStream ArrivalStream::with_declared_pos(std::size_t k, double declared_pos) const {
+  MCS_EXPECTS(k < arrivals_.size(), "arrival index out of range");
+  MCS_EXPECTS(declared_pos >= 0.0 && declared_pos <= 1.0, "declared PoS must be in [0, 1]");
+  std::vector<Arrival> arrivals = arrivals_;
+  arrivals[k].bid.pos = declared_pos;
+  return ArrivalStream(requirement_pos_, std::move(arrivals));
+}
+
+}  // namespace mcs::auction::online

@@ -1,0 +1,75 @@
+// Arrival streams for the online mechanism family (ROADMAP item 1): the
+// offline mechanisms see a sealed bid profile, the online mechanisms see the
+// SAME population one user at a time and must decide irrevocably on each
+// arrival. An ArrivalStream pins that order deterministically — either a
+// seed-replayable shuffle of an auction instance (the secretary model's
+// random-arrival assumption, replayable run to run) or an externally imposed
+// order such as first-contact timestamps from a mobility trace — so online
+// runs, offline comparisons on the identical population, and the
+// arrival-fuzz property suites all agree on what "arrival k" means.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "auction/instance.hpp"
+
+namespace mcs::auction::online {
+
+/// One arrival: the user's id in the source instance plus her declaration.
+/// Costs are verified (the paper's standing assumption); the PoS is the
+/// strategic dimension, exactly as offline.
+struct Arrival {
+  UserId user = 0;
+  SingleTaskBid bid;
+
+  /// q = -ln(1 - p); +infinity when p = 1.
+  double contribution() const;
+  /// q / c — the density the threshold mechanism screens on.
+  double density() const;
+};
+
+/// A deterministic arrival order over a single-task population. Immutable
+/// once built; the online mechanism walks it front to back.
+class ArrivalStream {
+ public:
+  /// An explicit order (the general constructor the factories feed).
+  /// Requires requirement_pos in (0, 1) and valid bids; arrival user ids
+  /// must be unique and non-negative.
+  ArrivalStream(double requirement_pos, std::vector<Arrival> arrivals);
+
+  /// Seed-replayable uniform shuffle of the instance's users (Fisher–Yates
+  /// on common::Rng): the secretary model's random arrival order. The same
+  /// (instance, seed) always yields the same stream.
+  static ArrivalStream shuffled(const SingleTaskInstance& instance, std::uint64_t seed);
+
+  /// Arrival order by an external per-user key, ascending, ties broken by
+  /// user id — e.g. each user's first appearance timestamp in a mobility
+  /// trace. `keys` aligns with instance.bids.
+  static ArrivalStream by_key(const SingleTaskInstance& instance,
+                              const std::vector<double>& keys);
+
+  std::size_t size() const { return arrivals_.size(); }
+  bool empty() const { return arrivals_.empty(); }
+  double requirement_pos() const { return requirement_pos_; }
+  /// Q = -ln(1 - T).
+  double requirement_contribution() const;
+  const Arrival& at(std::size_t k) const;
+  const std::vector<Arrival>& arrivals() const { return arrivals_; }
+
+  /// The stream's population as an offline instance: bid k is arrival k
+  /// (user ids re-based to arrival order). What the offline comparators run
+  /// on — same declarations, order information erased.
+  SingleTaskInstance to_instance() const;
+
+  /// Copy with arrival `k`'s declared PoS replaced — the building block of
+  /// the online misreport fuzz (the offline analog is
+  /// SingleTaskInstance::with_declared_pos).
+  ArrivalStream with_declared_pos(std::size_t k, double declared_pos) const;
+
+ private:
+  double requirement_pos_ = 0.0;
+  std::vector<Arrival> arrivals_;
+};
+
+}  // namespace mcs::auction::online

@@ -1,0 +1,188 @@
+#include "auction/online/mechanism.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+
+namespace mcs::auction::online {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Stage ladder over the accept window [sample, n): stage j (1-based) ends
+/// at sample + round(window · (2^j - 1)/(2^K - 1)), so stage lengths grow
+/// geometrically (~2^(j-1) shares) and the final boundary is exactly n.
+/// The budget unlocks in the same proportions.
+std::vector<std::size_t> stage_boundaries(std::size_t sample, std::size_t n,
+                                          std::size_t stages) {
+  const double window = static_cast<double>(n - sample);
+  const double denom = std::exp2(static_cast<double>(stages)) - 1.0;
+  std::vector<std::size_t> boundaries;
+  boundaries.reserve(stages);
+  for (std::size_t j = 1; j <= stages; ++j) {
+    const double share = (std::exp2(static_cast<double>(j)) - 1.0) / denom;
+    const auto end = sample + static_cast<std::size_t>(std::llround(window * share));
+    boundaries.push_back(std::min(end, n));
+  }
+  boundaries.back() = n;  // exact by construction; pin against rounding
+  return boundaries;
+}
+
+double budget_share(double budget, std::size_t stage, std::size_t stages) {
+  const double denom = std::exp2(static_cast<double>(stages)) - 1.0;
+  return budget * (std::exp2(static_cast<double>(stage)) - 1.0) / denom;
+}
+
+}  // namespace
+
+const ArrivalDecision& OnlineOutcome::decision_of(std::size_t arrival) const {
+  MCS_EXPECTS(arrival < decisions.size(), "arrival index out of range");
+  return decisions[arrival];
+}
+
+double learn_threshold(const std::vector<Arrival>& seen, double budget_share) {
+  MCS_EXPECTS(budget_share >= 0.0, "threshold budget share must be non-negative");
+  // Sort a copy by (density desc, cost asc, contribution desc, user asc):
+  // every key is a pure function of the arrival itself, so the learned
+  // threshold depends only on the SET of arrivals seen — permuting the
+  // sample phase cannot move it (pinned by online_property_test).
+  std::vector<Arrival> ranked;
+  ranked.reserve(seen.size());
+  for (const Arrival& arrival : seen) {
+    // Certain-success declarations (p = 1, infinite density) are unusable as
+    // a finite posted price; learning skips them, the accept rule still
+    // screens them like everyone else.
+    if (std::isfinite(arrival.density())) {
+      ranked.push_back(arrival);
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const Arrival& a, const Arrival& b) {
+    const double da = a.density();
+    const double db = b.density();
+    if (da != db) {
+      return da > db;
+    }
+    if (a.bid.cost != b.bid.cost) {
+      return a.bid.cost < b.bid.cost;
+    }
+    const double qa = a.contribution();
+    const double qb = b.contribution();
+    if (qa != qb) {
+      return qa > qb;
+    }
+    return a.user < b.user;
+  });
+  double threshold = kInf;
+  double spent = 0.0;
+  for (const Arrival& arrival : ranked) {
+    if (spent + arrival.bid.cost > budget_share) {
+      break;
+    }
+    spent += arrival.bid.cost;
+    threshold = arrival.density();
+  }
+  return threshold;
+}
+
+OnlineOutcome run_online_mechanism(const ArrivalStream& stream, const OnlineConfig& config) {
+  MCS_EXPECTS(config.budget > 0.0, "online budget must be positive");
+  MCS_EXPECTS(config.alpha > 0.0, "online alpha must be positive");
+  MCS_EXPECTS(config.sample_fraction > 0.0 && config.sample_fraction < 1.0,
+              "online sample_fraction must be in (0, 1)");
+  MCS_EXPECTS(config.stages >= 1 && config.stages <= 32,
+              "online stages must be in [1, 32]");
+
+  OnlineOutcome outcome;
+  const std::size_t n = stream.size();
+  if (n == 0) {
+    return outcome;
+  }
+  const auto sample = std::min(
+      n, std::max<std::size_t>(
+             1, static_cast<std::size_t>(
+                    std::ceil(config.sample_fraction * static_cast<double>(n)))));
+  outcome.sample_size = sample;
+  outcome.decisions.reserve(n);
+
+  // Sample phase: observe and reject. Nothing is paid, so a sample arrival
+  // has no deviation that changes her own (empty) outcome.
+  for (std::size_t k = 0; k < sample; ++k) {
+    ArrivalDecision decision;
+    decision.arrival = k;
+    decision.user = stream.at(k).user;
+    decision.phase = ArrivalPhase::kSample;
+    decision.threshold = kInf;
+    decision.budget_remaining = config.budget;
+    outcome.decisions.push_back(decision);
+  }
+
+  const auto boundaries = stage_boundaries(sample, n, config.stages);
+  double spent = 0.0;  // worst-case payout committed so far
+  double threshold = kInf;
+  std::size_t stage = 0;  // 1-based once the accept phase starts
+  double stage_cap = 0.0;
+  for (std::size_t k = sample; k < n; ++k) {
+    // Enter the arrival's stage (skipping any empty ones): relearn the
+    // threshold from everything seen strictly before the stage's start and
+    // unlock its budget share. Arrivals inside a stage never move their own
+    // threshold — that is the irrevocability the truthfulness argument
+    // stands on. Terminates because boundaries.back() == n > k.
+    while (stage == 0 || k >= boundaries[stage - 1]) {
+      ++stage;
+      const std::size_t start = stage == 1 ? sample : boundaries[stage - 2];
+      const std::vector<Arrival> seen(
+          stream.arrivals().begin(),
+          stream.arrivals().begin() + static_cast<std::ptrdiff_t>(start));
+      stage_cap = budget_share(config.budget, stage, config.stages);
+      threshold = learn_threshold(seen, stage_cap);
+      ++outcome.threshold_updates;
+    }
+
+    const Arrival& arrival = stream.at(k);
+    ArrivalDecision decision;
+    decision.arrival = k;
+    decision.user = arrival.user;
+    decision.phase = ArrivalPhase::kAccept;
+    decision.stage = stage;
+    decision.threshold = threshold;
+
+    if (std::isfinite(threshold)) {
+      const double critical_q = threshold * arrival.bid.cost;
+      const double critical_pos = common::pos_from_contribution(critical_q);
+      // Worst-case (success-branch) payment of the EC reward calibrated at
+      // the critical PoS. Reads only the VERIFIED cost and the posted
+      // threshold — never the declaration — so the budget gate cannot be
+      // gamed by misreporting.
+      const double worst_case = (1.0 - critical_pos) * config.alpha + arrival.bid.cost;
+      if (arrival.contribution() >= critical_q && spent + worst_case <= stage_cap) {
+        spent += worst_case;
+        decision.accepted = true;
+        decision.critical_contribution = critical_q;
+        decision.reward.critical_pos = critical_pos;
+        decision.reward.cost = arrival.bid.cost;
+        decision.reward.alpha = config.alpha;
+        outcome.total_cost += arrival.bid.cost;
+        outcome.worst_case_payout += worst_case;
+        outcome.achieved_contribution += arrival.contribution();
+        ++outcome.accepted;
+        outcome.winners.push_back(arrival.user);
+      }
+    }
+    decision.budget_remaining = config.budget - spent;
+    outcome.decisions.push_back(decision);
+  }
+
+  std::sort(outcome.winners.begin(), outcome.winners.end());
+  outcome.achieved_pos = common::pos_from_contribution(outcome.achieved_contribution);
+  outcome.requirement_met =
+      common::approx_ge(outcome.achieved_contribution, stream.requirement_contribution());
+  MCS_ENSURES(outcome.worst_case_payout <= config.budget * (1.0 + 1e-12),
+              "online mechanism exceeded its budget");
+  return outcome;
+}
+
+}  // namespace mcs::auction::online

@@ -1,0 +1,135 @@
+// Online threshold mechanism (secretary-style with OMG's stage ladder): the
+// third mechanism family, alongside single_task/ (Algorithms 2–3) and
+// multi_task/ (Algorithms 4–5). Users arrive one at a time in an
+// ArrivalStream's order; the platform must accept or reject each arrival
+// irrevocably, paying winners with the same execution-contingent reward
+// shape as the offline mechanisms, under a hard worst-case payout budget.
+//
+// Construction (PAPERS.md: "OMG: How Much Should I Pay Bob…" and "Offline
+// and Online Incentive Mechanism Design for Smart-phone Crowd-sourcing"):
+//
+//   * Sample phase. The first ⌈φ·n⌉ arrivals are observed and rejected —
+//     the classic secretary sacrifice. Nothing is paid, so there is nothing
+//     a sample-phase user can gain by misreporting.
+//   * Threshold learning. At each stage boundary the mechanism recomputes a
+//     density threshold ρ (contribution per unit cost) from ALL arrivals
+//     seen strictly before the stage: sort them by density descending
+//     (ties: cheaper cost, then higher contribution, then lower user id —
+//     a pure function of the SET, so any arrival order of the same prefix
+//     learns the same ρ bit-for-bit), then walk that order accumulating
+//     cost against the stage's budget share and take ρ = the density of the
+//     last affordable bid. An empty or unaffordable prefix leaves ρ = +inf
+//     (accept nothing — the safe default).
+//   * Accept phase. Arrival i in a stage with threshold ρ is accepted iff
+//     her declared density q_i/c_i reaches ρ AND the worst-case payment of
+//     her EC reward fits the stage's cumulative budget share. Her critical
+//     contribution is q̄_i = ρ·c_i — the posted price per unit cost in the
+//     contribution domain — so her EC reward is calibrated at
+//     p̄_i = 1 - e^(-ρ·c_i) and pays, like the offline Algorithm 3,
+//     (1-p̄_i)·α + c_i on success and -p̄_i·α + c_i on failure.
+//   * Stage ladder (OMG). With stages K > 1 the accept window is split into
+//     geometrically growing stages (stage j holds ~2^(j-1) shares of the
+//     window) and the budget unlocks in the same proportions, so early
+//     over-acceptance against a badly-learned first threshold cannot drain
+//     the campaign; K = 1 is the single-threshold secretary mechanism.
+//
+// Truthfulness (the online analog of paper Theorem 1): arrival i's
+// threshold is learned from arrivals strictly before her stage, and the
+// budget check reads only her VERIFIED cost — so her declaration moves
+// nothing but the comparison q_i ≥ ρ·c_i. Acceptance is monotone in the
+// declared PoS, q̄_i = ρ·c_i is exactly the infimum winning declaration,
+// and the EC reward calibrated there makes truthful PoS declaration a
+// dominant strategy; accepted truthful users have p_i ≥ p̄_i, hence
+// non-negative expected utility (IR). A misreport can only change LATER
+// users' thresholds — the deviator's own decision is already irrevocable.
+// Both properties are fuzz-checked arrival-by-arrival in
+// tests/online_property_test.cpp.
+//
+// Budget feasibility is by construction: every accept charges its
+// worst-case (success-branch) payment against the remaining budget before
+// it is granted. Deadline feasibility likewise: the stream IS the deadline
+// — the mechanism touches each arrival exactly once and stops with it.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "auction/online/arrival.hpp"
+#include "auction/types.hpp"
+
+namespace mcs::auction::online {
+
+/// Knobs of the online threshold mechanism.
+struct OnlineConfig {
+  /// Hard cap on the campaign's worst-case payout Σ ((1-p̄_i)·α + c_i) over
+  /// accepted arrivals. Must be positive.
+  double budget = 50.0;
+  /// EC reward scale, as offline (paper Table II).
+  double alpha = 10.0;
+  /// Fraction of the stream observed before anything can be accepted, in
+  /// (0, 1). The sample is at least one arrival (secretary sacrifice) and,
+  /// on streams of one arrival, swallows the whole stream.
+  double sample_fraction = 0.25;
+  /// Stage count K >= 1 of the OMG budget ladder; 1 = pure secretary
+  /// (single threshold, full budget unlocked at once).
+  std::size_t stages = 1;
+};
+
+/// Where in the stream an arrival was decided.
+enum class ArrivalPhase {
+  kSample,  ///< observed only; never accepted
+  kAccept,  ///< screened against the stage threshold
+};
+
+/// The irrevocable decision made on one arrival, in stream order.
+struct ArrivalDecision {
+  std::size_t arrival = 0;  ///< index in the stream
+  UserId user = 0;          ///< the arrival's source-instance user id
+  ArrivalPhase phase = ArrivalPhase::kSample;
+  std::size_t stage = 0;  ///< accept-phase stage (1-based); 0 in the sample
+  bool accepted = false;
+  /// Density threshold in force at the decision (+inf while unaffordable or
+  /// in the sample phase).
+  double threshold = 0.0;
+  /// q̄ = ρ·c for accepted arrivals; 0 otherwise.
+  double critical_contribution = 0.0;
+  /// EC reward (critical_pos/cost/alpha); zeroed for rejected arrivals.
+  EcReward reward;
+  /// Worst-case budget remaining AFTER this decision.
+  double budget_remaining = 0.0;
+};
+
+/// Full outcome of one online run: the per-arrival decision log (what the
+/// property fuzz replays) plus the aggregate view.
+struct OnlineOutcome {
+  std::vector<ArrivalDecision> decisions;  ///< one per arrival, stream order
+  /// Accepted users by source-instance id, ascending (the offline
+  /// Allocation::winners convention).
+  std::vector<UserId> winners;
+  double total_cost = 0.0;          ///< Σ c_i over accepts
+  double worst_case_payout = 0.0;   ///< Σ ((1-p̄_i)·α + c_i) over accepts
+  double achieved_contribution = 0.0;  ///< Σ q_i (declared) over accepts
+  /// 1 - e^(-achieved_contribution): the task's achieved PoS under truthful
+  /// declarations.
+  double achieved_pos = 0.0;
+  /// True when the accepts meet the stream's PoS requirement.
+  bool requirement_met = false;
+  std::size_t sample_size = 0;        ///< arrivals spent on the sample phase
+  std::size_t accepted = 0;           ///< number of accepted arrivals
+  std::size_t threshold_updates = 0;  ///< stage-boundary threshold relearns
+
+  const ArrivalDecision& decision_of(std::size_t arrival) const;
+};
+
+/// Runs the online threshold mechanism over the stream. Deterministic: the
+/// outcome is a pure function of (stream, config). Requires budget > 0,
+/// alpha > 0, sample_fraction in (0, 1), and stages >= 1.
+OnlineOutcome run_online_mechanism(const ArrivalStream& stream, const OnlineConfig& config);
+
+/// The density threshold the mechanism would learn from `seen` (any
+/// arrival prefix) under a budget share — exposed for tests and the
+/// competitive bench. Pure function of the SET of arrivals (internal sort),
+/// +inf when nothing is affordable.
+double learn_threshold(const std::vector<Arrival>& seen, double budget_share);
+
+}  // namespace mcs::auction::online

@@ -174,6 +174,98 @@ bool parse_flag(const Line& line) {
   return line.tokens[1] == "1";
 }
 
+/// Parses one epoch block's body (everything between `begin epoch N` and its
+/// `end` line, exclusive).
+ServiceEpochRecord parse_epoch_body(BlockReader& reader, const Line& begin) {
+  ServiceEpochRecord record;
+  record.epoch = parse_u64(begin.tokens[2], begin.number);
+  {
+    const Line& line = reader.expect("status");
+    if (line.tokens.size() != 2) {
+      fail(line.number, "expected 'status <value>'");
+    }
+    record.status = parse_status(line.tokens[1], line.number);
+  }
+  const std::size_t arrival_count = reader.expect_count("arrivals");
+  for (std::size_t k = 0; k < arrival_count; ++k) {
+    const Line& line = reader.expect("arrival");
+    if (line.tokens.size() != 4) {
+      fail(line.number, "expected 'arrival <user> <cost> <pos>'");
+    }
+    auction::online::Arrival arrival;
+    arrival.user = parse_i32(line.tokens[1], line.number);
+    arrival.bid.cost = parse_double(line.tokens[2], line.number);
+    arrival.bid.pos = parse_double(line.tokens[3], line.number);
+    record.arrivals.push_back(arrival);
+  }
+  record.outcome.sample_size = reader.expect_count("sample");
+  record.outcome.threshold_updates = reader.expect_count("updates");
+  const std::size_t decision_count = reader.expect_count("decisions");
+  for (std::size_t k = 0; k < decision_count; ++k) {
+    const Line& line = reader.expect("decision");
+    if (line.tokens.size() != 12) {
+      fail(line.number,
+           "expected 'decision <arrival> <user> sample|accept <stage> 0|1 "
+           "<threshold> <qbar> <pbar> <cost> <alpha> <remaining>'");
+    }
+    auction::online::ArrivalDecision decision;
+    decision.arrival = static_cast<std::size_t>(parse_u64(line.tokens[1], line.number));
+    decision.user = parse_i32(line.tokens[2], line.number);
+    if (line.tokens[3] == "sample") {
+      decision.phase = auction::online::ArrivalPhase::kSample;
+    } else if (line.tokens[3] == "accept") {
+      decision.phase = auction::online::ArrivalPhase::kAccept;
+    } else {
+      fail(line.number, "unknown arrival phase '" + line.tokens[3] + "'");
+    }
+    decision.stage = static_cast<std::size_t>(parse_u64(line.tokens[4], line.number));
+    if (line.tokens[5] != "0" && line.tokens[5] != "1") {
+      fail(line.number, "expected accepted flag 0|1");
+    }
+    decision.accepted = line.tokens[5] == "1";
+    decision.threshold = parse_double(line.tokens[6], line.number);
+    decision.critical_contribution = parse_double(line.tokens[7], line.number);
+    decision.reward.critical_pos = parse_double(line.tokens[8], line.number);
+    decision.reward.cost = parse_double(line.tokens[9], line.number);
+    decision.reward.alpha = parse_double(line.tokens[10], line.number);
+    decision.budget_remaining = parse_double(line.tokens[11], line.number);
+    record.outcome.decisions.push_back(decision);
+  }
+  {
+    const Line& line = reader.expect("totals");
+    if (line.tokens.size() != 6) {
+      fail(line.number, "expected 'totals <cost> <worst_case> <q> <pos> 0|1'");
+    }
+    record.outcome.total_cost = parse_double(line.tokens[1], line.number);
+    record.outcome.worst_case_payout = parse_double(line.tokens[2], line.number);
+    record.outcome.achieved_contribution = parse_double(line.tokens[3], line.number);
+    record.outcome.achieved_pos = parse_double(line.tokens[4], line.number);
+    if (line.tokens[5] != "0" && line.tokens[5] != "1") {
+      fail(line.number, "expected requirement-met flag 0|1");
+    }
+    record.outcome.requirement_met = line.tokens[5] == "1";
+  }
+  {
+    const Line& line = reader.expect("winners");
+    if (line.tokens.size() < 2) {
+      fail(line.number, "expected 'winners <count> <ids>...'");
+    }
+    const auto count = parse_u64(line.tokens[1], line.number);
+    if (line.tokens.size() != count + 2) {
+      fail(line.number, "winner count does not match the listed ids");
+    }
+    for (std::size_t k = 0; k < count; ++k) {
+      record.outcome.winners.push_back(parse_i32(line.tokens[k + 2], line.number));
+    }
+  }
+  record.outcome.accepted = record.outcome.winners.size();
+  if (!reader.at_end() && reader.peek().tokens.front() == "error") {
+    record.error = reader.peek().raw_text;
+    reader.expect("error");
+  }
+  return record;
+}
+
 }  // namespace
 
 std::string to_text(const ServiceJournalRecord& record) {
@@ -210,6 +302,45 @@ std::string to_text(const ServiceJournalRecord& record) {
   return out.str();
 }
 
+std::string to_text(const ServiceEpochRecord& record) {
+  std::ostringstream out;
+  out << "begin epoch " << record.epoch << "\n";
+  out << "status " << auction::to_string(record.status) << "\n";
+  out << "arrivals " << record.arrivals.size() << "\n";
+  for (const auto& arrival : record.arrivals) {
+    out << "arrival " << arrival.user << ' ' << format_double(arrival.bid.cost) << ' '
+        << format_double(arrival.bid.pos) << "\n";
+  }
+  out << "sample " << record.outcome.sample_size << "\n";
+  out << "updates " << record.outcome.threshold_updates << "\n";
+  out << "decisions " << record.outcome.decisions.size() << "\n";
+  for (const auto& decision : record.outcome.decisions) {
+    out << "decision " << decision.arrival << ' ' << decision.user << ' '
+        << (decision.phase == auction::online::ArrivalPhase::kSample ? "sample" : "accept") << ' '
+        << decision.stage << ' ' << (decision.accepted ? 1 : 0) << ' '
+        << format_double(decision.threshold) << ' '
+        << format_double(decision.critical_contribution) << ' '
+        << format_double(decision.reward.critical_pos) << ' '
+        << format_double(decision.reward.cost) << ' ' << format_double(decision.reward.alpha)
+        << ' ' << format_double(decision.budget_remaining) << "\n";
+  }
+  out << "totals " << format_double(record.outcome.total_cost) << ' '
+      << format_double(record.outcome.worst_case_payout) << ' '
+      << format_double(record.outcome.achieved_contribution) << ' '
+      << format_double(record.outcome.achieved_pos) << ' '
+      << (record.outcome.requirement_met ? 1 : 0) << "\n";
+  out << "winners " << record.outcome.winners.size();
+  for (auction::UserId winner : record.outcome.winners) {
+    out << ' ' << winner;
+  }
+  out << "\n";
+  if (!record.error.empty()) {
+    out << "error " << flatten_newlines(record.error) << "\n";
+  }
+  out << "end epoch " << record.epoch << "\n";
+  return out.str();
+}
+
 ReplayedServiceJournal parse_service_journal(const std::string& text) {
   const auto lines = meaningful_lines(text);
   if (lines.empty()) {
@@ -243,12 +374,19 @@ ReplayedServiceJournal parse_service_journal(const std::string& text) {
   while (i < lines.size()) {
     BlockReader reader(lines, i);
     ServiceJournalRecord record;
+    ServiceEpochRecord epoch;
+    bool is_epoch = false;
     bool complete = true;
     try {
       const Line& begin = reader.expect("begin");
-      if (begin.tokens.size() != 3 || begin.tokens[1] != "round") {
-        fail(begin.number, "expected 'begin round <n>'");
+      if (begin.tokens.size() != 3 ||
+          (begin.tokens[1] != "round" && begin.tokens[1] != "epoch")) {
+        fail(begin.number, "expected 'begin round <n>' or 'begin epoch <n>'");
       }
+      is_epoch = begin.tokens[1] == "epoch";
+      if (is_epoch) {
+        epoch = parse_epoch_body(reader, begin);
+      } else {
       record.round = parse_u64(begin.tokens[2], begin.number);
       {
         const Line& line = reader.expect("status");
@@ -314,10 +452,14 @@ ReplayedServiceJournal parse_service_journal(const std::string& text) {
         record.error = reader.peek().raw_text;
         reader.expect("error");
       }
+      }
+      const char* kind = is_epoch ? "epoch" : "round";
+      const std::uint64_t id = is_epoch ? epoch.epoch : record.round;
       const Line& end = reader.expect("end");
-      if (end.tokens.size() != 3 || end.tokens[1] != "round" ||
-          parse_u64(end.tokens[2], end.number) != record.round) {
-        fail(end.number, "expected 'end round " + std::to_string(record.round) + "'");
+      if (end.tokens.size() != 3 || end.tokens[1] != kind ||
+          parse_u64(end.tokens[2], end.number) != id) {
+        fail(end.number,
+             "expected 'end " + std::string(kind) + " " + std::to_string(id) + "'");
       }
       if (!end.terminated) {
         complete = false;  // torn final line: drop the block
@@ -342,11 +484,18 @@ ReplayedServiceJournal parse_service_journal(const std::string& text) {
     if (!complete) {
       break;
     }
-    const std::size_t expected = result.records.size();
-    if (record.round != expected) {
-      fail(lines[i > 0 ? i - 1 : 0].number, "journal rounds are not contiguous from 0");
+    if (is_epoch) {
+      if (epoch.epoch != result.epochs.size()) {
+        fail(lines[i > 0 ? i - 1 : 0].number, "journal epochs are not contiguous from 0");
+      }
+      result.epochs.push_back(std::move(epoch));
+    } else {
+      const std::size_t expected = result.records.size();
+      if (record.round != expected) {
+        fail(lines[i > 0 ? i - 1 : 0].number, "journal rounds are not contiguous from 0");
+      }
+      result.records.push_back(std::move(record));
     }
-    result.records.push_back(std::move(record));
   }
   return result;
 }
@@ -387,10 +536,21 @@ void ServiceJournalWriter::set_fault_injector(
 }
 
 void ServiceJournalWriter::append(const ServiceJournalRecord& record) {
+  append_text(to_text(record), record.round);
+}
+
+void ServiceJournalWriter::append(const ServiceEpochRecord& record) {
+  // Epochs share the kJournalAppend stream space with rounds (stream ==
+  // epoch id): a chaos spec targeting stream N hits round N and epoch N
+  // alike, which is what the injection tests want.
+  append_text(to_text(record), record.epoch);
+}
+
+void ServiceJournalWriter::append_text(const std::string& text, std::uint64_t fault_stream) {
   // The fault fires BEFORE any byte reaches the file, modelling a full-disk
   // or I/O error on the append; the on-disk journal stays a valid prefix.
-  common::fault_point(fault_injector_.get(), common::FailPoint::kJournalAppend, record.round, 0);
-  out_ << to_text(record);
+  common::fault_point(fault_injector_.get(), common::FailPoint::kJournalAppend, fault_stream, 0);
+  out_ << text;
   out_.flush();
   if (!out_) {
     throw std::runtime_error("service journal append failed: " + path_.string());

@@ -28,7 +28,28 @@
 //     error <raw text>               # only present when non-empty
 //     end round 0
 //
-// A block is only valid once its newline-terminated `end round N` line is
+// Services with online ingestion enabled additionally journal one block per
+// flushed epoch — OPTIONAL blocks in the PR-4 telemetry-line sense, so
+// journals without them (every pre-online journal) parse unchanged:
+//
+//     begin epoch 0
+//     status ok
+//     arrivals 2                     # count, then one `arrival` line each
+//     arrival 0 3.5 0.25             # user cost pos (submission order)
+//     sample 1
+//     updates 1                      # stage-boundary threshold relearns
+//     decisions 2                    # count, then one `decision` line each
+//     decision 0 0 sample 0 0 inf 0 0 0 0 50
+//     decision 1 1 accept 1 1 0.082 0.41 0.33 5 10 33.2
+//     totals 5 16.8 0.51 0.4 0      # cost worst_case q pos requirement_met
+//     winners 1 1
+//     end epoch 0
+//
+// Epoch ids are their own sequence, contiguous from 0, interleaved with
+// round blocks in whatever order the service settled them.
+//
+// A block is only valid once its newline-terminated `end round N` (or
+// `end epoch N`) line is
 // present: a torn tail (the service died mid-append) is detected and dropped
 // on replay, and the writer truncates to the valid prefix before appending.
 // Corruption before the last complete block throws. The `config` line
@@ -46,12 +67,17 @@
 #include <vector>
 
 #include "auction/engine.hpp"
+#include "auction/online/mechanism.hpp"
 #include "common/fault_injection.hpp"
 
 namespace mcs::service {
 
 /// Round identifier assigned by the service, sequential from 0.
 using RoundId = std::uint64_t;
+
+/// Epoch identifier of the online ingestion path, sequential from 0 (its own
+/// sequence, independent of round ids).
+using EpochId = std::uint64_t;
 
 /// One journaled round: the merged outcome plus the round-shape echo used to
 /// detect a diverging resubmission. Telemetry is deliberately not journaled
@@ -67,12 +93,32 @@ struct ServiceJournalRecord {
   std::string error;
 };
 
+/// One journaled online epoch (the continuous-feed ingestion path): the
+/// submitted arrivals (the epoch's shape echo, and what a replay is checked
+/// against) plus the full per-arrival decision log, so a restarted service
+/// serves the epoch bit-identically without re-running the mechanism. Epoch
+/// blocks are OPTIONAL lines of mcs-service-journal-v1 in the PR-4 telemetry
+/// sense: journals without them (every pre-online journal) parse unchanged.
+struct ServiceEpochRecord {
+  EpochId epoch = 0;
+  auction::AuctionStatus status = auction::AuctionStatus::kOk;
+  /// The submitted arrivals in submission order (user id == arrival index).
+  std::vector<auction::online::Arrival> arrivals;
+  auction::online::OnlineOutcome outcome;
+  std::string error;
+};
+
 /// Serializes one record as a journal block (without the file header).
 std::string to_text(const ServiceJournalRecord& record);
+std::string to_text(const ServiceEpochRecord& record);
 
 /// A parsed service journal: complete records plus what a safe append needs.
 struct ReplayedServiceJournal {
   std::vector<ServiceJournalRecord> records;  ///< ascending, contiguous from 0
+  /// Online epochs, ascending and contiguous from 0 — their own sequence,
+  /// interleaved with round blocks in file order. Empty for journals written
+  /// before the online ingestion path existed.
+  std::vector<ServiceEpochRecord> epochs;
   /// Byte length of the valid prefix; anything past it is a torn tail.
   std::size_t valid_bytes = 0;
   /// Raw `config` fingerprint; empty when the journal has none.
@@ -100,8 +146,11 @@ class ServiceJournalWriter {
   void set_fault_injector(std::shared_ptr<const common::FaultInjector> injector);
 
   void append(const ServiceJournalRecord& record);
+  void append(const ServiceEpochRecord& record);
 
  private:
+  void append_text(const std::string& text, std::uint64_t fault_stream);
+
   std::filesystem::path path_;
   std::ofstream out_;
   std::shared_ptr<const common::FaultInjector> fault_injector_;

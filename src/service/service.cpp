@@ -29,6 +29,11 @@ struct ServiceMetrics {
   obs::Registry::MetricId rounds_degraded;
   obs::Registry::MetricId sinks_quarantined;
   obs::Registry::MetricId watchdog_fires;
+  obs::Registry::MetricId arrivals;
+  obs::Registry::MetricId epochs_completed;
+  obs::Registry::MetricId online_accepts;
+  obs::Registry::MetricId online_threshold_updates;
+  obs::Registry::MetricId online_budget_remaining;
 
   static const ServiceMetrics& get() {
     static const ServiceMetrics metrics{
@@ -40,6 +45,11 @@ struct ServiceMetrics {
         obs::Registry::global().metric("service.rounds_degraded"),
         obs::Registry::global().metric("service.sinks_quarantined"),
         obs::Registry::global().metric("service.watchdog_fires"),
+        obs::Registry::global().metric("service.arrivals_submitted"),
+        obs::Registry::global().metric("service.epochs_completed"),
+        obs::Registry::global().metric("service.online_accepts"),
+        obs::Registry::global().metric("service.online_threshold_updates"),
+        obs::Registry::global().metric("service.online_budget_remaining_milli"),
     };
     return metrics;
   }
@@ -87,6 +97,17 @@ std::string service_config_fingerprint(const ServiceConfig& config) {
     // are exactly what the seeded faults produced — replayable by design.
     out << " merge=" << static_cast<int>(config.merge_policy);
   }
+  if (config.online.enabled) {
+    // Only when enabled, so every round-only journal keeps resuming; every
+    // knob that shapes an epoch's outcome is covered. max_epoch_arrivals is
+    // excluded — it shapes epoch BOUNDARIES, which the arrival echo check
+    // already pins per epoch.
+    out << " online=1 budget=" << format_double(config.online.mechanism.budget)  //
+        << " online_alpha=" << format_double(config.online.mechanism.alpha)      //
+        << " phi=" << format_double(config.online.mechanism.sample_fraction)     //
+        << " stages=" << config.online.mechanism.stages                          //
+        << " req=" << format_double(config.online.requirement_pos);
+  }
   return out.str();
 }
 
@@ -101,6 +122,20 @@ CampaignService::CampaignService(const ServiceConfig& config)
               "shard retry backoff_multiplier must be >= 1 (backoff never shrinks)");
   MCS_EXPECTS(config.watchdog_seconds >= 0.0, "watchdog_seconds must be non-negative (0 = off)");
   MCS_EXPECTS(config.sink_slow_seconds >= 0.0, "sink_slow_seconds must be non-negative (0 = off)");
+  if (config.online.enabled) {
+    // Fail at construction, not at the first flush: the same checks
+    // run_online_mechanism makes per epoch.
+    MCS_EXPECTS(config.online.requirement_pos > 0.0 && config.online.requirement_pos < 1.0,
+                "online requirement_pos must be in (0, 1)");
+    MCS_EXPECTS(config.online.max_epoch_arrivals >= 1, "online max_epoch_arrivals must be >= 1");
+    MCS_EXPECTS(config.online.mechanism.budget > 0.0, "online budget must be positive");
+    MCS_EXPECTS(config.online.mechanism.alpha > 0.0, "online alpha must be positive");
+    MCS_EXPECTS(config.online.mechanism.sample_fraction > 0.0 &&
+                    config.online.mechanism.sample_fraction < 1.0,
+                "online sample_fraction must be in (0, 1)");
+    MCS_EXPECTS(config.online.mechanism.stages >= 1 && config.online.mechanism.stages <= 32,
+                "online stages must be in [1, 32]");
+  }
   MCS_EXPECTS(config.shards.shard_count() == 1 ||
                   config.mechanism.multi_task.critical_bid_rule !=
                       auction::CriticalBidRule::kPaperIterationMin,
@@ -111,7 +146,7 @@ CampaignService::CampaignService(const ServiceConfig& config)
     const auto fingerprint = service_config_fingerprint(config_);
     auto replayed = load_service_journal(config_.journal_path);
     if (replayed.config.empty()) {
-      MCS_EXPECTS(replayed.records.empty(),
+      MCS_EXPECTS(replayed.records.empty() && replayed.epochs.empty(),
                   "service journal has rounds but no config fingerprint");
     } else {
       MCS_EXPECTS(replayed.config == fingerprint,
@@ -119,6 +154,7 @@ CampaignService::CampaignService(const ServiceConfig& config)
                   "replaying it would serve outcomes this service would not compute");
     }
     journaled_ = std::move(replayed.records);
+    journaled_epochs_ = std::move(replayed.epochs);
     // Drop any torn tail before appending, as the platform journal does: the
     // next round's block must follow the last complete one.
     if (std::filesystem::exists(config_.journal_path) &&
@@ -150,7 +186,10 @@ RoundId CampaignService::submit_round(GeoRound round) {
   std::unique_lock<std::mutex> lock(mutex_);
   queue_space_.wait(lock, [this] { return queue_.size() < config_.queue_capacity; });
   const RoundId id = next_round_++;
-  queue_.push_back(Request{id, std::move(round)});
+  Request request;
+  request.round = id;
+  request.payload = std::move(round);
+  queue_.push_back(std::move(request));
   ++stats_.submitted;
   obs::Registry::global().add(ServiceMetrics::get().submitted, 1);
   obs::Registry::global().add(ServiceMetrics::get().queue_depth, 1);
@@ -165,7 +204,10 @@ std::optional<RoundId> CampaignService::try_submit_round(GeoRound round) {
     return std::nullopt;
   }
   const RoundId id = next_round_++;
-  queue_.push_back(Request{id, std::move(round)});
+  Request request;
+  request.round = id;
+  request.payload = std::move(round);
+  queue_.push_back(std::move(request));
   ++stats_.submitted;
   obs::Registry::global().add(ServiceMetrics::get().submitted, 1);
   obs::Registry::global().add(ServiceMetrics::get().queue_depth, 1);
@@ -176,23 +218,37 @@ std::optional<RoundId> CampaignService::try_submit_round(GeoRound round) {
 
 std::optional<RoundOutcome> CampaignService::poll_outcome(RoundId round) {
   std::lock_guard<std::mutex> lock(mutex_);
-  MCS_EXPECTS(round < next_round_, "poll_outcome: round was never submitted");
+  // Fail fast on ids this service can never deliver — waiting on one would
+  // otherwise block forever (poll would spin forever), so the id checks are
+  // part of the exactly-once contract, not just hygiene. The message names
+  // the id and the valid range so the caller's bug is diagnosable.
+  MCS_EXPECTS(round < next_round_,
+              "poll_outcome: round " + std::to_string(round) +
+                  " was never submitted (next round id is " + std::to_string(next_round_) + ")");
   const auto it = completed_.find(round);
   if (it != completed_.end()) {
     RoundOutcome outcome = std::move(it->second);
     completed_.erase(it);
     return outcome;
   }
-  MCS_EXPECTS(round >= next_completed_, "poll_outcome: outcome was already delivered");
+  MCS_EXPECTS(round >= next_completed_,
+              "poll_outcome: round " + std::to_string(round) +
+                  "'s outcome was already delivered (outcomes deliver exactly once)");
   return std::nullopt;
 }
 
 RoundOutcome CampaignService::wait_outcome(RoundId round) {
   std::unique_lock<std::mutex> lock(mutex_);
-  MCS_EXPECTS(round < next_round_, "wait_outcome: round was never submitted");
+  // Checked BEFORE the wait: an id that was never submitted has no round to
+  // complete, so waiting on it would block forever.
+  MCS_EXPECTS(round < next_round_,
+              "wait_outcome: round " + std::to_string(round) +
+                  " was never submitted (next round id is " + std::to_string(next_round_) + ")");
   round_done_.wait(lock, [this, round] { return round < next_completed_; });
   const auto it = completed_.find(round);
-  MCS_EXPECTS(it != completed_.end(), "wait_outcome: outcome was already delivered");
+  MCS_EXPECTS(it != completed_.end(),
+              "wait_outcome: round " + std::to_string(round) +
+                  "'s outcome was already delivered (outcomes deliver exactly once)");
   RoundOutcome outcome = std::move(it->second);
   completed_.erase(it);
   return outcome;
@@ -200,7 +256,87 @@ RoundOutcome CampaignService::wait_outcome(RoundId round) {
 
 void CampaignService::drain() {
   std::unique_lock<std::mutex> lock(mutex_);
-  round_done_.wait(lock, [this] { return next_completed_ == next_round_; });
+  round_done_.wait(lock, [this] {
+    return next_completed_ == next_round_ && next_epoch_completed_ == next_epoch_;
+  });
+}
+
+ArrivalTicket CampaignService::submit_arrival(auction::SingleTaskBid bid) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  MCS_EXPECTS(config_.online.enabled, "submit_arrival: online ingestion is not enabled");
+  // The same bid validation ArrivalStream would apply, surfaced at the
+  // ingestion edge so a bad arrival cannot poison its whole epoch.
+  MCS_EXPECTS(bid.cost > 0.0, "submit_arrival: arrival cost must be positive");
+  MCS_EXPECTS(bid.pos >= 0.0 && bid.pos <= 1.0, "submit_arrival: arrival PoS must be in [0, 1]");
+  const ArrivalTicket ticket{next_epoch_, open_epoch_.size()};
+  open_epoch_.push_back(
+      auction::online::Arrival{static_cast<auction::UserId>(open_epoch_.size()), bid});
+  ++stats_.arrivals_submitted;
+  obs::Registry::global().add(ServiceMetrics::get().arrivals, 1);
+  if (open_epoch_.size() >= config_.online.max_epoch_arrivals) {
+    flush_epoch_locked(lock);  // bounded memory under a firehose
+  }
+  return ticket;
+}
+
+std::optional<EpochId> CampaignService::flush_epoch() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  MCS_EXPECTS(config_.online.enabled, "flush_epoch: online ingestion is not enabled");
+  return flush_epoch_locked(lock);
+}
+
+std::optional<EpochId> CampaignService::flush_epoch_locked(std::unique_lock<std::mutex>& lock) {
+  if (open_epoch_.empty()) {
+    return std::nullopt;
+  }
+  queue_space_.wait(lock, [this] { return queue_.size() < config_.queue_capacity; });
+  if (open_epoch_.empty()) {
+    return std::nullopt;  // a concurrent flush sealed it while we waited
+  }
+  Request request;
+  request.is_epoch = true;
+  request.epoch = next_epoch_++;
+  request.arrivals = std::move(open_epoch_);
+  open_epoch_.clear();
+  const EpochId id = request.epoch;
+  queue_.push_back(std::move(request));
+  ++stats_.epochs_flushed;
+  obs::Registry::global().add(ServiceMetrics::get().queue_depth, 1);
+  lock.unlock();
+  queue_ready_.notify_one();
+  return id;
+}
+
+std::optional<EpochOutcome> CampaignService::poll_epoch(EpochId epoch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MCS_EXPECTS(epoch < next_epoch_,
+              "poll_epoch: epoch " + std::to_string(epoch) +
+                  " was never flushed (next epoch id is " + std::to_string(next_epoch_) + ")");
+  const auto it = completed_epochs_.find(epoch);
+  if (it != completed_epochs_.end()) {
+    EpochOutcome outcome = std::move(it->second);
+    completed_epochs_.erase(it);
+    return outcome;
+  }
+  MCS_EXPECTS(epoch >= next_epoch_completed_,
+              "poll_epoch: epoch " + std::to_string(epoch) +
+                  "'s outcome was already delivered (outcomes deliver exactly once)");
+  return std::nullopt;
+}
+
+EpochOutcome CampaignService::wait_epoch(EpochId epoch) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  MCS_EXPECTS(epoch < next_epoch_,
+              "wait_epoch: epoch " + std::to_string(epoch) +
+                  " was never flushed (next epoch id is " + std::to_string(next_epoch_) + ")");
+  round_done_.wait(lock, [this, epoch] { return epoch < next_epoch_completed_; });
+  const auto it = completed_epochs_.find(epoch);
+  MCS_EXPECTS(it != completed_epochs_.end(),
+              "wait_epoch: epoch " + std::to_string(epoch) +
+                  "'s outcome was already delivered (outcomes deliver exactly once)");
+  EpochOutcome outcome = std::move(it->second);
+  completed_epochs_.erase(it);
+  return outcome;
 }
 
 std::size_t CampaignService::stream_telemetry(TelemetrySink sink) {
@@ -241,6 +377,16 @@ void CampaignService::dispatcher_loop() {
       obs::Registry::global().add(ServiceMetrics::get().queue_depth, -1);
     }
     queue_space_.notify_one();
+
+    if (request.is_epoch) {
+      // Epochs compute inline on the dispatcher: the online mechanism is a
+      // single O(n log n) pass, so the watchdog/retry ladder that guards
+      // round computation would be pure overhead here.
+      EpochOutcome out = compute_epoch(request);
+      journal_epoch(out, request.arrivals, out.journal_error);
+      publish_epoch(std::move(out));
+      continue;
+    }
 
     // The round's journaled shape must be captured before run_guarded takes
     // ownership of the request (the watchdog path moves it into the runner).
@@ -489,9 +635,127 @@ auction::AuctionOutcome CampaignService::attempt_shard(
   }
 }
 
+EpochOutcome CampaignService::compute_epoch(const Request& request) {
+  EpochOutcome out;
+  out.epoch = request.epoch;
+
+  // Durability mirrors rounds: a journaled epoch is served from disk,
+  // bit-identically, unless the re-fed arrivals diverge from what was
+  // journaled (%.17g round-trips, so exact equality is the right test).
+  if (request.epoch < journaled_epochs_.size()) {
+    const auto& record = journaled_epochs_[static_cast<std::size_t>(request.epoch)];
+    bool matches = record.arrivals.size() == request.arrivals.size();
+    for (std::size_t k = 0; matches && k < record.arrivals.size(); ++k) {
+      matches = record.arrivals[k].user == request.arrivals[k].user &&
+                record.arrivals[k].bid.cost == request.arrivals[k].bid.cost &&
+                record.arrivals[k].bid.pos == request.arrivals[k].bid.pos;
+    }
+    if (!matches) {
+      out.status = auction::AuctionStatus::kFailed;
+      out.error = "journal replay mismatch: epoch " + std::to_string(request.epoch) +
+                  " was journaled with " + std::to_string(record.arrivals.size()) +
+                  " arrivals that do not match the " + std::to_string(request.arrivals.size()) +
+                  " re-fed ones";
+      return out;
+    }
+    out.status = record.status;
+    out.outcome = record.outcome;
+    out.error = record.error;
+    out.replayed_from_journal = true;
+    return out;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    const auction::online::ArrivalStream stream(config_.online.requirement_pos,
+                                                request.arrivals);
+    out.outcome = auction::online::run_online_mechanism(stream, config_.online.mechanism);
+  } catch (const std::exception& e) {
+    // A rejected epoch poisons itself only, like a failed round.
+    out.status = auction::AuctionStatus::kFailed;
+    out.outcome = auction::online::OnlineOutcome{};
+    out.error = e.what();
+  }
+  out.latency_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return out;
+}
+
+void CampaignService::journal_epoch(const EpochOutcome& outcome,
+                                    const std::vector<auction::online::Arrival>& arrivals,
+                                    std::string& journal_error) {
+  if (!journal_ || outcome.replayed_from_journal) {
+    return;
+  }
+  // A failed replay (arrival mismatch) is NOT replayed_from_journal, but its
+  // block already exists on disk — appending again would duplicate the id
+  // and break the journal's contiguous-from-0 invariant on the next load.
+  if (outcome.epoch < journaled_epochs_.size()) {
+    return;
+  }
+  if (!journal_healthy_) {
+    journal_error = "journal quarantined by an earlier append failure; epoch not journaled";
+    return;
+  }
+  ServiceEpochRecord record;
+  record.epoch = outcome.epoch;
+  record.status = outcome.status;
+  record.arrivals = arrivals;
+  record.outcome = outcome.outcome;
+  record.error = outcome.error;
+  try {
+    journal_->append(record);
+  } catch (const std::exception& e) {
+    // Same quarantine as rounds: epochs and rounds share the file, so one
+    // failed append stops BOTH sequences from appending (each would
+    // otherwise grow a gap).
+    journal_healthy_ = false;
+    journal_error = std::string("journal append failed: ") + e.what();
+  }
+}
+
+void CampaignService::publish_epoch(EpochOutcome outcome) {
+  obs::Registry::global().add(ServiceMetrics::get().online_accepts,
+                              static_cast<std::int64_t>(outcome.outcome.accepted));
+  obs::Registry::global().add(ServiceMetrics::get().online_threshold_updates,
+                              static_cast<std::int64_t>(outcome.outcome.threshold_updates));
+  // Gauge (additive deltas, dispatcher-thread only): the last settled
+  // epoch's unspent worst-case budget, in milli-units so the integer
+  // registry keeps three decimals.
+  const auto remaining_milli = static_cast<std::int64_t>(
+      (config_.online.mechanism.budget - outcome.outcome.worst_case_payout) * 1000.0);
+  obs::Registry::global().add(ServiceMetrics::get().online_budget_remaining,
+                              remaining_milli - last_budget_remaining_milli_);
+  last_budget_remaining_milli_ = remaining_milli;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MCS_ENSURES(outcome.epoch == next_epoch_completed_, "epochs must complete in flush order");
+    ++stats_.epochs_completed;
+    if (!outcome.journal_error.empty()) {
+      ++stats_.journal_append_failures;
+    }
+    if (outcome.replayed_from_journal) {
+      ++stats_.epochs_replayed;
+    }
+    if (!outcome.ok()) {
+      ++stats_.epochs_failed;
+    }
+    completed_epochs_.emplace(outcome.epoch, std::move(outcome));
+    ++next_epoch_completed_;
+    obs::Registry::global().add(ServiceMetrics::get().epochs_completed, 1);
+  }
+  round_done_.notify_all();
+}
+
 void CampaignService::journal_round(const RoundOutcome& outcome, std::size_t users,
                                     std::size_t tasks, std::string& journal_error) {
   if (!journal_ || outcome.replayed_from_journal) {
+    return;
+  }
+  // A replay-mismatch failure carries an id whose block is already on disk;
+  // appending it again would duplicate the id and break the journal's
+  // contiguous-from-0 invariant on the next load.
+  if (outcome.round < journaled_.size()) {
     return;
   }
   if (!journal_healthy_) {

@@ -41,6 +41,24 @@
 // without recomputation, then computation resumes at the first un-journaled
 // round. A journal written under a different configuration is refused.
 //
+// Online ingestion (ROADMAP item 1, continuous feed): with
+// ServiceConfig::online enabled the service additionally accepts single
+// arrivals —
+//
+//     service.submit_arrival({cost, pos});        // returns {epoch, index}
+//     const auto epoch = service.flush_epoch();   // seal the open epoch
+//     const auto out = service.wait_epoch(*epoch);
+//
+// Arrivals fold into the OPEN epoch until flush_epoch (or the
+// max_epoch_arrivals auto-flush) seals it; a sealed epoch travels the same
+// bounded queue and dispatcher as a round and runs the online threshold
+// mechanism (auction/online/mechanism.hpp) over its arrivals in submission
+// order. Epoch ids are their own sequence from 0, interleaved with round
+// ids. Computed epochs are journaled as optional `begin epoch N` blocks of
+// the same mcs-service-journal-v1 file and replay on restart exactly like
+// rounds (arrival-list echo check included). poll_epoch/wait_epoch deliver
+// exactly once with the same fail-fast id rules as poll/wait_outcome.
+//
 // Fault model (DESIGN.md §12): the paper's execution uncertainty lives at
 // the USER level (PoS < 1); this service additionally survives
 // INFRASTRUCTURE faults. The escalation ladder, cheapest rung first:
@@ -78,6 +96,7 @@
 #include <vector>
 
 #include "auction/engine.hpp"
+#include "auction/online/mechanism.hpp"
 #include "common/deadline.hpp"
 #include "common/fault_injection.hpp"
 #include "obs/telemetry.hpp"
@@ -146,6 +165,47 @@ struct ServiceConfig {
   /// injection replays the outcomes the faults produced, which is the point
   /// of seed-replayable chaos runs.
   std::shared_ptr<common::FaultInjector> fault_injector;
+
+  /// Continuous-feed online ingestion (see the header comment). Disabled by
+  /// default — a service without it is byte-for-byte the round-only service,
+  /// and its journal fingerprint is unchanged.
+  struct OnlineIngest {
+    bool enabled = false;
+    /// Threshold-mechanism knobs applied to every epoch.
+    auction::online::OnlineConfig mechanism;
+    /// PoS requirement of each epoch's (single) task, in (0, 1).
+    double requirement_pos = 0.9;
+    /// An open epoch reaching this many arrivals is flushed automatically
+    /// (bounded memory under a firehose). Must be >= 1.
+    std::size_t max_epoch_arrivals = 4096;
+  };
+  OnlineIngest online;
+};
+
+/// Where a submitted arrival landed: its epoch and its arrival index (==
+/// user id) within that epoch.
+struct ArrivalTicket {
+  EpochId epoch = 0;
+  std::size_t index = 0;
+};
+
+/// The settled result of one flushed epoch, delivered exactly once.
+struct EpochOutcome {
+  EpochId epoch = 0;
+  auction::AuctionStatus status = auction::AuctionStatus::kOk;
+  /// The online mechanism's full decision log; default-constructed for
+  /// kFailed.
+  auction::online::OnlineOutcome outcome;
+  std::string error;  ///< failure text; empty for kOk
+  /// Dispatch-to-settle wall-clock seconds; ~0 for replayed epochs.
+  double latency_seconds = 0.0;
+  /// True when this outcome was served from the journal, not computed.
+  bool replayed_from_journal = false;
+  /// Non-empty when journaling this epoch failed (same quarantine story as
+  /// rounds).
+  std::string journal_error;
+
+  bool ok() const { return status == auction::AuctionStatus::kOk; }
 };
 
 /// The settled result of one submitted round, delivered exactly once.
@@ -211,6 +271,11 @@ struct ServiceStats {
   /// Rounds not durably journaled: the append failure that quarantined
   /// journaling plus every round skipped by the quarantine after it.
   std::uint64_t journal_append_failures = 0;
+  std::uint64_t arrivals_submitted = 0;  ///< online arrivals accepted into epochs
+  std::uint64_t epochs_flushed = 0;      ///< epochs sealed (manual or auto)
+  std::uint64_t epochs_completed = 0;
+  std::uint64_t epochs_replayed = 0;  ///< completed epochs served from the journal
+  std::uint64_t epochs_failed = 0;    ///< completed epochs with status kFailed
 };
 
 /// Fingerprint of every ServiceConfig knob that shapes round outcomes (shard
@@ -258,9 +323,34 @@ class CampaignService {
   /// id-validity rules as poll_outcome.
   RoundOutcome wait_outcome(RoundId round);
 
-  /// Blocks until every submitted round has completed (outcomes may still be
-  /// undelivered).
+  /// Blocks until every submitted round and flushed epoch has completed
+  /// (outcomes may still be undelivered). Arrivals in the open epoch are NOT
+  /// waited on — flush first.
   void drain();
+
+  /// Number of journaled epochs found at startup: flushed epochs with ids
+  /// below this are served from the journal instead of computed.
+  std::size_t journaled_epochs() const { return journaled_epochs_.size(); }
+
+  /// Appends one arrival to the open epoch (online ingestion must be
+  /// enabled). Returns where it landed; the arrival's user id within its
+  /// epoch is the returned index. Auto-flushes when the open epoch reaches
+  /// max_epoch_arrivals, which may block while the queue is full.
+  ArrivalTicket submit_arrival(auction::SingleTaskBid bid);
+
+  /// Seals the open epoch and queues it for the dispatcher, blocking while
+  /// the queue is full; nullopt when the open epoch is empty. Arrivals still
+  /// open at destruction are discarded without an outcome.
+  std::optional<EpochId> flush_epoch();
+
+  /// Delivers a completed epoch's outcome, or nullopt while it is still
+  /// queued/running. Throws PreconditionError for an id never flushed or
+  /// already delivered.
+  std::optional<EpochOutcome> poll_epoch(EpochId epoch);
+
+  /// Blocks until the epoch settles and delivers its outcome. Same
+  /// id-validity rules as poll_epoch.
+  EpochOutcome wait_epoch(EpochId epoch);
 
   using TelemetrySink = std::function<void(const RoundTelemetry&)>;
 
@@ -281,6 +371,11 @@ class CampaignService {
   struct Request {
     RoundId round = 0;
     GeoRound payload;
+    /// Epoch requests reuse the same queue: is_epoch selects which of the
+    /// two id sequences (and payloads) is live.
+    bool is_epoch = false;
+    EpochId epoch = 0;
+    std::vector<auction::online::Arrival> arrivals;
   };
 
   struct Subscription {
@@ -306,16 +401,29 @@ class CampaignService {
   void journal_round(const RoundOutcome& outcome, std::size_t users, std::size_t tasks,
                      std::string& journal_error);
   void publish(RoundOutcome outcome);
+  /// Seals the open epoch under `lock` (which must hold mutex_); shared by
+  /// flush_epoch and the submit_arrival auto-flush. May wait for queue
+  /// space, releasing the lock while it does.
+  std::optional<EpochId> flush_epoch_locked(std::unique_lock<std::mutex>& lock);
+  EpochOutcome compute_epoch(const Request& request);
+  void journal_epoch(const EpochOutcome& outcome,
+                     const std::vector<auction::online::Arrival>& arrivals,
+                     std::string& journal_error);
+  void publish_epoch(EpochOutcome outcome);
 
   ServiceConfig config_;
   auction::Engine engine_;
   std::vector<ServiceJournalRecord> journaled_;  ///< rounds replayed at startup
+  std::vector<ServiceEpochRecord> journaled_epochs_;  ///< epochs replayed at startup
   std::unique_ptr<ServiceJournalWriter> journal_;
   /// Cleared by the first failed append: a skipped block would break the
   /// journal's contiguous-from-0 invariant, so one failure quarantines
   /// journaling for the rest of this lifetime (the file stays a valid,
   /// replayable prefix). Dispatcher-thread only.
   bool journal_healthy_ = true;
+  /// Last value reported into the service.online_budget_remaining_milli
+  /// gauge (the registry is delta-only). Dispatcher-thread only.
+  std::int64_t last_budget_remaining_milli_ = 0;
 
   mutable std::mutex mutex_;
   std::condition_variable queue_space_;   ///< signaled when the queue shrinks
@@ -325,6 +433,11 @@ class CampaignService {
   std::map<RoundId, RoundOutcome> completed_;  ///< undelivered outcomes
   RoundId next_round_ = 0;       ///< id the next submission gets
   RoundId next_completed_ = 0;   ///< lowest id not yet completed
+  /// Online ingestion state (all guarded by mutex_; empty while disabled).
+  std::vector<auction::online::Arrival> open_epoch_;
+  std::map<EpochId, EpochOutcome> completed_epochs_;  ///< undelivered epochs
+  EpochId next_epoch_ = 0;            ///< id the next flush gets
+  EpochId next_epoch_completed_ = 0;  ///< lowest epoch id not yet completed
   ServiceStats stats_;
   bool stopping_ = false;
 

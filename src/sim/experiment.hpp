@@ -78,6 +78,13 @@ std::vector<auction::MechanismOutcome> run_round_batch(
 /// to one big sample_round_batch/run_round_batch pass. Returns the number of
 /// rounds actually delivered (like sample_round_batch, fewer when the
 /// population cannot support the count).
+///
+/// chunk_size contract (pinned by sim_experiment_test): chunk_size == 0
+/// throws PreconditionError — a zero chunk can never make progress, so it is
+/// a caller bug, not a degenerate request. chunk_size > rounds is CLAMPED,
+/// not an error: the stream simply delivers everything in one chunk (memory
+/// is reserved for min(rounds, chunk_size), so an oversized chunk does not
+/// over-allocate). rounds == 0 is a no-op returning 0.
 std::size_t stream_round_chunks(
     const Workload& workload, const auction::Engine& engine, std::size_t rounds,
     std::size_t num_tasks, std::size_t num_users, const ScenarioParams& params,

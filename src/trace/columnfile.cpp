@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cerrno>
 #include <cstring>
 #include <new>
 
@@ -174,22 +175,29 @@ void write_trace_columns(const TraceDataset& dataset, const std::string& path) {
 }
 
 MappedTraceDataset::MappedTraceDataset(const std::string& path) {
+  // Every failure throws PreconditionError NAMING THE PATH — an open/corrupt
+  // file surfaces as a diagnosable exception, never an errno crash or (see
+  // the count validation below) an out-of-bounds lane read.
 #if MCS_HAVE_MMAP
   const int fd = ::open(path.c_str(), O_RDONLY);
-  MCS_EXPECTS(fd >= 0, "cannot open column file");
+  MCS_EXPECTS(fd >= 0, "cannot open column file " + path + ": " + std::strerror(errno));
   struct stat st = {};
   if (::fstat(fd, &st) != 0) {
+    const std::string detail = std::strerror(errno);
     ::close(fd);
-    MCS_EXPECTS(false, "cannot stat column file");
+    MCS_EXPECTS(false, "cannot stat column file " + path + ": " + detail);
   }
   bytes_ = static_cast<std::size_t>(st.st_size);
   if (bytes_ < kHeaderBytes) {
     ::close(fd);
-    MCS_EXPECTS(false, "column file truncated before header");
+    MCS_EXPECTS(false, "column file " + path + " truncated before header (" +
+                           std::to_string(bytes_) + " of " + std::to_string(kHeaderBytes) +
+                           " header bytes)");
   }
   void* mapping = ::mmap(nullptr, bytes_, PROT_READ, MAP_PRIVATE, fd, 0);
+  const std::string mmap_detail = mapping == MAP_FAILED ? std::strerror(errno) : std::string();
   ::close(fd);  // the mapping keeps the file alive
-  MCS_EXPECTS(mapping != MAP_FAILED, "mmap of column file failed");
+  MCS_EXPECTS(mapping != MAP_FAILED, "mmap of column file " + path + " failed: " + mmap_detail);
   base_ = static_cast<const std::byte*>(mapping);
   mapped_ = true;
 #else
@@ -197,46 +205,75 @@ MappedTraceDataset::MappedTraceDataset(const std::string& path) {
   // no streaming benefit.
   File in;
   in.handle = std::fopen(path.c_str(), "rb");
-  MCS_EXPECTS(in.handle != nullptr, "cannot open column file");
+  MCS_EXPECTS(in.handle != nullptr, "cannot open column file " + path);
   std::fseek(in.handle, 0, SEEK_END);
   bytes_ = static_cast<std::size_t>(std::ftell(in.handle));
   std::fseek(in.handle, 0, SEEK_SET);
-  MCS_EXPECTS(bytes_ >= kHeaderBytes, "column file truncated before header");
+  MCS_EXPECTS(bytes_ >= kHeaderBytes, "column file " + path + " truncated before header (" +
+                                          std::to_string(bytes_) + " of " +
+                                          std::to_string(kHeaderBytes) + " header bytes)");
   auto* buffer = static_cast<std::byte*>(::operator new(bytes_, std::align_val_t{8}));
   if (std::fread(buffer, 1, bytes_, in.handle) != bytes_) {
     ::operator delete(buffer, std::align_val_t{8});
-    MCS_EXPECTS(false, "failed to read column file");
+    MCS_EXPECTS(false, "failed to read column file " + path);
   }
   base_ = buffer;
   mapped_ = false;
 #endif
 
-  MCS_EXPECTS(std::memcmp(base_, kColumnFileMagic, sizeof(kColumnFileMagic)) == 0,
-              "not a trace column file (bad magic)");
-  std::uint32_t version = 0;
-  std::uint32_t endian = 0;
-  std::uint64_t n64 = 0;
-  std::uint64_t t64 = 0;
-  std::memcpy(&version, base_ + 8, sizeof(version));
-  std::memcpy(&endian, base_ + 12, sizeof(endian));
-  std::memcpy(&n64, base_ + 16, sizeof(n64));
-  std::memcpy(&t64, base_ + 24, sizeof(t64));
-  MCS_EXPECTS(version == kColumnFileVersion, "unsupported trace column file version");
-  MCS_EXPECTS(endian == kColumnFileEndianTag,
-              "trace column file written on a foreign-endian host");
-  num_events_ = static_cast<std::size_t>(n64);
-  num_taxis_ = static_cast<std::size_t>(t64);
-  const Layout layout = layout_for(num_events_, num_taxis_);
-  MCS_EXPECTS(bytes_ >= layout.total, "column file truncated");
+  // From here the mapping (or heap buffer) is established but the object is
+  // not: a throwing constructor never runs the destructor, so any validation
+  // failure must release() before propagating or the resource leaks.
+  try {
+    MCS_EXPECTS(std::memcmp(base_, kColumnFileMagic, sizeof(kColumnFileMagic)) == 0,
+                "not a trace column file (bad magic): " + path);
+    std::uint32_t version = 0;
+    std::uint32_t endian = 0;
+    std::uint64_t n64 = 0;
+    std::uint64_t t64 = 0;
+    std::memcpy(&version, base_ + 8, sizeof(version));
+    std::memcpy(&endian, base_ + 12, sizeof(endian));
+    std::memcpy(&n64, base_ + 16, sizeof(n64));
+    std::memcpy(&t64, base_ + 24, sizeof(t64));
+    MCS_EXPECTS(version == kColumnFileVersion,
+                "unsupported trace column file version in " + path);
+    MCS_EXPECTS(endian == kColumnFileEndianTag,
+                "trace column file " + path + " written on a foreign-endian host");
+    // Counts a file of this size cannot possibly hold are corruption — and
+    // must be rejected BEFORE layout_for: huge n64/t64 would overflow the
+    // layout arithmetic into a wrapped `total` that passes the size check
+    // and turns every lane pointer into an out-of-bounds read. Each event
+    // occupies at least 29 lane bytes and each taxi at least 12, so counts
+    // within these bounds cannot overflow the layout sums.
+    const std::size_t lane_bytes = bytes_ - kHeaderBytes;
+    constexpr std::size_t kMinEventBytes =
+        sizeof(Timestamp) + 2 * sizeof(double) + sizeof(TaxiId) + sizeof(std::uint8_t);
+    constexpr std::size_t kMinTaxiBytes = sizeof(TaxiId) + sizeof(std::uint64_t);
+    MCS_EXPECTS(n64 <= lane_bytes / kMinEventBytes,
+                "column file " + path + " header claims " + std::to_string(n64) +
+                    " events, more than its " + std::to_string(bytes_) + " bytes can hold");
+    MCS_EXPECTS(t64 <= lane_bytes / kMinTaxiBytes,
+                "column file " + path + " header claims " + std::to_string(t64) +
+                    " taxis, more than its " + std::to_string(bytes_) + " bytes can hold");
+    num_events_ = static_cast<std::size_t>(n64);
+    num_taxis_ = static_cast<std::size_t>(t64);
+    const Layout layout = layout_for(num_events_, num_taxis_);
+    MCS_EXPECTS(bytes_ >= layout.total,
+                "column file " + path + " truncated: " + std::to_string(bytes_) + " bytes, " +
+                    std::to_string(layout.total) + " needed for its lanes");
 
-  timestamps_ = reinterpret_cast<const Timestamp*>(base_ + layout.timestamps);
-  lats_ = reinterpret_cast<const double*>(base_ + layout.lats);
-  lons_ = reinterpret_cast<const double*>(base_ + layout.lons);
-  taxis_ = reinterpret_cast<const TaxiId*>(base_ + layout.taxis);
-  kinds_ = reinterpret_cast<const std::uint8_t*>(base_ + layout.kinds);
-  index_taxi_ = reinterpret_cast<const TaxiId*>(base_ + layout.index_taxi);
-  index_begin_ = reinterpret_cast<const std::uint64_t*>(base_ + layout.index_begin);
-  MCS_EXPECTS(index_begin_[num_taxis_] == num_events_, "corrupt range index");
+    timestamps_ = reinterpret_cast<const Timestamp*>(base_ + layout.timestamps);
+    lats_ = reinterpret_cast<const double*>(base_ + layout.lats);
+    lons_ = reinterpret_cast<const double*>(base_ + layout.lons);
+    taxis_ = reinterpret_cast<const TaxiId*>(base_ + layout.taxis);
+    kinds_ = reinterpret_cast<const std::uint8_t*>(base_ + layout.kinds);
+    index_taxi_ = reinterpret_cast<const TaxiId*>(base_ + layout.index_taxi);
+    index_begin_ = reinterpret_cast<const std::uint64_t*>(base_ + layout.index_begin);
+    MCS_EXPECTS(index_begin_[num_taxis_] == num_events_, "corrupt range index in " + path);
+  } catch (...) {
+    release();
+    throw;
+  }
 }
 
 void MappedTraceDataset::release() noexcept {

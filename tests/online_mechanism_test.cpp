@@ -1,0 +1,278 @@
+// Unit tests for the online mechanism family (auction/online): ArrivalStream
+// construction and determinism, threshold learning, and the secretary-style
+// threshold mechanism's structural guarantees — sample phase never accepts,
+// budget feasibility by construction, stage-ladder accounting, and edge
+// cases (empty stream, single arrival, unaffordable prefixes).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "auction/online/arrival.hpp"
+#include "auction/online/mechanism.hpp"
+#include "common/check.hpp"
+#include "common/math.hpp"
+#include "test_util.hpp"
+
+namespace mcs::auction::online {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(ArrivalStream, ShuffleIsSeedReplayableAndAPermutation) {
+  const auto instance = test::random_single_task(40, 0.8, 77);
+  const auto a = ArrivalStream::shuffled(instance, 9001);
+  const auto b = ArrivalStream::shuffled(instance, 9001);
+  const auto c = ArrivalStream::shuffled(instance, 9002);
+  ASSERT_EQ(a.size(), instance.num_users());
+  std::vector<bool> seen(instance.num_users(), false);
+  bool same_as_b = true;
+  bool same_as_c = true;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_EQ(a.at(k).bid.cost, instance.bids[static_cast<std::size_t>(a.at(k).user)].cost);
+    EXPECT_EQ(a.at(k).bid.pos, instance.bids[static_cast<std::size_t>(a.at(k).user)].pos);
+    seen[static_cast<std::size_t>(a.at(k).user)] = true;
+    same_as_b = same_as_b && a.at(k).user == b.at(k).user;
+    same_as_c = same_as_c && a.at(k).user == c.at(k).user;
+  }
+  for (const bool hit : seen) {
+    EXPECT_TRUE(hit) << "shuffle dropped a user";
+  }
+  EXPECT_TRUE(same_as_b) << "same seed must replay the same order";
+  EXPECT_FALSE(same_as_c) << "different seeds should differ on 40 users";
+}
+
+TEST(ArrivalStream, ByKeyOrdersAscendingWithStableTies) {
+  const auto instance = test::random_single_task(5, 0.8, 3);
+  const std::vector<double> keys{3.0, 1.0, 2.0, 1.0, 0.5};
+  const auto stream = ArrivalStream::by_key(instance, keys);
+  // Ascending keys; the tied pair (users 1 and 3, key 1.0) keeps id order.
+  const std::vector<UserId> expected{4, 1, 3, 2, 0};
+  ASSERT_EQ(stream.size(), expected.size());
+  for (std::size_t k = 0; k < expected.size(); ++k) {
+    EXPECT_EQ(stream.at(k).user, expected[k]) << "slot " << k;
+  }
+}
+
+TEST(ArrivalStream, RejectsBadInputs) {
+  const auto instance = test::random_single_task(4, 0.8, 5);
+  EXPECT_THROW(ArrivalStream(1.0, {}), common::PreconditionError);
+  EXPECT_THROW(ArrivalStream(0.0, {}), common::PreconditionError);
+  EXPECT_THROW(ArrivalStream(0.8, {Arrival{0, {1.0, 0.5}}, Arrival{0, {2.0, 0.5}}}),
+               common::PreconditionError);
+  EXPECT_THROW(ArrivalStream(0.8, {Arrival{0, {0.0, 0.5}}}), common::PreconditionError);
+  EXPECT_THROW(ArrivalStream(0.8, {Arrival{0, {1.0, 1.5}}}), common::PreconditionError);
+  EXPECT_THROW(ArrivalStream::by_key(instance, {1.0, 2.0}), common::PreconditionError);
+  EXPECT_THROW(ArrivalStream::by_key(instance, {1.0, 2.0, 3.0, kInf}),
+               common::PreconditionError);
+}
+
+TEST(ArrivalStream, ToInstanceErasesOrderOnly) {
+  const auto instance = test::random_single_task(12, 0.75, 11);
+  const auto stream = ArrivalStream::shuffled(instance, 5);
+  const auto round_trip = stream.to_instance();
+  ASSERT_EQ(round_trip.num_users(), instance.num_users());
+  EXPECT_EQ(round_trip.requirement_pos, instance.requirement_pos);
+  double cost_sum = 0.0;
+  double original_sum = 0.0;
+  for (std::size_t k = 0; k < instance.num_users(); ++k) {
+    EXPECT_EQ(round_trip.bids[k].cost, stream.at(k).bid.cost);
+    cost_sum += round_trip.bids[k].cost;
+    original_sum += instance.bids[k].cost;
+  }
+  EXPECT_DOUBLE_EQ(cost_sum, original_sum);
+}
+
+TEST(LearnThreshold, PicksLastAffordableDensityWithDeterministicTies) {
+  // Densities: user 0: q/c highest, then 1, then 2. Budget affords the two
+  // densest; the threshold is the SECOND one's density.
+  std::vector<Arrival> seen{
+      Arrival{0, {1.0, 0.9}},  // q ≈ 2.303, density ≈ 2.303
+      Arrival{1, {2.0, 0.9}},  // density ≈ 1.151
+      Arrival{2, {4.0, 0.9}},  // density ≈ 0.576
+  };
+  const double rho = learn_threshold(seen, 3.0);  // affords costs 1 + 2
+  EXPECT_DOUBLE_EQ(rho, seen[1].density());
+  // Nothing affordable → +inf (accept nothing).
+  EXPECT_EQ(learn_threshold(seen, 0.5), kInf);
+  EXPECT_EQ(learn_threshold({}, 10.0), kInf);
+  // A certain-success arrival (infinite density) is skipped by learning.
+  seen.push_back(Arrival{3, {0.5, 1.0}});
+  EXPECT_DOUBLE_EQ(learn_threshold(seen, 3.0), seen[1].density());
+}
+
+TEST(OnlineMechanism, EmptyStreamAndConfigValidation) {
+  const ArrivalStream empty(0.8, {});
+  const auto outcome = run_online_mechanism(empty, OnlineConfig{});
+  EXPECT_EQ(outcome.decisions.size(), 0u);
+  EXPECT_EQ(outcome.accepted, 0u);
+  EXPECT_FALSE(outcome.requirement_met);
+
+  OnlineConfig bad;
+  bad.budget = 0.0;
+  EXPECT_THROW(run_online_mechanism(empty, bad), common::PreconditionError);
+  bad = OnlineConfig{};
+  bad.sample_fraction = 1.0;
+  EXPECT_THROW(run_online_mechanism(empty, bad), common::PreconditionError);
+  bad = OnlineConfig{};
+  bad.stages = 0;
+  EXPECT_THROW(run_online_mechanism(empty, bad), common::PreconditionError);
+}
+
+TEST(OnlineMechanism, SamplePhaseNeverAcceptsAndSwallowsSingletons) {
+  const auto instance = test::random_single_task(20, 0.8, 21, 0.9);
+  const auto stream = ArrivalStream::shuffled(instance, 3);
+  OnlineConfig config;
+  config.sample_fraction = 0.3;
+  const auto outcome = run_online_mechanism(stream, config);
+  ASSERT_EQ(outcome.decisions.size(), stream.size());
+  EXPECT_EQ(outcome.sample_size, 6u);  // ceil(0.3 * 20)
+  for (std::size_t k = 0; k < outcome.sample_size; ++k) {
+    EXPECT_EQ(outcome.decisions[k].phase, ArrivalPhase::kSample);
+    EXPECT_FALSE(outcome.decisions[k].accepted);
+    EXPECT_EQ(outcome.decisions[k].stage, 0u);
+  }
+  for (std::size_t k = outcome.sample_size; k < outcome.decisions.size(); ++k) {
+    EXPECT_EQ(outcome.decisions[k].phase, ArrivalPhase::kAccept);
+    EXPECT_GE(outcome.decisions[k].stage, 1u);
+  }
+
+  // A one-arrival stream is all sample: the secretary sacrifice accepts
+  // nobody rather than paying an unlearned price.
+  const ArrivalStream one(0.8, {Arrival{0, {1.0, 0.5}}});
+  const auto solo = run_online_mechanism(one, config);
+  EXPECT_EQ(solo.sample_size, 1u);
+  EXPECT_EQ(solo.accepted, 0u);
+}
+
+TEST(OnlineMechanism, BudgetFeasibleByConstructionAcrossSeeds) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const auto instance = test::random_single_task(60, 0.9, seed, 0.8);
+    const auto stream = ArrivalStream::shuffled(instance, seed + 100);
+    for (const std::size_t stages : {std::size_t{1}, std::size_t{3}}) {
+      OnlineConfig config;
+      config.budget = 40.0;
+      config.stages = stages;
+      const auto outcome = run_online_mechanism(stream, config);
+      EXPECT_LE(outcome.worst_case_payout, config.budget * (1.0 + 1e-12))
+          << "seed " << seed << " stages " << stages;
+      // The aggregate recomputes from the decision log.
+      double worst_case = 0.0;
+      double cost = 0.0;
+      std::size_t accepted = 0;
+      for (const auto& decision : outcome.decisions) {
+        if (decision.accepted) {
+          worst_case += decision.reward.on_success();
+          cost += decision.reward.cost;
+          ++accepted;
+        }
+      }
+      EXPECT_NEAR(worst_case, outcome.worst_case_payout, 1e-9) << "seed " << seed;
+      EXPECT_NEAR(cost, outcome.total_cost, 1e-9) << "seed " << seed;
+      EXPECT_EQ(accepted, outcome.accepted) << "seed " << seed;
+      EXPECT_EQ(accepted, outcome.winners.size()) << "seed " << seed;
+    }
+  }
+}
+
+TEST(OnlineMechanism, AcceptedArrivalsMeetTheirPostedPrice) {
+  const auto instance = test::random_single_task(50, 0.9, 9, 0.85);
+  const auto stream = ArrivalStream::shuffled(instance, 4);
+  OnlineConfig config;
+  config.budget = 60.0;
+  config.stages = 2;
+  const auto outcome = run_online_mechanism(stream, config);
+  EXPECT_GE(outcome.threshold_updates, config.stages)
+      << "every stage entered relearns the threshold";
+  for (std::size_t k = 0; k < outcome.decisions.size(); ++k) {
+    const auto& decision = outcome.decisions[k];
+    if (!decision.accepted) {
+      continue;
+    }
+    const auto& arrival = stream.at(k);
+    // q_i >= q̄_i = ρ·c_i, and the EC reward is calibrated exactly at the
+    // posted critical PoS.
+    EXPECT_GE(arrival.contribution(), decision.critical_contribution - 1e-12);
+    EXPECT_DOUBLE_EQ(decision.critical_contribution, decision.threshold * arrival.bid.cost);
+    EXPECT_DOUBLE_EQ(decision.reward.critical_pos,
+                     common::pos_from_contribution(decision.critical_contribution));
+    EXPECT_EQ(decision.reward.cost, arrival.bid.cost);
+  }
+  // budget_remaining is a non-increasing ledger over the accept phase.
+  double previous = config.budget;
+  for (const auto& decision : outcome.decisions) {
+    if (decision.phase == ArrivalPhase::kAccept) {
+      EXPECT_LE(decision.budget_remaining, previous + 1e-12);
+      previous = decision.budget_remaining;
+    }
+  }
+}
+
+TEST(OnlineMechanism, StageLadderUnlocksBudgetGeometrically) {
+  // All arrivals identical, so acceptance is limited purely by the budget
+  // ladder: with K stages the first stage can spend at most B/(2^K - 1).
+  std::vector<Arrival> arrivals;
+  for (UserId user = 0; user < 40; ++user) {
+    arrivals.push_back(Arrival{user, {1.0, 0.5}});
+  }
+  const ArrivalStream stream(0.9, arrivals);
+  OnlineConfig config;
+  config.sample_fraction = 0.1;
+  config.budget = 30.0;
+  config.alpha = 10.0;
+
+  config.stages = 1;
+  const auto flat = run_online_mechanism(stream, config);
+  config.stages = 3;
+  const auto laddered = run_online_mechanism(stream, config);
+  EXPECT_LE(laddered.worst_case_payout, config.budget * (1.0 + 1e-12));
+  EXPECT_LE(flat.worst_case_payout, config.budget * (1.0 + 1e-12));
+  // The ladder's early stages cap spending below the single-threshold run's
+  // first-come free-for-all; both stay within budget.
+  const double first_stage_cap = config.budget / 7.0;  // (2^1 - 1)/(2^3 - 1)
+  double first_stage_spend = 0.0;
+  for (const auto& decision : laddered.decisions) {
+    if (decision.stage == 1 && decision.accepted) {
+      first_stage_spend += decision.reward.on_success();
+    }
+  }
+  EXPECT_LE(first_stage_spend, first_stage_cap + 1e-12);
+}
+
+TEST(OnlineMechanism, UnaffordableThresholdAcceptsNothing) {
+  // Budget far below any single worst-case payment: every stage threshold is
+  // +inf or unaffordable, so nothing is ever accepted.
+  std::vector<Arrival> arrivals;
+  for (UserId user = 0; user < 10; ++user) {
+    arrivals.push_back(Arrival{user, {50.0, 0.6}});
+  }
+  const ArrivalStream stream(0.9, arrivals);
+  OnlineConfig config;
+  config.budget = 1.0;
+  const auto outcome = run_online_mechanism(stream, config);
+  EXPECT_EQ(outcome.accepted, 0u);
+  EXPECT_EQ(outcome.total_cost, 0.0);
+  EXPECT_FALSE(outcome.requirement_met);
+}
+
+TEST(OnlineMechanism, DeterministicAcrossRuns) {
+  const auto instance = test::random_single_task(30, 0.85, 13, 0.7);
+  const auto stream = ArrivalStream::shuffled(instance, 8);
+  OnlineConfig config;
+  config.stages = 2;
+  const auto a = run_online_mechanism(stream, config);
+  const auto b = run_online_mechanism(stream, config);
+  ASSERT_EQ(a.decisions.size(), b.decisions.size());
+  for (std::size_t k = 0; k < a.decisions.size(); ++k) {
+    EXPECT_EQ(a.decisions[k].accepted, b.decisions[k].accepted);
+    EXPECT_EQ(a.decisions[k].threshold, b.decisions[k].threshold);
+    EXPECT_EQ(a.decisions[k].budget_remaining, b.decisions[k].budget_remaining);
+  }
+  EXPECT_EQ(a.winners, b.winners);
+  EXPECT_EQ(a.worst_case_payout, b.worst_case_payout);
+}
+
+}  // namespace
+}  // namespace mcs::auction::online

@@ -1,0 +1,143 @@
+// Property fuzz for the online threshold mechanism, arrival-by-arrival in
+// st_property_test style: every assertion message carries the seed tuple
+// needed to replay a failure deterministically.
+//
+//   * Truthfulness: no arrival can raise her expected utility by misreporting
+//     her PoS — her threshold is posted before she is decided, so a
+//     deviation only moves her own accept comparison, never her price.
+//   * Individual rationality: truthful accepted arrivals have non-negative
+//     expected utility at their true PoS.
+//   * Arrival-order invariance (the learning is a function of the SET):
+//     permuting arrivals within the sample phase changes nothing about any
+//     post-sample arrival's decision — threshold, acceptance, payment, and
+//     budget ledger are all bit-identical.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "auction/online/arrival.hpp"
+#include "auction/online/mechanism.hpp"
+#include "common/rng.hpp"
+#include "test_util.hpp"
+
+namespace mcs::auction::online {
+namespace {
+
+/// Expected utility of the arrival at stream slot `k` (true PoS `true_pos`)
+/// when the mechanism runs on `stream`: zero when rejected, the EC reward's
+/// expectation when accepted.
+double expected_utility(const ArrivalStream& stream, const OnlineConfig& config, std::size_t k,
+                        double true_pos) {
+  const auto outcome = run_online_mechanism(stream, config);
+  const auto& decision = outcome.decision_of(k);
+  return decision.accepted ? decision.reward.expected_utility(true_pos) : 0.0;
+}
+
+class OnlineProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OnlineProperties, RandomMisreportsNeverBeatTruthAndWinnersStaySolvent) {
+  const std::uint64_t seed = GetParam();
+  common::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 17);
+  const double requirement = rng.uniform(0.7, 0.95);
+  const double pos_hi = rng.uniform(0.4, 0.9);
+  const auto instance = test::random_single_task(24, requirement, seed, pos_hi);
+  const auto stream = ArrivalStream::shuffled(instance, seed + 1000);
+  OnlineConfig config;
+  config.budget = rng.uniform(20.0, 60.0);
+  config.stages = 1 + static_cast<std::size_t>(seed % 3);
+  const std::string replay = "replay: seed=" + std::to_string(seed) +
+                             " requirement=" + std::to_string(requirement) +
+                             " pos_hi=" + std::to_string(pos_hi) +
+                             " budget=" + std::to_string(config.budget) +
+                             " stages=" + std::to_string(config.stages);
+
+  const auto truthful = run_online_mechanism(stream, config);
+  ASSERT_EQ(truthful.decisions.size(), stream.size()) << replay;
+  for (std::size_t k = 0; k < stream.size(); ++k) {
+    const double true_pos = stream.at(k).bid.pos;
+    const auto& decision = truthful.decision_of(k);
+    double truthful_utility = 0.0;
+    if (decision.accepted) {
+      truthful_utility = decision.reward.expected_utility(true_pos);
+      // IR: an accepted truthful arrival met her posted price, so her true
+      // PoS is at least the critical PoS her reward is calibrated at.
+      EXPECT_GE(truthful_utility, -1e-9) << replay << " arrival " << k << " violates IR";
+      EXPECT_LE(decision.critical_contribution, stream.at(k).contribution() + 1e-12)
+          << replay << " arrival " << k;
+    }
+    for (int trial = 0; trial < 5; ++trial) {
+      // Random misreports plus near-boundary declarations, where the accept
+      // comparison is most likely to flip.
+      const double declared = trial < 3 ? rng.uniform(0.0, 0.99) : (trial == 3 ? 0.01 : 0.985);
+      const auto lied = stream.with_declared_pos(k, declared);
+      const double lied_utility = expected_utility(lied, config, k, true_pos);
+      EXPECT_LE(lied_utility, truthful_utility + 1e-9)
+          << replay << " arrival " << k << " gains by declaring " << declared << " (true "
+          << true_pos << ")";
+    }
+  }
+}
+
+TEST_P(OnlineProperties, SamplePhasePermutationNeverMovesAPostSampleDecision) {
+  const std::uint64_t seed = GetParam();
+  common::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 71);
+  const double requirement = rng.uniform(0.7, 0.95);
+  const auto instance = test::random_single_task(30, requirement, seed + 7, 0.8);
+  const auto stream = ArrivalStream::shuffled(instance, seed + 2000);
+  OnlineConfig config;
+  config.budget = rng.uniform(25.0, 70.0);
+  config.sample_fraction = rng.uniform(0.15, 0.45);
+  config.stages = 1 + static_cast<std::size_t>(seed % 3);
+  const std::string replay = "replay: seed=" + std::to_string(seed) +
+                             " requirement=" + std::to_string(requirement) +
+                             " budget=" + std::to_string(config.budget) +
+                             " phi=" + std::to_string(config.sample_fraction) +
+                             " stages=" + std::to_string(config.stages);
+
+  const auto baseline = run_online_mechanism(stream, config);
+  const std::size_t sample = baseline.sample_size;
+  ASSERT_GE(sample, 1u) << replay;
+
+  for (int round = 0; round < 4; ++round) {
+    // Fisher–Yates over the sample prefix only: the set of arrivals every
+    // threshold learns from is unchanged, so every post-sample decision must
+    // be bit-identical.
+    std::vector<Arrival> permuted = stream.arrivals();
+    for (std::size_t k = sample; k > 1; --k) {
+      const auto j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(k) - 1));
+      std::swap(permuted[k - 1], permuted[j]);
+    }
+    const ArrivalStream shuffled_sample(stream.requirement_pos(), std::move(permuted));
+    const auto outcome = run_online_mechanism(shuffled_sample, config);
+    ASSERT_EQ(outcome.decisions.size(), baseline.decisions.size()) << replay;
+    ASSERT_EQ(outcome.sample_size, sample) << replay;
+    for (std::size_t k = sample; k < baseline.decisions.size(); ++k) {
+      const auto& expected = baseline.decisions[k];
+      const auto& actual = outcome.decisions[k];
+      EXPECT_EQ(actual.user, expected.user) << replay << " round " << round << " arrival " << k;
+      EXPECT_EQ(actual.accepted, expected.accepted)
+          << replay << " round " << round << " arrival " << k;
+      EXPECT_EQ(actual.stage, expected.stage) << replay << " round " << round << " arrival " << k;
+      EXPECT_EQ(actual.threshold, expected.threshold)
+          << replay << " round " << round << " arrival " << k;
+      EXPECT_EQ(actual.critical_contribution, expected.critical_contribution)
+          << replay << " round " << round << " arrival " << k;
+      EXPECT_EQ(actual.reward.critical_pos, expected.reward.critical_pos)
+          << replay << " round " << round << " arrival " << k;
+      EXPECT_EQ(actual.budget_remaining, expected.budget_remaining)
+          << replay << " round " << round << " arrival " << k;
+    }
+    EXPECT_EQ(outcome.winners, baseline.winners) << replay << " round " << round;
+    EXPECT_EQ(outcome.worst_case_payout, baseline.worst_case_payout)
+        << replay << " round " << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OnlineProperties, ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace mcs::auction::online

@@ -12,6 +12,7 @@
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -81,6 +82,58 @@ TEST(CampaignServiceApi, SubmitAssignsSequentialIdsAndWaitDeliversOnce) {
   EXPECT_EQ(stats.submitted, 2u);
   EXPECT_EQ(stats.completed, 2u);
   EXPECT_EQ(stats.replayed, 0u);
+}
+
+TEST(CampaignServiceApi, WaitOutcomeFailsFastWithDiagnosableErrors) {
+  // Regression: wait_outcome on an id that can never settle must throw
+  // immediately — never block forever — and the error must name the id and
+  // which rule it broke, so a misbehaving client can be debugged from the
+  // message alone.
+  CampaignService service{ServiceConfig{}};
+  const auto id = service.submit_round(flat_round(8, 2, 11));
+  try {
+    service.wait_outcome(1'000'000);  // far beyond anything submitted
+    FAIL() << "wait_outcome on a never-submitted id should throw";
+  } catch (const common::PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1000000"), std::string::npos) << what;
+    EXPECT_NE(what.find("never submitted"), std::string::npos) << what;
+  }
+  // Deliver via poll, then both verbs refuse the delivered id.
+  RoundOutcome outcome = service.wait_outcome(id);
+  EXPECT_TRUE(outcome.ok());
+  try {
+    service.wait_outcome(id);
+    FAIL() << "re-waiting a delivered id should throw";
+  } catch (const common::PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(std::to_string(id)), std::string::npos) << what;
+    EXPECT_NE(what.find("already delivered"), std::string::npos) << what;
+  }
+  EXPECT_THROW(service.poll_outcome(id), common::PreconditionError);
+}
+
+TEST(CampaignServiceApi, ConcurrentWaitersGetExactlyOneDelivery) {
+  // Two threads waiting on the same round: exactly one receives the outcome,
+  // the other gets the fail-fast already-delivered error (never a hang).
+  CampaignService service{ServiceConfig{}};
+  const auto id = service.submit_round(flat_round(12, 3, 13));
+  std::atomic<int> delivered{0};
+  std::atomic<int> refused{0};
+  auto waiter = [&] {
+    try {
+      service.wait_outcome(id);
+      ++delivered;
+    } catch (const common::PreconditionError&) {
+      ++refused;
+    }
+  };
+  std::thread a(waiter);
+  std::thread b(waiter);
+  a.join();
+  b.join();
+  EXPECT_EQ(delivered.load(), 1);
+  EXPECT_EQ(refused.load(), 1);
 }
 
 TEST(CampaignServiceApi, PollReturnsNulloptUntilCompleteAndDrainWaits) {

@@ -80,6 +80,50 @@ TEST(StreamRoundChunks, RejectsZeroChunkSize) {
   EXPECT_THROW(stream_round_chunks(workload, engine, 1, 2, 6, ScenarioParams{}, rng, 0, {},
                                    [](const auto&, const auto&) {}),
                common::PreconditionError);
+  // chunk_size == 0 is a caller bug even when there is nothing to stream:
+  // the contract rejects it before looking at the round count.
+  EXPECT_THROW(stream_round_chunks(workload, engine, 0, 2, 6, ScenarioParams{}, rng, 0, {},
+                                   [](const auto&, const auto&) {}),
+               common::PreconditionError);
+}
+
+TEST(StreamRoundChunks, ZeroRoundsIsANoOpThatLeavesTheRngUntouched) {
+  const Workload workload(tiny_workload());
+  const auction::Engine engine(auction::EngineOptions{.workers = 1});
+  common::Rng rng(7);
+  std::size_t sink_calls = 0;
+  const std::size_t delivered =
+      stream_round_chunks(workload, engine, 0, 2, 6, ScenarioParams{}, rng, 4, {},
+                          [&](const auto&, const auto&) { ++sink_calls; });
+  EXPECT_EQ(delivered, 0u);
+  EXPECT_EQ(sink_calls, 0u);
+  // No rounds means no sampler draws: the rng stream is exactly where a
+  // fresh seed-7 rng would be.
+  common::Rng fresh(7);
+  EXPECT_EQ(rng.uniform_int(0, 1'000'000), fresh.uniform_int(0, 1'000'000));
+}
+
+TEST(StreamRoundChunks, OversizedChunkIsClampedNotRejected) {
+  // chunk_size > rounds streams everything in a single engine batch; the
+  // delivered count and outcomes match the small-chunk pass (the broad
+  // equivalence test above pins bit-identity — here we pin the contract that
+  // the oversized request is legal and completes in one sink burst).
+  const Workload workload(tiny_workload());
+  const auction::Engine engine(auction::EngineOptions{.workers = 1});
+  constexpr std::size_t kRounds = 3;
+  common::Rng rng(55);
+  std::size_t sink_calls = 0;
+  const std::size_t delivered = stream_round_chunks(
+      workload, engine, kRounds, 2, 6, ScenarioParams{}, rng, kRounds * 100, {},
+      [&](const auto&, const auto&) { ++sink_calls; });
+  EXPECT_LE(delivered, kRounds);
+  EXPECT_EQ(sink_calls, delivered);
+
+  common::Rng exact_rng(55);
+  std::size_t exact_delivered = stream_round_chunks(
+      workload, engine, kRounds, 2, 6, ScenarioParams{}, exact_rng, kRounds, {},
+      [](const auto&, const auto&) {});
+  EXPECT_EQ(delivered, exact_delivered);
 }
 
 }  // namespace

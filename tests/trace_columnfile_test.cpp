@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -187,6 +188,89 @@ TEST_F(TraceColumnFile, RejectsBadMagicVersionAndTruncation) {
     EXPECT_THROW(MappedTraceDataset{path_}, common::PreconditionError);
   }
   EXPECT_THROW(MappedTraceDataset{path_ + ".does-not-exist"}, common::PreconditionError);
+}
+
+TEST_F(TraceColumnFile, TruncationAtEveryByteIsRejectedNotCrashed) {
+  // Exhaustive truncation sweep: a file cut at ANY byte short of its full
+  // layout — header boundaries, every lane boundary, every padding byte —
+  // must throw PreconditionError, never read out of bounds. The sweep covers
+  // every lane boundary by covering every byte.
+  write_trace_columns(small_dataset(), path_);
+  std::vector<char> full;
+  {
+    std::ifstream in(path_, std::ios::binary);
+    full.assign(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(full.size(), 32u);
+  for (std::size_t size = 0; size < full.size(); ++size) {
+    {
+      std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+      out.write(full.data(), static_cast<std::streamsize>(size));
+    }
+    EXPECT_THROW(MappedTraceDataset{path_}, common::PreconditionError) << "truncated to " << size;
+  }
+  // The untruncated file still opens: the sweep failed on size alone.
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(full.data(), static_cast<std::streamsize>(full.size()));
+  }
+  EXPECT_NO_THROW(MappedTraceDataset{path_});
+}
+
+TEST_F(TraceColumnFile, HugeHeaderCountsAreRejectedBeforeLayoutOverflow) {
+  // Regression: a corrupt header claiming ~2^64 events used to overflow the
+  // layout arithmetic into a small wrapped total that passed the size check,
+  // turning every lane pointer into an out-of-bounds read. The counts must
+  // be rejected against the file size BEFORE any layout math.
+  write_trace_columns(small_dataset(), path_);
+  auto corrupt_at = [&](std::streamoff offset, const void* bytes, std::size_t count) {
+    std::fstream file(path_, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(offset);
+    file.write(static_cast<const char*>(bytes), static_cast<std::streamsize>(count));
+  };
+  const std::uint64_t original_n = 5;
+  const std::uint64_t original_t = 3;
+  for (const std::uint64_t huge :
+       {std::uint64_t{0xFFFFFFFFFFFFFFF0ULL}, std::uint64_t{1} << 61, std::uint64_t{100000}}) {
+    corrupt_at(16, &huge, sizeof(huge));  // event count lane
+    try {
+      MappedTraceDataset mapped{path_};
+      FAIL() << "event count " << huge << " should have been rejected";
+    } catch (const common::PreconditionError& e) {
+      EXPECT_NE(std::string(e.what()).find(path_), std::string::npos)
+          << "error must name the file: " << e.what();
+    }
+    corrupt_at(16, &original_n, sizeof(original_n));
+
+    corrupt_at(24, &huge, sizeof(huge));  // taxi count lane
+    EXPECT_THROW(MappedTraceDataset{path_}, common::PreconditionError) << "taxi count " << huge;
+    corrupt_at(24, &original_t, sizeof(original_t));
+  }
+  EXPECT_NO_THROW(MappedTraceDataset{path_});
+}
+
+TEST_F(TraceColumnFile, OpenFailuresNameThePath) {
+  const std::string missing = path_ + ".does-not-exist";
+  try {
+    MappedTraceDataset mapped{missing};
+    FAIL() << "opening a missing file should throw";
+  } catch (const common::PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find(missing), std::string::npos)
+        << "error must name the file: " << e.what();
+  }
+  // Truncated-before-header failures name the path and the byte counts.
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write("MCSTRCOL", 8);
+  }
+  try {
+    MappedTraceDataset mapped{path_};
+    FAIL() << "a header-short file should throw";
+  } catch (const common::PreconditionError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path_), std::string::npos) << what;
+    EXPECT_NE(what.find("8"), std::string::npos) << what;
+  }
 }
 
 }  // namespace
