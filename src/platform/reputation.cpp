@@ -1,5 +1,6 @@
 #include "platform/reputation.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.hpp"
@@ -38,6 +39,13 @@ std::vector<trace::TaxiId> ReputationTracker::flagged_overclaimers(
     }
   }
   return flagged;
+}
+
+double reputation_weight(const ReputationRecord& record, double prior_strength) {
+  MCS_EXPECTS(prior_strength > 0.0, "prior strength must be positive");
+  const double w = (prior_strength + static_cast<double>(record.realized_successes)) /
+                   (prior_strength + record.expected_successes);
+  return std::min(1.0, std::max(kMinReputationWeight, w));
 }
 
 }  // namespace mcs::platform

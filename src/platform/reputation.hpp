@@ -61,4 +61,19 @@ class ReputationTracker {
   std::map<trace::TaxiId, ReputationRecord> records_;
 };
 
+/// Multiplicative contribution-space prior weight derived from a user's
+/// ledger, for reputation-weighted winner determination (the
+/// sim::run_reputation_feedback loop; IncentMe-style PoS priors). A
+/// Bayesian-shrinkage ratio of delivered to declared successes,
+///
+///   w = (strength + realized) / (strength + expected),
+///
+/// clamped into [kMinReputationWeight, 1]: a fresh user (no history) keeps
+/// weight 1, a systematic over-claimer converges to realized/declared, and
+/// `prior_strength` pseudo-observations damp early volatility. Weights never
+/// exceed 1 — a prior can discount a declaration, never inflate it.
+inline constexpr double kMinReputationWeight = 0.05;
+
+double reputation_weight(const ReputationRecord& record, double prior_strength = 4.0);
+
 }  // namespace mcs::platform

@@ -1,0 +1,114 @@
+#include "sim/privacy.hpp"
+
+#include <cmath>
+#include <variant>
+
+#include "common/check.hpp"
+#include "common/math.hpp"
+
+namespace mcs::sim {
+
+const char* to_string(PrivacyMechanism mechanism) {
+  switch (mechanism) {
+    case PrivacyMechanism::kLaplace:
+      return "laplace";
+    case PrivacyMechanism::kRandomizedResponse:
+      return "randomized-response";
+  }
+  return "unknown";
+}
+
+void PrivacyModel::validate() const {
+  MCS_EXPECTS(pos_cap > 0.0 && pos_cap < 1.0, "privacy pos_cap must lie in (0, 1)");
+  MCS_EXPECTS(response_bins >= 2, "randomized response needs at least 2 bins");
+  if (enabled()) {
+    MCS_EXPECTS(std::isfinite(epsilon), "a positive privacy epsilon must be finite");
+  }
+}
+
+double laplace_scale(const PrivacyModel& model) {
+  model.validate();
+  MCS_EXPECTS(model.enabled(), "laplace_scale needs a positive epsilon");
+  return 1.0 / model.epsilon;
+}
+
+double sample_laplace(common::Rng& rng, double scale) {
+  MCS_EXPECTS(scale > 0.0, "laplace scale must be positive");
+  // Inverse CDF: u uniform in [-0.5, 0.5), noise = -b·sgn(u)·ln(1 - 2|u|).
+  // The u = -0.5 endpoint maps to -infinity; the caller's clamp absorbs it.
+  const double u = rng.uniform01() - 0.5;
+  const double magnitude = -scale * std::log1p(-2.0 * std::abs(u));
+  return u < 0.0 ? -magnitude : magnitude;
+}
+
+double randomized_response_keep_probability(const PrivacyModel& model) {
+  model.validate();
+  MCS_EXPECTS(model.enabled(), "randomized response needs a positive epsilon");
+  const double lift = std::exp(model.epsilon);
+  return lift / (lift + static_cast<double>(model.response_bins) - 1.0);
+}
+
+double privatize_pos(double pos, const PrivacyModel& model, common::Rng& rng) {
+  model.validate();
+  MCS_EXPECTS(pos >= 0.0 && pos <= 1.0, "a PoS report must lie in [0, 1]");
+  if (!model.enabled()) {
+    return pos;
+  }
+  if (model.mechanism == PrivacyMechanism::kLaplace) {
+    const double noised = pos + sample_laplace(rng, laplace_scale(model));
+    return common::clamp(noised, 0.0, model.pos_cap);
+  }
+  // k-ary randomized response over equal bins of [0, pos_cap]: truthful
+  // reports land in their own bin's center, replaced reports in a uniformly
+  // random OTHER bin's center.
+  const auto bins = model.response_bins;
+  const double width = model.pos_cap / static_cast<double>(bins);
+  const auto own = static_cast<std::size_t>(
+      std::min(static_cast<double>(bins - 1), std::floor(pos / width)));
+  std::size_t reported = own;
+  if (!rng.bernoulli(randomized_response_keep_probability(model))) {
+    const auto other = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(bins) - 2));
+    reported = other >= own ? other + 1 : other;
+  }
+  return (static_cast<double>(reported) + 0.5) * width;
+}
+
+auction::SingleTaskInstance privatize_reports(const auction::SingleTaskInstance& instance,
+                                              const PrivacyModel& model, common::Rng& rng) {
+  model.validate();
+  auction::SingleTaskInstance noised = instance;
+  if (!model.enabled()) {
+    return noised;
+  }
+  for (auto& bid : noised.bids) {
+    bid.pos = privatize_pos(bid.pos, model, rng);
+  }
+  return noised;
+}
+
+auction::MultiTaskInstance privatize_reports(const auction::MultiTaskInstance& instance,
+                                             const PrivacyModel& model, common::Rng& rng) {
+  model.validate();
+  auction::MultiTaskInstance noised = instance;
+  if (!model.enabled()) {
+    return noised;
+  }
+  for (auto& user : noised.users) {
+    for (auto& pos : user.pos) {
+      pos = privatize_pos(pos, model, rng);
+    }
+  }
+  return noised;
+}
+
+auction::AuctionInstance privatize_reports(const auction::AuctionInstance& instance,
+                                           const PrivacyModel& model, common::Rng& rng) {
+  return std::visit(
+      [&](const auto& typed) -> auction::AuctionInstance {
+        return privatize_reports(typed, model, rng);
+      },
+      instance);
+}
+
+}  // namespace mcs::sim

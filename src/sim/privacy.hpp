@@ -1,0 +1,91 @@
+// ε-differentially-private PoS report noising — the privacy half of the
+// adversarial scenario sweep (ROADMAP item 2, after "Incentive Mechanism for
+// Uncertain Tasks under Differential Privacy", Jiang et al.).
+//
+// The paper's mechanisms assume the platform sees each user's declared PoS
+// exactly. A privacy-conscious deployment instead perturbs every report
+// before winner determination — either the platform adds calibrated noise
+// before publishing the auction's outcome, or the users randomize locally.
+// Both are modelled here as a report channel:
+//
+//   * kLaplace            — additive Laplace(1/ε) noise, clamped back into
+//                           [0, pos_cap] (the classic ε-DP mechanism for a
+//                           sensitivity-1 numeric report);
+//   * kRandomizedResponse — k-ary randomized response over `response_bins`
+//                           equal PoS bins: keep one's own bin with
+//                           probability e^ε / (e^ε + k - 1), otherwise report
+//                           a uniformly random other bin (ε-local-DP).
+//
+// The mechanisms then run on the PRIVATIZED reports while utilities, coverage
+// and execution all follow the TRUE types — which is exactly how strategy-
+// proofness and the approximation guarantee degrade (sim/adversary.hpp
+// measures the envelope; see DESIGN.md §14).
+//
+// Determinism: every noising call consumes draws from the caller's Rng in a
+// fixed order (one report = one privatize_pos call), so the same seed yields
+// a bit-identical privatized instance. sim::adversary derives pure
+// per-(seed, round, user) streams on top for replayable attack schedules.
+#pragma once
+
+#include <cstdint>
+
+#include "auction/engine.hpp"
+#include "auction/instance.hpp"
+#include "common/rng.hpp"
+
+namespace mcs::sim {
+
+enum class PrivacyMechanism {
+  kLaplace,
+  kRandomizedResponse,
+};
+
+const char* to_string(PrivacyMechanism mechanism);
+
+/// The report channel's parameters; epsilon <= 0 disables (identity channel).
+struct PrivacyModel {
+  /// Privacy budget ε per report. Smaller ε = stronger privacy = more noise.
+  /// Non-positive values disable the channel entirely.
+  double epsilon = 0.0;
+  PrivacyMechanism mechanism = PrivacyMechanism::kLaplace;
+  /// Privatized reports are clamped into [0, pos_cap]: a report of exactly 1
+  /// would declare certain success (infinite contribution), which no noise
+  /// channel should be able to fabricate.
+  double pos_cap = 0.995;
+  /// Bin count of the randomized-response channel (ignored by kLaplace).
+  std::size_t response_bins = 16;
+
+  bool enabled() const { return epsilon > 0.0; }
+
+  /// Throws PreconditionError unless pos_cap ∈ (0, 1), response_bins >= 2,
+  /// and epsilon is finite when positive.
+  void validate() const;
+};
+
+/// Laplace noise scale b = Δ/ε for the unit-sensitivity PoS report.
+double laplace_scale(const PrivacyModel& model);
+
+/// One Laplace(0, scale) draw via inverse-CDF sampling (one uniform01).
+double sample_laplace(common::Rng& rng, double scale);
+
+/// Keep-own-bin probability e^ε / (e^ε + k - 1) of the k-ary randomized
+/// response channel.
+double randomized_response_keep_probability(const PrivacyModel& model);
+
+/// Pushes one PoS report through the channel. Disabled models return the
+/// report unchanged (and consume no draws). Laplace consumes one uniform01;
+/// randomized response consumes one bernoulli plus, on replacement, one
+/// uniform_int. The result always lies in [0, pos_cap].
+double privatize_pos(double pos, const PrivacyModel& model, common::Rng& rng);
+
+/// Privatized copy of an instance: every declared PoS pushed through the
+/// channel in id order (multi-task: per user, task-list order). Requirements,
+/// costs, and task sets are untouched — only the reports are noisy.
+auction::SingleTaskInstance privatize_reports(const auction::SingleTaskInstance& instance,
+                                              const PrivacyModel& model, common::Rng& rng);
+auction::MultiTaskInstance privatize_reports(const auction::MultiTaskInstance& instance,
+                                             const PrivacyModel& model, common::Rng& rng);
+auction::AuctionInstance privatize_reports(const auction::AuctionInstance& instance,
+                                           const PrivacyModel& model, common::Rng& rng);
+
+}  // namespace mcs::sim

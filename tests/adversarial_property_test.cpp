@@ -1,0 +1,215 @@
+// SP/IR property fuzz under the attack harness (st_property_test
+// conventions: every assertion message carries a replayable seed string).
+//
+// Three layers, per hostile shape and seed:
+//   1. Truthful ε-off baseline — Theorem 1/4 exactly: no deviation gains
+//      more than bisection precision, every winner is solvent.
+//   2. Noised runs — the measured envelope. With the others' NOISED reports
+//      held fixed, strategyproofness of the underlying mechanism implies any
+//      deviation (routed through the user's own noise realization — common
+//      random numbers) earns at most the utility of reporting the exact true
+//      type un-noised. The noise shifts WHICH profile the mechanism sees,
+//      but can never open a strategic gap beyond that clean-truthful
+//      envelope.
+//   3. Noised IR — a winner's true expected utility is (p_true - p̄)·α with
+//      p̄ <= her noised declared PoS, so the IR loss is bounded by
+//      α · max(0, p_noised - p_true) + slack: noise can hurt a winner only
+//      by as much as it inflated her report.
+//
+// Coalition deviations ride the same replay convention: uniform shading of a
+// random coalition must not beat the truthful joint utility at ε = 0 beyond
+// per-member bisection slack (individual SP gives per-member slack, not a
+// group guarantee — see DESIGN.md §14 for the measured group behaviour).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "auction/multi_task/mechanism.hpp"
+#include "auction/single_task/mechanism.hpp"
+#include "sim/adversary.hpp"
+#include "sim/metrics.hpp"
+#include "test_util.hpp"
+
+namespace mcs {
+namespace {
+
+constexpr double kSlack = 1e-5;  // critical-bid bisection precision
+
+double st_utility(const auction::SingleTaskInstance& truth,
+                  const auction::MechanismOutcome& outcome, auction::UserId user) {
+  if (!outcome.allocation.contains(user)) {
+    return 0.0;
+  }
+  return outcome.reward_of(user).reward.expected_utility(truth.bids[user].pos);
+}
+
+double mt_utility(const auction::MultiTaskInstance& truth,
+                  const auction::MechanismOutcome& outcome, auction::UserId user) {
+  if (!outcome.allocation.contains(user)) {
+    return 0.0;
+  }
+  return outcome.reward_of(user).reward.expected_utility(
+      truth.users[user].any_success_probability());
+}
+
+class AdversarialProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AdversarialProperties, TruthfulBaselineIsExactlySpAndIr) {
+  const std::uint64_t seed = GetParam();
+  const auto shape = sim::kHostileShapes[seed % sim::kHostileShapes.size()];
+  const auto truth = sim::hostile_single_task(10, shape, seed);
+  const std::string replay = std::string("replay: seed=") + std::to_string(seed) +
+                             " shape=" + sim::to_string(shape);
+  const auction::MechanismConfig config;
+
+  const auto outcome = auction::single_task::run_mechanism(truth, config);
+  const auto utilities = sim::expected_utilities(truth, outcome);
+  EXPECT_TRUE(sim::individually_rational(utilities, kSlack)) << replay;
+
+  common::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  for (auction::UserId user = 0; user < static_cast<auction::UserId>(truth.num_users());
+       ++user) {
+    const double truthful = st_utility(truth, outcome, user);
+    for (int trial = 0; trial < 4; ++trial) {
+      const double declared = rng.uniform(0.0, 0.99);
+      const auto lied = truth.with_declared_pos(user, declared);
+      const auto lied_outcome = auction::single_task::run_mechanism(lied, config);
+      EXPECT_LE(st_utility(truth, lied_outcome, user), truthful + kSlack)
+          << replay << " user " << user << " gains by declaring " << declared;
+    }
+  }
+}
+
+TEST_P(AdversarialProperties, NoisedDeviationsStayUnderTheCleanEnvelope) {
+  const std::uint64_t seed = GetParam();
+  const auto shape = sim::kHostileShapes[(seed + 2) % sim::kHostileShapes.size()];
+  const auto truth = sim::hostile_single_task(10, shape, seed);
+  sim::AttackConfig atk;
+  atk.seed = seed;
+  atk.privacy.epsilon = (seed % 3 == 0) ? 0.5 : 2.0;
+  if (seed % 2 == 1) {
+    atk.privacy.mechanism = sim::PrivacyMechanism::kRandomizedResponse;
+  }
+  const std::string replay = std::string("replay: seed=") + std::to_string(seed) +
+                             " shape=" + sim::to_string(shape) +
+                             " epsilon=" + std::to_string(atk.privacy.epsilon) +
+                             " mechanism=" + sim::to_string(atk.privacy.mechanism);
+  const auction::MechanismConfig config;
+  const auto noised = sim::noised_reports(atk, truth, /*round=*/0);
+
+  common::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 7);
+  for (auction::UserId user = 0; user < static_cast<auction::UserId>(truth.num_users());
+       ++user) {
+    // The envelope: the user's exact true report with everyone else's noised
+    // reports held fixed. SP of the underlying mechanism caps EVERY own
+    // report — noised or not — at this utility.
+    const auto clean = noised.with_declared_pos(user, truth.bids[user].pos);
+    const double envelope =
+        st_utility(truth, auction::single_task::run_mechanism(clean, config), user);
+    for (int trial = 0; trial < 3; ++trial) {
+      const double intended = rng.uniform(0.0, 0.95);
+      auto noise = sim::report_stream(atk, /*round=*/0, user);
+      const double declared = sim::privatize_pos(intended, atk.privacy, noise);
+      const auto deviated = noised.with_declared_pos(user, declared);
+      const auto dev_outcome = auction::single_task::run_mechanism(deviated, config);
+      EXPECT_LE(st_utility(truth, dev_outcome, user), envelope + kSlack)
+          << replay << " user " << user << " intended " << intended << " noised to "
+          << declared << " beats the clean-truthful envelope";
+    }
+  }
+}
+
+TEST_P(AdversarialProperties, NoisedIrLossIsBoundedByTheNoiseShift) {
+  const std::uint64_t seed = GetParam();
+  const auto shape = sim::kHostileShapes[(seed + 4) % sim::kHostileShapes.size()];
+  const auto truth = sim::hostile_single_task(10, shape, seed);
+  sim::AttackConfig atk;
+  atk.seed = seed ^ 0x1eafULL;
+  atk.privacy.epsilon = 1.0;
+  const std::string replay = std::string("replay: seed=") + std::to_string(seed) +
+                             " shape=" + sim::to_string(shape) + " epsilon=1";
+  const auction::MechanismConfig config;
+  const auto noised = sim::noised_reports(atk, truth, /*round=*/0);
+  const auto outcome = auction::single_task::run_mechanism(noised, config);
+  if (!outcome.allocation.feasible) {
+    return;
+  }
+  for (const auto& reward : outcome.rewards) {
+    const double true_pos = truth.bids[reward.user].pos;
+    const double noised_pos = noised.bids[reward.user].pos;
+    const double utility = reward.reward.expected_utility(true_pos);
+    // p̄ <= noised declared PoS, so the worst case is
+    // (p_true - p_noised)·α: the winner loses at most what the noise
+    // fabricated on her behalf.
+    const double bound = config.alpha * std::max(0.0, noised_pos - true_pos);
+    EXPECT_GE(utility, -bound - kSlack)
+        << replay << " user " << reward.user << " true=" << true_pos
+        << " noised=" << noised_pos << " critical=" << reward.reward.critical_pos;
+  }
+}
+
+TEST_P(AdversarialProperties, MultiTaskTruthfulBaselineHoldsUnderHostileShapes) {
+  const std::uint64_t seed = GetParam();
+  const auto shape = sim::kHostileShapes[(seed + 1) % sim::kHostileShapes.size()];
+  const auto truth = sim::hostile_multi_task(10, 4, shape, seed);
+  const std::string replay = std::string("replay: seed=") + std::to_string(seed) +
+                             " shape=" + sim::to_string(shape) + " family=multi";
+  const auction::MechanismConfig config;
+
+  const auto outcome = auction::multi_task::run_mechanism(truth, config);
+  const auto utilities = sim::expected_utilities(truth, outcome);
+  EXPECT_TRUE(sim::individually_rational(utilities, kSlack)) << replay;
+
+  common::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 3);
+  for (auction::UserId user = 0; user < static_cast<auction::UserId>(truth.num_users());
+       ++user) {
+    const double truthful = mt_utility(truth, outcome, user);
+    const double true_total = truth.users[user].total_contribution();
+    for (int trial = 0; trial < 3; ++trial) {
+      const double scale = rng.uniform(0.1, 1.9);
+      const auto lied = truth.with_declared_total_contribution(user, scale * true_total);
+      const auto lied_outcome = auction::multi_task::run_mechanism(lied, config);
+      EXPECT_LE(mt_utility(truth, lied_outcome, user), truthful + kSlack)
+          << replay << " user " << user << " gains by scaling contribution by " << scale;
+    }
+  }
+}
+
+TEST_P(AdversarialProperties, CoalitionShadingAccountingIsConsistent) {
+  // ε = 0 coalition probe: the harness's joint-utility accounting must agree
+  // with summing per-member utilities, and per-member individual SP bounds
+  // the truthful row (shade grid containing 1.0 can never fall BELOW the
+  // truthful joint by more than slack, since shade 1 IS the truthful
+  // declaration).
+  const std::uint64_t seed = GetParam();
+  const auto shape = sim::kHostileShapes[(seed + 3) % sim::kHostileShapes.size()];
+  const auto truth = sim::hostile_single_task(10, shape, seed ^ 0xc0ffeeULL);
+  const std::string replay = std::string("replay: seed=") + std::to_string(seed) +
+                             " shape=" + sim::to_string(shape) + " probe=coalition";
+  const auction::MechanismConfig config;
+  const auto outcome = auction::single_task::run_mechanism(truth, config);
+  if (outcome.allocation.winners.size() < 2) {
+    return;
+  }
+  std::vector<auction::UserId> members(outcome.allocation.winners.begin(),
+                                       outcome.allocation.winners.begin() + 2);
+  const std::vector<double> grid = {0.5, 1.0, 1.5};
+  const auto probe = sim::probe_coalition_shading(truth, members, grid, config);
+
+  double individual_sum = 0.0;
+  for (const auto member : members) {
+    individual_sum += st_utility(truth, outcome, member);
+  }
+  EXPECT_NEAR(probe.truthful_joint_utility, individual_sum, 1e-9) << replay;
+  EXPECT_GE(probe.best_joint_utility, probe.truthful_joint_utility - 1e-12) << replay;
+  EXPECT_GE(probe.gain, 0.0) << replay;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AdversarialProperties,
+                         ::testing::Range<std::uint64_t>(11000, 11025));
+
+}  // namespace
+}  // namespace mcs

@@ -21,6 +21,7 @@
 #include "auction/single_task/mechanism.hpp"
 #include "bench_shapes.hpp"
 #include "obs/telemetry.hpp"
+#include "sim/adversary.hpp"
 #include "test_util.hpp"
 
 namespace mcs::auction::multi_task {
@@ -156,6 +157,24 @@ TEST(PerfSmoke, DisabledTelemetryIsFreeAndEnabledTelemetryOnlyAddsFields) {
       << " ms";
   std::cout << "[perf-smoke] telemetry disabled_ms=" << disabled_seconds * 1e3
             << " enabled_ms=" << enabled_seconds * 1e3 << "\n";
+}
+
+TEST(PerfSmoke, QuickAdversarialSweepStaysCleanOnTheoremAxes) {
+  // The bench/adversarial_sweep --quick smoke, in-process: the attack
+  // harness's tiny sweep must (a) keep every hostile-input auction
+  // bit-identical across the fast and oracle configurations, and (b) report
+  // zero SP/IR violations on the ε-disabled truthful baseline — the
+  // Theorem 1/4 pins under hostile shapes. Noised rows may degrade (that is
+  // the measurement); the theorem axes may not.
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = sim::run_adversarial_sweep(sim::quick_sweep_config());
+  const std::chrono::duration<double> elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(result.fast_oracle_mismatches, 0u);
+  EXPECT_EQ(result.truthful_sp_violations, 0u);
+  EXPECT_EQ(result.truthful_ir_violations, 0u);
+  EXPECT_GT(result.auctions_run, 0u);
+  std::cout << "[perf-smoke] adversarial quick sweep auctions=" << result.auctions_run
+            << " elapsed_ms=" << elapsed.count() * 1e3 << "\n";
 }
 
 TEST(PerfSmoke, BothCriticalBidRulesSurviveTheSweep) {

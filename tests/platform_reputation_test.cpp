@@ -92,5 +92,45 @@ TEST(ReputationTracker, MinRoundsGatesTheFlag) {
   EXPECT_EQ(tracker.flagged_overclaimers(2.0, 5).size(), 1u);
 }
 
+TEST(ReputationWeight, FreshUserKeepsFullWeight) {
+  EXPECT_DOUBLE_EQ(reputation_weight(ReputationRecord{}), 1.0);
+}
+
+TEST(ReputationWeight, NeverInflatesAndNeverHitsZero) {
+  // An under-claimer (delivers more than declared) is clamped at 1: a prior
+  // can discount a declaration, never boost it. A total no-show converges to
+  // the floor, not zero, so she can still climb back.
+  ReputationTracker tracker;
+  for (int round = 0; round < 50; ++round) {
+    tracker.record(1, 0.2, true);   // delivers every time
+    tracker.record(2, 0.9, false);  // delivers never
+  }
+  EXPECT_DOUBLE_EQ(reputation_weight(tracker.record_of(1)), 1.0);
+  const double no_show = reputation_weight(tracker.record_of(2));
+  EXPECT_GE(no_show, kMinReputationWeight);
+  EXPECT_LT(no_show, 0.15);  // (4 + 0) / (4 + 45) ≈ 0.08
+}
+
+TEST(ReputationWeight, ConvergesToRealizedOverDeclared) {
+  // Declares 0.8, delivers at ~0.4: the shrinkage ratio approaches
+  // realized/declared = 0.5 as evidence accumulates.
+  common::Rng rng(19);
+  ReputationTracker tracker;
+  for (int round = 0; round < 400; ++round) {
+    tracker.record(9, 0.8, rng.bernoulli(0.4));
+  }
+  EXPECT_NEAR(reputation_weight(tracker.record_of(9)), 0.5, 0.1);
+}
+
+TEST(ReputationWeight, PriorStrengthDampsEarlyEvidence) {
+  ReputationTracker tracker;
+  tracker.record(4, 0.9, false);  // one bad round
+  const double tight = reputation_weight(tracker.record_of(4), /*prior_strength=*/1.0);
+  const double loose = reputation_weight(tracker.record_of(4), /*prior_strength=*/32.0);
+  EXPECT_LT(tight, loose);  // stronger prior = slower to condemn
+  EXPECT_GT(loose, 0.95);
+  EXPECT_THROW(reputation_weight(tracker.record_of(4), 0.0), common::PreconditionError);
+}
+
 }  // namespace
 }  // namespace mcs::platform

@@ -4,7 +4,13 @@
 // checks exact values; everything checks the invariants that must survive:
 // no crash, coverage when feasible, individual rationality, and consistency
 // between the reported and recomputed totals.
+//
+// The randomized sweeps follow the replayable seed-string convention of the
+// property suites: every derived quantity (sizes, requirement) rides in a
+// `replay: ...` string attached to each assertion, so a failure line IS the
+// reproduction recipe.
 #include <cmath>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -17,21 +23,23 @@
 namespace mcs::auction {
 namespace {
 
-void check_single_outcome(const SingleTaskInstance& instance,
-                          const MechanismOutcome& outcome) {
+void check_single_outcome(const SingleTaskInstance& instance, const MechanismOutcome& outcome,
+                          const std::string& replay = "replay: fixed instance") {
   if (!outcome.allocation.feasible) {
-    EXPECT_TRUE(outcome.rewards.empty());
+    EXPECT_TRUE(outcome.rewards.empty()) << replay;
     return;
   }
-  EXPECT_TRUE(instance.covers(outcome.allocation.winners));
+  EXPECT_TRUE(instance.covers(outcome.allocation.winners)) << replay;
   EXPECT_NEAR(outcome.allocation.total_cost, instance.cost_of(outcome.allocation.winners),
-              1e-9);
-  EXPECT_EQ(outcome.rewards.size(), outcome.allocation.winners.size());
+              1e-9)
+      << replay;
+  EXPECT_EQ(outcome.rewards.size(), outcome.allocation.winners.size()) << replay;
   for (const auto& winner : outcome.rewards) {
-    EXPECT_GE(winner.reward.critical_pos, 0.0);
-    EXPECT_LE(winner.reward.critical_pos, 1.0);
+    EXPECT_GE(winner.reward.critical_pos, 0.0) << replay << " user " << winner.user;
+    EXPECT_LE(winner.reward.critical_pos, 1.0) << replay << " user " << winner.user;
     const double true_pos = instance.bids[static_cast<std::size_t>(winner.user)].pos;
-    EXPECT_GE(winner.reward.expected_utility(true_pos), -1e-6);
+    EXPECT_GE(winner.reward.expected_utility(true_pos), -1e-6)
+        << replay << " user " << winner.user;
   }
 }
 
@@ -71,7 +79,7 @@ TEST(Robustness, ExtremeCostScales) {
     instance.bids = {{3.0 * scale, 0.4}, {2.0 * scale, 0.4}, {10.0 * scale, 0.5}};
     const auto outcome =
         single_task::run_mechanism(instance, {.alpha = 10.0, .single_task = {.epsilon = 0.3}});
-    check_single_outcome(instance, outcome);
+    check_single_outcome(instance, outcome, "replay: scale=" + std::to_string(scale));
     ASSERT_TRUE(outcome.allocation.feasible) << "scale " << scale;
     EXPECT_NEAR(outcome.allocation.total_cost, 5.0 * scale, 1e-6 * scale);
   }
@@ -116,32 +124,41 @@ TEST(Robustness, ManyIdenticalUsers) {
 class RobustnessSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(RobustnessSweep, LargeRandomSingleTaskInstancesHoldInvariants) {
-  common::Rng rng(GetParam());
+  const std::uint64_t seed = GetParam();
+  common::Rng rng(seed);
   SingleTaskInstance instance;
   instance.requirement_pos = rng.uniform(0.05, 0.95);
   const auto n = static_cast<std::size_t>(rng.uniform_int(40, 120));
   for (std::size_t k = 0; k < n; ++k) {
     instance.bids.push_back({rng.uniform(0.1, 50.0), rng.uniform(0.0, 0.6)});
   }
+  const std::string replay = "replay: seed=" + std::to_string(seed) +
+                             " requirement=" + std::to_string(instance.requirement_pos) +
+                             " n=" + std::to_string(n) + " family=single";
   const auto outcome = single_task::run_mechanism(
       instance, {.alpha = 10.0, .single_task = {.epsilon = 0.5, .binary_search_iterations = 24}});
-  check_single_outcome(instance, outcome);
+  check_single_outcome(instance, outcome, replay);
 }
 
 TEST_P(RobustnessSweep, LargeRandomMultiTaskInstancesHoldInvariants) {
-  common::Rng rng(GetParam() ^ 0xf00d);
+  const std::uint64_t seed = GetParam();
+  common::Rng rng(seed ^ 0xf00d);
   const auto n = static_cast<std::size_t>(rng.uniform_int(30, 80));
   const auto t = static_cast<std::size_t>(rng.uniform_int(5, 25));
-  const auto instance =
-      test::random_multi_task(n, t, rng.uniform(0.2, 0.7), GetParam() ^ 0xbeef, 8, 0.45);
+  const double requirement = rng.uniform(0.2, 0.7);
+  const std::string replay = "replay: seed=" + std::to_string(seed) +
+                             " derived_seed=seed^0xf00d instance_seed=seed^0xbeef n=" +
+                             std::to_string(n) + " t=" + std::to_string(t) +
+                             " requirement=" + std::to_string(requirement) + " family=multi";
+  const auto instance = test::random_multi_task(n, t, requirement, seed ^ 0xbeef, 8, 0.45);
   const auto outcome = multi_task::run_mechanism(instance, {.alpha = 10.0});
   if (!outcome.allocation.feasible) {
-    EXPECT_FALSE(instance.is_feasible());
+    EXPECT_FALSE(instance.is_feasible()) << replay;
     return;
   }
-  EXPECT_TRUE(instance.covers(outcome.allocation.winners));
+  EXPECT_TRUE(instance.covers(outcome.allocation.winners)) << replay;
   const auto utilities = sim::expected_utilities(instance, outcome);
-  EXPECT_TRUE(sim::individually_rational(utilities));
+  EXPECT_TRUE(sim::individually_rational(utilities)) << replay;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RobustnessSweep, ::testing::Range<std::uint64_t>(1300, 1312));

@@ -1,9 +1,15 @@
 // Tests for failure injection: deterministic edges, analytic/empirical
 // agreement, degradation under unmodeled failures, and requirement
 // compensation restoring the target.
+//
+// Seed-dependent tests follow the replayable seed-string convention: each
+// names its seed once and streams a `replay: seed=...` string into the
+// assertions, so a failure line carries its own reproduction recipe.
 #include "sim/failures.hpp"
 
 #include <gtest/gtest.h>
+
+#include <string>
 
 #include "auction/multi_task/greedy.hpp"
 #include "common/check.hpp"
@@ -11,6 +17,10 @@
 
 namespace mcs::sim {
 namespace {
+
+std::string replay_string(std::uint64_t seed) {
+  return "replay: seed=" + std::to_string(seed);
+}
 
 auction::MultiTaskInstance two_winner_instance() {
   auction::MultiTaskInstance instance;
@@ -72,14 +82,16 @@ TEST(AchievedPosWithFailures, ZeroModelRecoversPlainPos) {
 TEST(AchievedPosWithFailures, EmpiricalAgreement) {
   const auto instance = two_winner_instance();
   const FailureModel model{.outage_prob = 0.15, .hardware_prob = 0.25};
-  common::Rng rng(4);
+  constexpr std::uint64_t kSeed = 4;
+  common::Rng rng(kSeed);
   std::size_t completed = 0;
   constexpr std::size_t kRuns = 200000;
   for (std::size_t k = 0; k < kRuns; ++k) {
     completed += simulate_with_failures(instance, {0, 1}, model, rng).task_completed[0] ? 1 : 0;
   }
   EXPECT_NEAR(static_cast<double>(completed) / kRuns,
-              achieved_pos_with_failures(instance, {0, 1}, 0, model), 0.005);
+              achieved_pos_with_failures(instance, {0, 1}, 0, model), 0.005)
+      << replay_string(kSeed) << " runs=" << kRuns;
 }
 
 TEST(CompensatedRequirement, IdentityWithoutFailures) {
@@ -110,21 +122,24 @@ TEST(CompensatedRequirement, RestoresTargetOnManySmallUsers) {
 
   auction::MultiTaskInstance instance;
   instance.requirement_pos = {inflated};
-  common::Rng rng(5);
+  constexpr std::uint64_t kSeed = 5;
+  common::Rng rng(kSeed);
   for (int k = 0; k < 60; ++k) {
     instance.users.push_back({{0}, {rng.uniform(0.03, 0.1)}, rng.uniform(1.0, 3.0)});
   }
+  const std::string replay = replay_string(kSeed) + " inflated=" + std::to_string(inflated);
   const auto result = auction::multi_task::solve_greedy(instance);
-  ASSERT_TRUE(result.allocation.feasible);
+  ASSERT_TRUE(result.allocation.feasible) << replay;
   const double post_failure =
       achieved_pos_with_failures(instance, result.allocation.winners, 0, model);
-  EXPECT_GE(post_failure, target - 0.02);  // small-PoS approximation slack
+  EXPECT_GE(post_failure, target - 0.02) << replay;  // small-PoS approximation slack
 }
 
 TEST(AchievedPosWithFailures, UnmodeledFailuresDegradeAchievedPos) {
   // Without compensation, the mechanism meets the declared requirement but
   // the injected failures push the realized PoS below it.
-  const auto instance = test::random_multi_task(20, 3, 0.6, 77);
+  constexpr std::uint64_t kSeed = 77;
+  const auto instance = test::random_multi_task(20, 3, 0.6, kSeed);
   const auto result = auction::multi_task::solve_greedy(instance);
   if (!result.allocation.feasible) {
     GTEST_SKIP();
@@ -135,7 +150,7 @@ TEST(AchievedPosWithFailures, UnmodeledFailuresDegradeAchievedPos) {
                                                static_cast<auction::TaskIndex>(j));
     const double injected = achieved_pos_with_failures(
         instance, result.allocation.winners, static_cast<auction::TaskIndex>(j), model);
-    EXPECT_LT(injected, plain);
+    EXPECT_LT(injected, plain) << replay_string(kSeed) << " task " << j;
   }
 }
 
@@ -159,17 +174,19 @@ TEST(CellFailure, DisabledModelNeverFires) {
 }
 
 TEST(CellFailure, DrawPicksAListedCell) {
-  common::Rng rng(11);
+  constexpr std::uint64_t kSeed = 11;
+  common::Rng rng(kSeed);
   const CellFailureModel model{.event_prob = 0.9, .cells = {3, 7, 12}};
   bool fired = false;
   for (int k = 0; k < 200; ++k) {
     const auto event = draw_cell_failure(model, rng);
     if (event.occurred) {
       fired = true;
-      EXPECT_TRUE(event.cell == 3 || event.cell == 7 || event.cell == 12);
+      EXPECT_TRUE(event.cell == 3 || event.cell == 7 || event.cell == 12)
+          << replay_string(kSeed) << " draw " << k << " cell " << event.cell;
     }
   }
-  EXPECT_TRUE(fired);
+  EXPECT_TRUE(fired) << replay_string(kSeed);
 }
 
 TEST(CellFailure, EventZeroesTheFailedCellOnly) {
@@ -196,14 +213,18 @@ TEST(CellFailure, RngStreamIsAlignedAcrossEventAndNoEvent) {
   // The draw-then-mask contract: outside the failed cell, a paired run with
   // the same seed realizes the same successes whether or not the event
   // occurred.
-  const auto instance = test::random_multi_task(16, 4, 0.6, 123);
+  constexpr std::uint64_t kInstanceSeed = 123;
+  constexpr std::uint64_t kExecutionSeed = 77;
+  const auto instance = test::random_multi_task(16, 4, 0.6, kInstanceSeed);
   std::vector<auction::UserId> winners;
   for (auction::UserId u = 0; u < 16; ++u) {
     winners.push_back(u);
   }
+  const std::string replay = "replay: instance_seed=" + std::to_string(kInstanceSeed) +
+                             " execution_seed=" + std::to_string(kExecutionSeed);
   std::vector<geo::CellId> task_cells{0, 1, 2, 3};
-  common::Rng with_event_rng(77);
-  common::Rng without_event_rng(77);
+  common::Rng with_event_rng(kExecutionSeed);
+  common::Rng without_event_rng(kExecutionSeed);
   const auto with_event = simulate_with_cell_failure(
       instance, winners, task_cells, CellFailureEvent{.occurred = true, .cell = 2},
       with_event_rng);
@@ -211,9 +232,10 @@ TEST(CellFailure, RngStreamIsAlignedAcrossEventAndNoEvent) {
                                                         CellFailureEvent{}, without_event_rng);
   for (std::size_t j = 0; j < task_cells.size(); ++j) {
     if (task_cells[j] == 2) {
-      EXPECT_FALSE(with_event.task_completed[j]);
+      EXPECT_FALSE(with_event.task_completed[j]) << replay << " task " << j;
     } else {
-      EXPECT_EQ(with_event.task_completed[j], without_event.task_completed[j]);
+      EXPECT_EQ(with_event.task_completed[j], without_event.task_completed[j])
+          << replay << " task " << j;
     }
   }
 }

@@ -1,0 +1,168 @@
+// ε-DP report-channel units: Laplace noise moments, randomized-response bin
+// math, clamping into [0, pos_cap], determinism (same Rng seed →
+// bit-identical privatized instance), and the disabled channel's identity
+// (including that it consumes NO draws, which the adversary harness's
+// fixed-draw-order contract relies on).
+#include "sim/privacy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "test_util.hpp"
+
+namespace mcs {
+namespace {
+
+TEST(PrivacyModel, ValidatesParameters) {
+  sim::PrivacyModel model;
+  model.validate();  // disabled default is fine
+
+  model.epsilon = 1.0;
+  model.pos_cap = 1.0;
+  EXPECT_THROW(model.validate(), common::PreconditionError);
+  model.pos_cap = 0.995;
+  model.response_bins = 1;
+  EXPECT_THROW(model.validate(), common::PreconditionError);
+  model.response_bins = 16;
+  model.epsilon = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(model.validate(), common::PreconditionError);
+}
+
+TEST(PrivacyModel, DisabledChannelIsIdentityAndDrawsNothing) {
+  sim::PrivacyModel off;  // epsilon = 0
+  common::Rng rng(42);
+  const auto before = rng.state();
+  EXPECT_EQ(sim::privatize_pos(0.37, off, rng), 0.37);
+  EXPECT_EQ(rng.state(), before) << "a disabled channel must not consume draws";
+
+  const auto instance = test::random_single_task(6, 0.6, 7);
+  common::Rng rng2(43);
+  const auto copy = sim::privatize_reports(instance, off, rng2);
+  for (std::size_t u = 0; u < instance.bids.size(); ++u) {
+    EXPECT_EQ(copy.bids[u].pos, instance.bids[u].pos);
+  }
+}
+
+TEST(PrivacyModel, LaplaceScaleIsInverseEpsilon) {
+  sim::PrivacyModel model;
+  model.epsilon = 0.5;
+  EXPECT_DOUBLE_EQ(sim::laplace_scale(model), 2.0);
+  model.epsilon = 4.0;
+  EXPECT_DOUBLE_EQ(sim::laplace_scale(model), 0.25);
+}
+
+TEST(PrivacyModel, LaplaceMomentsMatchTheDistribution) {
+  // Laplace(0, b): mean 0, variance 2b². 200k draws put the sample mean
+  // within ~5σ/√N of 0 and the sample variance within a few percent.
+  const double scale = 0.5;
+  common::Rng rng(0xdecafULL);
+  const std::size_t n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = sim::sample_laplace(rng, scale);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / static_cast<double>(n);
+  const double var = sum_sq / static_cast<double>(n) - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 2.0 * scale * scale, 0.03);
+}
+
+TEST(PrivacyModel, PrivatizedReportsStayInRange) {
+  sim::PrivacyModel model;
+  model.epsilon = 0.25;  // scale 4: the clamp works hard at this budget
+  common::Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    const double noised = sim::privatize_pos(0.5, model, rng);
+    ASSERT_GE(noised, 0.0);
+    ASSERT_LE(noised, model.pos_cap);
+  }
+}
+
+TEST(PrivacyModel, RandomizedResponseKeepProbability) {
+  sim::PrivacyModel model;
+  model.mechanism = sim::PrivacyMechanism::kRandomizedResponse;
+  model.epsilon = std::log(3.0);
+  model.response_bins = 4;
+  // e^ε = 3, k = 4: keep = 3 / (3 + 3) = 1/2.
+  EXPECT_NEAR(sim::randomized_response_keep_probability(model), 0.5, 1e-12);
+}
+
+TEST(PrivacyModel, RandomizedResponseReportsBinCenters) {
+  sim::PrivacyModel model;
+  model.mechanism = sim::PrivacyMechanism::kRandomizedResponse;
+  model.epsilon = 1.0;
+  model.response_bins = 8;
+  const double width = model.pos_cap / 8.0;
+  common::Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const double noised = sim::privatize_pos(0.42, model, rng);
+    const double bin = noised / width - 0.5;
+    EXPECT_NEAR(bin, std::round(bin), 1e-9) << "report " << noised << " is not a bin center";
+    ASSERT_GE(noised, 0.0);
+    ASSERT_LE(noised, model.pos_cap);
+  }
+}
+
+TEST(PrivacyModel, RandomizedResponseKeepsOwnBinAtHighEpsilon) {
+  sim::PrivacyModel model;
+  model.mechanism = sim::PrivacyMechanism::kRandomizedResponse;
+  model.epsilon = 20.0;  // keep probability ~1
+  model.response_bins = 8;
+  const double width = model.pos_cap / 8.0;
+  common::Rng rng(8);
+  const double pos = 0.42;
+  const auto own = static_cast<std::size_t>(pos / width);
+  for (int i = 0; i < 200; ++i) {
+    const double noised = sim::privatize_pos(pos, model, rng);
+    EXPECT_EQ(static_cast<std::size_t>(noised / width), own);
+  }
+}
+
+TEST(PrivacyModel, SameSeedSameNoise) {
+  sim::PrivacyModel model;
+  model.epsilon = 1.0;
+  const auto st = test::random_single_task(10, 0.7, 21);
+  const auto mt = test::random_multi_task(10, 4, 0.5, 22);
+
+  common::Rng a(1234);
+  common::Rng b(1234);
+  const auto st_a = sim::privatize_reports(st, model, a);
+  const auto st_b = sim::privatize_reports(st, model, b);
+  for (std::size_t u = 0; u < st.bids.size(); ++u) {
+    EXPECT_EQ(st_a.bids[u].pos, st_b.bids[u].pos) << "user " << u;
+    EXPECT_EQ(st_a.bids[u].cost, st.bids[u].cost) << "costs must not be noised";
+  }
+
+  common::Rng c(77);
+  common::Rng d(77);
+  const auto mt_c = sim::privatize_reports(mt, model, c);
+  const auto mt_d = sim::privatize_reports(mt, model, d);
+  for (std::size_t u = 0; u < mt.users.size(); ++u) {
+    EXPECT_EQ(mt_c.users[u].pos, mt_d.users[u].pos) << "user " << u;
+    EXPECT_EQ(mt_c.users[u].tasks, mt.users[u].tasks) << "task sets must not change";
+  }
+}
+
+TEST(PrivacyModel, VariantOverloadMatchesTypedOverload) {
+  sim::PrivacyModel model;
+  model.epsilon = 2.0;
+  const auto st = test::random_single_task(8, 0.6, 31);
+  common::Rng a(5);
+  common::Rng b(5);
+  const auto typed = sim::privatize_reports(st, model, a);
+  const auto variant = sim::privatize_reports(auction::AuctionInstance{st}, model, b);
+  const auto& unwrapped = std::get<auction::SingleTaskInstance>(variant);
+  for (std::size_t u = 0; u < st.bids.size(); ++u) {
+    EXPECT_EQ(typed.bids[u].pos, unwrapped.bids[u].pos);
+  }
+}
+
+}  // namespace
+}  // namespace mcs
